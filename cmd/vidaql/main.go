@@ -1,0 +1,193 @@
+// Command vidaql runs queries over raw data files from the shell — the
+// "analysis begins with ad hoc querying and not by building a database"
+// workflow of the paper (§2).
+//
+// Sources are registered with -csv/-json/-array/-xls flags of the form
+// name=path[:schema] where schema is the source description grammar (CSV
+// without a schema infers string columns from the header). The query is
+// the final argument, or use -i for a simple interactive loop.
+//
+//	vidaql -csv 'Emps=emps.csv:Record(Att(id,int), Att(name,string))' \
+//	       'for { e <- Emps, e.id > 1 } yield count e'
+//
+//	vidaql -json Regions=regions.json -sql 'SELECT COUNT(r.id) FROM Regions r'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vida"
+)
+
+type sourceFlag struct {
+	kind    string
+	entries []string
+}
+
+func (s *sourceFlag) String() string { return strings.Join(s.entries, ",") }
+func (s *sourceFlag) Set(v string) error {
+	s.entries = append(s.entries, v)
+	return nil
+}
+
+func main() {
+	var csvs, jsons, arrays, xlss sourceFlag
+	flag.Var(&csvs, "csv", "CSV source: name=path[:schema] (repeatable)")
+	flag.Var(&jsons, "json", "JSON source: name=path (repeatable)")
+	flag.Var(&arrays, "array", "binary array source: name=path:schema (repeatable)")
+	flag.Var(&xlss, "xls", "spreadsheet source: name=path:schema (repeatable)")
+	sql := flag.Bool("sql", false, "treat the query as SQL")
+	explain := flag.Bool("explain", false, "print the optimized plan instead of running")
+	interactive := flag.Bool("i", false, "interactive loop")
+	static := flag.Bool("static", false, "use the static (channel) executor")
+	flag.Parse()
+
+	var opts []vida.Option
+	if *static {
+		opts = append(opts, vida.WithStaticExecutor())
+	}
+	eng := vida.New(opts...)
+	registerAll(eng, csvs.entries, "csv")
+	registerAll(eng, jsons.entries, "json")
+	registerAll(eng, arrays.entries, "array")
+	registerAll(eng, xlss.entries, "xls")
+
+	if *interactive {
+		repl(eng, *sql)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "vidaql: exactly one query argument expected (or -i)")
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+	if err := runOne(eng, query, *sql, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "vidaql:", err)
+		os.Exit(1)
+	}
+}
+
+func runOne(eng *vida.Engine, query string, sql, explain bool) error {
+	if sql {
+		text, err := eng.TranslateSQL(query)
+		if err != nil {
+			return err
+		}
+		query = text
+	}
+	if explain {
+		plan, err := eng.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	res, err := eng.Query(query)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
+func printResult(res *vida.Result) {
+	rows := res.Rows()
+	if len(rows) == 1 && rows[0].Kind() != "record" {
+		fmt.Println(rows[0])
+		return
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}
+
+func repl(eng *vida.Engine, sql bool) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("vidaql — \\catalog lists sources, \\stats shows engine counters, \\q quits")
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "\\q":
+			return
+		case line == "\\catalog":
+			fmt.Print(eng.Catalog())
+		case line == "\\stats":
+			st := eng.Stats()
+			fmt.Printf("queries=%d cache-served=%d raw-touch=%d cache-bytes=%d aux-bytes=%d\n",
+				st.Queries, st.QueriesFromCache, st.QueriesTouchedRaw, st.Cache.BytesUsed, st.AuxiliaryBytes)
+		case strings.HasPrefix(line, "\\explain "):
+			if err := runOne(eng, strings.TrimPrefix(line, "\\explain "), sql, true); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			if err := runOne(eng, line, sql, false); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func registerAll(eng *vida.Engine, entries []string, kind string) {
+	for _, e := range entries {
+		name, rest, ok := strings.Cut(e, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vidaql: bad -%s %q (want name=path[:schema])\n", kind, e)
+			os.Exit(2)
+		}
+		path, schema, _ := strings.Cut(rest, ":")
+		var err error
+		switch kind {
+		case "csv":
+			if schema == "" {
+				schema, err = inferCSVSchema(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "vidaql: %s: %v\n", name, err)
+					os.Exit(2)
+				}
+			}
+			err = eng.RegisterCSV(name, path, schema, nil)
+		case "json":
+			err = eng.RegisterJSON(name, path, schema)
+		case "array":
+			err = eng.RegisterArray(name, path, schema)
+		case "xls":
+			err = eng.RegisterXLS(name, path, schema)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vidaql: register %s: %v\n", name, err)
+			os.Exit(2)
+		}
+	}
+}
+
+// inferCSVSchema reads the header line and declares every column string —
+// the minimal description that lets exploration start; users refine types
+// in the schema argument when they need arithmetic.
+func inferCSVSchema(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return "", fmt.Errorf("empty file")
+	}
+	cols := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("Att(%s, string)", strings.TrimSpace(c))
+	}
+	return "Record(" + strings.Join(parts, ", ") + ")", nil
+}

@@ -1,0 +1,138 @@
+// Banking: the paper's second motivating scenario (§1.1) — different
+// functional domains (Trading, Risk, Settlement) interfacing with the
+// same raw data without sharing a common system. Four formats coexist:
+// trades in CSV, risk positions in JSON, reference rates in a binary
+// spreadsheet, and a returns matrix in a binary array file. Each domain
+// asks its own questions over the shared raw files; regulation-friendly,
+// since the raw data never moves. Run with: go run ./examples/banking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"vida"
+	"vida/internal/rawarr"
+	"vida/internal/rawxls"
+	"vida/internal/values"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "vida-banking")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	r := rand.New(rand.NewSource(99))
+
+	// --- The raw data landscape ---------------------------------------
+	desks := []string{"fx", "rates", "equity", "credit"}
+	ccys := []string{"CHF", "EUR", "USD", "GBP"}
+
+	// Trading domain: the trade blotter, CSV.
+	trades := filepath.Join(dir, "trades.csv")
+	blotter := "trade_id,desk,ccy,notional,price\n"
+	for i := 0; i < 400; i++ {
+		blotter += fmt.Sprintf("%d,%s,%s,%d,%.4f\n",
+			i, desks[r.Intn(len(desks))], ccys[r.Intn(len(ccys))],
+			(r.Intn(90)+10)*1000, 90+r.Float64()*20)
+	}
+	os.WriteFile(trades, []byte(blotter), 0o644)
+
+	// Risk domain: position snapshots with nested limits, JSON.
+	positions := filepath.Join(dir, "positions.json")
+	posJSON := "["
+	for i, d := range desks {
+		if i > 0 {
+			posJSON += ","
+		}
+		posJSON += fmt.Sprintf(
+			`{"desk": "%s", "var95": %.1f, "limits": {"var": %d, "notional": %d}}`,
+			d, 40+r.Float64()*80, 100, 50_000_000)
+	}
+	posJSON += "]"
+	os.WriteFile(positions, []byte(posJSON), 0o644)
+
+	// Settlement domain: reference FX rates, binary spreadsheet.
+	rates := filepath.Join(dir, "rates.vxls")
+	sheet := &rawxls.Sheet{
+		ColNames: []string{"ccy", "to_chf"},
+		ColTypes: []rawxls.ColType{rawxls.ColString, rawxls.ColFloat},
+	}
+	rateRows := [][]values.Value{
+		{values.NewString("CHF"), values.NewFloat(1.00)},
+		{values.NewString("EUR"), values.NewFloat(0.96)},
+		{values.NewString("USD"), values.NewFloat(0.88)},
+		{values.NewString("GBP"), values.NewFloat(1.12)},
+	}
+	must(rawxls.Write(rates, sheet, rateRows))
+
+	// Quant domain: desk×day returns matrix, binary array file.
+	returns := filepath.Join(dir, "returns.varr")
+	days := 30
+	must(rawarr.Write(returns, &rawarr.Header{
+		Dims:       []int{len(desks), days},
+		FieldNames: []string{"ret"},
+		FieldTypes: []rawarr.FieldType{rawarr.FieldFloat},
+	}, func(c int) ([]values.Value, error) {
+		return []values.Value{values.NewFloat(r.NormFloat64() / 100)}, nil
+	}))
+
+	// --- One virtual database over all four ---------------------------
+	eng := vida.New()
+	must(eng.RegisterCSV("Trades", trades,
+		"Record(Att(trade_id, int), Att(desk, string), Att(ccy, string), Att(notional, int), Att(price, float))", nil))
+	must(eng.RegisterJSON("Positions", positions, ""))
+	must(eng.RegisterXLS("Rates", rates, "Record(Att(ccy, string), Att(to_chf, float))"))
+	must(eng.RegisterArray("Returns", returns,
+		"Array(Dim(desk, int), Dim(day, int), Att(val, Record(Att(ret, float))))"))
+
+	// Trading asks: notional per desk in CHF — CSV joined with the
+	// settlement sheet.
+	show(eng, "CHF notional, fx desk",
+		`for { t <- Trades, fx <- Rates, t.ccy = fx.ccy, t.desk = "fx" }
+		 yield sum t.notional * fx.to_chf`)
+
+	// Risk asks: desks whose 95% VaR exceeds their limit — JSON only,
+	// navigating the nested limits object.
+	show(eng, "desks breaching VaR limit",
+		`for { p <- Positions, p.var95 > p.limits.var }
+		 yield set p.desk`)
+
+	// Compliance asks, across domains: total CHF notional of desks in
+	// breach — CSV ⋈ JSON ⋈ sheet in one query.
+	show(eng, "breached desks' CHF notional",
+		`for { p <- Positions, t <- Trades, fx <- Rates,
+		       p.var95 > p.limits.var, t.desk = p.desk, t.ccy = fx.ccy }
+		 yield sum t.notional * fx.to_chf`)
+
+	// Quant asks: worst single-day return of desk 0 — the array file,
+	// iterated as (desk, day, ret) cells.
+	show(eng, "worst day, desk 0",
+		`for { c <- Returns, c.desk = 0 } yield min c.ret`)
+
+	// Settlement prefers SQL — same engine, same files.
+	res, err := eng.QuerySQL(
+		`SELECT t.ccy, COUNT(*) AS trades, SUM(t.notional) AS total
+		 FROM Trades t GROUP BY t.ccy`)
+	must(err)
+	fmt.Println("per-currency blotter summary (SQL):")
+	for _, row := range res.Rows() {
+		fmt.Println("   ", row)
+	}
+}
+
+func show(eng *vida.Engine, label, query string) {
+	res, err := eng.Query(query)
+	must(err)
+	fmt.Printf("%-32s = %s\n", label, res)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

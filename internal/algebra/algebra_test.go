@@ -1,0 +1,331 @@
+package algebra
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vida/internal/mcl"
+	"vida/internal/monoid"
+	"vida/internal/values"
+)
+
+func mustMonoid(name string) monoid.Monoid {
+	m, err := monoid.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func rec(pairs ...any) values.Value {
+	var fs []values.Field
+	for i := 0; i < len(pairs); i += 2 {
+		name := pairs[i].(string)
+		var v values.Value
+		switch x := pairs[i+1].(type) {
+		case int:
+			v = values.NewInt(int64(x))
+		case float64:
+			v = values.NewFloat(x)
+		case string:
+			v = values.NewString(x)
+		case values.Value:
+			v = x
+		default:
+			panic("bad pair")
+		}
+		fs = append(fs, values.Field{Name: name, Val: v})
+	}
+	return values.NewRecord(fs...)
+}
+
+func testCatalog() MapCatalog {
+	emps := []values.Value{
+		rec("id", 1, "name", "ada", "deptNo", 10, "salary", 100.0),
+		rec("id", 2, "name", "bob", "deptNo", 10, "salary", 80.0),
+		rec("id", 3, "name", "eve", "deptNo", 20, "salary", 120.0),
+		rec("id", 4, "name", "dan", "deptNo", 30, "salary", 90.0),
+	}
+	depts := []values.Value{
+		rec("id", 10, "deptName", "HR"),
+		rec("id", 20, "deptName", "Eng"),
+		rec("id", 30, "deptName", "Ops"),
+	}
+	orders := []values.Value{
+		rec("eid", 1, "items", values.NewList(values.NewInt(5), values.NewInt(7))),
+		rec("eid", 3, "items", values.NewList(values.NewInt(2))),
+	}
+	return MapCatalog{
+		"Employees":   &SliceSource{SrcName: "Employees", Rows: emps},
+		"Departments": &SliceSource{SrcName: "Departments", Rows: depts},
+		"Orders":      &SliceSource{SrcName: "Orders", Rows: orders},
+	}
+}
+
+func sourceSet(cat MapCatalog) map[string]bool {
+	out := map[string]bool{}
+	for k := range cat {
+		out[k] = true
+	}
+	return out
+}
+
+func translate(t *testing.T, src string, cat MapCatalog) *Reduce {
+	t.Helper()
+	e, err := mcl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	norm := mcl.Normalize(e)
+	plan, err := Translate(norm, sourceSet(cat))
+	if err != nil {
+		t.Fatalf("translate %q: %v", src, err)
+	}
+	return plan
+}
+
+func runRef(t *testing.T, src string, cat MapCatalog) values.Value {
+	t.Helper()
+	plan := translate(t, src, cat)
+	v, err := Reference{}.Run(plan, cat)
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return v
+}
+
+// evalDirect evaluates against the calculus interpreter with materialized
+// sources — the ground truth.
+func evalDirect(t *testing.T, src string, cat MapCatalog) values.Value {
+	t.Helper()
+	bindings := map[string]values.Value{}
+	for name := range cat {
+		v, err := Materialize(cat, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings[name] = v
+	}
+	e, err := mcl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := mcl.Eval(e, mcl.NewEnv(bindings))
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestTranslateShape(t *testing.T) {
+	cat := testCatalog()
+	plan := translate(t, `for { e <- Employees, d <- Departments,
+	        e.deptNo = d.id, d.deptName = "HR"} yield sum 1`, cat)
+	s := Format(plan)
+	for _, want := range []string{"Reduce[sum]", "Select", "Product", "Scan(Employees as e)", "Scan(Departments as d)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTranslateGenerate(t *testing.T) {
+	cat := testCatalog()
+	plan := translate(t, "for { o <- Orders, i <- o.items } yield sum i", cat)
+	s := Format(plan)
+	if !strings.Contains(s, "Generate(i <- o.items)") {
+		t.Fatalf("plan missing unnest Generate:\n%s", s)
+	}
+}
+
+func TestTranslateRejectsBareExpr(t *testing.T) {
+	e := mcl.MustParse("1 + 2")
+	if _, err := Translate(e, nil); err == nil {
+		t.Fatal("bare expression should not translate")
+	}
+}
+
+func TestReferenceMatchesEval(t *testing.T) {
+	cat := testCatalog()
+	queries := []string{
+		`for { e <- Employees } yield count e`,
+		`for { e <- Employees, e.salary > 85 } yield sum e.salary`,
+		`for { e <- Employees, d <- Departments, e.deptNo = d.id, d.deptName = "HR" } yield sum 1`,
+		`for { e <- Employees, d <- Departments, e.deptNo = d.id } yield bag (n := e.name, dep := d.deptName)`,
+		`for { o <- Orders, i <- o.items, i > 3 } yield list i`,
+		`for { e <- Employees, b := e.salary * 0.1, b > 9.0 } yield set e.name`,
+		`for { e <- Employees } yield max e.salary`,
+		`for { e <- Employees } yield avg e.salary`,
+		`for { e <- Employees, o <- Orders, e.id = o.eid, i <- o.items } yield sum i`,
+		`for { d <- Departments } yield list (dep := d.deptName,
+		     cnt := for { e <- Employees, e.deptNo = d.id } yield count e)`,
+	}
+	for _, q := range queries {
+		want := evalDirect(t, q, cat)
+		got := runRef(t, q, cat)
+		if !values.Equal(got, want) {
+			t.Fatalf("%s:\nalgebra: %v\ncalculus: %v", q, got, want)
+		}
+	}
+}
+
+func TestJoinPlanMatchesProductSelect(t *testing.T) {
+	cat := testCatalog()
+	// Hand-build the Join form of the HR query and compare with the
+	// Product+Select translation.
+	joinPlan := &Reduce{
+		M:    mustMonoid("sum"),
+		Head: mcl.MustParse("1"),
+		Input: &Select{
+			Pred: mcl.MustParse(`d.deptName = "HR"`),
+			Input: &Join{
+				L:  &Scan{Source: "Employees", Var: "e"},
+				R:  &Scan{Source: "Departments", Var: "d"},
+				On: []EquiPair{{LExpr: mcl.MustParse("e.deptNo"), RExpr: mcl.MustParse("d.id")}},
+			},
+		},
+	}
+	got, err := Reference{}.Run(joinPlan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runRef(t, `for { e <- Employees, d <- Departments,
+	        e.deptNo = d.id, d.deptName = "HR"} yield sum 1`, cat)
+	if !values.Equal(got, want) {
+		t.Fatalf("join plan = %v, product plan = %v", got, want)
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	cat := MapCatalog{
+		"L": &SliceSource{SrcName: "L", Rows: []values.Value{
+			rec("k", values.Null, "v", 1),
+			rec("k", 7, "v", 2),
+		}},
+		"R": &SliceSource{SrcName: "R", Rows: []values.Value{
+			rec("k", values.Null, "w", 10),
+			rec("k", 7, "w", 20),
+		}},
+	}
+	joinPlan := &Reduce{
+		M:    mustMonoid("count"),
+		Head: mcl.MustParse("1"),
+		Input: &Join{
+			L:  &Scan{Source: "L", Var: "l"},
+			R:  &Scan{Source: "R", Var: "r"},
+			On: []EquiPair{{LExpr: mcl.MustParse("l.k"), RExpr: mcl.MustParse("r.k")}},
+		},
+	}
+	got, err := Reference{}.Run(joinPlan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 1 {
+		t.Fatalf("null keys matched: count = %v, want 1", got)
+	}
+}
+
+func TestScanFilterAndFields(t *testing.T) {
+	cat := testCatalog()
+	plan := &Reduce{
+		M:    mustMonoid("count"),
+		Head: mcl.MustParse("1"),
+		Input: &Scan{
+			Source: "Employees", Var: "e",
+			Fields: []string{"salary"},
+			Filter: mcl.MustParse("e.salary > 85"),
+		},
+	}
+	got, err := Reference{}.Run(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 3 {
+		t.Fatalf("filtered scan count = %v, want 3", got)
+	}
+}
+
+func TestUsedSourceFields(t *testing.T) {
+	cat := testCatalog()
+	plan := translate(t, `for { e <- Employees, d <- Departments,
+	        e.deptNo = d.id, e.salary > 50 } yield bag (n := e.name)`, cat)
+	fields, whole := UsedSourceFields(plan, "e")
+	if whole {
+		t.Fatal("e reported as used whole")
+	}
+	want := map[string]bool{"deptNo": true, "salary": true, "name": true}
+	if len(fields) != len(want) {
+		t.Fatalf("fields = %v", fields)
+	}
+	for _, f := range fields {
+		if !want[f] {
+			t.Fatalf("unexpected field %q", f)
+		}
+	}
+	// A query yielding the whole record must report usedWhole.
+	plan2 := translate(t, "for { e <- Employees } yield bag e", cat)
+	if _, whole := UsedSourceFields(plan2, "e"); !whole {
+		t.Fatal("whole-record use not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	cat := testCatalog()
+	plan := translate(t, "for { e <- Employees, e.id > 1 } yield count e", cat)
+	cp := Clone(plan).(*Reduce)
+	// Mutating the clone's scan fields must not affect the original.
+	var findScan func(Plan) *Scan
+	findScan = func(p Plan) *Scan {
+		if s, ok := p.(*Scan); ok {
+			return s
+		}
+		for _, in := range p.Inputs() {
+			if s := findScan(in); s != nil {
+				return s
+			}
+		}
+		return nil
+	}
+	s1, s2 := findScan(plan), findScan(cp)
+	s2.Fields = append(s2.Fields, "tampered")
+	for _, f := range s1.Fields {
+		if f == "tampered" {
+			t.Fatal("Clone shares Fields slice")
+		}
+	}
+}
+
+// TestRandomizedAlgebraEquivalence cross-checks translation+reference
+// execution against direct calculus evaluation on randomized data.
+func TestRandomizedAlgebraEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	queries := []string{
+		"for { x <- Xs, x.a > 2 } yield sum x.b",
+		"for { x <- Xs, y <- Ys, x.a = y.a } yield count x",
+		"for { x <- Xs, y <- Ys, x.a = y.a, x.b > y.b } yield bag (p := x.b, q := y.b)",
+		"for { x <- Xs, v := x.a + x.b, v % 2 = 0 } yield list v",
+		"for { x <- Xs } yield set x.a",
+		"for { x <- Xs, x.a > 0 or x.b > 3 } yield count x",
+	}
+	for trial := 0; trial < 25; trial++ {
+		mk := func(n int) []values.Value {
+			rows := make([]values.Value, n)
+			for i := range rows {
+				rows[i] = rec("a", r.Intn(5), "b", r.Intn(5))
+			}
+			return rows
+		}
+		cat := MapCatalog{
+			"Xs": &SliceSource{SrcName: "Xs", Rows: mk(r.Intn(8))},
+			"Ys": &SliceSource{SrcName: "Ys", Rows: mk(r.Intn(6))},
+		}
+		for _, q := range queries {
+			want := evalDirect(t, q, cat)
+			got := runRef(t, q, cat)
+			if !values.Equal(got, want) {
+				t.Fatalf("%s diverged:\nalgebra: %v\ncalculus: %v", q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package algebra
+
+import (
+	"fmt"
+
+	"vida/internal/mcl"
+	"vida/internal/monoid"
+	"vida/internal/values"
+)
+
+// Executor is implemented by every ViDa execution engine (the reference
+// executor here, the static channel executor and the JIT executor in
+// internal/jit). Run evaluates the plan against the catalog and returns
+// the reduced result.
+type Executor interface {
+	Run(p *Reduce, cat Catalog) (values.Value, error)
+}
+
+// Reference is the materializing reference executor: simple, obviously
+// correct, used to validate the optimized engines. It evaluates each node
+// to a slice of binding environments.
+type Reference struct{}
+
+// Run implements Executor.
+func (Reference) Run(p *Reduce, cat Catalog) (values.Value, error) {
+	base, err := baseEnv(p, cat)
+	if err != nil {
+		return values.Null, err
+	}
+	rows, err := refRows(p.Input, cat, base)
+	if err != nil {
+		return values.Null, err
+	}
+	acc := monoid.NewCollector(p.M)
+	for _, env := range rows {
+		if p.Pred != nil {
+			ok, err := evalPred(p.Pred, env)
+			if err != nil {
+				return values.Null, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		h, err := mcl.Eval(p.Head, env)
+		if err != nil {
+			return values.Null, err
+		}
+		acc.Add(h)
+	}
+	return acc.Result(), nil
+}
+
+// baseEnv materializes every catalog source referenced by the plan's
+// expressions (correlated subqueries name sources directly) into the root
+// environment.
+func baseEnv(p Plan, cat Catalog) (*mcl.Env, error) {
+	needed := map[string]bool{}
+	bound := map[string]bool{}
+	for _, v := range BoundVars(p) {
+		bound[v] = true
+	}
+	collect := func(e mcl.Expr) {
+		if e == nil {
+			return
+		}
+		for _, v := range mcl.FreeVars(e) {
+			if !bound[v] {
+				if _, ok := cat.Source(v); ok {
+					needed[v] = true
+				}
+			}
+		}
+	}
+	var walk func(Plan)
+	walk = func(p Plan) {
+		switch n := p.(type) {
+		case *Scan:
+			collect(n.Filter)
+		case *Generate:
+			collect(n.E)
+		case *Select:
+			collect(n.Pred)
+		case *Join:
+			for _, on := range n.On {
+				collect(on.LExpr)
+				collect(on.RExpr)
+			}
+			collect(n.Residual)
+		case *Bind:
+			collect(n.E)
+		case *Reduce:
+			collect(n.Head)
+			collect(n.Pred)
+		}
+		for _, in := range p.Inputs() {
+			walk(in)
+		}
+	}
+	walk(p)
+	bindings := map[string]values.Value{}
+	for name := range needed {
+		v, err := Materialize(cat, name)
+		if err != nil {
+			return nil, err
+		}
+		bindings[name] = v
+	}
+	return mcl.NewEnv(bindings), nil
+}
+
+// Materialize reads a whole source into a list value.
+func Materialize(cat Catalog, name string) (values.Value, error) {
+	src, ok := cat.Source(name)
+	if !ok {
+		return values.Null, fmt.Errorf("algebra: unknown source %q", name)
+	}
+	var rows []values.Value
+	err := src.Iterate(nil, func(v values.Value) error {
+		rows = append(rows, v)
+		return nil
+	})
+	if err != nil {
+		return values.Null, err
+	}
+	return values.NewList(rows...), nil
+}
+
+func evalPred(pred mcl.Expr, env *mcl.Env) (bool, error) {
+	v, err := mcl.Eval(pred, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Kind() == values.KindBool && v.Bool(), nil
+}
+
+// refRows evaluates a plan node to its binding environments. A nil plan
+// yields the single base binding (the unit row driving qualifier-free
+// comprehensions).
+func refRows(p Plan, cat Catalog, base *mcl.Env) ([]*mcl.Env, error) {
+	if p == nil {
+		return []*mcl.Env{base}, nil
+	}
+	switch n := p.(type) {
+	case *Scan:
+		src, ok := cat.Source(n.Source)
+		if !ok {
+			return nil, fmt.Errorf("algebra: unknown source %q", n.Source)
+		}
+		var out []*mcl.Env
+		err := src.Iterate(n.Fields, func(v values.Value) error {
+			env := base.Bind(n.Var, v)
+			if n.Filter != nil {
+				ok, err := evalPred(n.Filter, env)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			out = append(out, env)
+			return nil
+		})
+		return out, err
+	case *Generate:
+		in, err := refRows(n.Input, cat, base)
+		if err != nil {
+			return nil, err
+		}
+		var out []*mcl.Env
+		for _, env := range in {
+			coll, err := mcl.Eval(n.E, env)
+			if err != nil {
+				return nil, err
+			}
+			if coll.IsNull() {
+				continue
+			}
+			if !coll.IsCollection() && coll.Kind() != values.KindArray {
+				return nil, fmt.Errorf("algebra: generate over %s", coll.Kind())
+			}
+			for _, e := range coll.Elems() {
+				out = append(out, env.Bind(n.Var, e))
+			}
+		}
+		return out, nil
+	case *Select:
+		in, err := refRows(n.Input, cat, base)
+		if err != nil {
+			return nil, err
+		}
+		var out []*mcl.Env
+		for _, env := range in {
+			ok, err := evalPred(n.Pred, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, env)
+			}
+		}
+		return out, nil
+	case *Product:
+		// The right side restarts per left row; evaluate the right stream
+		// against the base env and splice its bindings onto each left env.
+		l, err := refRows(n.L, cat, base)
+		if err != nil {
+			return nil, err
+		}
+		r, err := refRows(n.R, cat, base)
+		if err != nil {
+			return nil, err
+		}
+		rVars := BoundVars(n.R)
+		var out []*mcl.Env
+		for _, le := range l {
+			for _, re := range r {
+				env := le
+				for _, v := range rVars {
+					if val, ok := re.Lookup(v); ok {
+						env = env.Bind(v, val)
+					}
+				}
+				out = append(out, env)
+			}
+		}
+		return out, nil
+	case *Join:
+		return refJoin(n, cat, base)
+	case *Bind:
+		in, err := refRows(n.Input, cat, base)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*mcl.Env, len(in))
+		for i, env := range in {
+			v, err := mcl.Eval(n.E, env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = env.Bind(n.Var, v)
+		}
+		return out, nil
+	case *Reduce:
+		return nil, fmt.Errorf("algebra: nested Reduce plans are not supported")
+	}
+	return nil, fmt.Errorf("algebra: unknown plan node %T", p)
+}
+
+// refJoin is a straightforward hash join over the equi-key expressions.
+func refJoin(n *Join, cat Catalog, base *mcl.Env) ([]*mcl.Env, error) {
+	l, err := refRows(n.L, cat, base)
+	if err != nil {
+		return nil, err
+	}
+	r, err := refRows(n.R, cat, base)
+	if err != nil {
+		return nil, err
+	}
+	rVars := BoundVars(n.R)
+	// Build side: hash the right stream on its key expressions.
+	type bucket struct {
+		keys []values.Value
+		envs []*mcl.Env
+	}
+	table := map[uint64]*bucket{}
+	keyOf := func(env *mcl.Env, exprs []mcl.Expr) (values.Value, error) {
+		parts := make([]values.Value, len(exprs))
+		for i, e := range exprs {
+			v, err := mcl.Eval(e, env)
+			if err != nil {
+				return values.Null, err
+			}
+			parts[i] = v
+		}
+		return values.NewList(parts...), nil
+	}
+	rExprs := make([]mcl.Expr, len(n.On))
+	lExprs := make([]mcl.Expr, len(n.On))
+	for i, on := range n.On {
+		lExprs[i] = on.LExpr
+		rExprs[i] = on.RExpr
+	}
+	// Null keys never join: `a = b` is false when either side is null, so
+	// rows with null key parts are dropped on both sides, matching the
+	// Select-based semantics this operator replaces.
+	hasNull := func(k values.Value) bool {
+		for _, e := range k.Elems() {
+			if e.IsNull() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, re := range r {
+		k, err := keyOf(re, rExprs)
+		if err != nil {
+			return nil, err
+		}
+		if hasNull(k) {
+			continue
+		}
+		h := k.Hash()
+		b := table[h]
+		if b == nil {
+			b = &bucket{}
+			table[h] = b
+		}
+		b.keys = append(b.keys, k)
+		b.envs = append(b.envs, re)
+	}
+	var out []*mcl.Env
+	for _, le := range l {
+		k, err := keyOf(le, lExprs)
+		if err != nil {
+			return nil, err
+		}
+		if hasNull(k) {
+			continue
+		}
+		b := table[k.Hash()]
+		if b == nil {
+			continue
+		}
+		for i, rk := range b.keys {
+			if !values.Equal(k, rk) {
+				continue
+			}
+			env := le
+			for _, v := range rVars {
+				if val, ok := b.envs[i].Lookup(v); ok {
+					env = env.Bind(v, val)
+				}
+			}
+			if n.Residual != nil {
+				ok, err := evalPred(n.Residual, env)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, env)
+		}
+	}
+	return out, nil
+}

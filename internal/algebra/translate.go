@@ -1,0 +1,69 @@
+package algebra
+
+import (
+	"fmt"
+
+	"vida/internal/mcl"
+	"vida/internal/monoid"
+)
+
+// TranslateError reports a calculus form the translator cannot lower.
+type TranslateError struct{ Msg string }
+
+func (e *TranslateError) Error() string { return "algebra: " + e.Msg }
+
+// Translate lowers a normalized comprehension to an algebra plan. The
+// qualifier list maps onto a left-deep chain:
+//
+//	v <- SourceName      → Scan (first) or Product with a Scan
+//	v <- path-or-expr    → Generate (unnesting / computed generator)
+//	v := e               → Bind
+//	predicate            → Select
+//
+// and the yield clause becomes the final Reduce. Nested comprehensions
+// inside predicates or the head remain expressions: executors evaluate
+// them as correlated subplans against the current binding (full
+// decorrelation into nest/outer-join operators is future work, as it is in
+// the paper's prototype).
+//
+// The sources set names the catalog datasets; a generator whose source is
+// a bare variable in sources becomes a Scan, anything else a Generate.
+func Translate(e mcl.Expr, sources map[string]bool) (*Reduce, error) {
+	comp, ok := e.(*mcl.Comprehension)
+	if !ok {
+		// Wrap a bare expression: evaluate it once (a reduce over one
+		// empty binding) under the bag monoid would change its type, so
+		// instead synthesize for { } yield <m> e only for comprehensions.
+		return nil, &TranslateError{Msg: fmt.Sprintf("top level must be a comprehension, got %T", e)}
+	}
+	var plan Plan
+	for _, q := range comp.Qs {
+		switch {
+		case q.IsGenerator():
+			if v, ok := q.Src.(*mcl.VarExpr); ok && sources[v.Name] {
+				scan := &Scan{Source: v.Name, Var: q.Var}
+				if plan == nil {
+					plan = scan
+				} else {
+					plan = &Product{L: plan, R: scan}
+				}
+				continue
+			}
+			plan = &Generate{Input: plan, Var: q.Var, E: q.Src}
+		case q.IsBind():
+			if plan == nil {
+				// A leading bind becomes a one-element generator so the
+				// plan has a driving row.
+				plan = &Generate{Var: q.Var, E: &mcl.SingletonExpr{M: monoid.List, E: q.Src}}
+				continue
+			}
+			plan = &Bind{Input: plan, Var: q.Var, E: q.Src}
+		default:
+			if plan == nil {
+				return nil, &TranslateError{Msg: "filter before any generator"}
+			}
+			plan = &Select{Input: plan, Pred: q.Src}
+		}
+	}
+	return &Reduce{Input: plan, M: comp.M, Head: comp.Head}, nil
+}

@@ -1,0 +1,174 @@
+// Package basequery defines the minimal physical query vocabulary shared
+// by the baseline stores (row store, column store, document store) and the
+// integration layer: column predicates, projections and aggregates. The
+// baselines deliberately do NOT use ViDa's calculus or executors — they
+// are the self-contained comparison systems of the paper's evaluation —
+// so this small neutral vocabulary is their query interface.
+package basequery
+
+import (
+	"fmt"
+
+	"vida/internal/values"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// The comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Pred is one column-vs-constant predicate.
+type Pred struct {
+	Col string
+	Op  Op
+	Val values.Value
+}
+
+// Eval applies the predicate to a column value. Null never matches.
+func (p Pred) Eval(v values.Value) bool {
+	if v.IsNull() || p.Val.IsNull() {
+		return false
+	}
+	c := values.Compare(v, p.Val)
+	switch p.Op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// String renders the predicate.
+func (p Pred) String() string { return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val) }
+
+// MatchRecord applies all predicates to a record row.
+func MatchRecord(row values.Value, preds []Pred) bool {
+	for _, p := range preds {
+		v, _ := row.Get(p.Col)
+		if !p.Eval(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// AggKind is an aggregate function.
+type AggKind uint8
+
+// The aggregates.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// Accumulator folds one aggregate.
+type Accumulator struct {
+	Kind  AggKind
+	count int64
+	sum   float64
+	min   values.Value
+	max   values.Value
+}
+
+// Add feeds one value (nulls are ignored, SQL-style, except COUNT which
+// counts rows).
+func (a *Accumulator) Add(v values.Value) {
+	if a.Kind == AggCount {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch a.Kind {
+	case AggSum, AggAvg:
+		a.sum += v.Float()
+	case AggMin:
+		if a.min.IsNull() || values.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case AggMax:
+		if a.max.IsNull() || values.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+}
+
+// Result returns the final aggregate value.
+func (a *Accumulator) Result() values.Value {
+	switch a.Kind {
+	case AggCount:
+		return values.NewInt(a.count)
+	case AggSum:
+		return values.NewFloat(a.sum)
+	case AggAvg:
+		if a.count == 0 {
+			return values.Null
+		}
+		return values.NewFloat(a.sum / float64(a.count))
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	}
+	return values.Null
+}

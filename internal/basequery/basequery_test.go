@@ -1,0 +1,207 @@
+package basequery
+
+import (
+	"testing"
+
+	"vida/internal/values"
+)
+
+func TestPredEval(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    values.Value
+		want bool
+	}{
+		{Pred{"a", OpEq, values.NewInt(3)}, values.NewInt(3), true},
+		{Pred{"a", OpEq, values.NewInt(3)}, values.NewInt(4), false},
+		{Pred{"a", OpNe, values.NewInt(3)}, values.NewInt(4), true},
+		{Pred{"a", OpLt, values.NewInt(3)}, values.NewInt(2), true},
+		{Pred{"a", OpLe, values.NewInt(3)}, values.NewInt(3), true},
+		{Pred{"a", OpGt, values.NewFloat(1.5)}, values.NewFloat(2.0), true},
+		{Pred{"a", OpGe, values.NewFloat(1.5)}, values.NewFloat(1.5), true},
+		{Pred{"a", OpEq, values.NewString("x")}, values.NewString("x"), true},
+		// Nulls never match, either side.
+		{Pred{"a", OpEq, values.NewInt(3)}, values.Null, false},
+		{Pred{"a", OpNe, values.Null}, values.NewInt(3), false},
+		// Cross-kind numeric comparison.
+		{Pred{"a", OpEq, values.NewFloat(3.0)}, values.NewInt(3), true},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.v); got != c.want {
+			t.Fatalf("%s against %v = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestMatchRecord(t *testing.T) {
+	row := values.NewRecord(
+		values.Field{Name: "a", Val: values.NewInt(5)},
+		values.Field{Name: "b", Val: values.NewString("x")},
+	)
+	if !MatchRecord(row, []Pred{
+		{"a", OpGt, values.NewInt(1)},
+		{"b", OpEq, values.NewString("x")},
+	}) {
+		t.Fatal("conjunction should match")
+	}
+	if MatchRecord(row, []Pred{
+		{"a", OpGt, values.NewInt(1)},
+		{"missing", OpEq, values.NewInt(1)},
+	}) {
+		t.Fatal("missing column should fail the match")
+	}
+}
+
+func TestAccumulators(t *testing.T) {
+	feed := func(kind AggKind, vals ...values.Value) values.Value {
+		a := Accumulator{Kind: kind}
+		for _, v := range vals {
+			a.Add(v)
+		}
+		return a.Result()
+	}
+	if got := feed(AggCount, values.NewInt(1), values.Null, values.NewInt(3)); got.Int() != 3 {
+		t.Fatalf("count = %v", got)
+	}
+	if got := feed(AggSum, values.NewInt(1), values.Null, values.NewInt(3)); got.Float() != 4 {
+		t.Fatalf("sum = %v (nulls must be skipped)", got)
+	}
+	if got := feed(AggAvg, values.NewInt(2), values.NewInt(4)); got.Float() != 3 {
+		t.Fatalf("avg = %v", got)
+	}
+	if got := feed(AggAvg); !got.IsNull() {
+		t.Fatalf("empty avg = %v", got)
+	}
+	if got := feed(AggMin, values.NewInt(5), values.NewInt(2), values.Null); got.Int() != 2 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := feed(AggMax, values.NewInt(5), values.NewInt(9)); got.Int() != 9 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := feed(AggMax); !got.IsNull() {
+		t.Fatalf("empty max = %v", got)
+	}
+}
+
+func sliceScan(rows []values.Value) ScanFn {
+	return func(fields []string, preds []Pred, yield func(values.Value) error) error {
+		for _, r := range rows {
+			if !MatchRecord(r, preds) {
+				continue
+			}
+			if len(fields) > 0 {
+				fs := make([]values.Field, len(fields))
+				for i, f := range fields {
+					v, _ := r.Get(f)
+					fs[i] = values.Field{Name: f, Val: v}
+				}
+				r = values.NewRecord(fs...)
+			}
+			if err := yield(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func rec(pairs ...any) values.Value {
+	var fs []values.Field
+	for i := 0; i < len(pairs); i += 2 {
+		var v values.Value
+		switch x := pairs[i+1].(type) {
+		case int:
+			v = values.NewInt(int64(x))
+		case string:
+			v = values.NewString(x)
+		}
+		fs = append(fs, values.Field{Name: pairs[i].(string), Val: v})
+	}
+	return values.NewRecord(fs...)
+}
+
+func TestExecuteJoinThreeWay(t *testing.T) {
+	a := []values.Value{rec("id", 1, "x", 10), rec("id", 2, "x", 20), rec("id", 3, "x", 30)}
+	b := []values.Value{rec("aid", 1, "y", 100), rec("aid", 2, "y", 200), rec("aid", 2, "y", 201)}
+	c := []values.Value{rec("bid", 100, "z", 7), rec("bid", 200, "z", 8)}
+	q := &JoinQuery{
+		Tables: []TableTerm{{Table: "A"}, {Table: "B"}, {Table: "C"}},
+		Joins: []JoinOn{
+			{LTable: "A", LCol: "id", RTable: "B", RCol: "aid"},
+			{LTable: "B", LCol: "y", RTable: "C", RCol: "bid"},
+		},
+		Agg: &AggSpec{Kind: AggSum, Table: "C", Col: "z"},
+	}
+	scans := map[string]ScanFn{"A": sliceScan(a), "B": sliceScan(b), "C": sliceScan(c)}
+	got, err := ExecuteJoin(q, scans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: (1,100,7) and (2,200,8) → 15.
+	if got.Float() != 15 {
+		t.Fatalf("3-way sum = %v", got)
+	}
+}
+
+func TestExecuteJoinProjectionAliases(t *testing.T) {
+	a := []values.Value{rec("id", 1, "x", 10)}
+	b := []values.Value{rec("aid", 1, "y", 100)}
+	q := &JoinQuery{
+		Tables:  []TableTerm{{Table: "A"}, {Table: "B"}},
+		Joins:   []JoinOn{{LTable: "A", LCol: "id", RTable: "B", RCol: "aid"}},
+		Project: []ProjCol{{Table: "A", Col: "x", As: "ax"}, {Table: "B", Col: "y"}},
+	}
+	got, err := ExecuteJoin(q, map[string]ScanFn{"A": sliceScan(a), "B": sliceScan(b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	row := got.Elems()[0]
+	if row.MustGet("ax").Int() != 10 || row.MustGet("y").Int() != 100 {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestExecuteJoinSingleTableCount(t *testing.T) {
+	a := []values.Value{rec("id", 1), rec("id", 2)}
+	q := &JoinQuery{
+		Tables: []TableTerm{{Table: "A"}},
+		Agg:    &AggSpec{Kind: AggCount, Table: "A", Col: "id"},
+	}
+	got, err := ExecuteJoin(q, map[string]ScanFn{"A": sliceScan(a)})
+	if err != nil || got.Int() != 2 {
+		t.Fatalf("count = %v, %v", got, err)
+	}
+}
+
+func TestExecuteJoinNullKeysDrop(t *testing.T) {
+	a := []values.Value{
+		values.NewRecord(values.Field{Name: "id", Val: values.Null}),
+		rec("id", 1),
+	}
+	b := []values.Value{
+		values.NewRecord(values.Field{Name: "aid", Val: values.Null}),
+		rec("aid", 1),
+	}
+	q := &JoinQuery{
+		Tables: []TableTerm{{Table: "A"}, {Table: "B"}},
+		Joins:  []JoinOn{{LTable: "A", LCol: "id", RTable: "B", RCol: "aid"}},
+		Agg:    &AggSpec{Kind: AggCount},
+	}
+	got, err := ExecuteJoin(q, map[string]ScanFn{"A": sliceScan(a), "B": sliceScan(b)})
+	if err != nil || got.Int() != 1 {
+		t.Fatalf("null-key join count = %v, %v", got, err)
+	}
+}
+
+func TestExecuteJoinErrors(t *testing.T) {
+	if _, err := ExecuteJoin(&JoinQuery{}, nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	q := &JoinQuery{Tables: []TableTerm{{Table: "A"}}}
+	if _, err := ExecuteJoin(q, map[string]ScanFn{}); err == nil {
+		t.Fatal("missing scan accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package basequery
+
+import (
+	"fmt"
+
+	"vida/internal/values"
+)
+
+// TableTerm is one relation term of a join query: local predicates plus
+// the fields the rest of the query needs from it.
+type TableTerm struct {
+	Table  string
+	Preds  []Pred
+	Fields []string
+}
+
+// JoinOn is one equi-join edge between two tables' columns.
+type JoinOn struct {
+	LTable, LCol string
+	RTable, RCol string
+}
+
+// AggSpec is the optional aggregate finishing a query.
+type AggSpec struct {
+	Kind  AggKind
+	Table string // ignored for COUNT(*)
+	Col   string
+}
+
+// JoinQuery is the neutral multi-table query the baseline stores and the
+// integration layer execute: left-deep equi-joins in table order, local
+// predicates pushed to the scans, then either an aggregate or a
+// projection of qualified columns.
+type JoinQuery struct {
+	Tables  []TableTerm
+	Joins   []JoinOn
+	Agg     *AggSpec
+	Project []ProjCol // used when Agg is nil
+}
+
+// ProjCol is one projected column of a join result.
+type ProjCol struct {
+	Table, Col, As string
+}
+
+// ScanFn is a store's native scan entry point.
+type ScanFn func(fields []string, preds []Pred, yield func(values.Value) error) error
+
+// ExecuteJoin runs the query against per-table scan functions, returning
+// the aggregate value or a bag of projected records. Joins are hash
+// joins: each table after the first is built into a hash table on its
+// join column; the first table streams and probes.
+func ExecuteJoin(q *JoinQuery, scans map[string]ScanFn) (values.Value, error) {
+	if len(q.Tables) == 0 {
+		return values.Null, fmt.Errorf("basequery: no tables")
+	}
+	for _, t := range q.Tables {
+		if scans[t.Table] == nil {
+			return values.Null, fmt.Errorf("basequery: no scan for table %q", t.Table)
+		}
+	}
+	// Resolve which fields each table must produce: requested fields,
+	// join columns, aggregate column.
+	need := map[string]map[string]bool{}
+	addField := func(table, col string) {
+		if need[table] == nil {
+			need[table] = map[string]bool{}
+		}
+		need[table][col] = true
+	}
+	for _, t := range q.Tables {
+		for _, f := range t.Fields {
+			addField(t.Table, f)
+		}
+	}
+	for _, j := range q.Joins {
+		addField(j.LTable, j.LCol)
+		addField(j.RTable, j.RCol)
+	}
+	if q.Agg != nil && q.Agg.Col != "" && q.Agg.Table != "" {
+		addField(q.Agg.Table, q.Agg.Col)
+	}
+	for _, p := range q.Project {
+		addField(p.Table, p.Col)
+	}
+	fieldsOf := func(table string) []string {
+		m := need[table]
+		out := make([]string, 0, len(m))
+		for f := range m {
+			out = append(out, f)
+		}
+		return out
+	}
+
+	// Build hash tables for tables[1:].
+	type built struct {
+		term  TableTerm
+		key   string // join col probed against the accumulated side
+		probe struct {
+			table, col string
+		}
+		rows map[uint64][]values.Value
+	}
+	builds := make([]*built, 0, len(q.Tables)-1)
+	for _, term := range q.Tables[1:] {
+		b := &built{term: term, rows: map[uint64][]values.Value{}}
+		// Find the join edge connecting this table to any earlier table.
+		found := false
+		for _, j := range q.Joins {
+			if j.RTable == term.Table {
+				b.key, b.probe.table, b.probe.col = j.RCol, j.LTable, j.LCol
+				found = true
+				break
+			}
+			if j.LTable == term.Table {
+				b.key, b.probe.table, b.probe.col = j.LCol, j.RTable, j.RCol
+				found = true
+				break
+			}
+		}
+		if !found {
+			return values.Null, fmt.Errorf("basequery: table %q has no join edge", term.Table)
+		}
+		err := scans[term.Table](fieldsOf(term.Table), term.Preds, func(row values.Value) error {
+			k, _ := row.Get(b.key)
+			if k.IsNull() {
+				return nil
+			}
+			b.rows[k.Hash()] = append(b.rows[k.Hash()], row)
+			return nil
+		})
+		if err != nil {
+			return values.Null, err
+		}
+		builds = append(builds, b)
+	}
+
+	// Stream the first table, probing each build in turn.
+	var acc *Accumulator
+	if q.Agg != nil {
+		acc = &Accumulator{Kind: q.Agg.Kind}
+	}
+	var out []values.Value
+	driver := q.Tables[0]
+	err := scans[driver.Table](fieldsOf(driver.Table), driver.Preds, func(row values.Value) error {
+		// Current bound rows per table.
+		bound := map[string]values.Value{driver.Table: row}
+		var rec func(i int) error
+		rec = func(i int) error {
+			if i == len(builds) {
+				if acc != nil {
+					if q.Agg.Kind == AggCount {
+						acc.Add(values.Null)
+					} else {
+						v, _ := bound[q.Agg.Table].Get(q.Agg.Col)
+						acc.Add(v)
+					}
+					return nil
+				}
+				fields := make([]values.Field, len(q.Project))
+				for k, p := range q.Project {
+					v, _ := bound[p.Table].Get(p.Col)
+					name := p.As
+					if name == "" {
+						name = p.Col
+					}
+					fields[k] = values.Field{Name: name, Val: v}
+				}
+				out = append(out, values.NewRecord(fields...))
+				return nil
+			}
+			b := builds[i]
+			probeRow, ok := bound[b.probe.table]
+			if !ok {
+				return fmt.Errorf("basequery: probe table %q not bound yet", b.probe.table)
+			}
+			pk, _ := probeRow.Get(b.probe.col)
+			if pk.IsNull() {
+				return nil
+			}
+			for _, cand := range b.rows[pk.Hash()] {
+				ck, _ := cand.Get(b.key)
+				if values.Compare(ck, pk) != 0 {
+					continue
+				}
+				bound[b.term.Table] = cand
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			delete(bound, b.term.Table)
+			return nil
+		}
+		return rec(0)
+	})
+	if err != nil {
+		return values.Null, err
+	}
+	if acc != nil {
+		return acc.Result(), nil
+	}
+	return values.NewBag(out...), nil
+}

@@ -1,0 +1,222 @@
+package bsonlite
+
+import (
+	"math/rand"
+	"testing"
+
+	"vida/internal/values"
+)
+
+func roundTrip(t *testing.T, v values.Value) values.Value {
+	t.Helper()
+	b, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", v, err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal(%v): %v", v, err)
+	}
+	return got
+}
+
+func TestScalarRoundTrips(t *testing.T) {
+	for _, v := range []values.Value{
+		values.Null,
+		values.True,
+		values.False,
+		values.NewInt(-42),
+		values.NewInt(1 << 60),
+		values.NewFloat(3.14159),
+		values.NewString(""),
+		values.NewString("hello\x00world"[0:5] + "world"),
+		values.NewString("unicode: héllo"),
+	} {
+		if got := roundTrip(t, v); !values.Equal(got, v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestIntStaysInt(t *testing.T) {
+	got := roundTrip(t, values.NewInt(7))
+	if got.Kind() != values.KindInt {
+		t.Fatalf("int decoded as %s", got.Kind())
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	v := values.NewRecord(
+		values.Field{Name: "id", Val: values.NewInt(9)},
+		values.Field{Name: "name", Val: values.NewString("ada")},
+		values.Field{Name: "nested", Val: values.NewRecord(
+			values.Field{Name: "x", Val: values.NewFloat(1.5)},
+		)},
+		values.Field{Name: "tags", Val: values.NewList(values.NewString("a"), values.NewString("b"))},
+	)
+	got := roundTrip(t, v)
+	if !values.Equal(got, v) {
+		t.Fatalf("record round trip: %v -> %v", v, got)
+	}
+}
+
+func TestEmptyRecord(t *testing.T) {
+	v := values.NewRecord()
+	got := roundTrip(t, v)
+	if got.Kind() != values.KindRecord || got.Len() != 0 {
+		t.Fatalf("empty record -> %v", got)
+	}
+}
+
+func TestListDecodesAsList(t *testing.T) {
+	v := values.NewList(values.NewInt(1), values.NewInt(2), values.NewInt(3))
+	got := roundTrip(t, v)
+	if got.Kind() != values.KindList || got.Len() != 3 {
+		t.Fatalf("list -> %v", got)
+	}
+}
+
+func TestGetFieldSkipsWithoutDecoding(t *testing.T) {
+	v := values.NewRecord(
+		values.Field{Name: "big", Val: values.NewString(string(make([]byte, 10_000)))},
+		values.Field{Name: "id", Val: values.NewInt(5)},
+		values.Field{Name: "obj", Val: values.NewRecord(values.Field{Name: "k", Val: values.NewInt(1)})},
+	)
+	doc, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := GetField(doc, "id")
+	if err != nil || !ok || got.Int() != 5 {
+		t.Fatalf("GetField(id) = %v, %v, %v", got, ok, err)
+	}
+	got, ok, err = GetField(doc, "obj")
+	if err != nil || !ok {
+		t.Fatalf("GetField(obj) = %v, %v, %v", got, ok, err)
+	}
+	if x, _ := got.Get("k"); x.Int() != 1 {
+		t.Fatalf("nested field wrong: %v", got)
+	}
+	if _, ok, _ = GetField(doc, "missing"); ok {
+		t.Fatal("GetField(missing) should be absent")
+	}
+}
+
+func TestDocSize(t *testing.T) {
+	v := values.NewRecord(values.Field{Name: "a", Val: values.NewInt(1)})
+	doc, _ := Marshal(v)
+	n, err := DocSize(doc)
+	if err != nil || n != len(doc) {
+		t.Fatalf("DocSize = %d, %v; want %d", n, err, len(doc))
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	v := values.NewRecord(
+		values.Field{Name: "a", Val: values.NewInt(1)},
+		values.Field{Name: "s", Val: values.NewString("xyz")},
+	)
+	doc, _ := Marshal(v)
+	// Truncations at every length must error, not panic.
+	for i := 0; i < len(doc); i++ {
+		if _, err := Unmarshal(doc[:i]); err == nil {
+			t.Fatalf("truncation at %d silently accepted", i)
+		}
+	}
+	// Corrupt tag byte.
+	bad := append([]byte{}, doc...)
+	bad[4] = 0x7F
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("corrupt tag accepted")
+	}
+}
+
+func randomValue(r *rand.Rand, depth int) values.Value {
+	k := r.Intn(8)
+	if depth <= 0 && k >= 5 {
+		k = r.Intn(5)
+	}
+	switch k {
+	case 0:
+		return values.Null
+	case 1:
+		return values.NewBool(r.Intn(2) == 0)
+	case 2:
+		return values.NewInt(r.Int63() - (1 << 62))
+	case 3:
+		return values.NewFloat(r.NormFloat64())
+	case 4:
+		b := make([]byte, r.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return values.NewString(string(b))
+	case 5:
+		n := r.Intn(4)
+		fs := make([]values.Field, n)
+		for i := range fs {
+			fs[i] = values.Field{Name: string(rune('a' + i)), Val: randomValue(r, depth-1)}
+		}
+		return values.NewRecord(fs...)
+	default:
+		n := r.Intn(4)
+		es := make([]values.Value, n)
+		for i := range es {
+			es[i] = randomValue(r, depth-1)
+		}
+		return values.NewList(es...)
+	}
+}
+
+// TestRandomRoundTrips property-checks Marshal/Unmarshal over random
+// value trees. Empty lists legitimately decode as empty records (the wire
+// format cannot distinguish them), so they are normalized before compare.
+func TestRandomRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		v := randomValue(r, 3)
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", v, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%v): %v", v, err)
+		}
+		if !equivalent(got, v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+// equivalent treats empty list == empty record, the one admissible loss.
+func equivalent(a, b values.Value) bool {
+	if values.Equal(a, b) {
+		return true
+	}
+	isEmptyContainer := func(v values.Value) bool {
+		return (v.Kind() == values.KindRecord || v.IsCollection()) && v.Len() == 0
+	}
+	if isEmptyContainer(a) && isEmptyContainer(b) {
+		return true
+	}
+	if a.Kind() == values.KindRecord && b.Kind() == values.KindRecord && a.Len() == b.Len() {
+		fa, fb := a.Fields(), b.Fields()
+		for i := range fa {
+			if fa[i].Name != fb[i].Name || !equivalent(fa[i].Val, fb[i].Val) {
+				return false
+			}
+		}
+		return true
+	}
+	if a.IsCollection() && b.IsCollection() && a.Len() == b.Len() {
+		ea, eb := a.Elems(), b.Elems()
+		for i := range ea {
+			if !equivalent(ea[i], eb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

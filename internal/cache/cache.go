@@ -1,0 +1,358 @@
+// Package cache implements ViDa's data caches: previously-accessed raw
+// data kept in memory under query-appropriate layouts (paper §2.1 "ViDa
+// also maintains caches of previously accessed data", §5 "Re-using and
+// re-shaping results"). The same dataset may be cached simultaneously in
+// several layouts — typed columns for analytical scans, parsed objects for
+// hierarchical access, binary JSON for RESTful result serving, and bare
+// byte spans that defer object assembly to projection time (Figure 4).
+//
+// Entries are evicted LRU-wise under a byte budget and invalidated
+// wholesale when the underlying file changes.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vida/internal/values"
+)
+
+// Layout enumerates the cache representations of Figure 4 plus the
+// columnar re-shaping of §5.
+type Layout uint8
+
+// The cache layouts.
+const (
+	LayoutColumns Layout = iota // typed column vectors (tabular re-shape)
+	LayoutRows                  // record values in row order ("C++ object" analogue, Fig 4c)
+	LayoutBSON                  // binary JSON documents (Fig 4b)
+	LayoutSpans                 // (start,end) byte positions into the raw file (Fig 4d)
+)
+
+// String returns the layout name.
+func (l Layout) String() string {
+	switch l {
+	case LayoutColumns:
+		return "columns"
+	case LayoutRows:
+		return "rows"
+	case LayoutBSON:
+		return "bson"
+	case LayoutSpans:
+		return "spans"
+	default:
+		return fmt.Sprintf("layout(%d)", uint8(l))
+	}
+}
+
+// Span is a byte range into a raw file.
+type Span struct{ Start, End int64 }
+
+// Entry is one cached representation of (part of) a dataset.
+type Entry struct {
+	Dataset string
+	Layout  Layout
+	N       int // row/object count
+
+	Cols  map[string][]values.Value // LayoutColumns
+	Rows  []values.Value            // LayoutRows
+	Docs  [][]byte                  // LayoutBSON
+	Spans []Span                    // LayoutSpans
+
+	size int64
+	tick uint64
+	hits int64
+}
+
+// SizeBytes returns the entry's estimated memory footprint.
+func (e *Entry) SizeBytes() int64 { return e.size }
+
+// Hits returns how many lookups this entry served.
+func (e *Entry) Hits() int64 { return e.hits }
+
+// HasColumns reports whether the entry covers all the given fields.
+func (e *Entry) HasColumns(fields []string) bool {
+	if e.Layout != LayoutColumns {
+		return false
+	}
+	for _, f := range fields {
+		if _, ok := e.Cols[f]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats aggregates cache activity for the experiments (E4: cache-hit
+// ratio over the 150-query workload).
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Insertions int64
+	BytesUsed  int64
+	BytesLimit int64
+	Entries    int
+}
+
+// Manager owns all cache entries under one byte budget.
+type Manager struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	tick    uint64
+	entries map[string]*Entry
+	hits    int64
+	misses  int64
+	evicted int64
+	puts    int64
+}
+
+// New creates a Manager with the given byte budget (<=0 means unlimited).
+func New(budgetBytes int64) *Manager {
+	return &Manager{budget: budgetBytes, entries: map[string]*Entry{}}
+}
+
+func key(dataset string, layout Layout) string {
+	return dataset + "\x00" + layout.String()
+}
+
+// EstimateValueBytes approximates the in-memory footprint of a value; it
+// is deliberately cheap rather than exact.
+func EstimateValueBytes(v values.Value) int64 {
+	const base = 56 // tagged struct overhead
+	switch v.Kind() {
+	case values.KindNull, values.KindBool, values.KindInt, values.KindFloat:
+		return base
+	case values.KindString:
+		return base + int64(v.Len())
+	case values.KindRecord:
+		total := int64(base)
+		for _, f := range v.Fields() {
+			total += int64(len(f.Name)) + EstimateValueBytes(f.Val)
+		}
+		return total
+	default:
+		total := int64(base)
+		for _, e := range v.Elems() {
+			total += EstimateValueBytes(e)
+		}
+		return total
+	}
+}
+
+// PutColumns installs (or extends) the columnar entry of a dataset. All
+// column slices must share length n. Existing columns are kept, so the
+// entry accumulates attributes across queries — exactly how ViDa's caches
+// grow with the workload.
+func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Value) error {
+	for name, col := range cols {
+		if len(col) != n {
+			return fmt.Errorf("cache: column %q has %d values, want %d", name, len(col), n)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key(dataset, LayoutColumns)
+	e := m.entries[k]
+	if e != nil && e.N != n {
+		// Shape changed (file grew): replace wholesale.
+		m.removeLocked(k)
+		e = nil
+	}
+	if e == nil {
+		e = &Entry{Dataset: dataset, Layout: LayoutColumns, N: n, Cols: map[string][]values.Value{}}
+		m.entries[k] = e
+		m.puts++
+	}
+	for name, col := range cols {
+		if _, exists := e.Cols[name]; exists {
+			continue
+		}
+		var sz int64
+		for _, v := range col {
+			sz += EstimateValueBytes(v)
+		}
+		e.Cols[name] = col
+		e.size += sz
+		m.used += sz
+	}
+	m.touchLocked(e)
+	m.evictLocked()
+	return nil
+}
+
+// PutRows installs the row-layout entry for a dataset.
+func (m *Manager) PutRows(dataset string, rows []values.Value) {
+	var sz int64
+	for _, r := range rows {
+		sz += EstimateValueBytes(r)
+	}
+	m.put(&Entry{Dataset: dataset, Layout: LayoutRows, N: len(rows), Rows: rows, size: sz})
+}
+
+// PutBSON installs the binary-JSON entry for a dataset.
+func (m *Manager) PutBSON(dataset string, docs [][]byte) {
+	var sz int64
+	for _, d := range docs {
+		sz += int64(len(d))
+	}
+	m.put(&Entry{Dataset: dataset, Layout: LayoutBSON, N: len(docs), Docs: docs, size: sz})
+}
+
+// PutSpans installs the positional entry for a dataset.
+func (m *Manager) PutSpans(dataset string, spans []Span) {
+	m.put(&Entry{Dataset: dataset, Layout: LayoutSpans, N: len(spans), Spans: spans, size: int64(len(spans) * 16)})
+}
+
+func (m *Manager) put(e *Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key(e.Dataset, e.Layout)
+	m.removeLocked(k)
+	m.entries[k] = e
+	m.used += e.size
+	m.puts++
+	m.touchLocked(e)
+	m.evictLocked()
+}
+
+// Get returns the entry of a dataset in a specific layout.
+func (m *Manager) Get(dataset string, layout Layout) (*Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key(dataset, layout)]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	e.hits++
+	m.touchLocked(e)
+	return e, true
+}
+
+// GetColumns returns the columnar entry if it covers all fields.
+func (m *Manager) GetColumns(dataset string, fields []string) (*Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key(dataset, LayoutColumns)]
+	if !ok || !e.HasColumns(fields) {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	e.hits++
+	m.touchLocked(e)
+	return e, true
+}
+
+// Peek is Get without statistics or LRU effects (used by the optimizer's
+// cost model to probe residency without distorting hit rates).
+func (m *Manager) Peek(dataset string, layout Layout) (*Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key(dataset, layout)]
+	return e, ok
+}
+
+// PeekColumns probes columnar coverage without statistics effects.
+func (m *Manager) PeekColumns(dataset string, fields []string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key(dataset, LayoutColumns)]
+	return ok && e.HasColumns(fields)
+}
+
+// Invalidate drops every entry of a dataset (file changed).
+func (m *Manager) Invalidate(dataset string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, e := range m.entries {
+		if e.Dataset == dataset {
+			m.removeLocked(k)
+		}
+	}
+}
+
+// Clear drops everything.
+func (m *Manager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.entries {
+		m.removeLocked(k)
+	}
+}
+
+// Stats returns an activity snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Hits:       m.hits,
+		Misses:     m.misses,
+		Evictions:  m.evicted,
+		Insertions: m.puts,
+		BytesUsed:  m.used,
+		BytesLimit: m.budget,
+		Entries:    len(m.entries),
+	}
+}
+
+// Describe lists the resident entries, for the CLI's \caches command.
+func (m *Manager) Describe() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		e := m.entries[k]
+		fmt.Fprintf(&sb, "%s [%s] n=%d size=%dB hits=%d", e.Dataset, e.Layout, e.N, e.size, e.hits)
+		if e.Layout == LayoutColumns {
+			cols := make([]string, 0, len(e.Cols))
+			for c := range e.Cols {
+				cols = append(cols, c)
+			}
+			sort.Strings(cols)
+			fmt.Fprintf(&sb, " cols=%v", cols)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (m *Manager) touchLocked(e *Entry) {
+	m.tick++
+	e.tick = m.tick
+}
+
+func (m *Manager) removeLocked(k string) {
+	if e, ok := m.entries[k]; ok {
+		m.used -= e.size
+		delete(m.entries, k)
+	}
+}
+
+// evictLocked drops least-recently-used entries until under budget.
+func (m *Manager) evictLocked() {
+	if m.budget <= 0 {
+		return
+	}
+	for m.used > m.budget && len(m.entries) > 0 {
+		var oldestKey string
+		var oldest *Entry
+		for k, e := range m.entries {
+			if oldest == nil || e.tick < oldest.tick {
+				oldest, oldestKey = e, k
+			}
+		}
+		m.removeLocked(oldestKey)
+		m.evicted++
+	}
+}

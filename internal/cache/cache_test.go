@@ -1,0 +1,277 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"vida/internal/bsonlite"
+	"vida/internal/values"
+)
+
+func intCol(n int, f func(int) int64) []values.Value {
+	out := make([]values.Value, n)
+	for i := range out {
+		out[i] = values.NewInt(f(i))
+	}
+	return out
+}
+
+func TestColumnsPutGetAndAccumulate(t *testing.T) {
+	m := New(0)
+	if err := m.PutColumns("p", 3, map[string][]values.Value{
+		"id": intCol(3, func(i int) int64 { return int64(i) }),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.GetColumns("p", []string{"id"}); !ok {
+		t.Fatal("columns miss")
+	}
+	if _, ok := m.GetColumns("p", []string{"id", "age"}); ok {
+		t.Fatal("should miss: age not cached")
+	}
+	// Accumulate a second column; both must now be served.
+	if err := m.PutColumns("p", 3, map[string][]values.Value{
+		"age": intCol(3, func(i int) int64 { return int64(30 + i) }),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.GetColumns("p", []string{"id", "age"})
+	if !ok {
+		t.Fatal("accumulated columns miss")
+	}
+	if len(e.Cols) != 2 {
+		t.Fatalf("cols = %d", len(e.Cols))
+	}
+}
+
+func TestColumnsLengthMismatchRejected(t *testing.T) {
+	m := New(0)
+	err := m.PutColumns("p", 3, map[string][]values.Value{
+		"id": intCol(2, func(i int) int64 { return 0 }),
+	})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestColumnsShapeChangeReplaces(t *testing.T) {
+	m := New(0)
+	_ = m.PutColumns("p", 3, map[string][]values.Value{"id": intCol(3, func(i int) int64 { return 0 })})
+	_ = m.PutColumns("p", 5, map[string][]values.Value{"id": intCol(5, func(i int) int64 { return 0 })})
+	e, ok := m.GetColumns("p", []string{"id"})
+	if !ok || e.N != 5 {
+		t.Fatalf("entry after shape change: %+v, %v", e, ok)
+	}
+}
+
+func TestRowsBSONSpans(t *testing.T) {
+	m := New(0)
+	rows := []values.Value{
+		values.NewRecord(values.Field{Name: "a", Val: values.NewInt(1)}),
+	}
+	m.PutRows("r", rows)
+	if e, ok := m.Get("r", LayoutRows); !ok || e.N != 1 {
+		t.Fatal("rows entry missing")
+	}
+	doc, _ := bsonlite.Marshal(rows[0])
+	m.PutBSON("b", [][]byte{doc})
+	if e, ok := m.Get("b", LayoutBSON); !ok || e.N != 1 {
+		t.Fatal("bson entry missing")
+	}
+	m.PutSpans("s", []Span{{0, 10}, {10, 25}})
+	if e, ok := m.Get("s", LayoutSpans); !ok || e.N != 2 {
+		t.Fatal("spans entry missing")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	m := New(0)
+	_ = m.PutColumns("p", 1, map[string][]values.Value{"id": intCol(1, func(i int) int64 { return 0 })})
+	m.PutSpans("p", []Span{{0, 5}})
+	m.PutSpans("q", []Span{{0, 5}})
+	m.Invalidate("p")
+	if _, ok := m.Peek("p", LayoutColumns); ok {
+		t.Fatal("columns survived invalidation")
+	}
+	if _, ok := m.Peek("p", LayoutSpans); ok {
+		t.Fatal("spans survived invalidation")
+	}
+	if _, ok := m.Peek("q", LayoutSpans); !ok {
+		t.Fatal("unrelated dataset invalidated")
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	m := New(400)
+	m.PutSpans("a", make([]Span, 10)) // 160 bytes
+	m.PutSpans("b", make([]Span, 10))
+	// Touch "a" so "b" is the LRU victim.
+	m.Get("a", LayoutSpans)
+	m.PutSpans("c", make([]Span, 10)) // pushes over 400
+	if _, ok := m.Peek("b", LayoutSpans); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	if _, ok := m.Peek("a", LayoutSpans); !ok {
+		t.Fatal("recently used a evicted")
+	}
+	if m.Stats().Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := New(0)
+	m.PutSpans("a", []Span{{0, 1}})
+	m.Get("a", LayoutSpans)
+	m.Get("nope", LayoutSpans)
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesUsed <= 0 {
+		t.Fatal("bytes used not tracked")
+	}
+}
+
+func TestPeekDoesNotDistortStats(t *testing.T) {
+	m := New(0)
+	m.PutSpans("a", []Span{{0, 1}})
+	m.Peek("a", LayoutSpans)
+	m.PeekColumns("a", []string{"x"})
+	st := m.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("peek distorted stats: %+v", st)
+	}
+}
+
+func TestColumnsSourceIterate(t *testing.T) {
+	m := New(0)
+	_ = m.PutColumns("p", 3, map[string][]values.Value{
+		"id":  intCol(3, func(i int) int64 { return int64(i + 1) }),
+		"age": intCol(3, func(i int) int64 { return int64(30 + i) }),
+	})
+	e, _ := m.GetColumns("p", []string{"id", "age"})
+	src := &ColumnsSource{Entry: e, Dataset: "p"}
+	var rows []values.Value
+	if err := src.Iterate([]string{"age"}, func(v values.Value) error {
+		rows = append(rows, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[2].MustGet("age").Int() != 32 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Unprojected iteration serves all columns.
+	var all []values.Value
+	if err := src.Iterate(nil, func(v values.Value) error {
+		all = append(all, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if all[0].Len() != 2 {
+		t.Fatalf("full row = %v", all[0])
+	}
+	if err := src.Iterate([]string{"zzz"}, func(values.Value) error { return nil }); err == nil {
+		t.Fatal("missing column should error")
+	}
+}
+
+func TestRowsSourceProjection(t *testing.T) {
+	rows := []values.Value{
+		values.NewRecord(
+			values.Field{Name: "a", Val: values.NewInt(1)},
+			values.Field{Name: "b", Val: values.NewString("x")},
+		),
+	}
+	m := New(0)
+	m.PutRows("r", rows)
+	e, _ := m.Get("r", LayoutRows)
+	src := &RowsSource{Entry: e, Dataset: "r"}
+	var out []values.Value
+	if err := src.Iterate([]string{"b"}, func(v values.Value) error {
+		out = append(out, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Len() != 1 || out[0].MustGet("b").Str() != "x" {
+		t.Fatalf("projected = %v", out[0])
+	}
+}
+
+func TestBSONSourceFieldDecode(t *testing.T) {
+	v := values.NewRecord(
+		values.Field{Name: "big", Val: values.NewString(string(make([]byte, 1000)))},
+		values.Field{Name: "id", Val: values.NewInt(9)},
+	)
+	doc, err := bsonlite.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(0)
+	m.PutBSON("d", [][]byte{doc})
+	e, _ := m.Get("d", LayoutBSON)
+	src := &BSONSource{Entry: e, Dataset: "d"}
+	var out []values.Value
+	if err := src.Iterate([]string{"id"}, func(v values.Value) error {
+		out = append(out, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].MustGet("id").Int() != 9 {
+		t.Fatalf("bson projection = %v", out[0])
+	}
+	// Full decode path.
+	var full []values.Value
+	if err := src.Iterate(nil, func(v values.Value) error {
+		full = append(full, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if full[0].Len() != 2 {
+		t.Fatalf("full bson decode = %v", full[0])
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := New(0)
+	_ = m.PutColumns("p", 1, map[string][]values.Value{"id": intCol(1, func(i int) int64 { return 0 })})
+	m.PutSpans("q", []Span{{0, 5}})
+	s := m.Describe()
+	for _, want := range []string{"p [columns]", "q [spans]", "cols=[id]"} {
+		if !contains(s, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || fmt.Sprintf("%s", s) != "" && stringsContains(s, sub))
+}
+
+func stringsContains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEstimateValueBytes(t *testing.T) {
+	small := EstimateValueBytes(values.NewInt(1))
+	big := EstimateValueBytes(values.NewString(string(make([]byte, 10_000))))
+	if big <= small {
+		t.Fatal("size estimate ignores payload")
+	}
+	nested := EstimateValueBytes(values.NewRecord(
+		values.Field{Name: "xs", Val: values.NewList(values.NewInt(1), values.NewInt(2))},
+	))
+	if nested <= small {
+		t.Fatal("nested estimate too small")
+	}
+}

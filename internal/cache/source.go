@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"fmt"
+
+	"vida/internal/bsonlite"
+	"vida/internal/values"
+)
+
+// ColumnsSource adapts a columnar cache entry to algebra.Source: scans
+// assemble records from the column vectors, touching only the projected
+// fields — the cheapest access path in the engine.
+type ColumnsSource struct {
+	Entry   *Entry
+	Dataset string
+}
+
+// Name implements algebra.Source.
+func (s *ColumnsSource) Name() string { return s.Dataset }
+
+// Iterate implements algebra.Source.
+func (s *ColumnsSource) Iterate(fields []string, yield func(values.Value) error) error {
+	e := s.Entry
+	if len(fields) == 0 {
+		// Serve every cached column in deterministic order.
+		for f := range e.Cols {
+			fields = append(fields, f)
+		}
+		sortStrings(fields)
+	}
+	cols := make([][]values.Value, len(fields))
+	for i, f := range fields {
+		col, ok := e.Cols[f]
+		if !ok {
+			return fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
+		}
+		cols[i] = col
+	}
+	for row := 0; row < e.N; row++ {
+		rec := make([]values.Field, len(fields))
+		for i, f := range fields {
+			rec[i] = values.Field{Name: f, Val: cols[i][row]}
+		}
+		if err := yield(values.NewRecord(rec...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IterateSlots is the specialized access path for the JIT executor: slot
+// rows are filled straight from the column vectors.
+func (s *ColumnsSource) IterateSlots(fields []string, yield func([]values.Value) error) error {
+	e := s.Entry
+	if len(fields) == 0 {
+		for f := range e.Cols {
+			fields = append(fields, f)
+		}
+		sortStrings(fields)
+	}
+	cols := make([][]values.Value, len(fields))
+	for i, f := range fields {
+		col, ok := e.Cols[f]
+		if !ok {
+			return fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
+		}
+		cols[i] = col
+	}
+	buf := make([]values.Value, len(fields))
+	for row := 0; row < e.N; row++ {
+		for i := range cols {
+			buf[i] = cols[i][row]
+		}
+		if err := yield(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowsSource adapts a row-layout entry to algebra.Source.
+type RowsSource struct {
+	Entry   *Entry
+	Dataset string
+}
+
+// Name implements algebra.Source.
+func (s *RowsSource) Name() string { return s.Dataset }
+
+// Iterate implements algebra.Source.
+func (s *RowsSource) Iterate(fields []string, yield func(values.Value) error) error {
+	for _, r := range s.Entry.Rows {
+		if len(fields) > 0 {
+			rec := make([]values.Field, len(fields))
+			for i, f := range fields {
+				v, _ := r.Get(f)
+				rec[i] = values.Field{Name: f, Val: v}
+			}
+			r = values.NewRecord(rec...)
+		}
+		if err := yield(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BSONSource adapts a binary-JSON entry to algebra.Source, decoding only
+// the projected fields of each document.
+type BSONSource struct {
+	Entry   *Entry
+	Dataset string
+}
+
+// Name implements algebra.Source.
+func (s *BSONSource) Name() string { return s.Dataset }
+
+// Iterate implements algebra.Source.
+func (s *BSONSource) Iterate(fields []string, yield func(values.Value) error) error {
+	for _, doc := range s.Entry.Docs {
+		var rec values.Value
+		if len(fields) == 0 {
+			v, err := bsonlite.Unmarshal(doc)
+			if err != nil {
+				return err
+			}
+			rec = v
+		} else {
+			fs := make([]values.Field, len(fields))
+			for i, f := range fields {
+				v, _, err := bsonlite.GetField(doc, f)
+				if err != nil {
+					return err
+				}
+				fs[i] = values.Field{Name: f, Val: v}
+			}
+			rec = values.NewRecord(fs...)
+		}
+		if err := yield(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

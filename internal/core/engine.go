@@ -1,0 +1,728 @@
+// Package core implements the ViDa engine: the catalog of raw data
+// sources, the query lifecycle (parse → type-check → normalize →
+// translate → optimize → generate/execute), the cache interposition layer
+// that makes previously-touched fields nearly free, and the live cost
+// model the optimizer consults. This is where the paper's pieces meet:
+// "data analysts build databases just-in-time by launching queries as
+// opposed to building databases to launch queries" (§2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vida/internal/algebra"
+	"vida/internal/cache"
+	"vida/internal/clean"
+	"vida/internal/jit"
+	"vida/internal/mcl"
+	"vida/internal/optimizer"
+	"vida/internal/rawarr"
+	"vida/internal/rawcsv"
+	"vida/internal/rawjson"
+	"vida/internal/rawxls"
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+// ExecMode selects the execution engine.
+type ExecMode uint8
+
+// The execution modes.
+const (
+	ModeJIT ExecMode = iota // generated operators (default)
+	ModeStatic
+	ModeReference
+)
+
+// String returns the mode name.
+func (m ExecMode) String() string {
+	switch m {
+	case ModeJIT:
+		return "jit"
+	case ModeStatic:
+		return "static"
+	case ModeReference:
+		return "reference"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Mode selects the executor (default ModeJIT).
+	Mode ExecMode
+	// CacheBudgetBytes bounds the data caches (<=0: unlimited).
+	CacheBudgetBytes int64
+	// Adaptive enables the sampling re-optimization round (paper §5).
+	Adaptive bool
+	// DisableCaching turns the cache layer off (for experiments).
+	DisableCaching bool
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	Queries           int64
+	QueriesFromCache  int64 // every scan served by the cache layer
+	QueriesTouchedRaw int64
+	RawScans          int64
+	CacheScans        int64
+	Cache             cache.Stats
+	AuxiliaryBytes    int64 // positional maps + semi-indexes
+}
+
+// refresher is implemented by readers that can detect file changes.
+type refresher interface {
+	Refresh() (bool, error)
+	SetInvalidateHook(func())
+}
+
+type sourceEntry struct {
+	desc   *sdg.Description
+	src    algebra.Source
+	csv    *rawcsv.Reader
+	json   *rawjson.Reader
+	arr    *rawarr.Reader
+	xls    *rawxls.Reader
+	isView bool
+}
+
+// Engine is one just-in-time database instance over raw files.
+type Engine struct {
+	mu      sync.RWMutex
+	opts    Options
+	sources map[string]*sourceEntry
+	caches  *cache.Manager
+
+	queries        atomic.Int64
+	cacheQueries   atomic.Int64
+	rawQueries     atomic.Int64
+	rawScans       atomic.Int64
+	cacheScans     atomic.Int64
+	planCacheMu    sync.Mutex
+	planCache      map[string]*algebra.Reduce
+	planCacheLimit int
+}
+
+// NewEngine creates an engine.
+func NewEngine(opts Options) *Engine {
+	return &Engine{
+		opts:           opts,
+		sources:        map[string]*sourceEntry{},
+		caches:         cache.New(opts.CacheBudgetBytes),
+		planCache:      map[string]*algebra.Reduce{},
+		planCacheLimit: 512,
+	}
+}
+
+// Caches exposes the cache manager (CLI, experiments).
+func (e *Engine) Caches() *cache.Manager { return e.caches }
+
+// Mode returns the active executor mode.
+func (e *Engine) Mode() ExecMode { return e.opts.Mode }
+
+// SetMode switches the executor.
+func (e *Engine) SetMode(m ExecMode) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.Mode = m
+}
+
+// Register adds a raw source from its description, opening the
+// format-appropriate reader.
+func (e *Engine) Register(desc *sdg.Description) error {
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	entry := &sourceEntry{desc: desc}
+	switch desc.Format {
+	case sdg.FormatCSV:
+		r, err := rawcsv.Open(desc)
+		if err != nil {
+			return err
+		}
+		entry.csv, entry.src = r, r
+	case sdg.FormatJSON:
+		r, err := rawjson.Open(desc)
+		if err != nil {
+			return err
+		}
+		entry.json, entry.src = r, r
+	case sdg.FormatArray:
+		r, err := rawarr.Open(desc)
+		if err != nil {
+			return err
+		}
+		entry.arr, entry.src = r, r
+	case sdg.FormatXLS:
+		r, err := rawxls.Open(desc)
+		if err != nil {
+			return err
+		}
+		entry.xls, entry.src = r, r
+	default:
+		return fmt.Errorf("core: format %s needs RegisterSource", desc.Format)
+	}
+	name := desc.Name
+	if rf, ok := entry.src.(refresher); ok {
+		rf.SetInvalidateHook(func() { e.caches.Invalidate(name) })
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.sources[name]; dup {
+		return fmt.Errorf("core: source %q already registered", name)
+	}
+	e.sources[name] = entry
+	return nil
+}
+
+// RegisterSource adds an arbitrary source (in-memory data, a baseline
+// store wrapper, ...) with its description.
+func (e *Engine) RegisterSource(desc *sdg.Description, src algebra.Source) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.sources[desc.Name]; dup {
+		return fmt.Errorf("core: source %q already registered", desc.Name)
+	}
+	e.sources[desc.Name] = &sourceEntry{desc: desc, src: src, isView: true}
+	return nil
+}
+
+// cleanedSource decorates a source with a data cleaner (paper §7): every
+// record passes validation/repair before reaching executors and caches.
+type cleanedSource struct {
+	inner   algebra.Source
+	cleaner *clean.Cleaner
+}
+
+// Name implements algebra.Source.
+func (s *cleanedSource) Name() string { return s.inner.Name() }
+
+// Iterate implements algebra.Source. Cleaning needs whole records, so the
+// projection is applied after repair.
+func (s *cleanedSource) Iterate(fields []string, yield func(values.Value) error) error {
+	return s.inner.Iterate(nil, func(v values.Value) error {
+		out, keep := s.cleaner.Apply(v)
+		if !keep {
+			return nil
+		}
+		if len(fields) > 0 {
+			fs := make([]values.Field, len(fields))
+			for i, f := range fields {
+				fv, _ := out.Get(f)
+				fs[i] = values.Field{Name: f, Val: fv}
+			}
+			out = values.NewRecord(fs...)
+		}
+		return yield(out)
+	})
+}
+
+// AttachCleaner installs a data cleaner on a registered source. Caches
+// for the source are invalidated: previously-promoted values may contain
+// uncleaned data.
+func (e *Engine) AttachCleaner(name string, c *clean.Cleaner) error {
+	e.mu.Lock()
+	s, ok := e.sources[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("core: unknown source %q", name)
+	}
+	s.src = &cleanedSource{inner: s.src, cleaner: c}
+	e.mu.Unlock()
+	e.caches.Invalidate(name)
+	e.dropPlans()
+	return nil
+}
+
+// Deregister removes a source and its cached data.
+func (e *Engine) Deregister(name string) {
+	e.mu.Lock()
+	delete(e.sources, name)
+	e.mu.Unlock()
+	e.caches.Invalidate(name)
+	e.dropPlans()
+}
+
+// Sources lists registered source names.
+func (e *Engine) Sources() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.sources))
+	for n := range e.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Description returns the catalog entry of a source (jit.SchemaCatalog).
+func (e *Engine) Description(name string) (*sdg.Description, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.sources[name]
+	if !ok {
+		return nil, false
+	}
+	return s.desc, true
+}
+
+// Refresh re-checks every file-backed source; changed files drop their
+// auxiliary structures and cache entries (paper §2.1).
+func (e *Engine) Refresh() error {
+	e.mu.RLock()
+	entries := make([]*sourceEntry, 0, len(e.sources))
+	for _, s := range e.sources {
+		entries = append(entries, s)
+	}
+	e.mu.RUnlock()
+	changed := false
+	for _, s := range entries {
+		if rf, ok := s.src.(refresher); ok {
+			ch, err := rf.Refresh()
+			if err != nil {
+				return err
+			}
+			changed = changed || ch
+		}
+	}
+	if changed {
+		e.dropPlans()
+	}
+	return nil
+}
+
+func (e *Engine) dropPlans() {
+	e.planCacheMu.Lock()
+	e.planCache = map[string]*algebra.Reduce{}
+	e.planCacheMu.Unlock()
+}
+
+// StatsSnapshot returns engine counters.
+func (e *Engine) StatsSnapshot() Stats {
+	var aux int64
+	e.mu.RLock()
+	for _, s := range e.sources {
+		if s.csv != nil {
+			aux += s.csv.PosMap().MemoryBytes()
+		}
+		if s.json != nil {
+			aux += s.json.SemiIndex().MemoryBytes()
+		}
+	}
+	e.mu.RUnlock()
+	return Stats{
+		Queries:           e.queries.Load(),
+		QueriesFromCache:  e.cacheQueries.Load(),
+		QueriesTouchedRaw: e.rawQueries.Load(),
+		RawScans:          e.rawScans.Load(),
+		CacheScans:        e.cacheScans.Load(),
+		Cache:             e.caches.Stats(),
+		AuxiliaryBytes:    aux,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Catalog with cache interposition
+// ---------------------------------------------------------------------------
+
+// catalog adapts the engine to algebra.Catalog + jit.SchemaCatalog. Scans
+// consult the cache first; raw scans populate it for next time.
+type catalog struct {
+	e *Engine
+}
+
+// Source implements algebra.Catalog.
+func (c catalog) Source(name string) (algebra.Source, bool) {
+	c.e.mu.RLock()
+	s, ok := c.e.sources[name]
+	c.e.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if c.e.opts.DisableCaching || s.isView {
+		return &countingSource{e: c.e, inner: s.src, raw: true}, true
+	}
+	return &cachingSource{e: c.e, entry: s}, true
+}
+
+// Description implements jit.SchemaCatalog.
+func (c catalog) Description(name string) (*sdg.Description, bool) {
+	return c.e.Description(name)
+}
+
+// countingSource tags scans for the statistics (cache vs raw).
+type countingSource struct {
+	e     *Engine
+	inner algebra.Source
+	raw   bool
+}
+
+func (s *countingSource) Name() string { return s.inner.Name() }
+
+func (s *countingSource) Iterate(fields []string, yield func(values.Value) error) error {
+	if s.raw {
+		s.e.rawScans.Add(1)
+	} else {
+		s.e.cacheScans.Add(1)
+	}
+	return s.inner.Iterate(fields, yield)
+}
+
+// cachingSource serves scans from the columnar cache when it covers the
+// requested fields; otherwise it reads raw and promotes the touched
+// fields into the cache (the paper's access-driven cache growth).
+type cachingSource struct {
+	e     *Engine
+	entry *sourceEntry
+}
+
+// Name implements algebra.Source.
+func (s *cachingSource) Name() string { return s.entry.desc.Name }
+
+// Iterate implements algebra.Source.
+func (s *cachingSource) Iterate(fields []string, yield func(values.Value) error) error {
+	name := s.entry.desc.Name
+	if len(fields) > 0 {
+		if entry, ok := s.e.caches.GetColumns(name, fields); ok {
+			s.e.cacheScans.Add(1)
+			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+			return src.Iterate(fields, yield)
+		}
+	} else if entry, ok := s.e.caches.Get(name, cache.LayoutRows); ok {
+		s.e.cacheScans.Add(1)
+		src := &cache.RowsSource{Entry: entry, Dataset: name}
+		return src.Iterate(fields, yield)
+	}
+	// Raw access; harvest the stream into the cache.
+	s.e.rawScans.Add(1)
+	if len(fields) > 0 {
+		cols := make(map[string][]values.Value, len(fields))
+		for _, f := range fields {
+			cols[f] = nil
+		}
+		n := 0
+		err := s.entry.src.Iterate(fields, func(v values.Value) error {
+			for _, f := range fields {
+				fv, _ := v.Get(f)
+				cols[f] = append(cols[f], fv)
+			}
+			n++
+			return yield(v)
+		})
+		if err != nil {
+			return err
+		}
+		return s.e.caches.PutColumns(name, n, cols)
+	}
+	var rows []values.Value
+	err := s.entry.src.Iterate(nil, func(v values.Value) error {
+		rows = append(rows, v)
+		return yield(v)
+	})
+	if err != nil {
+		return err
+	}
+	s.e.caches.PutRows(name, rows)
+	return nil
+}
+
+// IterateSlots lets the JIT fast path run against the cache (or the raw
+// reader's own slot path) while preserving the harvest-into-cache
+// behaviour.
+func (s *cachingSource) IterateSlots(fields []string, yield func([]values.Value) error) error {
+	name := s.entry.desc.Name
+	if len(fields) > 0 {
+		if entry, ok := s.e.caches.GetColumns(name, fields); ok {
+			s.e.cacheScans.Add(1)
+			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+			return src.IterateSlots(fields, yield)
+		}
+		// Raw slot scan with harvesting.
+		if ss, ok := s.entry.src.(jit.SlotSource); ok {
+			s.e.rawScans.Add(1)
+			cols := make(map[string][]values.Value, len(fields))
+			n := 0
+			err := ss.IterateSlots(fields, func(row []values.Value) error {
+				for i, f := range fields {
+					cols[f] = append(cols[f], row[i])
+				}
+				n++
+				return yield(row)
+			})
+			if err != nil {
+				return err
+			}
+			return s.e.caches.PutColumns(name, n, cols)
+		}
+	}
+	// Fall back to the record path, exploding into slots.
+	buf := make([]values.Value, len(fields))
+	return s.Iterate(fields, func(v values.Value) error {
+		for i, f := range fields {
+			fv, _ := v.Get(f)
+			buf[i] = fv
+		}
+		return yield(buf)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Live cost model
+// ---------------------------------------------------------------------------
+
+// liveCostModel consults reader state: cache residency, positional-map and
+// semi-index coverage (paper §5: the wrapper "takes into account any
+// auxiliary structures present, and normalizes access costs").
+type liveCostModel struct {
+	e *Engine
+}
+
+// SourceRows implements optimizer.CostModel.
+func (m liveCostModel) SourceRows(name string) int64 {
+	m.e.mu.RLock()
+	s, ok := m.e.sources[name]
+	m.e.mu.RUnlock()
+	if !ok {
+		return 1000
+	}
+	switch {
+	case s.csv != nil:
+		if s.csv.PosMap().HasRows() {
+			return int64(s.csv.PosMap().NumRows())
+		}
+		// Estimate from file size: ~64 bytes per row.
+		return s.csv.SizeBytes()/64 + 1
+	case s.json != nil:
+		if s.json.SemiIndex().HasObjects() {
+			return int64(s.json.SemiIndex().NumObjects())
+		}
+		return s.json.SizeBytes()/256 + 1
+	case s.arr != nil:
+		hdr := s.arr.Header()
+		return int64(hdr.Cells())
+	case s.xls != nil:
+		return int64(s.xls.NumRows())
+	default:
+		return 1000
+	}
+}
+
+// PerTupleCost implements optimizer.CostModel.
+func (m liveCostModel) PerTupleCost(name string, fields []string) float64 {
+	nf := len(fields)
+	if nf == 0 {
+		nf = 4 // whole-record scans: assume a handful of attributes
+	}
+	if !m.e.opts.DisableCaching && len(fields) > 0 && m.e.caches.PeekColumns(name, fields) {
+		return optimizer.CostCache * float64(nf)
+	}
+	m.e.mu.RLock()
+	s, ok := m.e.sources[name]
+	m.e.mu.RUnlock()
+	if !ok {
+		return float64(nf)
+	}
+	switch {
+	case s.csv != nil:
+		per := optimizer.CostCSVCold
+		if s.csv.PosMap().HasRows() {
+			covered := true
+			rt := s.desc.RowType()
+			for _, f := range fields {
+				idx := -1
+				for i, a := range rt.Attrs {
+					if a.Name == f {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 || !s.csv.PosMap().HasCol(idx) {
+					covered = false
+					break
+				}
+			}
+			if covered && len(fields) > 0 {
+				per = optimizer.CostCSVMapped
+			}
+		}
+		return per * float64(nf)
+	case s.json != nil:
+		per := optimizer.CostJSONCold
+		if s.json.SemiIndex().HasObjects() && len(fields) > 0 {
+			covered := true
+			for _, f := range fields {
+				if !s.json.SemiIndex().HasField(f) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				per = optimizer.CostJSONMapped
+			}
+		}
+		return per * float64(nf)
+	case s.arr != nil:
+		return optimizer.CostArray * float64(nf)
+	case s.xls != nil:
+		return optimizer.CostXLS * float64(nf)
+	default:
+		return optimizer.CostTable * float64(nf)
+	}
+}
+
+// CheapestField implements optimizer.CostModel.
+func (m liveCostModel) CheapestField(name string) (string, bool) {
+	m.e.mu.RLock()
+	s, ok := m.e.sources[name]
+	m.e.mu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	rt := s.desc.RowType()
+	if rt.Kind == sdg.TRecord && len(rt.Attrs) > 0 {
+		return rt.Attrs[0].Name, true
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------------
+// Query lifecycle
+// ---------------------------------------------------------------------------
+
+// Prepared is a compiled query ready for (repeated) execution.
+type Prepared struct {
+	engine *Engine
+	plan   *algebra.Reduce
+	Type   *sdg.Type
+}
+
+// Prepare runs the full frontend: parse, type-check, normalize, translate
+// and optimize.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	e.planCacheMu.Lock()
+	cached := e.planCache[src]
+	e.planCacheMu.Unlock()
+	if cached != nil {
+		return &Prepared{engine: e, plan: cached}, nil
+	}
+	expr, err := mcl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := e.typeCheck(expr)
+	if err != nil {
+		return nil, err
+	}
+	norm := mcl.Normalize(expr)
+	sources := map[string]bool{}
+	e.mu.RLock()
+	for n := range e.sources {
+		sources[n] = true
+	}
+	e.mu.RUnlock()
+	plan, err := algebra.Translate(norm, sources)
+	if err != nil {
+		return nil, err
+	}
+	cm := liveCostModel{e: e}
+	var opt *algebra.Reduce
+	if e.opts.Adaptive {
+		opt, err = optimizer.AdaptiveOptimize(plan, catalog{e: e}, cm)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		opt = optimizer.Optimize(plan, cm)
+	}
+	e.planCacheMu.Lock()
+	if len(e.planCache) < e.planCacheLimit {
+		e.planCache[src] = opt
+	}
+	e.planCacheMu.Unlock()
+	return &Prepared{engine: e, plan: opt, Type: typ}, nil
+}
+
+func (e *Engine) typeCheck(expr mcl.Expr) (*sdg.Type, error) {
+	envMap := map[string]*sdg.Type{}
+	e.mu.RLock()
+	for n, s := range e.sources {
+		if s.desc.Schema == nil {
+			envMap[n] = sdg.Unknown
+			continue
+		}
+		// Sources type as bags of what their scans actually yield
+		// (array sources include dimension attributes).
+		envMap[n] = sdg.Bag(s.desc.IterationType())
+	}
+	e.mu.RUnlock()
+	return mcl.Check(expr, mcl.NewTypeEnv(envMap))
+}
+
+// Run executes the prepared plan.
+func (p *Prepared) Run() (values.Value, error) {
+	e := p.engine
+	e.queries.Add(1)
+	rawBefore := e.rawScans.Load()
+	var ex algebra.Executor
+	switch e.opts.Mode {
+	case ModeStatic:
+		ex = jit.StaticExecutor{}
+	case ModeReference:
+		ex = algebra.Reference{}
+	default:
+		ex = jit.Executor{}
+	}
+	v, err := ex.Run(p.plan, catalog{e: e})
+	if err != nil {
+		return values.Null, err
+	}
+	if e.rawScans.Load() == rawBefore {
+		e.cacheQueries.Add(1)
+	} else {
+		e.rawQueries.Add(1)
+	}
+	return v, nil
+}
+
+// Plan returns the optimized plan (EXPLAIN).
+func (p *Prepared) Plan() *algebra.Reduce { return p.plan }
+
+// Query parses, plans and executes in one call.
+func (e *Engine) Query(src string) (values.Value, error) {
+	p, err := e.Prepare(src)
+	if err != nil {
+		return values.Null, err
+	}
+	return p.Run()
+}
+
+// Explain returns the optimized plan rendering.
+func (e *Engine) Explain(src string) (string, error) {
+	p, err := e.Prepare(src)
+	if err != nil {
+		return "", err
+	}
+	return algebra.Format(p.plan), nil
+}
+
+// DescribeCatalog renders the catalog for the CLI.
+func (e *Engine) DescribeCatalog() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.sources))
+	for n := range e.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		sb.WriteString(e.sources[n].desc.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+func writeFiles(t *testing.T) (csvPath, jsonPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	csvPath = filepath.Join(dir, "patients.csv")
+	csv := "id,age,city,score\n"
+	for i := 0; i < 50; i++ {
+		csv += fmt.Sprintf("%d,%d,c%d,%g\n", i, 20+i%50, i%5, float64(i)/2)
+	}
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath = filepath.Join(dir, "regions.json")
+	jsonData := "["
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			jsonData += ","
+		}
+		jsonData += fmt.Sprintf(`{"id": %d, "volume": %g, "meta": {"algo": "a%d"}}`, i%10, float64(i)*1.5, i)
+	}
+	jsonData += "]"
+	if err := os.WriteFile(jsonPath, []byte(jsonData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return csvPath, jsonPath
+}
+
+func newEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	csvPath, jsonPath := writeFiles(t)
+	e := NewEngine(opts)
+	schema := sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "age", Type: sdg.Int},
+		sdg.Attr{Name: "city", Type: sdg.String},
+		sdg.Attr{Name: "score", Type: sdg.Float},
+	))
+	if err := e.Register(sdg.DefaultDescription("Patients", sdg.FormatCSV, csvPath, schema)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(sdg.DefaultDescription("Regions", sdg.FormatJSON, jsonPath, sdg.Bag(sdg.Unknown))); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQueryOverCSV(t *testing.T) {
+	e := newEngine(t, Options{})
+	got, err := e.Query(`for { p <- Patients, p.age > 40 } yield count p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Query(`for { p <- Patients, p.age > 40 } yield sum 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !values.Equal(got, want) || got.Int() == 0 {
+		t.Fatalf("count = %v, sum1 = %v", got, want)
+	}
+}
+
+func TestQueryJoinCSVWithJSON(t *testing.T) {
+	e := newEngine(t, Options{})
+	got, err := e.Query(`for { p <- Patients, r <- Regions, p.id = r.id, p.age > 21 }
+	                     yield bag (city := p.city, vol := r.volume)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != values.KindBag || got.Len() == 0 {
+		t.Fatalf("join result = %v", got)
+	}
+}
+
+func TestModesAgree(t *testing.T) {
+	queries := []string{
+		`for { p <- Patients, p.age > 30 } yield sum p.score`,
+		`for { p <- Patients, r <- Regions, p.id = r.id } yield count 1`,
+		`for { r <- Regions } yield max r.volume`,
+		`for { p <- Patients, p.city = "c1" } yield set p.age`,
+	}
+	for _, q := range queries {
+		var results []values.Value
+		for _, mode := range []ExecMode{ModeJIT, ModeStatic, ModeReference} {
+			e := newEngine(t, Options{Mode: mode})
+			v, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("%s on %q: %v", mode, q, err)
+			}
+			results = append(results, v)
+		}
+		if !values.Equal(results[0], results[1]) || !values.Equal(results[0], results[2]) {
+			t.Fatalf("modes disagree on %q: jit=%v static=%v ref=%v", q, results[0], results[1], results[2])
+		}
+	}
+}
+
+func TestCachePromotionAndHit(t *testing.T) {
+	e := newEngine(t, Options{})
+	q := `for { p <- Patients, p.age > 30 } yield sum p.score`
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	s1 := e.StatsSnapshot()
+	if s1.QueriesTouchedRaw != 1 {
+		t.Fatalf("first query should touch raw: %+v", s1)
+	}
+	// Same fields again: served from cache.
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.StatsSnapshot()
+	if s2.QueriesFromCache != 1 {
+		t.Fatalf("second query should be cache-served: %+v", s2)
+	}
+	if s2.RawScans != s1.RawScans {
+		t.Fatalf("raw scans grew on cached query: %+v vs %+v", s2, s1)
+	}
+	// A different field forces a raw re-scan, then caches too.
+	if _, err := e.Query(`for { p <- Patients } yield max p.id`); err != nil {
+		t.Fatal(err)
+	}
+	s3 := e.StatsSnapshot()
+	if s3.QueriesTouchedRaw != 2 {
+		t.Fatalf("new-field query should touch raw: %+v", s3)
+	}
+}
+
+func TestDisableCaching(t *testing.T) {
+	e := newEngine(t, Options{DisableCaching: true})
+	q := `for { p <- Patients } yield sum p.score`
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.StatsSnapshot()
+	if s.QueriesFromCache != 0 {
+		t.Fatalf("caching disabled but queries served from cache: %+v", s)
+	}
+	if s.RawScans != 3 {
+		t.Fatalf("raw scans = %d, want 3", s.RawScans)
+	}
+}
+
+func TestResultsIdenticalWithAndWithoutCache(t *testing.T) {
+	q := `for { p <- Patients, p.age > 30 } yield bag (c := p.city, s := p.score)`
+	e1 := newEngine(t, Options{})
+	e2 := newEngine(t, Options{DisableCaching: true})
+	// Warm e1's cache, then compare a second run against uncached e2.
+	if _, err := e1.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := e1.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !values.Equal(v1, v2) {
+		t.Fatalf("cache changed results:\ncached:  %v\nuncached: %v", v1, v2)
+	}
+}
+
+func TestFileChangeInvalidatesCaches(t *testing.T) {
+	csvPath, _ := writeFiles(t)
+	e := NewEngine(Options{})
+	schema := sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "age", Type: sdg.Int},
+		sdg.Attr{Name: "city", Type: sdg.String},
+		sdg.Attr{Name: "score", Type: sdg.Float},
+	))
+	if err := e.Register(sdg.DefaultDescription("P", sdg.FormatCSV, csvPath, schema)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := e.Query(`for { p <- P } yield count 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a row and bump mtime.
+	f, err := os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("999,30,cx,1.0\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	fi, _ := os.Stat(csvPath)
+	bump := fi.ModTime().Add(2 * time.Second)
+	if err := os.Chtimes(csvPath, bump, bump); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Query(`for { p <- P } yield count 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Int() != before.Int()+1 {
+		t.Fatalf("after refresh count = %v, want %v", after, before.Int()+1)
+	}
+}
+
+func TestTypeErrorsSurface(t *testing.T) {
+	e := newEngine(t, Options{})
+	if _, err := e.Query(`for { p <- Patients } yield sum p.nosuch`); err == nil {
+		t.Fatal("unknown attribute should fail type checking")
+	}
+	if _, err := e.Query(`for { p <- NoSuchSource } yield count 1`); err == nil {
+		t.Fatal("unknown source should fail")
+	}
+	if _, err := e.Query(`for { p <- `); err == nil {
+		t.Fatal("syntax error should fail")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := newEngine(t, Options{})
+	s, err := e.Explain(`for { p <- Patients, r <- Regions, p.id = r.id, p.age > 30 } yield count 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Reduce[count]", "Join", "Scan(Patients"} {
+		if !containsStr(s, want) {
+			t.Fatalf("explain missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAdaptiveMode(t *testing.T) {
+	e := newEngine(t, Options{Adaptive: true})
+	got, err := e.Query(`for { p <- Patients, r <- Regions, p.id = r.id, p.age > 21 } yield count 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine(t, Options{})
+	want, err := e2.Query(`for { p <- Patients, r <- Regions, p.id = r.id, p.age > 21 } yield count 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !values.Equal(got, want) {
+		t.Fatalf("adaptive diverged: %v vs %v", got, want)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	e := newEngine(t, Options{})
+	schema := sdg.Bag(sdg.Record(sdg.Attr{Name: "a", Type: sdg.Int}))
+	if err := e.Register(sdg.DefaultDescription("Patients", sdg.FormatCSV, "/nope.csv", schema)); err == nil {
+		t.Fatal("duplicate/missing registration should fail")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	e := newEngine(t, Options{})
+	if _, err := e.Query(`for { p <- Patients } yield count 1`); err != nil {
+		t.Fatal(err)
+	}
+	e.Deregister("Patients")
+	if _, err := e.Query(`for { p <- Patients } yield count 1`); err == nil {
+		t.Fatal("query after deregister should fail")
+	}
+}
+
+func TestAuxiliaryBytesReported(t *testing.T) {
+	e := newEngine(t, Options{})
+	if _, err := e.Query(`for { p <- Patients } yield sum p.score`); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.StatsSnapshot(); s.AuxiliaryBytes == 0 {
+		t.Fatalf("auxiliary structures not accounted: %+v", s)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConcurrentQueries exercises the engine from many goroutines: the
+// caches, positional maps and plan cache are shared mutable state and
+// must stay consistent (run under -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	e := newEngine(t, Options{})
+	queries := []string{
+		`for { p <- Patients, p.age > 30 } yield sum p.score`,
+		`for { p <- Patients, r <- Regions, p.id = r.id } yield count 1`,
+		`for { r <- Regions } yield max r.volume`,
+		`for { p <- Patients } yield set p.city`,
+	}
+	// Sequential ground truth.
+	want := make([]values.Value, len(queries))
+	for i, q := range queries {
+		v, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qi := (g + i) % len(queries)
+				v, err := e.Query(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !values.Equal(v, want[qi]) {
+					errs <- fmt.Errorf("goroutine %d: query %d diverged: %v vs %v", g, qi, v, want[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package etl implements the warehouse preparation pipeline the paper's
+// baselines must pay for (Figure 5's "Flattening" and "Loading" bars):
+// flattening hierarchical JSON into relational rows — which multiplies
+// rows for nested arrays, the redundancy the paper calls out — and bulk
+// loading into the row/column stores.
+package etl
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vida/internal/sdg"
+	"vida/internal/storagecol"
+	"vida/internal/storagerow"
+	"vida/internal/values"
+)
+
+// FlattenReport summarizes one flattening run.
+type FlattenReport struct {
+	InputObjects int
+	OutputRows   int
+	InputBytes   int64
+	OutputBytes  int64
+	Columns      []string
+}
+
+// RedundancyFactor is output rows per input object (>1 when arrays
+// exploded).
+func (r *FlattenReport) RedundancyFactor() float64 {
+	if r.InputObjects == 0 {
+		return 0
+	}
+	return float64(r.OutputRows) / float64(r.InputObjects)
+}
+
+// Options configures flattening.
+type Options struct {
+	// SkipArrays projects away list-valued fields instead of exploding
+	// them into rows. Full explosion is the faithful (and redundant)
+	// relational encoding; skipping is the pragmatic schema choice that
+	// keeps warehouse query results multiplicity-compatible with the
+	// hierarchical original (used for the Figure 5 warehouse runs; see
+	// EXPERIMENTS.md).
+	SkipArrays bool
+}
+
+// FlattenObject turns one hierarchical record into flat rows: nested
+// record fields become dotted columns, and each list explodes into one
+// row per element (lists multiply — the relational encoding of a
+// hierarchy is redundant).
+func FlattenObject(v values.Value) []map[string]values.Value {
+	return FlattenObjectWith(v, Options{})
+}
+
+// FlattenObjectWith is FlattenObject with explicit options.
+func FlattenObjectWith(v values.Value, opts Options) []map[string]values.Value {
+	rows := []map[string]values.Value{{}}
+	flattenInto("", v, &rows, opts)
+	return rows
+}
+
+func flattenInto(prefix string, v values.Value, rows *[]map[string]values.Value, opts Options) {
+	switch v.Kind() {
+	case values.KindRecord:
+		for _, f := range v.Fields() {
+			key := f.Name
+			if prefix != "" {
+				key = prefix + "." + f.Name
+			}
+			flattenInto(key, f.Val, rows, opts)
+		}
+	case values.KindList, values.KindBag, values.KindSet, values.KindArray:
+		if opts.SkipArrays {
+			return
+		}
+		elems := v.Elems()
+		if len(elems) == 0 {
+			return
+		}
+		// Cross-product: every current row is replicated per element.
+		var out []map[string]values.Value
+		for _, row := range *rows {
+			for i, e := range elems {
+				cp := make(map[string]values.Value, len(row)+1)
+				for k, val := range row {
+					cp[k] = val
+				}
+				sub := []map[string]values.Value{cp}
+				key := prefix
+				if key == "" {
+					key = fmt.Sprintf("elem%d", i)
+				}
+				flattenInto(key, e, &sub, opts)
+				out = append(out, sub...)
+			}
+		}
+		*rows = out
+	default:
+		for _, row := range *rows {
+			row[prefix] = v
+		}
+	}
+}
+
+// Flatten streams objects from iterate, writes the flattened relation as
+// CSV to outPath (header included, union schema across all objects) and
+// returns the report. Values render in CSV-compatible text; strings with
+// separators are not quoted (the workload generator avoids them), matching
+// the simple tokenizer in rawcsv.
+func Flatten(iterate func(yield func(values.Value) error) error, inputBytes int64, outPath string) (*FlattenReport, error) {
+	return FlattenWith(iterate, inputBytes, outPath, Options{})
+}
+
+// FlattenWith is Flatten with explicit options.
+func FlattenWith(iterate func(yield func(values.Value) error) error, inputBytes int64, outPath string, opts Options) (*FlattenReport, error) {
+	var flat []map[string]values.Value
+	colSet := map[string]bool{}
+	objects := 0
+	err := iterate(func(v values.Value) error {
+		objects++
+		rows := FlattenObjectWith(v, opts)
+		for _, r := range rows {
+			for k := range r {
+				colSet[k] = true
+			}
+		}
+		flat = append(flat, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, 0, len(colSet))
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sb strings.Builder
+	sb.WriteString(strings.Join(cols, ","))
+	sb.WriteByte('\n')
+	var written int64
+	flush := func() error {
+		n, err := f.WriteString(sb.String())
+		written += int64(n)
+		sb.Reset()
+		return err
+	}
+	for _, row := range flat {
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if v, ok := row[c]; ok && !v.IsNull() {
+				sb.WriteString(renderCSV(v))
+			}
+		}
+		sb.WriteByte('\n')
+		if sb.Len() > 1<<20 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return &FlattenReport{
+		InputObjects: objects,
+		OutputRows:   len(flat),
+		InputBytes:   inputBytes,
+		OutputBytes:  written,
+		Columns:      cols,
+	}, nil
+}
+
+func renderCSV(v values.Value) string {
+	switch v.Kind() {
+	case values.KindString:
+		return v.Str()
+	case values.KindBool:
+		if v.Bool() {
+			return "true"
+		}
+		return "false"
+	default:
+		return strings.TrimSuffix(strings.TrimPrefix(v.String(), "\""), "\"")
+	}
+}
+
+// LoadReport summarizes a bulk load.
+type LoadReport struct {
+	Rows       int
+	Partitions int // row store vertical partitions
+	Bytes      int64
+}
+
+// LoadIntoRowStore bulk-inserts a record stream into a new row-store
+// table (vertical partitioning applies automatically above the column
+// limit).
+func LoadIntoRowStore(store *storagerow.Store, table string, attrs []sdg.Attr,
+	iterate func(yield func(values.Value) error) error) (*LoadReport, error) {
+	t, err := store.CreateTable(table, attrs)
+	if err != nil {
+		return nil, err
+	}
+	err = iterate(func(v values.Value) error { return t.InsertRecord(v) })
+	if err != nil {
+		return nil, err
+	}
+	if err := t.FinishLoad(); err != nil {
+		return nil, err
+	}
+	return &LoadReport{Rows: t.NumRows(), Partitions: t.Partitions(), Bytes: t.SizeBytes()}, nil
+}
+
+// LoadIntoColStore bulk-inserts a record stream into a new column-store
+// table, persisting columns at the end.
+func LoadIntoColStore(store *storagecol.Store, dir, table string, attrs []sdg.Attr,
+	iterate func(yield func(values.Value) error) error) (*LoadReport, error) {
+	t, err := store.CreateTable(table, attrs)
+	if err != nil {
+		return nil, err
+	}
+	err = iterate(func(v values.Value) error { return t.InsertRecord(v) })
+	if err != nil {
+		return nil, err
+	}
+	if err := t.FinishLoad(dir); err != nil {
+		return nil, err
+	}
+	return &LoadReport{Rows: t.NumRows(), Partitions: 1, Bytes: t.MemBytes()}, nil
+}
+
+// AttrsFromColumns derives a relational schema for flattened columns:
+// names as-is, all typed by sniffing the given sample rows (int < float <
+// string; bool recognized exactly).
+func AttrsFromColumns(cols []string, sample []map[string]values.Value) []sdg.Attr {
+	attrs := make([]sdg.Attr, len(cols))
+	for i, c := range cols {
+		t := sdg.Unknown
+		for _, row := range sample {
+			v, ok := row[c]
+			if !ok || v.IsNull() {
+				continue
+			}
+			t = widen(t, typeOf(v))
+		}
+		if t == sdg.Unknown {
+			t = sdg.String
+		}
+		attrs[i] = sdg.Attr{Name: c, Type: t}
+	}
+	return attrs
+}
+
+func typeOf(v values.Value) *sdg.Type {
+	switch v.Kind() {
+	case values.KindInt:
+		return sdg.Int
+	case values.KindFloat:
+		return sdg.Float
+	case values.KindBool:
+		return sdg.Bool
+	default:
+		return sdg.String
+	}
+}
+
+func widen(a, b *sdg.Type) *sdg.Type {
+	if a == sdg.Unknown {
+		return b
+	}
+	if a == b {
+		return a
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		return sdg.Float
+	}
+	return sdg.String
+}

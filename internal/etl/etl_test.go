@@ -1,0 +1,177 @@
+package etl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vida/internal/basequery"
+	"vida/internal/sdg"
+	"vida/internal/storagecol"
+	"vida/internal/storagerow"
+	"vida/internal/values"
+)
+
+func rec(fields ...values.Field) values.Value { return values.NewRecord(fields...) }
+func f(n string, v values.Value) values.Field { return values.Field{Name: n, Val: v} }
+
+func TestFlattenObjectNested(t *testing.T) {
+	v := rec(
+		f("id", values.NewInt(1)),
+		f("geo", rec(f("x", values.NewFloat(1.5)), f("y", values.NewFloat(2.5)))),
+	)
+	rows := FlattenObject(v)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0]["geo.x"].Float() != 1.5 || rows[0]["id"].Int() != 1 {
+		t.Fatalf("row = %v", rows[0])
+	}
+}
+
+func TestFlattenObjectArrayExplodes(t *testing.T) {
+	// One object with a 3-element array flattens to 3 rows: the
+	// redundancy the paper attributes to flattening.
+	v := rec(
+		f("id", values.NewInt(1)),
+		f("tags", values.NewList(values.NewString("a"), values.NewString("b"), values.NewString("c"))),
+	)
+	rows := FlattenObject(v)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r["id"].Int() != 1 {
+			t.Fatalf("id not replicated: %v", r)
+		}
+	}
+}
+
+func TestFlattenObjectTwoArraysCross(t *testing.T) {
+	v := rec(
+		f("a", values.NewList(values.NewInt(1), values.NewInt(2))),
+		f("b", values.NewList(values.NewInt(10), values.NewInt(20), values.NewInt(30))),
+	)
+	rows := FlattenObject(v)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 2x3", len(rows))
+	}
+}
+
+func TestFlattenToCSV(t *testing.T) {
+	objs := []values.Value{
+		rec(f("id", values.NewInt(1)), f("m", rec(f("v", values.NewFloat(2.5))))),
+		rec(f("id", values.NewInt(2)), f("tags", values.NewList(values.NewString("x"), values.NewString("y")))),
+	}
+	out := filepath.Join(t.TempDir(), "flat.csv")
+	rep, err := Flatten(func(yield func(values.Value) error) error {
+		for _, o := range objs {
+			if err := yield(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, 100, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InputObjects != 2 || rep.OutputRows != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.RedundancyFactor() != 1.5 {
+		t.Fatalf("redundancy = %v", rep.RedundancyFactor())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("csv lines = %d:\n%s", len(lines), data)
+	}
+	if lines[0] != "id,m.v,tags" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func iterObjs(objs []values.Value) func(func(values.Value) error) error {
+	return func(yield func(values.Value) error) error {
+		for _, o := range objs {
+			if err := yield(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestLoadIntoRowStore(t *testing.T) {
+	store, err := storagerow.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []sdg.Attr{{Name: "id", Type: sdg.Int}, {Name: "v", Type: sdg.Float}}
+	objs := []values.Value{
+		rec(f("id", values.NewInt(1)), f("v", values.NewFloat(2))),
+		rec(f("id", values.NewInt(2)), f("v", values.NewFloat(4))),
+	}
+	rep, err := LoadIntoRowStore(store, "T", attrs, iterObjs(objs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 2 || rep.Partitions != 1 || rep.Bytes == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	tbl, _ := store.Table("T")
+	n := 0
+	_ = tbl.Scan(nil, nil, func(values.Value) error { n++; return nil })
+	if n != 2 {
+		t.Fatalf("loaded rows = %d", n)
+	}
+}
+
+func TestLoadIntoColStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storagecol.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []sdg.Attr{{Name: "id", Type: sdg.Int}, {Name: "v", Type: sdg.Float}}
+	objs := []values.Value{
+		rec(f("id", values.NewInt(1)), f("v", values.NewFloat(2))),
+		rec(f("id", values.NewInt(2)), f("v", values.NewFloat(4))),
+	}
+	rep, err := LoadIntoColStore(store, dir, "T", attrs, iterObjs(objs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	tbl, _ := store.Table("T")
+	sum, err := tbl.Aggregate(basequery.AggSum, "v", nil)
+	if err != nil || sum.Float() != 6 {
+		t.Fatalf("sum = %v, %v", sum, err)
+	}
+}
+
+func TestAttrsFromColumns(t *testing.T) {
+	sample := []map[string]values.Value{
+		{"a": values.NewInt(1), "b": values.NewString("x"), "c": values.NewInt(1)},
+		{"a": values.NewFloat(2.5), "b": values.NewString("y"), "c": values.NewBool(true)},
+	}
+	attrs := AttrsFromColumns([]string{"a", "b", "c", "d"}, sample)
+	if attrs[0].Type != sdg.Float {
+		t.Fatalf("a widened to %s", attrs[0].Type)
+	}
+	if attrs[1].Type != sdg.String {
+		t.Fatalf("b = %s", attrs[1].Type)
+	}
+	if attrs[2].Type != sdg.String { // int vs bool conflict → string
+		t.Fatalf("c = %s", attrs[2].Type)
+	}
+	if attrs[3].Type != sdg.String { // unseen column defaults to string
+		t.Fatalf("d = %s", attrs[3].Type)
+	}
+}

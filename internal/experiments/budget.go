@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"vida"
+	"vida/internal/workload"
+)
+
+// CacheBudgetRow is one cache-budget setting's outcome (ablation E11:
+// how the cache byte budget trades memory for the Figure 5 win).
+type CacheBudgetRow struct {
+	BudgetBytes int64 // 0 = unlimited, -1 = caching disabled
+	HitRate     float64
+	TotalSec    float64
+	Evictions   int64
+	CacheBytes  int64
+}
+
+// RunCacheBudget replays the workload under several cache budgets,
+// including caching disabled, measuring hit rate and cumulative time.
+// Shrinking the budget forces evictions, which turn would-be cache hits
+// back into raw accesses.
+func RunCacheBudget(dir string, sc workload.Scale, nQueries int, seed int64, budgets []int64) ([]CacheBudgetRow, error) {
+	paths, err := workload.GenerateAll(dir, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	w := workload.Generate(nQueries, sc, seed)
+	var out []CacheBudgetRow
+	for _, budget := range budgets {
+		var opts []vida.Option
+		switch {
+		case budget < 0:
+			opts = append(opts, vida.WithoutCaching())
+		case budget > 0:
+			opts = append(opts, vida.WithCacheBudget(budget))
+		}
+		row, hits, _, stats, err := runViDaOpts(paths, sc, w, opts...)
+		if err != nil {
+			return nil, err
+		}
+		nHit := 0
+		for _, h := range hits {
+			if h {
+				nHit++
+			}
+		}
+		out = append(out, CacheBudgetRow{
+			BudgetBytes: budget,
+			HitRate:     float64(nHit) / float64(len(hits)),
+			TotalSec:    row.TotalSec,
+			Evictions:   stats.Cache.Evictions,
+			CacheBytes:  stats.Cache.BytesUsed,
+		})
+	}
+	return out, nil
+}

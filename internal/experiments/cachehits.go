@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"vida/internal/basequery"
+	"vida/internal/etl"
+	"vida/internal/storagecol"
+	"vida/internal/values"
+	"vida/internal/workload"
+)
+
+// CacheHitsResult captures experiment E4: the share of the workload ViDa
+// serves from its caches and how cache-hit latency compares with the
+// loaded column store running the same queries.
+type CacheHitsResult struct {
+	Queries          int
+	CacheHits        int
+	HitRate          float64
+	MeanHitSec       float64
+	MeanMissSec      float64
+	MeanColStoreSec  float64
+	HitOverColFactor float64 // mean hit latency / mean col-store latency
+}
+
+// RunCacheHits replays the 150-query workload on ViDa (tagging each query
+// cache-hit or raw) and on a pre-loaded column store, then compares
+// latencies. The paper's claims: ~80% of queries hit the caches, and for
+// those "the execution time was comparable to that of the loaded column
+// store".
+func RunCacheHits(dir string, sc workload.Scale, nQueries int, seed int64) (*CacheHitsResult, error) {
+	paths, err := workload.GenerateAll(dir, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	w := workload.Generate(nQueries, sc, seed)
+
+	// ViDa run with per-query hit tags.
+	vidaRow, hits, _, err := runViDa(paths, sc, w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Column store: pay loading, then run the same queries natively.
+	jsonIter, jsonBytes, err := jsonIterator(paths.Regions)
+	if err != nil {
+		return nil, err
+	}
+	flatPath := filepath.Join(dir, "regions_flat_cachehits.csv")
+	if _, err := etl.FlattenWith(jsonIter, jsonBytes, flatPath, etl.Options{SkipArrays: true}); err != nil {
+		return nil, err
+	}
+	store, err := storagecol.Open(filepath.Join(dir, "colstore_cachehits"))
+	if err != nil {
+		return nil, err
+	}
+	pIter, pAttrs, err := csvIterator(paths.Patients, workload.PatientsSchema(sc), "Patients")
+	if err != nil {
+		return nil, err
+	}
+	gIter, gAttrs, err := csvIterator(paths.Genetics, workload.GeneticsSchema(sc), "Genetics")
+	if err != nil {
+		return nil, err
+	}
+	rIter, err := flattenedRegionIterator(flatPath)
+	if err != nil {
+		return nil, err
+	}
+	scans := map[string]basequery.ScanFn{}
+	if _, err := etl.LoadIntoColStore(store, dir, "Patients", pAttrs, pIter); err != nil {
+		return nil, err
+	}
+	if _, err := etl.LoadIntoColStore(store, dir, "Genetics", gAttrs, gIter); err != nil {
+		return nil, err
+	}
+	if _, err := etl.LoadIntoColStore(store, dir, "Regions", regionAttrs(), rIter); err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"Patients", "Genetics", "Regions"} {
+		tbl, _ := store.Table(name)
+		scans[name] = tbl.Scan
+	}
+	_, _, colPerQ, err := runBaselineQueries(w, scans)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CacheHitsResult{Queries: nQueries}
+	var hitSum, missSum, colSum float64
+	nHit, nMiss := 0, 0
+	for i, h := range hits {
+		if h {
+			nHit++
+			hitSum += vidaRow.PerQuerySec[i]
+		} else {
+			nMiss++
+			missSum += vidaRow.PerQuerySec[i]
+		}
+		colSum += colPerQ[i]
+	}
+	res.CacheHits = nHit
+	res.HitRate = float64(nHit) / float64(nQueries)
+	if nHit > 0 {
+		res.MeanHitSec = hitSum / float64(nHit)
+	}
+	if nMiss > 0 {
+		res.MeanMissSec = missSum / float64(nMiss)
+	}
+	res.MeanColStoreSec = colSum / float64(nQueries)
+	if res.MeanColStoreSec > 0 {
+		res.HitOverColFactor = res.MeanHitSec / res.MeanColStoreSec
+	}
+	return res, nil
+}
+
+// ColdWarmResult captures experiment E8: how much of ViDa's cumulative
+// time the initial raw accesses consume.
+type ColdWarmResult struct {
+	Queries           int
+	RawQueries        int
+	RawSecTotal       float64
+	CacheSecTotal     float64
+	RawShareOfTotal   float64
+	FirstTouchSec     float64 // the very first query against each dataset
+	MedianWarmSec     float64
+	SlowestQueryID    int
+	SlowestQuerySec   float64
+	CumulativeSecs    []float64 // running total per query (the timeline)
+	PerQueryCacheHits []bool
+}
+
+// RunColdWarm replays the workload on ViDa and splits cumulative time
+// between raw-touching and cache-served queries (paper: "the majority of
+// ViDa's cumulative execution time is actually spent in the initial
+// accesses to the three datasets").
+func RunColdWarm(dir string, sc workload.Scale, nQueries int, seed int64) (*ColdWarmResult, error) {
+	paths, err := workload.GenerateAll(dir, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	w := workload.Generate(nQueries, sc, seed)
+	row, hits, _, err := runViDa(paths, sc, w)
+	if err != nil {
+		return nil, err
+	}
+	res := &ColdWarmResult{Queries: nQueries, PerQueryCacheHits: hits}
+	var warmTimes []float64
+	cum := 0.0
+	for i, d := range row.PerQuerySec {
+		cum += d
+		res.CumulativeSecs = append(res.CumulativeSecs, cum)
+		if hits[i] {
+			res.CacheSecTotal += d
+			warmTimes = append(warmTimes, d)
+		} else {
+			res.RawQueries++
+			res.RawSecTotal += d
+		}
+		if d > res.SlowestQuerySec {
+			res.SlowestQuerySec = d
+			res.SlowestQueryID = i + 1
+		}
+	}
+	if i := firstFalse(hits); i >= 0 {
+		res.FirstTouchSec = row.PerQuerySec[i]
+	}
+	total := res.RawSecTotal + res.CacheSecTotal
+	if total > 0 {
+		res.RawShareOfTotal = res.RawSecTotal / total
+	}
+	if len(warmTimes) > 0 {
+		sort.Float64s(warmTimes)
+		res.MedianWarmSec = warmTimes[len(warmTimes)/2]
+	}
+	return res, nil
+}
+
+func firstFalse(hits []bool) int {
+	for i, h := range hits {
+		if !h {
+			return i
+		}
+	}
+	return -1
+}
+
+// VerifyAnswersAgree cross-checks that every system computed the same
+// answer for every query of a Fig5 run (floats compared with relative
+// tolerance: execution orders differ across engines).
+func VerifyAnswersAgree(res *Fig5Result) error {
+	ref, ok := res.Answers["ViDa"]
+	if !ok {
+		return fmt.Errorf("experiments: no ViDa answers")
+	}
+	for system, answers := range res.Answers {
+		if system == "ViDa" {
+			continue
+		}
+		if len(answers) != len(ref) {
+			return fmt.Errorf("experiments: %s answered %d queries, ViDa %d", system, len(answers), len(ref))
+		}
+		for i := range answers {
+			if !answersEquivalent(ref[i], answers[i]) {
+				return fmt.Errorf("experiments: query %d disagrees between ViDa and %s:\nViDa: %v\n%s: %v",
+					i+1, system, ref[i], system, answers[i])
+			}
+		}
+	}
+	return nil
+}
+
+// answersEquivalent compares values with relative float tolerance.
+func answersEquivalent(a, b values.Value) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		fa, fb := a.Float(), b.Float()
+		diff := fa - fb
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := fa
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		return diff <= 1e-6*scale
+	}
+	if a.Kind() != b.Kind() {
+		return values.Equal(a, b)
+	}
+	switch a.Kind() {
+	case values.KindRecord:
+		if a.Len() != b.Len() {
+			return false
+		}
+		for _, f := range a.Fields() {
+			bv, ok := b.Get(f.Name)
+			if !ok || !answersEquivalent(f.Val, bv) {
+				return false
+			}
+		}
+		return true
+	case values.KindList, values.KindBag, values.KindSet:
+		if a.Len() != b.Len() {
+			return false
+		}
+		// Canonical order makes positional comparison meaningful for
+		// bags/sets; numeric jitter can reorder, so fall back to greedy
+		// matching.
+		bs := append([]values.Value{}, b.Elems()...)
+		for _, ae := range a.Elems() {
+			found := -1
+			for j, be := range bs {
+				if answersEquivalent(ae, be) {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return false
+			}
+			bs = append(bs[:found], bs[found+1:]...)
+		}
+		return true
+	}
+	return values.Equal(a, b)
+}
+
+// Timer is a tiny helper for CLI-level measurements.
+func Timer() func() float64 {
+	t0 := time.Now()
+	return func() float64 { return time.Since(t0).Seconds() }
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"testing"
+
+	"vida/internal/workload"
+)
+
+// tinyScale keeps the end-to-end experiment tests fast.
+func tinyScale() workload.Scale {
+	return workload.Scale{
+		PatientsRows:   300,
+		PatientsCols:   24,
+		GeneticsRows:   350,
+		GeneticsCols:   30,
+		RegionsObjects: 120,
+	}
+}
+
+func TestFig5EndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunFig5(dir, tinyScale(), 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("systems = %d, want 5", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row.System] = true
+		if row.TotalSec <= 0 {
+			t.Fatalf("%s total = %v", row.System, row.TotalSec)
+		}
+		if len(row.PerQuerySec) != 40 {
+			t.Fatalf("%s per-query samples = %d", row.System, len(row.PerQuerySec))
+		}
+	}
+	for _, want := range []string{"ViDa", "Col.Store", "RowStore", "Col.Store+Mongo", "RowStore+Mongo"} {
+		if !names[want] {
+			t.Fatalf("missing system %q (have %v)", want, names)
+		}
+	}
+	// ViDa has no preparation phase.
+	for _, row := range res.Rows {
+		if row.System == "ViDa" && (row.FlattenSec != 0 || row.LoadSec != 0) {
+			t.Fatalf("ViDa should have no prep: %+v", row)
+		}
+		if row.System != "ViDa" && row.LoadSec <= 0 {
+			t.Fatalf("%s paid no load cost", row.System)
+		}
+	}
+	// THE headline check: all five systems agree on every answer.
+	if err := VerifyAnswersAgree(res); err != nil {
+		t.Fatal(err)
+	}
+	// Cache-hit tagging exists and some queries hit.
+	if res.CacheHitRate() <= 0 {
+		t.Fatalf("no cache hits recorded: %v", res.CacheHitRate())
+	}
+}
+
+func TestTable2(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := RunTable2(dir, tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SizeBytes <= 0 || r.Tuples <= 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+	if rows[0].Relation != "Patients" || rows[2].Type != "JSON" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestFig4Layouts(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := RunFig4(dir, tinyScale(), 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("layouts = %d", len(rows))
+	}
+	byName := map[string]Fig4Row{}
+	for _, r := range rows {
+		byName[r.Layout] = r
+		if r.QuerySec <= 0 {
+			t.Fatalf("%s query time = %v", r.Layout, r.QuerySec)
+		}
+	}
+	// Structural expectations (robust at any speed):
+	// positions is the smallest resident footprint, text the largest or
+	// near it; object answers queries faster than re-parsing text.
+	if byName["positions"].ResidentBytes >= byName["object"].ResidentBytes {
+		t.Fatalf("positions should be smallest: %+v", rows)
+	}
+	if byName["object"].QuerySec >= byName["json-text"].QuerySec {
+		t.Fatalf("parsed objects should beat re-parsing text: object=%v text=%v",
+			byName["object"].QuerySec, byName["json-text"].QuerySec)
+	}
+}
+
+func TestMongoSpace(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunMongoSpace(dir, tinyScale(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImportedDocs != res.SourceObjCount {
+		t.Fatalf("doc count mismatch: %+v", res)
+	}
+	// The paper reports ~2x; our binary format plus framing must at
+	// least amplify beyond 1x.
+	if res.Amplification <= 1.0 {
+		t.Fatalf("no amplification: %+v", res)
+	}
+}
+
+func TestJITvsStatic(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := RunJITvsStatic(dir, tinyScale(), 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("plans = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.JITSec <= 0 || r.StaticSec <= 0 {
+			t.Fatalf("bad timings: %+v", r)
+		}
+	}
+}
+
+func TestPosmapSweep(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := RunPosmap(dir, tinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("positions = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ColdSec <= 0 || r.WarmSec <= 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+}
+
+func TestVPart(t *testing.T) {
+	dir := t.TempDir()
+	sc := tinyScale()
+	sc.GeneticsCols = 1200 // wide enough to force several partitions
+	sc.GeneticsRows = 120
+	res, err := RunVPart(dir, sc, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions < 2 {
+		t.Fatalf("no partitioning forced: %+v", res)
+	}
+	if res.RowsScanned != sc.GeneticsRows {
+		t.Fatalf("rows scanned = %d", res.RowsScanned)
+	}
+}
+
+func TestFlattenExperiment(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunFlatten(dir, tinyScale(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrays explode rows: redundancy strictly above 1; scalar mode keeps
+	// one row per object.
+	if res.FullRedundancy <= 1.0 {
+		t.Fatalf("no redundancy from arrays: %+v", res)
+	}
+	if res.ScalarRedundancy != 1.0 {
+		t.Fatalf("scalar flatten should be 1:1: %+v", res)
+	}
+	if res.FullOutputRows <= res.ScalarOutputRows {
+		t.Fatalf("full flatten should emit more rows: %+v", res)
+	}
+}
+
+func TestCacheHitsExperiment(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunCacheHits(dir, tinyScale(), 30, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits == 0 {
+		t.Fatalf("no cache hits: %+v", res)
+	}
+	if res.MeanHitSec <= 0 || res.MeanColStoreSec <= 0 {
+		t.Fatalf("bad means: %+v", res)
+	}
+}
+
+func TestColdWarm(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunColdWarm(dir, tinyScale(), 30, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawQueries == 0 || res.RawQueries == res.Queries {
+		t.Fatalf("degenerate split: %+v", res)
+	}
+	if len(res.CumulativeSecs) != 30 {
+		t.Fatalf("timeline length = %d", len(res.CumulativeSecs))
+	}
+	// Cumulative must be nondecreasing.
+	for i := 1; i < len(res.CumulativeSecs); i++ {
+		if res.CumulativeSecs[i] < res.CumulativeSecs[i-1] {
+			t.Fatalf("timeline decreases at %d", i)
+		}
+	}
+}
+
+func TestCacheBudgetAblation(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := RunCacheBudget(dir, tinyScale(), 40, 42, []int64{-1, 32 << 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	disabled, tiny, unlimited := rows[0], rows[1], rows[2]
+	if disabled.HitRate != 0 {
+		t.Fatalf("disabled caching still hit: %+v", disabled)
+	}
+	if unlimited.HitRate <= tiny.HitRate {
+		t.Fatalf("unlimited budget should hit at least as often as a tiny one: %+v vs %+v",
+			unlimited, tiny)
+	}
+	if tiny.Evictions == 0 {
+		t.Fatalf("tiny budget should evict: %+v", tiny)
+	}
+}

@@ -1,0 +1,536 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) plus the ablations DESIGN.md calls out. Each RunXxx
+// function is deterministic given (scale, seed), returns printable result
+// rows, and is shared by cmd/vidabench and the bench_test.go harness.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vida"
+	"vida/internal/basequery"
+	"vida/internal/core"
+	"vida/internal/docstore"
+	"vida/internal/etl"
+	"vida/internal/integration"
+	"vida/internal/rawcsv"
+	"vida/internal/rawjson"
+	"vida/internal/sdg"
+	"vida/internal/storagecol"
+	"vida/internal/storagerow"
+	"vida/internal/values"
+	"vida/internal/workload"
+)
+
+// Fig5Row is one system's cumulative-time breakdown (one bar of Figure 5).
+type Fig5Row struct {
+	System     string
+	FlattenSec float64
+	LoadSec    float64
+	QuerySec   float64
+	TotalSec   float64
+	// PerQuerySec are the individual query times (ViDa rows also carry
+	// CacheHit flags via Fig5Result).
+	PerQuerySec []float64
+}
+
+// Fig5Result is the full experiment outcome.
+type Fig5Result struct {
+	Rows []Fig5Row
+	// CacheHits flags, per query, whether ViDa served it without raw
+	// access (experiment E4 reads this).
+	CacheHits []bool
+	// Answers holds each system's query results for cross-checking.
+	Answers map[string][]values.Value
+	Scale   workload.Scale
+	N       int
+}
+
+// Speedup returns total(worst baseline) / total(ViDa).
+func (r *Fig5Result) Speedup() float64 {
+	var vida, worst float64
+	for _, row := range r.Rows {
+		if row.System == "ViDa" {
+			vida = row.TotalSec
+		} else if row.TotalSec > worst {
+			worst = row.TotalSec
+		}
+	}
+	if vida == 0 {
+		return 0
+	}
+	return worst / vida
+}
+
+// CacheHitRate returns the fraction of queries ViDa served from caches.
+func (r *Fig5Result) CacheHitRate() float64 {
+	if len(r.CacheHits) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, h := range r.CacheHits {
+		if h {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(r.CacheHits))
+}
+
+// RunFig5 reproduces Figure 5: the cumulative time to prepare (flatten +
+// load) and run the query sequence on each of the five systems. All five
+// compute identical answers (verified by the caller or tests via
+// Answers).
+func RunFig5(dir string, sc workload.Scale, nQueries int, seed int64) (*Fig5Result, error) {
+	paths, err := workload.GenerateAll(dir, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	w := workload.Generate(nQueries, sc, seed)
+	res := &Fig5Result{Answers: map[string][]values.Value{}, Scale: sc, N: nQueries}
+
+	vidaRow, hits, vidaAnswers, err := runViDa(paths, sc, w)
+	if err != nil {
+		return nil, fmt.Errorf("fig5 ViDa: %w", err)
+	}
+	res.Rows = append(res.Rows, *vidaRow)
+	res.CacheHits = hits
+	res.Answers["ViDa"] = vidaAnswers
+
+	for _, warehouse := range []string{"Col.Store", "RowStore"} {
+		row, answers, err := runWarehouse(dir, warehouse, paths, sc, w)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", warehouse, err)
+		}
+		res.Rows = append(res.Rows, *row)
+		res.Answers[warehouse] = answers
+	}
+	for _, combo := range []string{"Col.Store+Mongo", "RowStore+Mongo"} {
+		row, answers, err := runIntegrated(dir, combo, paths, sc, w)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", combo, err)
+		}
+		res.Rows = append(res.Rows, *row)
+		res.Answers[combo] = answers
+	}
+	return res, nil
+}
+
+// runViDa executes the workload directly over the raw files: no
+// preparation phase at all.
+func runViDa(paths *workload.Paths, sc workload.Scale, w *workload.Workload) (*Fig5Row, []bool, []values.Value, error) {
+	row, hits, answers, _, err := runViDaOpts(paths, sc, w)
+	return row, hits, answers, err
+}
+
+// runViDaOpts is runViDa with engine options (ablations: cache budget,
+// executor choice, caching off) and final engine stats.
+func runViDaOpts(paths *workload.Paths, sc workload.Scale, w *workload.Workload, opts ...vida.Option) (*Fig5Row, []bool, []values.Value, core.Stats, error) {
+	eng := vida.New(opts...)
+	if err := eng.RegisterCSV("Patients", paths.Patients, workload.PatientsSchema(sc), nil); err != nil {
+		return nil, nil, nil, core.Stats{}, err
+	}
+	if err := eng.RegisterCSV("Genetics", paths.Genetics, workload.GeneticsSchema(sc), nil); err != nil {
+		return nil, nil, nil, core.Stats{}, err
+	}
+	if err := eng.RegisterJSON("BrainRegions", paths.Regions, ""); err != nil {
+		return nil, nil, nil, core.Stats{}, err
+	}
+	row := &Fig5Row{System: "ViDa"}
+	var hits []bool
+	var answers []values.Value
+	for _, q := range w.Queries {
+		before := eng.Stats()
+		t0 := time.Now()
+		r, err := eng.Query(q.Comprehension())
+		if err != nil {
+			return nil, nil, nil, core.Stats{}, fmt.Errorf("query %d (%s): %w", q.ID, q.Comprehension(), err)
+		}
+		d := time.Since(t0).Seconds()
+		after := eng.Stats()
+		row.PerQuerySec = append(row.PerQuerySec, d)
+		row.QuerySec += d
+		hits = append(hits, after.QueriesFromCache > before.QueriesFromCache)
+		answers = append(answers, normalizeAnswer(r))
+	}
+	row.TotalSec = row.QuerySec
+	return row, hits, answers, eng.Stats(), nil
+}
+
+// normalizeAnswer reduces a result to a comparable value: aggregates
+// compare directly; projections compare as canonical bags.
+func normalizeAnswer(r *vida.Result) values.Value {
+	rows := r.Rows()
+	if len(rows) == 1 && !rows[0].IsCollection() && rows[0].Kind() != "record" {
+		return publicToInternal(rows[0])
+	}
+	out := make([]values.Value, len(rows))
+	for i, row := range rows {
+		out[i] = publicToInternal(row)
+	}
+	return values.NewBag(out...)
+}
+
+// publicToInternal converts the public facade value back to the internal
+// representation for comparison.
+func publicToInternal(v vida.Value) values.Value {
+	switch v.Kind() {
+	case "null":
+		return values.Null
+	case "bool":
+		return values.NewBool(v.Bool())
+	case "int":
+		return values.NewInt(v.Int())
+	case "float":
+		return values.NewFloat(v.Float())
+	case "string":
+		return values.NewString(v.Str())
+	case "record":
+		fs := v.Fields()
+		out := make([]values.Field, len(fs))
+		for i, f := range fs {
+			out[i] = values.Field{Name: f.Name, Val: publicToInternal(f.Val)}
+		}
+		return values.NewRecord(out...)
+	default:
+		es := v.Elems()
+		out := make([]values.Value, len(es))
+		for i, e := range es {
+			out[i] = publicToInternal(e)
+		}
+		return values.NewBag(out...)
+	}
+}
+
+// loadAllSources parses the raw files once for loading (shared by the
+// warehouse paths). The JSON hierarchy is flattened (arrays projected
+// away — see EXPERIMENTS.md) before relational loading.
+func regionAttrs() []sdg.Attr {
+	return []sdg.Attr{
+		{Name: "coords.x", Type: sdg.Float},
+		{Name: "coords.y", Type: sdg.Float},
+		{Name: "coords.z", Type: sdg.Float},
+		{Name: "id", Type: sdg.Int},
+		{Name: "intensity", Type: sdg.Float},
+		{Name: "laterality", Type: sdg.String},
+		{Name: "pipeline.algo", Type: sdg.String},
+		{Name: "pipeline.pass", Type: sdg.Int},
+		{Name: "pipeline.quality", Type: sdg.Float},
+		{Name: "region", Type: sdg.String},
+		{Name: "volume", Type: sdg.Float},
+	}
+}
+
+func csvIterator(path, schema, name string) (func(func(values.Value) error) error, []sdg.Attr, error) {
+	t, err := sdg.ParseSchema(schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	desc := sdg.DefaultDescription(name, sdg.FormatCSV, path, sdg.Bag(t))
+	r, err := rawcsv.Open(desc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(yield func(values.Value) error) error {
+		return r.Iterate(nil, yield)
+	}, t.Attrs, nil
+}
+
+func jsonIterator(path string) (func(func(values.Value) error) error, int64, error) {
+	desc := sdg.DefaultDescription("Regions", sdg.FormatJSON, path, sdg.Bag(sdg.Unknown))
+	r, err := rawjson.Open(desc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return func(yield func(values.Value) error) error {
+		return r.Iterate(nil, yield)
+	}, r.SizeBytes(), nil
+}
+
+// flattenedRegionIterator yields flattened region rows from the flattened
+// CSV (already written during the flatten phase).
+func flattenedRegionIterator(path string) (func(func(values.Value) error) error, error) {
+	attrs := regionAttrs()
+	var sb []byte
+	sb = append(sb, "Record("...)
+	for i, a := range attrs {
+		if i > 0 {
+			sb = append(sb, ", "...)
+		}
+		kind := "float"
+		switch a.Type.Kind {
+		case sdg.TInt:
+			kind = "int"
+		case sdg.TString:
+			kind = "string"
+		}
+		sb = append(sb, fmt.Sprintf("Att(%s, %s)", a.Name, kind)...)
+	}
+	sb = append(sb, ')')
+	_ = sb
+	// rawcsv needs attribute names without dots? They are plain strings
+	// in the schema struct; build the description directly.
+	rowType := sdg.Record(attrs...)
+	desc := sdg.DefaultDescription("RegionsFlat", sdg.FormatCSV, path, sdg.Bag(rowType))
+	r, err := rawcsv.Open(desc)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(values.Value) error) error {
+		return r.Iterate(nil, yield)
+	}, nil
+}
+
+// runWarehouse is the "single data warehouse" path: flatten the JSON,
+// load everything into one store, then query it natively.
+func runWarehouse(dir, system string, paths *workload.Paths, sc workload.Scale, w *workload.Workload) (*Fig5Row, []values.Value, error) {
+	row := &Fig5Row{System: system}
+
+	// Phase 1: flatten the JSON hierarchy to CSV.
+	jsonIter, jsonBytes, err := jsonIterator(paths.Regions)
+	if err != nil {
+		return nil, nil, err
+	}
+	flatPath := filepath.Join(dir, "regions_flat_"+sanitizeName(system)+".csv")
+	t0 := time.Now()
+	if _, err := etl.FlattenWith(jsonIter, jsonBytes, flatPath, etl.Options{SkipArrays: true}); err != nil {
+		return nil, nil, err
+	}
+	row.FlattenSec = time.Since(t0).Seconds()
+
+	// Phase 2: load all three relations.
+	pIter, pAttrs, err := csvIterator(paths.Patients, workload.PatientsSchema(sc), "Patients")
+	if err != nil {
+		return nil, nil, err
+	}
+	gIter, gAttrs, err := csvIterator(paths.Genetics, workload.GeneticsSchema(sc), "Genetics")
+	if err != nil {
+		return nil, nil, err
+	}
+	rIter, err := flattenedRegionIterator(flatPath)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	scans := map[string]basequery.ScanFn{}
+	t0 = time.Now()
+	switch system {
+	case "Col.Store":
+		store, err := storagecol.Open(filepath.Join(dir, "colstore"))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, spec := range []struct {
+			name  string
+			attrs []sdg.Attr
+			iter  func(func(values.Value) error) error
+		}{
+			{"Patients", pAttrs, pIter}, {"Genetics", gAttrs, gIter}, {"Regions", regionAttrs(), rIter},
+		} {
+			if _, err := etl.LoadIntoColStore(store, filepath.Join(dir, "colstore"), spec.name, spec.attrs, spec.iter); err != nil {
+				return nil, nil, err
+			}
+			tbl, _ := store.Table(spec.name)
+			scans[spec.name] = tbl.Scan
+		}
+	case "RowStore":
+		store, err := storagerow.Open(filepath.Join(dir, "rowstore"))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, spec := range []struct {
+			name  string
+			attrs []sdg.Attr
+			iter  func(func(values.Value) error) error
+		}{
+			{"Patients", pAttrs, pIter}, {"Genetics", gAttrs, gIter}, {"Regions", regionAttrs(), rIter},
+		} {
+			if _, err := etl.LoadIntoRowStore(store, spec.name, spec.attrs, spec.iter); err != nil {
+				return nil, nil, err
+			}
+			tbl, _ := store.Table(spec.name)
+			scans[spec.name] = tbl.Scan
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown warehouse %q", system)
+	}
+	row.LoadSec = time.Since(t0).Seconds()
+
+	// Phase 3: run the query sequence natively.
+	answers, qsec, perQ, err := runBaselineQueries(w, scans)
+	if err != nil {
+		return nil, nil, err
+	}
+	row.QuerySec = qsec
+	row.PerQuerySec = perQ
+	row.TotalSec = row.FlattenSec + row.LoadSec + row.QuerySec
+	return row, answers, nil
+}
+
+// runIntegrated is the "different systems + integration layer" path: the
+// relational data loads into a store, the JSON imports into the document
+// store (no flattening), and a mediator joins across them.
+func runIntegrated(dir, system string, paths *workload.Paths, sc workload.Scale, w *workload.Workload) (*Fig5Row, []values.Value, error) {
+	row := &Fig5Row{System: system}
+	pIter, pAttrs, err := csvIterator(paths.Patients, workload.PatientsSchema(sc), "Patients")
+	if err != nil {
+		return nil, nil, err
+	}
+	gIter, gAttrs, err := csvIterator(paths.Genetics, workload.GeneticsSchema(sc), "Genetics")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	med := integration.NewMediator()
+	t0 := time.Now()
+	switch system {
+	case "Col.Store+Mongo":
+		store, err := storagecol.Open(filepath.Join(dir, "colstore_integ"))
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := etl.LoadIntoColStore(store, filepath.Join(dir, "colstore_integ"), "Patients", pAttrs, pIter); err != nil {
+			return nil, nil, err
+		}
+		if _, err := etl.LoadIntoColStore(store, filepath.Join(dir, "colstore_integ"), "Genetics", gAttrs, gIter); err != nil {
+			return nil, nil, err
+		}
+		med.Mount("Patients", &integration.ColStoreWrapper{Store: store})
+		med.Mount("Genetics", &integration.ColStoreWrapper{Store: store})
+	case "RowStore+Mongo":
+		store, err := storagerow.Open(filepath.Join(dir, "rowstore_integ"))
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := etl.LoadIntoRowStore(store, "Patients", pAttrs, pIter); err != nil {
+			return nil, nil, err
+		}
+		if _, err := etl.LoadIntoRowStore(store, "Genetics", gAttrs, gIter); err != nil {
+			return nil, nil, err
+		}
+		med.Mount("Patients", &integration.RowStoreWrapper{Store: store})
+		med.Mount("Genetics", &integration.RowStoreWrapper{Store: store})
+	default:
+		return nil, nil, fmt.Errorf("unknown integrated system %q", system)
+	}
+	dbDir := filepath.Join(dir, "docstore_"+sanitizeName(system))
+	ds, err := docstore.Open(dbDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	coll, err := ds.CreateCollection("Regions")
+	if err != nil {
+		return nil, nil, err
+	}
+	jsonIter, _, err := jsonIterator(paths.Regions)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Import the JSON into the document store (time- and
+	// space-consuming, §6).
+	if err := jsonIter(func(v values.Value) error { return coll.Insert(v) }); err != nil {
+		return nil, nil, err
+	}
+	if err := coll.FinishLoad(); err != nil {
+		return nil, nil, err
+	}
+	med.Mount("Regions", &integration.DocStoreWrapper{Store: ds})
+	row.LoadSec = time.Since(t0).Seconds()
+
+	scans := map[string]basequery.ScanFn{}
+	for _, tbl := range []string{"Patients", "Genetics", "Regions"} {
+		scans[tbl] = mediatorScan(med, tbl)
+	}
+	answers, qsec, perQ, err := runBaselineQueries(w, scans)
+	if err != nil {
+		return nil, nil, err
+	}
+	row.QuerySec = qsec
+	row.PerQuerySec = perQ
+	row.TotalSec = row.LoadSec + row.QuerySec
+	return row, answers, nil
+}
+
+// mediatorScan adapts one mediator-mounted table to a ScanFn so the
+// shared query driver can use it (each scan crosses the wire boundary).
+func mediatorScan(m *integration.Mediator, table string) basequery.ScanFn {
+	return func(fields []string, preds []basequery.Pred, yield func(values.Value) error) error {
+		q := &basequery.JoinQuery{Tables: []basequery.TableTerm{{Table: table, Preds: preds, Fields: fields}}}
+		for _, f := range fields {
+			q.Project = append(q.Project, basequery.ProjCol{Table: table, Col: f})
+		}
+		if len(fields) == 0 {
+			return fmt.Errorf("experiments: mediator scan needs explicit fields")
+		}
+		out, err := m.Execute(q)
+		if err != nil {
+			return err
+		}
+		for _, r := range out.Elems() {
+			if err := yield(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// runBaselineQueries executes the neutral workload on a store's scans.
+func runBaselineQueries(w *workload.Workload, scans map[string]basequery.ScanFn) ([]values.Value, float64, []float64, error) {
+	var answers []values.Value
+	var total float64
+	var perQ []float64
+	for _, q := range w.Queries {
+		jq := q.JoinQuery()
+		t0 := time.Now()
+		v, err := basequery.ExecuteJoin(jq, scans)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("query %d: %w", q.ID, err)
+		}
+		d := time.Since(t0).Seconds()
+		total += d
+		perQ = append(perQ, d)
+		answers = append(answers, v)
+	}
+	return answers, total, perQ, nil
+}
+
+func sanitizeName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Table2Row is one dataset's characteristics (paper Table 2).
+type Table2Row struct {
+	Relation   string
+	Tuples     int
+	Attributes int
+	SizeBytes  int64
+	Type       string
+}
+
+// RunTable2 generates the datasets and reports their shapes.
+func RunTable2(dir string, sc workload.Scale, seed int64) ([]Table2Row, error) {
+	paths, err := workload.GenerateAll(dir, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	return []Table2Row{
+		{"Patients", sc.PatientsRows, sc.PatientsCols, workload.FileSize(paths.Patients), "CSV"},
+		{"Genetics", sc.GeneticsRows, sc.GeneticsCols, workload.FileSize(paths.Genetics), "CSV"},
+		{"BrainRegions", sc.RegionsObjects, -1, workload.FileSize(paths.Regions), "JSON"},
+	}, nil
+}
+
+// cleanupDir removes experiment scratch space, tolerating absence.
+func cleanupDir(dir string) { _ = os.RemoveAll(dir) }

@@ -1,0 +1,133 @@
+// Package integration implements the "different systems under a data
+// integration layer" baseline of the paper's evaluation (Figure 5's
+// "Col.Store+Mongo" and "RowStore+Mongo" bars): a mediator routes each
+// table term of a query to the system holding it, per-system wrappers
+// stream rows back across a serialization boundary (every row is encoded
+// to the wire format and decoded in the mediator — the integration tax
+// the paper observes), and the mediator joins the streams itself.
+package integration
+
+import (
+	"fmt"
+
+	"vida/internal/basequery"
+	"vida/internal/bsonlite"
+	"vida/internal/docstore"
+	"vida/internal/storagecol"
+	"vida/internal/storagerow"
+	"vida/internal/values"
+)
+
+// Wrapper exposes one backend system's tables to the mediator.
+type Wrapper interface {
+	// System names the backend (diagnostics).
+	System() string
+	// Scan streams the table through the wire-format boundary.
+	Scan(table string, fields []string, preds []basequery.Pred, yield func(values.Value) error) error
+}
+
+// boundary serializes a row to the wire format and back — the marshaling
+// work any cross-system transfer performs.
+func boundary(row values.Value, yield func(values.Value) error) error {
+	wire, err := bsonlite.Marshal(row)
+	if err != nil {
+		return err
+	}
+	back, err := bsonlite.Unmarshal(wire)
+	if err != nil {
+		return err
+	}
+	return yield(back)
+}
+
+// RowStoreWrapper adapts a storagerow.Store.
+type RowStoreWrapper struct{ Store *storagerow.Store }
+
+// System implements Wrapper.
+func (w *RowStoreWrapper) System() string { return "rowstore" }
+
+// Scan implements Wrapper.
+func (w *RowStoreWrapper) Scan(table string, fields []string, preds []basequery.Pred, yield func(values.Value) error) error {
+	t, ok := w.Store.Table(table)
+	if !ok {
+		return fmt.Errorf("integration: rowstore has no table %q", table)
+	}
+	return t.Scan(fields, preds, func(v values.Value) error { return boundary(v, yield) })
+}
+
+// ColStoreWrapper adapts a storagecol.Store.
+type ColStoreWrapper struct{ Store *storagecol.Store }
+
+// System implements Wrapper.
+func (w *ColStoreWrapper) System() string { return "colstore" }
+
+// Scan implements Wrapper.
+func (w *ColStoreWrapper) Scan(table string, fields []string, preds []basequery.Pred, yield func(values.Value) error) error {
+	t, ok := w.Store.Table(table)
+	if !ok {
+		return fmt.Errorf("integration: colstore has no table %q", table)
+	}
+	return t.Scan(fields, preds, func(v values.Value) error { return boundary(v, yield) })
+}
+
+// DocStoreWrapper adapts a docstore.Store.
+type DocStoreWrapper struct{ Store *docstore.Store }
+
+// System implements Wrapper.
+func (w *DocStoreWrapper) System() string { return "docstore" }
+
+// Scan implements Wrapper.
+func (w *DocStoreWrapper) Scan(table string, fields []string, preds []basequery.Pred, yield func(values.Value) error) error {
+	c, ok := w.Store.Collection(table)
+	if !ok {
+		return fmt.Errorf("integration: docstore has no collection %q", table)
+	}
+	return c.Find(fields, preds, func(v values.Value) error { return boundary(v, yield) })
+}
+
+// Mediator routes tables to wrappers and executes cross-system joins.
+type Mediator struct {
+	wrappers map[string]Wrapper // table -> wrapper
+	rows     int64              // rows transferred across boundaries
+}
+
+// NewMediator creates an empty mediator.
+func NewMediator() *Mediator {
+	return &Mediator{wrappers: map[string]Wrapper{}}
+}
+
+// Mount assigns a table to a backend wrapper.
+func (m *Mediator) Mount(table string, w Wrapper) { m.wrappers[table] = w }
+
+// RowsTransferred reports how many rows crossed system boundaries.
+func (m *Mediator) RowsTransferred() int64 { return m.rows }
+
+// Execute runs a join query: every table term is scanned through its
+// system's wrapper, the mediator joins and aggregates.
+func (m *Mediator) Execute(q *basequery.JoinQuery) (values.Value, error) {
+	scans := map[string]basequery.ScanFn{}
+	for _, term := range q.Tables {
+		w, ok := m.wrappers[term.Table]
+		if !ok {
+			return values.Null, fmt.Errorf("integration: table %q is not mounted", term.Table)
+		}
+		table := term.Table
+		wrapper := w
+		scans[table] = func(fields []string, preds []basequery.Pred, yield func(values.Value) error) error {
+			return wrapper.Scan(table, fields, preds, func(v values.Value) error {
+				m.rows++
+				return yield(v)
+			})
+		}
+	}
+	return basequery.ExecuteJoin(q, scans)
+}
+
+// Systems lists the mounted (table, system) pairs.
+func (m *Mediator) Systems() map[string]string {
+	out := make(map[string]string, len(m.wrappers))
+	for t, w := range m.wrappers {
+		out[t] = w.System()
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"vida/internal/basequery"
+	"vida/internal/docstore"
+	"vida/internal/sdg"
+	"vida/internal/storagecol"
+	"vida/internal/storagerow"
+	"vida/internal/values"
+)
+
+// buildSystems loads Patients into a relational store and Regions into
+// the docstore, mirroring the paper's "different systems" setup.
+func buildSystems(t *testing.T) (*storagerow.Store, *storagecol.Store, *docstore.Store) {
+	t.Helper()
+	rs, err := storagerow.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := storagecol.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []sdg.Attr{
+		{Name: "id", Type: sdg.Int},
+		{Name: "age", Type: sdg.Int},
+		{Name: "city", Type: sdg.String},
+	}
+	rt, err := rs.CreateTable("Patients", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := cs.CreateTable("Patients", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		row := []values.Value{
+			values.NewInt(int64(i)),
+			values.NewInt(int64(20 + i%60)),
+			values.NewString(fmt.Sprintf("c%d", i%5)),
+		}
+		if err := rt.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		if err := ct.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.FinishLoad(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := docstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := ds.CreateCollection("Regions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		doc := values.NewRecord(
+			values.Field{Name: "id", Val: values.NewInt(int64(i))},
+			values.Field{Name: "volume", Val: values.NewFloat(float64(i) * 2)},
+		)
+		if err := coll.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rs, cs, ds
+}
+
+// hbpQuery is the paper's template: join patients with regions, filter,
+// aggregate.
+func hbpQuery() *basequery.JoinQuery {
+	return &basequery.JoinQuery{
+		Tables: []basequery.TableTerm{
+			{Table: "Patients", Preds: []basequery.Pred{
+				{Col: "age", Op: basequery.OpGt, Val: values.NewInt(40)},
+			}},
+			{Table: "Regions"},
+		},
+		Joins: []basequery.JoinOn{
+			{LTable: "Patients", LCol: "id", RTable: "Regions", RCol: "id"},
+		},
+		Agg: &basequery.AggSpec{Kind: basequery.AggSum, Table: "Regions", Col: "volume"},
+	}
+}
+
+func expected(t *testing.T) float64 {
+	t.Helper()
+	// age = 20 + i%60 > 40 → i%60 > 20; volume = 2i.
+	want := 0.0
+	for i := 0; i < 100; i++ {
+		if 20+i%60 > 40 {
+			want += float64(i) * 2
+		}
+	}
+	return want
+}
+
+func TestMediatorRowStorePlusDocstore(t *testing.T) {
+	rs, _, ds := buildSystems(t)
+	m := NewMediator()
+	m.Mount("Patients", &RowStoreWrapper{Store: rs})
+	m.Mount("Regions", &DocStoreWrapper{Store: ds})
+	got, err := m.Execute(hbpQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float() != expected(t) {
+		t.Fatalf("sum = %v, want %v", got, expected(t))
+	}
+	if m.RowsTransferred() == 0 {
+		t.Fatal("no boundary transfers counted")
+	}
+	sys := m.Systems()
+	if sys["Patients"] != "rowstore" || sys["Regions"] != "docstore" {
+		t.Fatalf("systems = %v", sys)
+	}
+}
+
+func TestMediatorColStorePlusDocstore(t *testing.T) {
+	_, cs, ds := buildSystems(t)
+	m := NewMediator()
+	m.Mount("Patients", &ColStoreWrapper{Store: cs})
+	m.Mount("Regions", &DocStoreWrapper{Store: ds})
+	got, err := m.Execute(hbpQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float() != expected(t) {
+		t.Fatalf("sum = %v, want %v", got, expected(t))
+	}
+}
+
+func TestMediatorProjectionQuery(t *testing.T) {
+	rs, _, ds := buildSystems(t)
+	m := NewMediator()
+	m.Mount("Patients", &RowStoreWrapper{Store: rs})
+	m.Mount("Regions", &DocStoreWrapper{Store: ds})
+	q := &basequery.JoinQuery{
+		Tables: []basequery.TableTerm{
+			{Table: "Patients", Preds: []basequery.Pred{
+				{Col: "id", Op: basequery.OpLt, Val: values.NewInt(5)},
+			}},
+			{Table: "Regions"},
+		},
+		Joins: []basequery.JoinOn{
+			{LTable: "Patients", LCol: "id", RTable: "Regions", RCol: "id"},
+		},
+		Project: []basequery.ProjCol{
+			{Table: "Patients", Col: "city"},
+			{Table: "Regions", Col: "volume", As: "vol"},
+		},
+	}
+	got, err := m.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	if _, ok := got.Elems()[0].Get("vol"); !ok {
+		t.Fatalf("projection alias lost: %v", got.Elems()[0])
+	}
+}
+
+func TestMediatorErrors(t *testing.T) {
+	m := NewMediator()
+	if _, err := m.Execute(hbpQuery()); err == nil {
+		t.Fatal("unmounted tables accepted")
+	}
+	rs, _, _ := buildSystems(t)
+	m.Mount("Patients", &RowStoreWrapper{Store: rs})
+	if _, err := m.Execute(hbpQuery()); err == nil {
+		t.Fatal("partially mounted query accepted")
+	}
+	// Unknown table inside a wrapper.
+	w := &RowStoreWrapper{Store: rs}
+	if err := w.Scan("NoSuch", nil, nil, func(values.Value) error { return nil }); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestExecuteJoinValidation(t *testing.T) {
+	if _, err := basequery.ExecuteJoin(&basequery.JoinQuery{}, nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	q := &basequery.JoinQuery{
+		Tables: []basequery.TableTerm{{Table: "A"}, {Table: "B"}},
+		// no join edge for B
+		Agg: &basequery.AggSpec{Kind: basequery.AggCount},
+	}
+	scans := map[string]basequery.ScanFn{
+		"A": func(fields []string, preds []basequery.Pred, yield func(values.Value) error) error { return nil },
+		"B": func(fields []string, preds []basequery.Pred, yield func(values.Value) error) error { return nil },
+	}
+	if _, err := basequery.ExecuteJoin(q, scans); err == nil {
+		t.Fatal("missing join edge accepted")
+	}
+}

@@ -1,0 +1,530 @@
+package jit
+
+import (
+	"fmt"
+
+	"vida/internal/algebra"
+	"vida/internal/mcl"
+	"vida/internal/monoid"
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+var (
+	listM = monoid.List
+	bagM  = monoid.Bag
+	setM  = monoid.Set
+)
+
+// SchemaCatalog extends the executor catalog with the source descriptions
+// the JIT compiler needs to flatten scans into typed slots.
+type SchemaCatalog interface {
+	algebra.Catalog
+	Description(name string) (*sdg.Description, bool)
+}
+
+// SlotSource is implemented by access paths that can emit slot rows
+// directly (no record construction): the CSV plugin over a positional map,
+// columnar cache entries, etc. Slot order follows the fields argument.
+type SlotSource interface {
+	IterateSlots(fields []string, yield func([]values.Value) error) error
+}
+
+// rowSink receives pipeline rows. Rows are REUSED by the producer: a sink
+// that retains a row must copy it.
+type rowSink func(row []values.Value) error
+
+// compiledPlan is one operator subtree staged into a closure.
+type compiledPlan struct {
+	frame *frame
+	run   func(sink rowSink) error
+}
+
+// compiler holds per-query compilation state.
+type compiler struct {
+	cat     algebra.Catalog
+	schemas SchemaCatalog // may be nil
+	baseEnv *mcl.Env
+}
+
+// Executor is the just-in-time engine. The zero value is ready to use.
+type Executor struct{}
+
+// Run implements algebra.Executor: it generates the specialized pipeline
+// for this exact plan ("database as a query") and runs it.
+func (Executor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Value, error) {
+	prog, err := Compile(p, cat)
+	if err != nil {
+		return values.Null, err
+	}
+	return prog()
+}
+
+// Compile stages the plan into an executable program. Compilation is the
+// reproduction's analogue of the paper's per-query code generation: all
+// schema resolution, slot layout, plugin selection and operator fusion
+// happen here, once, leaving a closure chain with no per-row decisions.
+func Compile(p *algebra.Reduce, cat algebra.Catalog) (func() (values.Value, error), error) {
+	c := &compiler{cat: cat}
+	if sc, ok := cat.(SchemaCatalog); ok {
+		c.schemas = sc
+	}
+	env, err := c.materializeFreeSources(p)
+	if err != nil {
+		return nil, err
+	}
+	c.baseEnv = env
+
+	input, err := c.compilePlan(p.Input)
+	if err != nil {
+		return nil, err
+	}
+	head, err := c.compileExpr(p.Head, input.frame)
+	if err != nil {
+		return nil, err
+	}
+	var pred compiledExpr
+	if p.Pred != nil {
+		pred, err = c.compileExpr(p.Pred, input.frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := p.M
+	return func() (values.Value, error) {
+		acc := monoid.NewCollector(m)
+		err := input.run(func(row []values.Value) error {
+			if pred != nil {
+				pv, err := pred(row)
+				if err != nil {
+					return err
+				}
+				if !(pv.Kind() == values.KindBool && pv.Bool()) {
+					return nil
+				}
+			}
+			h, err := head(row)
+			if err != nil {
+				return err
+			}
+			acc.Add(h)
+			return nil
+		})
+		if err != nil {
+			return values.Null, err
+		}
+		return acc.Result(), nil
+	}, nil
+}
+
+// materializeFreeSources loads catalog sources referenced from inside
+// expressions (correlated subqueries) into the base environment, as the
+// reference executor does.
+func (c *compiler) materializeFreeSources(p algebra.Plan) (*mcl.Env, error) {
+	bound := map[string]bool{}
+	for _, v := range algebra.BoundVars(p) {
+		bound[v] = true
+	}
+	needed := map[string]bool{}
+	collect := func(e mcl.Expr) {
+		if e == nil {
+			return
+		}
+		for _, v := range mcl.FreeVars(e) {
+			if !bound[v] {
+				if _, ok := c.cat.Source(v); ok {
+					needed[v] = true
+				}
+			}
+		}
+	}
+	var walk func(algebra.Plan)
+	walk = func(p algebra.Plan) {
+		switch n := p.(type) {
+		case *algebra.Scan:
+			collect(n.Filter)
+		case *algebra.Generate:
+			collect(n.E)
+		case *algebra.Select:
+			collect(n.Pred)
+		case *algebra.Join:
+			for _, on := range n.On {
+				collect(on.LExpr)
+				collect(on.RExpr)
+			}
+			collect(n.Residual)
+		case *algebra.Bind:
+			collect(n.E)
+		case *algebra.Reduce:
+			collect(n.Head)
+			collect(n.Pred)
+		}
+		for _, in := range p.Inputs() {
+			walk(in)
+		}
+	}
+	walk(p)
+	bindings := map[string]values.Value{}
+	for name := range needed {
+		v, err := algebra.Materialize(c.cat, name)
+		if err != nil {
+			return nil, err
+		}
+		bindings[name] = v
+	}
+	return mcl.NewEnv(bindings), nil
+}
+
+func (c *compiler) compilePlan(p algebra.Plan) (*compiledPlan, error) {
+	if p == nil {
+		// Unit input: one empty row.
+		f := newFrame()
+		return &compiledPlan{frame: f, run: func(sink rowSink) error {
+			return sink(nil)
+		}}, nil
+	}
+	switch n := p.(type) {
+	case *algebra.Scan:
+		return c.compileScan(n)
+	case *algebra.Select:
+		in, err := c.compilePlan(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := c.compileExpr(n.Pred, in.frame)
+		if err != nil {
+			return nil, err
+		}
+		// Fused: no operator boundary, just a branch inside the loop.
+		return &compiledPlan{frame: in.frame, run: func(sink rowSink) error {
+			return in.run(func(row []values.Value) error {
+				pv, err := pred(row)
+				if err != nil {
+					return err
+				}
+				if pv.Kind() == values.KindBool && pv.Bool() {
+					return sink(row)
+				}
+				return nil
+			})
+		}}, nil
+	case *algebra.Bind:
+		in, err := c.compilePlan(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		f := in.frame.clone()
+		idx := f.add(n.Var, "")
+		e, err := c.compileExpr(n.E, in.frame)
+		if err != nil {
+			return nil, err
+		}
+		w := f.width()
+		return &compiledPlan{frame: f, run: func(sink rowSink) error {
+			buf := make([]values.Value, w)
+			return in.run(func(row []values.Value) error {
+				copy(buf, row)
+				v, err := e(row)
+				if err != nil {
+					return err
+				}
+				buf[idx] = v
+				return sink(buf)
+			})
+		}}, nil
+	case *algebra.Generate:
+		in, err := c.compilePlan(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		f := in.frame.clone()
+		idx := f.add(n.Var, "")
+		e, err := c.compileExpr(n.E, in.frame)
+		if err != nil {
+			return nil, err
+		}
+		w := f.width()
+		return &compiledPlan{frame: f, run: func(sink rowSink) error {
+			buf := make([]values.Value, w)
+			return in.run(func(row []values.Value) error {
+				coll, err := e(row)
+				if err != nil {
+					return err
+				}
+				if coll.IsNull() {
+					return nil
+				}
+				if !coll.IsCollection() && coll.Kind() != values.KindArray {
+					return fmt.Errorf("jit: generate over %s", coll.Kind())
+				}
+				copy(buf, row)
+				for _, el := range coll.Elems() {
+					buf[idx] = el
+					if err := sink(buf); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}}, nil
+	case *algebra.Product:
+		return c.compileProduct(n)
+	case *algebra.Join:
+		return c.compileJoin(n)
+	case *algebra.Reduce:
+		return nil, fmt.Errorf("jit: nested Reduce plans are not supported")
+	}
+	return nil, fmt.Errorf("jit: unknown plan node %T", p)
+}
+
+// compileScan selects the input plugin for the source format and stages a
+// specialized scan loop. Sources that can emit slot rows (SlotSource) skip
+// record construction entirely; generic sources are exploded into slots
+// when the schema is known, or bound as whole values otherwise.
+func (c *compiler) compileScan(n *algebra.Scan) (*compiledPlan, error) {
+	src, ok := c.cat.Source(n.Source)
+	if !ok {
+		return nil, fmt.Errorf("jit: unknown source %q", n.Source)
+	}
+
+	// Determine the attribute list: explicit plan fields, else the full
+	// schema when known, else whole-value binding.
+	fields := n.Fields
+	var rowType *sdg.Type
+	if c.schemas != nil {
+		if desc, ok := c.schemas.Description(n.Source); ok {
+			rowType = desc.IterationType()
+		}
+	}
+	if len(fields) == 0 && rowType != nil && rowType.Kind == sdg.TRecord {
+		fields = rowType.AttrNames()
+	}
+
+	if len(fields) == 0 {
+		// Open schema: one whole-value slot per datum (JSON objects).
+		f := newFrame()
+		idx := f.add(n.Var, "")
+		var filter compiledExpr
+		if n.Filter != nil {
+			var err error
+			filter, err = c.compileExpr(n.Filter, f)
+			if err != nil {
+				return nil, err
+			}
+		}
+		w := f.width()
+		return &compiledPlan{frame: f, run: func(sink rowSink) error {
+			buf := make([]values.Value, w)
+			return src.Iterate(nil, func(v values.Value) error {
+				buf[idx] = v
+				if filter != nil {
+					pv, err := filter(buf)
+					if err != nil {
+						return err
+					}
+					if !(pv.Kind() == values.KindBool && pv.Bool()) {
+						return nil
+					}
+				}
+				return sink(buf)
+			})
+		}}, nil
+	}
+
+	// Flattened scan: one slot per attribute.
+	f := newFrame()
+	for _, fld := range fields {
+		f.add(n.Var, fld)
+	}
+	var filter compiledExpr
+	if n.Filter != nil {
+		var err error
+		filter, err = c.compileExpr(n.Filter, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w := f.width()
+	emit := func(sink rowSink) func([]values.Value) error {
+		return func(row []values.Value) error {
+			if filter != nil {
+				pv, err := filter(row)
+				if err != nil {
+					return err
+				}
+				if !(pv.Kind() == values.KindBool && pv.Bool()) {
+					return nil
+				}
+			}
+			return sink(row)
+		}
+	}
+	if ss, ok := src.(SlotSource); ok {
+		// Specialized plugin: the access path fills slots directly.
+		return &compiledPlan{frame: f, run: func(sink rowSink) error {
+			return ss.IterateSlots(fields, emit(sink))
+		}}, nil
+	}
+	return &compiledPlan{frame: f, run: func(sink rowSink) error {
+		buf := make([]values.Value, w)
+		e := emit(sink)
+		return src.Iterate(fields, func(v values.Value) error {
+			for i, fld := range fields {
+				fv, _ := v.Get(fld)
+				buf[i] = fv
+			}
+			return e(buf)
+		})
+	}}, nil
+}
+
+func (c *compiler) compileProduct(n *algebra.Product) (*compiledPlan, error) {
+	l, err := c.compilePlan(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compilePlan(n.R)
+	if err != nil {
+		return nil, err
+	}
+	f := l.frame.clone()
+	for _, s := range r.frame.slots {
+		f.add(s.key.varName, s.key.attr)
+	}
+	lw, rw := l.frame.width(), r.frame.width()
+	return &compiledPlan{frame: f, run: func(sink rowSink) error {
+		// Materialize the right side once (it restarts per left row).
+		var right [][]values.Value
+		if err := r.run(func(row []values.Value) error {
+			right = append(right, append([]values.Value{}, row...))
+			return nil
+		}); err != nil {
+			return err
+		}
+		buf := make([]values.Value, lw+rw)
+		return l.run(func(lrow []values.Value) error {
+			copy(buf, lrow)
+			for _, rrow := range right {
+				copy(buf[lw:], rrow)
+				if err := sink(buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}}, nil
+}
+
+// compileJoin stages a hash join: the right side is the build side (its
+// materialization is the operator's "output plugin" state), the left side
+// probes. Null keys never match.
+func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
+	l, err := c.compilePlan(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compilePlan(n.R)
+	if err != nil {
+		return nil, err
+	}
+	f := l.frame.clone()
+	for _, s := range r.frame.slots {
+		f.add(s.key.varName, s.key.attr)
+	}
+	lKeys := make([]compiledExpr, len(n.On))
+	rKeys := make([]compiledExpr, len(n.On))
+	for i, on := range n.On {
+		if lKeys[i], err = c.compileExpr(on.LExpr, l.frame); err != nil {
+			return nil, err
+		}
+		if rKeys[i], err = c.compileExpr(on.RExpr, r.frame); err != nil {
+			return nil, err
+		}
+	}
+	var residual compiledExpr
+	if n.Residual != nil {
+		if residual, err = c.compileExpr(n.Residual, f); err != nil {
+			return nil, err
+		}
+	}
+	lw, rw := l.frame.width(), r.frame.width()
+	return &compiledPlan{frame: f, run: func(sink rowSink) error {
+		type bucket struct {
+			keys []values.Value
+			rows [][]values.Value
+		}
+		table := map[uint64]*bucket{}
+		// Single-expression keys — the overwhelmingly common case — are
+		// used directly; multi-column keys wrap in a list. This is the
+		// kind of decision the generated code specializes away.
+		keyOf := func(row []values.Value, exprs []compiledExpr) (values.Value, bool, error) {
+			if len(exprs) == 1 {
+				v, err := exprs[0](row)
+				if err != nil || v.IsNull() {
+					return values.Null, false, err
+				}
+				return v, true, nil
+			}
+			parts := make([]values.Value, len(exprs))
+			for i, e := range exprs {
+				v, err := e(row)
+				if err != nil {
+					return values.Null, false, err
+				}
+				if v.IsNull() {
+					return values.Null, false, nil
+				}
+				parts[i] = v
+			}
+			return values.NewList(parts...), true, nil
+		}
+		if err := r.run(func(row []values.Value) error {
+			k, ok, err := keyOf(row, rKeys)
+			if err != nil || !ok {
+				return err
+			}
+			h := k.Hash()
+			b := table[h]
+			if b == nil {
+				b = &bucket{}
+				table[h] = b
+			}
+			b.keys = append(b.keys, k)
+			b.rows = append(b.rows, append([]values.Value{}, row...))
+			return nil
+		}); err != nil {
+			return err
+		}
+		buf := make([]values.Value, lw+rw)
+		return l.run(func(lrow []values.Value) error {
+			k, ok, err := keyOf(lrow, lKeys)
+			if err != nil || !ok {
+				return err
+			}
+			b := table[k.Hash()]
+			if b == nil {
+				return nil
+			}
+			copy(buf, lrow)
+			for i, bk := range b.keys {
+				if !values.Equal(k, bk) {
+					continue
+				}
+				copy(buf[lw:], b.rows[i])
+				if residual != nil {
+					pv, err := residual(buf)
+					if err != nil {
+						return err
+					}
+					if !(pv.Kind() == values.KindBool && pv.Bool()) {
+						continue
+					}
+				}
+				if err := sink(buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}}, nil
+}

@@ -1,0 +1,483 @@
+// Package jit implements ViDa's two execution engines over the algebra:
+//
+//   - The just-in-time executor (paper §4): every operator is generated at
+//     query time by composing specialized closures. Attribute references
+//     are resolved to frame-slot indices at compile time, scan plugins
+//     decode only the attributes the query touches, non-blocking operator
+//     chains are fused into a single loop, and generic branches (type
+//     checks, record lookups) are eliminated where the schema is known.
+//     Closure staging is this reproduction's substitute for the paper's
+//     LLVM code generation — it removes the same interpretation overheads
+//     relative to the static engine (see DESIGN.md, substitutions).
+//
+//   - The static executor: pre-cooked generic Volcano operators pipelined
+//     over Go channels, evaluating expressions by AST interpretation on
+//     every row. This mirrors the paper's own fallback engine ("the static
+//     executor is written in GO, exploiting GO's channels to offer
+//     pipelined execution") and serves as the baseline of the JIT-vs-
+//     static ablation (experiment E6).
+package jit
+
+import (
+	"fmt"
+
+	"vida/internal/mcl"
+	"vida/internal/values"
+)
+
+// frame describes the slot layout of rows flowing through a compiled
+// pipeline. A slot is either one flattened attribute of a scan variable
+// (fast path: projections compile to direct indexing) or a whole bound
+// value (generic path: JSON objects, Generate/Bind results).
+type frame struct {
+	slots []slot
+	index map[slotKey]int
+}
+
+type slotKey struct {
+	varName string
+	attr    string // empty = whole value
+}
+
+type slot struct {
+	key slotKey
+}
+
+func newFrame() *frame {
+	return &frame{index: map[slotKey]int{}}
+}
+
+// clone returns a copy that can be extended independently.
+func (f *frame) clone() *frame {
+	nf := newFrame()
+	nf.slots = append(nf.slots, f.slots...)
+	for k, v := range f.index {
+		nf.index[k] = v
+	}
+	return nf
+}
+
+// add appends a slot and returns its index.
+func (f *frame) add(varName, attr string) int {
+	k := slotKey{varName: varName, attr: attr}
+	if i, ok := f.index[k]; ok {
+		return i
+	}
+	i := len(f.slots)
+	f.slots = append(f.slots, slot{key: k})
+	f.index[k] = i
+	return i
+}
+
+// lookup finds a slot index.
+func (f *frame) lookup(varName, attr string) (int, bool) {
+	i, ok := f.index[slotKey{varName: varName, attr: attr}]
+	return i, ok
+}
+
+// hasVar reports whether any slot belongs to varName.
+func (f *frame) hasVar(name string) bool {
+	for _, s := range f.slots {
+		if s.key.varName == name {
+			return true
+		}
+	}
+	return false
+}
+
+// width returns the number of slots.
+func (f *frame) width() int { return len(f.slots) }
+
+// compiledExpr is an expression specialized against a frame.
+type compiledExpr func(row []values.Value) (values.Value, error)
+
+// compileExpr stages an expression into a closure over frame rows. Known
+// shapes (slot references, arithmetic, comparisons, record construction,
+// builtins) compile to direct closures with no AST interpretation; shapes
+// the compiler does not specialize (nested comprehensions, lambdas) fall
+// back to the calculus interpreter with an environment assembled from the
+// row — mirroring how the paper's engine embeds subplans.
+func (c *compiler) compileExpr(e mcl.Expr, f *frame) (compiledExpr, error) {
+	switch n := e.(type) {
+	case *mcl.NullExpr:
+		return func([]values.Value) (values.Value, error) { return values.Null, nil }, nil
+	case *mcl.ConstExpr:
+		v := n.Val
+		return func([]values.Value) (values.Value, error) { return v, nil }, nil
+	case *mcl.VarExpr:
+		if i, ok := f.lookup(n.Name, ""); ok {
+			return func(row []values.Value) (values.Value, error) { return row[i], nil }, nil
+		}
+		if f.hasVar(n.Name) {
+			// The variable was flattened into attribute slots; rebuild the
+			// record on demand (rare: whole-record yield).
+			var idxs []int
+			var names []string
+			for i, s := range f.slots {
+				if s.key.varName == n.Name {
+					idxs = append(idxs, i)
+					names = append(names, s.key.attr)
+				}
+			}
+			return func(row []values.Value) (values.Value, error) {
+				fields := make([]values.Field, len(idxs))
+				for k, i := range idxs {
+					fields[k] = values.Field{Name: names[k], Val: row[i]}
+				}
+				return values.NewRecord(fields...), nil
+			}, nil
+		}
+		// Free variable: a catalog source referenced inside the query.
+		if v, ok := c.baseEnv.Lookup(n.Name); ok {
+			return func([]values.Value) (values.Value, error) { return v, nil }, nil
+		}
+		return nil, fmt.Errorf("jit: unbound variable %q", n.Name)
+	case *mcl.ProjExpr:
+		if v, ok := n.Rec.(*mcl.VarExpr); ok {
+			// Fast path: attribute slot resolved at compile time.
+			if i, ok := f.lookup(v.Name, n.Attr); ok {
+				return func(row []values.Value) (values.Value, error) { return row[i], nil }, nil
+			}
+			// Whole-value slot: runtime field lookup (open schemas).
+			if i, ok := f.lookup(v.Name, ""); ok {
+				attr := n.Attr
+				return func(row []values.Value) (values.Value, error) {
+					rec := row[i]
+					if rec.IsNull() {
+						return values.Null, nil
+					}
+					if rec.Kind() != values.KindRecord {
+						return values.Null, fmt.Errorf("jit: projection .%s on %s", attr, rec.Kind())
+					}
+					out, _ := rec.Get(attr)
+					return out, nil
+				}, nil
+			}
+		}
+		inner, err := c.compileExpr(n.Rec, f)
+		if err != nil {
+			return nil, err
+		}
+		attr := n.Attr
+		return func(row []values.Value) (values.Value, error) {
+			rec, err := inner(row)
+			if err != nil {
+				return values.Null, err
+			}
+			if rec.IsNull() {
+				return values.Null, nil
+			}
+			if rec.Kind() != values.KindRecord {
+				return values.Null, fmt.Errorf("jit: projection .%s on %s", attr, rec.Kind())
+			}
+			out, _ := rec.Get(attr)
+			return out, nil
+		}, nil
+	case *mcl.RecordExpr:
+		parts := make([]compiledExpr, len(n.Fields))
+		names := make([]string, len(n.Fields))
+		for i, fld := range n.Fields {
+			ce, err := c.compileExpr(fld.Val, f)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = ce
+			names[i] = fld.Name
+		}
+		return func(row []values.Value) (values.Value, error) {
+			fields := make([]values.Field, len(parts))
+			for i, p := range parts {
+				v, err := p(row)
+				if err != nil {
+					return values.Null, err
+				}
+				fields[i] = values.Field{Name: names[i], Val: v}
+			}
+			return values.NewRecord(fields...), nil
+		}, nil
+	case *mcl.IfExpr:
+		cond, err := c.compileExpr(n.Cond, f)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.compileExpr(n.Then, f)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.compileExpr(n.Else, f)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []values.Value) (values.Value, error) {
+			cv, err := cond(row)
+			if err != nil {
+				return values.Null, err
+			}
+			if cv.Kind() == values.KindBool && cv.Bool() {
+				return then(row)
+			}
+			return els(row)
+		}, nil
+	case *mcl.BinExpr:
+		return c.compileBin(n, f)
+	case *mcl.NotExpr:
+		inner, err := c.compileExpr(n.E, f)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []values.Value) (values.Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return values.Null, err
+			}
+			return values.NewBool(!(v.Kind() == values.KindBool && v.Bool())), nil
+		}, nil
+	case *mcl.NegExpr:
+		inner, err := c.compileExpr(n.E, f)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []values.Value) (values.Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return values.Null, err
+			}
+			switch v.Kind() {
+			case values.KindNull:
+				return values.Null, nil
+			case values.KindInt:
+				return values.NewInt(-v.Int()), nil
+			case values.KindFloat:
+				return values.NewFloat(-v.Float()), nil
+			}
+			return values.Null, fmt.Errorf("jit: negation of %s", v.Kind())
+		}, nil
+	case *mcl.CallExpr:
+		args := make([]compiledExpr, len(n.Args))
+		for i, a := range n.Args {
+			ce, err := c.compileExpr(a, f)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ce
+		}
+		name := n.Name
+		return func(row []values.Value) (values.Value, error) {
+			vals := make([]values.Value, len(args))
+			for i, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return values.Null, err
+				}
+				vals[i] = v
+			}
+			return mcl.ApplyBuiltin(name, vals)
+		}, nil
+	case *mcl.ZeroExpr:
+		m := n.M
+		return func([]values.Value) (values.Value, error) { return m.Zero(), nil }, nil
+	case *mcl.SingletonExpr:
+		inner, err := c.compileExpr(n.E, f)
+		if err != nil {
+			return nil, err
+		}
+		m := n.M
+		return func(row []values.Value) (values.Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return values.Null, err
+			}
+			return m.Unit(v), nil
+		}, nil
+	case *mcl.MergeExpr:
+		l, err := c.compileExpr(n.L, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileExpr(n.R, f)
+		if err != nil {
+			return nil, err
+		}
+		m := n.M
+		return func(row []values.Value) (values.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return values.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return values.Null, err
+			}
+			mm := m
+			if mm == nil {
+				switch lv.Kind() {
+				case values.KindList:
+					mm = listM
+				case values.KindBag:
+					mm = bagM
+				case values.KindSet:
+					mm = setM
+				default:
+					return values.Null, fmt.Errorf("jit: ++ on %s", lv.Kind())
+				}
+			}
+			return mm.Merge(lv, rv), nil
+		}, nil
+	case *mcl.IndexExpr:
+		arr, err := c.compileExpr(n.Arr, f)
+		if err != nil {
+			return nil, err
+		}
+		idxs := make([]compiledExpr, len(n.Idxs))
+		for i, ix := range n.Idxs {
+			ce, err := c.compileExpr(ix, f)
+			if err != nil {
+				return nil, err
+			}
+			idxs[i] = ce
+		}
+		return func(row []values.Value) (values.Value, error) {
+			av, err := arr(row)
+			if err != nil {
+				return values.Null, err
+			}
+			ii := make([]int, len(idxs))
+			for k, ix := range idxs {
+				v, err := ix(row)
+				if err != nil {
+					return values.Null, err
+				}
+				if v.Kind() != values.KindInt {
+					return values.Null, fmt.Errorf("jit: index must be int")
+				}
+				ii[k] = int(v.Int())
+			}
+			switch av.Kind() {
+			case values.KindArray:
+				if len(ii) != len(av.Dims()) {
+					return values.Null, fmt.Errorf("jit: index rank mismatch")
+				}
+				for d, i := range ii {
+					if i < 0 || i >= av.Dims()[d] {
+						return values.Null, fmt.Errorf("jit: index out of range")
+					}
+				}
+				return av.At(ii...), nil
+			case values.KindList:
+				if len(ii) != 1 || ii[0] < 0 || ii[0] >= av.Len() {
+					return values.Null, fmt.Errorf("jit: list index out of range")
+				}
+				return av.Elems()[ii[0]], nil
+			case values.KindNull:
+				return values.Null, nil
+			}
+			return values.Null, fmt.Errorf("jit: cannot index %s", av.Kind())
+		}, nil
+	case *mcl.Comprehension, *mcl.LambdaExpr, *mcl.ApplyExpr:
+		// Generic fallback: correlated subplan evaluated by the calculus
+		// interpreter against an environment assembled from the row.
+		return c.interpreted(e, f), nil
+	}
+	return nil, fmt.Errorf("jit: cannot compile %T", e)
+}
+
+// interpreted builds the generic fallback closure for expression shapes
+// the staged compiler does not specialize.
+func (c *compiler) interpreted(e mcl.Expr, f *frame) compiledExpr {
+	// Group slots per variable once, at compile time.
+	type varSlots struct {
+		whole int // -1 when flattened
+		attrs []int
+		names []string
+	}
+	groups := map[string]*varSlots{}
+	order := []string{}
+	for i, s := range f.slots {
+		g := groups[s.key.varName]
+		if g == nil {
+			g = &varSlots{whole: -1}
+			groups[s.key.varName] = g
+			order = append(order, s.key.varName)
+		}
+		if s.key.attr == "" {
+			g.whole = i
+		} else {
+			g.attrs = append(g.attrs, i)
+			g.names = append(g.names, s.key.attr)
+		}
+	}
+	base := c.baseEnv
+	return func(row []values.Value) (values.Value, error) {
+		env := base
+		for _, name := range order {
+			g := groups[name]
+			if g.whole >= 0 {
+				env = env.Bind(name, row[g.whole])
+				continue
+			}
+			fields := make([]values.Field, len(g.attrs))
+			for k, i := range g.attrs {
+				fields[k] = values.Field{Name: g.names[k], Val: row[i]}
+			}
+			env = env.Bind(name, values.NewRecord(fields...))
+		}
+		return mcl.Eval(e, env)
+	}
+}
+
+// compileBin stages binary operators, specializing the comparison and
+// arithmetic dispatch once at compile time rather than per row.
+func (c *compiler) compileBin(n *mcl.BinExpr, f *frame) (compiledExpr, error) {
+	l, err := c.compileExpr(n.L, f)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compileExpr(n.R, f)
+	if err != nil {
+		return nil, err
+	}
+	op := n.Op
+	switch op {
+	case mcl.OpAnd:
+		return func(row []values.Value) (values.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return values.Null, err
+			}
+			if !(lv.Kind() == values.KindBool && lv.Bool()) {
+				return values.False, nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return values.Null, err
+			}
+			return values.NewBool(rv.Kind() == values.KindBool && rv.Bool()), nil
+		}, nil
+	case mcl.OpOr:
+		return func(row []values.Value) (values.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return values.Null, err
+			}
+			if lv.Kind() == values.KindBool && lv.Bool() {
+				return values.True, nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return values.Null, err
+			}
+			return values.NewBool(rv.Kind() == values.KindBool && rv.Bool()), nil
+		}, nil
+	}
+	return func(row []values.Value) (values.Value, error) {
+		lv, err := l(row)
+		if err != nil {
+			return values.Null, err
+		}
+		rv, err := r(row)
+		if err != nil {
+			return values.Null, err
+		}
+		return mcl.ApplyBinOp(op, lv, rv)
+	}, nil
+}

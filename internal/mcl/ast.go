@@ -1,0 +1,361 @@
+package mcl
+
+import (
+	"fmt"
+	"strings"
+
+	"vida/internal/monoid"
+	"vida/internal/values"
+)
+
+// Expr is a node of the monoid comprehension calculus (paper Table 1).
+type Expr interface {
+	// String renders the expression in concrete syntax.
+	String() string
+	exprNode()
+}
+
+// NullExpr is the NULL literal.
+type NullExpr struct{}
+
+// ConstExpr is a constant (bool, int, float or string).
+type ConstExpr struct{ Val values.Value }
+
+// VarExpr is a variable reference υ.
+type VarExpr struct{ Name string }
+
+// ProjExpr is record projection e.A.
+type ProjExpr struct {
+	Rec  Expr
+	Attr string
+}
+
+// FieldExpr is one component of a record construction.
+type FieldExpr struct {
+	Name string
+	Val  Expr
+}
+
+// RecordExpr is record construction ⟨A1 = e1, ..., An = en⟩; concrete
+// syntax (A1 := e1, ..., An := en).
+type RecordExpr struct{ Fields []FieldExpr }
+
+// IfExpr is if e1 then e2 else e3.
+type IfExpr struct{ Cond, Then, Else Expr }
+
+// BinOp enumerates primitive binary functions.
+type BinOp uint8
+
+// The binary operators.
+const (
+	OpEq BinOp = iota
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpEq: "=", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "and", OpOr: "or",
+}
+
+// String returns the operator's concrete syntax.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// BinExpr is e1 op e2.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NotExpr is boolean negation.
+type NotExpr struct{ E Expr }
+
+// NegExpr is numeric negation.
+type NegExpr struct{ E Expr }
+
+// LambdaExpr is function abstraction λυ.e; concrete syntax \v -> e.
+type LambdaExpr struct {
+	Param string
+	Body  Expr
+}
+
+// ApplyExpr is function application e1(e2).
+type ApplyExpr struct {
+	Fn  Expr
+	Arg Expr
+}
+
+// CallExpr invokes a builtin function by name (len, abs, lower, ...).
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+// ZeroExpr is Z⊕, the zero element of a monoid.
+type ZeroExpr struct{ M monoid.Monoid }
+
+// SingletonExpr is U⊕(e), singleton construction.
+type SingletonExpr struct {
+	M monoid.Monoid
+	E Expr
+}
+
+// MergeExpr is e1 ⊕ e2, merging under an explicit monoid.
+type MergeExpr struct {
+	M    monoid.Monoid
+	L, R Expr
+}
+
+// IndexExpr is array subscripting e[i1, ..., in], the array-model access
+// primitive ViDa adds for matrix data.
+type IndexExpr struct {
+	Arr  Expr
+	Idxs []Expr
+}
+
+// Qualifier is one qi of a comprehension: a generator v <- e, a let
+// binding v := e, or a filter predicate.
+type Qualifier struct {
+	Var  string // generator/bind variable; empty for filters
+	Bind bool   // true for v := e
+	Src  Expr   // generator source, bind value, or filter predicate
+}
+
+// IsGenerator reports whether q is v <- e.
+func (q Qualifier) IsGenerator() bool { return q.Var != "" && !q.Bind }
+
+// IsBind reports whether q is v := e.
+func (q Qualifier) IsBind() bool { return q.Var != "" && q.Bind }
+
+// IsFilter reports whether q is a predicate.
+func (q Qualifier) IsFilter() bool { return q.Var == "" }
+
+// Comprehension is ⊕{ e | q1, ..., qn }; concrete syntax
+// for { q1, ..., qn } yield ⊕ e.
+type Comprehension struct {
+	M    monoid.Monoid
+	Head Expr
+	Qs   []Qualifier
+}
+
+func (*NullExpr) exprNode()      {}
+func (*ConstExpr) exprNode()     {}
+func (*VarExpr) exprNode()       {}
+func (*ProjExpr) exprNode()      {}
+func (*RecordExpr) exprNode()    {}
+func (*IfExpr) exprNode()        {}
+func (*BinExpr) exprNode()       {}
+func (*NotExpr) exprNode()       {}
+func (*NegExpr) exprNode()       {}
+func (*LambdaExpr) exprNode()    {}
+func (*ApplyExpr) exprNode()     {}
+func (*CallExpr) exprNode()      {}
+func (*ZeroExpr) exprNode()      {}
+func (*SingletonExpr) exprNode() {}
+func (*MergeExpr) exprNode()     {}
+func (*IndexExpr) exprNode()     {}
+func (*Comprehension) exprNode() {}
+
+func (e *NullExpr) String() string  { return "null" }
+func (e *ConstExpr) String() string { return e.Val.String() }
+func (e *VarExpr) String() string   { return e.Name }
+func (e *ProjExpr) String() string  { return fmt.Sprintf("%s.%s", e.Rec, e.Attr) }
+
+func (e *RecordExpr) String() string {
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = fmt.Sprintf("%s := %s", f.Name, f.Val)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *IfExpr) String() string {
+	return fmt.Sprintf("if %s then %s else %s", e.Cond, e.Then, e.Else)
+}
+
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func (e *NotExpr) String() string    { return fmt.Sprintf("not %s", e.E) }
+func (e *NegExpr) String() string    { return fmt.Sprintf("-%s", e.E) }
+func (e *LambdaExpr) String() string { return fmt.Sprintf("\\%s -> %s", e.Param, e.Body) }
+func (e *ApplyExpr) String() string  { return fmt.Sprintf("%s(%s)", e.Fn, e.Arg) }
+
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(parts, ", "))
+}
+
+func (e *ZeroExpr) String() string      { return fmt.Sprintf("zero[%s]", e.M.Name()) }
+func (e *SingletonExpr) String() string { return fmt.Sprintf("unit[%s](%s)", e.M.Name(), e.E) }
+
+func (e *MergeExpr) String() string {
+	name := "?" // monoid not yet inferred by the type checker
+	if e.M != nil {
+		name = e.M.Name()
+	}
+	return fmt.Sprintf("(%s ++[%s] %s)", e.L, name, e.R)
+}
+
+func (e *IndexExpr) String() string {
+	parts := make([]string, len(e.Idxs))
+	for i, ix := range e.Idxs {
+		parts[i] = ix.String()
+	}
+	return fmt.Sprintf("%s[%s]", e.Arr, strings.Join(parts, ", "))
+}
+
+func (e *Comprehension) String() string {
+	parts := make([]string, len(e.Qs))
+	for i, q := range e.Qs {
+		switch {
+		case q.IsGenerator():
+			parts[i] = fmt.Sprintf("%s <- %s", q.Var, q.Src)
+		case q.IsBind():
+			parts[i] = fmt.Sprintf("%s := %s", q.Var, q.Src)
+		default:
+			parts[i] = q.Src.String()
+		}
+	}
+	return fmt.Sprintf("for { %s } yield %s %s", strings.Join(parts, ", "), e.M.Name(), e.Head)
+}
+
+// Walk visits e and all its children in depth-first pre-order; if fn
+// returns false the node's children are skipped.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *ProjExpr:
+		Walk(n.Rec, fn)
+	case *RecordExpr:
+		for _, f := range n.Fields {
+			Walk(f.Val, fn)
+		}
+	case *IfExpr:
+		Walk(n.Cond, fn)
+		Walk(n.Then, fn)
+		Walk(n.Else, fn)
+	case *BinExpr:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *NotExpr:
+		Walk(n.E, fn)
+	case *NegExpr:
+		Walk(n.E, fn)
+	case *LambdaExpr:
+		Walk(n.Body, fn)
+	case *ApplyExpr:
+		Walk(n.Fn, fn)
+		Walk(n.Arg, fn)
+	case *CallExpr:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *SingletonExpr:
+		Walk(n.E, fn)
+	case *MergeExpr:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *IndexExpr:
+		Walk(n.Arr, fn)
+		for _, ix := range n.Idxs {
+			Walk(ix, fn)
+		}
+	case *Comprehension:
+		for _, q := range n.Qs {
+			Walk(q.Src, fn)
+		}
+		Walk(n.Head, fn)
+	}
+}
+
+// FreeVars returns the free variables of e in first-occurrence order.
+func FreeVars(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	freeVars(e, map[string]bool{}, seen, &out)
+	return out
+}
+
+func freeVars(e Expr, bound map[string]bool, seen map[string]bool, out *[]string) {
+	switch n := e.(type) {
+	case nil:
+	case *VarExpr:
+		if !bound[n.Name] && !seen[n.Name] {
+			seen[n.Name] = true
+			*out = append(*out, n.Name)
+		}
+	case *LambdaExpr:
+		inner := copyBound(bound)
+		inner[n.Param] = true
+		freeVars(n.Body, inner, seen, out)
+	case *Comprehension:
+		inner := copyBound(bound)
+		for _, q := range n.Qs {
+			freeVars(q.Src, inner, seen, out)
+			if q.Var != "" {
+				inner[q.Var] = true
+			}
+		}
+		freeVars(n.Head, inner, seen, out)
+	case *ProjExpr:
+		freeVars(n.Rec, bound, seen, out)
+	case *RecordExpr:
+		for _, f := range n.Fields {
+			freeVars(f.Val, bound, seen, out)
+		}
+	case *IfExpr:
+		freeVars(n.Cond, bound, seen, out)
+		freeVars(n.Then, bound, seen, out)
+		freeVars(n.Else, bound, seen, out)
+	case *BinExpr:
+		freeVars(n.L, bound, seen, out)
+		freeVars(n.R, bound, seen, out)
+	case *NotExpr:
+		freeVars(n.E, bound, seen, out)
+	case *NegExpr:
+		freeVars(n.E, bound, seen, out)
+	case *ApplyExpr:
+		freeVars(n.Fn, bound, seen, out)
+		freeVars(n.Arg, bound, seen, out)
+	case *CallExpr:
+		for _, a := range n.Args {
+			freeVars(a, bound, seen, out)
+		}
+	case *SingletonExpr:
+		freeVars(n.E, bound, seen, out)
+	case *MergeExpr:
+		freeVars(n.L, bound, seen, out)
+		freeVars(n.R, bound, seen, out)
+	case *IndexExpr:
+		freeVars(n.Arr, bound, seen, out)
+		for _, ix := range n.Idxs {
+			freeVars(ix, bound, seen, out)
+		}
+	}
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package mcl
+
+import (
+	"testing"
+
+	"vida/internal/values"
+)
+
+// testEnv builds the Employees/Departments environment used by the
+// paper's running examples.
+func testEnv() *Env {
+	emp := func(id int64, name string, deptNo int64, salary float64) values.Value {
+		return values.NewRecord(
+			values.Field{Name: "id", Val: values.NewInt(id)},
+			values.Field{Name: "name", Val: values.NewString(name)},
+			values.Field{Name: "deptNo", Val: values.NewInt(deptNo)},
+			values.Field{Name: "salary", Val: values.NewFloat(salary)},
+		)
+	}
+	dept := func(id int64, name string) values.Value {
+		return values.NewRecord(
+			values.Field{Name: "id", Val: values.NewInt(id)},
+			values.Field{Name: "deptName", Val: values.NewString(name)},
+		)
+	}
+	return NewEnv(map[string]values.Value{
+		"Employees": values.NewList(
+			emp(1, "ada", 10, 100),
+			emp(2, "bob", 10, 80),
+			emp(3, "eve", 20, 120),
+			emp(4, "dan", 30, 90),
+		),
+		"Departments": values.NewList(
+			dept(10, "HR"),
+			dept(20, "Eng"),
+			dept(30, "Ops"),
+		),
+	})
+}
+
+func evalSrc(t *testing.T, src string, env *Env) values.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(e, env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestEvalPaperCountQuery(t *testing.T) {
+	src := `for { e <- Employees, d <- Departments,
+	        e.deptNo = d.id, d.deptName = "HR"} yield sum 1`
+	if got := evalSrc(t, src, testEnv()); got.Int() != 2 {
+		t.Fatalf("HR count = %v, want 2", got)
+	}
+}
+
+func TestEvalScalarExpressions(t *testing.T) {
+	env := NewEnv(nil)
+	cases := map[string]values.Value{
+		"1 + 2 * 3":                  values.NewInt(7),
+		"(1 + 2) * 3":                values.NewInt(9),
+		"7 / 2":                      values.NewInt(3),
+		"7.0 / 2":                    values.NewFloat(3.5),
+		"7 % 3":                      values.NewInt(1),
+		`"a" + "b"`:                  values.NewString("ab"),
+		"1 < 2":                      values.True,
+		"2 <= 1":                     values.False,
+		`"abc" = "abc"`:              values.True,
+		"not (1 = 1)":                values.False,
+		"true and false":             values.False,
+		"true or false":              values.True,
+		"if 2 > 1 then 10 else 20":   values.NewInt(10),
+		"-(3 + 4)":                   values.NewInt(-7),
+		"null":                       values.Null,
+		"len(\"hello\")":             values.NewInt(5),
+		"abs(-4)":                    values.NewInt(4),
+		"sqrt(9.0)":                  values.NewFloat(3),
+		"lower(\"AbC\")":             values.NewString("abc"),
+		"substr(\"hello\", 1, 3)":    values.NewString("el"),
+		"contains(\"vida\", \"id\")": values.True,
+		"toint(\"42\")":              values.NewInt(42),
+		"tofloat(\"2.5\")":           values.NewFloat(2.5),
+		"tostring(12)":               values.NewString("12"),
+	}
+	for src, want := range cases {
+		if got := evalSrc(t, src, env); !values.Equal(got, want) {
+			t.Fatalf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	env := NewEnv(map[string]values.Value{"x": values.Null})
+	// Arithmetic propagates null.
+	if got := evalSrc(t, "x + 1", env); !got.IsNull() {
+		t.Fatalf("null + 1 = %v", got)
+	}
+	// Comparison with null is false.
+	if got := evalSrc(t, "x = 1", env); got.Truth() {
+		t.Fatalf("null = 1 should be false")
+	}
+	// Projection on null is null.
+	if got := evalSrc(t, "x.field", env); !got.IsNull() {
+		t.Fatalf("null.field = %v", got)
+	}
+	// Missing record attribute reads as null.
+	env2 := NewEnv(map[string]values.Value{
+		"r": values.NewRecord(values.Field{Name: "a", Val: values.NewInt(1)}),
+	})
+	if got := evalSrc(t, "r.missing", env2); !got.IsNull() {
+		t.Fatalf("missing attr = %v", got)
+	}
+	// Generators over null iterate zero times.
+	env3 := NewEnv(map[string]values.Value{"Xs": values.Null})
+	if got := evalSrc(t, "for { x <- Xs } yield count x", env3); got.Int() != 0 {
+		t.Fatalf("count over null = %v", got)
+	}
+}
+
+func TestEvalAggregates(t *testing.T) {
+	env := testEnv()
+	cases := map[string]values.Value{
+		"for { e <- Employees } yield count e":          values.NewInt(4),
+		"for { e <- Employees } yield sum e.salary":     values.NewFloat(390),
+		"for { e <- Employees } yield max e.salary":     values.NewFloat(120),
+		"for { e <- Employees } yield min e.salary":     values.NewFloat(80),
+		"for { e <- Employees } yield avg e.salary":     values.NewFloat(97.5),
+		"for { e <- Employees } yield and e.salary > 0": values.True,
+		"for { e <- Employees } yield or e.deptNo = 20": values.True,
+	}
+	for src, want := range cases {
+		if got := evalSrc(t, src, env); !values.Equal(got, want) {
+			t.Fatalf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalCollections(t *testing.T) {
+	env := testEnv()
+	got := evalSrc(t, "for { e <- Employees, e.deptNo = 10 } yield set e.name", env)
+	want := values.NewSet(values.NewString("ada"), values.NewString("bob"))
+	if !values.Equal(got, want) {
+		t.Fatalf("set = %v, want %v", got, want)
+	}
+	got = evalSrc(t, "for { e <- Employees } yield list e.id", env)
+	if got.Kind() != values.KindList || got.Len() != 4 || got.Elems()[0].Int() != 1 {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestEvalPaperNestedQuery(t *testing.T) {
+	src := `for { e <- Employees, d <- Departments, e.deptNo = d.id}
+	        yield set (emp := e.name,
+	                   depList := for {d2 <- Departments, d.id = d2.id}
+	                              yield set d2)`
+	got := evalSrc(t, src, testEnv())
+	if got.Kind() != values.KindSet || got.Len() != 4 {
+		t.Fatalf("nested result = %v", got)
+	}
+	// Every element must carry a singleton depList.
+	for _, e := range got.Elems() {
+		dl := e.MustGet("depList")
+		if dl.Kind() != values.KindSet || dl.Len() != 1 {
+			t.Fatalf("depList = %v", dl)
+		}
+	}
+}
+
+func TestEvalBindQualifier(t *testing.T) {
+	env := testEnv()
+	src := "for { e <- Employees, bonus := e.salary * 0.1, bonus > 9 } yield count e"
+	if got := evalSrc(t, src, env); got.Int() != 2 {
+		t.Fatalf("bind count = %v, want 2", got)
+	}
+}
+
+func TestEvalLambdaBindAndApply(t *testing.T) {
+	env := testEnv()
+	src := "for { double := \\x -> x * 2, e <- Employees } yield sum double(e.salary)"
+	if got := evalSrc(t, src, env); got.Float() != 780 {
+		t.Fatalf("lambda sum = %v", got)
+	}
+}
+
+func TestEvalDirectApply(t *testing.T) {
+	env := NewEnv(nil)
+	if got := evalSrc(t, `(\x -> x + 1)(41)`, env); got.Int() != 42 {
+		t.Fatalf("apply = %v", got)
+	}
+}
+
+func TestEvalArrayIndexing(t *testing.T) {
+	elems := make([]values.Value, 6)
+	for i := range elems {
+		elems[i] = values.NewInt(int64(i * 10))
+	}
+	env := NewEnv(map[string]values.Value{
+		"M": values.NewArray([]int{2, 3}, elems),
+	})
+	if got := evalSrc(t, "M[1, 2]", env); got.Int() != 50 {
+		t.Fatalf("M[1,2] = %v", got)
+	}
+	// Arrays are generable collections.
+	if got := evalSrc(t, "for { x <- M } yield sum x", env); got.Int() != 150 {
+		t.Fatalf("sum over array = %v", got)
+	}
+}
+
+func TestEvalCollectionConversion(t *testing.T) {
+	// The same data virtualized as different collection kinds (paper
+	// §3.2: results can be exported as bags while inputs are lists).
+	env := NewEnv(map[string]values.Value{
+		"Xs": values.NewList(values.NewInt(2), values.NewInt(1), values.NewInt(2)),
+	})
+	if got := evalSrc(t, "for { x <- Xs } yield bag x", env); got.Kind() != values.KindBag || got.Len() != 3 {
+		t.Fatalf("bag virtualization = %v", got)
+	}
+	if got := evalSrc(t, "for { x <- Xs } yield set x", env); got.Len() != 2 {
+		t.Fatalf("set virtualization = %v", got)
+	}
+}
+
+func TestEvalMergeAndLiterals(t *testing.T) {
+	env := NewEnv(nil)
+	got := evalSrc(t, "[1, 2] ++ [3]", env)
+	if got.Kind() != values.KindList || got.Len() != 3 {
+		t.Fatalf("concat = %v", got)
+	}
+	got = evalSrc(t, "set{1, 2} ++ set{2, 3}", env)
+	if got.Len() != 3 {
+		t.Fatalf("set union = %v", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := testEnv()
+	bad := []string{
+		"nosuchvar",
+		"for { x <- 42 } yield sum x",
+		"1 / 0",
+		`"a" * 2`,
+		"Employees[0, 1]",
+	}
+	for _, src := range bad {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Eval(e, env); err == nil {
+			t.Fatalf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalExistentialUniversal(t *testing.T) {
+	env := testEnv()
+	// "Does every department have an employee?" — universal via and.
+	src := `for { d <- Departments }
+	        yield and (for { e <- Employees, e.deptNo = d.id } yield or true)`
+	if got := evalSrc(t, src, env); !got.Bool() {
+		t.Fatalf("universal = %v", got)
+	}
+}

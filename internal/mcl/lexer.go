@@ -1,0 +1,277 @@
+package mcl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer turns source text into tokens. It is a simple single-pass scanner;
+// errors surface as SyntaxError values from next().
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// Lex tokenizes the whole input, primarily for tests and tooling.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return Token{TokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return Token{TokRParen, ")", start}, nil
+	case c == '{':
+		l.pos++
+		return Token{TokLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return Token{TokRBrace, "}", start}, nil
+	case c == '[':
+		l.pos++
+		return Token{TokLBracket, "[", start}, nil
+	case c == ']':
+		l.pos++
+		return Token{TokRBracket, "]", start}, nil
+	case c == ',':
+		l.pos++
+		return Token{TokComma, ",", start}, nil
+	case c == '.':
+		// Distinguish projection dot from float literals like ".5"
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.number()
+		}
+		l.pos++
+		return Token{TokDot, ".", start}, nil
+	case c == '\\':
+		l.pos++
+		return Token{TokLambda, "\\", start}, nil
+	case c == '+':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '+' {
+			l.pos += 2
+			return Token{TokConcat, "++", start}, nil
+		}
+		l.pos++
+		return Token{TokPlus, "+", start}, nil
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return Token{TokFatArrow, "->", start}, nil
+		}
+		l.pos++
+		return Token{TokMinus, "-", start}, nil
+	case c == '*':
+		l.pos++
+		return Token{TokStar, "*", start}, nil
+	case c == '/':
+		l.pos++
+		return Token{TokSlash, "/", start}, nil
+	case c == '%':
+		l.pos++
+		return Token{TokPercent, "%", start}, nil
+	case c == '=':
+		l.pos++
+		return Token{TokEq, "=", start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return Token{TokNeq, "!=", start}, nil
+		}
+		return Token{}, errf(start, "unexpected %q (did you mean !=?)", "!")
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return Token{TokAssign, ":=", start}, nil
+		}
+		return Token{}, errf(start, "unexpected %q (did you mean :=?)", ":")
+	case c == '<':
+		if l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case '-':
+				l.pos += 2
+				return Token{TokArrow, "<-", start}, nil
+			case '=':
+				l.pos += 2
+				return Token{TokLe, "<=", start}, nil
+			case '>':
+				l.pos += 2
+				return Token{TokNeq, "<>", start}, nil
+			}
+		}
+		l.pos++
+		return Token{TokLt, "<", start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return Token{TokGe, ">=", start}, nil
+		}
+		l.pos++
+		return Token{TokGt, ">", start}, nil
+	case c == '"' || c == '\'':
+		return l.stringLit(c)
+	case isDigit(c):
+		return l.number()
+	default:
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		if unicode.IsLetter(r) || r == '_' {
+			return l.ident()
+		}
+		return Token{}, errf(start, "unexpected character %q", string(r))
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) ident() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+		// '$' continues identifiers so that generated names (normalizer
+		// fresh variables, SQL translation keys) stay re-parseable.
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' {
+			l.pos += sz
+		} else {
+			break
+		}
+	}
+	return Token{TokIdent, l.src[start:l.pos], start}, nil
+}
+
+func (l *lexer) number() (Token, error) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	} else if l.pos < len(l.src) && l.src[l.pos] == '.' && l.pos == start {
+		// leading-dot float like .5
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat || strings.ContainsAny(text, ".eE") {
+		return Token{TokFloat, text, start}, nil
+	}
+	return Token{TokInt, text, start}, nil
+}
+
+func (l *lexer) stringLit(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++ // consume quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return Token{TokString, sb.String(), start}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return Token{}, errf(start, "unterminated string")
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '\'':
+				sb.WriteByte('\'')
+			default:
+				return Token{}, errf(l.pos, "unknown escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+		case '\n':
+			return Token{}, errf(start, "unterminated string")
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return Token{}, errf(start, "unterminated string")
+}

@@ -1,0 +1,245 @@
+package mcl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vida/internal/values"
+)
+
+func TestNormalizeBetaReduction(t *testing.T) {
+	e := MustParse(`(\x -> x + 1)(41)`)
+	n := Normalize(e)
+	c, ok := n.(*ConstExpr)
+	if !ok || c.Val.Int() != 42 {
+		t.Fatalf("normalized = %s", n)
+	}
+}
+
+func TestNormalizeProjectionOnConstructor(t *testing.T) {
+	e := MustParse("(a := 1, b := 2).b")
+	n := Normalize(e)
+	c, ok := n.(*ConstExpr)
+	if !ok || c.Val.Int() != 2 {
+		t.Fatalf("normalized = %s", n)
+	}
+}
+
+func TestNormalizeIfFolding(t *testing.T) {
+	e := MustParse("if 1 < 2 then 10 else 20")
+	n := Normalize(e)
+	c, ok := n.(*ConstExpr)
+	if !ok || c.Val.Int() != 10 {
+		t.Fatalf("normalized = %s", n)
+	}
+}
+
+func TestNormalizeBindInlining(t *testing.T) {
+	e := MustParse("for { x <- Xs, y := x.a, y > 1 } yield sum y")
+	n := Normalize(e).(*Comprehension)
+	for _, q := range n.Qs {
+		if q.IsBind() {
+			t.Fatalf("bind survived normalization: %s", n)
+		}
+	}
+}
+
+func TestNormalizeFilterSplitting(t *testing.T) {
+	e := MustParse("for { x <- Xs, x.a > 1 and x.b < 2 } yield count x")
+	n := Normalize(e).(*Comprehension)
+	filters := 0
+	for _, q := range n.Qs {
+		if q.IsFilter() {
+			filters++
+		}
+	}
+	if filters != 2 {
+		t.Fatalf("want 2 split filters, got %d: %s", filters, n)
+	}
+}
+
+func TestNormalizeFalseFilter(t *testing.T) {
+	e := MustParse("for { x <- Xs, 1 > 2 } yield sum x")
+	n := Normalize(e)
+	if z, ok := n.(*ZeroExpr); !ok || z.M.Name() != "sum" {
+		t.Fatalf("normalized = %s", n)
+	}
+	// avg has non-identity finalize: empty avg is null, not zero.
+	e = MustParse("for { x <- Xs, 1 > 2 } yield avg x")
+	n = Normalize(e)
+	if _, ok := n.(*NullExpr); !ok {
+		t.Fatalf("empty avg normalized to %s, want null", n)
+	}
+}
+
+func TestNormalizeUnnesting(t *testing.T) {
+	// Generator over an inner bag comprehension must flatten (outer sum
+	// is commutative).
+	e := MustParse(`for { y <- (for { x <- Xs, x.a > 0 } yield bag x.b) } yield sum y`)
+	n := Normalize(e)
+	c, ok := n.(*Comprehension)
+	if !ok {
+		t.Fatalf("normalized to %T: %s", n, n)
+	}
+	for _, q := range c.Qs {
+		if q.IsGenerator() {
+			if _, nested := q.Src.(*Comprehension); nested {
+				t.Fatalf("nested generator survived: %s", n)
+			}
+		}
+	}
+}
+
+func TestNormalizeUnnestingBlockedForList(t *testing.T) {
+	// Inner set into outer list would drop dedup; must NOT flatten.
+	e := MustParse(`for { y <- (for { x <- Xs } yield set x.b) } yield list y`)
+	n := Normalize(e)
+	c, ok := n.(*Comprehension)
+	if !ok {
+		t.Fatalf("normalized to %T", n)
+	}
+	found := false
+	for _, q := range c.Qs {
+		if q.IsGenerator() {
+			if _, nested := q.Src.(*Comprehension); nested {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("set-into-list was illegally unnested: %s", n)
+	}
+}
+
+func TestNormalizeGeneratorOverLiteral(t *testing.T) {
+	e := MustParse("for { x <- [1, 2, 3] } yield sum x")
+	n := Normalize(e)
+	// Fully static: should fold all the way to the constant 6.
+	if c, ok := n.(*ConstExpr); !ok || c.Val.Int() != 6 {
+		t.Fatalf("normalized = %s", n)
+	}
+}
+
+func TestSubstCaptureAvoidance(t *testing.T) {
+	// Substituting x := y into a comprehension that binds y must rename
+	// the inner binder, not capture.
+	e := MustParse("for { y <- Ys } yield sum x + y")
+	out := Subst(e, "x", &VarExpr{Name: "y"})
+	c := out.(*Comprehension)
+	if c.Qs[0].Var == "y" {
+		t.Fatalf("binder not renamed: %s", out)
+	}
+	fv := FreeVars(out)
+	foundY := false
+	for _, v := range fv {
+		if v == "y" {
+			foundY = true
+		}
+	}
+	if !foundY {
+		t.Fatalf("substituted y not free: %s (free: %v)", out, fv)
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	// x is rebound by the generator; only the free occurrence before it
+	// may be substituted.
+	e := MustParse("for { ok := x > 0, x <- Xs } yield sum x")
+	out := Subst(e, "x", &ConstExpr{Val: values.NewInt(5)})
+	c := out.(*Comprehension)
+	// Head x must still reference the generator, not the constant.
+	if _, isConst := c.Head.(*ConstExpr); isConst {
+		t.Fatalf("shadowed occurrence substituted: %s", out)
+	}
+	if c.Qs[0].Src.String() != "(5 > 0)" {
+		t.Fatalf("free occurrence not substituted: %s", out)
+	}
+}
+
+// randomSources builds a small random environment for the preservation
+// property test.
+func randomSources(r *rand.Rand) map[string]values.Value {
+	mkRec := func() values.Value {
+		return values.NewRecord(
+			values.Field{Name: "a", Val: values.NewInt(int64(r.Intn(5)))},
+			values.Field{Name: "b", Val: values.NewInt(int64(r.Intn(5)))},
+		)
+	}
+	n := r.Intn(6)
+	xs := make([]values.Value, n)
+	for i := range xs {
+		xs[i] = mkRec()
+	}
+	m := r.Intn(4)
+	ys := make([]values.Value, m)
+	for i := range ys {
+		ys[i] = mkRec()
+	}
+	return map[string]values.Value{
+		"Xs": values.NewList(xs...),
+		"Ys": values.NewList(ys...),
+	}
+}
+
+// TestNormalizePreservesEvaluation is the core correctness property: for a
+// corpus of query shapes and random data, Eval(e) == Eval(Normalize(e)).
+func TestNormalizePreservesEvaluation(t *testing.T) {
+	queries := []string{
+		"for { x <- Xs, x.a > 1 } yield sum x.b",
+		"for { x <- Xs, y <- Ys, x.a = y.a } yield count x",
+		"for { x <- Xs, b := x.a + 1, b > 2 } yield bag x.b",
+		"for { x <- Xs, x.a > 0 and x.b < 4 } yield set x.a",
+		"for { y <- (for { x <- Xs, x.a > 0 } yield bag x.b) } yield sum y",
+		"for { y <- (for { x <- Xs } yield list x.a), y > 1 } yield list y",
+		"for { x <- Xs, 1 > 2 } yield avg x.a",
+		"for { x <- Xs } yield avg x.a",
+		"for { x <- Xs, x.a > 1 or x.b > 1 } yield count x",
+		"for { x <- [1, 2, 3], y <- Xs } yield sum x * y.a",
+		"for { x <- Xs } yield max (if x.a > x.b then x.a else x.b)",
+		"for { x <- Xs, y <- Ys } yield list (p := x.a, q := y.b)",
+		`for { d <- Ys } yield and (for { x <- Xs, x.a = d.a } yield or true)`,
+		"for { x <- Xs } yield median x.a",
+		"for { x <- Xs } yield top3 x.b",
+	}
+	r := rand.New(rand.NewSource(314))
+	for _, src := range queries {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		norm := Normalize(e)
+		for trial := 0; trial < 30; trial++ {
+			env := NewEnv(randomSources(r))
+			want, err1 := Eval(e, env)
+			got, err2 := Eval(norm, env)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%q: error divergence: %v vs %v", src, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if !values.Equal(got, want) {
+				t.Fatalf("%q: normalization changed result:\noriginal:   %v\nnormalized: %v\nnorm form: %s",
+					src, want, got, norm)
+			}
+		}
+	}
+}
+
+// TestNormalizeIdempotent checks Normalize(Normalize(e)) == Normalize(e)
+// syntactically for the corpus above.
+func TestNormalizeIdempotent(t *testing.T) {
+	queries := []string{
+		"for { x <- Xs, x.a > 1 and x.b < 2 } yield sum x.b",
+		"for { y <- (for { x <- Xs, x.a > 0 } yield bag x.b) } yield sum y",
+		"for { x <- Xs, b := x.a + 1, b > 2 } yield bag x.b",
+	}
+	for _, src := range queries {
+		n1 := Normalize(MustParse(src))
+		n2 := Normalize(n1)
+		if fmt.Sprint(n1) != fmt.Sprint(n2) {
+			t.Fatalf("not idempotent:\n1: %s\n2: %s", n1, n2)
+		}
+	}
+}

@@ -1,0 +1,753 @@
+package mcl
+
+import (
+	"strconv"
+
+	"vida/internal/monoid"
+	"vida/internal/values"
+)
+
+// Parse parses a complete expression (usually a comprehension) and
+// returns its AST.
+func Parse(src string) (Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, errf(p.tok.Pos, "unexpected %s after expression", p.tok)
+	}
+	return e, nil
+}
+
+// MustParse parses src or panics; intended for tests and examples.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// parser is a recursive-descent parser with one token of lookahead plus an
+// explicit peek buffer for the record-constructor ambiguity.
+type parser struct {
+	lx   *lexer
+	tok  Token
+	buf  []Token // pushback stack
+	deep int     // recursion guard
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	if n := len(p.buf); n > 0 {
+		p.tok = p.buf[n-1]
+		p.buf = p.buf[:n-1]
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// peekAhead returns the next token without consuming the current one.
+func (p *parser) peekAhead() (Token, error) {
+	cur := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	next := p.tok
+	p.buf = append(p.buf, next)
+	p.tok = cur
+	return next, nil
+}
+
+func (p *parser) expect(kind TokKind, what string) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", what, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokIdent && p.tok.Text == kw
+}
+
+const maxDepth = 512
+
+func (p *parser) enter() error {
+	p.deep++
+	if p.deep > maxDepth {
+		return errf(p.tok.Pos, "expression too deeply nested")
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.deep-- }
+
+// parseExpr := orExpr
+func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[TokKind]BinOp{
+	TokEq: OpEq, TokNeq: OpNeq, TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.tok.Kind]; ok {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+// parseConcat handles e1 ++ e2 (monoid merge; the monoid is resolved by
+// the type checker from operand types, defaulting to list concatenation).
+func (p *parser) parseConcat() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokConcat {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &MergeExpr{M: nil, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := OpAdd
+		if p.tok.Kind == TokMinus {
+			op = OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.tok.Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		case TokPercent:
+			op = OpMod
+		default:
+			return l, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TokMinus {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals immediately.
+		if c, ok := e.(*ConstExpr); ok {
+			switch c.Val.Kind() {
+			case values.KindInt:
+				return &ConstExpr{Val: values.NewInt(-c.Val.Int())}, nil
+			case values.KindFloat:
+				return &ConstExpr{Val: values.NewFloat(-c.Val.Float())}, nil
+			}
+		}
+		return &NegExpr{E: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.Kind {
+		case TokDot:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			id, err := p.expect(TokIdent, "attribute name")
+			if err != nil {
+				return nil, err
+			}
+			e = &ProjExpr{Rec: e, Attr: id.Text}
+		case TokLBracket:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var idxs []Expr
+			for {
+				ix, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				idxs = append(idxs, ix)
+				if p.tok.Kind == TokComma {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRBracket, "]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Arr: e, Idxs: idxs}
+		case TokLParen:
+			// Postfix application: e(arg). Builtin calls are produced in
+			// parsePrimary; this handles lambda application.
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+			e = &ApplyExpr{Fn: e, Arg: arg}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// builtinArity gives the arity of each builtin function.
+var builtinArity = map[string]int{
+	"len": 1, "abs": 1, "sqrt": 1, "floor": 1, "ceil": 1,
+	"lower": 1, "upper": 1, "trim": 1,
+	"substr": 3, "contains": 2, "startswith": 2, "endswith": 2,
+	"toint": 1, "tofloat": 1, "tostring": 1,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokInt:
+		n, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, errf(p.tok.Pos, "bad integer %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Val: values.NewInt(n)}, nil
+	case TokFloat:
+		f, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, errf(p.tok.Pos, "bad float %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Val: values.NewFloat(f)}, nil
+	case TokString:
+		s := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Val: values.NewString(s)}, nil
+	case TokLambda:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(TokIdent, "lambda parameter")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokFatArrow, "->"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &LambdaExpr{Param: id.Text, Body: body}, nil
+	case TokLParen:
+		return p.parseParenOrRecord()
+	case TokLBracket:
+		// List literal [e1, ..., en].
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var elems []Expr
+		if p.tok.Kind != TokRBracket {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.tok.Kind == TokComma {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		return collectionLiteral(monoid.List, elems), nil
+	case TokIdent:
+		return p.parseIdentLed()
+	}
+	return nil, errf(p.tok.Pos, "expected expression, found %s", p.tok)
+}
+
+// collectionLiteral desugars {e1,...,en} under monoid m into
+// unit(e1) ⊕ ... ⊕ unit(en), or zero for the empty literal.
+func collectionLiteral(m monoid.Monoid, elems []Expr) Expr {
+	if len(elems) == 0 {
+		return &ZeroExpr{M: m}
+	}
+	var out Expr = &SingletonExpr{M: m, E: elems[0]}
+	for _, e := range elems[1:] {
+		out = &MergeExpr{M: m, L: out, R: &SingletonExpr{M: m, E: e}}
+	}
+	return out
+}
+
+func (p *parser) parseIdentLed() (Expr, error) {
+	name := p.tok.Text
+	pos := p.tok.Pos
+	switch name {
+	case "true":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Val: values.True}, nil
+	case "false":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Val: values.False}, nil
+	case "null":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NullExpr{}, nil
+	case "if":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("then") {
+			return nil, errf(p.tok.Pos, "expected 'then', found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("else") {
+			return nil, errf(p.tok.Pos, "expected 'else', found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &IfExpr{Cond: cond, Then: then, Else: els}, nil
+	case "for":
+		return p.parseComprehension()
+	case "zero":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLBracket, "["); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(TokIdent, "monoid name")
+		if err != nil {
+			return nil, err
+		}
+		m, err := monoid.ByName(id.Text)
+		if err != nil {
+			return nil, errf(id.Pos, "%v", err)
+		}
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		return &ZeroExpr{M: m}, nil
+	case "unit":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLBracket, "["); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(TokIdent, "monoid name")
+		if err != nil {
+			return nil, err
+		}
+		m, err := monoid.ByName(id.Text)
+		if err != nil {
+			return nil, errf(id.Pos, "%v", err)
+		}
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return &SingletonExpr{M: m, E: e}, nil
+	case "set", "bag", "list":
+		// Collection literal set{...}, bag{...}, list{...}.
+		next, err := p.peekAhead()
+		if err != nil {
+			return nil, err
+		}
+		if next.Kind == TokLBrace {
+			m, _ := monoid.ByName(name)
+			if err := p.advance(); err != nil { // consume keyword
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // consume {
+				return nil, err
+			}
+			var elems []Expr
+			if p.tok.Kind != TokRBrace {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					elems = append(elems, e)
+					if p.tok.Kind == TokComma {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace, "}"); err != nil {
+				return nil, err
+			}
+			return collectionLiteral(m, elems), nil
+		}
+	}
+	if keywords[name] {
+		return nil, errf(pos, "unexpected keyword %q", name)
+	}
+	// Builtin call?
+	if arity, ok := builtinArity[name]; ok {
+		next, err := p.peekAhead()
+		if err != nil {
+			return nil, err
+		}
+		if next.Kind == TokLParen {
+			if err := p.advance(); err != nil { // consume name
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // consume (
+				return nil, err
+			}
+			var args []Expr
+			if p.tok.Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.tok.Kind == TokComma {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+			if len(args) != arity {
+				return nil, errf(pos, "%s expects %d arguments, got %d", name, arity, len(args))
+			}
+			return &CallExpr{Name: name, Args: args}, nil
+		}
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &VarExpr{Name: name}, nil
+}
+
+// parseParenOrRecord disambiguates "(" expr ")" from record construction
+// "(" ident ":=" ... ")".
+func (p *parser) parseParenOrRecord() (Expr, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokIdent && !keywords[p.tok.Text] {
+		next, err := p.peekAhead()
+		if err != nil {
+			return nil, err
+		}
+		if next.Kind == TokAssign {
+			return p.parseRecordBody()
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseRecordBody() (Expr, error) {
+	var fields []FieldExpr
+	for {
+		id, err := p.expect(TokIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign, ":="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, FieldExpr{Name: id.Text, Val: v})
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return &RecordExpr{Fields: fields}, nil
+}
+
+func (p *parser) parseComprehension() (Expr, error) {
+	if err := p.advance(); err != nil { // consume "for"
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	var qs []Qualifier
+	for {
+		q, err := p.parseQualifier()
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, q)
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBrace, "}"); err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("yield") {
+		return nil, errf(p.tok.Pos, "expected 'yield', found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(TokIdent, "monoid name")
+	if err != nil {
+		return nil, err
+	}
+	m, err := monoid.ByName(id.Text)
+	if err != nil {
+		return nil, errf(id.Pos, "%v", err)
+	}
+	head, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Comprehension{M: m, Head: head, Qs: qs}, nil
+}
+
+func (p *parser) parseQualifier() (Qualifier, error) {
+	if p.tok.Kind == TokIdent && !keywords[p.tok.Text] {
+		next, err := p.peekAhead()
+		if err != nil {
+			return Qualifier{}, err
+		}
+		switch next.Kind {
+		case TokArrow:
+			name := p.tok.Text
+			if err := p.advance(); err != nil { // ident
+				return Qualifier{}, err
+			}
+			if err := p.advance(); err != nil { // <-
+				return Qualifier{}, err
+			}
+			src, err := p.parseExpr()
+			if err != nil {
+				return Qualifier{}, err
+			}
+			return Qualifier{Var: name, Src: src}, nil
+		case TokAssign:
+			name := p.tok.Text
+			if err := p.advance(); err != nil { // ident
+				return Qualifier{}, err
+			}
+			if err := p.advance(); err != nil { // :=
+				return Qualifier{}, err
+			}
+			src, err := p.parseExpr()
+			if err != nil {
+				return Qualifier{}, err
+			}
+			return Qualifier{Var: name, Bind: true, Src: src}, nil
+		}
+	}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return Qualifier{}, err
+	}
+	return Qualifier{Src: pred}, nil
+}

@@ -1,0 +1,268 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`for { e <- Emp, e.id >= 10 } yield sum 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{
+		TokIdent, TokLBrace, TokIdent, TokArrow, TokIdent, TokComma,
+		TokIdent, TokDot, TokIdent, TokGe, TokInt, TokRBrace,
+		TokIdent, TokIdent, TokInt, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want kind %d", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexOperatorsAndLiterals(t *testing.T) {
+	toks, err := Lex(`:= <- <= >= != <> ++ -> 3.14 2e3 .5 "a\nb" 'c'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokAssign, TokArrow, TokLe, TokGe, TokNeq, TokNeq, TokConcat,
+		TokFatArrow, TokFloat, TokFloat, TokFloat, TokString, TokString, TokEOF,
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want kind %d", i, toks[i], k)
+		}
+	}
+	if toks[11].Text != "a\nb" {
+		t.Fatalf("escape handling: %q", toks[11].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("1 # trailing\n// line\n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "1" || toks[1].Text != "2" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `'unterminated`, "a ! b", "a : b", "@", `"bad \q escape"`} {
+		if _, err := Lex(src); err == nil {
+			t.Fatalf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParsePaperCountQuery(t *testing.T) {
+	// The paper's §3.2 aggregate example, verbatim modulo whitespace.
+	src := `for { e <- Employees, d <- Departments,
+	        e.deptNo = d.id, d.deptName = "HR"} yield sum 1`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*Comprehension)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if c.M.Name() != "sum" {
+		t.Fatalf("monoid = %s", c.M.Name())
+	}
+	if len(c.Qs) != 4 {
+		t.Fatalf("qualifiers = %d", len(c.Qs))
+	}
+	if !c.Qs[0].IsGenerator() || c.Qs[0].Var != "e" {
+		t.Fatalf("q0 = %+v", c.Qs[0])
+	}
+	if !c.Qs[2].IsFilter() {
+		t.Fatalf("q2 = %+v", c.Qs[2])
+	}
+}
+
+func TestParsePaperNestedQuery(t *testing.T) {
+	// The paper's §3.2 nested example with a record head and inner
+	// comprehension.
+	src := `for { e <- Employees, d <- Departments, e.deptNo = d.id}
+	        yield set (emp := e.name,
+	                   depList := for {d2 <- Departments, d.id = d2.id}
+	                              yield set d2)`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*Comprehension)
+	rec, ok := c.Head.(*RecordExpr)
+	if !ok {
+		t.Fatalf("head = %T", c.Head)
+	}
+	if len(rec.Fields) != 2 || rec.Fields[1].Name != "depList" {
+		t.Fatalf("record fields = %+v", rec.Fields)
+	}
+	if _, ok := rec.Fields[1].Val.(*Comprehension); !ok {
+		t.Fatalf("depList should be a comprehension, got %T", rec.Fields[1].Val)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e := MustParse("1 + 2 * 3 = 7 and not false")
+	// ((1 + (2*3)) = 7) and (not false)
+	want := "(((1 + (2 * 3)) = 7) and not false)"
+	if e.String() != want {
+		t.Fatalf("got %s, want %s", e, want)
+	}
+}
+
+func TestParseIfThenElse(t *testing.T) {
+	e := MustParse("if x > 0 then x else -x")
+	if _, ok := e.(*IfExpr); !ok {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestParseLambdaAndApply(t *testing.T) {
+	e := MustParse(`(\x -> x + 1)(41)`)
+	app, ok := e.(*ApplyExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, ok := app.Fn.(*LambdaExpr); !ok {
+		t.Fatalf("fn = %T", app.Fn)
+	}
+}
+
+func TestParseCollectionLiterals(t *testing.T) {
+	e := MustParse("[1, 2, 3]")
+	if m, ok := e.(*MergeExpr); !ok || m.M.Name() != "list" {
+		t.Fatalf("list literal = %s", e)
+	}
+	e = MustParse("set{1, 2}")
+	if m, ok := e.(*MergeExpr); !ok || m.M.Name() != "set" {
+		t.Fatalf("set literal = %s", e)
+	}
+	e = MustParse("bag{}")
+	if z, ok := e.(*ZeroExpr); !ok || z.M.Name() != "bag" {
+		t.Fatalf("empty bag literal = %s", e)
+	}
+}
+
+func TestParseArrayIndexing(t *testing.T) {
+	e := MustParse("m[i, j+1]")
+	ix, ok := e.(*IndexExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(ix.Idxs) != 2 {
+		t.Fatalf("idxs = %d", len(ix.Idxs))
+	}
+}
+
+func TestParseZeroUnit(t *testing.T) {
+	e := MustParse("zero[set]")
+	if z, ok := e.(*ZeroExpr); !ok || z.M.Name() != "set" {
+		t.Fatalf("zero = %s", e)
+	}
+	e = MustParse("unit[bag](5)")
+	if u, ok := e.(*SingletonExpr); !ok || u.M.Name() != "bag" {
+		t.Fatalf("unit = %s", e)
+	}
+}
+
+func TestParseBuiltinCalls(t *testing.T) {
+	e := MustParse(`contains(lower(name), "ada")`)
+	c, ok := e.(*CallExpr)
+	if !ok || c.Name != "contains" {
+		t.Fatalf("got %s", e)
+	}
+	if _, err := Parse("substr(s, 1)"); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+}
+
+func TestParseBindQualifier(t *testing.T) {
+	e := MustParse("for { x <- Xs, y := x.a + 1, y > 2 } yield list y")
+	c := e.(*Comprehension)
+	if !c.Qs[1].IsBind() || c.Qs[1].Var != "y" {
+		t.Fatalf("q1 = %+v", c.Qs[1])
+	}
+}
+
+func TestParseTopK(t *testing.T) {
+	e := MustParse("for { x <- Xs } yield top3 x")
+	c := e.(*Comprehension)
+	if c.M.Name() != "top3" {
+		t.Fatalf("monoid = %s", c.M.Name())
+	}
+}
+
+func TestParseConcat(t *testing.T) {
+	e := MustParse("xs ++ ys")
+	if _, ok := e.(*MergeExpr); !ok {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "for { } yield sum 1", "for { x <- } yield sum 1",
+		"for { x <- Xs } yield", "for { x <- Xs } yield frob x",
+		"(a := 1", "if x then y", "1 +", "x.", "m[", "zero[nope]",
+		"for { x <- Xs yield sum x", "1 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := Parse("for { x <- Xs } yield sum !")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`for { e <- Emp, e.age > 30 } yield sum e.salary`,
+		`for { x <- Xs, y <- x.items } yield bag (a := x.id, b := y)`,
+		`if a = b then 1 else 2`,
+		`for { p <- Ps, g <- Gs, p.id = g.id } yield bag (v := p.x)`,
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (%q): %v", src, e1.String(), err)
+		}
+		if e1.String() != e2.String() {
+			t.Fatalf("round trip drift:\n%s\n%s", e1, e2)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	e := MustParse("for { x <- Xs, x.a = y } yield sum x.b + z")
+	fv := FreeVars(e)
+	want := map[string]bool{"Xs": true, "y": true, "z": true}
+	if len(fv) != len(want) {
+		t.Fatalf("free vars = %v", fv)
+	}
+	for _, v := range fv {
+		if !want[v] {
+			t.Fatalf("unexpected free var %q in %v", v, fv)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package mcl implements ViDa's internal "wrapping" query language: the
+// monoid comprehension calculus of Fegaras and Maier in the concrete
+// syntax the paper uses (§3.2):
+//
+//	for { e <- Employees, d <- Departments,
+//	      e.deptNo = d.id, d.deptName = "HR" } yield sum 1
+//
+// The package provides the lexer, parser, abstract syntax (Table 1 of the
+// paper), a structural type checker over sdg types, the Fegaras–Maier
+// normalization rules, and a reference evaluator that defines the
+// semantics every ViDa executor must agree with.
+package mcl
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokDot
+	TokArrow    // <-
+	TokAssign   // :=
+	TokEq       // =
+	TokNeq      // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokLambda   // \
+	TokFatArrow // ->
+	TokConcat   // ++ (merge e1 ⊕ e2 in collection form)
+)
+
+// Keywords recognized by the lexer; they arrive as TokIdent with the
+// keyword spelled in Text and are distinguished by the parser.
+var keywords = map[string]bool{
+	"for": true, "yield": true, "if": true, "then": true, "else": true,
+	"true": true, "false": true, "null": true, "not": true,
+	"and": true, "or": true, "in": true, "zero": true, "unit": true,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokIdent, TokInt, TokFloat:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// SyntaxError is a parse or lex error with position information.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("mcl: offset %d: %s", e.Pos, e.Msg)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

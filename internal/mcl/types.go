@@ -1,0 +1,477 @@
+package mcl
+
+import (
+	"fmt"
+	"strings"
+
+	"vida/internal/monoid"
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+// TypeError is a static typing error.
+type TypeError struct{ Msg string }
+
+func (e *TypeError) Error() string { return "mcl: type: " + e.Msg }
+
+func typeErrf(format string, args ...any) error {
+	return &TypeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// TypeEnv maps variables (data sources and comprehension bindings) to
+// their structural types.
+type TypeEnv struct {
+	vars   map[string]*sdg.Type
+	parent *TypeEnv
+}
+
+// NewTypeEnv builds a root type environment.
+func NewTypeEnv(vars map[string]*sdg.Type) *TypeEnv {
+	if vars == nil {
+		vars = map[string]*sdg.Type{}
+	}
+	return &TypeEnv{vars: vars}
+}
+
+// Bind returns a child environment with one extra binding.
+func (e *TypeEnv) Bind(name string, t *sdg.Type) *TypeEnv {
+	return &TypeEnv{vars: map[string]*sdg.Type{name: t}, parent: e}
+}
+
+// Lookup resolves a variable's type.
+func (e *TypeEnv) Lookup(name string) (*sdg.Type, bool) {
+	for env := e; env != nil; env = env.parent {
+		if t, ok := env.vars[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Check type-checks an expression, returning its inferred type. Gradual
+// typing: sources without full schemas contribute Unknown, which unifies
+// with everything (raw JSON objects routinely have open schemas). Check
+// also resolves the monoid of untyped ++ merges in place.
+func Check(e Expr, env *TypeEnv) (*sdg.Type, error) {
+	switch n := e.(type) {
+	case *NullExpr:
+		return sdg.Unknown, nil
+	case *ConstExpr:
+		switch n.Val.Kind() {
+		case values.KindBool:
+			return sdg.Bool, nil
+		case values.KindInt:
+			return sdg.Int, nil
+		case values.KindFloat:
+			return sdg.Float, nil
+		case values.KindString:
+			return sdg.String, nil
+		}
+		return sdg.Unknown, nil
+	case *VarExpr:
+		t, ok := env.Lookup(n.Name)
+		if !ok {
+			return nil, typeErrf("unbound variable %q", n.Name)
+		}
+		return t, nil
+	case *ProjExpr:
+		rt, err := Check(n.Rec, env)
+		if err != nil {
+			return nil, err
+		}
+		switch rt.Kind {
+		case sdg.TUnknown:
+			return sdg.Unknown, nil
+		case sdg.TRecord:
+			if a, ok := rt.Attr(n.Attr); ok {
+				return a.Type, nil
+			}
+			return nil, typeErrf("record %s has no attribute %q", abbreviate(rt), n.Attr)
+		}
+		return nil, typeErrf("projection .%s on %s", n.Attr, rt)
+	case *RecordExpr:
+		attrs := make([]sdg.Attr, len(n.Fields))
+		for i, f := range n.Fields {
+			ft, err := Check(f.Val, env)
+			if err != nil {
+				return nil, err
+			}
+			attrs[i] = sdg.Attr{Name: f.Name, Type: ft}
+		}
+		return sdg.Record(attrs...), nil
+	case *IfExpr:
+		ct, err := Check(n.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if ct.Kind != sdg.TBool && ct.Kind != sdg.TUnknown {
+			return nil, typeErrf("if condition must be bool, got %s", ct)
+		}
+		tt, err := Check(n.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		et, err := Check(n.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		u, ok := unify(tt, et)
+		if !ok {
+			return nil, typeErrf("if branches have incompatible types %s and %s", tt, et)
+		}
+		return u, nil
+	case *BinExpr:
+		return checkBin(n, env)
+	case *NotExpr:
+		t, err := Check(n.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != sdg.TBool && t.Kind != sdg.TUnknown {
+			return nil, typeErrf("not needs bool, got %s", t)
+		}
+		return sdg.Bool, nil
+	case *NegExpr:
+		t, err := Check(n.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsNumeric() && t.Kind != sdg.TUnknown {
+			return nil, typeErrf("negation needs numeric, got %s", t)
+		}
+		return t, nil
+	case *LambdaExpr:
+		// Lambdas appear only in bind qualifiers and direct application;
+		// they have no first-class structural type.
+		if _, err := Check(n.Body, env.Bind(n.Param, sdg.Unknown)); err != nil {
+			return nil, err
+		}
+		return sdg.Unknown, nil
+	case *ApplyExpr:
+		if _, err := Check(n.Arg, env); err != nil {
+			return nil, err
+		}
+		if lam, ok := n.Fn.(*LambdaExpr); ok {
+			at, err := Check(n.Arg, env)
+			if err != nil {
+				return nil, err
+			}
+			return Check(lam.Body, env.Bind(lam.Param, at))
+		}
+		return sdg.Unknown, nil
+	case *CallExpr:
+		return checkCall(n, env)
+	case *ZeroExpr:
+		return monoidResultType(n.M, sdg.Unknown)
+	case *SingletonExpr:
+		et, err := Check(n.E, env)
+		if err != nil {
+			return nil, err
+		}
+		return monoidResultType(n.M, et)
+	case *MergeExpr:
+		lt, err := Check(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := Check(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		u, ok := unify(lt, rt)
+		if !ok {
+			return nil, typeErrf("++ operands have incompatible types %s and %s", lt, rt)
+		}
+		if n.M == nil {
+			switch u.Kind {
+			case sdg.TList, sdg.TUnknown:
+				n.M = monoid.List
+			case sdg.TBag:
+				n.M = monoid.Bag
+			case sdg.TSet:
+				n.M = monoid.Set
+			case sdg.TArray:
+				n.M = monoid.Array
+			default:
+				return nil, typeErrf("++ needs collection operands, got %s", u)
+			}
+		}
+		return u, nil
+	case *IndexExpr:
+		at, err := Check(n.Arr, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, ix := range n.Idxs {
+			it, err := Check(ix, env)
+			if err != nil {
+				return nil, err
+			}
+			if it.Kind != sdg.TInt && it.Kind != sdg.TUnknown {
+				return nil, typeErrf("array index must be int, got %s", it)
+			}
+		}
+		switch at.Kind {
+		case sdg.TUnknown:
+			return sdg.Unknown, nil
+		case sdg.TArray:
+			if len(n.Idxs) != len(at.Dims) {
+				return nil, typeErrf("index rank %d != array rank %d", len(n.Idxs), len(at.Dims))
+			}
+			return at.Elem, nil
+		case sdg.TList:
+			if len(n.Idxs) != 1 {
+				return nil, typeErrf("list index must be one-dimensional")
+			}
+			return at.Elem, nil
+		}
+		return nil, typeErrf("cannot index %s", at)
+	case *Comprehension:
+		return checkComprehension(n, env)
+	}
+	return nil, typeErrf("unknown expression %T", e)
+}
+
+func checkBin(n *BinExpr, env *TypeEnv) (*sdg.Type, error) {
+	lt, err := Check(n.L, env)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := Check(n.R, env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe:
+		if _, ok := unify(lt, rt); !ok {
+			return nil, typeErrf("cannot compare %s with %s", lt, rt)
+		}
+		return sdg.Bool, nil
+	case OpAnd, OpOr:
+		for _, t := range []*sdg.Type{lt, rt} {
+			if t.Kind != sdg.TBool && t.Kind != sdg.TUnknown {
+				return nil, typeErrf("%s needs bool operands, got %s", n.Op, t)
+			}
+		}
+		return sdg.Bool, nil
+	case OpAdd:
+		if lt.Kind == sdg.TString && rt.Kind == sdg.TString {
+			return sdg.String, nil
+		}
+		fallthrough
+	case OpSub, OpMul, OpDiv:
+		return numericResult(n.Op, lt, rt)
+	case OpMod:
+		for _, t := range []*sdg.Type{lt, rt} {
+			if t.Kind != sdg.TInt && t.Kind != sdg.TUnknown {
+				return nil, typeErrf("%% needs int operands, got %s", t)
+			}
+		}
+		return sdg.Int, nil
+	}
+	return nil, typeErrf("unknown operator %s", n.Op)
+}
+
+func numericResult(op BinOp, lt, rt *sdg.Type) (*sdg.Type, error) {
+	for _, t := range []*sdg.Type{lt, rt} {
+		if !t.IsNumeric() && t.Kind != sdg.TUnknown {
+			return nil, typeErrf("%s needs numeric operands, got %s", op, t)
+		}
+	}
+	if lt.Kind == sdg.TUnknown || rt.Kind == sdg.TUnknown {
+		return sdg.Unknown, nil
+	}
+	if lt.Kind == sdg.TInt && rt.Kind == sdg.TInt {
+		return sdg.Int, nil
+	}
+	return sdg.Float, nil
+}
+
+func checkCall(n *CallExpr, env *TypeEnv) (*sdg.Type, error) {
+	argTypes := make([]*sdg.Type, len(n.Args))
+	for i, a := range n.Args {
+		t, err := Check(a, env)
+		if err != nil {
+			return nil, err
+		}
+		argTypes[i] = t
+	}
+	requireString := func(i int) error {
+		if argTypes[i].Kind != sdg.TString && argTypes[i].Kind != sdg.TUnknown {
+			return typeErrf("%s argument %d must be string, got %s", n.Name, i+1, argTypes[i])
+		}
+		return nil
+	}
+	switch n.Name {
+	case "len":
+		return sdg.Int, nil
+	case "abs":
+		if !argTypes[0].IsNumeric() && argTypes[0].Kind != sdg.TUnknown {
+			return nil, typeErrf("abs needs numeric, got %s", argTypes[0])
+		}
+		return argTypes[0], nil
+	case "sqrt", "floor", "ceil":
+		if !argTypes[0].IsNumeric() && argTypes[0].Kind != sdg.TUnknown {
+			return nil, typeErrf("%s needs numeric, got %s", n.Name, argTypes[0])
+		}
+		return sdg.Float, nil
+	case "lower", "upper", "trim":
+		if err := requireString(0); err != nil {
+			return nil, err
+		}
+		return sdg.String, nil
+	case "substr":
+		if err := requireString(0); err != nil {
+			return nil, err
+		}
+		return sdg.String, nil
+	case "contains", "startswith", "endswith":
+		if err := requireString(0); err != nil {
+			return nil, err
+		}
+		if err := requireString(1); err != nil {
+			return nil, err
+		}
+		return sdg.Bool, nil
+	case "toint":
+		return sdg.Int, nil
+	case "tofloat":
+		return sdg.Float, nil
+	case "tostring":
+		return sdg.String, nil
+	}
+	return nil, typeErrf("unknown builtin %q", n.Name)
+}
+
+func checkComprehension(c *Comprehension, env *TypeEnv) (*sdg.Type, error) {
+	cur := env
+	for _, q := range c.Qs {
+		switch {
+		case q.IsGenerator():
+			st, err := Check(q.Src, cur)
+			if err != nil {
+				return nil, err
+			}
+			var elem *sdg.Type
+			switch st.Kind {
+			case sdg.TList, sdg.TBag, sdg.TSet:
+				elem = st.Elem
+			case sdg.TArray:
+				elem = st.Elem
+			case sdg.TUnknown:
+				elem = sdg.Unknown
+			default:
+				return nil, typeErrf("generator %s <- needs a collection, got %s", q.Var, st)
+			}
+			cur = cur.Bind(q.Var, elem)
+		case q.IsBind():
+			bt, err := Check(q.Src, cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = cur.Bind(q.Var, bt)
+		default:
+			pt, err := Check(q.Src, cur)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Kind != sdg.TBool && pt.Kind != sdg.TUnknown {
+				return nil, typeErrf("filter must be bool, got %s", pt)
+			}
+		}
+	}
+	ht, err := Check(c.Head, cur)
+	if err != nil {
+		return nil, err
+	}
+	return monoidResultType(c.M, ht)
+}
+
+// monoidResultType gives the type of yield ⊕ head given the head type.
+func monoidResultType(m monoid.Monoid, head *sdg.Type) (*sdg.Type, error) {
+	name := m.Name()
+	switch name {
+	case "sum", "prod":
+		if !head.IsNumeric() && head.Kind != sdg.TUnknown {
+			return nil, typeErrf("yield %s needs numeric head, got %s", name, head)
+		}
+		return head, nil
+	case "count":
+		return sdg.Int, nil
+	case "max", "min":
+		return head, nil
+	case "avg", "median":
+		if !head.IsNumeric() && head.Kind != sdg.TUnknown {
+			return nil, typeErrf("yield %s needs numeric head, got %s", name, head)
+		}
+		return sdg.Float, nil
+	case "and", "or":
+		if head.Kind != sdg.TBool && head.Kind != sdg.TUnknown {
+			return nil, typeErrf("yield %s needs bool head, got %s", name, head)
+		}
+		return sdg.Bool, nil
+	case "list":
+		return sdg.List(head), nil
+	case "bag":
+		return sdg.Bag(head), nil
+	case "set":
+		return sdg.Set(head), nil
+	case "array":
+		return sdg.Array([]sdg.Dim{{Name: "i", Type: sdg.Int}}, head), nil
+	}
+	if strings.HasPrefix(name, "top") {
+		return sdg.List(head), nil
+	}
+	return nil, typeErrf("unknown monoid %q", name)
+}
+
+// unify merges two types under gradual typing: Unknown absorbs, numeric
+// types widen to float, identical types pass through, and collections and
+// records unify component-wise.
+func unify(a, b *sdg.Type) (*sdg.Type, bool) {
+	if a.Kind == sdg.TUnknown {
+		return b, true
+	}
+	if b.Kind == sdg.TUnknown {
+		return a, true
+	}
+	if a.Equal(b) {
+		return a, true
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		return sdg.Float, true
+	}
+	if a.Kind == b.Kind {
+		switch a.Kind {
+		case sdg.TList, sdg.TBag, sdg.TSet:
+			if e, ok := unify(a.Elem, b.Elem); ok {
+				return &sdg.Type{Kind: a.Kind, Elem: e}, true
+			}
+		case sdg.TRecord:
+			if len(a.Attrs) != len(b.Attrs) {
+				return nil, false
+			}
+			attrs := make([]sdg.Attr, len(a.Attrs))
+			for i := range a.Attrs {
+				if a.Attrs[i].Name != b.Attrs[i].Name {
+					return nil, false
+				}
+				u, ok := unify(a.Attrs[i].Type, b.Attrs[i].Type)
+				if !ok {
+					return nil, false
+				}
+				attrs[i] = sdg.Attr{Name: a.Attrs[i].Name, Type: u}
+			}
+			return sdg.Record(attrs...), true
+		}
+	}
+	return nil, false
+}
+
+func abbreviate(t *sdg.Type) string {
+	s := t.String()
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package mcl
+
+import (
+	"testing"
+
+	"vida/internal/sdg"
+)
+
+func empType() *sdg.Type {
+	return sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "name", Type: sdg.String},
+		sdg.Attr{Name: "deptNo", Type: sdg.Int},
+		sdg.Attr{Name: "salary", Type: sdg.Float},
+	))
+}
+
+func deptType() *sdg.Type {
+	return sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "deptName", Type: sdg.String},
+	))
+}
+
+func checkSrc(t *testing.T, src string) (*sdg.Type, error) {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	env := NewTypeEnv(map[string]*sdg.Type{
+		"Employees":   empType(),
+		"Departments": deptType(),
+		"Raw":         sdg.Unknown,
+	})
+	return Check(e, env)
+}
+
+func mustCheck(t *testing.T, src string) *sdg.Type {
+	t.Helper()
+	typ, err := checkSrc(t, src)
+	if err != nil {
+		t.Fatalf("check %q: %v", src, err)
+	}
+	return typ
+}
+
+func TestCheckPaperQuery(t *testing.T) {
+	typ := mustCheck(t, `for { e <- Employees, d <- Departments,
+	        e.deptNo = d.id, d.deptName = "HR"} yield sum 1`)
+	if typ.Kind != sdg.TInt {
+		t.Fatalf("count type = %s", typ)
+	}
+}
+
+func TestCheckCollectionResult(t *testing.T) {
+	typ := mustCheck(t, "for { e <- Employees } yield set (n := e.name)")
+	if typ.Kind != sdg.TSet || typ.Elem.Kind != sdg.TRecord {
+		t.Fatalf("type = %s", typ)
+	}
+	if a, ok := typ.Elem.Attr("n"); !ok || a.Type.Kind != sdg.TString {
+		t.Fatalf("elem type = %s", typ.Elem)
+	}
+}
+
+func TestCheckNumericPromotion(t *testing.T) {
+	if typ := mustCheck(t, "for { e <- Employees } yield sum e.id"); typ.Kind != sdg.TInt {
+		t.Fatalf("sum int = %s", typ)
+	}
+	if typ := mustCheck(t, "for { e <- Employees } yield sum e.salary"); typ.Kind != sdg.TFloat {
+		t.Fatalf("sum float = %s", typ)
+	}
+	if typ := mustCheck(t, "for { e <- Employees } yield avg e.id"); typ.Kind != sdg.TFloat {
+		t.Fatalf("avg = %s", typ)
+	}
+	if typ := mustCheck(t, "1 + 2.0"); typ.Kind != sdg.TFloat {
+		t.Fatalf("1+2.0 = %s", typ)
+	}
+}
+
+func TestCheckGradualTyping(t *testing.T) {
+	// Unknown sources type-check everywhere (raw JSON with open schema).
+	typ := mustCheck(t, "for { x <- Raw, x.field > 3 } yield sum x.other")
+	if typ.Kind != sdg.TUnknown {
+		t.Fatalf("unknown propagation = %s", typ)
+	}
+}
+
+func TestCheckMergeResolution(t *testing.T) {
+	e := MustParse("(for { e <- Employees } yield set e.id) ++ (for { d <- Departments } yield set d.id)")
+	env := NewTypeEnv(map[string]*sdg.Type{"Employees": empType(), "Departments": deptType()})
+	if _, err := Check(e, env); err != nil {
+		t.Fatal(err)
+	}
+	m := e.(*MergeExpr)
+	if m.M == nil || m.M.Name() != "set" {
+		t.Fatalf("++ monoid = %v", m.M)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := []string{
+		"nosuchvar",
+		"for { e <- Employees } yield sum e.name",       // sum of string
+		"for { e <- Employees, e.name } yield count e",  // non-bool filter
+		"for { e <- Employees } yield sum e.nosuchattr", // unknown attr
+		"for { x <- 42 } yield sum x",                   // non-collection generator
+		`1 + "a"`,                                       // numeric + string
+		`if 1 then 2 else 3`,                            // non-bool condition
+		`if true then 1 else "x"`,                       // branch mismatch
+		"for { e <- Employees } yield and e.id",         // and over non-bool
+		"Employees.name",                                // projection on collection
+		"not 5",                                         // not of int
+		"5 % 2.0",                                       // mod of float
+		"upper(5)",                                      // wrong builtin arg
+	}
+	for _, src := range bad {
+		if _, err := checkSrc(t, src); err == nil {
+			t.Fatalf("Check(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckBindTyping(t *testing.T) {
+	typ := mustCheck(t, "for { e <- Employees, b := e.salary * 2, b > 10.0 } yield max b")
+	if typ.Kind != sdg.TFloat {
+		t.Fatalf("bind type = %s", typ)
+	}
+}
+
+func TestCheckRecordProjection(t *testing.T) {
+	typ := mustCheck(t, "for { e <- Employees } yield list (x := e.id, y := e.salary)")
+	if typ.Kind != sdg.TList {
+		t.Fatalf("type = %s", typ)
+	}
+	ax, _ := typ.Elem.Attr("x")
+	ay, _ := typ.Elem.Attr("y")
+	if ax.Type.Kind != sdg.TInt || ay.Type.Kind != sdg.TFloat {
+		t.Fatalf("elem = %s", typ.Elem)
+	}
+}
+
+func TestCheckIndexing(t *testing.T) {
+	env := NewTypeEnv(map[string]*sdg.Type{
+		"M": sdg.Array([]sdg.Dim{{Name: "i", Type: sdg.Int}, {Name: "j", Type: sdg.Int}}, sdg.Float),
+	})
+	e := MustParse("M[0, 1]")
+	typ, err := Check(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.Kind != sdg.TFloat {
+		t.Fatalf("index type = %s", typ)
+	}
+	// Rank mismatch must be rejected.
+	if _, err := Check(MustParse("M[0]"), env); err == nil {
+		t.Fatal("rank mismatch should fail")
+	}
+}
+
+func TestCheckNestedComprehension(t *testing.T) {
+	typ := mustCheck(t, `for { d <- Departments }
+	        yield list (dep := d.deptName,
+	                    staff := for { e <- Employees, e.deptNo = d.id } yield count e)`)
+	if typ.Kind != sdg.TList {
+		t.Fatalf("type = %s", typ)
+	}
+	staff, ok := typ.Elem.Attr("staff")
+	if !ok || staff.Type.Kind != sdg.TInt {
+		t.Fatalf("staff type = %v", staff.Type)
+	}
+}

@@ -1,0 +1,57 @@
+package monoid
+
+import "vida/internal/values"
+
+// Collector is the streaming accumulator executors use for yield clauses.
+// For scalar monoids it folds incrementally (constant state). For
+// collection-building monoids (list/bag/set/array) and for median — whose
+// accumulation domains are collections — folding via Merge would
+// re-canonicalize the whole accumulator on every element (quadratic);
+// Collector instead gathers elements and builds the collection once at
+// Result. Both strategies compute exactly Finalize(fold of units): for
+// these monoids the fold of n units is, by the monoid laws, the
+// collection of the n elements.
+type Collector struct {
+	m       Monoid
+	collect bool
+	elems   []values.Value
+	acc     values.Value
+}
+
+// NewCollector returns a fresh accumulator for m.
+func NewCollector(m Monoid) *Collector {
+	switch m.Name() {
+	case "list", "bag", "set", "array", "median":
+		return &Collector{m: m, collect: true}
+	}
+	return &Collector{m: m, acc: m.Zero()}
+}
+
+// Add feeds one head value.
+func (c *Collector) Add(v values.Value) {
+	if c.collect {
+		c.elems = append(c.elems, v)
+		return
+	}
+	c.acc = c.m.Merge(c.acc, c.m.Unit(v))
+}
+
+// Result finalizes the accumulation.
+func (c *Collector) Result() values.Value {
+	if !c.collect {
+		return c.m.Finalize(c.acc)
+	}
+	switch c.m.Name() {
+	case "list":
+		return values.NewList(c.elems...)
+	case "bag":
+		return values.NewBag(c.elems...)
+	case "set":
+		return values.NewSet(c.elems...)
+	case "array":
+		return values.NewArray([]int{len(c.elems)}, c.elems)
+	case "median":
+		return c.m.Finalize(values.NewBag(c.elems...))
+	}
+	panic("monoid: unreachable collector state")
+}

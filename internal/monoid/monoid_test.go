@@ -1,0 +1,277 @@
+package monoid
+
+import (
+	"math/rand"
+	"testing"
+
+	"vida/internal/values"
+)
+
+func ints(xs ...int64) []values.Value {
+	out := make([]values.Value, len(xs))
+	for i, x := range xs {
+		out[i] = values.NewInt(x)
+	}
+	return out
+}
+
+func TestFoldSum(t *testing.T) {
+	if got := Fold(Sum, ints(1, 2, 3)); got.Int() != 6 {
+		t.Fatalf("sum = %v", got)
+	}
+	// Mixed int/float promotes to float.
+	got := Fold(Sum, []values.Value{values.NewInt(1), values.NewFloat(0.5)})
+	if got.Float() != 1.5 {
+		t.Fatalf("mixed sum = %v", got)
+	}
+}
+
+func TestFoldProd(t *testing.T) {
+	if got := Fold(Prod, ints(2, 3, 4)); got.Int() != 24 {
+		t.Fatalf("prod = %v", got)
+	}
+	if got := Fold(Prod, nil); got.Int() != 1 {
+		t.Fatalf("empty prod = %v", got)
+	}
+}
+
+func TestFoldCountIgnoresValues(t *testing.T) {
+	heads := []values.Value{values.NewString("a"), values.Null, values.NewInt(9)}
+	if got := Fold(Count, heads); got.Int() != 3 {
+		t.Fatalf("count = %v", got)
+	}
+}
+
+func TestFoldMaxMin(t *testing.T) {
+	if got := Fold(Max, ints(3, 9, 1)); got.Int() != 9 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := Fold(Min, ints(3, 9, 1)); got.Int() != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := Fold(Max, nil); !got.IsNull() {
+		t.Fatalf("empty max = %v, want null", got)
+	}
+}
+
+func TestFoldBoolMonoids(t *testing.T) {
+	bs := []values.Value{values.True, values.False, values.True}
+	if Fold(And, bs).Bool() {
+		t.Fatal("and over {t,f,t} should be false")
+	}
+	if !Fold(Or, bs).Bool() {
+		t.Fatal("or over {t,f,t} should be true")
+	}
+	if !Fold(And, nil).Bool() {
+		t.Fatal("empty and should be true (identity)")
+	}
+	if Fold(Or, nil).Bool() {
+		t.Fatal("empty or should be false (identity)")
+	}
+}
+
+func TestFoldAvg(t *testing.T) {
+	if got := Fold(Avg, ints(1, 2, 3, 4)); got.Float() != 2.5 {
+		t.Fatalf("avg = %v", got)
+	}
+	if got := Fold(Avg, nil); !got.IsNull() {
+		t.Fatalf("empty avg = %v, want null", got)
+	}
+}
+
+func TestFoldMedian(t *testing.T) {
+	if got := Fold(Median, ints(5, 1, 3)); got.Int() != 3 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Fold(Median, ints(4, 1, 3, 2)); got.Float() != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	// Median must be insensitive to input order (it sorts internally).
+	if got := Fold(Median, ints(3, 1, 5)); got.Int() != 3 {
+		t.Fatalf("median order sensitivity: %v", got)
+	}
+}
+
+func TestFoldTopK(t *testing.T) {
+	got := Fold(TopK(2), ints(5, 9, 1, 7))
+	es := got.Elems()
+	if len(es) != 2 || es[0].Int() != 9 || es[1].Int() != 7 {
+		t.Fatalf("top2 = %v", got)
+	}
+	if TopK(3).Name() != "top3" {
+		t.Fatalf("TopK name = %s", TopK(3).Name())
+	}
+}
+
+func TestFoldCollections(t *testing.T) {
+	heads := ints(2, 1, 2)
+	if got := Fold(List, heads); got.Len() != 3 || got.Elems()[0].Int() != 2 {
+		t.Fatalf("list = %v", got)
+	}
+	if got := Fold(Bag, heads); got.Len() != 3 || got.Elems()[0].Int() != 1 {
+		t.Fatalf("bag = %v", got)
+	}
+	if got := Fold(Set, heads); got.Len() != 2 {
+		t.Fatalf("set = %v", got)
+	}
+	if got := Fold(Array, heads); got.Kind() != values.KindArray || got.Len() != 3 {
+		t.Fatalf("array = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sum", "prod", "count", "max", "min", "and", "or", "avg", "median", "list", "bag", "set", "array", "top5"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("frobnicate"); err == nil {
+		t.Fatal("unknown monoid should error")
+	}
+	if _, err := ByName("topx"); err == nil {
+		t.Fatal("malformed top-k should error")
+	}
+}
+
+func TestIsCollectionAndKind(t *testing.T) {
+	if !IsCollection(Set) || IsCollection(Sum) {
+		t.Fatal("IsCollection misclassifies")
+	}
+	if k, ok := CollectionKind(Bag); !ok || k != values.KindBag {
+		t.Fatalf("CollectionKind(bag) = %v, %v", k, ok)
+	}
+	if _, ok := CollectionKind(Count); ok {
+		t.Fatal("count is not a collection")
+	}
+}
+
+// all monoids under test for the law checks
+func lawMonoids() []Monoid {
+	return []Monoid{Sum, Prod, Count, Max, Min, And, Or, Avg, Median, List, Bag, Set, Array, TopK(3)}
+}
+
+// randomUnit produces a value in the monoid's input domain.
+func randomUnit(m Monoid, r *rand.Rand) values.Value {
+	switch m.Name() {
+	case "and", "or":
+		return values.NewBool(r.Intn(2) == 0)
+	default:
+		return values.NewInt(int64(r.Intn(7)))
+	}
+}
+
+// TestMonoidLaws property-checks identity and associativity over the
+// accumulation domain (values produced by Zero/Unit/Merge).
+func TestMonoidLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, m := range lawMonoids() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			for trial := 0; trial < 200; trial++ {
+				x := m.Unit(randomUnit(m, r))
+				y := m.Unit(randomUnit(m, r))
+				z := m.Unit(randomUnit(m, r))
+				// Identity laws.
+				if !values.Equal(m.Merge(m.Zero(), x), x) {
+					t.Fatalf("left identity violated for %v", x)
+				}
+				if !values.Equal(m.Merge(x, m.Zero()), x) {
+					t.Fatalf("right identity violated for %v", x)
+				}
+				// Associativity.
+				l := m.Merge(m.Merge(x, y), z)
+				rr := m.Merge(x, m.Merge(y, z))
+				if !values.Equal(l, rr) {
+					t.Fatalf("associativity violated: (%v+%v)+%v: %v vs %v", x, y, z, l, rr)
+				}
+				// Commutativity where claimed.
+				if m.Commutative() {
+					if !values.Equal(m.Merge(x, y), m.Merge(y, x)) {
+						t.Fatalf("claimed commutative but %v+%v != %v+%v", x, y, y, x)
+					}
+				}
+				// Idempotence where claimed.
+				if m.Idempotent() {
+					if !values.Equal(m.Merge(x, x), x) {
+						t.Fatalf("claimed idempotent but x+x != x for %v", x)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestListNotCommutative guards the flag: list must not claim commutativity.
+func TestListNotCommutative(t *testing.T) {
+	if List.Commutative() {
+		t.Fatal("list must not be commutative")
+	}
+	a, b := List.Unit(values.NewInt(1)), List.Unit(values.NewInt(2))
+	if values.Equal(List.Merge(a, b), List.Merge(b, a)) {
+		t.Fatal("list merge looks commutative, ordering lost")
+	}
+}
+
+func TestFoldMatchesPairwiseSplit(t *testing.T) {
+	// For commutative monoids, folding any permutation must agree.
+	r := rand.New(rand.NewSource(99))
+	for _, m := range lawMonoids() {
+		if !m.Commutative() {
+			continue
+		}
+		heads := make([]values.Value, 10)
+		for i := range heads {
+			heads[i] = randomUnit(m, r)
+		}
+		want := Fold(m, heads)
+		perm := r.Perm(len(heads))
+		shuffled := make([]values.Value, len(heads))
+		for i, p := range perm {
+			shuffled[i] = heads[p]
+		}
+		if got := Fold(m, shuffled); !values.Equal(got, want) {
+			t.Fatalf("%s: fold not order-insensitive: %v vs %v", m.Name(), got, want)
+		}
+	}
+}
+
+// TestCollectorMatchesFold property-checks that the streaming Collector
+// computes exactly Finalize(fold of units) for every monoid, including
+// the collection-building ones it special-cases.
+func TestCollectorMatchesFold(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for _, m := range lawMonoids() {
+		for trial := 0; trial < 50; trial++ {
+			n := r.Intn(12)
+			heads := make([]values.Value, n)
+			for i := range heads {
+				heads[i] = randomUnit(m, r)
+			}
+			want := Fold(m, heads)
+			c := NewCollector(m)
+			for _, h := range heads {
+				c.Add(h)
+			}
+			got := c.Result()
+			if !values.Equal(got, want) {
+				t.Fatalf("%s: collector diverged on %v:\ncollector: %v\nfold:      %v",
+					m.Name(), heads, got, want)
+			}
+		}
+	}
+}
+
+// TestCollectorEmpty checks zero-input behaviour across monoids.
+func TestCollectorEmpty(t *testing.T) {
+	for _, m := range lawMonoids() {
+		c := NewCollector(m)
+		want := Fold(m, nil)
+		if got := c.Result(); !values.Equal(got, want) {
+			t.Fatalf("%s: empty collector = %v, want %v", m.Name(), got, want)
+		}
+	}
+}

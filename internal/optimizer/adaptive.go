@@ -1,0 +1,113 @@
+package optimizer
+
+import (
+	"errors"
+
+	"vida/internal/algebra"
+	"vida/internal/mcl"
+	"vida/internal/values"
+)
+
+// Adaptive optimization (paper §5: "at runtime ViDa both makes some
+// decisions and may change some of the initial ones based on feedback it
+// receives during query execution"). Before committing to a join order,
+// the optimizer samples a prefix of each scan, measures the true
+// selectivity of its pushed-down filter, and re-runs ordering with the
+// measured numbers — a one-round feedback loop standing in for full
+// mid-query re-generation.
+
+// SampleSize is the default number of rows sampled per scan.
+const SampleSize = 256
+
+var errStopSampling = errors.New("optimizer: sampling complete")
+
+// MeasureSelectivity runs the scan's filter over the first limit rows and
+// returns the observed pass fraction (1.0 when the scan has no filter or
+// the source is empty).
+func MeasureSelectivity(cat algebra.Catalog, s *algebra.Scan, limit int) (float64, error) {
+	if s.Filter == nil {
+		return 1.0, nil
+	}
+	src, ok := cat.Source(s.Source)
+	if !ok {
+		return 1.0, nil
+	}
+	seen, passed := 0, 0
+	err := src.Iterate(s.Fields, func(v values.Value) error {
+		seen++
+		env := mcl.NewEnv(map[string]values.Value{s.Var: v})
+		pv, err := mcl.Eval(s.Filter, env)
+		if err != nil {
+			return err
+		}
+		if pv.Kind() == values.KindBool && pv.Bool() {
+			passed++
+		}
+		if seen >= limit {
+			return errStopSampling
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopSampling) {
+		return 1.0, err
+	}
+	if seen == 0 {
+		return 1.0, nil
+	}
+	return float64(passed) / float64(seen), nil
+}
+
+// AdaptiveOptimize is Optimize with a sampling round: the measured
+// selectivities replace the static defaults before join ordering. The
+// cost of the sampling pass is bounded by SampleSize rows per scan.
+func AdaptiveOptimize(p *algebra.Reduce, cat algebra.Catalog, cm CostModel) (*algebra.Reduce, error) {
+	if cm == nil {
+		cm = &StaticCostModel{}
+	}
+	units, ok := flatten(p)
+	if !ok {
+		out := algebra.Clone(p).(*algebra.Reduce)
+		pruneProjections(out, cm)
+		return out, nil
+	}
+	// First pass: attach filters so there is something to measure. The
+	// cheap trick: run the static rebuild, collect its scans (which now
+	// carry filters), sample them, then rebuild again with measurements.
+	staticPlan := rebuild(units, cm, map[*algebra.Scan]float64{}, nil)
+	var scans []*algebra.Scan
+	var walk func(algebra.Plan)
+	walk = func(pl algebra.Plan) {
+		if s, ok := pl.(*algebra.Scan); ok {
+			scans = append(scans, s)
+		}
+		for _, in := range pl.Inputs() {
+			walk(in)
+		}
+	}
+	walk(staticPlan)
+	bySource := map[string]float64{}
+	for _, s := range scans {
+		sel, err := MeasureSelectivity(cat, s, SampleSize)
+		if err != nil {
+			return nil, err
+		}
+		bySource[s.Source+"\x00"+s.Var] = sel
+	}
+	// Re-flatten (fresh copies) and rebuild with the measurements keyed
+	// back onto the fresh scan nodes.
+	units2, _ := flatten(p)
+	// Pre-attach filters to know which scan gets which selectivity.
+	// rebuild() keys measured by *Scan pointer, so align by source+var.
+	pre := map[*algebra.Scan]float64{}
+	for _, u := range units2 {
+		if u.scan != nil {
+			if sel, ok := bySource[u.scan.Source+"\x00"+u.scan.Var]; ok {
+				pre[u.scan] = sel
+			}
+		}
+	}
+	rebuilt := rebuild(units2, cm, pre, nil)
+	out := &algebra.Reduce{Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred}
+	pruneProjections(out, cm)
+	return out, nil
+}

@@ -1,0 +1,381 @@
+package optimizer
+
+import (
+	"sort"
+
+	"vida/internal/algebra"
+	"vida/internal/mcl"
+)
+
+// defaultFilterSelectivity scales row estimates per pushed-down filter
+// conjunct when no measured selectivity is available.
+const defaultFilterSelectivity = 0.25
+
+// Optimize rewrites a translated plan:
+//
+//  1. The linear qualifier chain is decomposed into scans, dependent
+//     generators/binds and filter conjuncts.
+//  2. Single-source conjuncts become Scan.Filter (evaluated inside the
+//     generated access path).
+//  3. Equality conjuncts linking two sides become hash-join keys;
+//     Product+Select collapses into Join.
+//  4. Scans are reordered by the raw-access cost model: the most
+//     expensive stream drives the pipeline once (it is scanned exactly
+//     once), cheaper/smaller sources become hash-join build sides.
+//  5. Scan.Fields is set to exactly the attributes the plan touches
+//     (projection pruning — the lever that lets raw access paths skip
+//     tokenizing unused bytes, paper §5).
+//
+// Plans whose shape the decomposition does not recognize (already
+// optimized, hand-built) are returned unchanged apart from projection
+// pruning.
+func Optimize(p *algebra.Reduce, cm CostModel) *algebra.Reduce {
+	if cm == nil {
+		cm = &StaticCostModel{}
+	}
+	out := p
+	if units, ok := flatten(p); ok {
+		sel := map[*algebra.Scan]float64{}
+		rebuilt := rebuild(units, cm, sel, nil)
+		out = &algebra.Reduce{Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred}
+	} else {
+		out = algebra.Clone(p).(*algebra.Reduce)
+	}
+	pruneProjections(out, cm)
+	return out
+}
+
+// unit is one step of the decomposed qualifier chain.
+type unit struct {
+	scan   *algebra.Scan
+	gen    *algebra.Generate
+	bind   *algebra.Bind
+	filter mcl.Expr
+}
+
+// flatten decomposes a left-deep Translate-shaped plan into units. It
+// reports ok=false for shapes it does not recognize.
+func flatten(p *algebra.Reduce) ([]unit, bool) {
+	var units []unit
+	var walk func(p algebra.Plan) bool
+	walk = func(p algebra.Plan) bool {
+		switch n := p.(type) {
+		case nil:
+			return true
+		case *algebra.Scan:
+			s := *n // copy so rewrites don't mutate the input plan
+			units = append(units, unit{scan: &s})
+			return true
+		case *algebra.Select:
+			if !walk(n.Input) {
+				return false
+			}
+			units = append(units, unit{filter: n.Pred})
+			return true
+		case *algebra.Bind:
+			if !walk(n.Input) {
+				return false
+			}
+			b := *n
+			b.Input = nil
+			units = append(units, unit{bind: &b})
+			return true
+		case *algebra.Generate:
+			if n.Input != nil && !walk(n.Input) {
+				return false
+			}
+			g := *n
+			g.Input = nil
+			units = append(units, unit{gen: &g})
+			return true
+		case *algebra.Product:
+			if !walk(n.L) {
+				return false
+			}
+			return walk(n.R)
+		default:
+			return false
+		}
+	}
+	if !walk(p.Input) {
+		return nil, false
+	}
+	return units, true
+}
+
+// scanVarsOf returns the variables bound by scans/gens/binds in units.
+func boundVarSet(units []unit) map[string]bool {
+	out := map[string]bool{}
+	for _, u := range units {
+		switch {
+		case u.scan != nil:
+			out[u.scan.Var] = true
+		case u.gen != nil:
+			out[u.gen.Var] = true
+		case u.bind != nil:
+			out[u.bind.Var] = true
+		}
+	}
+	return out
+}
+
+// deps returns the plan variables an expression depends on (free vars
+// restricted to variables bound in this plan; catalog sources referenced
+// by correlated subqueries resolve via the base environment instead).
+func deps(e mcl.Expr, bound map[string]bool) []string {
+	var out []string
+	for _, v := range mcl.FreeVars(e) {
+		if bound[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func subset(vars []string, have map[string]bool) bool {
+	for _, v := range vars {
+		if !have[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuild reorders and reassembles the units into a join tree. measured
+// maps scans to observed filter selectivities (from adaptive sampling);
+// extraSel supplies per-scan selectivity defaults when absent.
+func rebuild(units []unit, cm CostModel, measured map[*algebra.Scan]float64, _ interface{}) algebra.Plan {
+	all := boundVarSet(units)
+
+	// Partition units.
+	var scans []*algebra.Scan
+	var depUnits []unit // gens and binds, original order
+	var filters []mcl.Expr
+	for _, u := range units {
+		switch {
+		case u.scan != nil:
+			scans = append(scans, u.scan)
+		case u.gen != nil, u.bind != nil:
+			depUnits = append(depUnits, u)
+		case u.filter != nil:
+			filters = append(filters, u.filter)
+		}
+	}
+
+	// Attach single-scan conjuncts as Scan.Filter and estimate effective
+	// rows per scan.
+	var remaining []mcl.Expr
+	scanSel := map[*algebra.Scan]float64{}
+	for _, s := range scans {
+		scanSel[s] = 1.0
+	}
+	scanByVar := map[string]*algebra.Scan{}
+	for _, s := range scans {
+		scanByVar[s.Var] = s
+	}
+	for _, f := range filters {
+		d := deps(f, all)
+		if len(d) == 1 {
+			if s, ok := scanByVar[d[0]]; ok {
+				if s.Filter == nil {
+					s.Filter = f
+				} else {
+					s.Filter = &mcl.BinExpr{Op: mcl.OpAnd, L: s.Filter, R: f}
+				}
+				if m, ok := measured[s]; ok {
+					scanSel[s] = m
+				} else {
+					scanSel[s] *= defaultFilterSelectivity
+				}
+				continue
+			}
+		}
+		remaining = append(remaining, f)
+	}
+
+	effRows := func(s *algebra.Scan) float64 {
+		return float64(cm.SourceRows(s.Source)) * scanSel[s]
+	}
+
+	// Order scans. The driver (streamed once through every probe) is the
+	// scan with the highest total access cost — it must not be re-read or
+	// hash-built. Subsequent scans are chosen greedily among those
+	// CONNECTED to the already-placed set by an equi-join edge (smallest
+	// effective rows first, keeping build tables small); unconnected
+	// scans wait, so cross products only appear when the join graph is
+	// genuinely disconnected.
+	if len(scans) > 1 {
+		driver := 0
+		driverCost := -1.0
+		for i, s := range scans {
+			c := effRows(s) * cm.PerTupleCost(s.Source, s.Fields)
+			if c > driverCost {
+				driver, driverCost = i, c
+			}
+		}
+		// connected reports whether scan s has an equality conjunct
+		// linking it to any var in the placed set.
+		connected := func(s *algebra.Scan, placed map[string]bool) bool {
+			sv := map[string]bool{s.Var: true}
+			for _, f := range remaining {
+				b, ok := f.(*mcl.BinExpr)
+				if !ok || b.Op != mcl.OpEq {
+					continue
+				}
+				ld, rd := deps(b.L, all), deps(b.R, all)
+				if len(ld) == 0 || len(rd) == 0 {
+					continue
+				}
+				if (subset(ld, placed) && subset(rd, sv)) || (subset(rd, placed) && subset(ld, sv)) {
+					return true
+				}
+			}
+			return false
+		}
+		ordered := []*algebra.Scan{scans[driver]}
+		placed := map[string]bool{scans[driver].Var: true}
+		rest := append(append([]*algebra.Scan{}, scans[:driver]...), scans[driver+1:]...)
+		for len(rest) > 0 {
+			best := -1
+			bestConnected := false
+			for i, s := range rest {
+				conn := connected(s, placed)
+				switch {
+				case best < 0,
+					conn && !bestConnected,
+					conn == bestConnected && effRows(s) < effRows(rest[best]):
+					best, bestConnected = i, conn
+				}
+			}
+			ordered = append(ordered, rest[best])
+			placed[rest[best].Var] = true
+			rest = append(rest[:best], rest[best+1:]...)
+		}
+		scans = ordered
+	}
+
+	// Assemble.
+	bound := map[string]bool{}
+	var plan algebra.Plan
+	usedFilter := make([]bool, len(remaining))
+	usedDep := make([]bool, len(depUnits))
+
+	applyReady := func() {
+		for progress := true; progress; {
+			progress = false
+			// Filters first: they shrink streams.
+			for i, f := range remaining {
+				if usedFilter[i] || !subset(deps(f, all), bound) {
+					continue
+				}
+				plan = &algebra.Select{Input: plan, Pred: f}
+				usedFilter[i] = true
+				progress = true
+			}
+			// Then dependent generators/binds in original order.
+			for i, u := range depUnits {
+				if usedDep[i] {
+					continue
+				}
+				var e mcl.Expr
+				var v string
+				if u.gen != nil {
+					e, v = u.gen.E, u.gen.Var
+				} else {
+					e, v = u.bind.E, u.bind.Var
+				}
+				if !subset(deps(e, all), bound) {
+					continue
+				}
+				if u.gen != nil {
+					plan = &algebra.Generate{Input: plan, Var: v, E: e}
+				} else {
+					plan = &algebra.Bind{Input: plan, Var: v, E: e}
+				}
+				bound[v] = true
+				usedDep[i] = true
+				progress = true
+			}
+		}
+	}
+
+	for _, s := range scans {
+		if plan == nil {
+			plan = s
+			bound[s.Var] = true
+			applyReady()
+			continue
+		}
+		// Find equi-conjuncts connecting bound vars to this scan.
+		var on []algebra.EquiPair
+		newVar := map[string]bool{s.Var: true}
+		for i, f := range remaining {
+			if usedFilter[i] {
+				continue
+			}
+			b, ok := f.(*mcl.BinExpr)
+			if !ok || b.Op != mcl.OpEq {
+				continue
+			}
+			ld, rd := deps(b.L, all), deps(b.R, all)
+			switch {
+			case subset(ld, bound) && len(rd) > 0 && subset(rd, newVar):
+				on = append(on, algebra.EquiPair{LExpr: b.L, RExpr: b.R})
+				usedFilter[i] = true
+			case subset(rd, bound) && len(ld) > 0 && subset(ld, newVar):
+				on = append(on, algebra.EquiPair{LExpr: b.R, RExpr: b.L})
+				usedFilter[i] = true
+			}
+		}
+		if len(on) > 0 {
+			plan = &algebra.Join{L: plan, R: s, On: on}
+		} else {
+			plan = &algebra.Product{L: plan, R: s}
+		}
+		bound[s.Var] = true
+		applyReady()
+	}
+	if plan == nil && len(depUnits) > 0 {
+		// Pure generator/bind chains (no catalog scans).
+		applyReady()
+	}
+	// Any leftover filters (e.g. depending on gens placed late).
+	for i, f := range remaining {
+		if !usedFilter[i] {
+			plan = &algebra.Select{Input: plan, Pred: f}
+		}
+	}
+	return plan
+}
+
+// pruneProjections installs Scan.Fields from the attributes the plan
+// actually touches.
+func pruneProjections(p *algebra.Reduce, cm CostModel) {
+	var scans []*algebra.Scan
+	var walk func(algebra.Plan)
+	walk = func(p algebra.Plan) {
+		if s, ok := p.(*algebra.Scan); ok {
+			scans = append(scans, s)
+		}
+		for _, in := range p.Inputs() {
+			walk(in)
+		}
+	}
+	walk(p)
+	for _, s := range scans {
+		fields, usedWhole := algebra.UsedSourceFields(p, s.Var)
+		if usedWhole {
+			s.Fields = nil // whole record needed
+			continue
+		}
+		if len(fields) == 0 {
+			// Row-count-only scans need one (cheapest) attribute.
+			if f, ok := cm.CheapestField(s.Source); ok {
+				s.Fields = []string{f}
+			}
+			continue
+		}
+		sort.Strings(fields)
+		s.Fields = fields
+	}
+}

@@ -1,0 +1,128 @@
+// Package rawcsv implements ViDa's CSV access path: a scanner that treats
+// raw CSV files as first-class query inputs, backed by NoDB-style
+// positional maps (paper §5, [Alagiannis et al., SIGMOD 2012]). The first
+// touch of a file records row-start offsets; the first touch of an
+// attribute records the byte position of that attribute in every row.
+// Later queries jump straight to the bytes they need instead of
+// re-tokenizing the prefix of each row, which is what makes repeated raw
+// access competitive with a loaded store.
+package rawcsv
+
+import "sync"
+
+// PosMap is the positional map of one CSV file: row starts plus per-column
+// field offsets (relative to row start) for the columns queries have
+// touched so far. It grows adaptively as a side effect of scans and is
+// dropped wholesale when the underlying file changes (paper §2.1).
+type PosMap struct {
+	mu   sync.RWMutex
+	rows []int64         // byte offset of each data row start
+	cols map[int][]int32 // column index -> per-row offset of field start, relative to row start
+	ends map[int][]int32 // column index -> per-row offset one past field end
+}
+
+// NewPosMap returns an empty positional map.
+func NewPosMap() *PosMap {
+	return &PosMap{cols: map[int][]int32{}, ends: map[int][]int32{}}
+}
+
+// HasRows reports whether row starts have been recorded.
+func (m *PosMap) HasRows() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rows) > 0
+}
+
+// NumRows returns the number of recorded rows.
+func (m *PosMap) NumRows() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rows)
+}
+
+// SetRows installs the row-start offsets (first full scan).
+func (m *PosMap) SetRows(rows []int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = rows
+}
+
+// Row returns the byte offset of row i.
+func (m *PosMap) Row(i int) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.rows[i]
+}
+
+// HasCol reports whether column j's positions are recorded.
+func (m *PosMap) HasCol(j int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cols[j] != nil
+}
+
+// SetCol installs the per-row [start,end) offsets of column j.
+func (m *PosMap) SetCol(j int, starts, ends []int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cols[j] = starts
+	m.ends[j] = ends
+}
+
+// Col returns the per-row offsets of column j (nil when absent).
+func (m *PosMap) Col(j int) (starts, ends []int32) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cols[j], m.ends[j]
+}
+
+// Cols returns the indexes of all recorded columns.
+func (m *PosMap) Cols() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, 0, len(m.cols))
+	for j := range m.cols {
+		out = append(out, j)
+	}
+	return out
+}
+
+// NearestAnchor returns the largest recorded column index <= j together
+// with whether one exists. Scanning for column j can start tokenizing from
+// the anchor instead of the row start, which is the "distance" term in the
+// optimizer's CSV cost model (paper §5).
+func (m *PosMap) NearestAnchor(j int) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	best := -1
+	for k := range m.cols {
+		if k <= j && k > best {
+			best = k
+		}
+	}
+	return best, best >= 0
+}
+
+// Drop discards everything; used when the file's mtime changes.
+func (m *PosMap) Drop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = nil
+	m.cols = map[int][]int32{}
+	m.ends = map[int][]int32{}
+}
+
+// MemoryBytes estimates the map's footprint, reported by the engine's
+// statistics (auxiliary structures trade memory for raw-access speed).
+func (m *PosMap) MemoryBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := int64(len(m.rows) * 8)
+	for _, c := range m.cols {
+		total += int64(len(c) * 4)
+	}
+	for _, c := range m.ends {
+		total += int64(len(c) * 4)
+	}
+	return total
+}

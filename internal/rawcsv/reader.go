@@ -1,0 +1,540 @@
+package rawcsv
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+// ErrorPolicy selects what happens when a row fails to parse (paper §7,
+// data cleaning): skip it silently (recording it in Stats) or abort.
+type ErrorPolicy uint8
+
+// The error policies.
+const (
+	SkipBadRows ErrorPolicy = iota
+	FailOnBadRows
+)
+
+// Stats counts the work a reader has done; the optimizer's CSV wrapper and
+// the experiment harness read these.
+type Stats struct {
+	FullScans       atomic.Int64 // scans that tokenized whole rows
+	PosmapScans     atomic.Int64 // scans served via positional map jumps
+	FieldsTokenized atomic.Int64 // individual fields tokenized
+	FieldsJumped    atomic.Int64 // individual fields located via posmap
+	RowsSkipped     atomic.Int64 // malformed rows skipped
+	BytesRead       atomic.Int64
+}
+
+// Reader provides query access to one raw CSV file. It implements
+// algebra.Source. Readers are safe for concurrent scans.
+type Reader struct {
+	desc    *sdg.Description
+	rowType *sdg.Type
+	data    []byte
+	delim   byte
+	header  bool
+	policy  ErrorPolicy
+	nullTok string
+	mtime   time.Time
+	pm      *PosMap
+	stats   Stats
+	colIdx  map[string]int
+	// onInvalidate is called when Refresh detects a file change.
+	onInvalidate func()
+}
+
+// Open loads the CSV file described by desc. Options honored (from
+// desc.Options): "delim" (single character, default ","), "header"
+// ("true"/"false", default "true"), "null" (token treated as null,
+// default empty string), "onerror" ("skip"/"fail", default "skip").
+func Open(desc *sdg.Description) (*Reader, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	if desc.Format != sdg.FormatCSV {
+		return nil, fmt.Errorf("rawcsv: %s is not a CSV source", desc.Name)
+	}
+	data, err := os.ReadFile(desc.Path)
+	if err != nil {
+		return nil, fmt.Errorf("rawcsv: %s: %w", desc.Name, err)
+	}
+	fi, err := os.Stat(desc.Path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{
+		desc:    desc,
+		rowType: desc.RowType(),
+		data:    data,
+		delim:   ',',
+		header:  true,
+		nullTok: "",
+		mtime:   fi.ModTime(),
+		pm:      NewPosMap(),
+		colIdx:  map[string]int{},
+	}
+	if d := desc.Option("delim", ","); len(d) == 1 {
+		r.delim = d[0]
+	}
+	if desc.Option("header", "true") == "false" {
+		r.header = false
+	}
+	r.nullTok = desc.Option("null", "")
+	if desc.Option("onerror", "skip") == "fail" {
+		r.policy = FailOnBadRows
+	}
+	for i, a := range r.rowType.Attrs {
+		r.colIdx[a.Name] = i
+	}
+	return r, nil
+}
+
+// Name implements algebra.Source.
+func (r *Reader) Name() string { return r.desc.Name }
+
+// PosMap exposes the positional map (for the optimizer's cost model and
+// the experiments).
+func (r *Reader) PosMap() *PosMap { return r.pm }
+
+// StatsSnapshot returns a copy of the counters.
+func (r *Reader) StatsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"full_scans":       r.stats.FullScans.Load(),
+		"posmap_scans":     r.stats.PosmapScans.Load(),
+		"fields_tokenized": r.stats.FieldsTokenized.Load(),
+		"fields_jumped":    r.stats.FieldsJumped.Load(),
+		"rows_skipped":     r.stats.RowsSkipped.Load(),
+		"bytes_read":       r.stats.BytesRead.Load(),
+	}
+}
+
+// SizeBytes returns the raw file size.
+func (r *Reader) SizeBytes() int64 { return int64(len(r.data)) }
+
+// SetInvalidateHook registers a callback fired when Refresh drops state.
+func (r *Reader) SetInvalidateHook(fn func()) { r.onInvalidate = fn }
+
+// Refresh re-checks the file; if it changed, the data is re-read and all
+// auxiliary structures are dropped (paper §2.1: "Updates to the underlying
+// files result in dropping the auxiliary structures affected").
+func (r *Reader) Refresh() (changed bool, err error) {
+	fi, err := os.Stat(r.desc.Path)
+	if err != nil {
+		return false, err
+	}
+	if fi.ModTime().Equal(r.mtime) && fi.Size() == int64(len(r.data)) {
+		return false, nil
+	}
+	data, err := os.ReadFile(r.desc.Path)
+	if err != nil {
+		return false, err
+	}
+	r.data = data
+	r.mtime = fi.ModTime()
+	r.pm.Drop()
+	if r.onInvalidate != nil {
+		r.onInvalidate()
+	}
+	return true, nil
+}
+
+// Iterate implements algebra.Source: it streams one record per CSV row,
+// containing only the requested fields (all schema fields when fields is
+// empty). The first scan tokenizes rows fully and installs row starts plus
+// the touched columns in the positional map; subsequent scans jump.
+func (r *Reader) Iterate(fields []string, yield func(values.Value) error) error {
+	cols, err := r.resolveFields(fields)
+	if err != nil {
+		return err
+	}
+	if r.pm.HasRows() && r.allColsMapped(cols) {
+		return r.iteratePosmap(cols, yield)
+	}
+	return r.iterateFull(cols, yield)
+}
+
+// IterateRow reads a single row by index through the positional map
+// (PathRowID access). It requires a prior full scan.
+func (r *Reader) IterateRow(rowIdx int, fields []string) (values.Value, error) {
+	if !r.pm.HasRows() {
+		// Force the row index build with a cheap pass that tokenizes
+		// nothing but newlines.
+		if err := r.buildRowIndex(); err != nil {
+			return values.Null, err
+		}
+	}
+	if rowIdx < 0 || rowIdx >= r.pm.NumRows() {
+		return values.Null, fmt.Errorf("rawcsv: row %d out of range", rowIdx)
+	}
+	cols, err := r.resolveFields(fields)
+	if err != nil {
+		return values.Null, err
+	}
+	start := r.pm.Row(rowIdx)
+	line := r.lineAt(start)
+	rec, ok := r.parseRow(line, cols, nil, nil)
+	if !ok {
+		return values.Null, fmt.Errorf("rawcsv: row %d is malformed", rowIdx)
+	}
+	return rec, nil
+}
+
+func (r *Reader) resolveFields(fields []string) ([]int, error) {
+	if len(fields) == 0 {
+		cols := make([]int, len(r.rowType.Attrs))
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols, nil
+	}
+	cols := make([]int, len(fields))
+	for i, f := range fields {
+		j, ok := r.colIdx[f]
+		if !ok {
+			return nil, fmt.Errorf("rawcsv: %s has no attribute %q", r.desc.Name, f)
+		}
+		cols[i] = j
+	}
+	return cols, nil
+}
+
+func (r *Reader) allColsMapped(cols []int) bool {
+	for _, j := range cols {
+		if !r.pm.HasCol(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// lineAt returns the line starting at offset (without trailing newline).
+func (r *Reader) lineAt(off int64) []byte {
+	end := bytes.IndexByte(r.data[off:], '\n')
+	if end < 0 {
+		return r.data[off:]
+	}
+	return r.data[off : off+int64(end)]
+}
+
+// buildRowIndex records row starts without tokenizing fields.
+func (r *Reader) buildRowIndex() error {
+	var rows []int64
+	off := int64(0)
+	first := true
+	for off < int64(len(r.data)) {
+		end := bytes.IndexByte(r.data[off:], '\n')
+		var next int64
+		if end < 0 {
+			next = int64(len(r.data))
+		} else {
+			next = off + int64(end) + 1
+		}
+		if first && r.header {
+			first = false
+		} else {
+			if next-off > 1 || (next-off == 1 && r.data[off] != '\n') {
+				rows = append(rows, off)
+			}
+			first = false
+		}
+		off = next
+	}
+	r.pm.SetRows(rows)
+	r.stats.BytesRead.Add(int64(len(r.data)))
+	return nil
+}
+
+// iterateFull tokenizes every row, yielding projected records and
+// populating the positional map for the touched columns as a side effect.
+func (r *Reader) iterateFull(cols []int, yield func(values.Value) error) error {
+	r.stats.FullScans.Add(1)
+	buildRows := !r.pm.HasRows()
+	var rowStarts []int64
+	colStarts := make(map[int][]int32, len(cols))
+	colEnds := make(map[int][]int32, len(cols))
+	for _, j := range cols {
+		if !r.pm.HasCol(j) {
+			colStarts[j] = nil
+			colEnds[j] = nil
+		}
+	}
+
+	recordCols := make([]int, 0, len(colStarts))
+	for j := range colStarts {
+		recordCols = append(recordCols, j)
+	}
+
+	off := int64(0)
+	first := true
+	rowIdx := 0
+	scratch := make([]fieldSpan, len(recordCols))
+	for off < int64(len(r.data)) {
+		nl := bytes.IndexByte(r.data[off:], '\n')
+		var next int64
+		var lineEnd int64
+		if nl < 0 {
+			next = int64(len(r.data))
+			lineEnd = next
+		} else {
+			next = off + int64(nl) + 1
+			lineEnd = next - 1
+		}
+		line := r.data[off:lineEnd]
+		if first && r.header {
+			first = false
+			off = next
+			continue
+		}
+		first = false
+		if len(line) == 0 {
+			off = next
+			continue
+		}
+		rec, ok := r.parseRow(line, cols, recordCols, scratch)
+		if !ok {
+			r.stats.RowsSkipped.Add(1)
+			if r.policy == FailOnBadRows {
+				return fmt.Errorf("rawcsv: %s: malformed row at byte %d", r.desc.Name, off)
+			}
+			off = next
+			continue
+		}
+		// Commit positions only after the whole row parsed cleanly, so a
+		// malformed row can never leave a partial entry in the map.
+		for i, j := range recordCols {
+			colStarts[j] = append(colStarts[j], scratch[i].start)
+			colEnds[j] = append(colEnds[j], scratch[i].end)
+		}
+		if buildRows {
+			rowStarts = append(rowStarts, off)
+		}
+		if err := yield(rec); err != nil {
+			return err
+		}
+		rowIdx++
+		off = next
+	}
+	r.stats.BytesRead.Add(int64(len(r.data)))
+	if buildRows {
+		r.pm.SetRows(rowStarts)
+	}
+	for j, starts := range colStarts {
+		if len(starts) == rowIdx {
+			r.pm.SetCol(j, starts, colEnds[j])
+		}
+	}
+	return nil
+}
+
+// fieldSpan is the [start,end) byte range of a field within its row.
+type fieldSpan struct{ start, end int32 }
+
+// parseRow tokenizes a row, converting only the requested columns.
+// recordCols lists columns whose spans must be captured into scratch
+// (parallel to recordCols). ok=false flags a malformed row (wrong arity or
+// conversion failure); scratch contents are then meaningless.
+func (r *Reader) parseRow(line []byte, cols, recordCols []int, scratch []fieldSpan) (values.Value, bool) {
+	need := make(map[int]int, len(cols)) // col -> position in output
+	maxCol := -1
+	for i, j := range cols {
+		need[j] = i
+		if j > maxCol {
+			maxCol = j
+		}
+	}
+	recIdx := make(map[int]int, len(recordCols))
+	for i, j := range recordCols {
+		recIdx[j] = i
+		if j > maxCol {
+			maxCol = j
+		}
+	}
+	fields := make([]values.Field, len(cols))
+	found := 0
+	col := 0
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i != len(line) && line[i] != r.delim {
+			continue
+		}
+		if col < len(r.rowType.Attrs) {
+			if k, ok := recIdx[col]; ok {
+				scratch[k] = fieldSpan{start: int32(start), end: int32(i)}
+			}
+			if outIdx, ok := need[col]; ok {
+				r.stats.FieldsTokenized.Add(1)
+				v, ok := r.convert(col, line[start:i])
+				if !ok {
+					return values.Null, false
+				}
+				fields[outIdx] = values.Field{Name: r.rowType.Attrs[col].Name, Val: v}
+				found++
+			}
+		}
+		col++
+		start = i + 1
+		if col > maxCol {
+			break
+		}
+	}
+	if found < len(cols) {
+		// Row has fewer fields than the needed columns.
+		return values.Null, false
+	}
+	return values.NewRecord(fields...), true
+}
+
+// iteratePosmap serves a scan entirely from recorded positions: no row
+// tokenization, just direct jumps to the needed fields.
+func (r *Reader) iteratePosmap(cols []int, yield func(values.Value) error) error {
+	r.stats.PosmapScans.Add(1)
+	n := r.pm.NumRows()
+	type colRef struct {
+		out    int
+		starts []int32
+		ends   []int32
+		name   string
+		col    int
+	}
+	refs := make([]colRef, len(cols))
+	for i, j := range cols {
+		s, e := r.pm.Col(j)
+		refs[i] = colRef{out: i, starts: s, ends: e, name: r.rowType.Attrs[j].Name, col: j}
+	}
+	for row := 0; row < n; row++ {
+		base := r.pm.Row(row)
+		fields := make([]values.Field, len(cols))
+		bad := false
+		for _, ref := range refs {
+			s := base + int64(ref.starts[row])
+			e := base + int64(ref.ends[row])
+			r.stats.FieldsJumped.Add(1)
+			v, ok := r.convert(ref.col, r.data[s:e])
+			if !ok {
+				bad = true
+				break
+			}
+			fields[ref.out] = values.Field{Name: ref.name, Val: v}
+		}
+		if bad {
+			r.stats.RowsSkipped.Add(1)
+			if r.policy == FailOnBadRows {
+				return fmt.Errorf("rawcsv: %s: malformed row %d", r.desc.Name, row)
+			}
+			continue
+		}
+		if err := yield(values.NewRecord(fields...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// convert parses the raw bytes of column col per its schema type.
+func (r *Reader) convert(col int, raw []byte) (values.Value, bool) {
+	s := string(raw)
+	if s == r.nullTok {
+		return values.Null, true
+	}
+	switch r.rowType.Attrs[col].Type.Kind {
+	case sdg.TInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return values.Null, false
+		}
+		return values.NewInt(n), true
+	case sdg.TFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return values.Null, false
+		}
+		return values.NewFloat(f), true
+	case sdg.TBool:
+		switch s {
+		case "true", "TRUE", "1", "t":
+			return values.True, true
+		case "false", "FALSE", "0", "f":
+			return values.False, true
+		}
+		return values.Null, false
+	default:
+		return values.NewString(s), true
+	}
+}
+
+// IterateSlots is the specialized access path used by the JIT executor:
+// it fills a reused slot buffer (one slot per requested field, in request
+// order) with converted values, skipping record construction entirely.
+// When the positional map covers the fields it jumps straight to their
+// bytes; otherwise it falls back to a full scan (which installs the map
+// for next time).
+func (r *Reader) IterateSlots(fields []string, yield func([]values.Value) error) error {
+	cols, err := r.resolveFields(fields)
+	if err != nil {
+		return err
+	}
+	if r.pm.HasRows() && r.allColsMapped(cols) {
+		r.stats.PosmapScans.Add(1)
+		n := r.pm.NumRows()
+		starts := make([][]int32, len(cols))
+		ends := make([][]int32, len(cols))
+		for i, j := range cols {
+			starts[i], ends[i] = r.pm.Col(j)
+		}
+		buf := make([]values.Value, len(cols))
+		for row := 0; row < n; row++ {
+			base := r.pm.Row(row)
+			bad := false
+			for i, j := range cols {
+				s := base + int64(starts[i][row])
+				e := base + int64(ends[i][row])
+				r.stats.FieldsJumped.Add(1)
+				v, ok := r.convert(j, r.data[s:e])
+				if !ok {
+					bad = true
+					break
+				}
+				buf[i] = v
+			}
+			if bad {
+				r.stats.RowsSkipped.Add(1)
+				if r.policy == FailOnBadRows {
+					return fmt.Errorf("rawcsv: %s: malformed row %d", r.desc.Name, row)
+				}
+				continue
+			}
+			if err := yield(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Full scan fallback: reuse the record path and explode. Field order
+	// in the emitted record matches the request, so extraction is
+	// positional.
+	buf := make([]values.Value, len(cols))
+	return r.iterateFull(cols, func(v values.Value) error {
+		for i, f := range v.Fields() {
+			buf[i] = f.Val
+		}
+		return yield(buf)
+	})
+}
+
+// NumRows returns the row count, building the row index if needed.
+func (r *Reader) NumRows() (int, error) {
+	if !r.pm.HasRows() {
+		if err := r.buildRowIndex(); err != nil {
+			return 0, err
+		}
+	}
+	return r.pm.NumRows(), nil
+}

@@ -1,0 +1,336 @@
+// Package rawjson implements ViDa's JSON access path: queries run
+// directly over raw JSON files, supported by a structural semi-index
+// (paper §5, [Ottaviano & Grossi, CIKM 2011]) that records the byte spans
+// of top-level objects and of individual fields. Once a field's spans are
+// known, later queries parse exactly the bytes of the values they need —
+// and queries that only carry a large object through a plan can carry its
+// (start,end) positions instead of materializing it (paper Figure 4d).
+package rawjson
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vida/internal/values"
+)
+
+// ParseError reports malformed JSON with a byte offset.
+type ParseError struct {
+	Off int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rawjson: offset %d: %s", e.Off, e.Msg)
+}
+
+func perr(off int, format string, args ...any) error {
+	return &ParseError{Off: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func skipWS(data []byte, pos int) int {
+	for pos < len(data) {
+		switch data[pos] {
+		case ' ', '\t', '\n', '\r':
+			pos++
+		default:
+			return pos
+		}
+	}
+	return pos
+}
+
+// ParseValue parses one JSON value starting at pos, returning the value
+// and the offset just past it. Objects become records (field order
+// preserved), arrays become lists, integral numbers become ints.
+func ParseValue(data []byte, pos int) (values.Value, int, error) {
+	pos = skipWS(data, pos)
+	if pos >= len(data) {
+		return values.Null, pos, perr(pos, "unexpected end of input")
+	}
+	switch c := data[pos]; {
+	case c == '{':
+		return parseObject(data, pos, nil, nil)
+	case c == '[':
+		return parseArray(data, pos)
+	case c == '"':
+		s, next, err := parseString(data, pos)
+		if err != nil {
+			return values.Null, pos, err
+		}
+		return values.NewString(s), next, nil
+	case c == 't':
+		if hasPrefix(data, pos, "true") {
+			return values.True, pos + 4, nil
+		}
+		return values.Null, pos, perr(pos, "bad literal")
+	case c == 'f':
+		if hasPrefix(data, pos, "false") {
+			return values.False, pos + 5, nil
+		}
+		return values.Null, pos, perr(pos, "bad literal")
+	case c == 'n':
+		if hasPrefix(data, pos, "null") {
+			return values.Null, pos + 4, nil
+		}
+		return values.Null, pos, perr(pos, "bad literal")
+	case c == '-' || (c >= '0' && c <= '9'):
+		return parseNumber(data, pos)
+	}
+	return values.Null, pos, perr(pos, "unexpected character %q", string(data[pos]))
+}
+
+func hasPrefix(data []byte, pos int, s string) bool {
+	return pos+len(s) <= len(data) && string(data[pos:pos+len(s)]) == s
+}
+
+// parseObject parses an object. When want is non-nil, only the listed
+// top-level keys are materialized (others are skipped), and spans — if
+// also non-nil — receives the [start,end) byte span of every top-level
+// field value, keyed by field name, with offsets absolute in data.
+func parseObject(data []byte, pos int, want map[string]bool, spans map[string][2]int) (values.Value, int, error) {
+	if data[pos] != '{' {
+		return values.Null, pos, perr(pos, "expected '{'")
+	}
+	pos++
+	var fields []values.Field
+	pos = skipWS(data, pos)
+	if pos < len(data) && data[pos] == '}' {
+		return values.NewRecord(), pos + 1, nil
+	}
+	for {
+		pos = skipWS(data, pos)
+		key, next, err := parseString(data, pos)
+		if err != nil {
+			return values.Null, pos, err
+		}
+		pos = skipWS(data, next)
+		if pos >= len(data) || data[pos] != ':' {
+			return values.Null, pos, perr(pos, "expected ':'")
+		}
+		pos = skipWS(data, pos+1)
+		vStart := pos
+		if want == nil || want[key] {
+			v, next, err := ParseValue(data, pos)
+			if err != nil {
+				return values.Null, pos, err
+			}
+			fields = append(fields, values.Field{Name: key, Val: v})
+			pos = next
+		} else {
+			next, err := SkipValue(data, pos)
+			if err != nil {
+				return values.Null, pos, err
+			}
+			pos = next
+		}
+		if spans != nil {
+			spans[key] = [2]int{vStart, pos}
+		}
+		pos = skipWS(data, pos)
+		if pos >= len(data) {
+			return values.Null, pos, perr(pos, "unterminated object")
+		}
+		switch data[pos] {
+		case ',':
+			pos++
+		case '}':
+			return values.NewRecord(fields...), pos + 1, nil
+		default:
+			return values.Null, pos, perr(pos, "expected ',' or '}'")
+		}
+	}
+}
+
+func parseArray(data []byte, pos int) (values.Value, int, error) {
+	pos++ // consume '['
+	var elems []values.Value
+	pos = skipWS(data, pos)
+	if pos < len(data) && data[pos] == ']' {
+		return values.NewList(), pos + 1, nil
+	}
+	for {
+		v, next, err := ParseValue(data, pos)
+		if err != nil {
+			return values.Null, pos, err
+		}
+		elems = append(elems, v)
+		pos = skipWS(data, next)
+		if pos >= len(data) {
+			return values.Null, pos, perr(pos, "unterminated array")
+		}
+		switch data[pos] {
+		case ',':
+			pos++
+		case ']':
+			return values.NewList(elems...), pos + 1, nil
+		default:
+			return values.Null, pos, perr(pos, "expected ',' or ']'")
+		}
+	}
+}
+
+func parseString(data []byte, pos int) (string, int, error) {
+	if pos >= len(data) || data[pos] != '"' {
+		return "", pos, perr(pos, "expected string")
+	}
+	pos++
+	start := pos
+	// Fast path: no escapes.
+	for pos < len(data) {
+		c := data[pos]
+		if c == '"' {
+			return string(data[start:pos]), pos + 1, nil
+		}
+		if c == '\\' {
+			return parseStringSlow(data, start, pos)
+		}
+		pos++
+	}
+	return "", pos, perr(start-1, "unterminated string")
+}
+
+func parseStringSlow(data []byte, start, pos int) (string, int, error) {
+	var sb strings.Builder
+	sb.Write(data[start:pos])
+	for pos < len(data) {
+		c := data[pos]
+		switch c {
+		case '"':
+			return sb.String(), pos + 1, nil
+		case '\\':
+			pos++
+			if pos >= len(data) {
+				return "", pos, perr(pos, "unterminated escape")
+			}
+			switch data[pos] {
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case '/':
+				sb.WriteByte('/')
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case 'b':
+				sb.WriteByte('\b')
+			case 'f':
+				sb.WriteByte('\f')
+			case 'u':
+				if pos+4 >= len(data) {
+					return "", pos, perr(pos, "bad \\u escape")
+				}
+				n, err := strconv.ParseUint(string(data[pos+1:pos+5]), 16, 32)
+				if err != nil {
+					return "", pos, perr(pos, "bad \\u escape")
+				}
+				sb.WriteRune(rune(n))
+				pos += 4
+			default:
+				return "", pos, perr(pos, "unknown escape \\%c", data[pos])
+			}
+			pos++
+		default:
+			sb.WriteByte(c)
+			pos++
+		}
+	}
+	return "", pos, perr(pos, "unterminated string")
+}
+
+func parseNumber(data []byte, pos int) (values.Value, int, error) {
+	start := pos
+	if data[pos] == '-' {
+		pos++
+	}
+	isFloat := false
+	for pos < len(data) {
+		c := data[pos]
+		if c >= '0' && c <= '9' {
+			pos++
+		} else if c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+			isFloat = true
+			pos++
+		} else {
+			break
+		}
+	}
+	text := string(data[start:pos])
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return values.Null, pos, perr(start, "bad number %q", text)
+		}
+		return values.NewFloat(f), pos, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		// Overflowing integers degrade to float.
+		f, ferr := strconv.ParseFloat(text, 64)
+		if ferr != nil {
+			return values.Null, pos, perr(start, "bad number %q", text)
+		}
+		return values.NewFloat(f), pos, nil
+	}
+	return values.NewInt(n), pos, nil
+}
+
+// SkipValue advances past one JSON value without materializing it — the
+// cheap structural navigation the semi-index is built from.
+func SkipValue(data []byte, pos int) (int, error) {
+	pos = skipWS(data, pos)
+	if pos >= len(data) {
+		return pos, perr(pos, "unexpected end of input")
+	}
+	switch c := data[pos]; {
+	case c == '{' || c == '[':
+		open, close := c, byte('}')
+		if c == '[' {
+			close = ']'
+		}
+		depth := 0
+		for pos < len(data) {
+			switch data[pos] {
+			case open:
+				depth++
+			case close:
+				depth--
+				if depth == 0 {
+					return pos + 1, nil
+				}
+			case '"':
+				_, next, err := parseString(data, pos)
+				if err != nil {
+					return pos, err
+				}
+				pos = next
+				continue
+			}
+			pos++
+		}
+		return pos, perr(pos, "unterminated %c", open)
+	case c == '"':
+		_, next, err := parseString(data, pos)
+		return next, err
+	case c == 't':
+		return pos + 4, nil
+	case c == 'f':
+		return pos + 5, nil
+	case c == 'n':
+		return pos + 4, nil
+	default:
+		for pos < len(data) {
+			switch data[pos] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				return pos, nil
+			}
+			pos++
+		}
+		return pos, nil
+	}
+}

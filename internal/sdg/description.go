@@ -1,0 +1,264 @@
+package sdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format identifies the physical format of a raw data source.
+type Format uint8
+
+// The supported raw source formats. FormatTable denotes data already
+// resident inside a loaded store (used when ViDa wraps a DBMS source).
+const (
+	FormatCSV Format = iota
+	FormatJSON
+	FormatArray
+	FormatXLS
+	FormatTable
+)
+
+// String returns the conventional name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatCSV:
+		return "csv"
+	case FormatJSON:
+		return "json"
+	case FormatArray:
+		return "array"
+	case FormatXLS:
+		return "xls"
+	case FormatTable:
+		return "table"
+	default:
+		return fmt.Sprintf("format(%d)", uint8(f))
+	}
+}
+
+// ParseFormat maps a format name to its Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "csv":
+		return FormatCSV, nil
+	case "json":
+		return FormatJSON, nil
+	case "array", "bin", "binary":
+		return FormatArray, nil
+	case "xls":
+		return FormatXLS, nil
+	case "table", "dbms":
+		return FormatTable, nil
+	}
+	return 0, fmt.Errorf("sdg: unknown format %q", s)
+}
+
+// Unit is the granularity of a single data access exposed by a source's
+// reader (paper §3.1: element, row, column, chunk, object, page).
+type Unit uint8
+
+// The access units.
+const (
+	UnitElement Unit = iota
+	UnitRow
+	UnitColumn
+	UnitChunk
+	UnitObject
+	UnitPage
+)
+
+// String returns the unit name.
+func (u Unit) String() string {
+	switch u {
+	case UnitElement:
+		return "element"
+	case UnitRow:
+		return "row"
+	case UnitColumn:
+		return "column"
+	case UnitChunk:
+		return "chunk"
+	case UnitObject:
+		return "object"
+	case UnitPage:
+		return "page"
+	default:
+		return fmt.Sprintf("unit(%d)", uint8(u))
+	}
+}
+
+// AccessPathKind enumerates the ways a source can be read.
+type AccessPathKind uint8
+
+// The access path kinds: full sequential scan, direct access by row/object
+// identifier, and attribute-indexed access (e.g. an existing DBMS index or
+// a ViDa positional structure).
+const (
+	PathSeqScan AccessPathKind = iota
+	PathRowID
+	PathIndex
+)
+
+// String returns the access path name.
+func (k AccessPathKind) String() string {
+	switch k {
+	case PathSeqScan:
+		return "seqscan"
+	case PathRowID:
+		return "rowid"
+	case PathIndex:
+		return "index"
+	default:
+		return fmt.Sprintf("path(%d)", uint8(k))
+	}
+}
+
+// AccessPath describes one exposed access path. Attr is set for PathIndex.
+type AccessPath struct {
+	Kind AccessPathKind
+	Attr string
+}
+
+// Description captures everything ViDa needs to know about a raw dataset:
+// its schema, the unit of data its reader retrieves per access, and the
+// access paths it exposes (paper §3.1). It is the catalog entry handed to
+// the query engine so generated access paths can adapt to the instance.
+type Description struct {
+	Name    string
+	Format  Format
+	Path    string
+	Schema  *Type
+	Unit    Unit
+	Paths   []AccessPath
+	Options map[string]string
+}
+
+// Option returns the named option or a default.
+func (d *Description) Option(key, def string) string {
+	if v, ok := d.Options[key]; ok {
+		return v
+	}
+	return def
+}
+
+// RowType returns the per-datum record type of the source: the element
+// type for collections, the cell type for arrays, the schema itself for a
+// bare record.
+func (d *Description) RowType() *Type {
+	s := d.Schema
+	if s == nil {
+		return Unknown
+	}
+	switch s.Kind {
+	case TList, TBag, TSet:
+		return s.Elem
+	case TArray:
+		return s.Elem
+	default:
+		return s
+	}
+}
+
+// IterationType returns the record type a scan over this source actually
+// yields. It equals RowType except for array sources, whose readers
+// augment each cell with its dimension indices (UnitElement access yields
+// (i, j, ...fields), paper §3.1) — so queries can filter and group on
+// coordinates.
+func (d *Description) IterationType() *Type {
+	if d.Schema == nil || d.Schema.Kind != TArray {
+		return d.RowType()
+	}
+	var attrs []Attr
+	for _, dim := range d.Schema.Dims {
+		attrs = append(attrs, Attr{Name: dim.Name, Type: Int})
+	}
+	elem := d.Schema.Elem
+	if elem != nil && elem.Kind == TRecord {
+		attrs = append(attrs, elem.Attrs...)
+	} else if elem != nil {
+		attrs = append(attrs, Attr{Name: "val", Type: elem})
+	}
+	return Record(attrs...)
+}
+
+// HasPath reports whether the source exposes an access path of kind k.
+func (d *Description) HasPath(k AccessPathKind) bool {
+	for _, p := range d.Paths {
+		if p.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks internal consistency of the description.
+func (d *Description) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("sdg: description needs a name")
+	}
+	if d.Schema == nil {
+		return fmt.Errorf("sdg: %s: description needs a schema", d.Name)
+	}
+	switch d.Format {
+	case FormatCSV, FormatXLS, FormatTable:
+		rt := d.RowType()
+		if rt.Kind != TRecord {
+			return fmt.Errorf("sdg: %s: %s source needs a record row type, got %s", d.Name, d.Format, rt)
+		}
+		for _, a := range rt.Attrs {
+			if !a.Type.IsPrimitive() && a.Type.Kind != TUnknown {
+				return fmt.Errorf("sdg: %s: %s attribute %q must be primitive, got %s", d.Name, d.Format, a.Name, a.Type)
+			}
+		}
+	case FormatArray:
+		if d.Schema.Kind != TArray {
+			return fmt.Errorf("sdg: %s: array source needs an Array schema, got %s", d.Name, d.Schema)
+		}
+	case FormatJSON:
+		// Any schema shape is admissible for JSON.
+	default:
+		return fmt.Errorf("sdg: %s: unknown format", d.Name)
+	}
+	if len(d.Paths) == 0 {
+		return fmt.Errorf("sdg: %s: at least one access path required", d.Name)
+	}
+	return nil
+}
+
+// DefaultDescription builds a Description with the customary unit and
+// access paths for the format: CSV/XLS/Table read rows sequentially and by
+// rowid, JSON reads objects, arrays read chunks plus element addressing.
+func DefaultDescription(name string, format Format, path string, schema *Type) *Description {
+	d := &Description{Name: name, Format: format, Path: path, Schema: schema}
+	switch format {
+	case FormatCSV, FormatXLS, FormatTable:
+		d.Unit = UnitRow
+		d.Paths = []AccessPath{{Kind: PathSeqScan}, {Kind: PathRowID}}
+	case FormatJSON:
+		d.Unit = UnitObject
+		d.Paths = []AccessPath{{Kind: PathSeqScan}, {Kind: PathRowID}}
+	case FormatArray:
+		d.Unit = UnitChunk
+		d.Paths = []AccessPath{{Kind: PathSeqScan}, {Kind: PathRowID}}
+	}
+	return d
+}
+
+// String renders a single-line summary used in catalogs and EXPLAIN output.
+func (d *Description) String() string {
+	var opts string
+	if len(d.Options) > 0 {
+		keys := make([]string, 0, len(d.Options))
+		for k := range d.Options {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + d.Options[k]
+		}
+		opts = " {" + strings.Join(parts, ", ") + "}"
+	}
+	return fmt.Sprintf("%s [%s unit=%s] %s%s", d.Name, d.Format, d.Unit, d.Schema, opts)
+}

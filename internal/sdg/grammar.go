@@ -1,0 +1,307 @@
+package sdg
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseType parses the textual source description grammar into a Type.
+// The grammar (paper §3.1):
+//
+//	type  := prim | record | coll | array | ident
+//	prim  := "int" | "float" | "bool" | "string"
+//	record:= "Record" "(" att { "," att } ")"
+//	att   := "Att" "(" name [ "," type ] ")"       // untyped Att defaults to string
+//	coll  := ("List"|"Bag"|"Set") "(" type ")"
+//	array := "Array" "(" dim { "," dim } "," att ")"
+//	dim   := "Dim" "(" name "," prim ")"
+//
+// Named type references may be resolved through defs, supporting the
+// paper's two-part example where "val = Record(...)" is declared separately:
+//
+//	Array(Dim(i,int), Dim(j,int), Att(val))
+//	val = Record(Att(elevation,float), Att(temperature,float))
+func ParseType(src string, defs map[string]*Type) (*Type, error) {
+	p := &typeParser{src: src, defs: defs}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("sdg: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return t, nil
+}
+
+// ParseSchema parses a multi-declaration schema description. The first
+// declaration (or a declaration named "schema") is the root; subsequent
+// lines of the form "name = type" define named types referenced by
+// untyped Att(name) attributes.
+func ParseSchema(src string) (*Type, error) {
+	var rootSrc string
+	defs := map[string]*Type{}
+	type pending struct {
+		name string
+		src  string
+	}
+	var decls []pending
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if name, rhs, ok := splitDecl(line); ok {
+			decls = append(decls, pending{name, rhs})
+			continue
+		}
+		if rootSrc != "" {
+			rootSrc += " "
+		}
+		rootSrc += line
+	}
+	if rootSrc == "" {
+		return nil, fmt.Errorf("sdg: schema has no root type declaration")
+	}
+	// Declarations may reference each other; resolve in reverse order so
+	// the paper's style (root first, definitions after) works.
+	for i := len(decls) - 1; i >= 0; i-- {
+		t, err := ParseType(decls[i].src, defs)
+		if err != nil {
+			return nil, fmt.Errorf("sdg: in declaration %q: %w", decls[i].name, err)
+		}
+		defs[decls[i].name] = t
+	}
+	return ParseType(rootSrc, defs)
+}
+
+// splitDecl splits "name = type" declarations; it rejects lines whose '='
+// appears inside parentheses (which would be part of an expression).
+func splitDecl(line string) (name, rhs string, ok bool) {
+	depth := 0
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '=':
+			if depth == 0 {
+				name = strings.TrimSpace(line[:i])
+				rhs = strings.TrimSpace(line[i+1:])
+				return name, rhs, isIdent(name)
+			}
+		}
+	}
+	return "", "", false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r))) {
+			return false
+		}
+	}
+	return true
+}
+
+type typeParser struct {
+	src  string
+	pos  int
+	defs map[string]*Type
+}
+
+func (p *typeParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *typeParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *typeParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("sdg: expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *typeParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *typeParser) parseType() (*Type, error) {
+	name := p.ident()
+	switch name {
+	case "int":
+		return Int, nil
+	case "float", "double":
+		return Float, nil
+	case "bool", "boolean":
+		return Bool, nil
+	case "string", "text":
+		return String, nil
+	case "Record":
+		return p.parseRecord()
+	case "List", "Bag", "Set":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "List":
+			return List(elem), nil
+		case "Bag":
+			return Bag(elem), nil
+		default:
+			return Set(elem), nil
+		}
+	case "Array":
+		return p.parseArray()
+	case "":
+		return nil, fmt.Errorf("sdg: expected type at offset %d", p.pos)
+	default:
+		if t, ok := p.defs[name]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("sdg: unknown type %q at offset %d", name, p.pos)
+	}
+}
+
+func (p *typeParser) parseRecord() (*Type, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var attrs []Attr
+	for {
+		a, err := p.parseAtt()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return Record(attrs...), nil
+}
+
+func (p *typeParser) parseAtt() (Attr, error) {
+	kw := p.ident()
+	if kw != "Att" {
+		return Attr{}, fmt.Errorf("sdg: expected Att, got %q at offset %d", kw, p.pos)
+	}
+	if err := p.expect('('); err != nil {
+		return Attr{}, err
+	}
+	name := p.ident()
+	if name == "" {
+		return Attr{}, fmt.Errorf("sdg: attribute needs a name at offset %d", p.pos)
+	}
+	typ := Unknown
+	if p.peek() == ',' {
+		p.pos++
+		t, err := p.parseType()
+		if err != nil {
+			return Attr{}, err
+		}
+		typ = t
+	} else if t, ok := p.defs[name]; ok {
+		// Untyped attribute resolved through a named definition,
+		// supporting the paper's "Att(val)" + "val = Record(...)" style.
+		typ = t
+	} else if typ == Unknown {
+		typ = String
+	}
+	if err := p.expect(')'); err != nil {
+		return Attr{}, err
+	}
+	return Attr{Name: name, Type: typ}, nil
+}
+
+func (p *typeParser) parseArray() (*Type, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var dims []Dim
+	var elem *Type
+	for {
+		kw := p.ident()
+		switch kw {
+		case "Dim":
+			if err := p.expect('('); err != nil {
+				return nil, err
+			}
+			name := p.ident()
+			if err := p.expect(','); err != nil {
+				return nil, err
+			}
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(')'); err != nil {
+				return nil, err
+			}
+			dims = append(dims, Dim{Name: name, Type: t})
+		case "Att":
+			// Rewind so parseAtt sees the keyword.
+			p.pos -= len("Att")
+			a, err := p.parseAtt()
+			if err != nil {
+				return nil, err
+			}
+			elem = a.Type
+		default:
+			return nil, fmt.Errorf("sdg: expected Dim or Att in Array, got %q at offset %d", kw, p.pos)
+		}
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("sdg: Array needs at least one Dim")
+	}
+	if elem == nil {
+		return nil, fmt.Errorf("sdg: Array needs an Att cell declaration")
+	}
+	return Array(dims, elem), nil
+}

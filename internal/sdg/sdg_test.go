@@ -1,0 +1,183 @@
+package sdg
+
+import (
+	"strings"
+	"testing"
+
+	"vida/internal/values"
+)
+
+func TestParsePrimitives(t *testing.T) {
+	for src, want := range map[string]*Type{
+		"int": Int, "float": Float, "bool": Bool, "string": String,
+		"double": Float, "boolean": Bool, "text": String,
+	} {
+		got, err := ParseType(src, nil)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", src, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("ParseType(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseRecord(t *testing.T) {
+	got, err := ParseType("Record(Att(id, int), Att(name, string), Att(scores, List(float)))", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record(
+		Attr{"id", Int},
+		Attr{"name", String},
+		Attr{"scores", List(Float)},
+	)
+	if !got.Equal(want) {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestParsePaperArrayExample(t *testing.T) {
+	// Verbatim example from paper §3.1.
+	src := `
+		Array(Dim( i , int ) , Dim( j , int ) , Att( val ) )
+		val = Record( Att( elevation , float ) , Att( temperature , float ) )
+	`
+	got, err := ParseSchema(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Array(
+		[]Dim{{"i", Int}, {"j", Int}},
+		Record(Attr{"elevation", Float}, Attr{"temperature", Float}),
+	)
+	if !got.Equal(want) {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseUntypedAttDefaultsToString(t *testing.T) {
+	got, err := ParseType("Record(Att(city))", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs[0].Type != String {
+		t.Fatalf("untyped Att = %s, want string", got.Attrs[0].Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "Nope(int)", "Record()", "Record(Att(a, int)",
+		"Array(Att(val, int))", "Array(Dim(i,int))", "int extra",
+	} {
+		if _, err := ParseType(src, nil); err == nil {
+			t.Fatalf("ParseType(%q) should fail", src)
+		}
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"Record(Att(id, int), Att(vals, Bag(Record(Att(x, float)))))",
+		"Set(Record(Att(a, bool)))",
+		"Array(Dim(i, int), Att(val, float))",
+	}
+	for _, src := range srcs {
+		t1, err := ParseType(src, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		t2, err := ParseType(t1.String(), nil)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", t1.String(), err)
+		}
+		if !t1.Equal(t2) {
+			t.Fatalf("round trip changed type: %s vs %s", t1, t2)
+		}
+	}
+}
+
+func TestConforms(t *testing.T) {
+	typ := Record(Attr{"id", Int}, Attr{"w", Float}, Attr{"tags", Set(String)})
+	v := values.NewRecord(
+		values.Field{Name: "id", Val: values.NewInt(1)},
+		values.Field{Name: "w", Val: values.NewInt(3)}, // int conforms to float
+		values.Field{Name: "tags", Val: values.NewSet(values.NewString("x"))},
+	)
+	if !Conforms(v, typ) {
+		t.Fatal("value should conform")
+	}
+	bad := values.NewRecord(values.Field{Name: "id", Val: values.NewString("x")})
+	if Conforms(bad, typ) {
+		t.Fatal("bad value should not conform")
+	}
+	if !Conforms(values.Null, typ) {
+		t.Fatal("null conforms to everything")
+	}
+}
+
+func TestDescriptionValidate(t *testing.T) {
+	schema := Bag(Record(Attr{"id", Int}, Attr{"name", String}))
+	d := DefaultDescription("patients", FormatCSV, "/tmp/p.csv", schema)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid description rejected: %v", err)
+	}
+	if d.Unit != UnitRow {
+		t.Fatalf("CSV default unit = %s", d.Unit)
+	}
+	if !d.HasPath(PathSeqScan) || !d.HasPath(PathRowID) {
+		t.Fatal("CSV default paths missing")
+	}
+	if got := d.RowType(); got.Kind != TRecord || len(got.Attrs) != 2 {
+		t.Fatalf("RowType = %s", got)
+	}
+
+	// CSV with nested attribute types must be rejected.
+	nested := Bag(Record(Attr{"obj", Record(Attr{"x", Int})}))
+	bad := DefaultDescription("bad", FormatCSV, "", nested)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nested CSV schema should be rejected")
+	}
+
+	// Array format needs an Array schema.
+	badArr := DefaultDescription("arr", FormatArray, "", schema)
+	if err := badArr.Validate(); err == nil {
+		t.Fatal("non-array schema for array format should be rejected")
+	}
+
+	// JSON accepts hierarchies.
+	j := DefaultDescription("brain", FormatJSON, "/tmp/b.json", List(Record(Attr{"region", Record(Attr{"n", Int})})))
+	if err := j.Validate(); err != nil {
+		t.Fatalf("JSON description rejected: %v", err)
+	}
+	if j.Unit != UnitObject {
+		t.Fatalf("JSON default unit = %s", j.Unit)
+	}
+}
+
+func TestDescriptionString(t *testing.T) {
+	d := DefaultDescription("p", FormatCSV, "x.csv", Bag(Record(Attr{"a", Int})))
+	d.Options = map[string]string{"delim": "|", "header": "true"}
+	s := d.String()
+	for _, want := range []string{"p", "csv", "unit=row", "delim=|", "header=true"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{
+		"csv": FormatCSV, "JSON": FormatJSON, "binary": FormatArray,
+		"xls": FormatXLS, "dbms": FormatTable,
+	} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("parquet"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}

@@ -1,0 +1,297 @@
+// Package sdg implements ViDa's source description grammar (paper §3.1):
+// a minimal schema language rich enough to describe the structure of raw
+// heterogeneous datasets — tables in CSV, hierarchies in JSON, matrices in
+// binary array files — together with the access "unit" each format exposes
+// and its available access paths. The same structural types double as the
+// type system of the comprehension language.
+package sdg
+
+import (
+	"fmt"
+	"strings"
+
+	"vida/internal/values"
+)
+
+// TypeKind discriminates structural types.
+type TypeKind uint8
+
+// The structural type kinds.
+const (
+	TUnknown TypeKind = iota
+	TBool
+	TInt
+	TFloat
+	TString
+	TRecord
+	TList
+	TBag
+	TSet
+	TArray
+)
+
+// String returns the grammar keyword for the kind.
+func (k TypeKind) String() string {
+	switch k {
+	case TUnknown:
+		return "unknown"
+	case TBool:
+		return "bool"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TRecord:
+		return "Record"
+	case TList:
+		return "List"
+	case TBag:
+		return "Bag"
+	case TSet:
+		return "Set"
+	case TArray:
+		return "Array"
+	default:
+		return fmt.Sprintf("TypeKind(%d)", uint8(k))
+	}
+}
+
+// Attr is a named attribute of a record type.
+type Attr struct {
+	Name string
+	Type *Type
+}
+
+// Dim is a named dimension of an array type; its Type is the index type
+// (int in practice, per the paper's Array(Dim(i,int), Dim(j,int), ...) form).
+type Dim struct {
+	Name string
+	Type *Type
+}
+
+// Type is a structural type: a primitive, a record, a collection or an
+// array. Types are immutable after construction.
+type Type struct {
+	Kind  TypeKind
+	Attrs []Attr // TRecord
+	Elem  *Type  // TList/TBag/TSet element, TArray cell
+	Dims  []Dim  // TArray
+}
+
+// Primitive type singletons.
+var (
+	Bool    = &Type{Kind: TBool}
+	Int     = &Type{Kind: TInt}
+	Float   = &Type{Kind: TFloat}
+	String  = &Type{Kind: TString}
+	Unknown = &Type{Kind: TUnknown}
+)
+
+// Record builds a record type from attributes.
+func Record(attrs ...Attr) *Type { return &Type{Kind: TRecord, Attrs: attrs} }
+
+// List builds a list type.
+func List(elem *Type) *Type { return &Type{Kind: TList, Elem: elem} }
+
+// Bag builds a bag type.
+func Bag(elem *Type) *Type { return &Type{Kind: TBag, Elem: elem} }
+
+// Set builds a set type.
+func Set(elem *Type) *Type { return &Type{Kind: TSet, Elem: elem} }
+
+// Array builds an array type with named dimensions and a cell type.
+func Array(dims []Dim, elem *Type) *Type { return &Type{Kind: TArray, Dims: dims, Elem: elem} }
+
+// IsPrimitive reports whether t is a scalar type.
+func (t *Type) IsPrimitive() bool {
+	switch t.Kind {
+	case TBool, TInt, TFloat, TString:
+		return true
+	}
+	return false
+}
+
+// IsCollection reports whether t is a list, bag or set.
+func (t *Type) IsCollection() bool {
+	switch t.Kind {
+	case TList, TBag, TSet:
+		return true
+	}
+	return false
+}
+
+// IsNumeric reports whether t is int or float.
+func (t *Type) IsNumeric() bool { return t.Kind == TInt || t.Kind == TFloat }
+
+// Attr returns the attribute with the given name, if present.
+func (t *Type) Attr(name string) (Attr, bool) {
+	if t.Kind != TRecord {
+		return Attr{}, false
+	}
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// AttrNames returns the names of all record attributes in order.
+func (t *Type) AttrNames() []string {
+	names := make([]string, len(t.Attrs))
+	for i, a := range t.Attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Equal reports structural type equality. Unknown equals nothing but
+// itself.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TRecord:
+		if len(t.Attrs) != len(o.Attrs) {
+			return false
+		}
+		for i := range t.Attrs {
+			if t.Attrs[i].Name != o.Attrs[i].Name || !t.Attrs[i].Type.Equal(o.Attrs[i].Type) {
+				return false
+			}
+		}
+		return true
+	case TList, TBag, TSet:
+		return t.Elem.Equal(o.Elem)
+	case TArray:
+		if len(t.Dims) != len(o.Dims) {
+			return false
+		}
+		for i := range t.Dims {
+			if t.Dims[i].Name != o.Dims[i].Name || !t.Dims[i].Type.Equal(o.Dims[i].Type) {
+				return false
+			}
+		}
+		return t.Elem.Equal(o.Elem)
+	default:
+		return true
+	}
+}
+
+// String renders the type in grammar syntax, e.g.
+// Record(Att(id, int), Att(vals, List(float))).
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	var sb strings.Builder
+	t.write(&sb)
+	return sb.String()
+}
+
+func (t *Type) write(sb *strings.Builder) {
+	switch t.Kind {
+	case TBool, TInt, TFloat, TString, TUnknown:
+		sb.WriteString(t.Kind.String())
+	case TRecord:
+		sb.WriteString("Record(")
+		for i, a := range t.Attrs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("Att(")
+			sb.WriteString(a.Name)
+			sb.WriteString(", ")
+			a.Type.write(sb)
+			sb.WriteByte(')')
+		}
+		sb.WriteByte(')')
+	case TList, TBag, TSet:
+		sb.WriteString(t.Kind.String())
+		sb.WriteByte('(')
+		t.Elem.write(sb)
+		sb.WriteByte(')')
+	case TArray:
+		sb.WriteString("Array(")
+		for i, d := range t.Dims {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("Dim(")
+			sb.WriteString(d.Name)
+			sb.WriteString(", ")
+			d.Type.write(sb)
+			sb.WriteByte(')')
+		}
+		if len(t.Dims) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("Att(val, ")
+		t.Elem.write(sb)
+		sb.WriteString("))")
+	}
+}
+
+// Conforms reports whether value v inhabits type t. Null conforms to every
+// type (the calculus is null-tolerant); ints conform to float.
+func Conforms(v values.Value, t *Type) bool {
+	if v.IsNull() || t.Kind == TUnknown {
+		return true
+	}
+	switch t.Kind {
+	case TBool:
+		return v.Kind() == values.KindBool
+	case TInt:
+		return v.Kind() == values.KindInt
+	case TFloat:
+		return v.IsNumeric()
+	case TString:
+		return v.Kind() == values.KindString
+	case TRecord:
+		if v.Kind() != values.KindRecord {
+			return false
+		}
+		for _, a := range t.Attrs {
+			fv, ok := v.Get(a.Name)
+			if !ok || !Conforms(fv, a.Type) {
+				return false
+			}
+		}
+		return true
+	case TList:
+		return conformsElems(v, values.KindList, t.Elem)
+	case TBag:
+		return conformsElems(v, values.KindBag, t.Elem)
+	case TSet:
+		return conformsElems(v, values.KindSet, t.Elem)
+	case TArray:
+		if v.Kind() != values.KindArray || len(v.Dims()) != len(t.Dims) {
+			return false
+		}
+		for _, e := range v.Elems() {
+			if !Conforms(e, t.Elem) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func conformsElems(v values.Value, k values.Kind, elem *Type) bool {
+	if v.Kind() != k {
+		return false
+	}
+	for _, e := range v.Elems() {
+		if !Conforms(e, elem) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+// Package sqlfront implements the SQL "syntactic sugar" layer of paper
+// §3.2: a SQL subset is parsed and translated into monoid comprehensions,
+// so SQL users query raw heterogeneous files without knowing the internal
+// language. Supported: SELECT [DISTINCT] with expressions, aliases and
+// aggregates (COUNT/SUM/AVG/MIN/MAX), FROM with comma joins and
+// INNER JOIN ... ON, WHERE with the usual predicates, GROUP BY, and
+// HAVING. ORDER BY/LIMIT are not part of the calculus' unordered bag
+// semantics and are rejected with a clear error.
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers are lower-cased; upper preserved in orig
+	orig string
+	pos  int
+}
+
+// Error is a SQL parse/translate error.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			orig := src[start:i]
+			out = append(out, token{kind: tIdent, text: strings.ToLower(orig), orig: orig, pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			out = append(out, token{kind: tNumber, text: src[start:i], orig: src[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start, "unterminated string literal")
+			}
+			out = append(out, token{kind: tString, text: sb.String(), orig: sb.String(), pos: start})
+		default:
+			start := i
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=":
+				out = append(out, token{kind: tSymbol, text: two, orig: two, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case ',', '(', ')', '=', '<', '>', '+', '-', '*', '/', '.', '%':
+				out = append(out, token{kind: tSymbol, text: string(c), orig: string(c), pos: start})
+				i++
+			default:
+				return nil, errf(start, "unexpected character %q", string(c))
+			}
+		}
+	}
+	out = append(out, token{kind: tEOF, pos: len(src)})
+	return out, nil
+}

@@ -1,0 +1,507 @@
+package sqlfront
+
+import (
+	"strconv"
+	"strings"
+
+	"vida/internal/mcl"
+	"vida/internal/values"
+)
+
+// selectItem is one projection of the SELECT list.
+type selectItem struct {
+	expr  sqlExpr
+	alias string
+	star  bool // SELECT *
+}
+
+// tableRef is one FROM entry.
+type tableRef struct {
+	name  string // original-case table name
+	alias string
+	on    sqlExpr // join condition for JOIN ... ON entries (nil for first)
+}
+
+// aggKind classifies aggregate calls.
+type aggKind uint8
+
+const (
+	aggNone aggKind = iota
+	aggCount
+	aggCountStar
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+// sqlExpr is the SQL-side expression tree (converted to mcl later, once
+// alias resolution context is known).
+type sqlExpr interface{ sqlNode() }
+
+type sqlCol struct {
+	table string // may be empty (unqualified)
+	col   string
+	pos   int
+}
+type sqlLit struct{ val values.Value }
+type sqlBin struct {
+	op   string
+	l, r sqlExpr
+}
+type sqlNot struct{ e sqlExpr }
+type sqlAgg struct {
+	kind aggKind
+	arg  sqlExpr // nil for COUNT(*)
+	pos  int
+}
+type sqlCall struct {
+	name string
+	args []sqlExpr
+	pos  int
+}
+
+func (*sqlCol) sqlNode()  {}
+func (*sqlLit) sqlNode()  {}
+func (*sqlBin) sqlNode()  {}
+func (*sqlNot) sqlNode()  {}
+func (*sqlAgg) sqlNode()  {}
+func (*sqlCall) sqlNode() {}
+
+// selectStmt is a parsed SELECT.
+type selectStmt struct {
+	distinct bool
+	items    []selectItem
+	from     []tableRef
+	where    sqlExpr
+	groupBy  []*sqlCol
+	having   sqlExpr
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) isKw(kw string) bool {
+	return p.cur().kind == tIdent && p.cur().text == kw
+}
+
+func (p *parser) eatKw(kw string) bool {
+	if p.isKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.eatKw(kw) {
+		return errf(p.cur().pos, "expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) isSym(s string) bool {
+	return p.cur().kind == tSymbol && p.cur().text == s
+}
+
+func (p *parser) eatSym(s string) bool {
+	if p.isSym(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.eatSym(s) {
+		return errf(p.cur().pos, "expected %q", s)
+	}
+	return nil
+}
+
+var reservedKw = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "limit": true, "join": true, "inner": true,
+	"on": true, "and": true, "or": true, "not": true, "as": true,
+	"distinct": true, "null": true, "true": true, "false": true, "like": true,
+}
+
+func parseSelect(src string) (*selectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, errf(p.cur().pos, "unexpected %q after statement", p.cur().orig)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectStmt() (*selectStmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	stmt := &selectStmt{}
+	stmt.distinct = p.eatKw("distinct")
+
+	// Select list.
+	for {
+		if p.isSym("*") {
+			p.pos++
+			stmt.items = append(stmt.items, selectItem{star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := selectItem{expr: e}
+			if p.eatKw("as") {
+				if p.cur().kind != tIdent {
+					return nil, errf(p.cur().pos, "expected alias after AS")
+				}
+				item.alias = p.next().orig
+			} else if p.cur().kind == tIdent && !reservedKw[p.cur().text] {
+				item.alias = p.next().orig
+			}
+			stmt.items = append(stmt.items, item)
+		}
+		if !p.eatSym(",") {
+			break
+		}
+	}
+
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	// FROM list: table [alias] { (, table [alias]) | (JOIN table [alias] ON cond) }*
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.from = append(stmt.from, first)
+	for {
+		if p.eatSym(",") {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.from = append(stmt.from, tr)
+			continue
+		}
+		if p.eatKw("inner") {
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+		} else if !p.eatKw("join") {
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		tr.on = cond
+		stmt.from = append(stmt.from, tr)
+	}
+
+	if p.eatKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.where = w
+	}
+	if p.eatKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			col, ok := e.(*sqlCol)
+			if !ok {
+				return nil, errf(p.cur().pos, "GROUP BY supports column references only")
+			}
+			stmt.groupBy = append(stmt.groupBy, col)
+			if !p.eatSym(",") {
+				break
+			}
+		}
+	}
+	if p.eatKw("having") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.having = h
+	}
+	if p.isKw("order") || p.isKw("limit") {
+		return nil, errf(p.cur().pos, "ORDER BY / LIMIT are not supported (results are bags; sort client-side)")
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseTableRef() (tableRef, error) {
+	if p.cur().kind != tIdent || reservedKw[p.cur().text] {
+		return tableRef{}, errf(p.cur().pos, "expected table name")
+	}
+	tr := tableRef{name: p.next().orig}
+	tr.alias = tr.name
+	if p.cur().kind == tIdent && !reservedKw[p.cur().text] {
+		tr.alias = p.next().orig
+	} else if p.eatKw("as") {
+		if p.cur().kind != tIdent {
+			return tableRef{}, errf(p.cur().pos, "expected alias after AS")
+		}
+		tr.alias = p.next().orig
+	}
+	return tr, nil
+}
+
+// Expression grammar: or / and / not / cmp / add / mul / postfix / primary.
+func (p *parser) parseExpr() (sqlExpr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (sqlExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlBin{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (sqlExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlBin{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (sqlExpr, error) {
+	if p.eatKw("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlNot{e: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (sqlExpr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tSymbol {
+		switch p.cur().text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			op := p.next().text
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &sqlBin{op: op, l: l, r: r}, nil
+		}
+	}
+	if p.isKw("like") {
+		p.pos++
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlBin{op: "like", l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (sqlExpr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tSymbol && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlBin{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (sqlExpr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tSymbol && (p.cur().text == "*" || p.cur().text == "/" || p.cur().text == "%") {
+		op := p.next().text
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlBin{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+var aggNames = map[string]aggKind{
+	"count": aggCount, "sum": aggSum, "avg": aggAvg, "min": aggMin, "max": aggMax,
+}
+
+var sqlBuiltins = map[string]string{
+	"lower": "lower", "upper": "upper", "length": "len", "abs": "abs",
+	"trim": "trim", "substr": "substr", "sqrt": "sqrt",
+}
+
+func (p *parser) parsePostfix() (sqlExpr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errf(t.pos, "bad number %q", t.text)
+			}
+			return &sqlLit{val: values.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad number %q", t.text)
+		}
+		return &sqlLit{val: values.NewInt(n)}, nil
+	case tString:
+		p.pos++
+		return &sqlLit{val: values.NewString(t.text)}, nil
+	case tSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.pos++
+			e, err := p.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			return &sqlBin{op: "-", l: &sqlLit{val: values.NewInt(0)}, r: e}, nil
+		}
+		return nil, errf(t.pos, "unexpected %q", t.orig)
+	case tIdent:
+		switch t.text {
+		case "null":
+			p.pos++
+			return &sqlLit{val: values.Null}, nil
+		case "true":
+			p.pos++
+			return &sqlLit{val: values.True}, nil
+		case "false":
+			p.pos++
+			return &sqlLit{val: values.False}, nil
+		}
+		// Aggregate?
+		if kind, isAgg := aggNames[t.text]; isAgg && p.toks[p.pos+1].kind == tSymbol && p.toks[p.pos+1].text == "(" {
+			p.pos += 2
+			if kind == aggCount && p.isSym("*") {
+				p.pos++
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				return &sqlAgg{kind: aggCountStar, pos: t.pos}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &sqlAgg{kind: kind, arg: arg, pos: t.pos}, nil
+		}
+		// Scalar function?
+		if fn, isFn := sqlBuiltins[t.text]; isFn && p.toks[p.pos+1].kind == tSymbol && p.toks[p.pos+1].text == "(" {
+			p.pos += 2
+			var args []sqlExpr
+			if !p.isSym(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.eatSym(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &sqlCall{name: fn, args: args, pos: t.pos}, nil
+		}
+		if reservedKw[t.text] {
+			return nil, errf(t.pos, "unexpected keyword %q", t.orig)
+		}
+		p.pos++
+		// Qualified column a.b ?
+		if p.eatSym(".") {
+			if p.cur().kind != tIdent {
+				return nil, errf(p.cur().pos, "expected column after '.'")
+			}
+			col := p.next().orig
+			return &sqlCol{table: t.orig, col: col, pos: t.pos}, nil
+		}
+		return &sqlCol{col: t.orig, pos: t.pos}, nil
+	}
+	return nil, errf(t.pos, "unexpected end of expression")
+}
+
+// mclOps maps SQL operators to calculus operators.
+var mclOps = map[string]mcl.BinOp{
+	"=": mcl.OpEq, "<>": mcl.OpNeq, "!=": mcl.OpNeq,
+	"<": mcl.OpLt, "<=": mcl.OpLe, ">": mcl.OpGt, ">=": mcl.OpGe,
+	"+": mcl.OpAdd, "-": mcl.OpSub, "*": mcl.OpMul, "/": mcl.OpDiv, "%": mcl.OpMod,
+	"and": mcl.OpAnd, "or": mcl.OpOr,
+}

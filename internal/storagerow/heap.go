@@ -1,0 +1,173 @@
+package storagerow
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// heapFile is a file-backed sequence of pages accessed through the
+// store's shared buffer pool.
+type heapFile struct {
+	path   string
+	f      *os.File
+	npages int
+}
+
+func createHeap(path string) (*heapFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &heapFile{path: path, f: f}, nil
+}
+
+func (h *heapFile) readPage(idx int, p *page) error {
+	_, err := h.f.ReadAt(p.buf[:], int64(idx)*PageSize)
+	return err
+}
+
+func (h *heapFile) writePage(idx int, p *page) error {
+	_, err := h.f.WriteAt(p.buf[:], int64(idx)*PageSize)
+	return err
+}
+
+func (h *heapFile) close() error { return h.f.Close() }
+
+// bufferPool caches pages across all heap files of a store with a simple
+// clock eviction policy; dirty pages write back on eviction and Flush.
+type bufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   []frame
+	index    map[frameKey]int
+	hand     int
+	hits     int64
+	misses   int64
+}
+
+type frameKey struct {
+	file *heapFile
+	page int
+}
+
+type frame struct {
+	key   frameKey
+	pg    *page
+	used  bool
+	valid bool
+	pins  int
+}
+
+func newBufferPool(capacity int) *bufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &bufferPool{
+		capacity: capacity,
+		frames:   make([]frame, capacity),
+		index:    map[frameKey]int{},
+	}
+}
+
+// get returns the page PINNED: callers must unpin when done. Pinned
+// frames are never evicted, so the pointer stays valid across later gets.
+func (bp *bufferPool) get(h *heapFile, idx int) (*page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	key := frameKey{file: h, page: idx}
+	if fi, ok := bp.index[key]; ok {
+		bp.hits++
+		bp.frames[fi].used = true
+		bp.frames[fi].pins++
+		return bp.frames[fi].pg, nil
+	}
+	bp.misses++
+	fi, err := bp.evictLocked()
+	if err != nil {
+		return nil, err
+	}
+	fr := &bp.frames[fi]
+	if fr.valid {
+		delete(bp.index, fr.key)
+	}
+	if fr.pg == nil {
+		fr.pg = &page{}
+	}
+	if err := h.readPage(idx, fr.pg); err != nil {
+		fr.valid = false
+		return nil, err
+	}
+	fr.pg.dirty = false
+	fr.key = key
+	fr.used = true
+	fr.valid = true
+	fr.pins = 1
+	bp.index[key] = fi
+	return fr.pg, nil
+}
+
+// unpin releases a page returned by get.
+func (bp *bufferPool) unpin(h *heapFile, idx int) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fi, ok := bp.index[frameKey{file: h, page: idx}]; ok && bp.frames[fi].pins > 0 {
+		bp.frames[fi].pins--
+	}
+}
+
+// evictLocked finds an unpinned victim frame (clock), writing it back
+// when dirty.
+func (bp *bufferPool) evictLocked() (int, error) {
+	for spins := 0; spins < 2*bp.capacity+1; spins++ {
+		fr := &bp.frames[bp.hand]
+		idx := bp.hand
+		bp.hand = (bp.hand + 1) % bp.capacity
+		if !fr.valid {
+			return idx, nil
+		}
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.used {
+			fr.used = false
+			continue
+		}
+		if fr.pg.dirty {
+			if err := fr.key.file.writePage(fr.key.page, fr.pg); err != nil {
+				return 0, err
+			}
+			fr.pg.dirty = false
+		}
+		return idx, nil
+	}
+	return 0, fmt.Errorf("storagerow: buffer pool exhausted (all frames pinned)")
+}
+
+// flush writes back every dirty page.
+func (bp *bufferPool) flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for i := range bp.frames {
+		fr := &bp.frames[i]
+		if fr.valid && fr.pg.dirty {
+			if err := fr.key.file.writePage(fr.key.page, fr.pg); err != nil {
+				return err
+			}
+			fr.pg.dirty = false
+		}
+	}
+	return nil
+}
+
+// invalidate drops all frames of a file (table drop).
+func (bp *bufferPool) invalidate(h *heapFile) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for i := range bp.frames {
+		if bp.frames[i].valid && bp.frames[i].key.file == h {
+			delete(bp.index, bp.frames[i].key)
+			bp.frames[i].valid = false
+		}
+	}
+}

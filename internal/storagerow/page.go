@@ -1,0 +1,188 @@
+// Package storagerow implements the row-store baseline of the paper's
+// evaluation (its stand-in for PostgreSQL, DESIGN.md substitutions): a
+// disk-resident heap of 8 KB slotted pages behind a small buffer pool,
+// tables limited to MaxColumns attributes with automatic vertical
+// partitioning above that (PostgreSQL's 250–1600 attribute limit forced
+// the paper to partition the 17 832-column Genetics relation, §6), and a
+// tuple-at-a-time Volcano executor. Loading converts and copies all data
+// up front — the cost ViDa avoids.
+package storagerow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+// PageSize is the fixed page size.
+const PageSize = 8192
+
+// page layout:
+//
+//	header : u16 nslots | u16 freeStart (offset of next tuple write)
+//	slots  : nslots × { u16 offset, u16 length } growing from byte 4
+//	tuples : grow from the END of the page downward
+type page struct {
+	buf   [PageSize]byte
+	dirty bool
+}
+
+const pageHeader = 4
+
+func (p *page) nslots() int { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
+func (p *page) setNslots(n int) {
+	binary.LittleEndian.PutUint16(p.buf[0:], uint16(n))
+}
+
+// freeEnd is where the last-written tuple begins (tuples grow downward).
+func (p *page) freeEnd() int {
+	v := int(binary.LittleEndian.Uint16(p.buf[2:]))
+	if v == 0 {
+		return PageSize
+	}
+	return v
+}
+
+func (p *page) setFreeEnd(off int) {
+	binary.LittleEndian.PutUint16(p.buf[2:], uint16(off))
+}
+
+func (p *page) slot(i int) (off, length int) {
+	base := pageHeader + i*4
+	return int(binary.LittleEndian.Uint16(p.buf[base:])), int(binary.LittleEndian.Uint16(p.buf[base+2:]))
+}
+
+func (p *page) setSlot(i, off, length int) {
+	base := pageHeader + i*4
+	binary.LittleEndian.PutUint16(p.buf[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:], uint16(length))
+}
+
+// freeSpace returns the bytes available for one more tuple+slot.
+func (p *page) freeSpace() int {
+	slotEnd := pageHeader + p.nslots()*4
+	return p.freeEnd() - slotEnd - 4
+}
+
+// insert adds a tuple, returning its slot index or false when full.
+func (p *page) insert(tuple []byte) (int, bool) {
+	if len(tuple) > p.freeSpace() {
+		return 0, false
+	}
+	off := p.freeEnd() - len(tuple)
+	copy(p.buf[off:], tuple)
+	i := p.nslots()
+	p.setSlot(i, off, len(tuple))
+	p.setNslots(i + 1)
+	p.setFreeEnd(off)
+	p.dirty = true
+	return i, true
+}
+
+// tuple returns the raw bytes of slot i.
+func (p *page) tuple(i int) []byte {
+	off, length := p.slot(i)
+	return p.buf[off : off+length]
+}
+
+// ---------------------------------------------------------------------------
+// Tuple codec: null bitmap + fixed-width/varlen fields per schema
+// ---------------------------------------------------------------------------
+
+// encodeTuple serializes a row per the attribute schema: a null bitmap
+// followed by the non-null values (int/float: 8 bytes; bool: 1; string:
+// u32 length + bytes).
+func encodeTuple(attrs []sdg.Attr, row []values.Value, buf []byte) ([]byte, error) {
+	if len(row) != len(attrs) {
+		return nil, fmt.Errorf("storagerow: row arity %d != schema %d", len(row), len(attrs))
+	}
+	nb := (len(attrs) + 7) / 8
+	start := len(buf)
+	buf = append(buf, make([]byte, nb)...)
+	for i, v := range row {
+		if v.IsNull() {
+			buf[start+i/8] |= 1 << (i % 8)
+			continue
+		}
+		switch attrs[i].Type.Kind {
+		case sdg.TInt:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int()))
+		case sdg.TFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+		case sdg.TBool:
+			if v.Bool() {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		default: // strings and anything else stored as text
+			s := v.Str()
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	return buf, nil
+}
+
+// decodeTuple deserializes selected columns (nil cols = all), appending
+// values in schema order for requested columns.
+func decodeTuple(attrs []sdg.Attr, data []byte, want map[int]bool, out []values.Value) ([]values.Value, error) {
+	nb := (len(attrs) + 7) / 8
+	if len(data) < nb {
+		return nil, fmt.Errorf("storagerow: truncated tuple")
+	}
+	pos := nb
+	for i, a := range attrs {
+		isNull := data[i/8]&(1<<(i%8)) != 0
+		include := want == nil || want[i]
+		if isNull {
+			if include {
+				out = append(out, values.Null)
+			}
+			continue
+		}
+		switch a.Type.Kind {
+		case sdg.TInt:
+			if pos+8 > len(data) {
+				return nil, fmt.Errorf("storagerow: truncated int")
+			}
+			if include {
+				out = append(out, values.NewInt(int64(binary.LittleEndian.Uint64(data[pos:]))))
+			}
+			pos += 8
+		case sdg.TFloat:
+			if pos+8 > len(data) {
+				return nil, fmt.Errorf("storagerow: truncated float")
+			}
+			if include {
+				out = append(out, values.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))))
+			}
+			pos += 8
+		case sdg.TBool:
+			if pos+1 > len(data) {
+				return nil, fmt.Errorf("storagerow: truncated bool")
+			}
+			if include {
+				out = append(out, values.NewBool(data[pos] != 0))
+			}
+			pos++
+		default:
+			if pos+4 > len(data) {
+				return nil, fmt.Errorf("storagerow: truncated string header")
+			}
+			n := int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+			if pos+n > len(data) {
+				return nil, fmt.Errorf("storagerow: truncated string")
+			}
+			if include {
+				out = append(out, values.NewString(string(data[pos:pos+n])))
+			}
+			pos += n
+		}
+	}
+	return out, nil
+}

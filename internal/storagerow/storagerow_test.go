@@ -1,0 +1,262 @@
+package storagerow
+
+import (
+	"fmt"
+	"testing"
+
+	"vida/internal/basequery"
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+func attrs4() []sdg.Attr {
+	return []sdg.Attr{
+		{Name: "id", Type: sdg.Int},
+		{Name: "name", Type: sdg.String},
+		{Name: "score", Type: sdg.Float},
+		{Name: "active", Type: sdg.Bool},
+	}
+}
+
+func row(id int64, name string, score float64, active bool) []values.Value {
+	return []values.Value{
+		values.NewInt(id), values.NewString(name), values.NewFloat(score), values.NewBool(active),
+	}
+}
+
+func loadTable(t *testing.T, n int) (*Store, *Table) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable("T", attrs4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tbl.Insert(row(int64(i), fmt.Sprintf("n%d", i), float64(i)/2, i%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.FinishLoad(); err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+func TestInsertScanRoundTrip(t *testing.T) {
+	_, tbl := loadTable(t, 1000)
+	var rows []values.Value
+	if err := tbl.Scan(nil, nil, func(v values.Value) error {
+		rows = append(rows, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[7].MustGet("name").Str() != "n7" || rows[7].MustGet("score").Float() != 3.5 {
+		t.Fatalf("row 7 = %v", rows[7])
+	}
+}
+
+func TestScanProjectionAndPredicates(t *testing.T) {
+	_, tbl := loadTable(t, 100)
+	var rows []values.Value
+	preds := []basequery.Pred{{Col: "score", Op: basequery.OpGe, Val: values.NewFloat(45)}}
+	if err := tbl.Scan([]string{"id"}, preds, func(v values.Value) error {
+		rows = append(rows, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// score = i/2 >= 45 → i >= 90 → 10 rows.
+	if len(rows) != 10 {
+		t.Fatalf("filtered rows = %d", len(rows))
+	}
+	if rows[0].Len() != 1 {
+		t.Fatalf("projection leaked: %v", rows[0])
+	}
+}
+
+func TestNullsRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable("N", attrs4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]values.Value{values.NewInt(1), values.Null, values.Null, values.True}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.FinishLoad(); err != nil {
+		t.Fatal(err)
+	}
+	var got values.Value
+	if err := tbl.Scan(nil, nil, func(v values.Value) error {
+		got = v
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !got.MustGet("name").IsNull() || !got.MustGet("score").IsNull() {
+		t.Fatalf("nulls lost: %v", got)
+	}
+	if got.MustGet("id").Int() != 1 || !got.MustGet("active").Bool() {
+		t.Fatalf("values lost: %v", got)
+	}
+}
+
+func TestVerticalPartitioning(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4000 int columns exceed both the column limit and the page tuple
+	// capacity: several vertical partitions must result, each narrow
+	// enough that a full row fits one page.
+	wide := make([]sdg.Attr, 4000)
+	for i := range wide {
+		wide[i] = sdg.Attr{Name: fmt.Sprintf("c%d", i), Type: sdg.Int}
+	}
+	tbl, err := s.CreateTable("Wide", wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Partitions() < 4 {
+		t.Fatalf("partitions = %d, want >= 4 for 4000 int columns", tbl.Partitions())
+	}
+	for r := 0; r < 20; r++ {
+		row := make([]values.Value, 4000)
+		for i := range row {
+			row[i] = values.NewInt(int64(r*10000 + i))
+		}
+		if err := tbl.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.FinishLoad(); err != nil {
+		t.Fatal(err)
+	}
+	// Project columns from different partitions: stitched by row position.
+	var rows []values.Value
+	if err := tbl.Scan([]string{"c0", "c2000", "c3999"}, nil, func(v values.Value) error {
+		rows = append(rows, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r7 := rows[7]
+	if r7.MustGet("c0").Int() != 70000 || r7.MustGet("c2000").Int() != 72000 || r7.MustGet("c3999").Int() != 73999 {
+		t.Fatalf("cross-partition stitch broken: %v", r7)
+	}
+}
+
+func TestMultiPageSpill(t *testing.T) {
+	// Rows big enough that 1000 of them exceed one page.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable("Big", []sdg.Attr{
+		{Name: "id", Type: sdg.Int},
+		{Name: "payload", Type: sdg.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := string(make([]byte, 500))
+	for i := 0; i < 1000; i++ {
+		if err := tbl.Insert([]values.Value{values.NewInt(int64(i)), values.NewString(payload)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.FinishLoad(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.SizeBytes() <= PageSize {
+		t.Fatalf("expected multi-page heap, size = %d", tbl.SizeBytes())
+	}
+	count := 0
+	last := int64(-1)
+	if err := tbl.Scan([]string{"id"}, nil, func(v values.Value) error {
+		id := v.MustGet("id").Int()
+		if id != last+1 {
+			return fmt.Errorf("row order broken: %d after %d", id, last)
+		}
+		last = id
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestOversizeTupleRejected(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	tbl, _ := s.CreateTable("X", []sdg.Attr{{Name: "s", Type: sdg.String}})
+	big := string(make([]byte, PageSize))
+	if err := tbl.Insert([]values.Value{values.NewString(big)}); err == nil {
+		t.Fatal("oversize tuple accepted")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, err := s.CreateTable("T", attrs4()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("T", attrs4()); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestUnknownColumnRejected(t *testing.T) {
+	_, tbl := loadTable(t, 5)
+	if err := tbl.Scan([]string{"nope"}, nil, func(values.Value) error { return nil }); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestBufferPoolReuse(t *testing.T) {
+	s, tbl := loadTable(t, 5000)
+	for i := 0; i < 3; i++ {
+		if err := tbl.Scan([]string{"id"}, nil, func(values.Value) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := s.BufferPoolStats()
+	if hits == 0 {
+		t.Fatalf("no buffer pool hits (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+func TestInsertRecordMatchesByName(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	tbl, _ := s.CreateTable("R", attrs4())
+	rec := values.NewRecord(
+		values.Field{Name: "score", Val: values.NewFloat(9)},
+		values.Field{Name: "id", Val: values.NewInt(3)},
+	)
+	if err := tbl.InsertRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.FinishLoad(); err != nil {
+		t.Fatal(err)
+	}
+	var got values.Value
+	_ = tbl.Scan(nil, nil, func(v values.Value) error { got = v; return nil })
+	if got.MustGet("id").Int() != 3 || got.MustGet("score").Float() != 9 || !got.MustGet("name").IsNull() {
+		t.Fatalf("record insert = %v", got)
+	}
+}

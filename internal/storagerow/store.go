@@ -1,0 +1,372 @@
+package storagerow
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"vida/internal/basequery"
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+// MaxColumns is the per-table attribute limit; wider relations are
+// vertically partitioned at load, like PostgreSQL forced on the paper's
+// Genetics relation (§6).
+const MaxColumns = 1600
+
+// Store is a row-store database instance rooted in a directory.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	pool   *bufferPool
+	tables map[string]*Table
+}
+
+// Table is one logical relation, possibly spread over vertical partitions.
+type Table struct {
+	store  *Store
+	Name   string
+	Attrs  []sdg.Attr
+	parts  []*partition
+	colLoc map[string]colLoc // attr name -> partition+index
+	rows   int
+}
+
+type partition struct {
+	attrs []sdg.Attr
+	heap  *heapFile
+	// writer state during load
+	cur *page
+}
+
+type colLoc struct {
+	part int
+	idx  int
+}
+
+// Open creates (or reuses) a store directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, pool: newBufferPool(256), tables: map[string]*Table{}}, nil
+}
+
+// Close flushes and closes all heaps.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pool.flush(); err != nil {
+		return err
+	}
+	for _, t := range s.tables {
+		for _, p := range t.parts {
+			if err := p.heap.close(); err != nil {
+				return err
+			}
+		}
+	}
+	s.tables = map[string]*Table{}
+	return nil
+}
+
+// estFieldBytes is the worst-case fixed encoding per attribute used when
+// sizing partitions (strings estimated; genuinely huge strings can still
+// overflow and are rejected at insert).
+func estFieldBytes(t *sdg.Type) int {
+	switch t.Kind {
+	case sdg.TInt, sdg.TFloat:
+		return 8
+	case sdg.TBool:
+		return 1
+	default:
+		return 64
+	}
+}
+
+// CreateTable registers a relation, vertically partitioning schemas that
+// exceed either the column limit (PostgreSQL's 1600) or the page tuple
+// capacity — both constraints the paper's Genetics relation (17 832
+// attributes) runs into.
+func (s *Store) CreateTable(name string, attrs []sdg.Attr) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("storagerow: table %q exists", name)
+	}
+	t := &Table{store: s, Name: name, Attrs: attrs, colLoc: map[string]colLoc{}}
+	budget := PageSize - 512 // leave slack for slot directory and header
+	start := 0
+	for start < len(attrs) {
+		end := start
+		bytes := 0
+		for end < len(attrs) && end-start < MaxColumns {
+			fb := estFieldBytes(attrs[end].Type) + 1 // +bitmap amortized
+			if bytes+fb > budget && end > start {
+				break
+			}
+			bytes += fb
+			end++
+		}
+		pIdx := len(t.parts)
+		path := filepath.Join(s.dir, fmt.Sprintf("%s.p%d.heap", sanitize(name), pIdx))
+		h, err := createHeap(path)
+		if err != nil {
+			return nil, err
+		}
+		part := &partition{attrs: attrs[start:end], heap: h, cur: &page{}}
+		t.parts = append(t.parts, part)
+		for i, a := range part.attrs {
+			t.colLoc[a.Name] = colLoc{part: pIdx, idx: i}
+		}
+		start = end
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// Table returns a registered relation.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables lists relations.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Partitions reports the vertical partition count (1 for narrow tables).
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// NumRows returns the loaded row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// Insert appends one row (values in schema order). Rows are synchronously
+// split across partitions; row order is identical in every partition, so
+// a row is re-assembled by position.
+func (t *Table) Insert(row []values.Value) error {
+	if len(row) != len(t.Attrs) {
+		return fmt.Errorf("storagerow: row arity %d != schema %d", len(row), len(t.Attrs))
+	}
+	off := 0
+	for _, p := range t.parts {
+		part := row[off : off+len(p.attrs)]
+		tuple, err := encodeTuple(p.attrs, part, nil)
+		if err != nil {
+			return err
+		}
+		if len(tuple) > PageSize-pageHeader-4 {
+			return fmt.Errorf("storagerow: tuple of %d bytes exceeds page capacity", len(tuple))
+		}
+		if _, ok := p.cur.insert(tuple); !ok {
+			// Page full: persist and start a fresh one.
+			if err := p.heap.writePage(p.heap.npages, p.cur); err != nil {
+				return err
+			}
+			p.heap.npages++
+			p.cur = &page{}
+			if _, ok := p.cur.insert(tuple); !ok {
+				return fmt.Errorf("storagerow: tuple does not fit an empty page")
+			}
+		}
+		off += len(p.attrs)
+	}
+	t.rows++
+	return nil
+}
+
+// FinishLoad flushes partial pages; must be called after the last Insert.
+func (t *Table) FinishLoad() error {
+	for _, p := range t.parts {
+		if p.cur != nil && p.cur.nslots() > 0 {
+			if err := p.heap.writePage(p.heap.npages, p.cur); err != nil {
+				return err
+			}
+			p.heap.npages++
+			p.cur = &page{}
+		}
+	}
+	return nil
+}
+
+// InsertRecord appends a record value, matching fields by name (missing
+// fields become null).
+func (t *Table) InsertRecord(rec values.Value) error {
+	row := make([]values.Value, len(t.Attrs))
+	for i, a := range t.Attrs {
+		v, _ := rec.Get(a.Name)
+		row[i] = v
+	}
+	return t.Insert(row)
+}
+
+// Scan streams rows tuple-at-a-time through the buffer pool, projecting
+// the requested fields (nil = all) and applying the predicates. Vertical
+// partitions are stitched back together by row position — the re-join
+// cost the paper notes for partitioned wide tables.
+func (t *Table) Scan(fields []string, preds []basequery.Pred, yield func(values.Value) error) error {
+	// Work out which partitions and columns we need.
+	needed := map[int]map[int]bool{} // part -> col idx set
+	var outFields []string
+	if fields == nil {
+		outFields = make([]string, len(t.Attrs))
+		for i, a := range t.Attrs {
+			outFields[i] = a.Name
+		}
+	} else {
+		outFields = fields
+	}
+	colOf := map[string]colLoc{}
+	addCol := func(name string) error {
+		loc, ok := t.colLoc[name]
+		if !ok {
+			return fmt.Errorf("storagerow: %s has no column %q", t.Name, name)
+		}
+		if needed[loc.part] == nil {
+			needed[loc.part] = map[int]bool{}
+		}
+		needed[loc.part][loc.idx] = true
+		colOf[name] = loc
+		return nil
+	}
+	for _, f := range outFields {
+		if err := addCol(f); err != nil {
+			return err
+		}
+	}
+	for _, p := range preds {
+		if err := addCol(p.Col); err != nil {
+			return err
+		}
+	}
+
+	// Open cursors on every needed partition.
+	type cursor struct {
+		part    *partition
+		partIdx int
+		want    map[int]bool
+		// decoded values of the needed columns, keyed by col idx, for
+		// the current row
+		colIdxs []int
+		pageIdx int
+		slotIdx int
+		pg      *page
+	}
+	var cursors []*cursor
+	for pi, p := range t.parts {
+		if needed[pi] == nil {
+			continue
+		}
+		idxs := make([]int, 0, len(needed[pi]))
+		for i := range needed[pi] {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		cursors = append(cursors, &cursor{part: p, partIdx: pi, want: needed[pi], colIdxs: idxs})
+	}
+	if len(cursors) == 0 {
+		return nil
+	}
+
+	// Iterate row positions; each cursor advances in lockstep. Cursors
+	// keep their current page pinned; unpin on advance and on exit.
+	defer func() {
+		for _, c := range cursors {
+			if c.pg != nil {
+				t.store.pool.unpin(c.part.heap, c.pageIdx)
+			}
+		}
+	}()
+	current := map[string]values.Value{}
+	scratch := make([]values.Value, 0, 16)
+	for row := 0; row < t.rows; row++ {
+		for _, c := range cursors {
+			// Advance to the page containing this row if needed.
+			for {
+				if c.pg == nil {
+					if c.pageIdx >= c.part.heap.npages {
+						return fmt.Errorf("storagerow: %s: row %d beyond heap", t.Name, row)
+					}
+					pg, err := t.store.pool.get(c.part.heap, c.pageIdx)
+					if err != nil {
+						return err
+					}
+					c.pg = pg
+					c.slotIdx = 0
+				}
+				if c.slotIdx < c.pg.nslots() {
+					break
+				}
+				t.store.pool.unpin(c.part.heap, c.pageIdx)
+				c.pageIdx++
+				c.pg = nil
+			}
+			scratch = scratch[:0]
+			decoded, err := decodeTuple(c.part.attrs, c.pg.tuple(c.slotIdx), c.want, scratch)
+			if err != nil {
+				return err
+			}
+			for k, idx := range c.colIdxs {
+				current[c.part.attrs[idx].Name] = decoded[k]
+			}
+			c.slotIdx++
+		}
+		ok := true
+		for _, p := range preds {
+			if !p.Eval(current[p.Col]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out := make([]values.Field, len(outFields))
+		for i, f := range outFields {
+			out[i] = values.Field{Name: f, Val: current[f]}
+		}
+		if err := yield(values.NewRecord(out...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeBytes reports the on-disk footprint of the table.
+func (t *Table) SizeBytes() int64 {
+	var total int64
+	for _, p := range t.parts {
+		total += int64(p.heap.npages) * PageSize
+	}
+	return total
+}
+
+// BufferPoolStats reports pool hits/misses.
+func (s *Store) BufferPoolStats() (hits, misses int64) {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+	return s.pool.hits, s.pool.misses
+}

@@ -1,0 +1,340 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"vida/internal/basequery"
+	"vida/internal/values"
+)
+
+// QueryKind distinguishes the two analysis phases of the paper's workload
+// (§6): epidemiological exploration, then interactive analysis joining
+// patient data with the imaging products.
+type QueryKind uint8
+
+// The query kinds.
+const (
+	Exploration QueryKind = iota
+	Interactive
+)
+
+// Pred is one filter predicate of a workload query.
+type Pred struct {
+	Dataset string // "Patients", "Genetics", "Regions"
+	Col     string
+	Op      string // "<", "<=", ">", ">=", "=", "!="
+	Val     values.Value
+}
+
+// Agg describes the aggregate of an exploration query.
+type Agg struct {
+	Kind    string // "count", "avg", "sum", "min", "max"
+	Dataset string
+	Col     string
+}
+
+// Query is one workload query in neutral form; adapters render it for
+// ViDa (comprehension) and for the baselines (JoinQuery).
+type Query struct {
+	ID    int
+	Kind  QueryKind
+	Preds []Pred
+	// Project lists (dataset, column) pairs for interactive queries
+	// (1–5 attributes, per the paper).
+	Project [][2]string
+	// Agg is set for exploration queries.
+	Agg *Agg
+	// Joins3Way reports whether the query touches all three datasets.
+	Joins3Way bool
+}
+
+// Comprehension renders the ViDa query text. Variables: p (Patients),
+// g (Genetics), b (Regions).
+func (q *Query) Comprehension() string {
+	var sb strings.Builder
+	sb.WriteString("for { p <- Patients")
+	if q.Joins3Way {
+		sb.WriteString(", g <- Genetics, b <- BrainRegions, p.id = g.id, g.id = b.id")
+	}
+	varOf := map[string]string{"Patients": "p", "Genetics": "g", "Regions": "b"}
+	for _, pr := range q.Preds {
+		fmt.Fprintf(&sb, ", %s.%s %s %s", varOf[pr.Dataset], pr.Col, opText(pr.Op), literal(pr.Val))
+	}
+	sb.WriteString(" } yield ")
+	if q.Agg != nil {
+		switch q.Agg.Kind {
+		case "count":
+			sb.WriteString("sum 1")
+		default:
+			fmt.Fprintf(&sb, "%s %s.%s", q.Agg.Kind, varOf[q.Agg.Dataset], q.Agg.Col)
+		}
+		return sb.String()
+	}
+	sb.WriteString("bag (")
+	for i, pc := range q.Project {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s_%s := %s.%s", strings.ToLower(pc[0][:1]), pc[1], varOf[pc[0]], pc[1])
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func opText(op string) string {
+	if op == "!=" {
+		return "!="
+	}
+	return op
+}
+
+func literal(v values.Value) string {
+	if v.Kind() == values.KindString {
+		return fmt.Sprintf("%q", v.Str())
+	}
+	return v.String()
+}
+
+// JoinQuery renders the baseline form. Table names are the warehouse
+// names ("Patients", "Genetics", "Regions" — the flattened JSON relation
+// is registered as "Regions" in the stores).
+func (q *Query) JoinQuery() *basequery.JoinQuery {
+	predOf := func(p Pred) basequery.Pred {
+		var op basequery.Op
+		switch p.Op {
+		case "=":
+			op = basequery.OpEq
+		case "!=":
+			op = basequery.OpNe
+		case "<":
+			op = basequery.OpLt
+		case "<=":
+			op = basequery.OpLe
+		case ">":
+			op = basequery.OpGt
+		default:
+			op = basequery.OpGe
+		}
+		return basequery.Pred{Col: p.Col, Op: op, Val: p.Val}
+	}
+	byDS := map[string][]basequery.Pred{}
+	for _, p := range q.Preds {
+		byDS[p.Dataset] = append(byDS[p.Dataset], predOf(p))
+	}
+	out := &basequery.JoinQuery{}
+	if q.Joins3Way {
+		out.Tables = []basequery.TableTerm{
+			{Table: "Patients", Preds: byDS["Patients"]},
+			{Table: "Genetics", Preds: byDS["Genetics"]},
+			{Table: "Regions", Preds: byDS["Regions"]},
+		}
+		out.Joins = []basequery.JoinOn{
+			{LTable: "Patients", LCol: "id", RTable: "Genetics", RCol: "id"},
+			{LTable: "Genetics", LCol: "id", RTable: "Regions", RCol: "id"},
+		}
+	} else {
+		out.Tables = []basequery.TableTerm{{Table: "Patients", Preds: byDS["Patients"]}}
+	}
+	if q.Agg != nil {
+		spec := &basequery.AggSpec{}
+		switch q.Agg.Kind {
+		case "count":
+			spec.Kind = basequery.AggCount
+		case "avg":
+			spec.Kind = basequery.AggAvg
+		case "sum":
+			spec.Kind = basequery.AggSum
+		case "min":
+			spec.Kind = basequery.AggMin
+		default:
+			spec.Kind = basequery.AggMax
+		}
+		spec.Table = warehouseTable(q.Agg.Dataset)
+		spec.Col = q.Agg.Col
+		out.Agg = spec
+		return out
+	}
+	for _, pc := range q.Project {
+		out.Project = append(out.Project, basequery.ProjCol{
+			Table: warehouseTable(pc[0]),
+			Col:   pc[1],
+			As:    strings.ToLower(pc[0][:1]) + "_" + pc[1],
+		})
+	}
+	return out
+}
+
+func warehouseTable(ds string) string {
+	if ds == "Regions" {
+		return "Regions"
+	}
+	return ds
+}
+
+// Datasets returns the datasets a query touches.
+func (q *Query) Datasets() []string {
+	if q.Joins3Way {
+		return []string{"Patients", "Genetics", "Regions"}
+	}
+	return []string{"Patients"}
+}
+
+// Workload is the generated query sequence plus its locality pools.
+type Workload struct {
+	Queries []Query
+	Scale   Scale
+}
+
+// Generate builds an n-query workload (the paper runs 150): roughly the
+// first third explores (filters + aggregates over Patients, some joined
+// with Genetics/Regions), the rest interactively joins all three datasets
+// projecting 1–5 attributes. Column locality is tuned so that once the
+// hot columns have been touched, about 80% of queries need no new raw
+// field (the cache-hit ratio the paper reports).
+func Generate(n int, sc Scale, seed int64) *Workload {
+	r := rand.New(rand.NewSource(seed + 7))
+	pCols := PatientsColumns(sc)
+	gCols := GeneticsColumns(sc)
+
+	// Hot pools: small sets of measurement columns that most queries
+	// draw from. Cold picks (20%) sample outside the pool.
+	hotP := pickCols(r, pCols[len(demographics):], 6)
+	hotG := pickCols(r, gCols[1:], 8)
+	regionScalars := []string{"volume", "intensity"}
+
+	// 0.9 per column pick compounds over multi-column queries to the
+	// ~80% whole-query reuse rate the paper reports.
+	pickHotCold := func(hot, all []string) string {
+		if r.Float64() < 0.9 || len(all) == 0 {
+			return hot[r.Intn(len(hot))]
+		}
+		return all[r.Intn(len(all))]
+	}
+
+	var queries []Query
+	nExplore := n / 3
+	for i := 0; i < n; i++ {
+		q := Query{ID: i + 1}
+		if i < nExplore {
+			q.Kind = Exploration
+			// Demographic + geographic filters (the paper's
+			// "epidemiological exploration ... geographical, demographic,
+			// and age criteria").
+			q.Preds = append(q.Preds, Pred{
+				Dataset: "Patients", Col: "age", Op: pickOp(r),
+				Val: values.NewInt(int64(30 + r.Intn(40))),
+			})
+			if r.Float64() < 0.5 {
+				q.Preds = append(q.Preds, Pred{
+					Dataset: "Patients", Col: "city", Op: "=",
+					Val: values.NewString(cities[r.Intn(len(cities))]),
+				})
+			}
+			col := pickHotCold(hotP, pCols[len(demographics):])
+			switch r.Intn(3) {
+			case 0:
+				q.Agg = &Agg{Kind: "count", Dataset: "Patients", Col: "id"}
+			case 1:
+				q.Agg = &Agg{Kind: "avg", Dataset: "Patients", Col: col}
+			default:
+				q.Agg = &Agg{Kind: "max", Dataset: "Patients", Col: col}
+			}
+			// A share of exploration queries already joins all datasets
+			// ("Most queries access all three datasets", §6).
+			if r.Float64() < 0.5 {
+				q.Joins3Way = true
+				q.Preds = append(q.Preds, Pred{
+					Dataset: "Genetics", Col: pickHotCold(hotG, gCols[1:]), Op: "=",
+					Val: values.NewInt(int64(r.Intn(3))),
+				})
+			}
+		} else {
+			q.Kind = Interactive
+			q.Joins3Way = true
+			q.Preds = append(q.Preds, Pred{
+				Dataset: "Patients", Col: "age", Op: pickOp(r),
+				Val: values.NewInt(int64(30 + r.Intn(40))),
+			})
+			q.Preds = append(q.Preds, Pred{
+				Dataset: "Genetics", Col: pickHotCold(hotG, gCols[1:]), Op: "=",
+				Val: values.NewInt(int64(r.Intn(3))),
+			})
+			if r.Float64() < 0.6 {
+				q.Preds = append(q.Preds, Pred{
+					Dataset: "Regions", Col: "volume", Op: ">",
+					Val: values.NewFloat(500 + r.Float64()*3000),
+				})
+			}
+			// Project 1–5 attributes (paper: "project out 1-5
+			// attributes").
+			nproj := 1 + r.Intn(5)
+			seen := map[string]bool{}
+			for len(q.Project) < nproj {
+				var pc [2]string
+				switch r.Intn(3) {
+				case 0:
+					pc = [2]string{"Patients", pickHotCold(hotP, pCols[len(demographics):])}
+				case 1:
+					pc = [2]string{"Genetics", pickHotCold(hotG, gCols[1:])}
+				default:
+					pc = [2]string{"Regions", regionScalars[r.Intn(len(regionScalars))]}
+				}
+				key := pc[0] + "." + pc[1]
+				if !seen[key] {
+					seen[key] = true
+					q.Project = append(q.Project, pc)
+				}
+			}
+		}
+		queries = append(queries, q)
+	}
+	return &Workload{Queries: queries, Scale: sc}
+}
+
+func pickOp(r *rand.Rand) string {
+	ops := []string{"<", "<=", ">", ">="}
+	return ops[r.Intn(len(ops))]
+}
+
+func pickCols(r *rand.Rand, pool []string, n int) []string {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := r.Perm(len(pool))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+// TouchedColumns reports the distinct (dataset, column) pairs the whole
+// workload references — the field universe the caches converge to.
+func (w *Workload) TouchedColumns() map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	touch := func(ds, col string) {
+		if out[ds] == nil {
+			out[ds] = map[string]bool{}
+		}
+		out[ds][col] = true
+	}
+	for _, q := range w.Queries {
+		for _, p := range q.Preds {
+			touch(p.Dataset, p.Col)
+		}
+		for _, pc := range q.Project {
+			touch(pc[0], pc[1])
+		}
+		if q.Agg != nil {
+			touch(q.Agg.Dataset, q.Agg.Col)
+		}
+		if q.Joins3Way {
+			touch("Patients", "id")
+			touch("Genetics", "id")
+			touch("Regions", "id")
+		}
+	}
+	return out
+}

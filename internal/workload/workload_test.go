@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"os"
+	"testing"
+
+	"vida/internal/mcl"
+	"vida/internal/rawcsv"
+	"vida/internal/rawjson"
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+func smallScale() Scale {
+	return Scale{
+		PatientsRows:   200,
+		PatientsCols:   20,
+		GeneticsRows:   250,
+		GeneticsCols:   15,
+		RegionsObjects: 100,
+	}
+}
+
+func TestGenerateAllAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	sc := smallScale()
+	paths, err := GenerateAll(dir, sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patients parses under its schema.
+	pt, err := sdg.ParseSchema(PatientsSchema(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := sdg.DefaultDescription("Patients", sdg.FormatCSV, paths.Patients, sdg.Bag(pt))
+	pr, err := rawcsv.Open(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := pr.Iterate(nil, func(v values.Value) error {
+		if v.MustGet("age").Int() < 18 {
+			t.Fatalf("age domain violated: %v", v.MustGet("age"))
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != sc.PatientsRows {
+		t.Fatalf("patients rows = %d, want %d (skipped: %v)", n, sc.PatientsRows, pr.StatsSnapshot())
+	}
+	// Genetics parses under its schema.
+	gt, err := sdg.ParseSchema(GeneticsSchema(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := sdg.DefaultDescription("Genetics", sdg.FormatCSV, paths.Genetics, sdg.Bag(gt))
+	gr, err := rawcsv.Open(gd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, err := gr.NumRows()
+	if err != nil || gn != sc.GeneticsRows {
+		t.Fatalf("genetics rows = %d, %v", gn, err)
+	}
+	// Regions JSON parses and has the expected object count + structure.
+	rd, err := rawjson.Open(sdg.DefaultDescription("BrainRegions", sdg.FormatJSON, paths.Regions, sdg.Bag(sdg.Unknown)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := rd.NumObjects()
+	if err != nil || rn != sc.RegionsObjects {
+		t.Fatalf("regions objects = %d, %v", rn, err)
+	}
+	obj, err := rd.ParseObject(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"id", "region", "volume", "pipeline", "voxels", "coords"} {
+		if _, ok := obj.Get(field); !ok {
+			t.Fatalf("region object missing %q: %v", field, obj)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	sc := smallScale()
+	if err := GeneratePatients(dir+"/a.csv", sc, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := GeneratePatients(dir+"/b.csv", sc, 7); err != nil {
+		t.Fatal(err)
+	}
+	if FileSize(dir+"/a.csv") != FileSize(dir+"/b.csv") {
+		t.Fatal("same seed produced different files")
+	}
+	if err := GeneratePatients(dir+"/c.csv", sc, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Different seed: near-certainly different bytes (sizes may match,
+	// compare content prefix).
+	a, _ := osReadFile(dir + "/a.csv")
+	c, _ := osReadFile(dir + "/c.csv")
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical files")
+	}
+}
+
+func TestSchemasMatchColumnCounts(t *testing.T) {
+	sc := smallScale()
+	pt, err := sdg.ParseSchema(PatientsSchema(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Attrs) != sc.PatientsCols {
+		t.Fatalf("patients schema cols = %d, want %d", len(pt.Attrs), sc.PatientsCols)
+	}
+	gt, err := sdg.ParseSchema(GeneticsSchema(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Attrs) != sc.GeneticsCols {
+		t.Fatalf("genetics schema cols = %d, want %d", len(gt.Attrs), sc.GeneticsCols)
+	}
+}
+
+func TestFactorScaling(t *testing.T) {
+	sc := Factor(0.01)
+	if sc.PatientsRows < 200 || sc.GeneticsCols < 60 {
+		t.Fatalf("minimums not applied: %+v", sc)
+	}
+	if sc.PatientsCols != FullScale.PatientsCols {
+		t.Fatalf("patients width should stay at full scale: %+v", sc)
+	}
+	full := Factor(1.0)
+	if full != FullScale {
+		t.Fatalf("Factor(1) = %+v", full)
+	}
+}
+
+func TestGenerateQueriesShape(t *testing.T) {
+	sc := smallScale()
+	w := Generate(150, sc, 42)
+	if len(w.Queries) != 150 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	explore, interactive, threeWay := 0, 0, 0
+	for _, q := range w.Queries {
+		switch q.Kind {
+		case Exploration:
+			explore++
+			if q.Agg == nil {
+				t.Fatalf("exploration query %d has no aggregate", q.ID)
+			}
+		case Interactive:
+			interactive++
+			if len(q.Project) < 1 || len(q.Project) > 5 {
+				t.Fatalf("query %d projects %d attrs", q.ID, len(q.Project))
+			}
+		}
+		if q.Joins3Way {
+			threeWay++
+		}
+	}
+	if explore != 50 || interactive != 100 {
+		t.Fatalf("mix = %d exploration, %d interactive", explore, interactive)
+	}
+	// "Most queries access all three datasets" (§6).
+	if threeWay < 75 {
+		t.Fatalf("three-way queries = %d of 150, want most", threeWay)
+	}
+}
+
+func TestQueriesRenderAndParse(t *testing.T) {
+	sc := smallScale()
+	w := Generate(150, sc, 42)
+	for _, q := range w.Queries {
+		text := q.Comprehension()
+		if _, err := mcl.Parse(text); err != nil {
+			t.Fatalf("query %d unparseable: %v\n%s", q.ID, err, text)
+		}
+		jq := q.JoinQuery()
+		if q.Joins3Way && len(jq.Joins) != 2 {
+			t.Fatalf("query %d join edges = %d", q.ID, len(jq.Joins))
+		}
+		if q.Agg == nil && len(jq.Project) == 0 {
+			t.Fatalf("query %d has neither agg nor projection", q.ID)
+		}
+	}
+}
+
+func TestWorkloadLocality(t *testing.T) {
+	// After some warmup prefix, most queries should touch only columns
+	// already seen — the property that yields the ~80% cache-hit rate.
+	sc := Factor(0.02)
+	w := Generate(150, sc, 42)
+	seen := map[string]bool{}
+	touch := func(q *Query) []string {
+		var keys []string
+		for _, p := range q.Preds {
+			keys = append(keys, p.Dataset+"."+p.Col)
+		}
+		for _, pc := range q.Project {
+			keys = append(keys, pc[0]+"."+pc[1])
+		}
+		if q.Agg != nil {
+			keys = append(keys, q.Agg.Dataset+"."+q.Agg.Col)
+		}
+		return keys
+	}
+	warm := 30
+	hits := 0
+	for i, q := range w.Queries {
+		fresh := false
+		for _, k := range touch(&q) {
+			if !seen[k] {
+				fresh = true
+			}
+			seen[k] = true
+		}
+		if i >= warm && !fresh {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(len(w.Queries)-warm)
+	if rate < 0.6 {
+		t.Fatalf("workload locality too low: %.2f of post-warmup queries reuse columns", rate)
+	}
+}
+
+func TestTouchedColumns(t *testing.T) {
+	sc := Factor(0.02) // realistic widths: locality only shows at scale
+	w := Generate(50, sc, 1)
+	tc := w.TouchedColumns()
+	if !tc["Patients"]["id"] || !tc["Patients"]["age"] {
+		t.Fatalf("touched columns missing basics: %v", tc["Patients"])
+	}
+	// The workload must touch far fewer columns than exist — that is
+	// what makes raw access + caching beat full loading.
+	if len(tc["Genetics"]) >= sc.GeneticsCols/2 {
+		t.Fatalf("workload touches too many genetics columns: %d", len(tc["Genetics"]))
+	}
+}
+
+func osReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
