@@ -1,0 +1,3 @@
+module vida
+
+go 1.22

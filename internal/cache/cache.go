@@ -249,6 +249,19 @@ func (m *Manager) GetColumns(dataset string, fields []string) (*Entry, bool) {
 	return e, true
 }
 
+// Touch records a served lookup (hit + LRU bump) for an entry that was
+// resolved via Peek — the deferred-accounting path range scans use so
+// that probing for parallelizability does not double-count hits.
+func (m *Manager) Touch(dataset string, layout Layout) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[key(dataset, layout)]; ok {
+		m.hits++
+		e.hits++
+		m.touchLocked(e)
+	}
+}
+
 // Peek is Get without statistics or LRU effects (used by the optimizer's
 // cost model to probe residency without distorting hit rates).
 func (m *Manager) Peek(dataset string, layout Layout) (*Entry, bool) {

@@ -6,6 +6,7 @@ import (
 
 	"vida/internal/bsonlite"
 	"vida/internal/values"
+	"vida/internal/vec"
 )
 
 func intCol(n int, f func(int) int64) []values.Value {
@@ -273,5 +274,74 @@ func TestEstimateValueBytes(t *testing.T) {
 	))
 	if nested <= small {
 		t.Fatal("nested estimate too small")
+	}
+}
+
+func TestColumnsSourceBatches(t *testing.T) {
+	m := New(0)
+	n := 37
+	cols := map[string][]values.Value{"a": nil, "b": nil}
+	for i := 0; i < n; i++ {
+		cols["a"] = append(cols["a"], values.NewInt(int64(i)))
+		cols["b"] = append(cols["b"], values.NewString("x"))
+	}
+	if err := m.PutColumns("D", n, cols); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.GetColumns("D", []string{"a", "b"})
+	if !ok {
+		t.Fatal("miss")
+	}
+	src := &ColumnsSource{Entry: e, Dataset: "D"}
+	var got []int64
+	batches := 0
+	err := src.IterateBatches([]string{"a", "b"}, 16, func(b *vec.Batch) error {
+		batches++
+		if !b.Stable {
+			t.Fatal("cache batches must be marked stable")
+		}
+		for k := 0; k < b.Len(); k++ {
+			got = append(got, b.Cols[0].Value(b.Index(k)).Int())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n || batches != 3 {
+		t.Fatalf("rows=%d batches=%d", len(got), batches)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+	scan, total, ok := src.OpenRange([]string{"a"})
+	if !ok || total != n {
+		t.Fatalf("OpenRange ok=%v n=%d", ok, total)
+	}
+	var ranged []int64
+	if err := scan(10, 20, 4, func(b *vec.Batch) error {
+		for k := 0; k < b.Len(); k++ {
+			ranged = append(ranged, b.Cols[0].Value(b.Index(k)).Int())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranged) != 10 || ranged[0] != 10 || ranged[9] != 19 {
+		t.Fatalf("ranged = %v", ranged)
+	}
+}
+
+func TestManagerTouch(t *testing.T) {
+	m := New(0)
+	if err := m.PutColumns("D", 1, map[string][]values.Value{"a": {values.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats().Hits
+	m.Touch("D", LayoutColumns)
+	if got := m.Stats().Hits; got != before+1 {
+		t.Fatalf("hits = %d, want %d", got, before+1)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"vida/internal/bsonlite"
 	"vida/internal/values"
+	"vida/internal/vec"
 )
 
 // ColumnsSource adapts a columnar cache entry to algebra.Source: scans
@@ -76,6 +77,74 @@ func (s *ColumnsSource) IterateSlots(fields []string, yield func([]values.Value)
 		}
 	}
 	return nil
+}
+
+// resolveCols maps requested fields (all cached fields when empty, in
+// sorted order) to the entry's column slices.
+func (s *ColumnsSource) resolveCols(fields []string) ([][]values.Value, error) {
+	e := s.Entry
+	if len(fields) == 0 {
+		for f := range e.Cols {
+			fields = append(fields, f)
+		}
+		sortStrings(fields)
+	}
+	cols := make([][]values.Value, len(fields))
+	for i, f := range fields {
+		col, ok := e.Cols[f]
+		if !ok {
+			return nil, fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
+		}
+		cols[i] = col
+	}
+	return cols, nil
+}
+
+// IterateBatches implements the JIT's BatchSource contract: batches are
+// column-slice windows into the cached vectors — zero copies. Consumers
+// must treat column storage as immutable (they do: filters refine the
+// selection vector instead of compacting).
+func (s *ColumnsSource) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	cols, err := s.resolveCols(fields)
+	if err != nil {
+		return err
+	}
+	scan := s.rangeScan(cols)
+	return scan(0, s.Entry.N, batchSize, yield)
+}
+
+// OpenRange implements the JIT's RangeBatchSource contract. Columnar
+// entries can always serve arbitrary row ranges.
+func (s *ColumnsSource) OpenRange(fields []string) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	cols, err := s.resolveCols(fields)
+	if err != nil {
+		return nil, 0, false
+	}
+	return s.rangeScan(cols), s.Entry.N, true
+}
+
+func (s *ColumnsSource) rangeScan(cols [][]values.Value) func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+	return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+		if batchSize <= 0 {
+			batchSize = vec.DefaultBatchSize
+		}
+		b := &vec.Batch{Cols: make([]vec.Col, len(cols)), Stable: true}
+		for o := lo; o < hi; o += batchSize {
+			end := o + batchSize
+			if end > hi {
+				end = hi
+			}
+			for i, col := range cols {
+				b.Cols[i] = vec.Col{Tag: vec.Boxed, Boxed: col[o:end]}
+			}
+			b.N = end - o
+			b.Sel = nil
+			if err := yield(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // RowsSource adapts a row-layout entry to algebra.Source.

@@ -26,6 +26,7 @@ import (
 	"vida/internal/rawxls"
 	"vida/internal/sdg"
 	"vida/internal/values"
+	"vida/internal/vec"
 )
 
 // ExecMode selects the execution engine.
@@ -365,12 +366,54 @@ type countingSource struct {
 func (s *countingSource) Name() string { return s.inner.Name() }
 
 func (s *countingSource) Iterate(fields []string, yield func(values.Value) error) error {
+	s.count()
+	return s.inner.Iterate(fields, yield)
+}
+
+func (s *countingSource) count() {
 	if s.raw {
 		s.e.rawScans.Add(1)
 	} else {
 		s.e.cacheScans.Add(1)
 	}
-	return s.inner.Iterate(fields, yield)
+}
+
+// IterateSlots forwards the JIT slot fast path when the wrapped source
+// has one (cache-disabled engines still get specialized raw scans) and
+// falls back to exploding records otherwise.
+func (s *countingSource) IterateSlots(fields []string, yield func([]values.Value) error) error {
+	if ss, ok := s.inner.(jit.SlotSource); ok {
+		s.count()
+		return ss.IterateSlots(fields, yield)
+	}
+	return slotsFromRecords(s, fields, yield)
+}
+
+// IterateBatches forwards the JIT batch fast path when the wrapped
+// source has one and packs slot rows into boxed batches otherwise.
+func (s *countingSource) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	if bs, ok := s.inner.(jit.BatchSource); ok {
+		s.count()
+		return bs.IterateBatches(fields, batchSize, yield)
+	}
+	return batchesFromSlots(s.IterateSlots, fields, batchSize, yield)
+}
+
+// OpenRange forwards range-partitioned scans (morsel parallelism).
+func (s *countingSource) OpenRange(fields []string) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	rs, ok := s.inner.(jit.RangeBatchSource)
+	if !ok {
+		return nil, 0, false
+	}
+	scan, n, ok := rs.OpenRange(fields)
+	if !ok {
+		return nil, 0, false
+	}
+	var once sync.Once
+	return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+		once.Do(s.count)
+		return scan(lo, hi, batchSize, yield)
+	}, n, true
 }
 
 // cachingSource serves scans from the columnar cache when it covers the
@@ -461,14 +504,127 @@ func (s *cachingSource) IterateSlots(fields []string, yield func([]values.Value)
 		}
 	}
 	// Fall back to the record path, exploding into slots.
+	return slotsFromRecords(s, fields, yield)
+}
+
+// IterateBatches is the vectorized counterpart of IterateSlots: cache
+// hits serve zero-copy column-slice batches, raw scans stream the
+// plugin's typed batches while harvesting boxed columns into the cache,
+// and everything else packs slot rows into boxed batches.
+func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	name := s.entry.desc.Name
+	if len(fields) > 0 {
+		if entry, ok := s.e.caches.GetColumns(name, fields); ok {
+			s.e.cacheScans.Add(1)
+			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+			return src.IterateBatches(fields, batchSize, yield)
+		}
+		if bs, ok := s.entry.src.(jit.BatchSource); ok {
+			s.e.rawScans.Add(1)
+			// Pre-size harvest columns when the reader already knows its
+			// row count — repeated scans then build cache columns with a
+			// single allocation each.
+			hint := 0
+			if s.entry.csv != nil {
+				if pm := s.entry.csv.PosMap(); pm.HasRows() {
+					hint = pm.NumRows()
+				}
+			}
+			cols := make(map[string][]values.Value, len(fields))
+			if hint > 0 {
+				for _, f := range fields {
+					cols[f] = make([]values.Value, 0, hint)
+				}
+			}
+			n := 0
+			err := bs.IterateBatches(fields, batchSize, func(b *vec.Batch) error {
+				// Harvest before the JIT refines the selection: the cache
+				// stores every scanned row, filters apply per query.
+				cnt := b.Len()
+				for c, f := range fields {
+					col := &b.Cols[c]
+					if col.Tag == vec.Boxed && col.Nulls == nil && b.Sel == nil {
+						cols[f] = append(cols[f], col.Boxed[:b.N]...)
+						continue
+					}
+					for k := 0; k < cnt; k++ {
+						cols[f] = append(cols[f], col.Value(b.Index(k)))
+					}
+				}
+				n += cnt
+				return yield(b)
+			})
+			if err != nil {
+				return err
+			}
+			return s.e.caches.PutColumns(name, n, cols)
+		}
+	}
+	return batchesFromSlots(s.IterateSlots, fields, batchSize, yield)
+}
+
+// OpenRange serves morsel-parallel scans: from the columnar cache when it
+// covers the fields (zero-copy, with deferred hit accounting), else from
+// the raw plugin's own range scan. Raw range scans skip cache promotion —
+// ranges arrive out of order — but a source only becomes range-capable
+// after a sequential first touch, which does promote.
+func (s *cachingSource) OpenRange(fields []string) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	if len(fields) == 0 {
+		return nil, 0, false
+	}
+	name := s.entry.desc.Name
+	if entry, ok := s.e.caches.Peek(name, cache.LayoutColumns); ok && entry.HasColumns(fields) {
+		src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+		scan, n, ok := src.OpenRange(fields)
+		if !ok {
+			return nil, 0, false
+		}
+		var once sync.Once
+		return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+			once.Do(func() {
+				s.e.caches.Touch(name, cache.LayoutColumns)
+				s.e.cacheScans.Add(1)
+			})
+			return scan(lo, hi, batchSize, yield)
+		}, n, true
+	}
+	rs, ok := s.entry.src.(jit.RangeBatchSource)
+	if !ok {
+		return nil, 0, false
+	}
+	scan, n, ok := rs.OpenRange(fields)
+	if !ok {
+		return nil, 0, false
+	}
+	var once sync.Once
+	return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+		once.Do(func() { s.e.rawScans.Add(1) })
+		return scan(lo, hi, batchSize, yield)
+	}, n, true
+}
+
+// slotsFromRecords adapts a record stream to the slot contract.
+func slotsFromRecords(src algebra.Source, fields []string, yield func([]values.Value) error) error {
 	buf := make([]values.Value, len(fields))
-	return s.Iterate(fields, func(v values.Value) error {
+	return src.Iterate(fields, func(v values.Value) error {
 		for i, f := range fields {
 			fv, _ := v.Get(f)
 			buf[i] = fv
 		}
 		return yield(buf)
 	})
+}
+
+// batchesFromSlots packs slot rows into boxed batches.
+func batchesFromSlots(iter func(fields []string, yield func([]values.Value) error) error, fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	if batchSize <= 0 {
+		batchSize = vec.DefaultBatchSize
+	}
+	p := vec.NewPacker(len(fields), batchSize, nil, yield)
+	if err := iter(fields, p.Add); err != nil {
+		return err
+	}
+	return p.Flush()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,212 @@
+package jit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vida/internal/algebra"
+	"vida/internal/rawcsv"
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+// csvCatalog registers one CSV file of n rows (id int, score int, bmi
+// float) and returns the catalog plus the reader.
+func csvCatalog(t *testing.T, n int) (*schemaCat, *rawcsv.Reader) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("id,score,bmi\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d,%d,%d.5\n", i, i%7, 20+i%11)
+	}
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schema := sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "score", Type: sdg.Int},
+		sdg.Attr{Name: "bmi", Type: sdg.Float},
+	))
+	desc := sdg.DefaultDescription("R", sdg.FormatCSV, path, schema)
+	rd, err := rawcsv.Open(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &schemaCat{
+		MapCatalog: algebra.MapCatalog{"R": rd},
+		descs:      map[string]*sdg.Description{"R": desc},
+	}, rd
+}
+
+// TestBatchBoundaryCorrectness sweeps row counts around the batch size —
+// empty sources, single rows, exact multiples, one-over — against the
+// reference executor, on both the cold (tokenizing) and warm (positional
+// map) scan paths.
+func TestBatchBoundaryCorrectness(t *testing.T) {
+	queries := []string{
+		`for { r <- R } yield count r`,
+		`for { r <- R, r.score > 3 } yield sum r.id`,
+		`for { r <- R, r.score > 3 } yield avg r.bmi`,
+		`for { r <- R } yield list r.id`,
+		`for { r <- R, r.score = 2 } yield bag (i := r.id)`,
+	}
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 33, 64} {
+		cat, _ := csvCatalog(t, n)
+		for _, q := range queries {
+			plan := planFor2(t, q, cat)
+			want, err := algebra.Reference{}.Run(plan, cat)
+			if err != nil {
+				t.Fatalf("n=%d ref %q: %v", n, q, err)
+			}
+			ex := Executor{Opts: Options{BatchSize: 16}}
+			for pass := 0; pass < 2; pass++ { // cold, then posmap-backed
+				got, err := ex.Run(plan, cat)
+				if err != nil {
+					t.Fatalf("n=%d pass=%d jit %q: %v", n, pass, q, err)
+				}
+				if !values.Equal(got, want) {
+					t.Fatalf("n=%d pass=%d %q diverged:\njit: %v\nref: %v", n, pass, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSingleRowFile pins the smallest non-empty source.
+func TestSingleRowFile(t *testing.T) {
+	cat, _ := csvCatalog(t, 1)
+	plan := planFor2(t, `for { r <- R } yield sum r.id`, cat)
+	got, err := Executor{}.Run(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 0 {
+		t.Fatalf("sum of single row ids = %v, want 0", got)
+	}
+}
+
+// TestParallelMorselDeterminism asserts that morsel-parallel scans
+// produce exactly the serial results for every collection monoid —
+// including the non-commutative list, whose order the in-order partial
+// merge must preserve — and the exact scalar monoids.
+func TestParallelMorselDeterminism(t *testing.T) {
+	cat, rd := csvCatalog(t, 5000)
+	queries := []string{
+		`for { r <- R, r.score > 1 } yield list r.id`,
+		`for { r <- R } yield bag r.score`,
+		`for { r <- R } yield set r.score`,
+		`for { r <- R, r.score > 2 } yield sum r.id`,
+		`for { r <- R } yield count r`,
+		`for { r <- R } yield max r.id`,
+		`for { r <- R, r.score = 3 } yield min r.id`,
+	}
+	serial := Executor{Opts: Options{Workers: 1}}
+	parallel := Executor{Opts: Options{Workers: 8, ParallelThreshold: 1, BatchSize: 64}}
+	for _, q := range queries {
+		plan := planFor2(t, q, cat)
+		want, err := serial.Run(plan, cat) // first run also builds the posmap
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			got, err := parallel.Run(plan, cat)
+			if err != nil {
+				t.Fatalf("parallel %q: %v", q, err)
+			}
+			if !values.Equal(got, want) {
+				t.Fatalf("parallel %q diverged (trial %d):\npar: %v\nser: %v", q, trial, got, want)
+			}
+		}
+	}
+	if rd.StatsSnapshot()["posmap_scans"] == 0 {
+		t.Fatal("parallel runs never touched the positional map fast path")
+	}
+}
+
+// TestParallelErrorPropagation: a failure inside one morsel must surface
+// as the query error, not hang or get lost.
+func TestParallelErrorPropagation(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("id,score\n")
+	for i := 0; i < 4000; i++ {
+		sb.WriteString(fmt.Sprintf("%d,%d\n", i, i))
+	}
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schema := sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "score", Type: sdg.Int},
+	))
+	desc := sdg.DefaultDescription("R", sdg.FormatCSV, path, schema)
+	rd, err := rawcsv.Open(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := &schemaCat{
+		MapCatalog: algebra.MapCatalog{"R": rd},
+		descs:      map[string]*sdg.Description{"R": desc},
+	}
+	// A head whose projection fails on every row: r.id.x projects through
+	// an int.
+	plan := planFor2(t, `for { r <- R } yield list r.id.x`, cat)
+	serial := Executor{Opts: Options{Workers: 1}}
+	if _, err := serial.Run(plan, cat); err == nil {
+		t.Fatal("serial run should fail")
+	}
+	parallel := Executor{Opts: Options{Workers: 8, ParallelThreshold: 1, BatchSize: 64}}
+	if _, err := parallel.Run(plan, cat); err == nil {
+		t.Fatal("parallel run should fail")
+	}
+}
+
+// TestVectorizedFilterShapes exercises the kernel shapes (const compare,
+// flipped const, slot-vs-slot, conjunction, string compare) against the
+// reference executor.
+func TestVectorizedFilterShapes(t *testing.T) {
+	rows := []values.Value{}
+	names := []string{"ada", "bob", "eve", "dan", "zoe"}
+	for i := 0; i < 37; i++ {
+		rows = append(rows, rec("a", i%9, "b", float64(i%5)+0.5, "s", names[i%len(names)]))
+	}
+	xsType := sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "a", Type: sdg.Int},
+		sdg.Attr{Name: "b", Type: sdg.Float},
+		sdg.Attr{Name: "s", Type: sdg.String},
+	))
+	cat := &schemaCat{
+		MapCatalog: algebra.MapCatalog{"Xs": &algebra.SliceSource{SrcName: "Xs", Rows: rows}},
+		descs:      map[string]*sdg.Description{"Xs": {Name: "Xs", Format: sdg.FormatTable, Schema: xsType}},
+	}
+	queries := []string{
+		`for { x <- Xs, x.a > 4 } yield count x`,
+		`for { x <- Xs, x.a >= 4 } yield count x`,
+		`for { x <- Xs, x.a != 4 } yield count x`,
+		`for { x <- Xs, 4 < x.a } yield count x`,
+		`for { x <- Xs, x.a > 2.5 } yield count x`,
+		`for { x <- Xs, x.b <= 2.5 } yield sum x.a`,
+		`for { x <- Xs, x.s = "eve" } yield count x`,
+		`for { x <- Xs, x.s < "dan" } yield count x`,
+		`for { x <- Xs, x.a > 2, x.b < 3.0 } yield count x`,
+		`for { x <- Xs, x.a > x.b } yield count x`,
+	}
+	for _, q := range queries {
+		plan := planFor2(t, q, cat)
+		want, err := algebra.Reference{}.Run(plan, cat)
+		if err != nil {
+			t.Fatalf("ref %q: %v", q, err)
+		}
+		got, err := Executor{Opts: Options{BatchSize: 8}}.Run(plan, cat)
+		if err != nil {
+			t.Fatalf("jit %q: %v", q, err)
+		}
+		if !values.Equal(got, want) {
+			t.Fatalf("%q diverged: jit=%v ref=%v", q, got, want)
+		}
+	}
+}

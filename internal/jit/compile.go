@@ -2,12 +2,15 @@ package jit
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 
 	"vida/internal/algebra"
 	"vida/internal/mcl"
 	"vida/internal/monoid"
 	"vida/internal/sdg"
 	"vida/internal/values"
+	"vida/internal/vec"
 )
 
 var (
@@ -24,20 +27,84 @@ type SchemaCatalog interface {
 }
 
 // SlotSource is implemented by access paths that can emit slot rows
-// directly (no record construction): the CSV plugin over a positional map,
-// columnar cache entries, etc. Slot order follows the fields argument.
+// directly (no record construction): slot order follows the fields
+// argument. It is the row-based fallback contract for plugins that do not
+// implement BatchSource.
 type SlotSource interface {
 	IterateSlots(fields []string, yield func([]values.Value) error) error
 }
 
-// rowSink receives pipeline rows. Rows are REUSED by the producer: a sink
-// that retains a row must copy it.
-type rowSink func(row []values.Value) error
+// BatchSource is implemented by access paths that emit column-vector
+// batches directly — typed (unboxed) columns where the schema allows.
+// This is the preferred scan contract: the CSV plugin fills whole column
+// vectors per positional-map jump, and columnar cache entries serve their
+// slices zero-copy. Batches are reused between yields.
+type BatchSource interface {
+	IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error
+}
 
-// compiledPlan is one operator subtree staged into a closure.
+// RangeBatchSource is implemented by access paths that can serve an
+// arbitrary row range of the source — the contract morsel-driven parallel
+// scans build on. OpenRange resolves fields and snapshots auxiliary
+// structures once; ok is false when the source cannot serve ranges right
+// now (e.g. the positional map is not built yet). The returned scan
+// function must be safe for concurrent calls over disjoint ranges.
+type RangeBatchSource interface {
+	OpenRange(fields []string) (scan func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, n int, ok bool)
+}
+
+// batchSink receives pipeline batches. Batches are REUSED by the
+// producer: a sink that retains data must copy it. A sink may refine
+// b.Sel but must not mutate column storage.
+type batchSink func(b *vec.Batch) error
+
+// batchFilter refines b.Sel to the rows satisfying a predicate. A filter
+// value carries per-run scratch (its selection buffer) and must not be
+// shared between concurrent runs; factories (mkFilter) produce one per
+// run or per morsel worker.
+type batchFilter func(b *vec.Batch) error
+
+// compiledPlan is one operator subtree staged into a closure pipeline.
 type compiledPlan struct {
 	frame *frame
-	run   func(sink rowSink) error
+	run   func(sink batchSink) error
+	// openRange, when non-nil, attempts to open a partitioned runner over
+	// the subtree: scan may be invoked concurrently over disjoint
+	// [lo,hi) row ranges (each invocation allocates its own scratch).
+	// It is set only for chains of per-row-independent operators over a
+	// RangeBatchSource — the morsel scheduler's contract.
+	openRange func() (scan func(lo, hi int, sink batchSink) error, n int, ok bool)
+}
+
+// Options tunes the generated pipelines.
+type Options struct {
+	// BatchSize is the row capacity of pipeline batches (default
+	// vec.DefaultBatchSize).
+	BatchSize int
+	// Workers bounds the morsel-parallel scan workers (default
+	// runtime.GOMAXPROCS(0); 1 disables parallelism).
+	Workers int
+	// ParallelThreshold is the minimum partitionable row count before a
+	// scan goes parallel (default DefaultParallelThreshold). Small scans
+	// are not worth the goroutine fan-out.
+	ParallelThreshold int
+}
+
+// DefaultParallelThreshold is the default minimum row count for
+// morsel-parallel scans.
+const DefaultParallelThreshold = 8192
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = vec.DefaultBatchSize
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ParallelThreshold <= 0 {
+		o.ParallelThreshold = DefaultParallelThreshold
+	}
+	return o
 }
 
 // compiler holds per-query compilation state.
@@ -45,27 +112,41 @@ type compiler struct {
 	cat     algebra.Catalog
 	schemas SchemaCatalog // may be nil
 	baseEnv *mcl.Env
+	opts    Options
 }
 
-// Executor is the just-in-time engine. The zero value is ready to use.
-type Executor struct{}
+// Executor is the just-in-time engine. The zero value is ready to use
+// (default batch size and worker count).
+type Executor struct {
+	Opts Options
+}
 
 // Run implements algebra.Executor: it generates the specialized pipeline
 // for this exact plan ("database as a query") and runs it.
-func (Executor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Value, error) {
-	prog, err := Compile(p, cat)
+func (e Executor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Value, error) {
+	prog, err := CompileWith(p, cat, e.Opts)
 	if err != nil {
 		return values.Null, err
 	}
 	return prog()
 }
 
-// Compile stages the plan into an executable program. Compilation is the
-// reproduction's analogue of the paper's per-query code generation: all
-// schema resolution, slot layout, plugin selection and operator fusion
-// happen here, once, leaving a closure chain with no per-row decisions.
+// Compile stages the plan into an executable program with default options.
 func Compile(p *algebra.Reduce, cat algebra.Catalog) (func() (values.Value, error), error) {
-	c := &compiler{cat: cat}
+	return CompileWith(p, cat, Options{})
+}
+
+// CompileWith stages the plan into an executable program. Compilation is
+// the reproduction's analogue of the paper's per-query code generation:
+// all schema resolution, slot layout, plugin selection and operator
+// fusion happen here, once, leaving a closure chain with no per-row
+// decisions. The staged pipeline moves data batch-at-a-time (column
+// vectors with typed fast paths) and, when the access path supports row
+// ranges, executes the scan morsel-parallel with per-worker partial
+// aggregates merged in morsel order at the root reduce.
+func CompileWith(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func() (values.Value, error), error) {
+	opts = opts.withDefaults()
+	c := &compiler{cat: cat, opts: opts}
 	if sc, ok := cat.(SchemaCatalog); ok {
 		c.schemas = sc
 	}
@@ -79,40 +160,24 @@ func Compile(p *algebra.Reduce, cat algebra.Catalog) (func() (values.Value, erro
 	if err != nil {
 		return nil, err
 	}
-	head, err := c.compileExpr(p.Head, input.frame)
+	mkCons, err := c.compileReduceConsumer(p, input)
 	if err != nil {
 		return nil, err
 	}
-	var pred compiledExpr
-	if p.Pred != nil {
-		pred, err = c.compileExpr(p.Pred, input.frame)
-		if err != nil {
-			return nil, err
-		}
-	}
 	m := p.M
 	return func() (values.Value, error) {
+		if opts.Workers > 1 && input.openRange != nil {
+			if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
+				return runParallelReduce(scan, n, mkCons, m, opts)
+			}
+		}
 		acc := monoid.NewCollector(m)
-		err := input.run(func(row []values.Value) error {
-			if pred != nil {
-				pv, err := pred(row)
-				if err != nil {
-					return err
-				}
-				if !(pv.Kind() == values.KindBool && pv.Bool()) {
-					return nil
-				}
-			}
-			h, err := head(row)
-			if err != nil {
-				return err
-			}
-			acc.Add(h)
-			return nil
-		})
-		if err != nil {
+		rc := mkCons()
+		rc.reset(acc)
+		if err := input.run(rc.consume); err != nil {
 			return values.Null, err
 		}
+		rc.finish()
 		return acc.Result(), nil
 	}, nil
 }
@@ -175,98 +240,67 @@ func (c *compiler) materializeFreeSources(p algebra.Plan) (*mcl.Env, error) {
 	return mcl.NewEnv(bindings), nil
 }
 
+// compileFilter stages a predicate as a batch filter factory: vectorized
+// kernels for the comparison shapes the compiler recognizes, a row-wise
+// boxed fallback otherwise. Each factory call returns a filter with its
+// own scratch, safe for one (serial) run or one morsel worker.
+func (c *compiler) compileFilter(e mcl.Expr, f *frame) (func() batchFilter, error) {
+	if vf := compileVecFilter(e, f); vf != nil {
+		return vf, nil
+	}
+	pred, err := c.compileExpr(e, f)
+	if err != nil {
+		return nil, err
+	}
+	width := f.width()
+	return func() batchFilter {
+		row := make([]values.Value, width)
+		// Non-nil even when empty: a nil Sel means "all rows live".
+		sel := make([]int, 0, 64)
+		return func(b *vec.Batch) error {
+			sel = sel[:0]
+			n := b.Len()
+			for k := 0; k < n; k++ {
+				i := b.Index(k)
+				fillRow(b, i, row)
+				pv, err := pred(row)
+				if err != nil {
+					return err
+				}
+				if pv.Kind() == values.KindBool && pv.Bool() {
+					sel = append(sel, i)
+				}
+			}
+			b.Sel = sel
+			return nil
+		}
+	}, nil
+}
+
+// fillRow boxes physical row i of b into row, one entry per slot.
+func fillRow(b *vec.Batch, i int, row []values.Value) {
+	for s := range b.Cols {
+		row[s] = b.Cols[s].Value(i)
+	}
+}
+
 func (c *compiler) compilePlan(p algebra.Plan) (*compiledPlan, error) {
 	if p == nil {
 		// Unit input: one empty row.
 		f := newFrame()
-		return &compiledPlan{frame: f, run: func(sink rowSink) error {
-			return sink(nil)
+		return &compiledPlan{frame: f, run: func(sink batchSink) error {
+			return sink(&vec.Batch{N: 1})
 		}}, nil
 	}
 	switch n := p.(type) {
 	case *algebra.Scan:
 		return c.compileScan(n)
 	case *algebra.Select:
-		in, err := c.compilePlan(n.Input)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := c.compileExpr(n.Pred, in.frame)
-		if err != nil {
-			return nil, err
-		}
-		// Fused: no operator boundary, just a branch inside the loop.
-		return &compiledPlan{frame: in.frame, run: func(sink rowSink) error {
-			return in.run(func(row []values.Value) error {
-				pv, err := pred(row)
-				if err != nil {
-					return err
-				}
-				if pv.Kind() == values.KindBool && pv.Bool() {
-					return sink(row)
-				}
-				return nil
-			})
-		}}, nil
+		return c.compileSelect(n)
 	case *algebra.Bind:
-		in, err := c.compilePlan(n.Input)
-		if err != nil {
-			return nil, err
-		}
-		f := in.frame.clone()
-		idx := f.add(n.Var, "")
-		e, err := c.compileExpr(n.E, in.frame)
-		if err != nil {
-			return nil, err
-		}
-		w := f.width()
-		return &compiledPlan{frame: f, run: func(sink rowSink) error {
-			buf := make([]values.Value, w)
-			return in.run(func(row []values.Value) error {
-				copy(buf, row)
-				v, err := e(row)
-				if err != nil {
-					return err
-				}
-				buf[idx] = v
-				return sink(buf)
-			})
-		}}, nil
+		return c.compileBind(n)
 	case *algebra.Generate:
-		in, err := c.compilePlan(n.Input)
-		if err != nil {
-			return nil, err
-		}
-		f := in.frame.clone()
-		idx := f.add(n.Var, "")
-		e, err := c.compileExpr(n.E, in.frame)
-		if err != nil {
-			return nil, err
-		}
-		w := f.width()
-		return &compiledPlan{frame: f, run: func(sink rowSink) error {
-			buf := make([]values.Value, w)
-			return in.run(func(row []values.Value) error {
-				coll, err := e(row)
-				if err != nil {
-					return err
-				}
-				if coll.IsNull() {
-					return nil
-				}
-				if !coll.IsCollection() && coll.Kind() != values.KindArray {
-					return fmt.Errorf("jit: generate over %s", coll.Kind())
-				}
-				copy(buf, row)
-				for _, el := range coll.Elems() {
-					buf[idx] = el
-					if err := sink(buf); err != nil {
-						return err
-					}
-				}
-				return nil
-			})
-		}}, nil
+		return c.compileGenerate(n)
 	case *algebra.Product:
 		return c.compileProduct(n)
 	case *algebra.Join:
@@ -278,9 +312,10 @@ func (c *compiler) compilePlan(p algebra.Plan) (*compiledPlan, error) {
 }
 
 // compileScan selects the input plugin for the source format and stages a
-// specialized scan loop. Sources that can emit slot rows (SlotSource) skip
-// record construction entirely; generic sources are exploded into slots
-// when the schema is known, or bound as whole values otherwise.
+// specialized scan loop. Sources that can emit column batches
+// (BatchSource) feed the pipeline with typed vectors; slot sources are
+// packed into boxed batches; generic sources are exploded into slots when
+// the schema is known, or bound as whole values otherwise.
 func (c *compiler) compileScan(n *algebra.Scan) (*compiledPlan, error) {
 	src, ok := c.cat.Source(n.Source)
 	if !ok {
@@ -299,35 +334,34 @@ func (c *compiler) compileScan(n *algebra.Scan) (*compiledPlan, error) {
 	if len(fields) == 0 && rowType != nil && rowType.Kind == sdg.TRecord {
 		fields = rowType.AttrNames()
 	}
+	bs := c.opts.BatchSize
 
 	if len(fields) == 0 {
 		// Open schema: one whole-value slot per datum (JSON objects).
 		f := newFrame()
-		idx := f.add(n.Var, "")
-		var filter compiledExpr
+		f.add(n.Var, "")
+		var mkFilter func() batchFilter
 		if n.Filter != nil {
 			var err error
-			filter, err = c.compileExpr(n.Filter, f)
+			mkFilter, err = c.compileFilter(n.Filter, f)
 			if err != nil {
 				return nil, err
 			}
 		}
-		w := f.width()
-		return &compiledPlan{frame: f, run: func(sink rowSink) error {
-			buf := make([]values.Value, w)
-			return src.Iterate(nil, func(v values.Value) error {
-				buf[idx] = v
-				if filter != nil {
-					pv, err := filter(buf)
-					if err != nil {
-						return err
-					}
-					if !(pv.Kind() == values.KindBool && pv.Bool()) {
-						return nil
-					}
-				}
-				return sink(buf)
-			})
+		return &compiledPlan{frame: f, run: func(sink batchSink) error {
+			var flt batchFilter
+			if mkFilter != nil {
+				flt = mkFilter()
+			}
+			p := vec.NewPacker(1, bs, flt, sink)
+			row := make([]values.Value, 1)
+			if err := src.Iterate(nil, func(v values.Value) error {
+				row[0] = v
+				return p.Add(row)
+			}); err != nil {
+				return err
+			}
+			return p.Flush()
 		}}, nil
 	}
 
@@ -336,46 +370,284 @@ func (c *compiler) compileScan(n *algebra.Scan) (*compiledPlan, error) {
 	for _, fld := range fields {
 		f.add(n.Var, fld)
 	}
-	var filter compiledExpr
+	var mkFilter func() batchFilter
 	if n.Filter != nil {
 		var err error
-		filter, err = c.compileExpr(n.Filter, f)
+		mkFilter, err = c.compileFilter(n.Filter, f)
 		if err != nil {
 			return nil, err
 		}
 	}
-	w := f.width()
-	emit := func(sink rowSink) func([]values.Value) error {
-		return func(row []values.Value) error {
-			if filter != nil {
-				pv, err := filter(row)
+	cp := &compiledPlan{frame: f}
+	filterOf := func() batchFilter {
+		if mkFilter == nil {
+			return nil
+		}
+		return mkFilter()
+	}
+	if bsrc, ok := src.(BatchSource); ok {
+		// Specialized plugin: the access path fills column vectors.
+		cp.run = func(sink batchSink) error {
+			flt := filterOf()
+			return bsrc.IterateBatches(fields, bs, func(b *vec.Batch) error {
+				if flt != nil {
+					if err := flt(b); err != nil {
+						return err
+					}
+					if b.Len() == 0 {
+						return nil
+					}
+				}
+				return sink(b)
+			})
+		}
+		if rsrc, ok := src.(RangeBatchSource); ok {
+			cp.openRange = func() (func(lo, hi int, sink batchSink) error, int, bool) {
+				scan, total, ok := rsrc.OpenRange(fields)
+				if !ok {
+					return nil, 0, false
+				}
+				return func(lo, hi int, sink batchSink) error {
+					flt := filterOf()
+					return scan(lo, hi, bs, func(b *vec.Batch) error {
+						if flt != nil {
+							if err := flt(b); err != nil {
+								return err
+							}
+							if b.Len() == 0 {
+								return nil
+							}
+						}
+						return sink(b)
+					})
+				}, total, true
+			}
+		}
+		return cp, nil
+	}
+	if ss, ok := src.(SlotSource); ok {
+		// Slot plugin (row-based fallback): pack slot rows into batches.
+		cp.run = func(sink batchSink) error {
+			p := vec.NewPacker(len(fields), bs, filterOf(), sink)
+			if err := ss.IterateSlots(fields, p.Add); err != nil {
+				return err
+			}
+			return p.Flush()
+		}
+		return cp, nil
+	}
+	// Generic record source.
+	cp.run = func(sink batchSink) error {
+		p := vec.NewPacker(len(fields), bs, filterOf(), sink)
+		row := make([]values.Value, len(fields))
+		if err := src.Iterate(fields, func(v values.Value) error {
+			for i, fld := range fields {
+				fv, _ := v.Get(fld)
+				row[i] = fv
+			}
+			return p.Add(row)
+		}); err != nil {
+			return err
+		}
+		return p.Flush()
+	}
+	return cp, nil
+}
+
+// compileSelect fuses a filter into the batch stream: no operator
+// boundary, just a selection-vector refinement between producer and sink.
+func (c *compiler) compileSelect(n *algebra.Select) (*compiledPlan, error) {
+	in, err := c.compilePlan(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	mkFilter, err := c.compileFilter(n.Pred, in.frame)
+	if err != nil {
+		return nil, err
+	}
+	cp := &compiledPlan{frame: in.frame}
+	cp.run = func(sink batchSink) error {
+		flt := mkFilter()
+		return in.run(func(b *vec.Batch) error {
+			if err := flt(b); err != nil {
+				return err
+			}
+			if b.Len() == 0 {
+				return nil
+			}
+			return sink(b)
+		})
+	}
+	if in.openRange != nil {
+		cp.openRange = func() (func(lo, hi int, sink batchSink) error, int, bool) {
+			scan, total, ok := in.openRange()
+			if !ok {
+				return nil, 0, false
+			}
+			return func(lo, hi int, sink batchSink) error {
+				flt := mkFilter()
+				return scan(lo, hi, func(b *vec.Batch) error {
+					if err := flt(b); err != nil {
+						return err
+					}
+					if b.Len() == 0 {
+						return nil
+					}
+					return sink(b)
+				})
+			}, total, true
+		}
+	}
+	return cp, nil
+}
+
+// compileBind extends each batch with one computed column. Column storage
+// of the input batch is shared (headers copied, payloads untouched); only
+// the extension column is materialized, at the rows' physical indices.
+func (c *compiler) compileBind(n *algebra.Bind) (*compiledPlan, error) {
+	in, err := c.compilePlan(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	f := in.frame.clone()
+	f.add(n.Var, "")
+	e, err := c.compileExpr(n.E, in.frame)
+	if err != nil {
+		return nil, err
+	}
+	inWidth := in.frame.width()
+	mkExtend := func() func(b *vec.Batch, emit batchSink) error {
+		row := make([]values.Value, inWidth)
+		var ext []values.Value
+		var out vec.Batch
+		return func(b *vec.Batch, emit batchSink) error {
+			if cap(ext) < b.N {
+				ext = make([]values.Value, b.N)
+			}
+			ext = ext[:b.N]
+			n := b.Len()
+			for k := 0; k < n; k++ {
+				i := b.Index(k)
+				fillRow(b, i, row)
+				v, err := e(row)
 				if err != nil {
 					return err
 				}
-				if !(pv.Kind() == values.KindBool && pv.Bool()) {
-					return nil
-				}
+				ext[i] = v
 			}
-			return sink(row)
+			out.Cols = append(out.Cols[:0], b.Cols...)
+			out.Cols = append(out.Cols, vec.Col{Tag: vec.Boxed, Boxed: ext})
+			out.N = b.N
+			out.Sel = b.Sel
+			return emit(&out)
 		}
 	}
-	if ss, ok := src.(SlotSource); ok {
-		// Specialized plugin: the access path fills slots directly.
-		return &compiledPlan{frame: f, run: func(sink rowSink) error {
-			return ss.IterateSlots(fields, emit(sink))
-		}}, nil
+	cp := &compiledPlan{frame: f}
+	cp.run = func(sink batchSink) error {
+		extend := mkExtend()
+		return in.run(func(b *vec.Batch) error { return extend(b, sink) })
 	}
-	return &compiledPlan{frame: f, run: func(sink rowSink) error {
-		buf := make([]values.Value, w)
-		e := emit(sink)
-		return src.Iterate(fields, func(v values.Value) error {
-			for i, fld := range fields {
-				fv, _ := v.Get(fld)
-				buf[i] = fv
+	if in.openRange != nil {
+		cp.openRange = func() (func(lo, hi int, sink batchSink) error, int, bool) {
+			scan, total, ok := in.openRange()
+			if !ok {
+				return nil, 0, false
 			}
-			return e(buf)
-		})
-	}}, nil
+			return func(lo, hi int, sink batchSink) error {
+				extend := mkExtend()
+				return scan(lo, hi, func(b *vec.Batch) error { return extend(b, sink) })
+			}, total, true
+		}
+	}
+	return cp, nil
+}
+
+// compileGenerate explodes a collection-valued expression: each input row
+// repeats once per element, with the element bound in the new slot. The
+// output is repacked into boxed batches (explosion changes cardinality).
+func (c *compiler) compileGenerate(n *algebra.Generate) (*compiledPlan, error) {
+	in, err := c.compilePlan(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	f := in.frame.clone()
+	f.add(n.Var, "")
+	e, err := c.compileExpr(n.E, in.frame)
+	if err != nil {
+		return nil, err
+	}
+	inWidth := in.frame.width()
+	outWidth := f.width()
+	bs := c.opts.BatchSize
+	mkExplode := func(sink batchSink) (func(b *vec.Batch) error, *vec.Packer) {
+		p := vec.NewPacker(outWidth, bs, nil, sink)
+		buf := make([]values.Value, outWidth)
+		row := buf[:inWidth]
+		return func(b *vec.Batch) error {
+			n := b.Len()
+			for k := 0; k < n; k++ {
+				i := b.Index(k)
+				fillRow(b, i, row)
+				coll, err := e(row)
+				if err != nil {
+					return err
+				}
+				if coll.IsNull() {
+					continue
+				}
+				if !coll.IsCollection() && coll.Kind() != values.KindArray {
+					return fmt.Errorf("jit: generate over %s", coll.Kind())
+				}
+				for _, el := range coll.Elems() {
+					buf[inWidth] = el
+					if err := p.Add(buf); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}, p
+	}
+	cp := &compiledPlan{frame: f}
+	cp.run = func(sink batchSink) error {
+		explode, p := mkExplode(sink)
+		if err := in.run(explode); err != nil {
+			return err
+		}
+		return p.Flush()
+	}
+	if in.openRange != nil {
+		cp.openRange = func() (func(lo, hi int, sink batchSink) error, int, bool) {
+			scan, total, ok := in.openRange()
+			if !ok {
+				return nil, 0, false
+			}
+			return func(lo, hi int, sink batchSink) error {
+				explode, p := mkExplode(sink)
+				if err := scan(lo, hi, explode); err != nil {
+					return err
+				}
+				return p.Flush()
+			}, total, true
+		}
+	}
+	return cp, nil
+}
+
+// copyRows materializes the live rows of a batch stream as boxed slices
+// (build sides of products and joins — the operator's "output plugin").
+func copyRows(run func(sink batchSink) error, width int) ([][]values.Value, error) {
+	var rows [][]values.Value
+	row := make([]values.Value, width)
+	err := run(func(b *vec.Batch) error {
+		n := b.Len()
+		for k := 0; k < n; k++ {
+			fillRow(b, b.Index(k), row)
+			rows = append(rows, append([]values.Value{}, row...))
+		}
+		return nil
+	})
+	return rows, err
 }
 
 func (c *compiler) compileProduct(n *algebra.Product) (*compiledPlan, error) {
@@ -392,26 +664,31 @@ func (c *compiler) compileProduct(n *algebra.Product) (*compiledPlan, error) {
 		f.add(s.key.varName, s.key.attr)
 	}
 	lw, rw := l.frame.width(), r.frame.width()
-	return &compiledPlan{frame: f, run: func(sink rowSink) error {
+	bs := c.opts.BatchSize
+	return &compiledPlan{frame: f, run: func(sink batchSink) error {
 		// Materialize the right side once (it restarts per left row).
-		var right [][]values.Value
-		if err := r.run(func(row []values.Value) error {
-			right = append(right, append([]values.Value{}, row...))
+		right, err := copyRows(r.run, rw)
+		if err != nil {
+			return err
+		}
+		p := vec.NewPacker(lw+rw, bs, nil, sink)
+		buf := make([]values.Value, lw+rw)
+		if err := l.run(func(b *vec.Batch) error {
+			n := b.Len()
+			for k := 0; k < n; k++ {
+				fillRow(b, b.Index(k), buf[:lw])
+				for _, rrow := range right {
+					copy(buf[lw:], rrow)
+					if err := p.Add(buf); err != nil {
+						return err
+					}
+				}
+			}
 			return nil
 		}); err != nil {
 			return err
 		}
-		buf := make([]values.Value, lw+rw)
-		return l.run(func(lrow []values.Value) error {
-			copy(buf, lrow)
-			for _, rrow := range right {
-				copy(buf[lw:], rrow)
-				if err := sink(buf); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
+		return p.Flush()
 	}}, nil
 }
 
@@ -447,16 +724,26 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 			return nil, err
 		}
 	}
+	// Slot-reference keys — the overwhelmingly common case — read their
+	// column directly, skipping row materialization. This is the kind of
+	// decision the generated code specializes away.
+	lSlot, rSlot := -1, -1
+	if len(n.On) == 1 {
+		lSlot = slotOf(n.On[0].LExpr, l.frame)
+		rSlot = slotOf(n.On[0].RExpr, r.frame)
+	}
 	lw, rw := l.frame.width(), r.frame.width()
-	return &compiledPlan{frame: f, run: func(sink rowSink) error {
-		type bucket struct {
-			keys []values.Value
-			rows [][]values.Value
-		}
-		table := map[uint64]*bucket{}
-		// Single-expression keys — the overwhelmingly common case — are
-		// used directly; multi-column keys wrap in a list. This is the
-		// kind of decision the generated code specializes away.
+	bs := c.opts.BatchSize
+	return &compiledPlan{frame: f, run: func(sink batchSink) error {
+		// Build state: the right side is retained columnar — stable
+		// (cache-backed) batches zero-copy, transient ones via one bulk
+		// typed copy per batch. Entries reference (batch, row); the hash
+		// index is built afterwards as an array chain table sized to the
+		// entry count — no per-row slices, per-key buckets or map inserts.
+		var retained []vec.Batch
+		var eBatch, eRow []int32
+		var hashes []uint64
+		var keys []values.Value // boxed keys, expression-key case only
 		keyOf := func(row []values.Value, exprs []compiledExpr) (values.Value, bool, error) {
 			if len(exprs) == 1 {
 				v, err := exprs[0](row)
@@ -478,53 +765,126 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 			}
 			return values.NewList(parts...), true, nil
 		}
-		if err := r.run(func(row []values.Value) error {
-			k, ok, err := keyOf(row, rKeys)
-			if err != nil || !ok {
-				return err
+		rrow := make([]values.Value, rw)
+		if err := r.run(func(b *vec.Batch) error {
+			cnt := b.Len()
+			if cnt == 0 {
+				return nil
 			}
-			h := k.Hash()
-			b := table[h]
-			if b == nil {
-				b = &bucket{}
-				table[h] = b
+			bi := int32(len(retained))
+			retained = append(retained, b.Retain())
+			eBatch = slices.Grow(eBatch, cnt)
+			eRow = slices.Grow(eRow, cnt)
+			hashes = slices.Grow(hashes, cnt)
+			for k := 0; k < cnt; k++ {
+				i := b.Index(k)
+				var kv values.Value
+				if rSlot >= 0 {
+					kv = b.Cols[rSlot].Value(i)
+					if kv.IsNull() {
+						continue
+					}
+				} else {
+					fillRow(b, i, rrow)
+					var ok bool
+					var err error
+					kv, ok, err = keyOf(rrow, rKeys)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					keys = append(keys, kv)
+				}
+				eBatch = append(eBatch, bi)
+				eRow = append(eRow, int32(i))
+				hashes = append(hashes, kv.Hash())
 			}
-			b.keys = append(b.keys, k)
-			b.rows = append(b.rows, append([]values.Value{}, row...))
 			return nil
 		}); err != nil {
 			return err
 		}
+		// Index the build side: power-of-two bucket heads plus per-entry
+		// chains, inserted in reverse so each chain lists entries in build
+		// order (probe results match the row-at-a-time engines exactly).
+		nEntries := len(hashes)
+		tableSize := 1
+		for tableSize < nEntries*2 {
+			tableSize *= 2
+		}
+		mask := uint64(tableSize - 1)
+		head := make([]int32, tableSize) // 1-based entry, 0 = empty
+		next := make([]int32, nEntries)
+		for e := nEntries - 1; e >= 0; e-- {
+			slot := hashes[e] & mask
+			next[e] = head[slot]
+			head[slot] = int32(e + 1)
+		}
+		entryKey := func(idx int) values.Value {
+			if rSlot >= 0 {
+				return retained[eBatch[idx]].Cols[rSlot].Value(int(eRow[idx]))
+			}
+			return keys[idx]
+		}
+		p := vec.NewPacker(lw+rw, bs, nil, sink)
 		buf := make([]values.Value, lw+rw)
-		return l.run(func(lrow []values.Value) error {
-			k, ok, err := keyOf(lrow, lKeys)
-			if err != nil || !ok {
-				return err
-			}
-			b := table[k.Hash()]
-			if b == nil {
-				return nil
-			}
-			copy(buf, lrow)
-			for i, bk := range b.keys {
-				if !values.Equal(k, bk) {
-					continue
-				}
-				copy(buf[lw:], b.rows[i])
-				if residual != nil {
-					pv, err := residual(buf)
+		if err := l.run(func(b *vec.Batch) error {
+			cnt := b.Len()
+			for k := 0; k < cnt; k++ {
+				i := b.Index(k)
+				var kv values.Value
+				if lSlot >= 0 {
+					kv = b.Cols[lSlot].Value(i)
+					if kv.IsNull() {
+						continue
+					}
+				} else {
+					fillRow(b, i, buf[:lw])
+					var ok bool
+					var err error
+					kv, ok, err = keyOf(buf[:lw], lKeys)
 					if err != nil {
 						return err
 					}
-					if !(pv.Kind() == values.KindBool && pv.Bool()) {
+					if !ok {
 						continue
 					}
 				}
-				if err := sink(buf); err != nil {
-					return err
+				filled := lSlot < 0
+				h := kv.Hash()
+				for e := head[h&mask]; e != 0; e = next[e-1] {
+					idx := int(e - 1)
+					if hashes[idx] != h || !values.Equal(kv, entryKey(idx)) {
+						continue
+					}
+					if !filled {
+						fillRow(b, i, buf[:lw])
+						filled = true
+					}
+					rb := &retained[eBatch[idx]]
+					ri := int(eRow[idx])
+					for s := 0; s < rw; s++ {
+						buf[lw+s] = rb.Cols[s].Value(ri)
+					}
+					if residual != nil {
+						pv, err := residual(buf)
+						if err != nil {
+							return err
+						}
+						if !(pv.Kind() == values.KindBool && pv.Bool()) {
+							continue
+						}
+					}
+					if err := p.Add(buf); err != nil {
+						return err
+					}
 				}
 			}
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
+		return p.Flush()
 	}}, nil
 }

@@ -1,0 +1,56 @@
+// Package jit implements ViDa's two execution engines over the algebra.
+//
+// # The just-in-time executor
+//
+// Every operator is generated at query time by composing specialized
+// closures (paper §4). Attribute references are resolved to frame-slot
+// indices at compile time, scan plugins decode only the attributes the
+// query touches, non-blocking operator chains are fused into a single
+// loop, and generic branches (type checks, record lookups) are eliminated
+// where the schema is known. Closure staging is this reproduction's
+// substitute for the paper's LLVM code generation — it removes the same
+// interpretation overheads relative to the static engine.
+//
+// # Batch format
+//
+// The staged pipeline moves data batch-at-a-time rather than row-at-a-
+// time: a vec.Batch is a fixed-capacity run of rows (default 1024)
+// decomposed into per-slot column vectors. Columns are typed where the
+// source schema allows — int64/float64/string payloads parsed straight
+// from raw bytes, with an optional validity mask — and boxed
+// ([]values.Value) otherwise. Filters refine a selection vector (Sel)
+// instead of copying survivors, which lets columnar cache entries serve
+// their slices zero-copy; values are boxed only at the typed→generic
+// boundaries: interpreted expressions, join build sides, and the
+// monoid-reduce root when no unboxed kernel applies.
+//
+// Scan plugins plug into the batch pipeline through three contracts, in
+// preference order: BatchSource (column vectors, typed fast path),
+// SlotSource (slot rows, packed into boxed batches), and plain
+// algebra.Source (records, exploded into slots). Vectorized kernels exist
+// for comparison predicates over slots (slot⊕const, slot⊕slot, and
+// conjunctions) and for the count/sum/avg/min/max monoids over slot
+// heads; every other shape falls back to the row-wise compiled closures,
+// batch by batch.
+//
+// # Morsel-parallel scans
+//
+// When the access path can serve arbitrary row ranges (RangeBatchSource —
+// the CSV plugin over a built positional map, columnar cache entries) and
+// the operator chain above it is per-row independent (scan, select, bind,
+// generate), the root reduce runs the scan morsel-parallel: the row range
+// is split into morsels handed out to Options.Workers workers, each
+// worker drives a thread-local clone of the staged pipeline, and the
+// per-morsel partial aggregates are merged at the root in morsel order.
+// Merging partials with the monoid's associative ⊕ keeps results exactly
+// equal to the serial fold, including for the non-commutative list
+// monoid. Sources below Options.ParallelThreshold rows stay serial.
+//
+// # The static executor
+//
+// Pre-cooked generic Volcano operators pipelined over Go channels,
+// evaluating expressions by AST interpretation on every row. This mirrors
+// the paper's own fallback engine ("the static executor is written in GO,
+// exploiting GO's channels to offer pipelined execution") and serves as
+// the baseline of the JIT-vs-static ablation (experiment E6).
+package jit

@@ -1,21 +1,3 @@
-// Package jit implements ViDa's two execution engines over the algebra:
-//
-//   - The just-in-time executor (paper §4): every operator is generated at
-//     query time by composing specialized closures. Attribute references
-//     are resolved to frame-slot indices at compile time, scan plugins
-//     decode only the attributes the query touches, non-blocking operator
-//     chains are fused into a single loop, and generic branches (type
-//     checks, record lookups) are eliminated where the schema is known.
-//     Closure staging is this reproduction's substitute for the paper's
-//     LLVM code generation — it removes the same interpretation overheads
-//     relative to the static engine (see DESIGN.md, substitutions).
-//
-//   - The static executor: pre-cooked generic Volcano operators pipelined
-//     over Go channels, evaluating expressions by AST interpretation on
-//     every row. This mirrors the paper's own fallback engine ("the static
-//     executor is written in GO, exploiting GO's channels to offer
-//     pipelined execution") and serves as the baseline of the JIT-vs-
-//     static ablation (experiment E6).
 package jit
 
 import (

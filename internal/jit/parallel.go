@@ -1,0 +1,91 @@
+package jit
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"vida/internal/monoid"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// errStopped cancels in-flight morsels after another worker failed; it
+// never escapes the scheduler.
+var errStopped = errors.New("jit: parallel scan stopped")
+
+// runParallelReduce executes a partitionable pipeline with morsel-driven
+// parallelism (Leis et al., adopted here for raw scans): the row range is
+// split into morsels handed out work-stealing-style to a fixed worker
+// pool, each worker drives its own clone of the staged pipeline (scan is
+// safe for concurrent disjoint ranges; filters and consumers are built
+// per worker), and per-morsel partial aggregates are merged at the root
+// in morsel order. Associativity of the monoid's ⊕ makes the merge exact
+// — including for the non-commutative list monoid — which is the paper's
+// algebra paying rent.
+func runParallelReduce(scan func(lo, hi int, sink batchSink) error, n int, mkCons func() *reduceConsumer, m monoid.Monoid, opts Options) (values.Value, error) {
+	workers := opts.Workers
+	// Aim for a few morsels per worker so stealing evens out skew, but
+	// never below one batch per morsel.
+	morselRows := (n + workers*4 - 1) / (workers * 4)
+	if morselRows < opts.BatchSize {
+		morselRows = opts.BatchSize
+	}
+	numMorsels := (n + morselRows - 1) / morselRows
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+
+	partials := make([]*monoid.Collector, numMorsels)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rc := mkCons()
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= numMorsels {
+					return
+				}
+				lo := i * morselRows
+				hi := lo + morselRows
+				if hi > n {
+					hi = n
+				}
+				acc := monoid.NewCollector(m)
+				rc.reset(acc)
+				if err := scan(lo, hi, func(b *vec.Batch) error {
+					if stop.Load() {
+						return errStopped
+					}
+					return rc.consume(b)
+				}); err != nil {
+					if !errors.Is(err, errStopped) {
+						errs[w] = err
+					}
+					stop.Store(true)
+					return
+				}
+				rc.finish()
+				partials[i] = acc
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return values.Null, err
+		}
+	}
+	root := monoid.NewCollector(m)
+	for _, part := range partials {
+		if part != nil {
+			root.MergeFrom(part)
+		}
+	}
+	return root.Result(), nil
+}

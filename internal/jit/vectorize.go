@@ -1,0 +1,660 @@
+package jit
+
+import (
+	"strings"
+
+	"vida/internal/algebra"
+	"vida/internal/mcl"
+	"vida/internal/monoid"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// This file holds the vectorized execution kernels: predicate filters
+// that refine a batch's selection vector over typed column payloads, and
+// the reduce consumer that folds batches into a monoid collector with
+// unboxed fast paths for the common aggregate monoids. Kernels dispatch
+// on the column Tag per batch (once per ~1024 rows), so the same staged
+// pipeline serves typed CSV vectors, zero-copy cache slices and boxed
+// fallback batches.
+
+// slotOf resolves an expression to a frame slot index when it is a pure
+// slot reference (whole-value variable or flattened attribute), -1
+// otherwise.
+func slotOf(e mcl.Expr, f *frame) int {
+	switch n := e.(type) {
+	case *mcl.VarExpr:
+		if i, ok := f.lookup(n.Name, ""); ok {
+			return i
+		}
+	case *mcl.ProjExpr:
+		if v, ok := n.Rec.(*mcl.VarExpr); ok {
+			if i, ok := f.lookup(v.Name, n.Attr); ok {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// constOf resolves an expression to a compile-time constant value.
+func constOf(e mcl.Expr) (values.Value, bool) {
+	switch n := e.(type) {
+	case *mcl.ConstExpr:
+		return n.Val, true
+	case *mcl.NullExpr:
+		return values.Null, true
+	}
+	return values.Null, false
+}
+
+// cmpMask maps a comparison operator to the accepted Compare outcomes.
+func cmpMask(op mcl.BinOp) (lt, eq, gt bool) {
+	switch op {
+	case mcl.OpEq:
+		return false, true, false
+	case mcl.OpNeq:
+		return true, false, true
+	case mcl.OpLt:
+		return true, false, false
+	case mcl.OpLe:
+		return true, true, false
+	case mcl.OpGt:
+		return false, false, true
+	case mcl.OpGe:
+		return false, true, true
+	}
+	return false, false, false
+}
+
+// flipOp mirrors a comparison so `const op col` becomes `col op' const`.
+func flipOp(op mcl.BinOp) mcl.BinOp {
+	switch op {
+	case mcl.OpLt:
+		return mcl.OpGt
+	case mcl.OpLe:
+		return mcl.OpGe
+	case mcl.OpGt:
+		return mcl.OpLt
+	case mcl.OpGe:
+		return mcl.OpLe
+	}
+	return op
+}
+
+func isCmpOp(op mcl.BinOp) bool {
+	switch op {
+	case mcl.OpEq, mcl.OpNeq, mcl.OpLt, mcl.OpLe, mcl.OpGt, mcl.OpGe:
+		return true
+	}
+	return false
+}
+
+// compileVecFilter stages a predicate as a vectorized selection kernel
+// when its shape allows (slot-vs-const and slot-vs-slot comparisons,
+// conjunctions thereof); nil means the caller must use the row-wise
+// fallback. Comparison semantics match mcl.ApplyBinOp exactly: null
+// operands compare false, int/float compare numerically.
+func compileVecFilter(e mcl.Expr, f *frame) func() batchFilter {
+	n, ok := e.(*mcl.BinExpr)
+	if !ok {
+		return nil
+	}
+	if n.Op == mcl.OpAnd {
+		l := compileVecFilter(n.L, f)
+		r := compileVecFilter(n.R, f)
+		if l == nil || r == nil {
+			return nil
+		}
+		return func() batchFilter {
+			lf, rf := l(), r()
+			return func(b *vec.Batch) error {
+				if err := lf(b); err != nil {
+					return err
+				}
+				if b.Len() == 0 {
+					return nil
+				}
+				return rf(b)
+			}
+		}
+	}
+	if !isCmpOp(n.Op) {
+		return nil
+	}
+	li, ri := slotOf(n.L, f), slotOf(n.R, f)
+	if li >= 0 && ri >= 0 {
+		return colColFilter(li, ri, n.Op)
+	}
+	if li >= 0 {
+		if cv, ok := constOf(n.R); ok {
+			return colConstFilter(li, n.Op, cv)
+		}
+	}
+	if ri >= 0 {
+		if cv, ok := constOf(n.L); ok {
+			return colConstFilter(ri, flipOp(n.Op), cv)
+		}
+	}
+	return nil
+}
+
+// colConstFilter builds the slot-vs-constant kernel factory.
+func colConstFilter(idx int, op mcl.BinOp, cv values.Value) func() batchFilter {
+	lt, eq, gt := cmpMask(op)
+	return func() batchFilter {
+		// Non-nil even when empty: a nil Sel means "all rows live".
+		sel := make([]int, 0, 64)
+		return func(b *vec.Batch) error {
+			sel = sel[:0]
+			col := &b.Cols[idx]
+			if cv.IsNull() {
+				b.Sel = sel // comparisons with null are uniformly false
+				return nil
+			}
+			switch {
+			case col.Tag == vec.Int64 && cv.Kind() == values.KindInt:
+				sel = filterIntConst(col, b, cv.Int(), lt, eq, gt, sel)
+			case col.Tag == vec.Int64 && cv.Kind() == values.KindFloat:
+				sel = filterIntFloatConst(col, b, cv.Float(), lt, eq, gt, sel)
+			case col.Tag == vec.Float64 && cv.IsNumeric():
+				sel = filterFloatConst(col, b, cv.Float(), lt, eq, gt, sel)
+			case col.Tag == vec.Str && cv.Kind() == values.KindString:
+				sel = filterStrConst(col, b, cv.Str(), lt, eq, gt, sel)
+			default:
+				sel = filterBoxedConst(col, b, cv, lt, eq, gt, sel)
+			}
+			b.Sel = sel
+			return nil
+		}
+	}
+}
+
+func filterIntConst(col *vec.Col, b *vec.Batch, c int64, lt, eq, gt bool, out []int) []int {
+	if b.Sel == nil {
+		for i, v := range col.Ints[:b.N] {
+			if col.Nulls != nil && col.Nulls[i] {
+				continue
+			}
+			if (v < c && lt) || (v == c && eq) || (v > c && gt) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range b.Sel {
+		if col.Nulls != nil && col.Nulls[i] {
+			continue
+		}
+		v := col.Ints[i]
+		if (v < c && lt) || (v == c && eq) || (v > c && gt) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterIntFloatConst(col *vec.Col, b *vec.Batch, c float64, lt, eq, gt bool, out []int) []int {
+	keep := func(v int64) bool {
+		cmp := values.CompareFloats(float64(v), c)
+		return (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt)
+	}
+	if b.Sel == nil {
+		for i, v := range col.Ints[:b.N] {
+			if col.Nulls != nil && col.Nulls[i] {
+				continue
+			}
+			if keep(v) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range b.Sel {
+		if col.Nulls != nil && col.Nulls[i] {
+			continue
+		}
+		if keep(col.Ints[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterFloatConst(col *vec.Col, b *vec.Batch, c float64, lt, eq, gt bool, out []int) []int {
+	if b.Sel == nil {
+		for i, v := range col.Floats[:b.N] {
+			if col.Nulls != nil && col.Nulls[i] {
+				continue
+			}
+			cmp := values.CompareFloats(v, c)
+			if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range b.Sel {
+		if col.Nulls != nil && col.Nulls[i] {
+			continue
+		}
+		cmp := values.CompareFloats(col.Floats[i], c)
+		if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterStrConst(col *vec.Col, b *vec.Batch, c string, lt, eq, gt bool, out []int) []int {
+	if b.Sel == nil {
+		for i, v := range col.Strs[:b.N] {
+			if col.Nulls != nil && col.Nulls[i] {
+				continue
+			}
+			cmp := strings.Compare(v, c)
+			if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range b.Sel {
+		if col.Nulls != nil && col.Nulls[i] {
+			continue
+		}
+		cmp := strings.Compare(col.Strs[i], c)
+		if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterBoxedConst(col *vec.Col, b *vec.Batch, cv values.Value, lt, eq, gt bool, out []int) []int {
+	n := b.Len()
+	for k := 0; k < n; k++ {
+		i := b.Index(k)
+		v := col.Value(i)
+		if v.IsNull() {
+			continue
+		}
+		cmp := values.Compare(v, cv)
+		if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// colColFilter builds the slot-vs-slot kernel factory (generic boxed
+// compare: still one tight loop per batch, no closure chain per row).
+func colColFilter(li, ri int, op mcl.BinOp) func() batchFilter {
+	lt, eq, gt := cmpMask(op)
+	return func() batchFilter {
+		// Non-nil even when empty: a nil Sel means "all rows live".
+		sel := make([]int, 0, 64)
+		return func(b *vec.Batch) error {
+			sel = sel[:0]
+			lcol, rcol := &b.Cols[li], &b.Cols[ri]
+			n := b.Len()
+			for k := 0; k < n; k++ {
+				i := b.Index(k)
+				lv := lcol.Value(i)
+				if lv.IsNull() {
+					continue
+				}
+				rv := rcol.Value(i)
+				if rv.IsNull() {
+					continue
+				}
+				cmp := values.Compare(lv, rv)
+				if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+					sel = append(sel, i)
+				}
+			}
+			b.Sel = sel
+			return nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized reduce
+// ---------------------------------------------------------------------------
+
+// aggKind selects the reduce fast path. aggGeneric boxes every head value
+// into the collector; the others accumulate unboxed partials over typed
+// columns and absorb them into the collector at finish.
+type aggKind uint8
+
+const (
+	aggGeneric aggKind = iota
+	aggCount
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+// reduceConsumer folds pipeline batches into a monoid collector. One
+// consumer serves one serial run or one morsel worker; reset swaps the
+// collector between morsels so partial aggregates merge in morsel order.
+type reduceConsumer struct {
+	acc     *monoid.Collector
+	filter  batchFilter // may be nil
+	headIdx int         // >= 0: head is this slot (no per-row evaluation)
+	head    compiledExpr
+	row     []values.Value
+	kind    aggKind
+
+	// Unboxed partial aggregates, folded into acc by finish. Typed
+	// kernels only run on columns without a validity mask; batches with
+	// nulls (or boxed/string payloads) take the per-row boxed path so
+	// null semantics stay byte-identical with the row engine.
+	isum, count        int64
+	fsum               float64
+	sawInt, sawFloat   bool
+	imin, imax         int64
+	fmin, fmax         float64
+	haveIMin, haveIMax bool
+	haveFMin, haveFMax bool
+	best               values.Value // boxed min/max candidate
+	haveBest           bool
+}
+
+// reset points the consumer at a fresh collector and clears partials.
+func (rc *reduceConsumer) reset(acc *monoid.Collector) {
+	rc.acc = acc
+	rc.isum, rc.count, rc.fsum = 0, 0, 0
+	rc.sawInt, rc.sawFloat = false, false
+	rc.haveIMin, rc.haveIMax, rc.haveFMin, rc.haveFMax = false, false, false, false
+	rc.best, rc.haveBest = values.Null, false
+}
+
+func (rc *reduceConsumer) consume(b *vec.Batch) error {
+	if rc.filter != nil {
+		if err := rc.filter(b); err != nil {
+			return err
+		}
+	}
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	if rc.headIdx < 0 {
+		for k := 0; k < n; k++ {
+			fillRow(b, b.Index(k), rc.row)
+			v, err := rc.head(rc.row)
+			if err != nil {
+				return err
+			}
+			rc.acc.Add(v)
+		}
+		return nil
+	}
+	if rc.kind == aggCount {
+		// Unit is 1 regardless of the head value; a slot head cannot
+		// error, so counting is pure arithmetic.
+		rc.count += int64(n)
+		return nil
+	}
+	col := &b.Cols[rc.headIdx]
+	if col.Nulls == nil {
+		switch rc.kind {
+		case aggSum:
+			switch col.Tag {
+			case vec.Int64:
+				var s int64
+				if b.Sel == nil {
+					for _, v := range col.Ints[:b.N] {
+						s += v
+					}
+				} else {
+					for _, i := range b.Sel {
+						s += col.Ints[i]
+					}
+				}
+				rc.isum += s
+				rc.sawInt = true
+				return nil
+			case vec.Float64:
+				var s float64
+				if b.Sel == nil {
+					for _, v := range col.Floats[:b.N] {
+						s += v
+					}
+				} else {
+					for _, i := range b.Sel {
+						s += col.Floats[i]
+					}
+				}
+				rc.fsum += s
+				rc.sawFloat = true
+				return nil
+			}
+		case aggAvg:
+			// avg accumulates its sum as float64 (matching avgMonoid.Unit).
+			switch col.Tag {
+			case vec.Int64:
+				var s float64
+				if b.Sel == nil {
+					for _, v := range col.Ints[:b.N] {
+						s += float64(v)
+					}
+				} else {
+					for _, i := range b.Sel {
+						s += float64(col.Ints[i])
+					}
+				}
+				rc.fsum += s
+				rc.count += int64(n)
+				return nil
+			case vec.Float64:
+				var s float64
+				if b.Sel == nil {
+					for _, v := range col.Floats[:b.N] {
+						s += v
+					}
+				} else {
+					for _, i := range b.Sel {
+						s += col.Floats[i]
+					}
+				}
+				rc.fsum += s
+				rc.count += int64(n)
+				return nil
+			}
+		case aggMin, aggMax:
+			switch col.Tag {
+			case vec.Int64:
+				if b.Sel == nil {
+					for _, v := range col.Ints[:b.N] {
+						rc.noteInt(v)
+					}
+				} else {
+					for _, i := range b.Sel {
+						rc.noteInt(col.Ints[i])
+					}
+				}
+				return nil
+			case vec.Float64:
+				if b.Sel == nil {
+					for _, v := range col.Floats[:b.N] {
+						rc.noteFloat(v)
+					}
+				} else {
+					for _, i := range b.Sel {
+						rc.noteFloat(col.Floats[i])
+					}
+				}
+				return nil
+			}
+		}
+	}
+	// Boxed fallback kernels: same accumulation as the collector would
+	// perform per row, minus the per-row boxing of partial aggregates.
+	// Numeric conversions go through Value.Float/Kind exactly as the
+	// monoids' Unit/Merge would, so error behaviour (panics on null or
+	// non-numeric sum/avg inputs) is unchanged.
+	switch rc.kind {
+	case aggSum:
+		for k := 0; k < n; k++ {
+			v := col.Value(b.Index(k))
+			switch v.Kind() {
+			case values.KindInt:
+				rc.isum += v.Int()
+				rc.sawInt = true
+			default:
+				rc.fsum += v.Float()
+				rc.sawFloat = true
+			}
+		}
+	case aggAvg:
+		for k := 0; k < n; k++ {
+			rc.fsum += col.Value(b.Index(k)).Float()
+		}
+		rc.count += int64(n)
+	case aggMin, aggMax:
+		want := -1
+		if rc.kind == aggMax {
+			want = 1
+		}
+		for k := 0; k < n; k++ {
+			v := col.Value(b.Index(k))
+			if v.IsNull() {
+				continue
+			}
+			if !rc.haveBest || values.Compare(v, rc.best)*want > 0 {
+				rc.best = v
+				rc.haveBest = true
+			}
+		}
+	default:
+		for k := 0; k < n; k++ {
+			rc.acc.Add(col.Value(b.Index(k)))
+		}
+	}
+	return nil
+}
+
+func (rc *reduceConsumer) noteInt(v int64) {
+	if rc.kind == aggMin {
+		if !rc.haveIMin || v < rc.imin {
+			rc.imin = v
+		}
+		rc.haveIMin = true
+		return
+	}
+	if !rc.haveIMax || v > rc.imax {
+		rc.imax = v
+	}
+	rc.haveIMax = true
+}
+
+func (rc *reduceConsumer) noteFloat(v float64) {
+	if rc.kind == aggMin {
+		if !rc.haveFMin || values.CompareFloats(v, rc.fmin) < 0 {
+			rc.fmin = v
+		}
+		rc.haveFMin = true
+		return
+	}
+	if !rc.haveFMax || values.CompareFloats(v, rc.fmax) > 0 {
+		rc.fmax = v
+	}
+	rc.haveFMax = true
+}
+
+// finish folds the unboxed partials into the collector. It must be called
+// exactly once per reset before the collector is merged or finalized.
+func (rc *reduceConsumer) finish() {
+	switch rc.kind {
+	case aggCount:
+		if rc.count > 0 {
+			rc.acc.Absorb(values.NewInt(rc.count))
+		}
+	case aggSum:
+		switch {
+		case rc.sawInt && rc.sawFloat:
+			rc.acc.Absorb(values.NewFloat(rc.fsum + float64(rc.isum)))
+		case rc.sawInt:
+			rc.acc.Absorb(values.NewInt(rc.isum))
+		case rc.sawFloat:
+			rc.acc.Absorb(values.NewFloat(rc.fsum))
+		}
+	case aggAvg:
+		if rc.count > 0 {
+			rc.acc.Absorb(values.NewRecord(
+				values.Field{Name: "sum", Val: values.NewFloat(rc.fsum)},
+				values.Field{Name: "count", Val: values.NewInt(rc.count)},
+			))
+		}
+	case aggMin, aggMax:
+		if rc.haveIMin || rc.haveIMax {
+			v := rc.imin
+			if rc.kind == aggMax {
+				v = rc.imax
+			}
+			rc.acc.Absorb(values.NewInt(v))
+		}
+		if rc.haveFMin || rc.haveFMax {
+			v := rc.fmin
+			if rc.kind == aggMax {
+				v = rc.fmax
+			}
+			rc.acc.Absorb(values.NewFloat(v))
+		}
+		if rc.haveBest {
+			rc.acc.Absorb(rc.best)
+		}
+	}
+}
+
+// compileReduceConsumer stages the root reduce: predicate filter, head
+// evaluation and monoid accumulation, with unboxed kernels when the head
+// is a slot reference and the monoid is one of count/sum/avg/min/max.
+func (c *compiler) compileReduceConsumer(p *algebra.Reduce, input *compiledPlan) (func() *reduceConsumer, error) {
+	var mkFilter func() batchFilter
+	var err error
+	if p.Pred != nil {
+		mkFilter, err = c.compileFilter(p.Pred, input.frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	headIdx := slotOf(p.Head, input.frame)
+	var head compiledExpr
+	if headIdx < 0 {
+		head, err = c.compileExpr(p.Head, input.frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	kind := aggGeneric
+	if headIdx >= 0 {
+		switch p.M.Name() {
+		case "count":
+			kind = aggCount
+		case "sum":
+			kind = aggSum
+		case "avg":
+			kind = aggAvg
+		case "min":
+			kind = aggMin
+		case "max":
+			kind = aggMax
+		}
+	}
+	width := input.frame.width()
+	return func() *reduceConsumer {
+		rc := &reduceConsumer{headIdx: headIdx, head: head, kind: kind}
+		if headIdx < 0 {
+			rc.row = make([]values.Value, width)
+		}
+		if mkFilter != nil {
+			rc.filter = mkFilter()
+		}
+		return rc
+	}, nil
+}

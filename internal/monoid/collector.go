@@ -36,6 +36,30 @@ func (c *Collector) Add(v values.Value) {
 	c.acc = c.m.Merge(c.acc, c.m.Unit(v))
 }
 
+// Absorb merges a value already in the accumulation domain of the
+// monoid — a partial aggregate, not a head element — into the collector.
+// For collection-building monoids the accumulation domain is the
+// collection itself, so its elements are appended in order.
+func (c *Collector) Absorb(v values.Value) {
+	if c.collect {
+		c.elems = append(c.elems, v.Elems()...)
+		return
+	}
+	c.acc = c.m.Merge(c.acc, v)
+}
+
+// MergeFrom absorbs another collector's partial state. Merging partials
+// in input order is what makes morsel-parallel execution exact for
+// non-commutative monoids (list): associativity of ⊕ is all it needs.
+// The absorbed collector must not be used afterwards.
+func (c *Collector) MergeFrom(o *Collector) {
+	if c.collect {
+		c.elems = append(c.elems, o.elems...)
+		return
+	}
+	c.acc = c.m.Merge(c.acc, o.acc)
+}
+
 // Result finalizes the accumulation.
 func (c *Collector) Result() values.Value {
 	if !c.collect {

@@ -1,0 +1,65 @@
+package monoid
+
+import (
+	"testing"
+
+	"vida/internal/values"
+)
+
+// TestMergeFromOrdering: partial collectors merged in input order must
+// reproduce the serial fold exactly, including for the non-commutative
+// list monoid — the property morsel-parallel reduces rely on.
+func TestMergeFromOrdering(t *testing.T) {
+	heads := []values.Value{
+		values.NewInt(3), values.NewInt(1), values.NewInt(3), values.NewInt(2),
+		values.NewInt(9), values.NewInt(0),
+	}
+	for _, m := range []Monoid{List, Bag, Set, Sum, Count, Max, Min} {
+		serial := NewCollector(m)
+		for _, h := range heads {
+			serial.Add(h)
+		}
+		want := serial.Result()
+
+		// Split into three partials, merge in order.
+		root := NewCollector(m)
+		for lo := 0; lo < len(heads); lo += 2 {
+			part := NewCollector(m)
+			for _, h := range heads[lo : lo+2] {
+				part.Add(h)
+			}
+			root.MergeFrom(part)
+		}
+		got := root.Result()
+		if !values.Equal(got, want) {
+			t.Fatalf("%s: merged partials %v != serial %v", m.Name(), got, want)
+		}
+	}
+}
+
+// TestAbsorb feeds accumulation-domain partials directly.
+func TestAbsorb(t *testing.T) {
+	c := NewCollector(Sum)
+	c.Add(values.NewInt(5))
+	c.Absorb(values.NewInt(37)) // a partial sum, not a head element
+	if got := c.Result(); got.Int() != 42 {
+		t.Fatalf("sum absorb = %v", got)
+	}
+
+	avg := NewCollector(Avg)
+	avg.Absorb(values.NewRecord(
+		values.Field{Name: "sum", Val: values.NewFloat(10)},
+		values.Field{Name: "count", Val: values.NewInt(4)},
+	))
+	if got := avg.Result(); got.Float() != 2.5 {
+		t.Fatalf("avg absorb = %v", got)
+	}
+
+	l := NewCollector(List)
+	l.Add(values.NewInt(1))
+	l.Absorb(values.NewList(values.NewInt(2), values.NewInt(3)))
+	want := values.NewList(values.NewInt(1), values.NewInt(2), values.NewInt(3))
+	if got := l.Result(); !values.Equal(got, want) {
+		t.Fatalf("list absorb = %v", got)
+	}
+}

@@ -1,0 +1,536 @@
+package rawcsv
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"vida/internal/sdg"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// This file implements the vectorized access path of the CSV plugin: the
+// JIT executor's BatchSource and RangeBatchSource contracts. Once the
+// positional map covers the requested columns, a scan fills whole column
+// vectors per batch — int/float/string fields parse straight from the
+// file bytes into typed slices, with no values.Value boxing anywhere on
+// the path — and arbitrary row ranges can be served concurrently, which
+// is what the JIT's morsel-parallel scheduler partitions over.
+
+// colTag maps a schema kind to its batch column representation.
+func colTag(k sdg.TypeKind) vec.Tag {
+	switch k {
+	case sdg.TInt:
+		return vec.Int64
+	case sdg.TFloat:
+		return vec.Float64
+	case sdg.TString:
+		return vec.Str
+	default:
+		return vec.Boxed // bools and exotic kinds stay boxed
+	}
+}
+
+// rowConverter is the shared per-row conversion scratch of the
+// vectorized scan loops (full, anchored and range): the caller fills
+// raws — one byte slice per requested column — then convert parses them
+// per the column tags and commit appends the row to a batch. A row is
+// committed only when every field converted, so malformed rows never
+// leave partial column entries.
+type rowConverter struct {
+	rd     *Reader
+	cols   []int
+	tags   []vec.Tag
+	raws   [][]byte
+	ints   []int64
+	floats []float64
+	strs   []string
+	boxed  []values.Value
+	nulls  []bool
+}
+
+func (r *Reader) newRowConverter(cols []int, tags []vec.Tag) *rowConverter {
+	return &rowConverter{
+		rd: r, cols: cols, tags: tags,
+		raws:   make([][]byte, len(cols)),
+		ints:   make([]int64, len(cols)),
+		floats: make([]float64, len(cols)),
+		strs:   make([]string, len(cols)),
+		boxed:  make([]values.Value, len(cols)),
+		nulls:  make([]bool, len(cols)),
+	}
+}
+
+// convert parses the filled raws; false flags a malformed row (the
+// scratch is then meaningless and nothing may be committed).
+func (c *rowConverter) convert() bool {
+	for i, j := range c.cols {
+		raw := c.raws[i]
+		if string(raw) == c.rd.nullTok { // comparison only: no allocation
+			c.nulls[i] = true
+			continue
+		}
+		c.nulls[i] = false
+		switch c.tags[i] {
+		case vec.Int64:
+			v, ok := parseIntBytes(raw)
+			if !ok {
+				return false
+			}
+			c.ints[i] = v
+		case vec.Float64:
+			v, ok := parseFloatBytes(raw)
+			if !ok {
+				return false
+			}
+			c.floats[i] = v
+		case vec.Str:
+			c.strs[i] = string(raw)
+		default:
+			v, ok := c.rd.convert(j, raw)
+			if !ok {
+				return false
+			}
+			c.boxed[i] = v
+		}
+	}
+	return true
+}
+
+// commit appends the converted row across the batch's columns and
+// advances its row count (valid only after convert returned true).
+func (c *rowConverter) commit(b *vec.Batch) {
+	for i := range c.cols {
+		col := &b.Cols[i]
+		if c.nulls[i] {
+			col.AppendNull()
+			continue
+		}
+		switch c.tags[i] {
+		case vec.Int64:
+			col.AppendInt(c.ints[i])
+		case vec.Float64:
+			col.AppendFloat(c.floats[i])
+		case vec.Str:
+			col.AppendStr(c.strs[i])
+		default:
+			col.AppendValue(c.boxed[i])
+		}
+	}
+	b.N++
+}
+
+// IterateBatches implements the JIT's BatchSource contract. With the
+// positional map built it runs the typed vectorized scan over all rows;
+// on first touch it falls back to the tokenizing full scan (which
+// installs the map as a side effect), packing slot rows into boxed
+// batches.
+func (r *Reader) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	cols, err := r.resolveFields(fields)
+	if err != nil {
+		return err
+	}
+	if batchSize <= 0 {
+		batchSize = vec.DefaultBatchSize
+	}
+	if scan, n, ok := r.openRangeCols(cols); ok {
+		return scan(0, n, batchSize, yield)
+	}
+	if snap := r.pm.Snapshot(); len(snap.Rows) > 0 {
+		return r.iterateAnchoredBatches(&snap, cols, batchSize, yield)
+	}
+	return r.iterateFullBatches(cols, batchSize, yield)
+}
+
+// iterateAnchoredBatches serves a scan whose rows are indexed but whose
+// columns are only partly mapped: mapped columns jump straight to their
+// bytes, unmapped ones tokenize forward from the nearest anchor — the
+// nearest mapped column to their left, or a just-parsed requested column
+// — instead of from the row start (the positional map's "distance" term,
+// paper §5 / NoDB). Newly located columns are installed in the map, so
+// the next scan jumps everywhere.
+func (r *Reader) iterateAnchoredBatches(snap *Snapshot, cols []int, batchSize int, yield func(*vec.Batch) error) error {
+	r.stats.PosmapScans.Add(1)
+	type colPlan struct {
+		col          int
+		out          int     // position in cols / batch
+		starts       []int32 // non-nil: mapped, jump directly
+		ends         []int32
+		anchorStarts []int32 // for unmapped: nearest mapped anchor's starts (nil = row start)
+		anchorCol    int     // field index of that anchor (0 with nil starts = row start)
+	}
+	// Process columns in ascending file order so the tokenizing cursor
+	// only ever moves forward within a row.
+	order := make([]int, len(cols))
+	for i := range order {
+		order[i] = i
+	}
+	sortByCol(order, cols)
+	plans := make([]colPlan, 0, len(cols))
+	record := make([]bool, len(cols))
+	for _, i := range order {
+		j := cols[i]
+		p := colPlan{col: j, out: i}
+		if s := snap.Cols[j]; s != nil {
+			p.starts, p.ends = s, snap.Ends[j]
+		} else {
+			record[i] = true
+			best := -1
+			for a, s := range snap.Cols {
+				if a < j && a > best && s != nil {
+					best = a
+				}
+			}
+			if best >= 0 {
+				p.anchorCol, p.anchorStarts = best, snap.Cols[best]
+			}
+		}
+		plans = append(plans, p)
+	}
+	tags := make([]vec.Tag, len(cols))
+	for i, j := range cols {
+		tags[i] = colTag(r.rowType.Attrs[j].Type.Kind)
+	}
+	b := vec.NewTyped(tags, min(batchSize, len(snap.Rows)))
+
+	newStarts := make([][]int32, len(cols))
+	newEnds := make([][]int32, len(cols))
+	spanS := make([]int32, len(cols))
+	spanE := make([]int32, len(cols))
+	rc := r.newRowConverter(cols, tags)
+
+	data := r.data
+	delim := r.delim
+	committed := 0
+	tokenized := 0
+	for row := 0; row < len(snap.Rows); row++ {
+		base := snap.Rows[row]
+		// Bound the row by its own newline (indexed rows can skip
+		// malformed or blank lines, so the next row start is not enough).
+		limit := int64(len(data))
+		if row+1 < len(snap.Rows) {
+			limit = snap.Rows[row+1]
+		}
+		lineEnd := limit
+		if nl := indexByte(data[base:limit], '\n'); nl >= 0 {
+			lineEnd = base + int64(nl)
+		}
+		bad := false
+		// Locate every requested column's span, advancing a forward-only
+		// cursor for the unmapped ones.
+		curField, curOff := 0, base
+		for _, p := range plans {
+			if p.starts != nil {
+				spanS[p.out] = p.starts[row]
+				spanE[p.out] = p.ends[row]
+				continue
+			}
+			f, off := curField, curOff
+			if p.anchorStarts != nil && p.anchorCol >= f {
+				f, off = p.anchorCol, base+int64(p.anchorStarts[row])
+			}
+			for f < p.col {
+				d := indexByte(data[off:lineEnd], delim)
+				if d < 0 {
+					bad = true // row ends before the column
+					break
+				}
+				off += int64(d) + 1
+				f++
+				tokenized++
+			}
+			if bad {
+				break
+			}
+			end := off
+			for end < lineEnd && data[end] != delim {
+				end++
+			}
+			spanS[p.out] = int32(off - base)
+			spanE[p.out] = int32(end - base)
+			curField, curOff = p.col, off
+			tokenized++
+		}
+		if !bad {
+			// Spans are positional: record them for the map even when a
+			// value below fails to convert (the row is then skipped from
+			// the yield, not from the index).
+			for i := range cols {
+				if record[i] {
+					newStarts[i] = append(newStarts[i], spanS[i])
+					newEnds[i] = append(newEnds[i], spanE[i])
+				}
+				rc.raws[i] = data[base+int64(spanS[i]) : base+int64(spanE[i])]
+			}
+			bad = !rc.convert()
+		}
+		if bad {
+			r.stats.RowsSkipped.Add(1)
+			if r.policy == FailOnBadRows {
+				return fmt.Errorf("rawcsv: %s: malformed row %d", r.desc.Name, row)
+			}
+			continue
+		}
+		rc.commit(b)
+		committed++
+		if b.N >= batchSize {
+			if err := yield(b); err != nil {
+				return err
+			}
+			b.Reset()
+		}
+	}
+	nMapped := 0
+	for _, p := range plans {
+		if p.starts != nil {
+			nMapped++
+		}
+	}
+	r.stats.FieldsTokenized.Add(int64(tokenized))
+	r.stats.FieldsJumped.Add(int64(committed * nMapped))
+	// Install only columns whose spans cover every indexed row.
+	for i, j := range cols {
+		if record[i] && len(newStarts[i]) == len(snap.Rows) {
+			r.pm.SetCol(j, newStarts[i], newEnds[i])
+		}
+	}
+	if b.N > 0 {
+		return yield(b)
+	}
+	return nil
+}
+
+// sortByCol orders index positions by ascending schema column.
+func sortByCol(order, cols []int) {
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && cols[order[k]] < cols[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+}
+
+// iterateFullBatches is the vectorized first-touch scan: it tokenizes
+// every row once, converts the requested columns straight into typed
+// column vectors (no record construction, no per-row maps) and installs
+// row starts plus the touched columns in the positional map as a side
+// effect — after which openRangeCols serves the same fields with direct
+// jumps.
+func (r *Reader) iterateFullBatches(cols []int, batchSize int, yield func(*vec.Batch) error) error {
+	r.stats.FullScans.Add(1)
+	nAttrs := len(r.rowType.Attrs)
+	outPos := make([]int, nAttrs) // schema col -> position in cols, -1 when unused
+	for i := range outPos {
+		outPos[i] = -1
+	}
+	maxCol := 0
+	for i, j := range cols {
+		outPos[j] = i
+		if j > maxCol {
+			maxCol = j
+		}
+	}
+	tags := make([]vec.Tag, len(cols))
+	for i, j := range cols {
+		tags[i] = colTag(r.rowType.Attrs[j].Type.Kind)
+	}
+	b := vec.NewTyped(tags, min(batchSize, 128))
+
+	// Positional-map harvest: row starts (when absent) and per-row spans
+	// of every requested column not yet mapped.
+	buildRows := !r.pm.HasRows()
+	var rowStarts []int64
+	record := make([]bool, len(cols))
+	colStarts := make([][]int32, len(cols))
+	colEnds := make([][]int32, len(cols))
+	for i, j := range cols {
+		record[i] = !r.pm.HasCol(j)
+	}
+
+	// Per-row scratch: spans plus converted payloads; a row commits to the
+	// batch and the positional map only when every field converts cleanly.
+	spanS := make([]int32, len(cols))
+	spanE := make([]int32, len(cols))
+	rc := r.newRowConverter(cols, tags)
+
+	off := int64(0)
+	first := true
+	committed := 0
+	data := r.data
+	for off < int64(len(data)) {
+		nl := int64(-1)
+		if i := indexByte(data[off:], '\n'); i >= 0 {
+			nl = off + int64(i)
+		}
+		var next, lineEnd int64
+		if nl < 0 {
+			next = int64(len(data))
+			lineEnd = next
+		} else {
+			next = nl + 1
+			lineEnd = nl
+		}
+		line := data[off:lineEnd]
+		if first && r.header {
+			first = false
+			off = next
+			continue
+		}
+		first = false
+		if len(line) == 0 {
+			off = next
+			continue
+		}
+		// Tokenize up to the highest requested column.
+		found := 0
+		col, start := 0, 0
+		for i := 0; i <= len(line); i++ {
+			if i != len(line) && line[i] != r.delim {
+				continue
+			}
+			if col < nAttrs {
+				if p := outPos[col]; p >= 0 {
+					spanS[p], spanE[p] = int32(start), int32(i)
+					found++
+				}
+			}
+			col++
+			start = i + 1
+			if col > maxCol {
+				break
+			}
+		}
+		// The row index covers every data line — a row malformed for this
+		// column set is still a row (other columns may parse fine), so it
+		// is indexed but not yielded. Spans are positional and recorded
+		// whenever tokenization found the field, independent of whether
+		// its value converts.
+		if buildRows {
+			rowStarts = append(rowStarts, off)
+		}
+		arityBad := found < len(cols)
+		if !arityBad {
+			for i := range cols {
+				if record[i] {
+					colStarts[i] = append(colStarts[i], spanS[i])
+					colEnds[i] = append(colEnds[i], spanE[i])
+				}
+			}
+		}
+		bad := arityBad
+		if !bad {
+			for i := range cols {
+				rc.raws[i] = line[spanS[i]:spanE[i]]
+			}
+			bad = !rc.convert()
+		}
+		if bad {
+			r.stats.RowsSkipped.Add(1)
+			if r.policy == FailOnBadRows {
+				return fmt.Errorf("rawcsv: %s: malformed row at byte %d", r.desc.Name, off)
+			}
+			off = next
+			continue
+		}
+		rc.commit(b)
+		committed++
+		if b.N >= batchSize {
+			if err := yield(b); err != nil {
+				return err
+			}
+			b.Reset()
+		}
+		off = next
+	}
+	r.stats.BytesRead.Add(int64(len(data)))
+	r.stats.FieldsTokenized.Add(int64(committed * len(cols)))
+	if buildRows {
+		r.pm.SetRows(rowStarts)
+	}
+	// Install a column only when its spans cover every indexed row —
+	// misaligned offsets would silently corrupt later posmap jumps.
+	for i, j := range cols {
+		if record[i] && len(colStarts[i]) == r.pm.NumRows() {
+			r.pm.SetCol(j, colStarts[i], colEnds[i])
+		}
+	}
+	if b.N > 0 {
+		return yield(b)
+	}
+	return nil
+}
+
+func indexByte(b []byte, c byte) int {
+	return bytes.IndexByte(b, c)
+}
+
+// OpenRange implements the JIT's RangeBatchSource contract: ok only when
+// the positional map already covers the requested columns (a cold file
+// must be tokenized sequentially first). The returned scan is safe for
+// concurrent calls over disjoint ranges — it reads a one-time snapshot of
+// the positional map and each call allocates its own batch.
+func (r *Reader) OpenRange(fields []string) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	cols, err := r.resolveFields(fields)
+	if err != nil {
+		return nil, 0, false
+	}
+	return r.openRangeCols(cols)
+}
+
+func (r *Reader) openRangeCols(cols []int) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	snap := r.pm.Snapshot()
+	if len(snap.Rows) == 0 || !snap.HasCols(cols) {
+		return nil, 0, false
+	}
+	starts := make([][]int32, len(cols))
+	ends := make([][]int32, len(cols))
+	tags := make([]vec.Tag, len(cols))
+	for i, j := range cols {
+		starts[i], ends[i] = snap.Cols[j], snap.Ends[j]
+		tags[i] = colTag(r.rowType.Attrs[j].Type.Kind)
+	}
+	data := r.data
+	rows := snap.Rows
+	var once sync.Once // stats count one logical scan, however many morsels
+	scan := func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+		once.Do(func() { r.stats.PosmapScans.Add(1) })
+		if batchSize <= 0 {
+			batchSize = vec.DefaultBatchSize
+		}
+		capRows := hi - lo
+		if capRows > batchSize {
+			capRows = batchSize
+		}
+		b := vec.NewTyped(tags, capRows)
+		// Per-row scratch, allocated per scan call so concurrent morsels
+		// never share it; a row commits to the column vectors only after
+		// every requested field converted.
+		rc := r.newRowConverter(cols, tags)
+		for row := lo; row < hi; row++ {
+			base := rows[row]
+			for i := range cols {
+				rc.raws[i] = data[base+int64(starts[i][row]) : base+int64(ends[i][row])]
+			}
+			if !rc.convert() {
+				r.stats.RowsSkipped.Add(1)
+				if r.policy == FailOnBadRows {
+					return fmt.Errorf("rawcsv: %s: malformed row %d", r.desc.Name, row)
+				}
+				continue
+			}
+			rc.commit(b)
+			if b.N >= batchSize {
+				if err := yield(b); err != nil {
+					return err
+				}
+				b.Reset()
+			}
+		}
+		r.stats.FieldsJumped.Add(int64((hi - lo) * len(cols)))
+		if b.N > 0 {
+			return yield(b)
+		}
+		return nil
+	}
+	return scan, len(rows), true
+}

@@ -103,6 +103,44 @@ func (m *PosMap) NearestAnchor(j int) (int, bool) {
 	return best, best >= 0
 }
 
+// Snapshot is an immutable view of a PosMap taken at one instant: scan
+// loops read it without taking the map's lock per row. The row and
+// column slices are shared with the map (they are replaced wholesale,
+// never mutated in place), so a snapshot stays internally consistent
+// even if the map grows or is dropped concurrently.
+type Snapshot struct {
+	Rows []int64
+	Cols map[int][]int32
+	Ends map[int][]int32
+}
+
+// HasCols reports whether every listed column is present in the snapshot.
+func (s *Snapshot) HasCols(cols []int) bool {
+	for _, j := range cols {
+		if s.Cols[j] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot captures the current rows and columns under one lock
+// acquisition. Hot scan paths call it once per scan instead of locking
+// per row (the maps are shallow-copied; the slices are shared).
+func (m *PosMap) Snapshot() Snapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	cols := make(map[int][]int32, len(m.cols))
+	for j, c := range m.cols {
+		cols[j] = c
+	}
+	ends := make(map[int][]int32, len(m.ends))
+	for j, c := range m.ends {
+		ends[j] = c
+	}
+	return Snapshot{Rows: m.rows, Cols: cols, Ends: ends}
+}
+
 // Drop discards everything; used when the file's mtime changes.
 func (m *PosMap) Drop() {
 	m.mu.Lock()

@@ -3,10 +3,12 @@ package rawcsv
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"vida/internal/sdg"
 	"vida/internal/values"
@@ -155,8 +157,8 @@ func (r *Reader) Iterate(fields []string, yield func(values.Value) error) error 
 	if err != nil {
 		return err
 	}
-	if r.pm.HasRows() && r.allColsMapped(cols) {
-		return r.iteratePosmap(cols, yield)
+	if snap := r.pm.Snapshot(); len(snap.Rows) > 0 && snap.HasCols(cols) {
+		return r.iteratePosmap(&snap, cols, yield)
 	}
 	return r.iterateFull(cols, yield)
 }
@@ -204,15 +206,6 @@ func (r *Reader) resolveFields(fields []string) ([]int, error) {
 		cols[i] = j
 	}
 	return cols, nil
-}
-
-func (r *Reader) allColsMapped(cols []int) bool {
-	for _, j := range cols {
-		if !r.pm.HasCol(j) {
-			return false
-		}
-	}
-	return true
 }
 
 // lineAt returns the line starting at offset (without trailing newline).
@@ -298,6 +291,12 @@ func (r *Reader) iterateFull(cols []int, yield func(values.Value) error) error {
 			off = next
 			continue
 		}
+		// The row index covers every data line — a row malformed for this
+		// column set is still a row (other columns may parse fine), so it
+		// is indexed even when skipped from the yield.
+		if buildRows {
+			rowStarts = append(rowStarts, off)
+		}
 		rec, ok := r.parseRow(line, cols, recordCols, scratch)
 		if !ok {
 			r.stats.RowsSkipped.Add(1)
@@ -313,9 +312,6 @@ func (r *Reader) iterateFull(cols []int, yield func(values.Value) error) error {
 			colStarts[j] = append(colStarts[j], scratch[i].start)
 			colEnds[j] = append(colEnds[j], scratch[i].end)
 		}
-		if buildRows {
-			rowStarts = append(rowStarts, off)
-		}
 		if err := yield(rec); err != nil {
 			return err
 		}
@@ -326,8 +322,12 @@ func (r *Reader) iterateFull(cols []int, yield func(values.Value) error) error {
 	if buildRows {
 		r.pm.SetRows(rowStarts)
 	}
+	// Install a column only when its offsets cover every indexed row —
+	// misaligned offsets would silently corrupt later posmap jumps. (The
+	// record path records spans only for fully-parsed rows, so any
+	// skipped row blocks installation; the batch scans are finer-grained.)
 	for j, starts := range colStarts {
-		if len(starts) == rowIdx {
+		if len(starts) == r.pm.NumRows() {
 			r.pm.SetCol(j, starts, colEnds[j])
 		}
 	}
@@ -393,10 +393,12 @@ func (r *Reader) parseRow(line []byte, cols, recordCols []int, scratch []fieldSp
 }
 
 // iteratePosmap serves a scan entirely from recorded positions: no row
-// tokenization, just direct jumps to the needed fields.
-func (r *Reader) iteratePosmap(cols []int, yield func(values.Value) error) error {
+// tokenization, just direct jumps to the needed fields. It reads the
+// positional map through a snapshot taken once per scan — the hot loop
+// never touches the map's lock.
+func (r *Reader) iteratePosmap(snap *Snapshot, cols []int, yield func(values.Value) error) error {
 	r.stats.PosmapScans.Add(1)
-	n := r.pm.NumRows()
+	n := len(snap.Rows)
 	type colRef struct {
 		out    int
 		starts []int32
@@ -406,11 +408,10 @@ func (r *Reader) iteratePosmap(cols []int, yield func(values.Value) error) error
 	}
 	refs := make([]colRef, len(cols))
 	for i, j := range cols {
-		s, e := r.pm.Col(j)
-		refs[i] = colRef{out: i, starts: s, ends: e, name: r.rowType.Attrs[j].Name, col: j}
+		refs[i] = colRef{out: i, starts: snap.Cols[j], ends: snap.Ends[j], name: r.rowType.Attrs[j].Name, col: j}
 	}
 	for row := 0; row < n; row++ {
-		base := r.pm.Row(row)
+		base := snap.Rows[row]
 		fields := make([]values.Field, len(cols))
 		bad := false
 		for _, ref := range refs {
@@ -438,27 +439,28 @@ func (r *Reader) iteratePosmap(cols []int, yield func(values.Value) error) error
 	return nil
 }
 
-// convert parses the raw bytes of column col per its schema type.
+// convert parses the raw bytes of column col per its schema type. It
+// allocates only for string columns (the value must outlive the scan);
+// numeric and boolean conversions work on the bytes in place.
 func (r *Reader) convert(col int, raw []byte) (values.Value, bool) {
-	s := string(raw)
-	if s == r.nullTok {
+	if string(raw) == r.nullTok { // comparison only: no allocation
 		return values.Null, true
 	}
 	switch r.rowType.Attrs[col].Type.Kind {
 	case sdg.TInt:
-		n, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
+		n, ok := parseIntBytes(raw)
+		if !ok {
 			return values.Null, false
 		}
 		return values.NewInt(n), true
 	case sdg.TFloat:
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil {
+		f, ok := parseFloatBytes(raw)
+		if !ok {
 			return values.Null, false
 		}
 		return values.NewFloat(f), true
 	case sdg.TBool:
-		switch s {
+		switch string(raw) {
 		case "true", "TRUE", "1", "t":
 			return values.True, true
 		case "false", "FALSE", "0", "f":
@@ -466,8 +468,60 @@ func (r *Reader) convert(col int, raw []byte) (values.Value, bool) {
 		}
 		return values.Null, false
 	default:
-		return values.NewString(s), true
+		return values.NewString(string(raw)), true
 	}
+}
+
+// parseIntBytes parses a base-10 int64 from raw bytes with the same
+// accepted syntax as strconv.ParseInt(s, 10, 64), without converting to a
+// string first.
+func parseIntBytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	switch b[0] {
+	case '+':
+		b = b[1:]
+	case '-':
+		neg = true
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		d := c - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n > (math.MaxUint64-uint64(d))/10 {
+			return 0, false
+		}
+		n = n*10 + uint64(d)
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		return -int64(n), true
+	}
+	if n > 1<<63-1 {
+		return 0, false
+	}
+	return int64(n), true
+}
+
+// parseFloatBytes parses a float64 from raw bytes without copying them
+// into a string: the unsafe view never escapes strconv, and the file
+// buffer is only ever replaced wholesale, never mutated in place.
+func parseFloatBytes(b []byte) (float64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(unsafe.String(&b[0], len(b)), 64)
+	return f, err == nil
 }
 
 // IterateSlots is the specialized access path used by the JIT executor:
@@ -481,17 +535,17 @@ func (r *Reader) IterateSlots(fields []string, yield func([]values.Value) error)
 	if err != nil {
 		return err
 	}
-	if r.pm.HasRows() && r.allColsMapped(cols) {
+	if snap := r.pm.Snapshot(); len(snap.Rows) > 0 && snap.HasCols(cols) {
 		r.stats.PosmapScans.Add(1)
-		n := r.pm.NumRows()
+		n := len(snap.Rows)
 		starts := make([][]int32, len(cols))
 		ends := make([][]int32, len(cols))
 		for i, j := range cols {
-			starts[i], ends[i] = r.pm.Col(j)
+			starts[i], ends[i] = snap.Cols[j], snap.Ends[j]
 		}
 		buf := make([]values.Value, len(cols))
 		for row := 0; row < n; row++ {
-			base := r.pm.Row(row)
+			base := snap.Rows[row]
 			bad := false
 			for i, j := range cols {
 				s := base + int64(starts[i][row])

@@ -338,6 +338,11 @@ func Compare(a, b Value) int {
 	panic(fmt.Sprintf("values: Compare on %s", a.kind))
 }
 
+// CompareFloats orders two float64s exactly as Compare orders float
+// values (NaNs sort before non-NaNs). Vectorized kernels use it to match
+// the boxed comparison semantics without constructing values.
+func CompareFloats(a, b float64) int { return compareFloat(a, b) }
+
 func compareFloat(a, b float64) int {
 	switch {
 	case a < b:

@@ -1,0 +1,330 @@
+// Package vec defines the column-vector batch format shared by the JIT
+// execution pipeline and the access paths that feed it (internal/jit,
+// internal/rawcsv, internal/cache). A Batch carries a fixed-capacity run
+// of rows decomposed into per-slot column vectors; typed columns hold
+// int64/float64/string payloads directly, so scan→select→project chains
+// move primitive slices instead of boxed values.Value structs, boxing
+// only at monoid-reduce boundaries.
+//
+// Batches are transient: producers reuse the batch (and its column
+// storage) between emissions, so a consumer that retains data must copy
+// it. Consumers may refine the selection vector Sel but must never
+// mutate column storage — that is what lets cache entries serve their
+// column slices zero-copy.
+package vec
+
+import "vida/internal/values"
+
+// DefaultBatchSize is the default number of rows per pipeline batch.
+const DefaultBatchSize = 1024
+
+// Tag discriminates the physical representation of a column.
+type Tag uint8
+
+// The column representations. Boxed is the generic fallback: one
+// values.Value per row. The typed tags carry unboxed payloads with an
+// optional validity mask.
+const (
+	Boxed Tag = iota
+	Int64
+	Float64
+	Str
+)
+
+// String returns the tag name.
+func (t Tag) String() string {
+	switch t {
+	case Boxed:
+		return "boxed"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case Str:
+		return "string"
+	default:
+		return "tag(?)"
+	}
+}
+
+// Col is one column vector of a batch. Exactly one payload slice is
+// populated, per Tag. Nulls, when non-nil, marks null rows of a typed
+// column (boxed columns represent nulls as values.Null directly).
+type Col struct {
+	Tag    Tag
+	Boxed  []values.Value
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+}
+
+// Len returns the number of rows stored in the column.
+func (c *Col) Len() int {
+	switch c.Tag {
+	case Int64:
+		return len(c.Ints)
+	case Float64:
+		return len(c.Floats)
+	case Str:
+		return len(c.Strs)
+	default:
+		return len(c.Boxed)
+	}
+}
+
+// Value boxes row i of the column into a values.Value. This is the
+// typed→generic boundary: operators that cannot run vectorized call it
+// row by row, everything else stays on the primitive slices.
+func (c *Col) Value(i int) values.Value {
+	if c.Nulls != nil && c.Nulls[i] {
+		return values.Null
+	}
+	switch c.Tag {
+	case Int64:
+		return values.NewInt(c.Ints[i])
+	case Float64:
+		return values.NewFloat(c.Floats[i])
+	case Str:
+		return values.NewString(c.Strs[i])
+	default:
+		return c.Boxed[i]
+	}
+}
+
+// Reset truncates the column in place (keeping capacity) and sets its tag.
+func (c *Col) Reset(tag Tag) {
+	c.Tag = tag
+	c.Boxed = c.Boxed[:0]
+	c.Ints = c.Ints[:0]
+	c.Floats = c.Floats[:0]
+	c.Strs = c.Strs[:0]
+	c.Nulls = nil
+}
+
+// grownNulls materializes the validity mask up to length n (all valid).
+func (c *Col) grownNulls(n int) []bool {
+	m := c.Nulls
+	for len(m) < n {
+		m = append(m, false)
+	}
+	return m
+}
+
+// AppendInt appends a non-null int64 row. The column must be Int64.
+func (c *Col) AppendInt(v int64) {
+	c.Ints = append(c.Ints, v)
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+}
+
+// AppendFloat appends a non-null float64 row. The column must be Float64.
+func (c *Col) AppendFloat(v float64) {
+	c.Floats = append(c.Floats, v)
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+}
+
+// AppendStr appends a non-null string row. The column must be Str.
+func (c *Col) AppendStr(v string) {
+	c.Strs = append(c.Strs, v)
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+}
+
+// AppendValue appends a boxed row. The column must be Boxed.
+func (c *Col) AppendValue(v values.Value) {
+	c.Boxed = append(c.Boxed, v)
+}
+
+// AppendNull appends a null row to a column of any tag, materializing the
+// validity mask for typed columns on first use.
+func (c *Col) AppendNull() {
+	switch c.Tag {
+	case Int64:
+		c.Nulls = append(c.grownNulls(len(c.Ints)), true)
+		c.Ints = append(c.Ints, 0)
+	case Float64:
+		c.Nulls = append(c.grownNulls(len(c.Floats)), true)
+		c.Floats = append(c.Floats, 0)
+	case Str:
+		c.Nulls = append(c.grownNulls(len(c.Strs)), true)
+		c.Strs = append(c.Strs, "")
+	default:
+		c.Boxed = append(c.Boxed, values.Null)
+	}
+}
+
+// Batch is one fixed-capacity run of rows in columnar layout. N is the
+// physical row count; Sel, when non-nil, is the ordered list of physical
+// row indices that survived upstream filters (nil = all N rows live).
+type Batch struct {
+	Cols []Col
+	N    int
+	Sel  []int
+	// Stable marks column storage that the producer never reuses or
+	// overwrites (cache-owned slices): consumers may retain it zero-copy.
+	Stable bool
+}
+
+// New returns a batch with width empty boxed columns.
+func New(width int) *Batch {
+	b := &Batch{Cols: make([]Col, width)}
+	for i := range b.Cols {
+		b.Cols[i].Tag = Boxed
+	}
+	return b
+}
+
+// NewWithCap returns a boxed batch whose columns are pre-allocated for
+// rows appends, so fill loops never grow mid-batch.
+func NewWithCap(width, rows int) *Batch {
+	b := New(width)
+	for i := range b.Cols {
+		b.Cols[i].Boxed = make([]values.Value, 0, rows)
+	}
+	return b
+}
+
+// NewTyped returns a batch with the given column tags, pre-allocated for
+// rows appends per tag.
+func NewTyped(tags []Tag, rows int) *Batch {
+	b := &Batch{Cols: make([]Col, len(tags))}
+	for i, t := range tags {
+		c := &b.Cols[i]
+		c.Tag = t
+		switch t {
+		case Int64:
+			c.Ints = make([]int64, 0, rows)
+		case Float64:
+			c.Floats = make([]float64, 0, rows)
+		case Str:
+			c.Strs = make([]string, 0, rows)
+		default:
+			c.Boxed = make([]values.Value, 0, rows)
+		}
+	}
+	return b
+}
+
+// Len returns the number of live (selected) rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Index maps the k-th live row to its physical row index.
+func (b *Batch) Index(k int) int {
+	if b.Sel != nil {
+		return b.Sel[k]
+	}
+	return k
+}
+
+// Reset truncates all columns in place, keeping their tags and capacity.
+func (b *Batch) Reset() {
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		c.Reset(c.Tag)
+	}
+	b.N = 0
+	b.Sel = nil
+}
+
+// Retain returns a batch safe to hold after the producer moves on:
+// stable batches share their column storage (header-level copy only),
+// transient ones get a bulk per-column payload copy — typed columns stay
+// typed, so retained build sides cost 8 bytes per int instead of a boxed
+// Value. The selection vector is not retained; callers keep physical row
+// indices.
+func (b *Batch) Retain() Batch {
+	out := Batch{Cols: append([]Col(nil), b.Cols...), N: b.N, Stable: true}
+	if b.Stable {
+		return out
+	}
+	for i := range out.Cols {
+		c := &out.Cols[i]
+		switch c.Tag {
+		case Int64:
+			c.Ints = append([]int64(nil), c.Ints...)
+		case Float64:
+			c.Floats = append([]float64(nil), c.Floats...)
+		case Str:
+			c.Strs = append([]string(nil), c.Strs...)
+		default:
+			c.Boxed = append([]values.Value(nil), c.Boxed...)
+		}
+		if c.Nulls != nil {
+			c.Nulls = append([]bool(nil), c.Nulls...)
+		}
+	}
+	return out
+}
+
+// AppendRow appends one boxed row across all columns (columns must be
+// Boxed; used by generic packers and row-exploding operators).
+func (b *Batch) AppendRow(row []values.Value) {
+	for i := range b.Cols {
+		b.Cols[i].Boxed = append(b.Cols[i].Boxed, row[i])
+	}
+	b.N++
+}
+
+// Packer accumulates rows into a reused boxed batch and emits it to Sink
+// when full (and on Flush), optionally refining the selection through
+// Filter first. It adapts row-at-a-time producers — slot sources, record
+// sources, exploding operators — to the batch pipeline.
+type Packer struct {
+	b      Batch
+	size   int
+	filter func(*Batch) error // may be nil
+	sink   func(*Batch) error
+}
+
+// NewPacker returns a packer of width boxed columns emitting batches of
+// up to size rows. Column capacity is pre-allocated modestly; steady
+// state reuses the storage across flushes.
+func NewPacker(width, size int, filter, sink func(*Batch) error) *Packer {
+	p := &Packer{size: size, filter: filter, sink: sink}
+	p.b.Cols = make([]Col, width)
+	cap := min(size, 128)
+	for i := range p.b.Cols {
+		p.b.Cols[i].Tag = Boxed
+		p.b.Cols[i].Boxed = make([]values.Value, 0, cap)
+	}
+	return p
+}
+
+// Add appends one row, flushing when the batch is full. The row is
+// copied; the caller may reuse it.
+func (p *Packer) Add(row []values.Value) error {
+	p.b.AppendRow(row)
+	if p.b.N >= p.size {
+		return p.Flush()
+	}
+	return nil
+}
+
+// Flush emits any buffered rows and resets the batch for reuse.
+func (p *Packer) Flush() error {
+	if p.b.N == 0 {
+		return nil
+	}
+	p.b.Sel = nil
+	if p.filter != nil {
+		if err := p.filter(&p.b); err != nil {
+			return err
+		}
+	}
+	var err error
+	if p.b.Len() > 0 {
+		err = p.sink(&p.b)
+	}
+	p.b.Reset()
+	return err
+}

@@ -1,0 +1,78 @@
+package vec
+
+import (
+	"testing"
+
+	"vida/internal/values"
+)
+
+func TestColTypedAppendAndValue(t *testing.T) {
+	var c Col
+	c.Reset(Int64)
+	c.AppendInt(4)
+	c.AppendNull()
+	c.AppendInt(9)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Value(0).Int() != 4 || !c.Value(1).IsNull() || c.Value(2).Int() != 9 {
+		t.Fatalf("values: %v %v %v", c.Value(0), c.Value(1), c.Value(2))
+	}
+	// The mask materialized lazily but covers earlier rows.
+	if c.Nulls == nil || c.Nulls[0] || !c.Nulls[1] || c.Nulls[2] {
+		t.Fatalf("nulls mask: %v", c.Nulls)
+	}
+
+	var f Col
+	f.Reset(Float64)
+	f.AppendFloat(1.25)
+	if f.Value(0).Float() != 1.25 {
+		t.Fatal("float column")
+	}
+	var s Col
+	s.Reset(Str)
+	s.AppendStr("hi")
+	s.AppendNull()
+	if s.Value(0).Str() != "hi" || !s.Value(1).IsNull() {
+		t.Fatal("string column")
+	}
+}
+
+func TestBatchSelection(t *testing.T) {
+	b := New(1)
+	for i := 0; i < 5; i++ {
+		b.AppendRow([]values.Value{values.NewInt(int64(i))})
+	}
+	if b.Len() != 5 || b.Index(3) != 3 {
+		t.Fatal("unselected batch")
+	}
+	b.Sel = []int{1, 4}
+	if b.Len() != 2 || b.Index(0) != 1 || b.Index(1) != 4 {
+		t.Fatal("selected batch")
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Sel != nil || b.Cols[0].Len() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestRetain(t *testing.T) {
+	// Transient batch: retained copy must survive producer reuse.
+	b := NewTyped([]Tag{Int64}, 4)
+	b.Cols[0].AppendInt(1)
+	b.Cols[0].AppendInt(2)
+	b.N = 2
+	kept := b.Retain()
+	b.Reset()
+	b.Cols[0].AppendInt(99)
+	b.N = 1
+	if kept.N != 2 || kept.Cols[0].Value(0).Int() != 1 || kept.Cols[0].Value(1).Int() != 2 {
+		t.Fatalf("retained copy corrupted by producer reuse: %+v", kept.Cols[0])
+	}
+	// Stable batch: retention shares storage.
+	st := &Batch{Cols: []Col{{Tag: Boxed, Boxed: []values.Value{values.NewInt(7)}}}, N: 1, Stable: true}
+	shared := st.Retain()
+	if &shared.Cols[0].Boxed[0] != &st.Cols[0].Boxed[0] {
+		t.Fatal("stable retention should share backing storage")
+	}
+}
