@@ -6,13 +6,19 @@
 package vida_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"vida"
 	"vida/internal/experiments"
+	"vida/internal/sched"
+	"vida/internal/serve"
 	"vida/internal/workload"
 )
 
@@ -225,6 +231,113 @@ func BenchmarkQueryWarmCSV(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQueryWarmCSVParallel runs the warm query from many goroutines
+// at once — the engine-level view of concurrent serving (plan cache,
+// data cache and scan paths all shared).
+func BenchmarkQueryWarmCSVParallel(b *testing.B) {
+	dir := b.TempDir()
+	sc := benchScale()
+	path := filepath.Join(dir, "p.csv")
+	if err := workload.GeneratePatients(path, sc, 42); err != nil {
+		b.Fatal(err)
+	}
+	eng := vida.New()
+	must(b, eng.RegisterCSV("Patients", path, workload.PatientsSchema(sc), nil))
+	q := `for { p <- Patients, p.age > 40 } yield avg p.bmi`
+	if _, err := eng.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPrepareWarmParallel isolates plan-cache contention: every
+// iteration is a warm Prepare (parse/optimize skipped, only the cache
+// lookup runs). The cache is sharded 16 ways; with one mutex this
+// serializes completely under RunParallel.
+func BenchmarkPrepareWarmParallel(b *testing.B) {
+	dir := b.TempDir()
+	sc := benchScale()
+	path := filepath.Join(dir, "p.csv")
+	if err := workload.GeneratePatients(path, sc, 42); err != nil {
+		b.Fatal(err)
+	}
+	eng := vida.New()
+	must(b, eng.RegisterCSV("Patients", path, workload.PatientsSchema(sc), nil))
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("for { p <- Patients, p.age > %d } yield count p", i)
+		if _, err := eng.Prepare(queries[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := eng.Prepare(queries[i&63]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServerConcurrentWarm measures the serving tier end to end: N
+// parallel HTTP clients posting warm CSV queries through admission
+// control, the session layer and JSON encoding. The result cache is
+// disabled so every request executes (with it on, this collapses to an
+// LRU hit).
+func BenchmarkServerConcurrentWarm(b *testing.B) {
+	dir := b.TempDir()
+	sc := benchScale()
+	path := filepath.Join(dir, "p.csv")
+	if err := workload.GeneratePatients(path, sc, 42); err != nil {
+		b.Fatal(err)
+	}
+	pool := sched.NewPool(0)
+	defer pool.Close()
+	eng := vida.New(vida.WithScheduler(pool))
+	must(b, eng.RegisterCSV("Patients", path, workload.PatientsSchema(sc), nil))
+	svc := serve.NewService(eng, pool, serve.Config{
+		MaxInFlight:        256,
+		ResultCacheEntries: -1,
+	})
+	ts := httptest.NewServer(serve.NewServer(svc).Handler())
+	defer ts.Close()
+	body := []byte(`{"query":"for { p <- Patients, p.age > 40 } yield avg p.bmi"}`)
+	// Warm the scan and the prepared-statement cache.
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status %d", resp.StatusCode)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
 }
 
 // BenchmarkSQLTranslation measures the syntactic-sugar layer alone.

@@ -1,0 +1,163 @@
+// Command vidaserve runs the ViDa engine as a concurrent HTTP query
+// service: raw CSV/JSON/array/spreadsheet files are registered at
+// startup and queried over POST /query (monoid comprehensions) and
+// POST /sql, with admission control, per-query timeouts, shared morsel
+// scheduling across queries, and epoch-keyed result caching.
+//
+// Usage:
+//
+//	vidaserve -demo                          # serve a generated demo dataset
+//	vidaserve -csv 'Patients=patients.csv#Record(Att(id, int), Att(age, int))' \
+//	          -json 'Regions=regions.json' -addr :8080
+//
+// Endpoints: POST /query, POST /sql, GET /catalog, GET /stats,
+// GET /explain?q=..., GET /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vida"
+	"vida/internal/sched"
+	"vida/internal/serve"
+	"vida/internal/workload"
+)
+
+// sourceFlag collects repeated -csv/-json/... registrations of the form
+// Name=path[#schema] (the '#' separator keeps schemas, which contain
+// commas, out of the shell's way).
+type sourceFlag []string
+
+func (f *sourceFlag) String() string { return strings.Join(*f, "; ") }
+
+func (f *sourceFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func splitSpec(spec string) (name, path, schema string, err error) {
+	eq := strings.Index(spec, "=")
+	if eq <= 0 {
+		return "", "", "", fmt.Errorf("source spec %q: want Name=path[#schema]", spec)
+	}
+	name = spec[:eq]
+	rest := spec[eq+1:]
+	if hash := strings.Index(rest, "#"); hash >= 0 {
+		return name, rest[:hash], rest[hash+1:], nil
+	}
+	return name, rest, "", nil
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "morsel scheduler workers (0 = GOMAXPROCS)")
+		maxInFlight = flag.Int("max-inflight", 0, "admission limit on concurrent queries (0 = 4x GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout (negative disables)")
+		resultCache = flag.Int("result-cache", 256, "query-result LRU entries (negative disables)")
+		cacheBudget = flag.Int64("cache-budget", 0, "data cache budget in bytes (0 = unlimited)")
+		demo        = flag.Bool("demo", false, "generate and serve the paper's demo datasets (Patients, Genetics, BrainRegions)")
+		demoRows    = flag.Int("demo-rows", 5000, "demo dataset row count")
+		csvSrcs     sourceFlag
+		jsonSrcs    sourceFlag
+	)
+	flag.Var(&csvSrcs, "csv", "register a CSV source: Name=path#schema (repeatable)")
+	flag.Var(&jsonSrcs, "json", "register a JSON source: Name=path[#schema] (repeatable)")
+	flag.Parse()
+
+	pool := sched.NewPool(*workers)
+	defer pool.Close()
+	eng := vida.New(
+		vida.WithScheduler(pool),
+		vida.WithCacheBudget(*cacheBudget),
+	)
+
+	if *demo {
+		dir, err := os.MkdirTemp("", "vidaserve-demo-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		sc := workload.Scale{
+			PatientsRows:   *demoRows,
+			PatientsCols:   20,
+			GeneticsRows:   *demoRows,
+			GeneticsCols:   24,
+			RegionsObjects: *demoRows / 5,
+		}
+		paths, err := workload.GenerateAll(dir, sc, 42)
+		if err != nil {
+			log.Fatalf("generating demo data: %v", err)
+		}
+		check := func(err error) {
+			if err != nil {
+				log.Fatalf("registering demo source: %v", err)
+			}
+		}
+		check(eng.RegisterCSV("Patients", paths.Patients, workload.PatientsSchema(sc), nil))
+		check(eng.RegisterCSV("Genetics", paths.Genetics, workload.GeneticsSchema(sc), nil))
+		check(eng.RegisterJSON("BrainRegions", paths.Regions, ""))
+		log.Printf("demo data in %s (Patients/Genetics: %d rows, BrainRegions: %d objects)",
+			dir, *demoRows, *demoRows/5)
+	}
+	for _, spec := range csvSrcs {
+		name, path, schema, err := splitSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if schema == "" {
+			log.Fatalf("-csv %s: CSV sources need a #schema", spec)
+		}
+		if err := eng.RegisterCSV(name, path, schema, nil); err != nil {
+			log.Fatalf("registering %s: %v", name, err)
+		}
+	}
+	for _, spec := range jsonSrcs {
+		name, path, schema, err := splitSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.RegisterJSON(name, path, schema); err != nil {
+			log.Fatalf("registering %s: %v", name, err)
+		}
+	}
+	if len(eng.Sources()) == 0 {
+		log.Fatal("no sources registered: pass -demo or -csv/-json specs")
+	}
+
+	svc := serve.NewService(eng, pool, serve.Config{
+		MaxInFlight:        *maxInFlight,
+		DefaultTimeout:     *timeout,
+		ResultCacheEntries: *resultCache,
+	})
+	srv := serve.NewServer(svc)
+
+	// Serve until SIGINT/SIGTERM, then drain gracefully.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("vidaserve listening on %s (sources: %s)", *addr, strings.Join(eng.Sources(), ", "))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}

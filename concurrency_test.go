@@ -1,0 +1,270 @@
+// Concurrency stress tests for the query service work: many goroutines
+// querying one engine — mixed cold and warm, CSV and JSON, with Refresh
+// churn racing the scans — must observe exactly the answers a serial
+// engine produces, and cancellation must abort cold scans mid-file.
+// These run under -race in CI.
+package vida_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vida"
+	"vida/internal/workload"
+)
+
+// stressQueries covers both CSV sources, the JSON source and a join.
+var stressQueries = []string{
+	"for { p <- Patients, p.age > 40 } yield count p",
+	"for { p <- Patients } yield sum p.age",
+	"for { p <- Patients, p.gender = \"F\" } yield count p",
+	"for { g <- Genetics, g.snp0 > 0 } yield count g",
+	"for { g <- Genetics } yield max g.snp1",
+	"for { r <- BrainRegions } yield count r",
+	"for { p <- Patients, g <- Genetics, p.id = g.id, p.age > 55 } yield count p",
+}
+
+func stressEngine(t testing.TB, dir string) (*vida.Engine, workload.Paths) {
+	t.Helper()
+	sc := workload.Scale{
+		PatientsRows:   1200,
+		PatientsCols:   12,
+		GeneticsRows:   900,
+		GeneticsCols:   10,
+		RegionsObjects: 200,
+	}
+	paths, err := workload.GenerateAll(dir, sc, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := vida.New()
+	if err := eng.RegisterCSV("Patients", paths.Patients, workload.PatientsSchema(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterCSV("Genetics", paths.Genetics, workload.GeneticsSchema(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterJSON("BrainRegions", paths.Regions, ""); err != nil {
+		t.Fatal(err)
+	}
+	return eng, *paths
+}
+
+// TestConcurrentQueriesMatchSerial runs many concurrent Query calls —
+// first touches racing each other, warm rescans, and a goroutine
+// rewriting a source file (same bytes, new mtime) plus calling Refresh
+// so invalidation churns underneath — and asserts every result equals
+// the serial engine's.
+func TestConcurrentQueriesMatchSerial(t *testing.T) {
+	dir := t.TempDir()
+	eng, paths := stressEngine(t, dir)
+
+	serial, _ := stressEngine(t, t.TempDir())
+	expected := make(map[string]string, len(stressQueries))
+	for _, q := range stressQueries {
+		res, err := serial.Query(q)
+		if err != nil {
+			t.Fatalf("serial %s: %v", q, err)
+		}
+		expected[q] = res.String()
+	}
+
+	// Refresh churn: atomically replace Patients with identical content
+	// (rename keeps readers from ever seeing a partial file) so caches,
+	// positional maps and plans invalidate while answers stay fixed.
+	content, err := os.ReadFile(paths.Patients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tmp := filepath.Join(dir, fmt.Sprintf("patients.tmp.%d", i))
+			if err := os.WriteFile(tmp, content, 0o644); err != nil {
+				t.Error(err)
+				return
+			}
+			// Nudge mtime forward: coarse filesystem clocks could otherwise
+			// make the rewrite invisible to Refresh.
+			now := time.Now().Add(time.Duration(i+1) * 10 * time.Millisecond)
+			os.Chtimes(tmp, now, now)
+			if err := os.Rename(tmp, paths.Patients); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := eng.Refresh(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const goroutines = 12
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range stressQueries {
+					q := stressQueries[(i+g+r)%len(stressQueries)]
+					res, err := eng.Query(q)
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d: %s: %w", g, q, err)
+						return
+					}
+					if got := res.String(); got != expected[q] {
+						errs <- fmt.Errorf("goroutine %d: %s: got %s, want %s", g, q, got, expected[q])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelAbortsColdScanMidFile cancels a query while its cold
+// first-touch scan of a large CSV is in flight and asserts the query
+// returns context.Canceled (not a completed result), then that the
+// engine still answers normally.
+func TestCancelAbortsColdScanMidFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.csv")
+	var sb strings.Builder
+	sb.WriteString("id,age\n")
+	for i := 0; i < 300_000; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", i, i%97)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := vida.New()
+	if err := eng.RegisterCSV("Big", path, "Record(Att(id, int), Att(age, int))", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel as soon as the raw scan is counted as started.
+	go func() {
+		for eng.Stats().RawScans == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := eng.QueryCtx(ctx, "for { b <- Big, b.age > 10 } yield count b")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The engine survives: the same query completes when allowed to.
+	res, err := eng.Query("for { b <- Big } yield count b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value().Int() != 300_000 {
+		t.Fatalf("count = %d, want 300000", res.Value().Int())
+	}
+}
+
+// TestQueryDeadlineExceeded runs a cold scan under an already-tight
+// deadline and expects context.DeadlineExceeded.
+func TestQueryDeadlineExceeded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.csv")
+	var sb strings.Builder
+	sb.WriteString("id,age\n")
+	for i := 0; i < 300_000; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", i, i%97)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := vida.New()
+	if err := eng.RegisterCSV("Big", path, "Record(Att(id, int), Att(age, int))", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	if _, err := eng.QueryCtx(ctx, "for { b <- Big } yield count b"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEngineCloseDrains verifies Close waits for in-flight queries and
+// rejects later ones.
+func TestEngineCloseDrains(t *testing.T) {
+	eng, _ := stressEngine(t, t.TempDir())
+	// Warm one query, then close mid-stream of a fresh engine use.
+	if _, err := eng.Query("for { p <- Patients } yield count p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query("for { p <- Patients } yield count p"); err == nil {
+		t.Fatal("query after Close succeeded")
+	}
+}
+
+// TestPreparedConcurrentRuns executes one Prepared statement from many
+// goroutines simultaneously.
+func TestPreparedConcurrentRuns(t *testing.T) {
+	eng, _ := stressEngine(t, t.TempDir())
+	p, err := eng.Prepare("for { p <- Patients, p.age > 40 } yield count p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := p.Run()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.String() != want.String() {
+					errs <- fmt.Errorf("got %s, want %s", res.String(), want.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

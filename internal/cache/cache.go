@@ -146,7 +146,10 @@ func EstimateValueBytes(v values.Value) int64 {
 // PutColumns installs (or extends) the columnar entry of a dataset. All
 // column slices must share length n. Existing columns are kept, so the
 // entry accumulates attributes across queries — exactly how ViDa's caches
-// grow with the workload.
+// grow with the workload. Extension is copy-on-write: scans hold Entry
+// pointers outside the manager lock, so a published entry is never
+// mutated — a grown replacement entry (sharing the column slices) takes
+// its place instead.
 func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Value) error {
 	for name, col := range cols {
 		if len(col) != n {
@@ -156,15 +159,19 @@ func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Val
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := key(dataset, LayoutColumns)
-	e := m.entries[k]
-	if e != nil && e.N != n {
+	old := m.entries[k]
+	if old != nil && old.N != n {
 		// Shape changed (file grew): replace wholesale.
 		m.removeLocked(k)
-		e = nil
+		old = nil
 	}
-	if e == nil {
-		e = &Entry{Dataset: dataset, Layout: LayoutColumns, N: n, Cols: map[string][]values.Value{}}
-		m.entries[k] = e
+	e := &Entry{Dataset: dataset, Layout: LayoutColumns, N: n, Cols: make(map[string][]values.Value, len(cols))}
+	if old != nil {
+		e.size, e.tick, e.hits = old.size, old.tick, old.hits
+		for name, col := range old.Cols {
+			e.Cols[name] = col
+		}
+	} else {
 		m.puts++
 	}
 	for name, col := range cols {
@@ -179,6 +186,7 @@ func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Val
 		e.size += sz
 		m.used += sz
 	}
+	m.entries[k] = e
 	m.touchLocked(e)
 	m.evictLocked()
 	return nil

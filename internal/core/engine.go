@@ -8,6 +8,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,10 +26,14 @@ import (
 	"vida/internal/rawcsv"
 	"vida/internal/rawjson"
 	"vida/internal/rawxls"
+	"vida/internal/sched"
 	"vida/internal/sdg"
 	"vida/internal/values"
 	"vida/internal/vec"
 )
+
+// ErrClosed is returned by queries against a closed engine.
+var ErrClosed = errors.New("core: engine closed")
 
 // ExecMode selects the execution engine.
 type ExecMode uint8
@@ -63,6 +69,10 @@ type Options struct {
 	Adaptive bool
 	// DisableCaching turns the cache layer off (for experiments).
 	DisableCaching bool
+	// Pool is the shared morsel scheduler for parallel scans (default
+	// sched.Default()). A query server injects one pool so concurrent
+	// queries share workers instead of oversubscribing cores.
+	Pool *sched.Pool
 }
 
 // Stats is a snapshot of engine activity.
@@ -92,6 +102,23 @@ type sourceEntry struct {
 	isView bool
 }
 
+// planShardCount shards the plan cache so concurrent warm Prepare calls
+// don't serialize on one mutex (reads take a shard RLock). Must be a
+// power of two.
+const planShardCount = 16
+
+// planShard is one stripe of the plan cache.
+type planShard struct {
+	mu sync.RWMutex
+	m  map[string]*planEntry
+}
+
+// planEntry caches the outcome of the query frontend for one query text.
+type planEntry struct {
+	plan *algebra.Reduce
+	typ  *sdg.Type
+}
+
 // Engine is one just-in-time database instance over raw files.
 type Engine struct {
 	mu      sync.RWMutex
@@ -99,25 +126,39 @@ type Engine struct {
 	sources map[string]*sourceEntry
 	caches  *cache.Manager
 
-	queries        atomic.Int64
-	cacheQueries   atomic.Int64
-	rawQueries     atomic.Int64
-	rawScans       atomic.Int64
-	cacheScans     atomic.Int64
-	planCacheMu    sync.Mutex
-	planCache      map[string]*algebra.Reduce
-	planCacheLimit int
+	queries      atomic.Int64
+	cacheQueries atomic.Int64
+	rawQueries   atomic.Int64
+	rawScans     atomic.Int64
+	cacheScans   atomic.Int64
+
+	planShards     [planShardCount]planShard
+	planCacheLimit int // per shard
+
+	// epoch counts catalog/data generations: it bumps whenever a source
+	// is (de)registered, a cleaner attached, or a file change invalidates
+	// caches. Result caches key on it to stay consistent with the data.
+	epoch atomic.Int64
+
+	// closeMu gates the query lifecycle for graceful shutdown: queries
+	// hold it shared for their whole run, Close takes it exclusively, so
+	// Close returns only after in-flight queries drain.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // NewEngine creates an engine.
 func NewEngine(opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		opts:           opts,
 		sources:        map[string]*sourceEntry{},
 		caches:         cache.New(opts.CacheBudgetBytes),
-		planCache:      map[string]*algebra.Reduce{},
-		planCacheLimit: 512,
+		planCacheLimit: 512 / planShardCount,
 	}
+	for i := range e.planShards {
+		e.planShards[i].m = map[string]*planEntry{}
+	}
+	return e
 }
 
 // Caches exposes the cache manager (CLI, experiments).
@@ -170,14 +211,19 @@ func (e *Engine) Register(desc *sdg.Description) error {
 	}
 	name := desc.Name
 	if rf, ok := entry.src.(refresher); ok {
-		rf.SetInvalidateHook(func() { e.caches.Invalidate(name) })
+		rf.SetInvalidateHook(func() {
+			e.caches.Invalidate(name)
+			e.epoch.Add(1)
+		})
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, dup := e.sources[name]; dup {
+		e.mu.Unlock()
 		return fmt.Errorf("core: source %q already registered", name)
 	}
 	e.sources[name] = entry
+	e.mu.Unlock()
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -185,11 +231,13 @@ func (e *Engine) Register(desc *sdg.Description) error {
 // store wrapper, ...) with its description.
 func (e *Engine) RegisterSource(desc *sdg.Description, src algebra.Source) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, dup := e.sources[desc.Name]; dup {
+		e.mu.Unlock()
 		return fmt.Errorf("core: source %q already registered", desc.Name)
 	}
 	e.sources[desc.Name] = &sourceEntry{desc: desc, src: src, isView: true}
+	e.mu.Unlock()
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -237,6 +285,7 @@ func (e *Engine) AttachCleaner(name string, c *clean.Cleaner) error {
 	e.mu.Unlock()
 	e.caches.Invalidate(name)
 	e.dropPlans()
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -247,6 +296,7 @@ func (e *Engine) Deregister(name string) {
 	e.mu.Unlock()
 	e.caches.Invalidate(name)
 	e.dropPlans()
+	e.epoch.Add(1)
 }
 
 // Sources lists registered source names.
@@ -297,10 +347,50 @@ func (e *Engine) Refresh() error {
 	return nil
 }
 
+// Epoch returns the catalog/data generation counter. It increases
+// whenever registered data may have changed (source added or removed,
+// cleaner attached, file change detected), so any cache keyed on
+// (query, epoch) is invalidated by data movement for free.
+func (e *Engine) Epoch() int64 { return e.epoch.Load() }
+
+// Close marks the engine closed and waits for in-flight queries to
+// drain. Subsequent queries fail with ErrClosed; sources and caches stay
+// readable for inspection.
+func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	e.closed = true
+	e.closeMu.Unlock()
+	return nil
+}
+
+// beginQuery takes a shared slot in the close gate; endQuery releases it.
+func (e *Engine) beginQuery() error {
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+func (e *Engine) endQuery() { e.closeMu.RUnlock() }
+
+func (e *Engine) planShard(src string) *planShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(src); i++ {
+		h ^= uint32(src[i])
+		h *= 16777619
+	}
+	return &e.planShards[h&(planShardCount-1)]
+}
+
 func (e *Engine) dropPlans() {
-	e.planCacheMu.Lock()
-	e.planCache = map[string]*algebra.Reduce{}
-	e.planCacheMu.Unlock()
+	for i := range e.planShards {
+		sh := &e.planShards[i]
+		sh.mu.Lock()
+		sh.m = map[string]*planEntry{}
+		sh.mu.Unlock()
+	}
 }
 
 // StatsSnapshot returns engine counters.
@@ -424,6 +514,36 @@ type cachingSource struct {
 	entry *sourceEntry
 }
 
+// harvestGuard snapshots the engine epoch before a raw scan whose rows
+// will be promoted into the cache. A Refresh racing the scan swaps the
+// file generation and invalidates the cache mid-harvest; without the
+// guard the scan would then install pre-refresh rows that every later
+// query reads as current. put runs the promotion only when the epoch is
+// unchanged, and re-checks afterwards (invalidating what it just wrote)
+// to close the check-then-put window.
+type harvestGuard struct {
+	e       *Engine
+	dataset string
+	epoch   int64
+}
+
+func (s *cachingSource) newHarvestGuard() harvestGuard {
+	return harvestGuard{e: s.e, dataset: s.entry.desc.Name, epoch: s.e.epoch.Load()}
+}
+
+func (g harvestGuard) put(install func() error) error {
+	if g.e.epoch.Load() != g.epoch {
+		return nil // data moved mid-scan: the harvest is stale, drop it
+	}
+	if err := install(); err != nil {
+		return err
+	}
+	if g.e.epoch.Load() != g.epoch {
+		g.e.caches.Invalidate(g.dataset)
+	}
+	return nil
+}
+
 // Name implements algebra.Source.
 func (s *cachingSource) Name() string { return s.entry.desc.Name }
 
@@ -443,6 +563,7 @@ func (s *cachingSource) Iterate(fields []string, yield func(values.Value) error)
 	}
 	// Raw access; harvest the stream into the cache.
 	s.e.rawScans.Add(1)
+	guard := s.newHarvestGuard()
 	if len(fields) > 0 {
 		cols := make(map[string][]values.Value, len(fields))
 		for _, f := range fields {
@@ -460,7 +581,7 @@ func (s *cachingSource) Iterate(fields []string, yield func(values.Value) error)
 		if err != nil {
 			return err
 		}
-		return s.e.caches.PutColumns(name, n, cols)
+		return guard.put(func() error { return s.e.caches.PutColumns(name, n, cols) })
 	}
 	var rows []values.Value
 	err := s.entry.src.Iterate(nil, func(v values.Value) error {
@@ -470,8 +591,7 @@ func (s *cachingSource) Iterate(fields []string, yield func(values.Value) error)
 	if err != nil {
 		return err
 	}
-	s.e.caches.PutRows(name, rows)
-	return nil
+	return guard.put(func() error { s.e.caches.PutRows(name, rows); return nil })
 }
 
 // IterateSlots lets the JIT fast path run against the cache (or the raw
@@ -488,6 +608,7 @@ func (s *cachingSource) IterateSlots(fields []string, yield func([]values.Value)
 		// Raw slot scan with harvesting.
 		if ss, ok := s.entry.src.(jit.SlotSource); ok {
 			s.e.rawScans.Add(1)
+			guard := s.newHarvestGuard()
 			cols := make(map[string][]values.Value, len(fields))
 			n := 0
 			err := ss.IterateSlots(fields, func(row []values.Value) error {
@@ -500,7 +621,7 @@ func (s *cachingSource) IterateSlots(fields []string, yield func([]values.Value)
 			if err != nil {
 				return err
 			}
-			return s.e.caches.PutColumns(name, n, cols)
+			return guard.put(func() error { return s.e.caches.PutColumns(name, n, cols) })
 		}
 	}
 	// Fall back to the record path, exploding into slots.
@@ -521,6 +642,7 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 		}
 		if bs, ok := s.entry.src.(jit.BatchSource); ok {
 			s.e.rawScans.Add(1)
+			guard := s.newHarvestGuard()
 			// Pre-size harvest columns when the reader already knows its
 			// row count — repeated scans then build cache columns with a
 			// single allocation each.
@@ -557,7 +679,7 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 			if err != nil {
 				return err
 			}
-			return s.e.caches.PutColumns(name, n, cols)
+			return guard.put(func() error { return s.e.caches.PutColumns(name, n, cols) })
 		}
 	}
 	return batchesFromSlots(s.IterateSlots, fields, batchSize, yield)
@@ -760,11 +882,20 @@ type Prepared struct {
 // Prepare runs the full frontend: parse, type-check, normalize, translate
 // and optimize.
 func (e *Engine) Prepare(src string) (*Prepared, error) {
-	e.planCacheMu.Lock()
-	cached := e.planCache[src]
-	e.planCacheMu.Unlock()
+	return e.PrepareCtx(context.Background(), src)
+}
+
+// PrepareCtx is Prepare with a cancellation context.
+func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) {
+	sh := e.planShard(src)
+	sh.mu.RLock()
+	cached := sh.m[src]
+	sh.mu.RUnlock()
 	if cached != nil {
-		return &Prepared{engine: e, plan: cached}, nil
+		return &Prepared{engine: e, plan: cached.plan, Type: cached.typ}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	expr, err := mcl.Parse(src)
 	if err != nil {
@@ -795,11 +926,11 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 	} else {
 		opt = optimizer.Optimize(plan, cm)
 	}
-	e.planCacheMu.Lock()
-	if len(e.planCache) < e.planCacheLimit {
-		e.planCache[src] = opt
+	sh.mu.Lock()
+	if len(sh.m) < e.planCacheLimit {
+		sh.m[src] = &planEntry{plan: opt, typ: typ}
 	}
-	e.planCacheMu.Unlock()
+	sh.mu.Unlock()
 	return &Prepared{engine: e, plan: opt, Type: typ}, nil
 }
 
@@ -821,20 +952,43 @@ func (e *Engine) typeCheck(expr mcl.Expr) (*sdg.Type, error) {
 
 // Run executes the prepared plan.
 func (p *Prepared) Run() (values.Value, error) {
+	return p.RunCtx(context.Background())
+}
+
+// RunCtx executes the prepared plan under a cancellation context: a done
+// ctx stops morsel dispatch in the scheduler and aborts serial scans at
+// batch/row-group granularity, so a cancelled query releases its workers
+// mid-file instead of running to completion.
+func (p *Prepared) RunCtx(ctx context.Context) (values.Value, error) {
 	e := p.engine
+	if err := e.beginQuery(); err != nil {
+		return values.Null, err
+	}
+	defer e.endQuery()
 	e.queries.Add(1)
 	rawBefore := e.rawScans.Load()
-	var ex algebra.Executor
-	switch e.opts.Mode {
-	case ModeStatic:
-		ex = jit.StaticExecutor{}
-	case ModeReference:
-		ex = algebra.Reference{}
-	default:
-		ex = jit.Executor{}
+	e.mu.RLock()
+	mode := e.opts.Mode
+	e.mu.RUnlock()
+	var cat jit.SchemaCatalog = catalog{e: e}
+	if ctx.Done() != nil {
+		cat = ctxCatalog{inner: catalog{e: e}, ctx: ctx}
 	}
-	v, err := ex.Run(p.plan, catalog{e: e})
+	var v values.Value
+	var err error
+	switch mode {
+	case ModeStatic:
+		v, err = jit.StaticExecutor{}.Run(p.plan, cat)
+	case ModeReference:
+		v, err = algebra.Reference{}.Run(p.plan, cat)
+	default:
+		v, err = jit.Executor{Opts: jit.Options{Pool: e.opts.Pool}}.RunCtx(ctx, p.plan, cat)
+	}
 	if err != nil {
+		// Surface cancellation as the ctx error, not a wrapped scan error.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return values.Null, ctxErr
+		}
 		return values.Null, err
 	}
 	if e.rawScans.Load() == rawBefore {
@@ -850,11 +1004,17 @@ func (p *Prepared) Plan() *algebra.Reduce { return p.plan }
 
 // Query parses, plans and executes in one call.
 func (e *Engine) Query(src string) (values.Value, error) {
-	p, err := e.Prepare(src)
+	return e.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx parses, plans and executes in one call under a cancellation
+// context.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (values.Value, error) {
+	p, err := e.PrepareCtx(ctx, src)
 	if err != nil {
 		return values.Null, err
 	}
-	return p.Run()
+	return p.RunCtx(ctx)
 }
 
 // Explain returns the optimized plan rendering.

@@ -344,3 +344,68 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRefreshMidScanDropsStaleHarvest replaces the file and refreshes
+// while a cold harvesting scan is in flight: the scan finishes over its
+// own (old) generation, but its rows must NOT be promoted into the
+// cache — otherwise every warm query would keep serving the old file's
+// data at the new epoch.
+func TestRefreshMidScanDropsStaleHarvest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	mkContent := func(v int) string {
+		s := "id,v\n"
+		for i := 0; i < 100; i++ {
+			s += fmt.Sprintf("%d,%d\n", i, v)
+		}
+		return s
+	}
+	if err := os.WriteFile(path, []byte(mkContent(1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Options{})
+	typ, err := sdg.ParseSchema("Record(Att(id, int), Att(v, int))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := sdg.DefaultDescription("T", sdg.FormatCSV, path, sdg.Bag(typ))
+	if err := eng.Register(desc); err != nil {
+		t.Fatal(err)
+	}
+
+	src, ok := catalog{e: eng}.Source("T")
+	if !ok {
+		t.Fatal("no source")
+	}
+	n := 0
+	err = src.Iterate([]string{"v"}, func(values.Value) error {
+		n++
+		if n == 50 {
+			// Mid-scan: the file changes and Refresh notices.
+			if err := os.WriteFile(path, []byte(mkContent(2)), 0o644); err != nil {
+				return err
+			}
+			future := time.Now().Add(2 * time.Second)
+			os.Chtimes(path, future, future)
+			if err := eng.Refresh(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("scan yielded %d rows, want 100 (old generation)", n)
+	}
+
+	// The new generation must be what queries see: sum v == 200, not 100.
+	res, err := eng.Query("for { r <- T } yield sum r.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int(); got != 200 {
+		t.Fatalf("sum after mid-scan refresh = %d, want 200 (stale harvest leaked into the cache)", got)
+	}
+}

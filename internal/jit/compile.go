@@ -1,6 +1,7 @@
 package jit
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -8,6 +9,7 @@ import (
 	"vida/internal/algebra"
 	"vida/internal/mcl"
 	"vida/internal/monoid"
+	"vida/internal/sched"
 	"vida/internal/sdg"
 	"vida/internal/values"
 	"vida/internal/vec"
@@ -88,6 +90,15 @@ type Options struct {
 	// scan goes parallel (default DefaultParallelThreshold). Small scans
 	// are not worth the goroutine fan-out.
 	ParallelThreshold int
+	// Pool is the morsel scheduler executing parallel scans (default
+	// sched.Default(), the process-wide shared pool). A query server
+	// injects its own pool so every query draws from the same workers.
+	Pool *sched.Pool
+	// Ctx cancels execution: parallel scans stop dispatching morsels
+	// when it is done (default context.Background()). Serial pipelines
+	// observe cancellation through the catalog's context-checking
+	// sources, not through this field.
+	Ctx context.Context
 }
 
 // DefaultParallelThreshold is the default minimum row count for
@@ -103,6 +114,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ParallelThreshold <= 0 {
 		o.ParallelThreshold = DefaultParallelThreshold
+	}
+	if o.Pool == nil {
+		o.Pool = sched.Default()
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 	return o
 }
@@ -125,6 +142,18 @@ type Executor struct {
 // for this exact plan ("database as a query") and runs it.
 func (e Executor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Value, error) {
 	prog, err := CompileWith(p, cat, e.Opts)
+	if err != nil {
+		return values.Null, err
+	}
+	return prog()
+}
+
+// RunCtx is Run with a cancellation context: the morsel scheduler stops
+// dispatching this query's morsels once ctx is done.
+func (e Executor) RunCtx(ctx context.Context, p *algebra.Reduce, cat algebra.Catalog) (values.Value, error) {
+	opts := e.Opts
+	opts.Ctx = ctx
+	prog, err := CompileWith(p, cat, opts)
 	if err != nil {
 		return values.Null, err
 	}
@@ -168,7 +197,7 @@ func CompileWith(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func() (
 	return func() (values.Value, error) {
 		if opts.Workers > 1 && input.openRange != nil {
 			if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
-				return runParallelReduce(scan, n, mkCons, m, opts)
+				return runParallelReduce(opts.Ctx, scan, n, mkCons, m, opts)
 			}
 		}
 		acc := monoid.NewCollector(m)

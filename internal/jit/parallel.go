@@ -1,85 +1,65 @@
 package jit
 
 import (
-	"errors"
+	"context"
 	"sync"
-	"sync/atomic"
 
 	"vida/internal/monoid"
 	"vida/internal/values"
 	"vida/internal/vec"
 )
 
-// errStopped cancels in-flight morsels after another worker failed; it
-// never escapes the scheduler.
-var errStopped = errors.New("jit: parallel scan stopped")
-
 // runParallelReduce executes a partitionable pipeline with morsel-driven
 // parallelism (Leis et al., adopted here for raw scans): the row range is
-// split into morsels handed out work-stealing-style to a fixed worker
-// pool, each worker drives its own clone of the staged pipeline (scan is
-// safe for concurrent disjoint ranges; filters and consumers are built
-// per worker), and per-morsel partial aggregates are merged at the root
-// in morsel order. Associativity of the monoid's ⊕ makes the merge exact
-// — including for the non-commutative list monoid — which is the paper's
-// algebra paying rent.
-func runParallelReduce(scan func(lo, hi int, sink batchSink) error, n int, mkCons func() *reduceConsumer, m monoid.Monoid, opts Options) (values.Value, error) {
+// split into morsels submitted as one job to the shared scheduler pool
+// (sched.Pool), whose fixed workers interleave the morsels of every
+// in-flight query — concurrent queries share cores instead of each
+// fanning out GOMAXPROCS goroutines. Each morsel drives its own clone of
+// the staged pipeline (scan is safe for concurrent disjoint ranges;
+// filters and consumers come from a free list), and per-morsel partial
+// aggregates are merged at the root in morsel order. Associativity of
+// the monoid's ⊕ makes the merge exact — including for the
+// non-commutative list monoid — which is the paper's algebra paying
+// rent.
+func runParallelReduce(ctx context.Context, scan func(lo, hi int, sink batchSink) error, n int, mkCons func() *reduceConsumer, m monoid.Monoid, opts Options) (values.Value, error) {
 	workers := opts.Workers
-	// Aim for a few morsels per worker so stealing evens out skew, but
-	// never below one batch per morsel.
+	// Aim for a few morsels per worker so interleaving evens out skew,
+	// but never below one batch per morsel.
 	morselRows := (n + workers*4 - 1) / (workers * 4)
 	if morselRows < opts.BatchSize {
 		morselRows = opts.BatchSize
 	}
 	numMorsels := (n + morselRows - 1) / morselRows
-	if workers > numMorsels {
-		workers = numMorsels
-	}
 
 	partials := make([]*monoid.Collector, numMorsels)
-	errs := make([]error, workers)
-	var next atomic.Int64
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rc := mkCons()
-			for !stop.Load() {
-				i := int(next.Add(1) - 1)
-				if i >= numMorsels {
-					return
-				}
-				lo := i * morselRows
-				hi := lo + morselRows
-				if hi > n {
-					hi = n
-				}
-				acc := monoid.NewCollector(m)
-				rc.reset(acc)
-				if err := scan(lo, hi, func(b *vec.Batch) error {
-					if stop.Load() {
-						return errStopped
-					}
-					return rc.consume(b)
-				}); err != nil {
-					if !errors.Is(err, errStopped) {
-						errs[w] = err
-					}
-					stop.Store(true)
-					return
-				}
-				rc.finish()
-				partials[i] = acc
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return values.Null, err
+	// Consumers carry per-run scratch (filter selection buffers, typed
+	// accumulators); a free list bounds their number by the pool's
+	// concurrency while letting morsels reuse them.
+	consumers := sync.Pool{New: func() any { return mkCons() }}
+	err := opts.Pool.Run(ctx, numMorsels, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
+		rc := consumers.Get().(*reduceConsumer)
+		defer consumers.Put(rc)
+		lo := i * morselRows
+		hi := lo + morselRows
+		if hi > n {
+			hi = n
+		}
+		acc := monoid.NewCollector(m)
+		rc.reset(acc)
+		if err := scan(lo, hi, func(b *vec.Batch) error {
+			return rc.consume(b)
+		}); err != nil {
+			return err
+		}
+		rc.finish()
+		partials[i] = acc
+		return nil
+	})
+	if err != nil {
+		return values.Null, err
 	}
 	root := monoid.NewCollector(m)
 	for _, part := range partials {

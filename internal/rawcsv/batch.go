@@ -134,13 +134,27 @@ func (r *Reader) IterateBatches(fields []string, batchSize int, yield func(*vec.
 	if batchSize <= 0 {
 		batchSize = vec.DefaultBatchSize
 	}
-	if scan, n, ok := r.openRangeCols(cols); ok {
+	st := r.state.Load()
+	if scan, n, ok := r.openRangeCols(st, cols); ok {
 		return scan(0, n, batchSize, yield)
 	}
-	if snap := r.pm.Snapshot(); len(snap.Rows) > 0 {
-		return r.iterateAnchoredBatches(&snap, cols, batchSize, yield)
+	// Cold or partially mapped: single-flight the tokenizing build.
+	// Concurrent first touches of the same columns wait here, then jump
+	// through the positional map the winner installed instead of each
+	// re-tokenizing the file. (Within one query a source is never
+	// scanned re-entrantly mid-scan — build sides materialize fully
+	// before probes — so the lock cannot self-deadlock.)
+	r.buildMu.Lock()
+	st = r.state.Load() // the build we waited for may be a newer generation
+	if scan, n, ok := r.openRangeCols(st, cols); ok {
+		r.buildMu.Unlock()
+		return scan(0, n, batchSize, yield)
 	}
-	return r.iterateFullBatches(cols, batchSize, yield)
+	defer r.buildMu.Unlock()
+	if snap := st.pm.Snapshot(); len(snap.Rows) > 0 {
+		return r.iterateAnchoredBatches(st, &snap, cols, batchSize, yield)
+	}
+	return r.iterateFullBatches(st, cols, batchSize, yield)
 }
 
 // iterateAnchoredBatches serves a scan whose rows are indexed but whose
@@ -150,7 +164,7 @@ func (r *Reader) IterateBatches(fields []string, batchSize int, yield func(*vec.
 // — instead of from the row start (the positional map's "distance" term,
 // paper §5 / NoDB). Newly located columns are installed in the map, so
 // the next scan jumps everywhere.
-func (r *Reader) iterateAnchoredBatches(snap *Snapshot, cols []int, batchSize int, yield func(*vec.Batch) error) error {
+func (r *Reader) iterateAnchoredBatches(st *fileState, snap *Snapshot, cols []int, batchSize int, yield func(*vec.Batch) error) error {
 	r.stats.PosmapScans.Add(1)
 	type colPlan struct {
 		col          int
@@ -200,7 +214,7 @@ func (r *Reader) iterateAnchoredBatches(snap *Snapshot, cols []int, batchSize in
 	spanE := make([]int32, len(cols))
 	rc := r.newRowConverter(cols, tags)
 
-	data := r.data
+	data := st.data
 	delim := r.delim
 	committed := 0
 	tokenized := 0
@@ -292,7 +306,7 @@ func (r *Reader) iterateAnchoredBatches(snap *Snapshot, cols []int, batchSize in
 	// Install only columns whose spans cover every indexed row.
 	for i, j := range cols {
 		if record[i] && len(newStarts[i]) == len(snap.Rows) {
-			r.pm.SetCol(j, newStarts[i], newEnds[i])
+			st.pm.SetCol(j, newStarts[i], newEnds[i])
 		}
 	}
 	if b.N > 0 {
@@ -316,7 +330,7 @@ func sortByCol(order, cols []int) {
 // row starts plus the touched columns in the positional map as a side
 // effect — after which openRangeCols serves the same fields with direct
 // jumps.
-func (r *Reader) iterateFullBatches(cols []int, batchSize int, yield func(*vec.Batch) error) error {
+func (r *Reader) iterateFullBatches(st *fileState, cols []int, batchSize int, yield func(*vec.Batch) error) error {
 	r.stats.FullScans.Add(1)
 	nAttrs := len(r.rowType.Attrs)
 	outPos := make([]int, nAttrs) // schema col -> position in cols, -1 when unused
@@ -338,13 +352,13 @@ func (r *Reader) iterateFullBatches(cols []int, batchSize int, yield func(*vec.B
 
 	// Positional-map harvest: row starts (when absent) and per-row spans
 	// of every requested column not yet mapped.
-	buildRows := !r.pm.HasRows()
+	buildRows := !st.pm.HasRows()
 	var rowStarts []int64
 	record := make([]bool, len(cols))
 	colStarts := make([][]int32, len(cols))
 	colEnds := make([][]int32, len(cols))
 	for i, j := range cols {
-		record[i] = !r.pm.HasCol(j)
+		record[i] = !st.pm.HasCol(j)
 	}
 
 	// Per-row scratch: spans plus converted payloads; a row commits to the
@@ -356,7 +370,7 @@ func (r *Reader) iterateFullBatches(cols []int, batchSize int, yield func(*vec.B
 	off := int64(0)
 	first := true
 	committed := 0
-	data := r.data
+	data := st.data
 	for off < int64(len(data)) {
 		nl := int64(-1)
 		if i := indexByte(data[off:], '\n'); i >= 0 {
@@ -445,13 +459,13 @@ func (r *Reader) iterateFullBatches(cols []int, batchSize int, yield func(*vec.B
 	r.stats.BytesRead.Add(int64(len(data)))
 	r.stats.FieldsTokenized.Add(int64(committed * len(cols)))
 	if buildRows {
-		r.pm.SetRows(rowStarts)
+		st.pm.SetRows(rowStarts)
 	}
 	// Install a column only when its spans cover every indexed row —
 	// misaligned offsets would silently corrupt later posmap jumps.
 	for i, j := range cols {
-		if record[i] && len(colStarts[i]) == r.pm.NumRows() {
-			r.pm.SetCol(j, colStarts[i], colEnds[i])
+		if record[i] && len(colStarts[i]) == st.pm.NumRows() {
+			st.pm.SetCol(j, colStarts[i], colEnds[i])
 		}
 	}
 	if b.N > 0 {
@@ -474,11 +488,11 @@ func (r *Reader) OpenRange(fields []string) (func(lo, hi, batchSize int, yield f
 	if err != nil {
 		return nil, 0, false
 	}
-	return r.openRangeCols(cols)
+	return r.openRangeCols(r.state.Load(), cols)
 }
 
-func (r *Reader) openRangeCols(cols []int) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
-	snap := r.pm.Snapshot()
+func (r *Reader) openRangeCols(st *fileState, cols []int) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	snap := st.pm.Snapshot()
 	if len(snap.Rows) == 0 || !snap.HasCols(cols) {
 		return nil, 0, false
 	}
@@ -489,7 +503,7 @@ func (r *Reader) openRangeCols(cols []int) (func(lo, hi, batchSize int, yield fu
 		starts[i], ends[i] = snap.Cols[j], snap.Ends[j]
 		tags[i] = colTag(r.rowType.Attrs[j].Type.Kind)
 	}
-	data := r.data
+	data := st.data
 	rows := snap.Rows
 	var once sync.Once // stats count one logical scan, however many morsels
 	scan := func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
@@ -35,18 +36,33 @@ type Stats struct {
 	BytesRead       atomic.Int64
 }
 
+// fileState is one immutable generation of the file: its bytes, their
+// modification time and the positional map built over exactly those
+// bytes. Scans load the pointer once and use a single generation
+// throughout, so a concurrent Refresh can never hand a scan offsets
+// into bytes they were not computed from.
+type fileState struct {
+	data  []byte
+	mtime time.Time
+	pm    *PosMap
+}
+
 // Reader provides query access to one raw CSV file. It implements
-// algebra.Source. Readers are safe for concurrent scans.
+// algebra.Source. Readers are safe for concurrent scans and for scans
+// concurrent with Refresh.
 type Reader struct {
 	desc    *sdg.Description
 	rowType *sdg.Type
-	data    []byte
 	delim   byte
 	header  bool
 	policy  ErrorPolicy
 	nullTok string
-	mtime   time.Time
-	pm      *PosMap
+	state   atomic.Pointer[fileState]
+	// buildMu single-flights the tokenizing first-touch scan of the
+	// vectorized path: concurrent cold queries wait for one build and
+	// then jump through the freshly installed positional map instead of
+	// each re-tokenizing the whole file.
+	buildMu sync.Mutex
 	stats   Stats
 	colIdx  map[string]int
 	// onInvalidate is called when Refresh detects a file change.
@@ -75,14 +91,12 @@ func Open(desc *sdg.Description) (*Reader, error) {
 	r := &Reader{
 		desc:    desc,
 		rowType: desc.RowType(),
-		data:    data,
 		delim:   ',',
 		header:  true,
 		nullTok: "",
-		mtime:   fi.ModTime(),
-		pm:      NewPosMap(),
 		colIdx:  map[string]int{},
 	}
+	r.state.Store(&fileState{data: data, mtime: fi.ModTime(), pm: NewPosMap()})
 	if d := desc.Option("delim", ","); len(d) == 1 {
 		r.delim = d[0]
 	}
@@ -103,8 +117,9 @@ func Open(desc *sdg.Description) (*Reader, error) {
 func (r *Reader) Name() string { return r.desc.Name }
 
 // PosMap exposes the positional map (for the optimizer's cost model and
-// the experiments).
-func (r *Reader) PosMap() *PosMap { return r.pm }
+// the experiments). It belongs to the current file generation; Refresh
+// replaces it wholesale.
+func (r *Reader) PosMap() *PosMap { return r.state.Load().pm }
 
 // StatsSnapshot returns a copy of the counters.
 func (r *Reader) StatsSnapshot() map[string]int64 {
@@ -119,7 +134,7 @@ func (r *Reader) StatsSnapshot() map[string]int64 {
 }
 
 // SizeBytes returns the raw file size.
-func (r *Reader) SizeBytes() int64 { return int64(len(r.data)) }
+func (r *Reader) SizeBytes() int64 { return int64(len(r.state.Load().data)) }
 
 // SetInvalidateHook registers a callback fired when Refresh drops state.
 func (r *Reader) SetInvalidateHook(fn func()) { r.onInvalidate = fn }
@@ -128,20 +143,21 @@ func (r *Reader) SetInvalidateHook(fn func()) { r.onInvalidate = fn }
 // auxiliary structures are dropped (paper §2.1: "Updates to the underlying
 // files result in dropping the auxiliary structures affected").
 func (r *Reader) Refresh() (changed bool, err error) {
+	st := r.state.Load()
 	fi, err := os.Stat(r.desc.Path)
 	if err != nil {
 		return false, err
 	}
-	if fi.ModTime().Equal(r.mtime) && fi.Size() == int64(len(r.data)) {
+	if fi.ModTime().Equal(st.mtime) && fi.Size() == int64(len(st.data)) {
 		return false, nil
 	}
 	data, err := os.ReadFile(r.desc.Path)
 	if err != nil {
 		return false, err
 	}
-	r.data = data
-	r.mtime = fi.ModTime()
-	r.pm.Drop()
+	// A new generation with a fresh (empty) positional map; scans
+	// holding the old generation keep a consistent data+map pair.
+	r.state.Store(&fileState{data: data, mtime: fi.ModTime(), pm: NewPosMap()})
 	if r.onInvalidate != nil {
 		r.onInvalidate()
 	}
@@ -157,31 +173,33 @@ func (r *Reader) Iterate(fields []string, yield func(values.Value) error) error 
 	if err != nil {
 		return err
 	}
-	if snap := r.pm.Snapshot(); len(snap.Rows) > 0 && snap.HasCols(cols) {
-		return r.iteratePosmap(&snap, cols, yield)
+	st := r.state.Load()
+	if snap := st.pm.Snapshot(); len(snap.Rows) > 0 && snap.HasCols(cols) {
+		return r.iteratePosmap(st, &snap, cols, yield)
 	}
-	return r.iterateFull(cols, yield)
+	return r.iterateFull(st, cols, yield)
 }
 
 // IterateRow reads a single row by index through the positional map
 // (PathRowID access). It requires a prior full scan.
 func (r *Reader) IterateRow(rowIdx int, fields []string) (values.Value, error) {
-	if !r.pm.HasRows() {
+	st := r.state.Load()
+	if !st.pm.HasRows() {
 		// Force the row index build with a cheap pass that tokenizes
 		// nothing but newlines.
-		if err := r.buildRowIndex(); err != nil {
+		if err := r.buildRowIndex(st); err != nil {
 			return values.Null, err
 		}
 	}
-	if rowIdx < 0 || rowIdx >= r.pm.NumRows() {
+	if rowIdx < 0 || rowIdx >= st.pm.NumRows() {
 		return values.Null, fmt.Errorf("rawcsv: row %d out of range", rowIdx)
 	}
 	cols, err := r.resolveFields(fields)
 	if err != nil {
 		return values.Null, err
 	}
-	start := r.pm.Row(rowIdx)
-	line := r.lineAt(start)
+	start := st.pm.Row(rowIdx)
+	line := lineAt(st.data, start)
 	rec, ok := r.parseRow(line, cols, nil, nil)
 	if !ok {
 		return values.Null, fmt.Errorf("rawcsv: row %d is malformed", rowIdx)
@@ -209,52 +227,52 @@ func (r *Reader) resolveFields(fields []string) ([]int, error) {
 }
 
 // lineAt returns the line starting at offset (without trailing newline).
-func (r *Reader) lineAt(off int64) []byte {
-	end := bytes.IndexByte(r.data[off:], '\n')
+func lineAt(data []byte, off int64) []byte {
+	end := bytes.IndexByte(data[off:], '\n')
 	if end < 0 {
-		return r.data[off:]
+		return data[off:]
 	}
-	return r.data[off : off+int64(end)]
+	return data[off : off+int64(end)]
 }
 
 // buildRowIndex records row starts without tokenizing fields.
-func (r *Reader) buildRowIndex() error {
+func (r *Reader) buildRowIndex(st *fileState) error {
 	var rows []int64
 	off := int64(0)
 	first := true
-	for off < int64(len(r.data)) {
-		end := bytes.IndexByte(r.data[off:], '\n')
+	for off < int64(len(st.data)) {
+		end := bytes.IndexByte(st.data[off:], '\n')
 		var next int64
 		if end < 0 {
-			next = int64(len(r.data))
+			next = int64(len(st.data))
 		} else {
 			next = off + int64(end) + 1
 		}
 		if first && r.header {
 			first = false
 		} else {
-			if next-off > 1 || (next-off == 1 && r.data[off] != '\n') {
+			if next-off > 1 || (next-off == 1 && st.data[off] != '\n') {
 				rows = append(rows, off)
 			}
 			first = false
 		}
 		off = next
 	}
-	r.pm.SetRows(rows)
-	r.stats.BytesRead.Add(int64(len(r.data)))
+	st.pm.SetRows(rows)
+	r.stats.BytesRead.Add(int64(len(st.data)))
 	return nil
 }
 
 // iterateFull tokenizes every row, yielding projected records and
 // populating the positional map for the touched columns as a side effect.
-func (r *Reader) iterateFull(cols []int, yield func(values.Value) error) error {
+func (r *Reader) iterateFull(st *fileState, cols []int, yield func(values.Value) error) error {
 	r.stats.FullScans.Add(1)
-	buildRows := !r.pm.HasRows()
+	buildRows := !st.pm.HasRows()
 	var rowStarts []int64
 	colStarts := make(map[int][]int32, len(cols))
 	colEnds := make(map[int][]int32, len(cols))
 	for _, j := range cols {
-		if !r.pm.HasCol(j) {
+		if !st.pm.HasCol(j) {
 			colStarts[j] = nil
 			colEnds[j] = nil
 		}
@@ -269,18 +287,19 @@ func (r *Reader) iterateFull(cols []int, yield func(values.Value) error) error {
 	first := true
 	rowIdx := 0
 	scratch := make([]fieldSpan, len(recordCols))
-	for off < int64(len(r.data)) {
-		nl := bytes.IndexByte(r.data[off:], '\n')
+	data := st.data
+	for off < int64(len(data)) {
+		nl := bytes.IndexByte(data[off:], '\n')
 		var next int64
 		var lineEnd int64
 		if nl < 0 {
-			next = int64(len(r.data))
+			next = int64(len(data))
 			lineEnd = next
 		} else {
 			next = off + int64(nl) + 1
 			lineEnd = next - 1
 		}
-		line := r.data[off:lineEnd]
+		line := data[off:lineEnd]
 		if first && r.header {
 			first = false
 			off = next
@@ -318,17 +337,17 @@ func (r *Reader) iterateFull(cols []int, yield func(values.Value) error) error {
 		rowIdx++
 		off = next
 	}
-	r.stats.BytesRead.Add(int64(len(r.data)))
+	r.stats.BytesRead.Add(int64(len(data)))
 	if buildRows {
-		r.pm.SetRows(rowStarts)
+		st.pm.SetRows(rowStarts)
 	}
 	// Install a column only when its offsets cover every indexed row —
 	// misaligned offsets would silently corrupt later posmap jumps. (The
 	// record path records spans only for fully-parsed rows, so any
 	// skipped row blocks installation; the batch scans are finer-grained.)
 	for j, starts := range colStarts {
-		if len(starts) == r.pm.NumRows() {
-			r.pm.SetCol(j, starts, colEnds[j])
+		if len(starts) == st.pm.NumRows() {
+			st.pm.SetCol(j, starts, colEnds[j])
 		}
 	}
 	return nil
@@ -396,8 +415,9 @@ func (r *Reader) parseRow(line []byte, cols, recordCols []int, scratch []fieldSp
 // tokenization, just direct jumps to the needed fields. It reads the
 // positional map through a snapshot taken once per scan — the hot loop
 // never touches the map's lock.
-func (r *Reader) iteratePosmap(snap *Snapshot, cols []int, yield func(values.Value) error) error {
+func (r *Reader) iteratePosmap(st *fileState, snap *Snapshot, cols []int, yield func(values.Value) error) error {
 	r.stats.PosmapScans.Add(1)
+	data := st.data
 	n := len(snap.Rows)
 	type colRef struct {
 		out    int
@@ -418,7 +438,7 @@ func (r *Reader) iteratePosmap(snap *Snapshot, cols []int, yield func(values.Val
 			s := base + int64(ref.starts[row])
 			e := base + int64(ref.ends[row])
 			r.stats.FieldsJumped.Add(1)
-			v, ok := r.convert(ref.col, r.data[s:e])
+			v, ok := r.convert(ref.col, data[s:e])
 			if !ok {
 				bad = true
 				break
@@ -535,8 +555,10 @@ func (r *Reader) IterateSlots(fields []string, yield func([]values.Value) error)
 	if err != nil {
 		return err
 	}
-	if snap := r.pm.Snapshot(); len(snap.Rows) > 0 && snap.HasCols(cols) {
+	st := r.state.Load()
+	if snap := st.pm.Snapshot(); len(snap.Rows) > 0 && snap.HasCols(cols) {
 		r.stats.PosmapScans.Add(1)
+		data := st.data
 		n := len(snap.Rows)
 		starts := make([][]int32, len(cols))
 		ends := make([][]int32, len(cols))
@@ -551,7 +573,7 @@ func (r *Reader) IterateSlots(fields []string, yield func([]values.Value) error)
 				s := base + int64(starts[i][row])
 				e := base + int64(ends[i][row])
 				r.stats.FieldsJumped.Add(1)
-				v, ok := r.convert(j, r.data[s:e])
+				v, ok := r.convert(j, data[s:e])
 				if !ok {
 					bad = true
 					break
@@ -575,7 +597,7 @@ func (r *Reader) IterateSlots(fields []string, yield func([]values.Value) error)
 	// in the emitted record matches the request, so extraction is
 	// positional.
 	buf := make([]values.Value, len(cols))
-	return r.iterateFull(cols, func(v values.Value) error {
+	return r.iterateFull(st, cols, func(v values.Value) error {
 		for i, f := range v.Fields() {
 			buf[i] = f.Val
 		}
@@ -585,10 +607,11 @@ func (r *Reader) IterateSlots(fields []string, yield func([]values.Value) error)
 
 // NumRows returns the row count, building the row index if needed.
 func (r *Reader) NumRows() (int, error) {
-	if !r.pm.HasRows() {
-		if err := r.buildRowIndex(); err != nil {
+	st := r.state.Load()
+	if !st.pm.HasRows() {
+		if err := r.buildRowIndex(st); err != nil {
 			return 0, err
 		}
 	}
-	return r.pm.NumRows(), nil
+	return st.pm.NumRows(), nil
 }

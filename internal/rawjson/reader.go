@@ -104,14 +104,26 @@ func (ix *SemiIndex) MemoryBytes() int64 {
 	return total
 }
 
+// jsonState is one immutable generation of the file: its bytes, their
+// modification time and the semi-index built over exactly those bytes.
+// Scans load the pointer once, so a concurrent Refresh can never hand a
+// scan spans into bytes they were not computed from.
+type jsonState struct {
+	data  []byte
+	mtime time.Time
+	ix    *SemiIndex
+}
+
 // Reader provides query access to one raw JSON file holding either a
 // top-level array of objects or newline-delimited objects. It implements
-// algebra.Source.
+// algebra.Source. Readers are safe for concurrent scans and for scans
+// concurrent with Refresh.
 type Reader struct {
-	desc         *sdg.Description
-	data         []byte
-	mtime        time.Time
-	ix           *SemiIndex
+	desc  *sdg.Description
+	state atomic.Pointer[jsonState]
+	// buildMu single-flights the object-index skip scan so concurrent
+	// cold queries don't all walk the whole file.
+	buildMu      sync.Mutex
 	stats        Stats
 	failOnBad    bool
 	onInvalidate func()
@@ -135,7 +147,8 @@ func Open(desc *sdg.Description) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{desc: desc, data: data, mtime: fi.ModTime(), ix: newSemiIndex()}
+	r := &Reader{desc: desc}
+	r.state.Store(&jsonState{data: data, mtime: fi.ModTime(), ix: newSemiIndex()})
 	if desc.Option("onerror", "skip") == "fail" {
 		r.failOnBad = true
 	}
@@ -145,11 +158,11 @@ func Open(desc *sdg.Description) (*Reader, error) {
 // Name implements algebra.Source.
 func (r *Reader) Name() string { return r.desc.Name }
 
-// SemiIndex exposes the structural index.
-func (r *Reader) SemiIndex() *SemiIndex { return r.ix }
+// SemiIndex exposes the structural index of the current file generation.
+func (r *Reader) SemiIndex() *SemiIndex { return r.state.Load().ix }
 
 // SizeBytes returns the raw file size.
-func (r *Reader) SizeBytes() int64 { return int64(len(r.data)) }
+func (r *Reader) SizeBytes() int64 { return int64(len(r.state.Load().data)) }
 
 // StatsSnapshot returns a copy of the counters.
 func (r *Reader) StatsSnapshot() map[string]int64 {
@@ -165,22 +178,22 @@ func (r *Reader) StatsSnapshot() map[string]int64 {
 // SetInvalidateHook registers a callback fired when Refresh drops state.
 func (r *Reader) SetInvalidateHook(fn func()) { r.onInvalidate = fn }
 
-// Refresh re-checks the file, dropping the semi-index on change.
+// Refresh re-checks the file, replacing the whole generation (bytes plus
+// a fresh semi-index) on change.
 func (r *Reader) Refresh() (changed bool, err error) {
+	st := r.state.Load()
 	fi, err := os.Stat(r.desc.Path)
 	if err != nil {
 		return false, err
 	}
-	if fi.ModTime().Equal(r.mtime) && fi.Size() == int64(len(r.data)) {
+	if fi.ModTime().Equal(st.mtime) && fi.Size() == int64(len(st.data)) {
 		return false, nil
 	}
 	data, err := os.ReadFile(r.desc.Path)
 	if err != nil {
 		return false, err
 	}
-	r.data = data
-	r.mtime = fi.ModTime()
-	r.ix.Drop()
+	r.state.Store(&jsonState{data: data, mtime: fi.ModTime(), ix: newSemiIndex()})
 	if r.onInvalidate != nil {
 		r.onInvalidate()
 	}
@@ -188,31 +201,38 @@ func (r *Reader) Refresh() (changed bool, err error) {
 }
 
 // buildObjectIndex records the span of every top-level object using the
-// skip scanner (no materialization).
-func (r *Reader) buildObjectIndex() error {
-	if r.ix.HasObjects() {
+// skip scanner (no materialization). Concurrent builders single-flight:
+// the first walks the file, the rest find the index installed.
+func (r *Reader) buildObjectIndex(st *jsonState) error {
+	if st.ix.HasObjects() {
 		return nil
 	}
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	if st.ix.HasObjects() {
+		return nil
+	}
+	data := st.data
 	var objs []span
-	pos := skipWS(r.data, 0)
-	arrayFile := pos < len(r.data) && r.data[pos] == '['
+	pos := skipWS(data, 0)
+	arrayFile := pos < len(data) && data[pos] == '['
 	if arrayFile {
 		pos++
 	}
 	for {
-		pos = skipWS(r.data, pos)
-		if pos >= len(r.data) {
+		pos = skipWS(data, pos)
+		if pos >= len(data) {
 			break
 		}
-		if arrayFile && r.data[pos] == ']' {
+		if arrayFile && data[pos] == ']' {
 			break
 		}
-		if r.data[pos] == ',' {
+		if data[pos] == ',' {
 			pos++
 			continue
 		}
 		start := pos
-		next, err := SkipValue(r.data, pos)
+		next, err := SkipValue(data, pos)
 		if err != nil {
 			if r.failOnBad {
 				return err
@@ -222,8 +242,8 @@ func (r *Reader) buildObjectIndex() error {
 			// fail to the end, which truncates cleanly).
 			r.stats.ObjectsSkipped.Add(1)
 			nl := -1
-			for i := start; i < len(r.data); i++ {
-				if r.data[i] == '\n' {
+			for i := start; i < len(data); i++ {
+				if data[i] == '\n' {
 					nl = i
 					break
 				}
@@ -237,19 +257,20 @@ func (r *Reader) buildObjectIndex() error {
 		objs = append(objs, span{start: int64(start), end: int64(next)})
 		pos = next
 	}
-	r.ix.mu.Lock()
-	r.ix.objects = objs
-	r.ix.mu.Unlock()
-	r.stats.BytesRead.Add(int64(len(r.data)))
+	st.ix.mu.Lock()
+	st.ix.objects = objs
+	st.ix.mu.Unlock()
+	r.stats.BytesRead.Add(int64(len(data)))
 	return nil
 }
 
 // NumObjects returns the number of top-level objects.
 func (r *Reader) NumObjects() (int, error) {
-	if err := r.buildObjectIndex(); err != nil {
+	st := r.state.Load()
+	if err := r.buildObjectIndex(st); err != nil {
 		return 0, err
 	}
-	return r.ix.NumObjects(), nil
+	return st.ix.NumObjects(), nil
 }
 
 // Iterate implements algebra.Source: one record per top-level object,
@@ -257,46 +278,47 @@ func (r *Reader) NumObjects() (int, error) {
 // first pass over a projection records field spans; later passes parse
 // exactly the spans.
 func (r *Reader) Iterate(fields []string, yield func(values.Value) error) error {
-	if err := r.buildObjectIndex(); err != nil {
+	st := r.state.Load()
+	if err := r.buildObjectIndex(st); err != nil {
 		return err
 	}
 	if len(fields) == 0 {
-		return r.iterateFull(yield)
+		return r.iterateFull(st, yield)
 	}
-	if r.allFieldsIndexed(fields) {
-		return r.iterateIndexed(fields, yield)
+	if allFieldsIndexed(st.ix, fields) {
+		return r.iterateIndexed(st, fields, yield)
 	}
-	return r.iteratePartial(fields, yield)
+	return r.iteratePartial(st, fields, yield)
 }
 
-func (r *Reader) allFieldsIndexed(fields []string) bool {
+func allFieldsIndexed(ix *SemiIndex, fields []string) bool {
 	for _, f := range fields {
-		if !r.ix.HasField(f) {
+		if !ix.HasField(f) {
 			return false
 		}
 	}
 	return true
 }
 
-func (r *Reader) objects() []span {
-	r.ix.mu.RLock()
-	defer r.ix.mu.RUnlock()
-	return r.ix.objects
+func objects(ix *SemiIndex) []span {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.objects
 }
 
-func (r *Reader) iterateFull(yield func(values.Value) error) error {
-	for i, o := range r.objects() {
-		if r.ix.isBad(i) {
+func (r *Reader) iterateFull(st *jsonState, yield func(values.Value) error) error {
+	for i, o := range objects(st.ix) {
+		if st.ix.isBad(i) {
 			continue
 		}
 		r.stats.FullParses.Add(1)
-		v, _, err := ParseValue(r.data, int(o.start))
+		v, _, err := ParseValue(st.data, int(o.start))
 		if err != nil {
 			if r.failOnBad {
 				return err
 			}
 			r.stats.ObjectsSkipped.Add(1)
-			r.ix.markBad(i)
+			st.ix.markBad(i)
 			continue
 		}
 		if err := yield(v); err != nil {
@@ -308,18 +330,18 @@ func (r *Reader) iterateFull(yield func(values.Value) error) error {
 
 // iteratePartial parses each object skipping unrequested fields, and
 // records the spans of the requested ones into the semi-index.
-func (r *Reader) iteratePartial(fields []string, yield func(values.Value) error) error {
+func (r *Reader) iteratePartial(st *jsonState, fields []string, yield func(values.Value) error) error {
 	want := make(map[string]bool, len(fields))
 	for _, f := range fields {
 		want[f] = true
 	}
-	objs := r.objects()
+	objs := objects(st.ix)
 	newSpans := make(map[string][]span, len(fields))
 	for _, f := range fields {
 		newSpans[f] = make([]span, 0, len(objs))
 	}
 	for i, o := range objs {
-		if r.ix.isBad(i) {
+		if st.ix.isBad(i) {
 			for _, f := range fields {
 				newSpans[f] = append(newSpans[f], span{start: -1, end: -1})
 			}
@@ -327,13 +349,13 @@ func (r *Reader) iteratePartial(fields []string, yield func(values.Value) error)
 		}
 		r.stats.PartialParses.Add(1)
 		spans := map[string][2]int{}
-		v, _, err := parseObject(r.data, int(o.start), want, spans)
+		v, _, err := parseObject(st.data, int(o.start), want, spans)
 		if err != nil {
 			if r.failOnBad {
 				return err
 			}
 			r.stats.ObjectsSkipped.Add(1)
-			r.ix.markBad(i)
+			st.ix.markBad(i)
 			for _, f := range fields {
 				newSpans[f] = append(newSpans[f], span{start: -1, end: -1})
 			}
@@ -350,25 +372,25 @@ func (r *Reader) iteratePartial(fields []string, yield func(values.Value) error)
 			return err
 		}
 	}
-	r.ix.mu.Lock()
+	st.ix.mu.Lock()
 	for f, s := range newSpans {
-		r.ix.fields[f] = s
+		st.ix.fields[f] = s
 	}
-	r.ix.mu.Unlock()
+	st.ix.mu.Unlock()
 	return nil
 }
 
 // iterateIndexed serves the projection straight from recorded spans.
-func (r *Reader) iterateIndexed(fields []string, yield func(values.Value) error) error {
-	objs := r.objects()
+func (r *Reader) iterateIndexed(st *jsonState, fields []string, yield func(values.Value) error) error {
+	objs := objects(st.ix)
 	fieldSpans := make([][]span, len(fields))
-	r.ix.mu.RLock()
+	st.ix.mu.RLock()
 	for i, f := range fields {
-		fieldSpans[i] = r.ix.fields[f]
+		fieldSpans[i] = st.ix.fields[f]
 	}
-	r.ix.mu.RUnlock()
+	st.ix.mu.RUnlock()
 	for objIdx := range objs {
-		if r.ix.isBad(objIdx) {
+		if st.ix.isBad(objIdx) {
 			continue
 		}
 		recFields := make([]values.Field, len(fields))
@@ -379,7 +401,7 @@ func (r *Reader) iterateIndexed(fields []string, yield func(values.Value) error)
 				continue
 			}
 			r.stats.IndexedReads.Add(1)
-			v, _, err := ParseValue(r.data, int(s.start))
+			v, _, err := ParseValue(st.data, int(s.start))
 			if err != nil {
 				return err
 			}
@@ -411,47 +433,62 @@ func projectInOrder(v values.Value, fields []string) values.Value {
 // two integers through evaluation and assemble the object only at result
 // projection.
 func (r *Reader) ObjectSpan(i int) (start, end int64, err error) {
-	if err := r.buildObjectIndex(); err != nil {
+	st := r.state.Load()
+	_, s, err := r.objectSpanState(st, i)
+	if err != nil {
 		return 0, 0, err
 	}
-	objs := r.objects()
-	if i < 0 || i >= len(objs) {
-		return 0, 0, fmt.Errorf("rawjson: object %d out of range", i)
+	return s.start, s.end, nil
+}
+
+// objectSpanState resolves object i within one generation, so callers
+// can apply the span to the very bytes it indexes.
+func (r *Reader) objectSpanState(st *jsonState, i int) (*jsonState, span, error) {
+	if err := r.buildObjectIndex(st); err != nil {
+		return st, span{}, err
 	}
-	return objs[i].start, objs[i].end, nil
+	objs := objects(st.ix)
+	if i < 0 || i >= len(objs) {
+		return st, span{}, fmt.Errorf("rawjson: object %d out of range", i)
+	}
+	return st, objs[i], nil
 }
 
 // ObjectBytes returns the raw bytes of object i (Figure 4a layout).
 func (r *Reader) ObjectBytes(i int) ([]byte, error) {
-	s, e, err := r.ObjectSpan(i)
+	st, s, err := r.objectSpanState(r.state.Load(), i)
 	if err != nil {
 		return nil, err
 	}
-	return r.data[s:e], nil
+	return st.data[s.start:s.end], nil
 }
 
 // ParseObject fully parses object i (Figure 4c layout).
 func (r *Reader) ParseObject(i int) (values.Value, error) {
-	s, _, err := r.ObjectSpan(i)
+	st, s, err := r.objectSpanState(r.state.Load(), i)
 	if err != nil {
 		return values.Null, err
 	}
 	r.stats.FullParses.Add(1)
-	v, _, err := ParseValue(r.data, int(s))
+	v, _, err := ParseValue(st.data, int(s.start))
 	return v, err
 }
 
 // ExtractPath parses only the value at a dotted path ("coords.x") within
 // object i, skipping everything else.
 func (r *Reader) ExtractPath(i int, path string) (values.Value, error) {
-	s, _, err := r.ObjectSpan(i)
-	if err != nil {
+	st := r.state.Load()
+	if err := r.buildObjectIndex(st); err != nil {
 		return values.Null, err
 	}
+	objs := objects(st.ix)
+	if i < 0 || i >= len(objs) {
+		return values.Null, fmt.Errorf("rawjson: object %d out of range", i)
+	}
 	parts := strings.Split(path, ".")
-	pos := int(s)
+	pos := int(objs[i].start)
 	for depth, part := range parts {
-		vpos, ok, err := findField(r.data, pos, part)
+		vpos, ok, err := findField(st.data, pos, part)
 		if err != nil {
 			return values.Null, err
 		}
@@ -459,7 +496,7 @@ func (r *Reader) ExtractPath(i int, path string) (values.Value, error) {
 			return values.Null, nil
 		}
 		if depth == len(parts)-1 {
-			v, _, err := ParseValue(r.data, vpos)
+			v, _, err := ParseValue(st.data, vpos)
 			return v, err
 		}
 		pos = vpos

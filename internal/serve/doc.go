@@ -1,0 +1,35 @@
+// Package serve turns a vida Engine into a concurrent query service.
+// It is the serving tier the paper's vision implies but never builds:
+// positional maps, semi-indexes and columnar caches amortize their build
+// cost across a *stream* of concurrent clients, so the engine needs a
+// front door that admits many queries at once without melting the
+// machine. The package has three layers, composed bottom-up:
+//
+//   - Scheduling. Every engine behind a Service shares one morsel worker
+//     pool (internal/sched): parallel scans submit morsels as jobs and
+//     the pool's fixed GOMAXPROCS workers interleave the morsels of all
+//     in-flight queries round-robin. N concurrent queries therefore run
+//     on cores workers total — not N×cores goroutines — and a short
+//     query makes progress while a long scan is running instead of
+//     queuing behind it.
+//
+//   - Admission and sessions (Service). A bounded in-flight limit
+//     (Config.MaxInFlight) sheds load at the door: beyond the limit,
+//     Query returns ErrBusy immediately (HTTP 429 at the front-end)
+//     rather than stacking goroutines. Admitted queries run under a
+//     per-query timeout and the caller's cancellation context, threaded
+//     through Engine.QueryCtx → the JIT executor → the batch sources, so
+//     a cancelled query stops mid-scan and frees its pool workers. Two
+//     session caches sit in front of the engine, both LRU and both
+//     keyed on (query text, engine epoch): a prepared-statement cache
+//     that skips the query frontend, and a query-result cache that
+//     skips execution entirely. The epoch key makes invalidation free —
+//     Refresh, registration changes and file-change detection bump the
+//     engine epoch, orphaning every stale entry in place.
+//
+//   - HTTP front-end (Server). POST /query (comprehension queries),
+//     POST /sql (SQL translated to comprehensions), GET /catalog,
+//     GET /stats, GET /explain and GET /healthz, all JSON. Results
+//     preserve record field order. Shutdown drains: the HTTP server
+//     stops accepting, then Engine.Close waits for in-flight queries.
+package serve

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"vida/internal/core"
+)
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before the response" — there is no standard code for it.
+const statusClientClosedRequest = 499
+
+// maxRequestBody bounds query request bodies (queries are text; 1 MiB is
+// generous).
+const maxRequestBody = 1 << 20
+
+// Server is the HTTP front-end over a Service.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+	srv *http.Server
+}
+
+// NewServer builds the front-end with all routes registered.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery(false))
+	s.mux.HandleFunc("POST /sql", s.handleQuery(true))
+	s.mux.HandleFunc("GET /catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler exposes the route table (tests mount it on httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.srv = &http.Server{Addr: addr, Handler: s.mux}
+	err := s.srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting requests, waits (bounded by ctx) for handlers
+// to return, then closes the engine so in-flight queries drain fully.
+// The engine drain is also bounded by ctx: a query running with no
+// timeout must not pin the process open forever.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var httpErr error
+	if s.srv != nil {
+		httpErr = s.srv.Shutdown(ctx)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.svc.Close() }()
+	select {
+	case err := <-drained:
+		if err != nil && httpErr == nil {
+			httpErr = err
+		}
+	case <-ctx.Done():
+		if httpErr == nil {
+			httpErr = ctx.Err()
+		}
+	}
+	return httpErr
+}
+
+// queryRequest is the body of POST /query and POST /sql.
+type queryRequest struct {
+	Query     string `json:"query"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+func (s *Server) handleQuery(sql bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		var req queryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if req.Query == "" {
+			writeError(w, http.StatusBadRequest, errors.New(`missing "query"`))
+			return
+		}
+		timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+		var out *Outcome
+		if sql {
+			out, err = s.svc.QuerySQL(r.Context(), req.Query, timeout)
+		} else {
+			out, err = s.svc.Query(r.Context(), req.Query, timeout)
+		}
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		buf := append([]byte(nil), `{"result":`...)
+		buf = appendValueJSON(buf, out.Result.Value())
+		buf = append(buf, `,"rows":`...)
+		buf = fmt.Appendf(buf, "%d", out.Result.Len())
+		buf = append(buf, `,"cached":`...)
+		buf = fmt.Appendf(buf, "%t", out.Cached)
+		buf = append(buf, `,"elapsed_ms":`...)
+		buf = fmt.Appendf(buf, "%.3f", float64(out.Elapsed.Microseconds())/1000)
+		buf = append(buf, '}', '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	}
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	eng := s.svc.Engine()
+	type sourceInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	names := eng.Sources()
+	out := make([]sourceInfo, 0, len(names))
+	for _, n := range names {
+		info := sourceInfo{Name: n}
+		if desc, ok := eng.Internal().Description(n); ok {
+			info.Description = desc.String()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, map[string]any{"sources": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"service": s.svc.StatsSnapshot(),
+		"engine":  s.svc.Engine().Stats(),
+	}
+	if p := s.svc.Pool(); p != nil {
+		resp["scheduler"] = p.StatsSnapshot()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`missing "q" parameter`))
+		return
+	}
+	if r.URL.Query().Get("sql") == "true" {
+		comp, err := s.svc.Engine().TranslateSQL(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q = comp
+	}
+	plan, err := s.svc.Engine().Explain(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"plan": plan})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// statusFor maps service errors onto HTTP statuses: frontend failures
+// (the request's query is at fault) are 4xx, execution failures (the
+// query was valid but the engine could not finish it — I/O errors,
+// malformed source data with onerror=fail) are 5xx.
+func statusFor(err error) int {
+	var badQuery *BadQueryError
+	switch {
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, core.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &badQuery):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

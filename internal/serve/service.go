@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vida"
+	"vida/internal/core"
+	"vida/internal/sched"
+)
+
+// ErrBusy is returned when the in-flight query limit is reached; the
+// HTTP layer maps it to 429 Too Many Requests.
+var ErrBusy = errors.New("serve: too many in-flight queries")
+
+// BadQueryError marks failures of the query frontend (syntax, type,
+// translation): the request itself is at fault, so the HTTP layer maps
+// it to 400 rather than 500.
+type BadQueryError struct{ Err error }
+
+func (e *BadQueryError) Error() string { return e.Err.Error() }
+
+// Unwrap supports errors.Is/As through the wrapper.
+func (e *BadQueryError) Unwrap() error { return e.Err }
+
+// Config tunes the admission/session layer.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (default
+	// 4×GOMAXPROCS; queries beyond it are rejected with ErrBusy).
+	MaxInFlight int
+	// DefaultTimeout bounds each query's execution; requests may shorten
+	// it but never extend it (default 30s; <0 disables the bound and
+	// lets requests pick any timeout).
+	DefaultTimeout time.Duration
+	// ResultCacheEntries bounds the query-result LRU (default 256;
+	// <0 disables).
+	ResultCacheEntries int
+	// PreparedCacheEntries bounds the prepared-statement LRU (default
+	// 256; <0 disables).
+	PreparedCacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 256
+	}
+	if c.PreparedCacheEntries == 0 {
+		c.PreparedCacheEntries = 256
+	}
+	return c
+}
+
+// Stats is a snapshot of service activity, reported by GET /stats next
+// to the engine's own counters.
+type Stats struct {
+	Admitted       int64 `json:"admitted"`
+	Rejected       int64 `json:"rejected"`
+	Completed      int64 `json:"completed"`
+	Failed         int64 `json:"failed"`
+	Cancelled      int64 `json:"cancelled"`
+	InFlight       int64 `json:"in_flight"`
+	ResultHits     int64 `json:"result_cache_hits"`
+	ResultMisses   int64 `json:"result_cache_misses"`
+	PreparedHits   int64 `json:"prepared_cache_hits"`
+	PreparedMisses int64 `json:"prepared_cache_misses"`
+	Epoch          int64 `json:"epoch"`
+}
+
+// Service is the admission/session layer over one engine: bounded
+// in-flight queries, per-query timeouts and cancellation, and
+// epoch-keyed prepared-statement and result caches.
+type Service struct {
+	eng  *vida.Engine
+	core *core.Engine
+	pool *sched.Pool
+	cfg  Config
+	sem  chan struct{}
+
+	prepared *lruCache
+	results  *lruCache
+
+	admitted     atomic.Int64
+	rejected     atomic.Int64
+	completed    atomic.Int64
+	failed       atomic.Int64
+	cancelled    atomic.Int64
+	inFlight     atomic.Int64
+	resultHits   atomic.Int64
+	resultMisses atomic.Int64
+	prepHits     atomic.Int64
+	prepMisses   atomic.Int64
+}
+
+// NewService wraps an engine with admission control and session caches.
+// The pool is only reported in stats (the engine was built with it); it
+// may be nil.
+func NewService(eng *vida.Engine, pool *sched.Pool, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		eng:      eng,
+		core:     eng.Internal(),
+		pool:     pool,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		prepared: newLRU(cfg.PreparedCacheEntries),
+		results:  newLRU(cfg.ResultCacheEntries),
+	}
+}
+
+// Engine returns the wrapped engine.
+func (s *Service) Engine() *vida.Engine { return s.eng }
+
+// Pool returns the shared scheduler pool (may be nil).
+func (s *Service) Pool() *sched.Pool { return s.pool }
+
+// Close gracefully shuts the service down: the engine drains in-flight
+// queries, then the pool (when owned by the caller) can be closed.
+func (s *Service) Close() error { return s.eng.Close() }
+
+// StatsSnapshot returns service counters.
+func (s *Service) StatsSnapshot() Stats {
+	return Stats{
+		Admitted:       s.admitted.Load(),
+		Rejected:       s.rejected.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Cancelled:      s.cancelled.Load(),
+		InFlight:       s.inFlight.Load(),
+		ResultHits:     s.resultHits.Load(),
+		ResultMisses:   s.resultMisses.Load(),
+		PreparedHits:   s.prepHits.Load(),
+		PreparedMisses: s.prepMisses.Load(),
+		Epoch:          s.core.Epoch(),
+	}
+}
+
+// Outcome is one served query.
+type Outcome struct {
+	Result  *vida.Result
+	Cached  bool // served from the result cache, no execution
+	Elapsed time.Duration
+}
+
+// Query admits, plans and executes one comprehension query. Beyond the
+// in-flight limit it fails fast with ErrBusy. The query runs under ctx
+// plus the configured timeout; cancellation propagates into scans.
+// timeout <= 0 (or anything beyond the service default) uses the
+// service default.
+func (s *Service) Query(ctx context.Context, src string, timeout time.Duration) (*Outcome, error) {
+	start := time.Now()
+
+	// Result cache first: a hit executes nothing, so it is served even
+	// when every admission slot is held by slow queries — repeats stay
+	// cheap exactly when the engine is saturated.
+	epoch := s.core.Epoch()
+	if v, ok := s.results.get(src, epoch); ok {
+		s.resultHits.Add(1)
+		s.completed.Add(1)
+		return &Outcome{Result: v.(*vida.Result), Cached: true, Elapsed: time.Since(start)}, nil
+	}
+	s.resultMisses.Add(1)
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return nil, ErrBusy
+	}
+	s.admitted.Add(1)
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+	// Requests may shorten the configured bound, never extend it: an
+	// oversized timeout_ms would otherwise pin an admission slot far
+	// beyond what the operator allowed.
+	if def := s.cfg.DefaultTimeout; timeout <= 0 || (def > 0 && timeout > def) {
+		timeout = def
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	p, err := s.preparedFor(ctx, src, epoch)
+	if err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+	res, err := p.RunCtx(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.cancelled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		return nil, err
+	}
+	// Re-read the epoch: a refresh that raced this execution may have
+	// changed the data mid-run, and caching the result under the old
+	// epoch could serve a mixed-generation answer forever.
+	if s.core.Epoch() == epoch {
+		s.results.put(src, epoch, res)
+	}
+	s.completed.Add(1)
+	return &Outcome{Result: res, Elapsed: time.Since(start)}, nil
+}
+
+// QuerySQL translates SQL to a comprehension and serves it through the
+// same admission/caching path (equivalent SQL and comprehension queries
+// share cache entries).
+func (s *Service) QuerySQL(ctx context.Context, src string, timeout time.Duration) (*Outcome, error) {
+	comp, err := s.eng.TranslateSQL(src)
+	if err != nil {
+		return nil, &BadQueryError{Err: err}
+	}
+	return s.Query(ctx, comp, timeout)
+}
+
+// preparedFor returns the cached prepared statement for (src, epoch) or
+// runs the frontend and installs it.
+func (s *Service) preparedFor(ctx context.Context, src string, epoch int64) (*vida.Prepared, error) {
+	if v, ok := s.prepared.get(src, epoch); ok {
+		s.prepHits.Add(1)
+		return v.(*vida.Prepared), nil
+	}
+	s.prepMisses.Add(1)
+	p, err := s.eng.PrepareCtx(ctx, src)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, &BadQueryError{Err: err}
+	}
+	s.prepared.put(src, epoch, p)
+	return p, nil
+}
+
+// lruCache is a small epoch-aware LRU: entries whose epoch no longer
+// matches the engine's are treated as absent (and evicted on touch), so
+// Refresh invalidates the whole cache without a sweep.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key   string
+	epoch int64
+	val   any
+}
+
+func newLRU(max int) *lruCache {
+	if max < 0 {
+		max = 0
+	}
+	return &lruCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string, epoch int64) (any, bool) {
+	if c.max == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*lruEntry)
+	if ent.epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return ent.val, true
+}
+
+func (c *lruCache) put(key string, epoch int64, val any) {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*lruEntry)
+		ent.epoch, ent.val = epoch, val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, epoch: epoch, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -19,11 +19,13 @@
 package vida
 
 import (
+	"context"
 	"fmt"
 
 	"vida/internal/clean"
 	"vida/internal/core"
 	"vida/internal/mcl"
+	"vida/internal/sched"
 	"vida/internal/sdg"
 	"vida/internal/sqlfront"
 	"vida/internal/values"
@@ -62,6 +64,15 @@ func WithoutCaching() Option {
 // round (paper §5).
 func WithAdaptiveOptimizer() Option {
 	return func(o *core.Options) { o.Adaptive = true }
+}
+
+// WithScheduler runs the engine's parallel scans on the given morsel
+// worker pool. Engines sharing one pool (a query server's engines, or
+// several engines in one process) bound their total scan parallelism to
+// the pool's workers instead of each fanning out GOMAXPROCS goroutines.
+// The default is the process-wide shared pool.
+func WithScheduler(p *sched.Pool) Option {
+	return func(o *core.Options) { o.Pool = p }
 }
 
 // New creates an engine.
@@ -181,7 +192,15 @@ func (s *sliceSource) Iterate(fields []string, yield func(values.Value) error) e
 
 // Query runs a comprehension query and returns its result.
 func (e *Engine) Query(src string) (*Result, error) {
-	v, err := e.inner.Query(src)
+	return e.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx runs a comprehension query under a cancellation context:
+// cancelling ctx (or its deadline passing) aborts the query mid-scan —
+// including a cold first touch of a large raw file — and returns the
+// context's error.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*Result, error) {
+	v, err := e.inner.QueryCtx(ctx, src)
 	if err != nil {
 		return nil, err
 	}
@@ -191,12 +210,57 @@ func (e *Engine) Query(src string) (*Result, error) {
 // QuerySQL translates a SQL query to the comprehension calculus (the
 // "syntactic sugar" layer of paper §3.2) and runs it.
 func (e *Engine) QuerySQL(src string) (*Result, error) {
+	return e.QuerySQLCtx(context.Background(), src)
+}
+
+// QuerySQLCtx is QuerySQL under a cancellation context.
+func (e *Engine) QuerySQLCtx(ctx context.Context, src string) (*Result, error) {
 	comp, err := sqlfront.Translate(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Query(comp.String())
+	return e.QueryCtx(ctx, comp.String())
 }
+
+// Prepared is a compiled query ready for repeated (concurrent) execution.
+type Prepared struct {
+	inner *core.Prepared
+}
+
+// Prepare runs the query frontend (parse, type-check, normalize,
+// translate, optimize) without executing. The result is safe for
+// concurrent Run/RunCtx calls.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	return e.PrepareCtx(context.Background(), src)
+}
+
+// PrepareCtx is Prepare with a cancellation context.
+func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) {
+	p, err := e.inner.PrepareCtx(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{inner: p}, nil
+}
+
+// Run executes the prepared query.
+func (p *Prepared) Run() (*Result, error) {
+	return p.RunCtx(context.Background())
+}
+
+// RunCtx executes the prepared query under a cancellation context.
+func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
+	v, err := p.inner.RunCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{val: Value{raw: v}}, nil
+}
+
+// Close marks the engine closed and waits for in-flight queries to
+// finish; later queries fail with an engine-closed error. It is the
+// graceful-shutdown hook for servers built on the engine.
+func (e *Engine) Close() error { return e.inner.Close() }
 
 // TranslateSQL returns the comprehension a SQL query maps to, without
 // running it.
