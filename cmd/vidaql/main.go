@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"vida"
@@ -107,10 +108,81 @@ func printResult(res *vida.Result) {
 	fmt.Printf("(%d rows)\n", len(rows))
 }
 
+// runStreaming runs one interactive query through the cursor API: rows
+// print as they stream off the engine, so large results display
+// immediately instead of after full materialization. Session parameters
+// (\set) bind the query's $name placeholders.
+func runStreaming(eng *vida.Engine, query string, sql bool, params map[string]any) error {
+	if sql {
+		text, err := eng.TranslateSQL(query)
+		if err != nil {
+			return err
+		}
+		query = text
+	}
+	p, err := eng.Prepare(query)
+	if err != nil {
+		return err
+	}
+	// Bind only the parameters this query declares: the session may hold
+	// bindings for other queries.
+	var args []any
+	for _, name := range p.Params() {
+		if val, ok := params[name]; ok {
+			args = append(args, vida.Named(name, val))
+		}
+	}
+	rows, err := p.RunRows(args...)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	n := 0
+	scalar := false
+	for rows.Next() {
+		v := rows.Value()
+		scalar = n == 0 && v.Kind() != "record"
+		fmt.Println(v)
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	if !(n == 1 && scalar) {
+		fmt.Printf("(%d rows)\n", n)
+	}
+	return nil
+}
+
+// parseParamValue reads a \set value: int, float, bool and null parse
+// natively; anything else (optionally quoted) is a string.
+func parseParamValue(text string) any {
+	switch text {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null":
+		return nil
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return f
+	}
+	if len(text) >= 2 && (text[0] == '\'' || text[0] == '"') && text[len(text)-1] == text[0] {
+		return text[1 : len(text)-1]
+	}
+	return text
+}
+
 func repl(eng *vida.Engine, sql bool) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("vidaql — \\catalog lists sources, \\stats shows engine counters, \\q quits")
+	params := map[string]any{}
+	fmt.Println("vidaql — \\catalog lists sources, \\stats shows engine counters,")
+	fmt.Println("         \\set name value binds $name, \\unset name drops it, \\params lists bindings, \\q quits")
 	fmt.Print("> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -124,12 +196,26 @@ func repl(eng *vida.Engine, sql bool) {
 			st := eng.Stats()
 			fmt.Printf("queries=%d cache-served=%d raw-touch=%d cache-bytes=%d aux-bytes=%d\n",
 				st.Queries, st.QueriesFromCache, st.QueriesTouchedRaw, st.Cache.BytesUsed, st.AuxiliaryBytes)
+		case line == "\\params":
+			for name, val := range params {
+				fmt.Printf("$%s = %v\n", name, val)
+			}
+		case strings.HasPrefix(line, "\\set "):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "\\set "))
+			name, val, ok := strings.Cut(rest, " ")
+			if !ok {
+				fmt.Println("usage: \\set name value")
+				break
+			}
+			params[strings.TrimPrefix(name, "$")] = parseParamValue(strings.TrimSpace(val))
+		case strings.HasPrefix(line, "\\unset "):
+			delete(params, strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(line, "\\unset ")), "$"))
 		case strings.HasPrefix(line, "\\explain "):
 			if err := runOne(eng, strings.TrimPrefix(line, "\\explain "), sql, true); err != nil {
 				fmt.Println("error:", err)
 			}
 		default:
-			if err := runOne(eng, line, sql, false); err != nil {
+			if err := runStreaming(eng, line, sql, params); err != nil {
 				fmt.Println("error:", err)
 			}
 		}

@@ -10,8 +10,8 @@
 //	vidaserve -csv 'Patients=patients.csv#Record(Att(id, int), Att(age, int))' \
 //	          -json 'Regions=regions.json' -addr :8080
 //
-// Endpoints: POST /query, POST /sql, GET /catalog, GET /stats,
-// GET /explain?q=..., GET /healthz.
+// Endpoints: POST /query, POST /sql, POST /stream (NDJSON), GET /catalog,
+// GET /stats, GET /metrics (Prometheus), GET /explain?q=..., GET /healthz.
 package main
 
 import (
@@ -63,6 +63,7 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "admission limit on concurrent queries (0 = 4x GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout (negative disables)")
 		resultCache = flag.Int("result-cache", 256, "query-result LRU entries (negative disables)")
+		resultBytes = flag.Int64("result-cache-bytes", 64<<20, "query-result LRU memory budget in bytes (negative disables)")
 		cacheBudget = flag.Int64("cache-budget", 0, "data cache budget in bytes (0 = unlimited)")
 		demo        = flag.Bool("demo", false, "generate and serve the paper's demo datasets (Patients, Genetics, BrainRegions)")
 		demoRows    = flag.Int("demo-rows", 5000, "demo dataset row count")
@@ -137,6 +138,7 @@ func main() {
 		MaxInFlight:        *maxInFlight,
 		DefaultTimeout:     *timeout,
 		ResultCacheEntries: *resultCache,
+		ResultCacheBytes:   *resultBytes,
 	})
 	srv := serve.NewServer(svc)
 

@@ -1,0 +1,113 @@
+package algebra
+
+import (
+	"vida/internal/mcl"
+	"vida/internal/values"
+)
+
+// exprFields enumerates the expression slots of one plan node, so the
+// parameter helpers stay in sync with the node set.
+func exprFields(p Plan) []mcl.Expr {
+	switch n := p.(type) {
+	case *Scan:
+		return []mcl.Expr{n.Filter}
+	case *Generate:
+		return []mcl.Expr{n.E}
+	case *Select:
+		return []mcl.Expr{n.Pred}
+	case *Join:
+		out := make([]mcl.Expr, 0, 2*len(n.On)+1)
+		for _, on := range n.On {
+			out = append(out, on.LExpr, on.RExpr)
+		}
+		return append(out, n.Residual)
+	case *Bind:
+		return []mcl.Expr{n.E}
+	case *Reduce:
+		return []mcl.Expr{n.Head, n.Pred}
+	}
+	return nil
+}
+
+// PlanParams returns the bind-parameter names referenced anywhere in the
+// plan, in first-occurrence order (walking inputs before each node's own
+// expressions, matching qualifier order).
+func PlanParams(p Plan) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Plan)
+	walk = func(p Plan) {
+		if p == nil {
+			return
+		}
+		for _, in := range p.Inputs() {
+			walk(in)
+		}
+		for _, e := range exprFields(p) {
+			for _, name := range mcl.Params(e) {
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, name)
+				}
+			}
+		}
+	}
+	walk(p)
+	return out
+}
+
+// BindParams returns a copy of the plan with every parameter placeholder
+// substituted by its bound constant. The original plan (typically a
+// cached prepared statement shared by concurrent executions) is not
+// mutated; expressions without parameters are shared, not copied.
+func BindParams(p *Reduce, params map[string]values.Value) *Reduce {
+	if len(params) == 0 {
+		return p
+	}
+	return bindPlan(p, params).(*Reduce)
+}
+
+func bindPlan(p Plan, params map[string]values.Value) Plan {
+	if p == nil {
+		return nil
+	}
+	switch n := p.(type) {
+	case *Scan:
+		cp := *n
+		cp.Filter = mcl.BindParams(n.Filter, params)
+		return &cp
+	case *Generate:
+		cp := *n
+		if n.Input != nil {
+			cp.Input = bindPlan(n.Input, params)
+		}
+		cp.E = mcl.BindParams(n.E, params)
+		return &cp
+	case *Select:
+		return &Select{Input: bindPlan(n.Input, params), Pred: mcl.BindParams(n.Pred, params)}
+	case *Product:
+		return &Product{L: bindPlan(n.L, params), R: bindPlan(n.R, params)}
+	case *Join:
+		on := make([]EquiPair, len(n.On))
+		for i, pair := range n.On {
+			on[i] = EquiPair{
+				LExpr: mcl.BindParams(pair.LExpr, params),
+				RExpr: mcl.BindParams(pair.RExpr, params),
+			}
+		}
+		return &Join{
+			L: bindPlan(n.L, params), R: bindPlan(n.R, params),
+			On: on, Residual: mcl.BindParams(n.Residual, params),
+		}
+	case *Bind:
+		return &Bind{Input: bindPlan(n.Input, params), Var: n.Var, E: mcl.BindParams(n.E, params)}
+	case *Reduce:
+		return &Reduce{
+			Input: bindPlan(n.Input, params),
+			M:     n.M,
+			Head:  mcl.BindParams(n.Head, params),
+			Pred:  mcl.BindParams(n.Pred, params),
+		}
+	}
+	return p
+}

@@ -1,0 +1,32 @@
+package algebra
+
+import (
+	"testing"
+
+	"vida/internal/mcl"
+	"vida/internal/values"
+)
+
+func TestPlanParamsAndBind(t *testing.T) {
+	expr := mcl.MustParse(`for { p <- People, p.age > $min, p.id < $max } yield bag p.id`)
+	plan, err := Translate(mcl.Normalize(expr).(*mcl.Comprehension), map[string]bool{"People": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PlanParams(plan)
+	if len(got) != 2 {
+		t.Fatalf("PlanParams = %v, want both parameters", got)
+	}
+	bound := BindParams(plan, map[string]values.Value{
+		"min": values.NewInt(1),
+		"max": values.NewInt(10),
+	})
+	if rest := PlanParams(bound); len(rest) != 0 {
+		t.Fatalf("parameters survive BindParams: %v", rest)
+	}
+	// The shared original is untouched: cached plans serve concurrent
+	// executions with different bindings.
+	if rest := PlanParams(plan); len(rest) != 2 {
+		t.Fatalf("BindParams mutated the cached plan: %v", rest)
+	}
+}

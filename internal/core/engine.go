@@ -114,9 +114,13 @@ type planShard struct {
 }
 
 // planEntry caches the outcome of the query frontend for one query text.
+// Parameterized queries cache like any other: the key is the query text
+// with its $n placeholders, so same-shape queries with different
+// constants share one frontend run.
 type planEntry struct {
-	plan *algebra.Reduce
-	typ  *sdg.Type
+	plan   *algebra.Reduce
+	typ    *sdg.Type
+	params []string
 }
 
 // Engine is one just-in-time database instance over raw files.
@@ -360,6 +364,16 @@ func (e *Engine) Close() error {
 	e.closeMu.Lock()
 	e.closed = true
 	e.closeMu.Unlock()
+	return nil
+}
+
+// Ping reports whether the engine accepts queries (ErrClosed after
+// Close).
+func (e *Engine) Ping() error {
+	if err := e.beginQuery(); err != nil {
+		return err
+	}
+	e.endQuery()
 	return nil
 }
 
@@ -872,11 +886,54 @@ func (m liveCostModel) CheapestField(name string) (string, bool) {
 // Query lifecycle
 // ---------------------------------------------------------------------------
 
-// Prepared is a compiled query ready for (repeated) execution.
+// Prepared is a compiled query ready for (repeated) execution. Queries
+// may contain bind parameters ($name, or $1..$n positionally); they are
+// type-checked as holes at prepare time and substituted into a copy of
+// the plan at execution time, so one prepared statement serves
+// concurrent runs with different bindings without re-running the
+// frontend.
 type Prepared struct {
 	engine *Engine
 	plan   *algebra.Reduce
 	Type   *sdg.Type
+	params []string
+}
+
+// ParamNames returns the query's bind-parameter names in
+// first-occurrence order (positional parameters are named "1".."n").
+func (p *Prepared) ParamNames() []string {
+	return append([]string(nil), p.params...)
+}
+
+// ParamError reports invalid bind-parameter usage — a missing or
+// undeclared value. It is the caller's fault, not the engine's, and
+// serving layers map it to a client error.
+type ParamError struct{ Msg string }
+
+func (e *ParamError) Error() string { return "core: " + e.Msg }
+
+// boundPlan validates the bindings and substitutes them into a copy of
+// the plan. With no parameters declared and none given, the cached plan
+// is returned as-is.
+func (p *Prepared) boundPlan(params map[string]values.Value) (*algebra.Reduce, error) {
+	for _, name := range p.params {
+		if _, ok := params[name]; !ok {
+			return nil, &ParamError{Msg: fmt.Sprintf("missing value for parameter $%s", name)}
+		}
+	}
+	if len(params) == 0 {
+		return p.plan, nil
+	}
+	declared := map[string]bool{}
+	for _, name := range p.params {
+		declared[name] = true
+	}
+	for name := range params {
+		if !declared[name] {
+			return nil, &ParamError{Msg: fmt.Sprintf("query has no parameter $%s", name)}
+		}
+	}
+	return algebra.BindParams(p.plan, params), nil
 }
 
 // Prepare runs the full frontend: parse, type-check, normalize, translate
@@ -892,7 +949,7 @@ func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) 
 	cached := sh.m[src]
 	sh.mu.RUnlock()
 	if cached != nil {
-		return &Prepared{engine: e, plan: cached.plan, Type: cached.typ}, nil
+		return &Prepared{engine: e, plan: cached.plan, Type: cached.typ, params: cached.params}, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -901,6 +958,10 @@ func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Declared parameters come from the source text (pre-normalization),
+	// so the contract the user sees is stable even when a rewrite folds a
+	// placeholder away.
+	params := mcl.Params(expr)
 	typ, err := e.typeCheck(expr)
 	if err != nil {
 		return nil, err
@@ -928,10 +989,10 @@ func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) 
 	}
 	sh.mu.Lock()
 	if len(sh.m) < e.planCacheLimit {
-		sh.m[src] = &planEntry{plan: opt, typ: typ}
+		sh.m[src] = &planEntry{plan: opt, typ: typ, params: params}
 	}
 	sh.mu.Unlock()
-	return &Prepared{engine: e, plan: opt, Type: typ}, nil
+	return &Prepared{engine: e, plan: opt, Type: typ, params: params}, nil
 }
 
 func (e *Engine) typeCheck(expr mcl.Expr) (*sdg.Type, error) {
@@ -960,6 +1021,20 @@ func (p *Prepared) Run() (values.Value, error) {
 // batch/row-group granularity, so a cancelled query releases its workers
 // mid-file instead of running to completion.
 func (p *Prepared) RunCtx(ctx context.Context) (values.Value, error) {
+	return p.RunParamsCtx(ctx, nil)
+}
+
+// RunParamsCtx is RunCtx with bind-parameter values substituted into a
+// copy of the plan before execution.
+func (p *Prepared) RunParamsCtx(ctx context.Context, params map[string]values.Value) (values.Value, error) {
+	plan, err := p.boundPlan(params)
+	if err != nil {
+		return values.Null, err
+	}
+	return p.runPlanCtx(ctx, plan)
+}
+
+func (p *Prepared) runPlanCtx(ctx context.Context, plan *algebra.Reduce) (values.Value, error) {
 	e := p.engine
 	if err := e.beginQuery(); err != nil {
 		return values.Null, err
@@ -978,11 +1053,11 @@ func (p *Prepared) RunCtx(ctx context.Context) (values.Value, error) {
 	var err error
 	switch mode {
 	case ModeStatic:
-		v, err = jit.StaticExecutor{}.Run(p.plan, cat)
+		v, err = jit.StaticExecutor{}.Run(plan, cat)
 	case ModeReference:
-		v, err = algebra.Reference{}.Run(p.plan, cat)
+		v, err = algebra.Reference{}.Run(plan, cat)
 	default:
-		v, err = jit.Executor{Opts: jit.Options{Pool: e.opts.Pool}}.RunCtx(ctx, p.plan, cat)
+		v, err = jit.Executor{Opts: jit.Options{Pool: e.opts.Pool}}.RunCtx(ctx, plan, cat)
 	}
 	if err != nil {
 		// Surface cancellation as the ctx error, not a wrapped scan error.
@@ -1002,6 +1077,19 @@ func (p *Prepared) RunCtx(ctx context.Context) (values.Value, error) {
 // Plan returns the optimized plan (EXPLAIN).
 func (p *Prepared) Plan() *algebra.Reduce { return p.plan }
 
+// MonoidName returns the root monoid's name ("bag", "count", ...).
+func (p *Prepared) MonoidName() string { return p.plan.M.Name() }
+
+// Streamable reports whether the query's results can be served by a
+// streaming cursor without materialization (collection-rooted plans
+// under the JIT executor).
+func (p *Prepared) Streamable() bool {
+	p.engine.mu.RLock()
+	mode := p.engine.opts.Mode
+	p.engine.mu.RUnlock()
+	return mode == ModeJIT && jit.CanStream(p.plan)
+}
+
 // Query parses, plans and executes in one call.
 func (e *Engine) Query(src string) (values.Value, error) {
 	return e.QueryCtx(context.Background(), src)
@@ -1010,11 +1098,16 @@ func (e *Engine) Query(src string) (values.Value, error) {
 // QueryCtx parses, plans and executes in one call under a cancellation
 // context.
 func (e *Engine) QueryCtx(ctx context.Context, src string) (values.Value, error) {
+	return e.QueryParamsCtx(ctx, src, nil)
+}
+
+// QueryParamsCtx is QueryCtx with bind-parameter values.
+func (e *Engine) QueryParamsCtx(ctx context.Context, src string, params map[string]values.Value) (values.Value, error) {
 	p, err := e.PrepareCtx(ctx, src)
 	if err != nil {
 		return values.Null, err
 	}
-	return p.RunCtx(ctx)
+	return p.RunParamsCtx(ctx, params)
 }
 
 // Explain returns the optimized plan rendering.

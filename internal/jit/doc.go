@@ -46,6 +46,26 @@
 // equal to the serial fold, including for the non-commutative list
 // monoid. Sources below Options.ParallelThreshold rows stay serial.
 //
+// # Pull-sink streaming mode
+//
+// Collection-rooted plans (list/bag/set reduces) have a second execution
+// mode next to collect-into-a-Collector: CompileStream stages the same
+// pipeline but replaces the root reduceConsumer with a streamConsumer
+// that evaluates the head per live row and emits fixed-size chunks of
+// head values to a caller-supplied StreamSink. Nothing above the root
+// changes — the same scan plugins, vectorized filters and frames serve
+// both modes. The sink owns each emitted chunk, so a cursor layer can
+// hand chunks across a bounded channel without copying; backpressure
+// from a slow consumer blocks the producer inside emit, which keeps
+// resident memory at O(channel capacity × chunk size) regardless of
+// result cardinality, and gives first-row latency independent of total
+// result size. For the commutative bag and set monoids, large
+// partitionable scans stream morsel-parallel with workers emitting
+// chunks in completion order; the non-commutative list monoid streams
+// serially so element order matches the collect mode exactly. Scalar
+// aggregates keep the collect mode: their value is only known after the
+// full fold, so there is nothing to stream.
+//
 // # The static executor
 //
 // Pre-cooked generic Volcano operators pipelined over Go channels,

@@ -1,0 +1,217 @@
+package jit
+
+import (
+	"context"
+	"fmt"
+
+	"vida/internal/algebra"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// This file implements the pull-sink execution mode: instead of folding
+// the root reduce into a monoid collector, collection-rooted plans emit
+// their head values in chunks to a caller-supplied sink, so a consumer
+// can process (or abandon) a large result batch-at-a-time with bounded
+// memory. See doc.go for how this mode relates to the collect mode.
+
+// StreamSink receives one chunk of head values. Ownership of the slice
+// transfers to the sink: the producer allocates a fresh chunk per
+// emission, so sinks may retain or hand it to another goroutine without
+// copying. Under morsel-parallel streaming the sink is invoked
+// concurrently from pool workers and must be safe for concurrent calls
+// (a channel send qualifies).
+type StreamSink func(chunk []values.Value) error
+
+// CanStream reports whether the plan's root monoid supports pull-based
+// streaming: the collection monoids whose fold is just element
+// accumulation. Scalar aggregates (count/sum/...), avg/median (which
+// finalize auxiliary state) and array construction stay on the collect
+// path.
+func CanStream(p *algebra.Reduce) bool {
+	switch p.M.Name() {
+	case "list", "bag", "set":
+		return true
+	}
+	return false
+}
+
+// RunStream executes a collection-rooted plan in pull-sink mode,
+// emitting head-value chunks to emit instead of collecting them. Chunk
+// order follows the serial pipeline for the list monoid; for the
+// commutative bag and set monoids large scans go morsel-parallel and
+// chunks arrive in completion order (the result is a bag — element
+// order is not part of its semantics). Set deduplication is the
+// consumer's concern: the raw element stream is emitted.
+func (e Executor) RunStream(ctx context.Context, p *algebra.Reduce, cat algebra.Catalog, emit StreamSink) error {
+	opts := e.Opts
+	opts.Ctx = ctx
+	prog, err := CompileStream(p, cat, opts)
+	if err != nil {
+		return err
+	}
+	return prog(emit)
+}
+
+// CompileStream stages a collection-rooted plan into a pull-sink
+// program. Compilation is identical to CompileWith up to the root: the
+// same staged pipeline feeds a streamConsumer that evaluates the reduce
+// head per live row and flushes fixed-size chunks, rather than a
+// reduceConsumer folding into a collector.
+func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(emit StreamSink) error, error) {
+	if !CanStream(p) {
+		return nil, fmt.Errorf("jit: cannot stream %s-monoid results", p.M.Name())
+	}
+	opts = opts.withDefaults()
+	c := &compiler{cat: cat, opts: opts}
+	if sc, ok := cat.(SchemaCatalog); ok {
+		c.schemas = sc
+	}
+	env, err := c.materializeFreeSources(p)
+	if err != nil {
+		return nil, err
+	}
+	c.baseEnv = env
+
+	input, err := c.compilePlan(p.Input)
+	if err != nil {
+		return nil, err
+	}
+	mkCons, err := c.compileStreamConsumer(p, input)
+	if err != nil {
+		return nil, err
+	}
+	commutative := p.M.Commutative()
+	return func(emit StreamSink) error {
+		if opts.Workers > 1 && commutative && input.openRange != nil {
+			if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
+				return runParallelStream(opts.Ctx, scan, n, mkCons, emit, opts)
+			}
+		}
+		sc := mkCons(emit)
+		if err := input.run(sc.consume); err != nil {
+			return err
+		}
+		return sc.flush()
+	}, nil
+}
+
+// runParallelStream drives a partitionable pipeline morsel-parallel with
+// every worker emitting finished chunks straight to the shared sink.
+// Unlike runParallelReduce there is no merge stage: the sink (typically
+// a bounded channel) is the merge point, and backpressure from a slow
+// consumer blocks workers in emit, which in turn stalls morsel dispatch
+// — bounded memory end to end.
+func runParallelStream(ctx context.Context, scan func(lo, hi int, sink batchSink) error, n int, mkCons func(StreamSink) *streamConsumer, emit StreamSink, opts Options) error {
+	workers := opts.Workers
+	morselRows := (n + workers*4 - 1) / (workers * 4)
+	if morselRows < opts.BatchSize {
+		morselRows = opts.BatchSize
+	}
+	numMorsels := (n + morselRows - 1) / morselRows
+	return opts.Pool.Run(ctx, numMorsels, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// One consumer per morsel: its chunk buffers are handed off to
+		// the sink, so pooling them would not help.
+		sc := mkCons(emit)
+		lo := i * morselRows
+		hi := lo + morselRows
+		if hi > n {
+			hi = n
+		}
+		if err := scan(lo, hi, sc.consume); err != nil {
+			return err
+		}
+		return sc.flush()
+	})
+}
+
+// streamConsumer turns pipeline batches into chunks of evaluated head
+// values. One consumer serves one serial run or one morsel.
+type streamConsumer struct {
+	filter  batchFilter // may be nil
+	headIdx int         // >= 0: head is this slot (no per-row evaluation)
+	head    compiledExpr
+	row     []values.Value
+	chunk   []values.Value
+	size    int
+	emit    StreamSink
+}
+
+func (sc *streamConsumer) consume(b *vec.Batch) error {
+	if sc.filter != nil {
+		if err := sc.filter(b); err != nil {
+			return err
+		}
+	}
+	n := b.Len()
+	for k := 0; k < n; k++ {
+		i := b.Index(k)
+		var v values.Value
+		if sc.headIdx >= 0 {
+			v = b.Cols[sc.headIdx].Value(i)
+		} else {
+			fillRow(b, i, sc.row)
+			var err error
+			v, err = sc.head(sc.row)
+			if err != nil {
+				return err
+			}
+		}
+		sc.chunk = append(sc.chunk, v)
+		if len(sc.chunk) >= sc.size {
+			if err := sc.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flush emits the buffered chunk (ownership transfers) and starts a new
+// one. Safe to call with an empty buffer.
+func (sc *streamConsumer) flush() error {
+	if len(sc.chunk) == 0 {
+		return nil
+	}
+	chunk := sc.chunk
+	sc.chunk = make([]values.Value, 0, sc.size)
+	return sc.emit(chunk)
+}
+
+// compileStreamConsumer stages the root of a streaming plan: optional
+// inline predicate, head evaluation (slot fast path when the head is a
+// pure slot reference) and chunk assembly.
+func (c *compiler) compileStreamConsumer(p *algebra.Reduce, input *compiledPlan) (func(StreamSink) *streamConsumer, error) {
+	var mkFilter func() batchFilter
+	var err error
+	if p.Pred != nil {
+		mkFilter, err = c.compileFilter(p.Pred, input.frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	headIdx := slotOf(p.Head, input.frame)
+	var head compiledExpr
+	if headIdx < 0 {
+		head, err = c.compileExpr(p.Head, input.frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	width := input.frame.width()
+	size := c.opts.BatchSize
+	return func(emit StreamSink) *streamConsumer {
+		sc := &streamConsumer{headIdx: headIdx, head: head, size: size, emit: emit}
+		sc.chunk = make([]values.Value, 0, size)
+		if headIdx < 0 {
+			sc.row = make([]values.Value, width)
+		}
+		if mkFilter != nil {
+			sc.filter = mkFilter()
+		}
+		return sc
+	}, nil
+}

@@ -24,6 +24,14 @@ type ConstExpr struct{ Val values.Value }
 // VarExpr is a variable reference υ.
 type VarExpr struct{ Name string }
 
+// ParamExpr is a bind-parameter placeholder $name: a typed hole filled
+// with a constant at execution time, without re-running the query
+// frontend. Positional parameters ($1, $2, ... and SQL's ?) use their
+// ordinal as the name. Parameters type-check as Unknown and survive
+// normalization untouched; executors reject plans whose parameters were
+// never bound.
+type ParamExpr struct{ Name string }
+
 // ProjExpr is record projection e.A.
 type ProjExpr struct {
 	Rec  Expr
@@ -152,6 +160,7 @@ type Comprehension struct {
 func (*NullExpr) exprNode()      {}
 func (*ConstExpr) exprNode()     {}
 func (*VarExpr) exprNode()       {}
+func (*ParamExpr) exprNode()     {}
 func (*ProjExpr) exprNode()      {}
 func (*RecordExpr) exprNode()    {}
 func (*IfExpr) exprNode()        {}
@@ -170,6 +179,7 @@ func (*Comprehension) exprNode() {}
 func (e *NullExpr) String() string  { return "null" }
 func (e *ConstExpr) String() string { return e.Val.String() }
 func (e *VarExpr) String() string   { return e.Name }
+func (e *ParamExpr) String() string { return "$" + e.Name }
 func (e *ProjExpr) String() string  { return fmt.Sprintf("%s.%s", e.Rec, e.Attr) }
 
 func (e *RecordExpr) String() string {
@@ -357,5 +367,19 @@ func copyBound(m map[string]bool) map[string]bool {
 	for k, v := range m {
 		out[k] = v
 	}
+	return out
+}
+
+// Params returns the bind-parameter names of e in first-occurrence order.
+func Params(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(e, func(n Expr) bool {
+		if p, ok := n.(*ParamExpr); ok && !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
+		return true
+	})
 	return out
 }

@@ -94,6 +94,10 @@ func Eval(e Expr, env *Env) (values.Value, error) {
 			return values.Null, evalErrf("unbound variable %q", n.Name)
 		}
 		return v, nil
+	case *ParamExpr:
+		// Parameters are substituted before execution (BindParams); one
+		// surviving to evaluation was never bound.
+		return values.Null, evalErrf("unbound parameter $%s", n.Name)
 	case *ProjExpr:
 		rec, err := Eval(n.Rec, env)
 		if err != nil {

@@ -100,6 +100,8 @@ func (l *lexer) next() (Token, error) {
 	case c == '\\':
 		l.pos++
 		return Token{TokLambda, "\\", start}, nil
+	case c == '$':
+		return l.param()
 	case c == '+':
 		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '+' {
 			l.pos += 2
@@ -189,6 +191,26 @@ func (l *lexer) ident() (Token, error) {
 		}
 	}
 	return Token{TokIdent, l.src[start:l.pos], start}, nil
+}
+
+// param lexes a bind parameter: '$' followed by an identifier or an
+// ordinal ($limit, $1). The Text holds the name without the '$'.
+func (l *lexer) param() (Token, error) {
+	start := l.pos
+	l.pos++ // consume '$'
+	nameStart := l.pos
+	for l.pos < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			l.pos += sz
+		} else {
+			break
+		}
+	}
+	if l.pos == nameStart {
+		return Token{}, errf(start, "expected parameter name after '$'")
+	}
+	return Token{TokParam, l.src[nameStart:l.pos], start}, nil
 }
 
 func (l *lexer) number() (Token, error) {

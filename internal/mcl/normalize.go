@@ -48,7 +48,7 @@ func Subst(e Expr, name string, repl Expr) Expr {
 	switch n := e.(type) {
 	case nil:
 		return nil
-	case *NullExpr, *ConstExpr, *ZeroExpr:
+	case *NullExpr, *ConstExpr, *ZeroExpr, *ParamExpr:
 		return e
 	case *VarExpr:
 		if n.Name == name {
@@ -165,7 +165,7 @@ func Normalize(e Expr) Expr {
 // rewrite applies one bottom-up pass; changed reports progress.
 func rewrite(e Expr) (Expr, bool) {
 	switch n := e.(type) {
-	case nil, *NullExpr, *ConstExpr, *VarExpr, *ZeroExpr:
+	case nil, *NullExpr, *ConstExpr, *VarExpr, *ZeroExpr, *ParamExpr:
 		return e, false
 	case *ProjExpr:
 		rec, ch := rewrite(n.Rec)

@@ -1,0 +1,75 @@
+package mcl
+
+import "vida/internal/values"
+
+// BindParams returns e with every ParamExpr whose name appears in params
+// replaced by the bound constant. Parameters not present in the map are
+// left in place (callers validate completeness separately). The input
+// expression is never mutated: shared subtrees are safe, which is what
+// lets one cached plan serve concurrent executions with different
+// bindings.
+func BindParams(e Expr, params map[string]values.Value) Expr {
+	if e == nil || len(params) == 0 {
+		return e
+	}
+	switch n := e.(type) {
+	case *NullExpr, *ConstExpr, *VarExpr, *ZeroExpr:
+		return e
+	case *ParamExpr:
+		v, ok := params[n.Name]
+		if !ok {
+			return e
+		}
+		if v.IsNull() {
+			return &NullExpr{}
+		}
+		return &ConstExpr{Val: v}
+	case *ProjExpr:
+		return &ProjExpr{Rec: BindParams(n.Rec, params), Attr: n.Attr}
+	case *RecordExpr:
+		fields := make([]FieldExpr, len(n.Fields))
+		for i, f := range n.Fields {
+			fields[i] = FieldExpr{Name: f.Name, Val: BindParams(f.Val, params)}
+		}
+		return &RecordExpr{Fields: fields}
+	case *IfExpr:
+		return &IfExpr{
+			Cond: BindParams(n.Cond, params),
+			Then: BindParams(n.Then, params),
+			Else: BindParams(n.Else, params),
+		}
+	case *BinExpr:
+		return &BinExpr{Op: n.Op, L: BindParams(n.L, params), R: BindParams(n.R, params)}
+	case *NotExpr:
+		return &NotExpr{E: BindParams(n.E, params)}
+	case *NegExpr:
+		return &NegExpr{E: BindParams(n.E, params)}
+	case *LambdaExpr:
+		return &LambdaExpr{Param: n.Param, Body: BindParams(n.Body, params)}
+	case *ApplyExpr:
+		return &ApplyExpr{Fn: BindParams(n.Fn, params), Arg: BindParams(n.Arg, params)}
+	case *CallExpr:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = BindParams(a, params)
+		}
+		return &CallExpr{Name: n.Name, Args: args}
+	case *SingletonExpr:
+		return &SingletonExpr{M: n.M, E: BindParams(n.E, params)}
+	case *MergeExpr:
+		return &MergeExpr{M: n.M, L: BindParams(n.L, params), R: BindParams(n.R, params)}
+	case *IndexExpr:
+		idxs := make([]Expr, len(n.Idxs))
+		for i, ix := range n.Idxs {
+			idxs[i] = BindParams(ix, params)
+		}
+		return &IndexExpr{Arr: BindParams(n.Arr, params), Idxs: idxs}
+	case *Comprehension:
+		qs := make([]Qualifier, len(n.Qs))
+		for i, q := range n.Qs {
+			qs[i] = Qualifier{Var: q.Var, Bind: q.Bind, Src: BindParams(q.Src, params)}
+		}
+		return &Comprehension{M: n.M, Head: BindParams(n.Head, params), Qs: qs}
+	}
+	return e
+}

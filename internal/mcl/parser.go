@@ -364,6 +364,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return nil, err
 		}
 		return &ConstExpr{Val: values.NewString(s)}, nil
+	case TokParam:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ParamExpr{Name: name}, nil
 	case TokLambda:
 		if err := p.advance(); err != nil {
 			return nil, err

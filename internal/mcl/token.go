@@ -47,6 +47,7 @@ const (
 	TokLambda   // \
 	TokFatArrow // ->
 	TokConcat   // ++ (merge e1 ⊕ e2 in collection form)
+	TokParam    // $name / $1 bind parameter (Text holds the bare name)
 )
 
 // Keywords recognized by the lexer; they arrive as TokIdent with the
@@ -72,6 +73,8 @@ func (t Token) String() string {
 		return fmt.Sprintf("%q", t.Text)
 	case TokString:
 		return fmt.Sprintf("string %q", t.Text)
+	case TokParam:
+		return fmt.Sprintf("parameter $%s", t.Text)
 	default:
 		return fmt.Sprintf("%q", t.Text)
 	}

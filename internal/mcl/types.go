@@ -74,6 +74,10 @@ func Check(e Expr, env *TypeEnv) (*sdg.Type, error) {
 			return nil, typeErrf("unbound variable %q", n.Name)
 		}
 		return t, nil
+	case *ParamExpr:
+		// Bind parameters are typed holes: they unify with anything at
+		// prepare time and are constrained only when a value is bound.
+		return sdg.Unknown, nil
 	case *ProjExpr:
 		rt, err := Check(n.Rec, env)
 		if err != nil {

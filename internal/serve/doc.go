@@ -21,15 +21,24 @@
 //     through Engine.QueryCtx → the JIT executor → the batch sources, so
 //     a cancelled query stops mid-scan and frees its pool workers. Two
 //     session caches sit in front of the engine, both LRU and both
-//     keyed on (query text, engine epoch): a prepared-statement cache
-//     that skips the query frontend, and a query-result cache that
-//     skips execution entirely. The epoch key makes invalidation free —
-//     Refresh, registration changes and file-change detection bump the
-//     engine epoch, orphaning every stale entry in place.
+//     keyed on (query text, bind parameters, engine epoch): a
+//     prepared-statement cache that skips the query frontend, and a
+//     query-result cache that skips execution entirely, bounded by
+//     entry count and by an approximate byte budget (a single huge
+//     result cannot monopolize it). The epoch key makes invalidation
+//     free — Refresh, registration changes and file-change detection
+//     bump the engine epoch, orphaning every stale entry in place.
+//     QueryRows opens a streaming cursor instead of a buffered result:
+//     the admission slot is held for the stream's lifetime, so an open
+//     cursor occupies capacity exactly like an executing query.
 //
 //   - HTTP front-end (Server). POST /query (comprehension queries),
-//     POST /sql (SQL translated to comprehensions), GET /catalog,
-//     GET /stats, GET /explain and GET /healthz, all JSON. Results
-//     preserve record field order. Shutdown drains: the HTTP server
-//     stops accepting, then Engine.Close waits for in-flight queries.
+//     POST /sql (SQL translated to comprehensions), POST /stream
+//     (NDJSON rows flushed batch-at-a-time off the engine cursor, with
+//     a done-or-error trailer record in band), GET /catalog, GET /stats,
+//     GET /metrics (Prometheus text), GET /explain and GET /healthz.
+//     Results preserve record field order; /query, /sql and /stream all
+//     accept a "params" field binding $1..$n (array) or $name (object).
+//     Shutdown drains: the HTTP server stops accepting, then
+//     Engine.Close waits for in-flight queries.
 package serve

@@ -1,61 +1,10 @@
 package serve
 
-import (
-	"encoding/json"
-	"math"
-	"strconv"
+import "vida"
 
-	"vida"
-)
-
-// appendValueJSON renders a query result as JSON, preserving record
-// field order (encoding/json maps would lose it, and result rows are
-// ordered records). Floats that JSON cannot represent (NaN, ±Inf)
-// become null.
+// appendValueJSON renders a query result as JSON (record field order
+// preserved, non-finite floats become null); the rendering lives on
+// vida.Value so the sqldriver and HTTP layers agree byte-for-byte.
 func appendValueJSON(dst []byte, v vida.Value) []byte {
-	switch v.Kind() {
-	case "null":
-		return append(dst, "null"...)
-	case "bool":
-		return strconv.AppendBool(dst, v.Bool())
-	case "int":
-		return strconv.AppendInt(dst, v.Int(), 10)
-	case "float":
-		f := v.Float()
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return append(dst, "null"...)
-		}
-		return strconv.AppendFloat(dst, f, 'g', -1, 64)
-	case "string":
-		return appendJSONString(dst, v.Str())
-	case "record":
-		dst = append(dst, '{')
-		for i, f := range v.Fields() {
-			if i > 0 {
-				dst = append(dst, ',')
-			}
-			dst = appendJSONString(dst, f.Name)
-			dst = append(dst, ':')
-			dst = appendValueJSON(dst, f.Val)
-		}
-		return append(dst, '}')
-	default: // list, bag, set, array
-		dst = append(dst, '[')
-		for i, e := range v.Elems() {
-			if i > 0 {
-				dst = append(dst, ',')
-			}
-			dst = appendValueJSON(dst, e)
-		}
-		return append(dst, ']')
-	}
-}
-
-// appendJSONString appends a JSON-escaped string literal.
-func appendJSONString(dst []byte, s string) []byte {
-	b, err := json.Marshal(s)
-	if err != nil { // cannot happen for strings
-		return append(dst, `""`...)
-	}
-	return append(dst, b...)
+	return v.AppendJSON(dst)
 }

@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
+	"vida"
 	"vida/internal/core"
 )
 
@@ -32,8 +35,10 @@ func NewServer(svc *Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /query", s.handleQuery(false))
 	s.mux.HandleFunc("POST /sql", s.handleQuery(true))
+	s.mux.HandleFunc("POST /stream", s.handleStream)
 	s.mux.HandleFunc("GET /catalog", s.handleCatalog)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -76,34 +81,117 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return httpErr
 }
 
-// queryRequest is the body of POST /query and POST /sql.
+// queryRequest is the body of POST /query, POST /sql and POST /stream.
+// Params may be a JSON array (positional bindings for $1..$n / ?) or an
+// object (named bindings for $name); values are scalars.
 type queryRequest struct {
-	Query     string `json:"query"`
-	TimeoutMS int64  `json:"timeout_ms"`
+	Query     string          `json:"query"`
+	Params    json.RawMessage `json:"params"`
+	SQL       bool            `json:"sql"` // POST /stream only
+	TimeoutMS int64           `json:"timeout_ms"`
+}
+
+// decodeQueryRequest reads and validates a query request body.
+func decodeQueryRequest(r *http.Request) (*queryRequest, []any, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading body: %w", err)
+	}
+	var req queryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.Query == "" {
+		return nil, nil, errors.New(`missing "query"`)
+	}
+	args, err := parseParams(req.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, args, nil
+}
+
+// parseParams decodes the params field: an array binds positionally, an
+// object by name. JSON numbers become int64 when integral (so $1 = 40
+// compares as an int, not 40.0) and float64 otherwise.
+func parseParams(raw json.RawMessage) ([]any, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	trimmed := bytes.TrimSpace(raw)
+	switch {
+	case trimmed[0] == '[':
+		var arr []any
+		if err := dec.Decode(&arr); err != nil {
+			return nil, fmt.Errorf("bad params array: %w", err)
+		}
+		out := make([]any, len(arr))
+		for i, v := range arr {
+			p, err := normalizeParam(v)
+			if err != nil {
+				return nil, fmt.Errorf("param $%d: %w", i+1, err)
+			}
+			out[i] = p
+		}
+		return out, nil
+	case trimmed[0] == '{':
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			return nil, fmt.Errorf("bad params object: %w", err)
+		}
+		names := make([]string, 0, len(obj))
+		for name := range obj {
+			if name == "" {
+				return nil, errors.New("param names must be non-empty")
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out := make([]any, 0, len(obj))
+		for _, name := range names {
+			p, err := normalizeParam(obj[name])
+			if err != nil {
+				return nil, fmt.Errorf("param $%s: %w", name, err)
+			}
+			out = append(out, vida.Named(name, p))
+		}
+		return out, nil
+	}
+	return nil, errors.New(`"params" must be a JSON array or object`)
+}
+
+// normalizeParam maps decoded JSON scalars onto engine-friendly types;
+// nested arrays/objects are rejected here so a malformed request gets
+// its 400 before reaching execution.
+func normalizeParam(v any) (any, error) {
+	switch n := v.(type) {
+	case nil, bool, string:
+		return v, nil
+	case json.Number:
+		if i, err := n.Int64(); err == nil {
+			return i, nil
+		}
+		f, _ := n.Float64()
+		return f, nil
+	}
+	return nil, fmt.Errorf("values must be scalars, got %T", v)
 }
 
 func (s *Server) handleQuery(sql bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+		req, args, err := decodeQueryRequest(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
-			return
-		}
-		var req queryRequest
-		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		if req.Query == "" {
-			writeError(w, http.StatusBadRequest, errors.New(`missing "query"`))
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 		var out *Outcome
 		if sql {
-			out, err = s.svc.QuerySQL(r.Context(), req.Query, timeout)
+			out, err = s.svc.QuerySQL(r.Context(), req.Query, args, timeout)
 		} else {
-			out, err = s.svc.Query(r.Context(), req.Query, timeout)
+			out, err = s.svc.Query(r.Context(), req.Query, args, timeout)
 		}
 		if err != nil {
 			writeError(w, statusFor(err), err)
@@ -121,6 +209,118 @@ func (s *Server) handleQuery(sql bool) http.HandlerFunc {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(buf)
 	}
+}
+
+// streamFlushRows bounds how many rows are written between flushes on
+// the NDJSON stream — the latency/throughput knob of POST /stream.
+const streamFlushRows = 1024
+
+// handleStream serves POST /stream: the query's rows as NDJSON, one
+// JSON document per line, flushed batch-at-a-time straight off the
+// engine's cursor — memory stays bounded no matter the result size
+// (except set-monoid queries, whose streamed dedup state is O(distinct
+// elements)), and the first rows reach the client while the scan is
+// still running. The
+// final line is a summary record {"done":true,"rows":N}; if the query
+// dies mid-stream (timeout, disconnect, data error) the stream instead
+// ends with a trailer-style error record {"error":...,"status":499|504|500}
+// — the HTTP status line is long gone by then, so the error travels in
+// band. Errors before the first row use the normal status codes.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	req, args, err := decodeQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	rows, release, err := s.svc.QueryRows(r.Context(), req.Query, req.SQL, args, timeout)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer release()
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	var buf []byte
+	n := 0
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		if _, err := w.Write(buf); err != nil {
+			return false // client went away; rows.Close aborts the scan
+		}
+		buf = buf[:0]
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for rows.Next() {
+		buf = rows.Value().AppendJSON(buf)
+		buf = append(buf, '\n')
+		n++
+		if n%streamFlushRows == 0 && !flush() {
+			return
+		}
+	}
+	if err := rows.Err(); err != nil {
+		// json.Marshal (not %q) keeps the trailer valid JSON even when
+		// the error message carries control bytes or invalid UTF-8.
+		msg, _ := json.Marshal(err.Error())
+		buf = append(buf, `{"error":`...)
+		buf = append(buf, msg...)
+		buf = fmt.Appendf(buf, `,"status":%d}`+"\n", statusFor(err))
+		flush()
+		return
+	}
+	buf = fmt.Appendf(buf, `{"done":true,"rows":%d}`+"\n", n)
+	flush()
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format, assembled from the existing engine/service/scheduler counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	svc := s.svc.StatsSnapshot()
+	eng := s.svc.Engine().Stats()
+
+	var b []byte
+	counter := func(name, help string, v int64) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("vida_queries_total", "Queries executed by the engine.", eng.Queries)
+	counter("vida_queries_cache_served_total", "Queries whose scans were all served by the data caches.", eng.QueriesFromCache)
+	counter("vida_raw_scans_total", "Scans that touched raw files.", eng.RawScans)
+	counter("vida_cache_scans_total", "Scans served from the data caches.", eng.CacheScans)
+	gauge("vida_cache_bytes_used", "Bytes resident in the data caches.", eng.Cache.BytesUsed)
+	gauge("vida_auxiliary_bytes", "Bytes in positional maps and semi-indexes.", eng.AuxiliaryBytes)
+	counter("vida_serve_admitted_total", "Requests admitted past the in-flight gate.", svc.Admitted)
+	counter("vida_serve_rejected_total", "Requests rejected with 429 at the in-flight gate.", svc.Rejected)
+	counter("vida_serve_completed_total", "Requests completed successfully.", svc.Completed)
+	counter("vida_serve_failed_total", "Requests that failed.", svc.Failed)
+	counter("vida_serve_cancelled_total", "Requests cancelled or timed out.", svc.Cancelled)
+	counter("vida_serve_streams_total", "Streaming cursors opened via /stream.", svc.Streams)
+	gauge("vida_serve_in_flight", "Queries executing or streaming right now.", svc.InFlight)
+	counter("vida_result_cache_hits_total", "Result cache hits.", svc.ResultHits)
+	counter("vida_result_cache_misses_total", "Result cache misses.", svc.ResultMisses)
+	gauge("vida_result_cache_bytes", "Approximate bytes resident in the result cache.", svc.ResultCacheBytes)
+	counter("vida_prepared_cache_hits_total", "Prepared-statement cache hits.", svc.PreparedHits)
+	counter("vida_prepared_cache_misses_total", "Prepared-statement cache misses.", svc.PreparedMisses)
+	if p := s.svc.Pool(); p != nil {
+		ps := p.StatsSnapshot()
+		gauge("vida_sched_workers", "Morsel scheduler workers.", int64(ps.Workers))
+		gauge("vida_sched_active_jobs", "Jobs with undispatched morsels.", int64(ps.ActiveJobs))
+		counter("vida_sched_jobs_total", "Scheduler jobs completed.", ps.JobsRun)
+		counter("vida_morsels_executed_total", "Morsels executed by the shared scheduler.", ps.TasksRun)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b)
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
@@ -184,6 +384,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // malformed source data with onerror=fail) are 5xx.
 func statusFor(err error) int {
 	var badQuery *BadQueryError
+	var badParam *core.ParamError
 	switch {
 	case errors.Is(err, ErrBusy):
 		return http.StatusTooManyRequests
@@ -193,7 +394,7 @@ func statusFor(err error) int {
 		return statusClientClosedRequest
 	case errors.Is(err, core.ErrClosed):
 		return http.StatusServiceUnavailable
-	case errors.As(err, &badQuery):
+	case errors.As(err, &badQuery), errors.As(err, &badParam):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError

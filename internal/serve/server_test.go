@@ -298,7 +298,7 @@ func TestClientCancellationAbortsQuery(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := svc.Query(ctx, "for { s <- Slow } yield count s", 0)
+		_, err := svc.Query(ctx, "for { s <- Slow } yield count s", nil, 0)
 		errc <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -378,7 +378,7 @@ func TestConcurrentClientsMatchSerial(t *testing.T) {
 	// Every query answered identically: re-check via the service outcome
 	// values against the serial renderings.
 	for _, q := range queries {
-		out, err := svc.Query(context.Background(), q, 0)
+		out, err := svc.Query(context.Background(), q, nil, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}
@@ -430,7 +430,7 @@ func TestTimeoutClampedToDefault(t *testing.T) {
 	}
 	svc := serve.NewService(eng, nil, serve.Config{DefaultTimeout: 50 * time.Millisecond})
 	start := time.Now()
-	_, err := svc.Query(context.Background(), "for { s <- Slow } yield count s", time.Hour)
+	_, err := svc.Query(context.Background(), "for { s <- Slow } yield count s", nil, time.Hour)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,9 +39,14 @@ type Config struct {
 	// it but never extend it (default 30s; <0 disables the bound and
 	// lets requests pick any timeout).
 	DefaultTimeout time.Duration
-	// ResultCacheEntries bounds the query-result LRU (default 256;
-	// <0 disables).
+	// ResultCacheEntries bounds the query-result LRU by entry count
+	// (default 256; <0 disables).
 	ResultCacheEntries int
+	// ResultCacheBytes bounds the query-result LRU by the approximate
+	// in-memory size of the cached results (default 64 MiB; <0 disables
+	// the byte budget, leaving only the entry bound). One enormous
+	// result can no longer pin the memory of 256 of them.
+	ResultCacheBytes int64
 	// PreparedCacheEntries bounds the prepared-statement LRU (default
 	// 256; <0 disables).
 	PreparedCacheEntries int
@@ -55,6 +62,9 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheEntries == 0 {
 		c.ResultCacheEntries = 256
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
 	if c.PreparedCacheEntries == 0 {
 		c.PreparedCacheEntries = 256
 	}
@@ -64,17 +74,19 @@ func (c Config) withDefaults() Config {
 // Stats is a snapshot of service activity, reported by GET /stats next
 // to the engine's own counters.
 type Stats struct {
-	Admitted       int64 `json:"admitted"`
-	Rejected       int64 `json:"rejected"`
-	Completed      int64 `json:"completed"`
-	Failed         int64 `json:"failed"`
-	Cancelled      int64 `json:"cancelled"`
-	InFlight       int64 `json:"in_flight"`
-	ResultHits     int64 `json:"result_cache_hits"`
-	ResultMisses   int64 `json:"result_cache_misses"`
-	PreparedHits   int64 `json:"prepared_cache_hits"`
-	PreparedMisses int64 `json:"prepared_cache_misses"`
-	Epoch          int64 `json:"epoch"`
+	Admitted         int64 `json:"admitted"`
+	Rejected         int64 `json:"rejected"`
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+	Cancelled        int64 `json:"cancelled"`
+	InFlight         int64 `json:"in_flight"`
+	Streams          int64 `json:"streams"`
+	ResultHits       int64 `json:"result_cache_hits"`
+	ResultMisses     int64 `json:"result_cache_misses"`
+	ResultCacheBytes int64 `json:"result_cache_bytes"`
+	PreparedHits     int64 `json:"prepared_cache_hits"`
+	PreparedMisses   int64 `json:"prepared_cache_misses"`
+	Epoch            int64 `json:"epoch"`
 }
 
 // Service is the admission/session layer over one engine: bounded
@@ -96,6 +108,7 @@ type Service struct {
 	failed       atomic.Int64
 	cancelled    atomic.Int64
 	inFlight     atomic.Int64
+	streams      atomic.Int64
 	resultHits   atomic.Int64
 	resultMisses atomic.Int64
 	prepHits     atomic.Int64
@@ -113,8 +126,8 @@ func NewService(eng *vida.Engine, pool *sched.Pool, cfg Config) *Service {
 		pool:     pool,
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
-		prepared: newLRU(cfg.PreparedCacheEntries),
-		results:  newLRU(cfg.ResultCacheEntries),
+		prepared: newLRU(cfg.PreparedCacheEntries, 0),
+		results:  newLRU(cfg.ResultCacheEntries, cfg.ResultCacheBytes),
 	}
 }
 
@@ -131,17 +144,19 @@ func (s *Service) Close() error { return s.eng.Close() }
 // StatsSnapshot returns service counters.
 func (s *Service) StatsSnapshot() Stats {
 	return Stats{
-		Admitted:       s.admitted.Load(),
-		Rejected:       s.rejected.Load(),
-		Completed:      s.completed.Load(),
-		Failed:         s.failed.Load(),
-		Cancelled:      s.cancelled.Load(),
-		InFlight:       s.inFlight.Load(),
-		ResultHits:     s.resultHits.Load(),
-		ResultMisses:   s.resultMisses.Load(),
-		PreparedHits:   s.prepHits.Load(),
-		PreparedMisses: s.prepMisses.Load(),
-		Epoch:          s.core.Epoch(),
+		Admitted:         s.admitted.Load(),
+		Rejected:         s.rejected.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failed.Load(),
+		Cancelled:        s.cancelled.Load(),
+		InFlight:         s.inFlight.Load(),
+		Streams:          s.streams.Load(),
+		ResultHits:       s.resultHits.Load(),
+		ResultMisses:     s.resultMisses.Load(),
+		ResultCacheBytes: s.results.bytesUsed(),
+		PreparedHits:     s.prepHits.Load(),
+		PreparedMisses:   s.prepMisses.Load(),
+		Epoch:            s.core.Epoch(),
 	}
 }
 
@@ -156,15 +171,17 @@ type Outcome struct {
 // in-flight limit it fails fast with ErrBusy. The query runs under ctx
 // plus the configured timeout; cancellation propagates into scans.
 // timeout <= 0 (or anything beyond the service default) uses the
-// service default.
-func (s *Service) Query(ctx context.Context, src string, timeout time.Duration) (*Outcome, error) {
+// service default. Positional args bind $1..$n, vida.NamedArg values
+// bind $name; the result cache keys on (query, bindings).
+func (s *Service) Query(ctx context.Context, src string, args []any, timeout time.Duration) (*Outcome, error) {
 	start := time.Now()
 
 	// Result cache first: a hit executes nothing, so it is served even
 	// when every admission slot is held by slow queries — repeats stay
 	// cheap exactly when the engine is saturated.
 	epoch := s.core.Epoch()
-	if v, ok := s.results.get(src, epoch); ok {
+	key := cacheKey(src, args)
+	if v, ok := s.results.get(key, epoch); ok {
 		s.resultHits.Add(1)
 		s.completed.Add(1)
 		return &Outcome{Result: v.(*vida.Result), Cached: true, Elapsed: time.Since(start)}, nil
@@ -183,24 +200,15 @@ func (s *Service) Query(ctx context.Context, src string, timeout time.Duration) 
 		s.inFlight.Add(-1)
 		<-s.sem
 	}()
-	// Requests may shorten the configured bound, never extend it: an
-	// oversized timeout_ms would otherwise pin an admission slot far
-	// beyond what the operator allowed.
-	if def := s.cfg.DefaultTimeout; timeout <= 0 || (def > 0 && timeout > def) {
-		timeout = def
-	}
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
+	ctx, cancel := s.boundCtx(ctx, timeout)
+	defer cancel()
 
 	p, err := s.preparedFor(ctx, src, epoch)
 	if err != nil {
 		s.failed.Add(1)
 		return nil, err
 	}
-	res, err := p.RunCtx(ctx)
+	res, err := p.RunCtx(ctx, args...)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.cancelled.Add(1)
@@ -213,7 +221,7 @@ func (s *Service) Query(ctx context.Context, src string, timeout time.Duration) 
 	// changed the data mid-run, and caching the result under the old
 	// epoch could serve a mixed-generation answer forever.
 	if s.core.Epoch() == epoch {
-		s.results.put(src, epoch, res)
+		s.results.put(key, epoch, res, approxResultBytes(res))
 	}
 	s.completed.Add(1)
 	return &Outcome{Result: res, Elapsed: time.Since(start)}, nil
@@ -222,12 +230,106 @@ func (s *Service) Query(ctx context.Context, src string, timeout time.Duration) 
 // QuerySQL translates SQL to a comprehension and serves it through the
 // same admission/caching path (equivalent SQL and comprehension queries
 // share cache entries).
-func (s *Service) QuerySQL(ctx context.Context, src string, timeout time.Duration) (*Outcome, error) {
+func (s *Service) QuerySQL(ctx context.Context, src string, args []any, timeout time.Duration) (*Outcome, error) {
 	comp, err := s.eng.TranslateSQL(src)
 	if err != nil {
 		return nil, &BadQueryError{Err: err}
 	}
-	return s.Query(ctx, comp, timeout)
+	return s.Query(ctx, comp, args, timeout)
+}
+
+// boundCtx applies the admission timeout policy: requests may shorten
+// the configured bound, never extend it — an oversized timeout would
+// otherwise pin an admission slot far beyond what the operator allowed.
+func (s *Service) boundCtx(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if def := s.cfg.DefaultTimeout; timeout <= 0 || (def > 0 && timeout > def) {
+		timeout = def
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// QueryRows admits one query and opens a streaming cursor over its
+// result: rows reach the caller batch-at-a-time with bounded memory,
+// which is what lets the HTTP layer send arbitrarily large results as
+// NDJSON without buffering them. The admission slot is held for the
+// stream's whole lifetime — a streaming client occupies engine capacity
+// exactly like an executing query — and is released by the returned
+// release func, which must be called exactly once (after Close on the
+// rows). Streamed results bypass the result cache.
+func (s *Service) QueryRows(ctx context.Context, src string, sql bool, args []any, timeout time.Duration) (*vida.Rows, func(), error) {
+	if sql {
+		comp, err := s.eng.TranslateSQL(src)
+		if err != nil {
+			return nil, nil, &BadQueryError{Err: err}
+		}
+		src = comp
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return nil, nil, ErrBusy
+	}
+	s.admitted.Add(1)
+	s.inFlight.Add(1)
+	s.streams.Add(1)
+	ctx, cancel := s.boundCtx(ctx, timeout)
+	var once sync.Once
+	finish := func(outcome func() error) {
+		once.Do(func() {
+			cancel()
+			s.inFlight.Add(-1)
+			<-s.sem
+			switch err := outcome(); {
+			case err == nil:
+				s.completed.Add(1)
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				s.cancelled.Add(1)
+			default:
+				s.failed.Add(1)
+			}
+		})
+	}
+	p, err := s.preparedFor(ctx, src, s.core.Epoch())
+	if err != nil {
+		finish(func() error { return err })
+		return nil, nil, err
+	}
+	rows, err := p.RunRowsCtx(ctx, args...)
+	if err != nil {
+		finish(func() error { return err })
+		return nil, nil, err
+	}
+	// The release closure classifies the stream by its terminal error:
+	// callers Close the rows first, so Err is settled — a stream that
+	// died mid-flight counts as cancelled/failed, not completed.
+	return rows, func() { finish(rows.Err) }, nil
+}
+
+// cacheKey builds the result-cache key for a query and its bindings.
+// Bindings arrive JSON-decoded (scalars only), so their rendering is
+// deterministic; each component is length-prefixed so no crafted value
+// can collide with a different binding set (an unframed delimiter
+// would let ["a\x1fb"] alias ["a","b"]).
+func cacheKey(src string, args []any) string {
+	var sb strings.Builder
+	frame := func(part string) {
+		fmt.Fprintf(&sb, "\x1f%d:%s", len(part), part)
+	}
+	frame(src)
+	for _, a := range args {
+		if na, ok := a.(vida.NamedArg); ok {
+			frame("$" + na.Name) // "$"-prefix: cannot collide with positional "#"
+			frame(fmt.Sprintf("%T:%v", na.Value, na.Value))
+			continue
+		}
+		frame("#")
+		frame(fmt.Sprintf("%T:%v", a, a))
+	}
+	return sb.String()
 }
 
 // preparedFor returns the cached prepared statement for (src, epoch) or
@@ -245,31 +347,84 @@ func (s *Service) preparedFor(ctx context.Context, src string, epoch int64) (*vi
 		}
 		return nil, &BadQueryError{Err: err}
 	}
-	s.prepared.put(src, epoch, p)
+	s.prepared.put(src, epoch, p, 0)
 	return p, nil
+}
+
+// approxResultBytes estimates the resident size of a cached result.
+// Large collections are sampled (first sampleElems elements extrapolate
+// to the whole), so sizing a 100k-row result does not walk 100k rows.
+func approxResultBytes(r *vida.Result) int64 {
+	return approxValueBytes(r.Value(), 0)
+}
+
+const sampleElems = 64
+
+func approxValueBytes(v vida.Value, depth int) int64 {
+	const header = 24 // Value struct + boxing overhead, roughly
+	if depth > 8 {
+		return header
+	}
+	switch v.Kind() {
+	case "string":
+		return header + int64(len(v.Str()))
+	case "record":
+		n := int64(header)
+		for _, f := range v.Fields() {
+			n += int64(len(f.Name)) + 16 + approxValueBytes(f.Val, depth+1)
+		}
+		return n
+	case "list", "bag", "set", "array":
+		elems := v.Elems()
+		if len(elems) == 0 {
+			return header
+		}
+		if len(elems) <= sampleElems {
+			n := int64(header)
+			for _, e := range elems {
+				n += approxValueBytes(e, depth+1)
+			}
+			return n
+		}
+		var sampled int64
+		for _, e := range elems[:sampleElems] {
+			sampled += approxValueBytes(e, depth+1)
+		}
+		return header + sampled*int64(len(elems))/sampleElems
+	default:
+		return header
+	}
 }
 
 // lruCache is a small epoch-aware LRU: entries whose epoch no longer
 // matches the engine's are treated as absent (and evicted on touch), so
-// Refresh invalidates the whole cache without a sweep.
+// Refresh invalidates the whole cache without a sweep. Eviction honours
+// two budgets: an entry count and, when maxBytes > 0, the summed
+// approximate byte size of the entries.
 type lruCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List
-	items map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List
+	items    map[string]*list.Element
 }
 
 type lruEntry struct {
 	key   string
 	epoch int64
 	val   any
+	size  int64
 }
 
-func newLRU(max int) *lruCache {
+func newLRU(max int, maxBytes int64) *lruCache {
 	if max < 0 {
 		max = 0
 	}
-	return &lruCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+	if maxBytes < 0 {
+		maxBytes = 0 // no byte budget
+	}
+	return &lruCache{max: max, maxBytes: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
 }
 
 func (c *lruCache) get(key string, epoch int64) (any, bool) {
@@ -284,32 +439,53 @@ func (c *lruCache) get(key string, epoch int64) (any, bool) {
 	}
 	ent := el.Value.(*lruEntry)
 	if ent.epoch != epoch {
-		c.ll.Remove(el)
-		delete(c.items, key)
+		c.removeLocked(el)
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
 	return ent.val, true
 }
 
-func (c *lruCache) put(key string, epoch int64, val any) {
+func (c *lruCache) put(key string, epoch int64, val any, size int64) {
 	if c.max == 0 {
+		return
+	}
+	// An entry bigger than the whole byte budget can never be resident;
+	// inserting it would only evict everything else first.
+	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*lruEntry)
-		ent.epoch, ent.val = epoch, val
+		c.bytes += size - ent.size
+		ent.epoch, ent.val, ent.size = epoch, val, size
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, epoch: epoch, val: val, size: size})
+		c.bytes += size
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, epoch: epoch, val: val})
-	for c.ll.Len() > c.max {
+	for c.ll.Len() > c.max || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
 	}
+}
+
+func (c *lruCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*lruEntry)
+	c.bytes -= ent.size
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+}
+
+func (c *lruCache) bytesUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 func (c *lruCache) len() int {

@@ -1,0 +1,336 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vida/internal/sdg"
+	"vida/internal/serve"
+)
+
+// postRaw posts a JSON body and returns the status and raw response.
+func postRaw(t testing.TB, url, endpoint string, body map[string]any) (int, []byte) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url+endpoint, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// canonical re-encodes a decoded JSON value with sorted map keys, so
+// rows from the buffered and streaming endpoints compare field-order
+// insensitively.
+func canonical(t testing.TB, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestStreamMatchesQuery(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	const q = `for { p <- Patients, p.age > 40 } yield bag (id := p.id, age := p.age)`
+
+	status, body := postRaw(t, ts.URL, "/query", map[string]any{"query": q})
+	if status != http.StatusOK {
+		t.Fatalf("/query status %d: %s", status, body)
+	}
+	var buffered struct {
+		Result []any   `json:"result"`
+		Rows   float64 `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &buffered); err != nil {
+		t.Fatal(err)
+	}
+	if len(buffered.Result) == 0 {
+		t.Fatal("buffered query returned no rows")
+	}
+	want := map[string]int{}
+	for _, row := range buffered.Result {
+		want[canonical(t, row)]++
+	}
+
+	status, body = postRaw(t, ts.URL, "/stream", map[string]any{"query": q})
+	if status != http.StatusOK {
+		t.Fatalf("/stream status %d: %s", status, body)
+	}
+	got := map[string]int{}
+	rows := 0
+	var done struct {
+		Done bool    `json:"done"`
+		Rows float64 `json:"rows"`
+	}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if sawDone {
+			t.Fatalf("content after done record: %s", line)
+		}
+		var probe map[string]any
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if _, isDone := probe["done"]; isDone {
+			if err := json.Unmarshal(line, &done); err != nil {
+				t.Fatal(err)
+			}
+			sawDone = true
+			continue
+		}
+		if msg, isErr := probe["error"]; isErr {
+			t.Fatalf("stream error record: %v", msg)
+		}
+		got[canonical(t, probe)]++
+		rows++
+	}
+	if !sawDone {
+		t.Fatal("stream did not end with a done record")
+	}
+	if int(done.Rows) != rows || rows != len(buffered.Result) {
+		t.Fatalf("stream rows = %d (done says %v), buffered = %d", rows, done.Rows, len(buffered.Result))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("row %s: stream has %d, buffered has %d", k, got[k], n)
+		}
+	}
+}
+
+func TestQueryParams(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	// Positional params via SQL.
+	status, body := postRaw(t, ts.URL, "/sql", map[string]any{
+		"query":  "SELECT COUNT(*) FROM Patients WHERE age > $1",
+		"params": []any{40},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out struct {
+		Result float64 `json:"result"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	status, body2 := postRaw(t, ts.URL, "/sql", map[string]any{
+		"query": "SELECT COUNT(*) FROM Patients WHERE age > 40",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body2)
+	}
+	var want struct {
+		Result float64 `json:"result"`
+	}
+	if err := json.Unmarshal(body2, &want); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != want.Result || out.Result <= 0 {
+		t.Fatalf("param result %v != literal result %v", out.Result, want.Result)
+	}
+
+	// Named params via the comprehension endpoint, object form.
+	status, body = postRaw(t, ts.URL, "/query", map[string]any{
+		"query":  "for { p <- Patients, p.age > $min } yield sum 1",
+		"params": map[string]any{"min": 40},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != want.Result {
+		t.Fatalf("named param result %v != %v", out.Result, want.Result)
+	}
+
+	// Missing params are the client's fault: 400, not 500.
+	status, _ = postRaw(t, ts.URL, "/query", map[string]any{
+		"query": "for { p <- Patients, p.age > $min } yield sum 1",
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("missing param status = %d, want 400", status)
+	}
+}
+
+// TestQueryParamsCacheKey: same text, different bindings must not share
+// a result-cache entry.
+func TestQueryParamsCacheKey(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	run := func(min int) float64 {
+		t.Helper()
+		status, body := postRaw(t, ts.URL, "/query", map[string]any{
+			"query":  "for { p <- Patients, p.age > $min } yield sum 1",
+			"params": map[string]any{"min": min},
+		})
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		var out struct {
+			Result float64 `json:"result"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Result
+	}
+	all := run(0)
+	none := run(1 << 30)
+	if none != 0 || all == 0 {
+		t.Fatalf("cache key ignored params: min=0 → %v, min=huge → %v", all, none)
+	}
+}
+
+// newSlowStreamServer builds a service over a source that yields rows
+// slowly enough for timeouts and saturation windows to be observable.
+func newSlowStreamServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	eng := newTestEngine(t, nil)
+	desc := sdg.DefaultDescription("Slow", sdg.FormatTable, "", sdg.Bag(sdg.Unknown))
+	if err := eng.Internal().RegisterSource(desc, &slowSource{name: "Slow"}); err != nil {
+		t.Fatal(err)
+	}
+	return serve.NewServer(serve.NewService(eng, nil, cfg))
+}
+
+func TestStreamTimeoutTrailer(t *testing.T) {
+	srv := newSlowStreamServer(t, serve.Config{})
+	body, _ := json.Marshal(map[string]any{
+		"query":      "for { s <- Slow } yield bag s.x",
+		"timeout_ms": 50,
+	})
+	req := httptestNewRequest(t, srv, "/stream", body)
+	if req.status == http.StatusOK {
+		// Mid-stream termination: the last line must be an error record.
+		lines := strings.Split(strings.TrimSpace(req.body), "\n")
+		last := lines[len(lines)-1]
+		var trailer map[string]any
+		if err := json.Unmarshal([]byte(last), &trailer); err != nil {
+			t.Fatalf("bad trailer %q: %v", last, err)
+		}
+		if _, ok := trailer["error"]; !ok {
+			t.Fatalf("stream ended without error trailer: %q", last)
+		}
+		if s, ok := trailer["status"].(float64); !ok || (int(s) != 504 && int(s) != 499) {
+			t.Fatalf("trailer status = %v, want 504 or 499", trailer["status"])
+		}
+	} else if req.status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 200 (trailer) or 504 (pre-stream)", req.status)
+	}
+}
+
+type recordedResponse struct {
+	status int
+	body   string
+}
+
+// httptestNewRequest posts against the handler directly (no network) so
+// mid-stream behaviour is observable deterministically.
+func httptestNewRequest(t *testing.T, srv *serve.Server, path string, body []byte) recordedResponse {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), "POST", path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return recordedResponse{status: rec.code, body: rec.buf.String()}
+}
+
+// recorder is a minimal ResponseWriter capturing status and body.
+type recorder struct {
+	code int
+	hdr  http.Header
+	buf  bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{code: http.StatusOK, hdr: http.Header{}} }
+
+func (r *recorder) Header() http.Header         { return r.hdr }
+func (r *recorder) WriteHeader(code int)        { r.code = code }
+func (r *recorder) Write(b []byte) (int, error) { return r.buf.Write(b) }
+func (r *recorder) Flush()                      {}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	// Serve a query so the counters move.
+	status, _ := postRaw(t, ts.URL, "/query", map[string]any{
+		"query": "for { p <- Patients } yield count p",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("query status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE vida_queries_total counter",
+		"# TYPE vida_serve_in_flight gauge",
+		"vida_result_cache_misses_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// queries_total must be at least the one we ran.
+	var n int64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "vida_queries_total ") {
+			fmt.Sscanf(line, "vida_queries_total %d", &n)
+		}
+	}
+	if n < 1 {
+		t.Fatalf("vida_queries_total = %d, want >= 1", n)
+	}
+}
+
+func TestStreamRejectedWhenSaturated(t *testing.T) {
+	srv := newSlowStreamServer(t, serve.Config{MaxInFlight: 1, DefaultTimeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Hold the only slot with an open stream over the slow source.
+	body, _ := json.Marshal(map[string]any{"query": "for { s <- Slow } yield bag s.x"})
+	resp, err := http.Post(ts.URL+"/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatalf("no first row from held stream: %v", err)
+	}
+	// While the stream is open, another query is rejected with 429.
+	status, _ := postRaw(t, ts.URL, "/query", map[string]any{
+		"query": "for { g <- Genetics } yield count g",
+	})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 while stream holds the slot", status)
+	}
+}

@@ -22,6 +22,7 @@ const (
 	tNumber
 	tString
 	tSymbol // punctuation and operators
+	tParam  // $N / $name bind parameter (text holds the bare name)
 )
 
 type token struct {
@@ -68,6 +69,17 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 			out = append(out, token{kind: tNumber, text: src[start:i], orig: src[start:i], pos: start})
+		case c == '$':
+			start := i
+			i++
+			nameStart := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			if i == nameStart {
+				return nil, errf(start, "expected parameter name after '$'")
+			}
+			out = append(out, token{kind: tParam, text: src[nameStart:i], orig: src[start:i], pos: start})
 		case c == '\'':
 			start := i
 			i++
@@ -105,7 +117,7 @@ func lex(src string) ([]token, error) {
 				continue
 			}
 			switch c {
-			case ',', '(', ')', '=', '<', '>', '+', '-', '*', '/', '.', '%':
+			case ',', '(', ')', '=', '<', '>', '+', '-', '*', '/', '.', '%', '?':
 				out = append(out, token{kind: tSymbol, text: string(c), orig: string(c), pos: start})
 				i++
 			default:

@@ -1,0 +1,87 @@
+package sqlfront
+
+import (
+	"testing"
+
+	"vida/internal/mcl"
+)
+
+func TestSQLPositionalParams(t *testing.T) {
+	comp, err := Translate("SELECT id FROM People WHERE age > $1 AND id < $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mcl.Params(comp)
+	if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Fatalf("params = %v, want [1 2]", got)
+	}
+}
+
+func TestSQLQuestionMarkParams(t *testing.T) {
+	comp, err := Translate("SELECT id FROM People WHERE age > ? AND name = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mcl.Params(comp)
+	if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Fatalf("? params = %v, want auto-numbered [1 2]", got)
+	}
+}
+
+func TestSQLNamedParams(t *testing.T) {
+	comp, err := Translate("SELECT COUNT(*) FROM People WHERE age > $min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mcl.Params(comp)
+	if len(got) != 1 || got[0] != "min" {
+		t.Fatalf("params = %v, want [min]", got)
+	}
+	// The comprehension rendering re-parses with the hole intact (the
+	// serve layer round-trips query text through TranslateSQL).
+	reparsed, err := mcl.Parse(comp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := mcl.Params(reparsed); len(p) != 1 || p[0] != "min" {
+		t.Fatalf("re-parsed params = %v", p)
+	}
+}
+
+func TestSQLParamInHaving(t *testing.T) {
+	comp, err := Translate(
+		"SELECT city, COUNT(*) FROM People GROUP BY city HAVING COUNT(*) > $n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := mcl.Params(comp); len(p) != 1 || p[0] != "n" {
+		t.Fatalf("HAVING params = %v, want [n]", p)
+	}
+}
+
+func TestSQLBareDollarRejected(t *testing.T) {
+	if _, err := Translate("SELECT id FROM People WHERE age > $"); err == nil {
+		t.Fatal("bare $ should fail")
+	}
+}
+
+func TestSQLMixedPlaceholdersRejected(t *testing.T) {
+	// ?'s auto-numbering counts from 1 just like explicit ordinals, so
+	// mixing the two styles would silently alias parameters.
+	for _, q := range []string{
+		"SELECT id FROM People WHERE age > $1 AND id < ?",
+		"SELECT id FROM People WHERE age > ? AND id < $1",
+	} {
+		if _, err := Translate(q); err == nil {
+			t.Fatalf("Translate(%q) should reject mixed placeholders", q)
+		}
+	}
+	// Named parameters mix freely with ? (no numbering overlap).
+	comp, err := Translate("SELECT id FROM People WHERE age > $min AND id < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := mcl.Params(comp); len(p) != 2 {
+		t.Fatalf("params = %v", p)
+	}
+}

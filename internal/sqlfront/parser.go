@@ -61,12 +61,20 @@ type sqlCall struct {
 	pos  int
 }
 
-func (*sqlCol) sqlNode()  {}
-func (*sqlLit) sqlNode()  {}
-func (*sqlBin) sqlNode()  {}
-func (*sqlNot) sqlNode()  {}
-func (*sqlAgg) sqlNode()  {}
-func (*sqlCall) sqlNode() {}
+// sqlParam is a bind-parameter placeholder: $1..$n (positional, name is
+// the ordinal), $name (named), or ? (auto-numbered left to right).
+type sqlParam struct {
+	name string
+	pos  int
+}
+
+func (*sqlCol) sqlNode()   {}
+func (*sqlLit) sqlNode()   {}
+func (*sqlBin) sqlNode()   {}
+func (*sqlNot) sqlNode()   {}
+func (*sqlAgg) sqlNode()   {}
+func (*sqlCall) sqlNode()  {}
+func (*sqlParam) sqlNode() {}
 
 // selectStmt is a parsed SELECT.
 type selectStmt struct {
@@ -79,8 +87,11 @@ type selectStmt struct {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks      []token
+	pos       int
+	qpos      int // count of '?' placeholders seen, for auto-numbering
+	sawDollar bool
+	dollarPos int
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -391,6 +402,18 @@ var sqlBuiltins = map[string]string{
 func (p *parser) parsePostfix() (sqlExpr, error) {
 	t := p.cur()
 	switch t.kind {
+	case tParam:
+		p.pos++
+		if isOrdinal(t.text) {
+			// Mixing $n with ? would make ?'s auto-numbering collide with
+			// the explicit ordinals (both count from 1); forbid it, as the
+			// PostgreSQL drivers do.
+			if p.qpos > 0 {
+				return nil, errf(t.pos, "cannot mix $%s with ? placeholders in one statement", t.text)
+			}
+			p.sawDollar, p.dollarPos = true, t.pos
+		}
+		return &sqlParam{name: t.text, pos: t.pos}, nil
 	case tNumber:
 		p.pos++
 		if strings.Contains(t.text, ".") {
@@ -427,6 +450,14 @@ func (p *parser) parsePostfix() (sqlExpr, error) {
 				return nil, err
 			}
 			return &sqlBin{op: "-", l: &sqlLit{val: values.NewInt(0)}, r: e}, nil
+		}
+		if t.text == "?" {
+			if p.sawDollar {
+				return nil, errf(t.pos, "cannot mix ? with $n placeholders in one statement (first $n at offset %d)", p.dollarPos)
+			}
+			p.pos++
+			p.qpos++
+			return &sqlParam{name: strconv.Itoa(p.qpos), pos: t.pos}, nil
 		}
 		return nil, errf(t.pos, "unexpected %q", t.orig)
 	case tIdent:
@@ -496,6 +527,19 @@ func (p *parser) parsePostfix() (sqlExpr, error) {
 		return &sqlCol{col: t.orig, pos: t.pos}, nil
 	}
 	return nil, errf(t.pos, "unexpected end of expression")
+}
+
+// isOrdinal reports whether a parameter name is positional ($1..$n).
+func isOrdinal(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < '0' || name[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // mclOps maps SQL operators to calculus operators.

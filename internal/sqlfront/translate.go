@@ -334,6 +334,8 @@ func (tr *translator) havingToMCL(e sqlExpr, innerFor func(*sqlAgg) (mcl.Expr, e
 			return &mcl.NullExpr{}, nil
 		}
 		return &mcl.ConstExpr{Val: n.val}, nil
+	case *sqlParam:
+		return &mcl.ParamExpr{Name: n.name}, nil
 	case *sqlBin:
 		l, err := tr.havingToMCL(n.l, innerFor, keyValue)
 		if err != nil {
@@ -413,6 +415,8 @@ func (tr *translator) toMCL(e sqlExpr, aliases map[string]string, inAgg bool) (m
 			args[i] = ae
 		}
 		return &mcl.CallExpr{Name: n.name, Args: args}, nil
+	case *sqlParam:
+		return &mcl.ParamExpr{Name: n.name}, nil
 	case *sqlAgg:
 		return nil, errf(n.pos, "aggregate in a scalar context (did you mean GROUP BY?)")
 	}

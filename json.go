@@ -1,0 +1,64 @@
+package vida
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+)
+
+// AppendJSON renders the value as JSON appended to dst, preserving
+// record field order (encoding/json maps would lose it, and result rows
+// are ordered records). Floats JSON cannot represent (NaN, ±Inf) become
+// null; lists, bags, sets and arrays all render as JSON arrays.
+func (v Value) AppendJSON(dst []byte) []byte {
+	switch v.Kind() {
+	case "null":
+		return append(dst, "null"...)
+	case "bool":
+		return strconv.AppendBool(dst, v.Bool())
+	case "int":
+		return strconv.AppendInt(dst, v.Int(), 10)
+	case "float":
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return append(dst, "null"...)
+		}
+		return strconv.AppendFloat(dst, f, 'g', -1, 64)
+	case "string":
+		return appendJSONString(dst, v.Str())
+	case "record":
+		dst = append(dst, '{')
+		for i, f := range v.Fields() {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, f.Name)
+			dst = append(dst, ':')
+			dst = f.Val.AppendJSON(dst)
+		}
+		return append(dst, '}')
+	default: // list, bag, set, array
+		dst = append(dst, '[')
+		for i, e := range v.Elems() {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = e.AppendJSON(dst)
+		}
+		return append(dst, ']')
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	return v.AppendJSON(nil), nil
+}
+
+// appendJSONString appends a JSON-escaped string literal.
+func appendJSONString(dst []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for strings
+		return append(dst, `""`...)
+	}
+	return append(dst, b...)
+}

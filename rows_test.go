@@ -1,0 +1,379 @@
+package vida
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeBigCSV writes an n-row People CSV and registers it as "People".
+func setupBig(t testing.TB, n int) *Engine {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "people.csv")
+	var sb strings.Builder
+	sb.WriteString("id,name,age\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&sb, "%d,p%d,%d\n", i, i, 20+i%60)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	err := e.RegisterCSV("People", path,
+		"Record(Att(id, int), Att(name, string), Att(age, int))", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQueryRowsMatchesQuery(t *testing.T) {
+	e := setupBig(t, 20000) // above the parallel threshold
+	const q = `for { p <- People, p.age > 50 } yield bag (id := p.id, age := p.age)`
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.QueryRows(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	seen := map[int64]int64{}
+	count := 0
+	for rows.Next() {
+		var id, age int64
+		if err := rows.Scan(&id, &age); err != nil {
+			t.Fatal(err)
+		}
+		seen[id] = age
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != res.Len() {
+		t.Fatalf("cursor rows = %d, Query rows = %d", count, res.Len())
+	}
+	for _, r := range res.Rows() {
+		if seen[r.Field("id").Int()] != r.Field("age").Int() {
+			t.Fatalf("row %s missing from cursor", r)
+		}
+	}
+}
+
+func TestQueryRowsColumns(t *testing.T) {
+	e := setupBig(t, 10)
+	rows, err := e.QuerySQLRows("SELECT id, name FROM People WHERE age > $1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols := rows.Columns()
+	if len(cols) != 2 || cols[0] != "id" || cols[1] != "name" {
+		t.Fatalf("columns = %v", cols)
+	}
+	// Columns peeked the first row; Next must still see all of them.
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("rows after Columns = %d, want 10", n)
+	}
+}
+
+func TestQueryRowsScalarResult(t *testing.T) {
+	e := setupBig(t, 25)
+	rows, err := e.QueryRows(`for { p <- People } yield count p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 1 || cols[0] != "value" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if !rows.Next() {
+		t.Fatal("expected one row")
+	}
+	var n int64
+	if err := rows.Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("count = %d", n)
+	}
+	if rows.Next() {
+		t.Fatal("scalar result must have exactly one row")
+	}
+}
+
+func TestBindParameters(t *testing.T) {
+	e := setupBig(t, 100)
+	// Named parameter in the comprehension language.
+	res, err := e.Query(`for { p <- People, p.age > $min } yield sum 1`, Named("min", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Query(`for { p <- People, p.age > 80 } yield sum 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value().Int() != want.Value().Int() {
+		t.Fatalf("param result %s != literal result %s", res, want)
+	}
+	// Positional parameters through SQL ($1 and ?).
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM People WHERE age > $1",
+		"SELECT COUNT(*) FROM People WHERE age > ?",
+	} {
+		res, err := e.QuerySQL(q, 80)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if res.Value().Int() != want.Value().Int() {
+			t.Fatalf("%s = %s, want %s", q, res, want)
+		}
+	}
+	// The plan cache keys on the parameterized text: same shape, new
+	// constant, no frontend re-run, different answer.
+	p, err := e.Prepare(`for { p <- People, p.age > $min } yield sum 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p.Run(Named("min", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value().Int() != 100 {
+		t.Fatalf("min=0 count = %s, want 100", r1)
+	}
+	r2, err := p.Run(Named("min", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Value().Int() != 0 {
+		t.Fatalf("min=200 count = %s, want 0", r2)
+	}
+}
+
+func TestBindParameterValidation(t *testing.T) {
+	e := setupBig(t, 5)
+	if _, err := e.Query(`for { p <- People, p.age > $min } yield sum 1`); err == nil {
+		t.Fatal("missing parameter should fail")
+	}
+	if _, err := e.Query(`for { p <- People } yield sum 1`, Named("bogus", 1)); err == nil {
+		t.Fatal("undeclared parameter should fail")
+	}
+	p, err := e.Prepare(`for { p <- People, p.age > $min, p.id < $max } yield sum 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Params(); len(got) != 2 || got[0] != "min" || got[1] != "max" {
+		t.Fatalf("Params() = %v", got)
+	}
+}
+
+func TestSetMonoidStreamingDedups(t *testing.T) {
+	e := setupBig(t, 30000)
+	// age has 60 distinct values; the streaming path must dedup across
+	// morsel-parallel producers exactly like the collect path.
+	rows, err := e.QueryRows(`for { p <- People } yield set p.age`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	distinct := map[int64]bool{}
+	n := 0
+	for rows.Next() {
+		var age int64
+		if err := rows.Scan(&age); err != nil {
+			t.Fatal(err)
+		}
+		if distinct[age] {
+			t.Fatalf("duplicate %d in set stream", age)
+		}
+		distinct[age] = true
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("distinct ages = %d, want 60", n)
+	}
+}
+
+// TestCursorCancelMidStreamCold streams a cold 300k-row CSV, abandons
+// the cursor after a few rows, and verifies the machinery unwinds: no
+// goroutine leak, engine close-gate released (Close returns), scheduler
+// still serves queries.
+func TestCursorCancelMidStreamCold(t *testing.T) {
+	e := setupBig(t, 300000)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := e.QueryRowsCtx(ctx, `for { p <- People } yield bag (id := p.id, name := p.name, age := p.age)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for rows.Next() {
+		got++
+		if got >= 100 {
+			break
+		}
+	}
+	if got < 100 {
+		t.Fatalf("streamed only %d rows before cancel: %v", got, rows.Err())
+	}
+	cancel()
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The producer goroutine and its morsel workers must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines: %d before stream, %d after close (leak)", before, n)
+	}
+
+	// Pool slots are free again: a fresh query completes promptly.
+	res, err := e.Query(`for { p <- People, p.age > 50 } yield count p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value().Int() == 0 {
+		t.Fatal("follow-up query returned nothing")
+	}
+	// The close gate is not pinned by the dead cursor.
+	done := make(chan error, 1)
+	go func() { done <- e.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Engine.Close blocked: abandoned cursor still holds a query slot")
+	}
+}
+
+func TestCursorCloseWithoutCancel(t *testing.T) {
+	e := setupBig(t, 300000)
+	rows, err := e.QueryRows(`for { p <- People } yield bag p.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("Err after clean Close = %v, want nil", err)
+	}
+	if rows.Next() {
+		t.Fatal("Next after Close must be false")
+	}
+}
+
+func TestScanDestinations(t *testing.T) {
+	e := setupBig(t, 3)
+	rows, err := e.QueryRows(`for { p <- People, p.id = 1 } yield bag (id := p.id, name := p.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no row: %v", rows.Err())
+	}
+	var u8 uint8
+	var u16 uint16
+	var u32 uint32
+	var s string
+	for _, dst := range []any{&u8, &u16, &u32} {
+		if err := rows.Scan(dst, &s); err != nil {
+			t.Fatalf("Scan into %T: %v", dst, err)
+		}
+	}
+	if u8 != 1 || u16 != 1 || u32 != 1 || s != "p1" {
+		t.Fatalf("scanned %d/%d/%d/%q", u8, u16, u32, s)
+	}
+}
+
+func TestResultRowsMemoized(t *testing.T) {
+	e := setupBig(t, 100)
+	res, err := e.Query(`for { p <- People } yield bag p.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Rows(), res.Rows()
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("len = %d/%d", len(a), len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("Rows() rebuilt the facade; conversion should be memoized")
+	}
+}
+
+// BenchmarkStreamLargeResult measures time-to-first-row through the
+// cursor against full materialization of the same 200k-row result: the
+// streaming path should reach its first row in a small fraction of the
+// materialization time.
+func BenchmarkStreamLargeResult(b *testing.B) {
+	e := setupBig(b, 200000)
+	const q = `for { p <- People } yield bag (id := p.id, name := p.name, age := p.age)`
+	if _, err := e.Query(q); err != nil { // warm the caches and posmap
+		b.Fatal(err)
+	}
+	b.Run("first-row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := e.QueryRows(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rows.Next() {
+				b.Fatal("no rows")
+			}
+			rows.Close()
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := e.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() != 200000 {
+				b.Fatal("short result")
+			}
+		}
+	})
+	b.Run("stream-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := e.QueryRows(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for rows.Next() {
+				n++
+			}
+			rows.Close()
+			if n != 200000 {
+				b.Fatalf("streamed %d rows", n)
+			}
+		}
+	})
+}

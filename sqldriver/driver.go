@@ -1,0 +1,387 @@
+// Package sqldriver exposes the ViDa engine through Go's standard
+// database/sql interface, registered under the driver name "vida". The
+// DSN describes which raw files make up the virtual database (see
+// parseDSN); queries are SQL by default and stream through the engine's
+// cursor path, so large results arrive row-by-row with bounded memory:
+//
+//	db, err := sql.Open("vida",
+//	    "csv:People=people.csv#Record(Att(id, int), Att(age, int))")
+//	rows, err := db.QueryContext(ctx,
+//	    "SELECT id FROM People WHERE age > $1", 40)
+//
+// Prepared statements map onto the engine's plan cache: preparing once
+// and running with different bind parameters re-uses the compiled plan
+// (the compile-once/run-many contract Stmt expects). The engine is
+// read-only — Exec and transactions are not supported.
+//
+// One engine (with its caches and positional maps) backs all
+// connections of one sql.DB; connections are stateless handles.
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"vida"
+	"vida/internal/core"
+)
+
+func init() {
+	sql.Register("vida", &Driver{})
+}
+
+// Driver is the database/sql driver for ViDa engines.
+type Driver struct{}
+
+var (
+	_ driver.Driver        = (*Driver)(nil)
+	_ driver.DriverContext = (*Driver)(nil)
+)
+
+// Open implements driver.Driver. database/sql prefers OpenConnector, so
+// this path only runs for code holding a raw *Driver.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector implements driver.DriverContext: the DSN is parsed once
+// and every connection of the pool shares one engine.
+func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	cfg, err := parseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &Connector{drv: d, cfg: cfg}, nil
+}
+
+// Connector builds connections over one shared engine, created lazily
+// on first Connect (file registration touches the filesystem).
+type Connector struct {
+	drv *Driver
+	cfg *dsnConfig
+
+	mu     sync.Mutex
+	eng    *vida.Engine
+	err    error
+	closed bool
+}
+
+var _ io.Closer = (*Connector)(nil)
+
+// engine lazily builds the shared engine, guarded against concurrent
+// first connections and against a racing Close (which would otherwise
+// miss — and leak — an engine built just after it looked).
+func (c *Connector) engine() (*vida.Engine, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, driver.ErrBadConn
+	}
+	if c.eng == nil && c.err == nil {
+		c.eng, c.err = c.cfg.buildEngine()
+	}
+	return c.eng, c.err
+}
+
+// Connect implements driver.Connector.
+func (c *Connector) Connect(ctx context.Context) (driver.Conn, error) {
+	eng, err := c.engine()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{eng: eng, lang: c.cfg.lang}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *Connector) Driver() driver.Driver { return c.drv }
+
+// Close implements io.Closer: sql.DB.Close closes the connector, which
+// drains and closes the shared engine (if one was ever built).
+func (c *Connector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.eng != nil {
+		return c.eng.Close()
+	}
+	return nil
+}
+
+// Engine returns the shared engine behind this connector, building it
+// if needed. It allows driver users to reach ViDa-specific surface —
+// Stats, Refresh, AttachCleaner — via sql.DB's connector. Returns nil
+// after Close or when the DSN fails to build.
+func (c *Connector) Engine() *vida.Engine {
+	eng, _ := c.engine()
+	return eng
+}
+
+// Conn is one pooled connection: a stateless handle on the shared
+// engine.
+type Conn struct {
+	eng  *vida.Engine
+	lang string
+}
+
+var (
+	_ driver.Conn               = (*Conn)(nil)
+	_ driver.QueryerContext     = (*Conn)(nil)
+	_ driver.ExecerContext      = (*Conn)(nil)
+	_ driver.ConnPrepareContext = (*Conn)(nil)
+	_ driver.NamedValueChecker  = (*Conn)(nil)
+	_ driver.Pinger             = (*Conn)(nil)
+)
+
+// mapErr folds engine errors into driver conventions: a closed engine
+// means every connection of this pool is dead, which database/sql is
+// told via ErrBadConn.
+func mapErr(err error) error {
+	if errors.Is(err, core.ErrClosed) {
+		return driver.ErrBadConn
+	}
+	return err
+}
+
+// translate maps the incoming query text to the engine's comprehension
+// language when the DSN selected SQL (the default).
+func (c *Conn) translate(query string) (string, error) {
+	if c.lang != "sql" {
+		return query, nil
+	}
+	return c.eng.TranslateSQL(query)
+}
+
+// Prepare implements driver.Conn.
+func (c *Conn) Prepare(query string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext implements driver.ConnPrepareContext: the engine runs
+// its full frontend (parse, type-check, normalize, translate, optimize)
+// once; executions only bind parameters and run.
+func (c *Conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	text, err := c.translate(query)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.eng.PrepareCtx(ctx, text)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &Stmt{conn: c, prepared: p}, nil
+}
+
+// QueryContext implements driver.QueryerContext (direct queries skip
+// the Stmt round trip; the engine's plan cache still amortizes repeats).
+func (c *Conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	text, err := c.translate(query)
+	if err != nil {
+		return nil, err
+	}
+	vargs, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.eng.QueryRowsCtx(ctx, text, vargs...)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &rows{inner: r}, nil
+}
+
+// ExecContext implements driver.ExecerContext. The engine is read-only:
+// data lives in the raw files.
+func (c *Conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	return nil, errors.New("sqldriver: the vida engine is read-only (no Exec); data changes happen in the raw files")
+}
+
+// Begin implements driver.Conn.
+func (c *Conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("sqldriver: transactions are not supported (read-only engine)")
+}
+
+// Close implements driver.Conn. Connections are stateless; the engine
+// is owned by the Connector.
+func (c *Conn) Close() error { return nil }
+
+// Ping implements driver.Pinger, reporting a closed engine as a dead
+// connection.
+func (c *Conn) Ping(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return mapErr(c.eng.Ping())
+}
+
+// CheckNamedValue implements driver.NamedValueChecker, admitting every
+// Go type the engine's parameter converter understands (database/sql's
+// default would reject plain int, for example).
+func (c *Conn) CheckNamedValue(nv *driver.NamedValue) error {
+	switch nv.Value.(type) {
+	case nil, bool, string, []byte, time.Time, vida.Value,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64:
+		return nil
+	}
+	v, err := driver.DefaultParameterConverter.ConvertValue(nv.Value)
+	if err != nil {
+		return err
+	}
+	nv.Value = v
+	return nil
+}
+
+// convertArgs maps driver named values onto the engine's argument list:
+// named values bind $name, the rest bind positionally in ordinal order.
+func convertArgs(args []driver.NamedValue) ([]any, error) {
+	out := make([]any, 0, len(args))
+	for _, a := range args {
+		if a.Name != "" {
+			out = append(out, vida.Named(a.Name, a.Value))
+			continue
+		}
+		out = append(out, a.Value)
+	}
+	return out, nil
+}
+
+// Stmt is a prepared statement: a handle on the engine's compiled plan.
+type Stmt struct {
+	conn     *Conn
+	prepared *vida.Prepared
+}
+
+var (
+	_ driver.Stmt              = (*Stmt)(nil)
+	_ driver.StmtQueryContext  = (*Stmt)(nil)
+	_ driver.NamedValueChecker = (*Stmt)(nil)
+)
+
+// Close implements driver.Stmt (plans are cached engine-side; nothing
+// to release).
+func (s *Stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt. For purely positional parameters the
+// exact count lets database/sql validate arguments up front; statements
+// with named parameters return -1 (no placeholder count check).
+func (s *Stmt) NumInput() int {
+	names := s.prepared.Params()
+	for i, n := range names {
+		if n != strconv.Itoa(i+1) {
+			return -1
+		}
+	}
+	return len(names)
+}
+
+// Exec implements driver.Stmt (unsupported: read-only engine).
+func (s *Stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return nil, errors.New("sqldriver: the vida engine is read-only (no Exec)")
+}
+
+// Query implements driver.Stmt (legacy positional-args path).
+func (s *Stmt) Query(args []driver.Value) (driver.Rows, error) {
+	named := make([]driver.NamedValue, len(args))
+	for i, a := range args {
+		named[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return s.QueryContext(context.Background(), named)
+}
+
+// QueryContext implements driver.StmtQueryContext: bind parameters are
+// substituted into a copy of the cached plan and the result streams
+// through the engine's cursor.
+func (s *Stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	vargs, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.prepared.RunRowsCtx(ctx, vargs...)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &rows{inner: r}, nil
+}
+
+// CheckNamedValue implements driver.NamedValueChecker for statement
+// executions (database/sql consults the Stmt first).
+func (s *Stmt) CheckNamedValue(nv *driver.NamedValue) error {
+	return s.conn.CheckNamedValue(nv)
+}
+
+// rows adapts the engine's streaming cursor to driver.Rows. Each Next
+// pulls one row from the bounded-channel stream; Close aborts the
+// producers mid-scan.
+type rows struct {
+	inner *vida.Rows
+	cols  []string
+}
+
+var _ driver.Rows = (*rows)(nil)
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string {
+	if r.cols == nil {
+		r.cols = r.inner.Columns()
+	}
+	return r.cols
+}
+
+// Close implements driver.Rows.
+func (r *rows) Close() error { return r.inner.Close() }
+
+// Next implements driver.Rows. Record rows map one field per column
+// (matched by name, so heterogeneous open-schema rows read as null for
+// columns they lack); scalar rows fill the single "value" column.
+func (r *rows) Next(dest []driver.Value) error {
+	if !r.inner.Next() {
+		if err := r.inner.Err(); err != nil {
+			return mapErr(err)
+		}
+		return io.EOF
+	}
+	cols := r.Columns()
+	if len(dest) < len(cols) {
+		return fmt.Errorf("sqldriver: %d destinations for %d columns", len(dest), len(cols))
+	}
+	row := r.inner.Value()
+	if row.Kind() == "record" && !(len(cols) == 1 && cols[0] == "value") {
+		for i, name := range cols {
+			dest[i] = driverValue(row.Field(name))
+		}
+		return nil
+	}
+	dest[0] = driverValue(row)
+	return nil
+}
+
+// driverValue converts an engine value to a driver.Value: scalars map
+// directly, nested records and collections render as JSON text.
+func driverValue(v vida.Value) driver.Value {
+	switch v.Kind() {
+	case "null":
+		return nil
+	case "bool":
+		return v.Bool()
+	case "int":
+		return v.Int()
+	case "float":
+		return v.Float()
+	case "string":
+		return v.Str()
+	default:
+		return string(v.AppendJSON(nil))
+	}
+}

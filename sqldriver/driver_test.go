@@ -1,0 +1,175 @@
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePeopleCSV writes an n-row People file and returns its DSN entry.
+func writePeopleCSV(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "people.csv")
+	var sb strings.Builder
+	sb.WriteString("id,name,age\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&sb, "%d,p%d,%d\n", i, i, 20+i%60)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return "csv:People=" + path + "#Record(Att(id, int), Att(name, string), Att(age, int))"
+}
+
+func openDB(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open("vida", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestQueryContextWithArgs(t *testing.T) {
+	db := openDB(t, writePeopleCSV(t, 100))
+	rows, err := db.QueryContext(context.Background(),
+		"SELECT id, name FROM People WHERE age > $1", 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "id" || cols[1] != "name" {
+		t.Fatalf("columns = %v", cols)
+	}
+	count := 0
+	for rows.Next() {
+		var id int64
+		var name string
+		if err := rows.Scan(&id, &name); err != nil {
+			t.Fatal(err)
+		}
+		if name != fmt.Sprintf("p%d", id) {
+			t.Fatalf("row mismatch: id=%d name=%s", id, name)
+		}
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// age = 20 + i%60 > 75 → i%60 in 56..59: 4 ids per 60, ids ≤ 100.
+	want := 0
+	for i := 1; i <= 100; i++ {
+		if 20+i%60 > 75 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("rows = %d, want %d", count, want)
+	}
+}
+
+func TestPreparedStatementReuse(t *testing.T) {
+	db := openDB(t, writePeopleCSV(t, 50))
+	stmt, err := db.Prepare("SELECT COUNT(*) FROM People WHERE age > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, tc := range []struct{ arg, want int64 }{{0, 50}, {200, 0}} {
+		var got int64
+		if err := stmt.QueryRow(tc.arg).Scan(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("count(age > %d) = %d, want %d", tc.arg, got, tc.want)
+		}
+	}
+}
+
+func TestNamedParameters(t *testing.T) {
+	db := openDB(t, writePeopleCSV(t, 30)+";lang=mcl")
+	var got int64
+	err := db.QueryRow(
+		"for { p <- People, p.age > $min } yield sum 1",
+		sql.Named("min", 0),
+	).Scan(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("count = %d, want 30", got)
+	}
+}
+
+func TestErrBadConnOnClosedEngine(t *testing.T) {
+	connector, err := (&Driver{}).OpenConnector(writePeopleCSV(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sql.OpenDB(connector)
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Close the engine out from under the pool; driver calls must now
+	// surface driver.ErrBadConn so database/sql retires the connections.
+	if err := connector.(*Connector).Engine().Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := connector.Connect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = conn.(driver.QueryerContext).QueryContext(context.Background(),
+		"SELECT id FROM People", nil)
+	if !errors.Is(err, driver.ErrBadConn) {
+		t.Fatalf("err = %v, want driver.ErrBadConn", err)
+	}
+	db.Close()
+}
+
+func TestExecAndTxRejected(t *testing.T) {
+	db := openDB(t, writePeopleCSV(t, 5))
+	if _, err := db.Exec("SELECT id FROM People"); err == nil {
+		t.Fatal("Exec should fail on a read-only engine")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("Begin should fail")
+	}
+}
+
+func TestCatalogDSN(t *testing.T) {
+	entry := writePeopleCSV(t, 12)
+	catPath := filepath.Join(t.TempDir(), "catalog.txt")
+	content := "# the people database\n\n" + entry + "\n"
+	if err := os.WriteFile(catPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := openDB(t, "catalog:"+catPath)
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM People").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("count = %d, want 12", n)
+	}
+}
+
+func TestBadDSN(t *testing.T) {
+	for _, dsn := range []string{"", "lang=sql", "csv:NoPath", "bogus:X=y#z"} {
+		if _, err := (&Driver{}).OpenConnector(dsn); err == nil {
+			t.Fatalf("DSN %q should be rejected", dsn)
+		}
+	}
+}

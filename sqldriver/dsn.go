@@ -1,0 +1,163 @@
+package sqldriver
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vida"
+)
+
+// sourceSpec is one raw-file registration from the DSN.
+type sourceSpec struct {
+	kind   string // csv, json, array, xls
+	name   string
+	path   string
+	schema string
+}
+
+// dsnConfig is the parsed DSN: the set of raw files the virtual
+// database is made of, plus engine options.
+type dsnConfig struct {
+	sources     []sourceSpec
+	lang        string // "sql" (default) or "mcl"
+	cacheBudget int64
+}
+
+// parseDSN parses a data source name. A DSN is a semicolon-separated
+// list of entries, mirroring the vidaserve registration flags:
+//
+//	csv:Name=path#schema         CSV file with a source-description schema
+//	json:Name=path[#schema]      JSON file (schema optional, open schema)
+//	array:Name=path#schema       binary array file
+//	xls:Name=path#schema         binary spreadsheet file
+//	catalog:path                 file with one entry per line (leading-#
+//	                             comment lines and blank lines ignored)
+//	lang=sql|mcl                 query language of this database
+//	                             (default sql; mcl = monoid comprehensions)
+//	cache_budget=bytes           data cache budget (0 = unlimited)
+//
+// Example:
+//
+//	sql.Open("vida", "csv:People=people.csv#Record(Att(id, int), Att(age, int))")
+func parseDSN(dsn string) (*dsnConfig, error) {
+	cfg := &dsnConfig{lang: "sql"}
+	for _, entry := range strings.Split(dsn, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if err := cfg.addEntry(entry); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.sources) == 0 {
+		return nil, fmt.Errorf("sqldriver: DSN registers no sources (want csv:/json:/array:/xls:/catalog: entries)")
+	}
+	return cfg, nil
+}
+
+func (cfg *dsnConfig) addEntry(entry string) error {
+	kind, rest, ok := strings.Cut(entry, ":")
+	if ok {
+		switch kind {
+		case "csv", "json", "array", "xls":
+			spec, err := parseSourceSpec(kind, rest)
+			if err != nil {
+				return err
+			}
+			cfg.sources = append(cfg.sources, spec)
+			return nil
+		case "catalog":
+			return cfg.addCatalogFile(rest)
+		}
+	}
+	// Option entries use key=value.
+	key, val, ok := strings.Cut(entry, "=")
+	if !ok {
+		return fmt.Errorf("sqldriver: bad DSN entry %q", entry)
+	}
+	switch key {
+	case "lang":
+		if val != "sql" && val != "mcl" {
+			return fmt.Errorf("sqldriver: lang must be sql or mcl, got %q", val)
+		}
+		cfg.lang = val
+	case "cache_budget":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sqldriver: bad cache_budget %q", val)
+		}
+		cfg.cacheBudget = n
+	default:
+		return fmt.Errorf("sqldriver: unknown DSN option %q", key)
+	}
+	return nil
+}
+
+// parseSourceSpec parses Name=path[#schema].
+func parseSourceSpec(kind, rest string) (sourceSpec, error) {
+	name, loc, ok := strings.Cut(rest, "=")
+	if !ok || name == "" {
+		return sourceSpec{}, fmt.Errorf("sqldriver: %s source %q: want Name=path[#schema]", kind, rest)
+	}
+	path, schema, _ := strings.Cut(loc, "#")
+	if path == "" {
+		return sourceSpec{}, fmt.Errorf("sqldriver: %s source %q: empty path", kind, rest)
+	}
+	if schema == "" && kind != "json" {
+		return sourceSpec{}, fmt.Errorf("sqldriver: %s source %q needs a #schema", kind, rest)
+	}
+	return sourceSpec{kind: kind, name: name, path: path, schema: schema}, nil
+}
+
+// addCatalogFile reads registrations from a catalog file: one
+// csv:/json:/array:/xls: entry per line, '#'-prefixed comment lines and
+// blank lines ignored.
+func (cfg *dsnConfig) addCatalogFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("sqldriver: catalog %s: %w", path, err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "catalog:") {
+			return fmt.Errorf("sqldriver: catalog %s line %d: catalogs cannot nest", path, i+1)
+		}
+		if err := cfg.addEntry(line); err != nil {
+			return fmt.Errorf("sqldriver: catalog %s line %d: %w", path, i+1, err)
+		}
+	}
+	return nil
+}
+
+// buildEngine constructs and populates the engine this DSN describes.
+func (cfg *dsnConfig) buildEngine() (*vida.Engine, error) {
+	var opts []vida.Option
+	if cfg.cacheBudget > 0 {
+		opts = append(opts, vida.WithCacheBudget(cfg.cacheBudget))
+	}
+	eng := vida.New(opts...)
+	for _, s := range cfg.sources {
+		var err error
+		switch s.kind {
+		case "csv":
+			err = eng.RegisterCSV(s.name, s.path, s.schema, nil)
+		case "json":
+			err = eng.RegisterJSON(s.name, s.path, s.schema)
+		case "array":
+			err = eng.RegisterArray(s.name, s.path, s.schema)
+		case "xls":
+			err = eng.RegisterXLS(s.name, s.path, s.schema)
+		}
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("sqldriver: registering %s: %w", s.name, err)
+		}
+	}
+	return eng, nil
+}

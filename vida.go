@@ -21,6 +21,7 @@ package vida
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"vida/internal/clean"
 	"vida/internal/core"
@@ -190,36 +191,38 @@ func (s *sliceSource) Iterate(fields []string, yield func(values.Value) error) e
 	return nil
 }
 
-// Query runs a comprehension query and returns its result.
-func (e *Engine) Query(src string) (*Result, error) {
-	return e.QueryCtx(context.Background(), src)
+// Query runs a comprehension query and returns its buffered result.
+// Positional args bind $1..$n parameters; NamedArg values bind $name.
+// For results too large to buffer, use QueryRows instead.
+func (e *Engine) Query(src string, args ...any) (*Result, error) {
+	return e.QueryCtx(context.Background(), src, args...)
 }
 
 // QueryCtx runs a comprehension query under a cancellation context:
 // cancelling ctx (or its deadline passing) aborts the query mid-scan —
 // including a cold first touch of a large raw file — and returns the
 // context's error.
-func (e *Engine) QueryCtx(ctx context.Context, src string) (*Result, error) {
-	v, err := e.inner.QueryCtx(ctx, src)
+func (e *Engine) QueryCtx(ctx context.Context, src string, args ...any) (*Result, error) {
+	p, err := e.PrepareCtx(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{val: Value{raw: v}}, nil
+	return p.RunCtx(ctx, args...)
 }
 
 // QuerySQL translates a SQL query to the comprehension calculus (the
 // "syntactic sugar" layer of paper §3.2) and runs it.
-func (e *Engine) QuerySQL(src string) (*Result, error) {
-	return e.QuerySQLCtx(context.Background(), src)
+func (e *Engine) QuerySQL(src string, args ...any) (*Result, error) {
+	return e.QuerySQLCtx(context.Background(), src, args...)
 }
 
 // QuerySQLCtx is QuerySQL under a cancellation context.
-func (e *Engine) QuerySQLCtx(ctx context.Context, src string) (*Result, error) {
+func (e *Engine) QuerySQLCtx(ctx context.Context, src string, args ...any) (*Result, error) {
 	comp, err := sqlfront.Translate(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryCtx(ctx, comp.String())
+	return e.QueryCtx(ctx, comp.String(), args...)
 }
 
 // Prepared is a compiled query ready for repeated (concurrent) execution.
@@ -243,14 +246,36 @@ func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) 
 	return &Prepared{inner: p}, nil
 }
 
-// Run executes the prepared query.
-func (p *Prepared) Run() (*Result, error) {
-	return p.RunCtx(context.Background())
+// Run executes the prepared query with the given parameter bindings.
+func (p *Prepared) Run(args ...any) (*Result, error) {
+	return p.RunCtx(context.Background(), args...)
 }
 
 // RunCtx executes the prepared query under a cancellation context.
-func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
-	v, err := p.inner.RunCtx(ctx)
+// Bag and set results run as a thin collect over the streaming cursor —
+// the buffered and cursor APIs share one execution path, and bag/set
+// canonicalization makes the unordered parallel stream deterministic.
+// List results keep the reduce path: it merges morsel partials in
+// order, so large ordered results stay parallel (the cursor streams
+// lists serially to preserve order row-by-row). Scalar aggregates fold
+// directly.
+func (p *Prepared) RunCtx(ctx context.Context, args ...any) (*Result, error) {
+	params, err := argsToParams(args)
+	if err != nil {
+		return nil, err
+	}
+	if p.inner.Streamable() && p.inner.MonoidName() != "list" {
+		rows, err := p.inner.RowsCtx(ctx, params)
+		if err != nil {
+			return nil, err
+		}
+		v, err := collectValue(rows, p.inner.MonoidName())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{val: Value{raw: v}}, nil
+	}
+	v, err := p.inner.RunParamsCtx(ctx, params)
 	if err != nil {
 		return nil, err
 	}
@@ -261,6 +286,10 @@ func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
 // finish; later queries fail with an engine-closed error. It is the
 // graceful-shutdown hook for servers built on the engine.
 func (e *Engine) Close() error { return e.inner.Close() }
+
+// Ping reports whether the engine accepts queries (an engine-closed
+// error after Close). The database/sql driver builds its Pinger on it.
+func (e *Engine) Ping() error { return e.inner.Ping() }
 
 // TranslateSQL returns the comprehension a SQL query maps to, without
 // running it.
@@ -345,6 +374,12 @@ type Value struct {
 // Result is the outcome of one query.
 type Result struct {
 	val Value
+
+	// rows memoizes the []Value facade Rows builds over the collection:
+	// results are shared (result caches serve one *Result to many
+	// requests), so the conversion is done once, concurrency-safely.
+	rowsOnce sync.Once
+	rows     []Value
 }
 
 // Value returns the result datum.
@@ -354,12 +389,17 @@ func (r *Result) Value() Value { return r.val }
 func (r *Result) String() string { return r.val.String() }
 
 // Rows returns the result's elements when it is a collection, or the
-// result itself as a single row otherwise.
+// result itself as a single row otherwise. The conversion is memoized:
+// calling Rows (or Len) repeatedly is free after the first call.
 func (r *Result) Rows() []Value {
-	if r.val.IsCollection() {
-		return r.val.Elems()
-	}
-	return []Value{r.val}
+	r.rowsOnce.Do(func() {
+		if r.val.IsCollection() {
+			r.rows = r.val.Elems()
+		} else {
+			r.rows = []Value{r.val}
+		}
+	})
+	return r.rows
 }
 
 // Len returns the number of rows.
