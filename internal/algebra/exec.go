@@ -31,6 +31,9 @@ func (Reference) Run(p *Reduce, cat Catalog) (values.Value, error) {
 	if err != nil {
 		return values.Null, err
 	}
+	if p.Order.Ordered() {
+		return orderedReduce(p, rows)
+	}
 	acc := monoid.NewCollector(p.M)
 	for _, env := range rows {
 		if p.Pred != nil {
@@ -48,7 +51,85 @@ func (Reference) Run(p *Reduce, cat Catalog) (values.Value, error) {
 		}
 		acc.Add(h)
 	}
-	return acc.Result(), nil
+	res := acc.Result()
+	if p.Order != nil {
+		return SliceCollection(res, p.Order)
+	}
+	return res, nil
+}
+
+// orderedReduce folds the rows through the keyed top-k accumulator —
+// the reference semantics of ORDER BY/LIMIT/OFFSET every optimized
+// engine must reproduce.
+func orderedReduce(p *Reduce, rows []*mcl.Env) (values.Value, error) {
+	limit, offset, err := ResolveExtents(p.Order)
+	if err != nil {
+		return values.Null, err
+	}
+	dedup := p.M.Name() == "set"
+	desc := make([]bool, len(p.Order.Keys))
+	for i, k := range p.Order.Keys {
+		desc[i] = k.Desc
+	}
+	keep := -1
+	if limit >= 0 && !dedup {
+		keep = offset + limit
+	}
+	acc := monoid.NewTopKAcc(desc, keep)
+	for _, env := range rows {
+		if p.Pred != nil {
+			ok, err := evalPred(p.Pred, env)
+			if err != nil {
+				return values.Null, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		keys := make([]values.Value, len(p.Order.Keys))
+		for i, k := range p.Order.Keys {
+			kv, err := mcl.Eval(k.E, env)
+			if err != nil {
+				return values.Null, err
+			}
+			keys[i] = kv
+		}
+		h, err := mcl.Eval(p.Head, env)
+		if err != nil {
+			return values.Null, err
+		}
+		acc.Add(keys, h)
+	}
+	return values.NewList(acc.Finalize(offset, limit, dedup)...), nil
+}
+
+// SliceCollection applies a keyless OrderSpec (bare limit/offset) to a
+// materialized collection result, preserving its kind. Materializing
+// executors share it; the JIT engine instead stops producers early.
+func SliceCollection(v values.Value, o *OrderSpec) (values.Value, error) {
+	limit, offset, err := ResolveExtents(o)
+	if err != nil {
+		return values.Null, err
+	}
+	elems := v.Elems()
+	if offset > 0 {
+		if offset >= len(elems) {
+			elems = nil
+		} else {
+			elems = elems[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(elems) {
+		elems = elems[:limit]
+	}
+	switch v.Kind() {
+	case values.KindList:
+		return values.NewList(elems...), nil
+	case values.KindSet:
+		return values.NewSet(elems...), nil
+	default:
+		return values.NewBag(elems...), nil
+	}
 }
 
 // baseEnv materializes every catalog source referenced by the plan's
@@ -92,6 +173,11 @@ func baseEnv(p Plan, cat Catalog) (*mcl.Env, error) {
 		case *Reduce:
 			collect(n.Head)
 			collect(n.Pred)
+			if n.Order != nil {
+				for _, k := range n.Order.Keys {
+					collect(k.E)
+				}
+			}
 		}
 		for _, in := range p.Inputs() {
 			walk(in)

@@ -24,7 +24,14 @@ func exprFields(p Plan) []mcl.Expr {
 	case *Bind:
 		return []mcl.Expr{n.E}
 	case *Reduce:
-		return []mcl.Expr{n.Head, n.Pred}
+		out := []mcl.Expr{n.Head, n.Pred}
+		if n.Order != nil {
+			for _, k := range n.Order.Keys {
+				out = append(out, k.E)
+			}
+			out = append(out, n.Order.Limit, n.Order.Offset)
+		}
+		return out
 	}
 	return nil
 }
@@ -102,12 +109,23 @@ func bindPlan(p Plan, params map[string]values.Value) Plan {
 	case *Bind:
 		return &Bind{Input: bindPlan(n.Input, params), Var: n.Var, E: mcl.BindParams(n.E, params)}
 	case *Reduce:
-		return &Reduce{
+		out := &Reduce{
 			Input: bindPlan(n.Input, params),
 			M:     n.M,
 			Head:  mcl.BindParams(n.Head, params),
 			Pred:  mcl.BindParams(n.Pred, params),
 		}
+		if n.Order != nil {
+			spec := &OrderSpec{
+				Limit:  mcl.BindParams(n.Order.Limit, params),
+				Offset: mcl.BindParams(n.Order.Offset, params),
+			}
+			for _, k := range n.Order.Keys {
+				spec.Keys = append(spec.Keys, SortKey{E: mcl.BindParams(k.E, params), Desc: k.Desc})
+			}
+			out.Order = spec
+		}
+		return out
 	}
 	return p
 }

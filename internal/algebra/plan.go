@@ -90,15 +90,43 @@ type Bind struct {
 	E     mcl.Expr
 }
 
+// SortKey is one ORDER BY component of an OrderSpec: a key expression
+// over the input bindings (same scope as the Reduce head), with
+// direction.
+type SortKey struct {
+	E    mcl.Expr
+	Desc bool
+}
+
+// OrderSpec orders and bounds a Reduce's collection result. Keys may be
+// empty (bare LIMIT/OFFSET — executors stop producers after
+// offset+limit rows for commutative monoids, take the in-order prefix
+// for lists). Limit and Offset are integer-valued expressions evaluated
+// against the empty environment at execution time: constants after
+// BindParams, so `LIMIT $1` keys the plan cache on the parameterized
+// text while each run bounds the fold differently. nil Limit means
+// unbounded, nil Offset means 0.
+type OrderSpec struct {
+	Keys   []SortKey
+	Limit  mcl.Expr // nil = unbounded
+	Offset mcl.Expr // nil = 0
+}
+
+// Ordered reports whether the spec carries sort keys (vs a bare bound).
+func (o *OrderSpec) Ordered() bool { return o != nil && len(o.Keys) > 0 }
+
 // Reduce folds the head expression over all input bindings under monoid M
 // — the paper's generalized projection. Optional inline predicate Pred
 // mirrors the paper's description ("besides projecting a candidate result,
-// it optionally evaluates a binary predicate over it").
+// it optionally evaluates a binary predicate over it"). Order, when
+// non-nil, turns the fold into a keyed top-k (or a bounded prefix): the
+// executor retains O(offset+limit) state and yields an ordered list.
 type Reduce struct {
 	Input Plan
 	M     monoid.Monoid
 	Head  mcl.Expr
-	Pred  mcl.Expr // may be nil
+	Pred  mcl.Expr   // may be nil
+	Order *OrderSpec // may be nil
 }
 
 func (*Scan) planNode()     {}
@@ -171,10 +199,35 @@ func (p *Join) String() string {
 func (p *Bind) String() string { return fmt.Sprintf("Bind(%s := %s)", p.Var, p.E) }
 
 func (p *Reduce) String() string {
+	var sb strings.Builder
 	if p.Pred != nil {
-		return fmt.Sprintf("Reduce[%s](%s if %s)", p.M.Name(), p.Head, p.Pred)
+		fmt.Fprintf(&sb, "Reduce[%s](%s if %s)", p.M.Name(), p.Head, p.Pred)
+	} else {
+		fmt.Fprintf(&sb, "Reduce[%s](%s)", p.M.Name(), p.Head)
 	}
-	return fmt.Sprintf("Reduce[%s](%s)", p.M.Name(), p.Head)
+	if o := p.Order; o != nil {
+		for i, k := range o.Keys {
+			if i == 0 {
+				sb.WriteString(" order=[")
+			} else {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k.E.String())
+			if k.Desc {
+				sb.WriteString(" desc")
+			}
+		}
+		if len(o.Keys) > 0 {
+			sb.WriteByte(']')
+		}
+		if o.Limit != nil {
+			fmt.Fprintf(&sb, " limit=%s", o.Limit)
+		}
+		if o.Offset != nil {
+			fmt.Fprintf(&sb, " offset=%s", o.Offset)
+		}
+	}
+	return sb.String()
 }
 
 // Format renders the whole plan tree indented, for EXPLAIN output and
@@ -263,6 +316,13 @@ func UsedSourceFields(p Plan, scanVar string) (fields []string, usedWhole bool) 
 			if n.Pred != nil {
 				visitExpr(n.Pred)
 			}
+			if n.Order != nil {
+				// Sort keys read source fields too: projection pruning must
+				// keep the ORDER BY column tokenized.
+				for _, k := range n.Order.Keys {
+					visitExpr(k.E)
+				}
+			}
 		}
 		for _, in := range p.Inputs() {
 			walk(in)
@@ -295,7 +355,13 @@ func Clone(p Plan) Plan {
 	case *Bind:
 		return &Bind{Input: Clone(n.Input), Var: n.Var, E: n.E}
 	case *Reduce:
-		return &Reduce{Input: Clone(n.Input), M: n.M, Head: n.Head, Pred: n.Pred}
+		cp := &Reduce{Input: Clone(n.Input), M: n.M, Head: n.Head, Pred: n.Pred}
+		if n.Order != nil {
+			o := *n.Order
+			o.Keys = append([]SortKey{}, n.Order.Keys...)
+			cp.Order = &o
+		}
+		return cp
 	}
 	panic(fmt.Sprintf("algebra: Clone on %T", p))
 }

@@ -65,5 +65,31 @@ func Translate(e mcl.Expr, sources map[string]bool) (*Reduce, error) {
 			plan = &Select{Input: plan, Pred: q.Src}
 		}
 	}
-	return &Reduce{Input: plan, M: comp.M, Head: comp.Head}, nil
+	out := &Reduce{Input: plan, M: comp.M, Head: comp.Head}
+	if comp.HasBound() {
+		spec := &OrderSpec{Limit: comp.Limit, Offset: comp.Offset}
+		for _, k := range comp.Order {
+			spec.Keys = append(spec.Keys, SortKey{E: k.E, Desc: k.Desc})
+		}
+		out.Order = spec
+	}
+	return out, nil
+}
+
+// ResolveExtents evaluates an OrderSpec's limit/offset to concrete ints:
+// (limit, offset) with limit = -1 for unbounded. Parameters must have
+// been substituted (BindParams) first; a surviving placeholder errors.
+func ResolveExtents(o *OrderSpec) (limit, offset int, err error) {
+	if o == nil {
+		return -1, 0, nil
+	}
+	limit, err = mcl.EvalExtent(o.Limit, nil, "limit", -1)
+	if err != nil {
+		return 0, 0, err
+	}
+	offset, err = mcl.EvalExtent(o.Offset, nil, "offset", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return limit, offset, nil
 }

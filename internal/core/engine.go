@@ -1080,6 +1080,11 @@ func (p *Prepared) Plan() *algebra.Reduce { return p.plan }
 // MonoidName returns the root monoid's name ("bag", "count", ...).
 func (p *Prepared) MonoidName() string { return p.plan.M.Name() }
 
+// OrderedResult reports whether the query carries ORDER BY keys: its
+// result is an ordered list (streamed in order by cursors) regardless of
+// the declared collection monoid.
+func (p *Prepared) OrderedResult() bool { return p.plan.Order.Ordered() }
+
 // Streamable reports whether the query's results can be served by a
 // streaming cursor without materialization (collection-rooted plans
 // under the JIT executor).

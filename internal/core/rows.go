@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sync"
 
 	"vida/internal/algebra"
 	"vida/internal/jit"
@@ -85,8 +84,10 @@ func (e *Engine) streamRows(ctx context.Context, plan *algebra.Reduce) (*Rows, e
 			return sctx.Err()
 		}
 	})
-	if plan.M.Name() == "set" {
-		emit = dedupSink(emit)
+	if plan.M.Name() == "set" && plan.Order == nil {
+		// Ordered and bounded set plans dedup inside the JIT root (before
+		// the sort/quota applies); only plain set streams dedup here.
+		emit = jit.DedupSink(emit)
 	}
 	e.queries.Add(1)
 	rawBefore := e.rawScans.Load()
@@ -168,39 +169,3 @@ func (r *Rows) Close() error {
 // Err returns the terminal stream error, if any. Valid after NextChunk
 // returned nil or Close was called.
 func (r *Rows) Err() error { return r.err }
-
-// dedupSink wraps a sink with set-monoid deduplication: each element is
-// forwarded at most once across all producers (hash index with equality
-// chains, mutex-guarded because morsel workers emit concurrently).
-// Note the memory contract: streaming distinct requires remembering
-// every distinct element seen, so a set cursor is O(distinct result)
-// resident — the same as the collect path — unlike list/bag cursors,
-// which are O(channel buffer). Callers needing truly bounded memory on
-// huge results should stream bags and dedup externally.
-func dedupSink(next jit.StreamSink) jit.StreamSink {
-	var mu sync.Mutex
-	seen := map[uint64][]values.Value{}
-	return func(chunk []values.Value) error {
-		mu.Lock()
-		fresh := chunk[:0]
-		for _, v := range chunk {
-			h := v.Hash()
-			dup := false
-			for _, o := range seen[h] {
-				if values.Equal(v, o) {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				seen[h] = append(seen[h], v)
-				fresh = append(fresh, v)
-			}
-		}
-		mu.Unlock()
-		if len(fresh) == 0 {
-			return nil
-		}
-		return next(fresh)
-	}
-}

@@ -1,0 +1,107 @@
+package jit
+
+import (
+	"testing"
+
+	"vida/internal/algebra"
+	"vida/internal/mcl"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// TestRetainForBuildCompactsSparseSelections is the regression test for
+// the build-side retention bug: a heavily filtered transient batch used
+// to retain every physical row; it must now retain only the survivors.
+func TestRetainForBuildCompactsSparseSelections(t *testing.T) {
+	const n = 1024
+	b := &vec.Batch{Cols: make([]vec.Col, 2), N: n}
+	b.Cols[0].Tag = vec.Int64
+	b.Cols[1].Tag = vec.Str
+	for i := 0; i < n; i++ {
+		b.Cols[0].AppendInt(int64(i))
+		b.Cols[1].AppendStr("payload-payload-payload")
+	}
+	b.Sel = []int{5, 99, 1000} // 3 of 1024 rows survive the filter
+
+	stored, compacted := retainForBuild(b)
+	if !compacted {
+		t.Fatal("sparse transient batch was not compacted")
+	}
+	if stored.N != 3 {
+		t.Fatalf("compacted batch has %d rows, want 3", stored.N)
+	}
+	full := b.Retain()
+	if got, was := stored.MemoryBytes(), full.MemoryBytes(); got*10 > was {
+		t.Fatalf("retained bytes did not shrink: compacted %d vs full %d", got, was)
+	}
+	// Row contents survive re-indexing.
+	for k, want := range []int64{5, 99, 1000} {
+		if got := stored.Cols[0].Value(k).Int(); got != want {
+			t.Fatalf("compacted row %d = %d, want %d", k, got, want)
+		}
+	}
+
+	// Dense selections and stable batches keep the zero/bulk-copy path.
+	b.Sel = nil
+	if _, compacted := retainForBuild(b); compacted {
+		t.Fatal("dense batch was compacted")
+	}
+	b.Sel = []int{1}
+	b.Stable = true
+	if _, compacted := retainForBuild(b); compacted {
+		t.Fatal("stable batch was compacted")
+	}
+}
+
+// TestJoinWithSparseBuildSide proves the compacted build side still
+// probes correctly (values, not indices, drive the join).
+func TestJoinWithSparseBuildSide(t *testing.T) {
+	mkRow := func(id int64, tag string) values.Value {
+		return values.NewRecord(
+			values.Field{Name: "id", Val: values.NewInt(id)},
+			values.Field{Name: "tag", Val: values.NewString(tag)},
+		)
+	}
+	var left, right []values.Value
+	for i := int64(0); i < 3000; i++ {
+		left = append(left, mkRow(i, "L"))
+		right = append(right, mkRow(i, "R"))
+	}
+	cat := algebra.MapCatalog{
+		"L": &algebra.SliceSource{SrcName: "L", Rows: left},
+		"R": &algebra.SliceSource{SrcName: "R", Rows: right},
+	}
+	// Build side keeps ~1/1000 of rows: compaction triggers per batch.
+	plan := &algebra.Reduce{
+		M: bagM,
+		Input: &algebra.Join{
+			L: &algebra.Scan{Source: "L", Var: "l", Fields: []string{"id"}},
+			R: &algebra.Select{
+				Input: &algebra.Scan{Source: "R", Var: "r", Fields: []string{"id"}},
+				Pred: &mcl.BinExpr{
+					Op: mcl.OpEq,
+					L:  &mcl.BinExpr{Op: mcl.OpMod, L: &mcl.ProjExpr{Rec: &mcl.VarExpr{Name: "r"}, Attr: "id"}, R: &mcl.ConstExpr{Val: values.NewInt(1000)}},
+					R:  &mcl.ConstExpr{Val: values.NewInt(7)},
+				},
+			},
+			On: []algebra.EquiPair{{
+				LExpr: &mcl.ProjExpr{Rec: &mcl.VarExpr{Name: "l"}, Attr: "id"},
+				RExpr: &mcl.ProjExpr{Rec: &mcl.VarExpr{Name: "r"}, Attr: "id"},
+			}},
+		},
+		Head: &mcl.ProjExpr{Rec: &mcl.VarExpr{Name: "l"}, Attr: "id"},
+	}
+	v, err := Executor{}.Run(plan, cat)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("join produced %d rows, want 3 (ids 7, 1007, 2007): %s", v.Len(), v)
+	}
+	want := map[int64]bool{7: true, 1007: true, 2007: true}
+	for _, e := range v.Elems() {
+		if !want[e.Int()] {
+			t.Fatalf("unexpected join row %s", e)
+		}
+	}
+}

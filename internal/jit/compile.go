@@ -189,6 +189,16 @@ func CompileWith(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func() (
 	if err != nil {
 		return nil, err
 	}
+	// Ordered and bounded roots replace the monoid collector: sort keys
+	// turn the fold into a keyed top-k, a bare LIMIT/OFFSET routes
+	// through the streaming quota (early producer cancellation) and
+	// collects the surviving rows.
+	if p.Order.Ordered() {
+		return c.compileOrdered(p, input)
+	}
+	if p.Order != nil {
+		return c.compileBareBound(p, input)
+	}
 	mkCons, err := c.compileReduceConsumer(p, input)
 	if err != nil {
 		return nil, err
@@ -252,6 +262,11 @@ func (c *compiler) materializeFreeSources(p algebra.Plan) (*mcl.Env, error) {
 		case *algebra.Reduce:
 			collect(n.Head)
 			collect(n.Pred)
+			if n.Order != nil {
+				for _, k := range n.Order.Keys {
+					collect(k.E)
+				}
+			}
 		}
 		for _, in := range p.Inputs() {
 			walk(in)
@@ -721,6 +736,25 @@ func (c *compiler) compileProduct(n *algebra.Product) (*compiledPlan, error) {
 	}}, nil
 }
 
+// buildCompactFactor is the selection-density threshold below which a
+// transient build-side batch is compacted before retention: when the
+// filter kept at most 1/buildCompactFactor of the batch's physical rows,
+// copying just the survivors beats retaining the whole batch. Stable
+// (cache-owned) batches are never compacted — their retention is a
+// zero-copy header and compaction would allocate.
+const buildCompactFactor = 4
+
+// retainForBuild retains one build-side batch, compacting sparse
+// transient batches so a heavily filtered build side holds its survivors
+// only, not every physical row. compacted reports that the result is
+// re-indexed (physical row k = k-th live row of b).
+func retainForBuild(b *vec.Batch) (stored vec.Batch, compacted bool) {
+	if !b.Stable && b.Sel != nil && b.Len()*buildCompactFactor <= b.N {
+		return b.Compact(), true
+	}
+	return b.Retain(), false
+}
+
 // compileJoin stages a hash join: the right side is the build side (its
 // materialization is the operator's "output plugin" state), the left side
 // probes. Null keys never match.
@@ -801,12 +835,19 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 				return nil
 			}
 			bi := int32(len(retained))
-			retained = append(retained, b.Retain())
+			stored, compacted := retainForBuild(b)
+			retained = append(retained, stored)
 			eBatch = slices.Grow(eBatch, cnt)
 			eRow = slices.Grow(eRow, cnt)
 			hashes = slices.Grow(hashes, cnt)
 			for k := 0; k < cnt; k++ {
 				i := b.Index(k)
+				// A compacted batch re-indexes: its physical row k is the
+				// k-th live row of b.
+				si := i
+				if compacted {
+					si = k
+				}
 				var kv values.Value
 				if rSlot >= 0 {
 					kv = b.Cols[rSlot].Value(i)
@@ -827,7 +868,7 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 					keys = append(keys, kv)
 				}
 				eBatch = append(eBatch, bi)
-				eRow = append(eRow, int32(i))
+				eRow = append(eRow, int32(si))
 				hashes = append(hashes, kv.Hash())
 			}
 			return nil

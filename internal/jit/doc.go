@@ -66,6 +66,38 @@
 // aggregates keep the collect mode: their value is only known after the
 // full fold, so there is nothing to stream.
 //
+// # ORDER BY / LIMIT / OFFSET pushdown
+//
+// An ordered plan (Reduce.Order with sort keys) replaces the root fold
+// with a keyed top-k accumulator (monoid.TopKAcc): per live row the sort
+// keys are evaluated (slot fast paths where they are pure column
+// references) and the entry offered to a bounded heap retaining at most
+// offset+limit entries — heap memory is O(offset+limit), never O(rows).
+// A keys-only competitiveness pre-check rejects rows that cannot place
+// before their head expression is evaluated, so a wide SELECT under a
+// small LIMIT folds allocation-free in the steady state. The fold runs
+// morsel-parallel over partitionable scans: each worker keeps its own
+// bounded partial heap and partials merge at the root — sound for any
+// collection monoid because the final sort's total order (keys, then the
+// element value as tiebreaker) does not depend on input order, which
+// also makes parallel top-k results deterministic across worker counts.
+// Set plans deduplicate at finalize (first entry in key order wins), so
+// DISTINCT + ORDER BY + LIMIT bounds distinct elements; dedup disables
+// the heap bound. In stream mode the fold is blocking: chunks of the
+// sorted, offset/limit-applied elements are emitted once the fold
+// completes, so ordered NDJSON responses buffer nothing beyond the heap.
+//
+// A bare LIMIT/OFFSET (no sort keys) on a collection plan instead pushes
+// a row quota into the stream: offset rows are dropped, at most limit
+// rows emitted, and the moment the quota fills the remaining producers
+// are cancelled — the sentinel stops the serial pipeline mid-scan and a
+// context cancellation stops morsel dispatch in the shared scheduler, so
+// a cold 300k-row scan under LIMIT 10 reads a few batches, not the file.
+// Which rows survive a bare bag limit is unspecified (bag semantics);
+// list plans take their in-order prefix. Collect mode shares the same
+// quota machinery and gathers the surviving chunks into the declared
+// collection.
+//
 // # The static executor
 //
 // Pre-cooked generic Volcano operators pipelined over Go channels,

@@ -1,0 +1,428 @@
+package jit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vida/internal/algebra"
+	"vida/internal/monoid"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// This file implements ORDER BY / LIMIT / OFFSET pushdown: the root
+// reduce of an ordered plan becomes a keyed top-k fold (bounded to
+// offset+limit entries when a limit is present) executed serially or
+// morsel-parallel with per-worker partial heaps merged at the root, and
+// a bare LIMIT on a collection plan becomes a row quota that cancels the
+// remaining producers through the scheduler the moment enough rows have
+// been emitted — a cold 300k-row scan with LIMIT 10 stops mid-file.
+
+// errLimitReached is the internal control-flow sentinel a quota sink
+// returns to stop its pipeline. It never escapes to callers: the
+// execution roots translate it (and the cancellations it triggers in
+// sibling morsel workers) into successful early completion.
+var errLimitReached = errors.New("jit: row limit reached")
+
+// orderedConsumer evaluates sort keys and the head per live row and
+// folds them into a keyed top-k accumulator. One consumer serves one
+// serial run or one morsel; reset swaps the accumulator between morsels.
+type orderedConsumer struct {
+	acc         *monoid.TopKAcc
+	filter      batchFilter // may be nil
+	keyIdxs     []int       // per key: >= 0 slot fast path, -1 via expr
+	keyEs       []compiledExpr
+	headIdx     int // >= 0: head is this slot
+	head        compiledExpr
+	row         []values.Value
+	keys        []values.Value // reusable key scratch (fresh after retention)
+	needRowKeys bool
+	needRowHead bool
+}
+
+func (oc *orderedConsumer) reset(acc *monoid.TopKAcc) { oc.acc = acc }
+
+func (oc *orderedConsumer) consume(b *vec.Batch) error {
+	if oc.filter != nil {
+		if err := oc.filter(b); err != nil {
+			return err
+		}
+	}
+	n := b.Len()
+	for k := 0; k < n; k++ {
+		i := b.Index(k)
+		if oc.needRowKeys {
+			fillRow(b, i, oc.row)
+		}
+		if oc.keys == nil {
+			oc.keys = make([]values.Value, len(oc.keyIdxs))
+		}
+		keys := oc.keys
+		for j, idx := range oc.keyIdxs {
+			if idx >= 0 {
+				keys[j] = b.Cols[idx].Value(i)
+				continue
+			}
+			kv, err := oc.keyEs[j](oc.row)
+			if err != nil {
+				return err
+			}
+			keys[j] = kv
+		}
+		// Keys-only pre-check: rows that cannot place skip row
+		// materialization and head evaluation (the record build is the
+		// per-row cost of wide selects) and reuse the key buffer — the
+		// steady state of a large scan under a small limit folds
+		// allocation-free.
+		if !oc.acc.Competitive(keys) {
+			continue
+		}
+		var h values.Value
+		if oc.headIdx >= 0 {
+			h = b.Cols[oc.headIdx].Value(i)
+		} else {
+			if oc.needRowHead && !oc.needRowKeys {
+				fillRow(b, i, oc.row)
+			}
+			var err error
+			h, err = oc.head(oc.row)
+			if err != nil {
+				return err
+			}
+		}
+		if oc.acc.Offer(keys, h) {
+			oc.keys = nil
+		}
+	}
+	return nil
+}
+
+// compileOrderedConsumer stages the keyed top-k root: optional inline
+// predicate, per-key slot fast paths, head evaluation.
+func (c *compiler) compileOrderedConsumer(p *algebra.Reduce, input *compiledPlan) (func() *orderedConsumer, []bool, error) {
+	var mkFilter func() batchFilter
+	var err error
+	if p.Pred != nil {
+		mkFilter, err = c.compileFilter(p.Pred, input.frame)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	keys := p.Order.Keys
+	desc := make([]bool, len(keys))
+	keyIdxs := make([]int, len(keys))
+	keyEs := make([]compiledExpr, len(keys))
+	needRowKeys := false
+	for i, k := range keys {
+		desc[i] = k.Desc
+		keyIdxs[i] = slotOf(k.E, input.frame)
+		if keyIdxs[i] < 0 {
+			keyEs[i], err = c.compileExpr(k.E, input.frame)
+			if err != nil {
+				return nil, nil, err
+			}
+			needRowKeys = true
+		}
+	}
+	headIdx := slotOf(p.Head, input.frame)
+	var head compiledExpr
+	needRowHead := false
+	if headIdx < 0 {
+		head, err = c.compileExpr(p.Head, input.frame)
+		if err != nil {
+			return nil, nil, err
+		}
+		needRowHead = true
+	}
+	width := input.frame.width()
+	return func() *orderedConsumer {
+		oc := &orderedConsumer{
+			keyIdxs: keyIdxs, keyEs: keyEs, headIdx: headIdx, head: head,
+			needRowKeys: needRowKeys, needRowHead: needRowHead,
+		}
+		if needRowKeys || needRowHead {
+			oc.row = make([]values.Value, width)
+		}
+		if mkFilter != nil {
+			oc.filter = mkFilter()
+		}
+		return oc
+	}, desc, nil
+}
+
+// runTopK executes an ordered plan's fold: morsel-parallel over a
+// partitionable input (partial heaps merged at the root — sound for any
+// collection monoid, since the final sort's total order is independent
+// of input order), serial otherwise. It returns the accumulator, ready
+// to Finalize.
+func runTopK(ctx context.Context, input *compiledPlan, mkCons func() *orderedConsumer, desc []bool, keep int, opts Options) (*monoid.TopKAcc, error) {
+	if opts.Workers > 1 && input.openRange != nil {
+		if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
+			return runParallelTopK(ctx, scan, n, mkCons, desc, keep, opts)
+		}
+	}
+	acc := monoid.NewTopKAcc(desc, keep)
+	oc := mkCons()
+	oc.reset(acc)
+	if err := input.run(oc.consume); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// runParallelTopK is runParallelReduce for the keyed top-k fold: each
+// morsel folds its rows into a bounded partial heap, and partials merge
+// at the root. Keeping every partial bounded to keep entries makes the
+// whole parallel fold O(workers × keep) resident.
+func runParallelTopK(ctx context.Context, scan func(lo, hi int, sink batchSink) error, n int, mkCons func() *orderedConsumer, desc []bool, keep int, opts Options) (*monoid.TopKAcc, error) {
+	workers := opts.Workers
+	morselRows := (n + workers*4 - 1) / (workers * 4)
+	if morselRows < opts.BatchSize {
+		morselRows = opts.BatchSize
+	}
+	numMorsels := (n + morselRows - 1) / morselRows
+
+	partials := make([]*monoid.TopKAcc, numMorsels)
+	consumers := sync.Pool{New: func() any { return mkCons() }}
+	err := opts.Pool.Run(ctx, numMorsels, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		oc := consumers.Get().(*orderedConsumer)
+		defer consumers.Put(oc)
+		lo := i * morselRows
+		hi := lo + morselRows
+		if hi > n {
+			hi = n
+		}
+		acc := monoid.NewTopKAcc(desc, keep)
+		oc.reset(acc)
+		if err := scan(lo, hi, oc.consume); err != nil {
+			return err
+		}
+		partials[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	root := monoid.NewTopKAcc(desc, keep)
+	for _, part := range partials {
+		if part != nil {
+			root.MergeFrom(part)
+		}
+	}
+	return root, nil
+}
+
+// rowQuota is the shared countdown of a bare-LIMIT stream: concurrent
+// sinks reserve rows from it, and whoever takes the last row cancels the
+// producers. offset rows are swallowed before any reach the consumer
+// (bag semantics: which rows survive is unspecified under parallelism).
+type rowQuota struct {
+	skip   atomic.Int64 // rows still to drop (offset)
+	left   atomic.Int64 // rows still to emit; negative once exhausted
+	bound  bool         // false: unlimited (offset-only quota)
+	cancel context.CancelFunc
+}
+
+func newRowQuota(limit, offset int, cancel context.CancelFunc) *rowQuota {
+	q := &rowQuota{bound: limit >= 0, cancel: cancel}
+	q.skip.Store(int64(offset))
+	if limit >= 0 {
+		q.left.Store(int64(limit))
+	}
+	return q
+}
+
+// admit reserves up to n rows: it returns how many of the next n rows to
+// drop from the front (offset) and how many to emit after that. done
+// reports that the quota is now exhausted and producers should stop.
+func (q *rowQuota) admit(n int) (drop, emit int, done bool) {
+	// Reserve from skip with a CAS loop: a racy double-decrement would
+	// over-drop and return fewer than limit rows when the source has no
+	// surplus beyond offset+limit.
+	for {
+		s := q.skip.Load()
+		if s <= 0 {
+			drop = 0
+			break
+		}
+		taken := int64(n)
+		if taken > s {
+			taken = s
+		}
+		if q.skip.CompareAndSwap(s, s-taken) {
+			drop = int(taken)
+			break
+		}
+	}
+	n -= drop
+	if !q.bound {
+		return drop, n, false
+	}
+	if n == 0 {
+		return drop, 0, q.left.Load() <= 0
+	}
+	got := q.left.Add(int64(-n))
+	switch {
+	case got > 0:
+		return drop, n, false
+	case got+int64(n) > 0:
+		// This reservation crossed zero: emit the remainder, then stop.
+		return drop, int(got) + n, true
+	default:
+		return drop, 0, true
+	}
+}
+
+// exhausted reports whether the quota has been fully served.
+func (q *rowQuota) exhausted() bool {
+	return q.bound && q.left.Load() <= 0
+}
+
+// wrap decorates a stream sink with the quota: chunks are trimmed to the
+// remaining budget and the pipeline is stopped (errLimitReached plus
+// context cancellation, which halts morsel dispatch in the scheduler)
+// once the budget is spent.
+func (q *rowQuota) wrap(next StreamSink) StreamSink {
+	return func(chunk []values.Value) error {
+		drop, emit, done := q.admit(len(chunk))
+		if emit > 0 {
+			if err := next(chunk[drop : drop+emit]); err != nil {
+				return err
+			}
+		}
+		if done {
+			if q.cancel != nil {
+				q.cancel()
+			}
+			return errLimitReached
+		}
+		return nil
+	}
+}
+
+// swallowLimit maps quota-triggered terminations to success: the sentinel
+// directly, or a cancellation that the quota itself caused. outer is the
+// caller's context — if IT was cancelled, the cancellation is real.
+func swallowLimit(err error, q *rowQuota, outer context.Context) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, errLimitReached) {
+		return nil
+	}
+	if q != nil && q.exhausted() && outer.Err() == nil {
+		// A sibling worker observed the quota's cancel before the sentinel
+		// could surface; the stream is complete.
+		return nil
+	}
+	return err
+}
+
+// resolveOrder evaluates an order spec against the options: concrete
+// limit/offset plus the derived retention bound.
+func resolveOrder(p *algebra.Reduce) (limit, offset, keep int, dedup bool, err error) {
+	limit, offset, err = algebra.ResolveExtents(p.Order)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	dedup = p.M.Name() == "set"
+	keep = -1
+	if limit >= 0 && !dedup {
+		keep = offset + limit
+	}
+	return limit, offset, keep, dedup, nil
+}
+
+// compileOrdered stages the execution root of an ordered plan (keys
+// present) in collect mode.
+func (c *compiler) compileOrdered(p *algebra.Reduce, input *compiledPlan) (func() (values.Value, error), error) {
+	mkCons, desc, err := c.compileOrderedConsumer(p, input)
+	if err != nil {
+		return nil, err
+	}
+	opts := c.opts
+	return func() (values.Value, error) {
+		limit, offset, keep, dedup, err := resolveOrder(p)
+		if err != nil {
+			return values.Null, err
+		}
+		acc, err := runTopK(opts.Ctx, input, mkCons, desc, keep, opts)
+		if err != nil {
+			return values.Null, err
+		}
+		return values.NewList(acc.Finalize(offset, limit, dedup)...), nil
+	}, nil
+}
+
+// compileBareBound stages the execution root of a collection plan with a
+// bare LIMIT/OFFSET (no sort keys) in collect mode: the streaming quota
+// path runs underneath and the chunks are gathered into the declared
+// collection, so the early-stop machinery is shared with cursors.
+func (c *compiler) compileBareBound(p *algebra.Reduce, input *compiledPlan) (func() (values.Value, error), error) {
+	if !monoid.IsCollection(p.M) || p.M.Name() == "array" {
+		return nil, fmt.Errorf("jit: limit/offset on %s-monoid results", p.M.Name())
+	}
+	mkCons, err := c.compileStreamConsumer(p, input)
+	if err != nil {
+		return nil, err
+	}
+	opts := c.opts
+	name := p.M.Name()
+	commutative := p.M.Commutative()
+	return func() (values.Value, error) {
+		var mu sync.Mutex
+		var elems []values.Value
+		collect := func(chunk []values.Value) error {
+			mu.Lock()
+			elems = append(elems, chunk...)
+			mu.Unlock()
+			return nil
+		}
+		if err := runBoundedStream(p, input, mkCons, commutative, name, collect, opts); err != nil {
+			return values.Null, err
+		}
+		switch name {
+		case "list":
+			return values.NewList(elems...), nil
+		case "set":
+			return values.NewSet(elems...), nil
+		default:
+			return values.NewBag(elems...), nil
+		}
+	}, nil
+}
+
+// runBoundedStream drives a collection pipeline with the row quota
+// applied: offset rows dropped, at most limit rows delivered to emit,
+// producers cancelled as soon as the quota fills. Set plans dedup before
+// the quota so LIMIT counts distinct elements.
+func runBoundedStream(p *algebra.Reduce, input *compiledPlan, mkCons func(StreamSink) *streamConsumer, commutative bool, name string, emit StreamSink, opts Options) error {
+	limit, offset, err := algebra.ResolveExtents(p.Order)
+	if err != nil {
+		return err
+	}
+	qctx, cancel := context.WithCancel(opts.Ctx)
+	defer cancel()
+	q := newRowQuota(limit, offset, cancel)
+	sink := q.wrap(emit)
+	if name == "set" {
+		sink = DedupSink(sink)
+	}
+	if opts.Workers > 1 && commutative && input.openRange != nil {
+		if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
+			err := runParallelStream(qctx, scan, n, mkCons, sink, opts)
+			return swallowLimit(err, q, opts.Ctx)
+		}
+	}
+	sc := mkCons(sink)
+	if err := input.run(sc.consume); err != nil {
+		return swallowLimit(err, q, opts.Ctx)
+	}
+	return swallowLimit(sc.flush(), q, opts.Ctx)
+}

@@ -71,6 +71,9 @@ func (s StaticExecutor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Valu
 	sc := &staticCtx{cat: cat, base: base, buf: buf, stopped: make(chan struct{})}
 
 	rows := sc.launch(p.Input)
+	if p.Order.Ordered() {
+		return s.runOrdered(p, sc, rows)
+	}
 	acc := monoid.NewCollector(p.M)
 	for env := range rows {
 		if p.Pred != nil {
@@ -97,7 +100,74 @@ func (s StaticExecutor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Valu
 	if err := sc.failed(); err != nil {
 		return values.Null, err
 	}
-	return acc.Result(), nil
+	res := acc.Result()
+	if p.Order != nil {
+		// Bare LIMIT/OFFSET: the static executor materializes, then
+		// slices (pushdown into the channel pipeline is a JIT feature).
+		return algebra.SliceCollection(res, p.Order)
+	}
+	return res, nil
+}
+
+// runOrdered folds the channel pipeline's rows through the keyed top-k
+// accumulator (ORDER BY/LIMIT/OFFSET under the static executor).
+func (s StaticExecutor) runOrdered(p *algebra.Reduce, sc *staticCtx, rows <-chan *mcl.Env) (values.Value, error) {
+	limit, offset, err := algebra.ResolveExtents(p.Order)
+	if err != nil {
+		sc.once.Do(func() { close(sc.stopped) })
+		for range rows {
+		}
+		return values.Null, err
+	}
+	dedup := p.M.Name() == "set"
+	desc := make([]bool, len(p.Order.Keys))
+	for i, k := range p.Order.Keys {
+		desc[i] = k.Desc
+	}
+	keep := -1
+	if limit >= 0 && !dedup {
+		keep = offset + limit
+	}
+	acc := monoid.NewTopKAcc(desc, keep)
+	for env := range rows {
+		if p.Pred != nil {
+			pv, err := mcl.Eval(p.Pred, env)
+			if err != nil {
+				sc.fail(err)
+				break
+			}
+			if !(pv.Kind() == values.KindBool && pv.Bool()) {
+				continue
+			}
+		}
+		keys := make([]values.Value, len(p.Order.Keys))
+		failed := false
+		for i, k := range p.Order.Keys {
+			kv, err := mcl.Eval(k.E, env)
+			if err != nil {
+				sc.fail(err)
+				failed = true
+				break
+			}
+			keys[i] = kv
+		}
+		if failed {
+			break
+		}
+		h, err := mcl.Eval(p.Head, env)
+		if err != nil {
+			sc.fail(err)
+			break
+		}
+		acc.Add(keys, h)
+	}
+	sc.once.Do(func() { close(sc.stopped) })
+	for range rows {
+	}
+	if err := sc.failed(); err != nil {
+		return values.Null, err
+	}
+	return values.NewList(acc.Finalize(offset, limit, dedup)...), nil
 }
 
 // launch starts the operator goroutine for a plan node and returns its

@@ -3,6 +3,7 @@ package jit
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"vida/internal/algebra"
 	"vida/internal/values"
@@ -77,11 +78,43 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 	if err != nil {
 		return nil, err
 	}
+	// Ordered plans are blocking at the root: the keyed top-k fold runs
+	// to completion (morsel-parallel, O(offset+limit) retained per
+	// worker when a limit is present), then the sorted, deduplicated,
+	// offset/limit-applied elements stream out in chunks — the NDJSON
+	// path emits ordered output without buffering beyond the heap.
+	if p.Order.Ordered() {
+		mkCons, desc, err := c.compileOrderedConsumer(p, input)
+		if err != nil {
+			return nil, err
+		}
+		return func(emit StreamSink) error {
+			limit, offset, keep, dedup, err := resolveOrder(p)
+			if err != nil {
+				return err
+			}
+			acc, err := runTopK(opts.Ctx, input, mkCons, desc, keep, opts)
+			if err != nil {
+				return err
+			}
+			return emitChunks(acc.Finalize(offset, limit, dedup), opts.BatchSize, emit)
+		}, nil
+	}
 	mkCons, err := c.compileStreamConsumer(p, input)
 	if err != nil {
 		return nil, err
 	}
 	commutative := p.M.Commutative()
+	// A bare LIMIT/OFFSET pushes a row quota into the stream: offset
+	// rows are dropped, at most limit rows emitted, and the remaining
+	// producers are cancelled through the scheduler. Set plans dedup
+	// before the quota, so LIMIT bounds distinct elements.
+	if p.Order != nil {
+		name := p.M.Name()
+		return func(emit StreamSink) error {
+			return runBoundedStream(p, input, mkCons, commutative, name, emit, opts)
+		}, nil
+	}
 	return func(emit StreamSink) error {
 		if opts.Workers > 1 && commutative && input.openRange != nil {
 			if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
@@ -94,6 +127,62 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 		}
 		return sc.flush()
 	}, nil
+}
+
+// DedupSink decorates a sink with set-monoid deduplication: each
+// element is forwarded at most once across all producers, first
+// occurrence wins (hash index with equality chains, mutex-guarded
+// because morsel workers emit concurrently). Note the memory contract:
+// streaming distinct requires remembering every distinct element seen,
+// so a deduped stream is O(distinct result) resident — unlike list/bag
+// streams, which are O(channel buffer). The cursor layer applies it to
+// plain set streams; bounded set plans dedup inside the quota pipeline
+// so LIMIT counts distinct elements.
+func DedupSink(next StreamSink) StreamSink {
+	var mu sync.Mutex
+	seen := map[uint64][]values.Value{}
+	return func(chunk []values.Value) error {
+		mu.Lock()
+		fresh := make([]values.Value, 0, len(chunk))
+		for _, v := range chunk {
+			h := v.Hash()
+			dup := false
+			for _, o := range seen[h] {
+				if values.Equal(v, o) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen[h] = append(seen[h], v)
+				fresh = append(fresh, v)
+			}
+		}
+		mu.Unlock()
+		if len(fresh) == 0 {
+			return nil
+		}
+		return next(fresh)
+	}
+}
+
+// emitChunks streams a materialized element slice to a sink in
+// size-bounded chunks (each chunk freshly allocated: ownership transfers
+// to the sink).
+func emitChunks(elems []values.Value, size int, emit StreamSink) error {
+	for len(elems) > 0 {
+		n := size
+		if n > len(elems) {
+			n = len(elems)
+		}
+		chunk := make([]values.Value, n)
+		copy(chunk, elems[:n])
+		elems = elems[n:]
+		if err := emit(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runParallelStream drives a partitionable pipeline morsel-parallel with
@@ -167,7 +256,10 @@ func (sc *streamConsumer) consume(b *vec.Batch) error {
 			}
 		}
 	}
-	return nil
+	// Flush at every input-batch boundary: a slow or sparse producer must
+	// not sit on buffered rows until the chunk fills — first-row latency
+	// tracks the scan, not the result density.
+	return sc.flush()
 }
 
 // flush emits the buffered chunk (ownership transfers) and starts a new

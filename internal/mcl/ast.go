@@ -149,12 +149,48 @@ func (q Qualifier) IsBind() bool { return q.Var != "" && q.Bind }
 // IsFilter reports whether q is a predicate.
 func (q Qualifier) IsFilter() bool { return q.Var == "" }
 
+// OrderKey is one ORDER BY component of an ordered comprehension: a key
+// expression over the comprehension's bound variables, with direction.
+type OrderKey struct {
+	E    Expr
+	Desc bool
+}
+
 // Comprehension is ⊕{ e | q1, ..., qn }; concrete syntax
 // for { q1, ..., qn } yield ⊕ e.
+//
+// Collection comprehensions (list/bag/set) may additionally carry an
+// ordering clause:
+//
+//	for { q1, ..., qn } yield ⊕ e order by k1 desc, k2 limit 10 offset 2
+//
+// Order keys are expressions in the scope of the qualifiers (evaluated
+// per binding, like the head); Limit and Offset are outer-scope integer
+// expressions (constants or bind parameters). An ordered comprehension
+// (len(Order) > 0) yields a list — its elements sorted ascending (or
+// descending per key) under the total order of values.Compare, ties
+// broken by the element value — regardless of ⊕, which still fixes the
+// accumulation semantics (bag keeps duplicates, set dedups before
+// offset/limit apply). Limit/Offset without Order keep the collection
+// kind of ⊕ and bound its size; for the commutative bag which n elements
+// survive is unspecified (executors stop producers early), while a list
+// takes its first n elements in order.
 type Comprehension struct {
-	M    monoid.Monoid
-	Head Expr
-	Qs   []Qualifier
+	M      monoid.Monoid
+	Head   Expr
+	Qs     []Qualifier
+	Order  []OrderKey // empty = unordered
+	Limit  Expr       // nil = unbounded
+	Offset Expr       // nil = 0
+}
+
+// IsOrdered reports whether the comprehension carries order keys.
+func (e *Comprehension) IsOrdered() bool { return len(e.Order) > 0 }
+
+// HasBound reports whether the comprehension carries any of order, limit
+// or offset.
+func (e *Comprehension) HasBound() bool {
+	return len(e.Order) > 0 || e.Limit != nil || e.Offset != nil
 }
 
 func (*NullExpr) exprNode()      {}
@@ -242,7 +278,26 @@ func (e *Comprehension) String() string {
 			parts[i] = q.Src.String()
 		}
 	}
-	return fmt.Sprintf("for { %s } yield %s %s", strings.Join(parts, ", "), e.M.Name(), e.Head)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "for { %s } yield %s %s", strings.Join(parts, ", "), e.M.Name(), e.Head)
+	for i, k := range e.Order {
+		if i == 0 {
+			sb.WriteString(" order by ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(k.E.String())
+		if k.Desc {
+			sb.WriteString(" desc")
+		}
+	}
+	if e.Limit != nil {
+		fmt.Fprintf(&sb, " limit %s", e.Limit)
+	}
+	if e.Offset != nil {
+		fmt.Fprintf(&sb, " offset %s", e.Offset)
+	}
+	return sb.String()
 }
 
 // Walk visits e and all its children in depth-first pre-order; if fn
@@ -293,6 +348,11 @@ func Walk(e Expr, fn func(Expr) bool) {
 			Walk(q.Src, fn)
 		}
 		Walk(n.Head, fn)
+		for _, k := range n.Order {
+			Walk(k.E, fn)
+		}
+		Walk(n.Limit, fn)
+		Walk(n.Offset, fn)
 	}
 }
 
@@ -325,6 +385,12 @@ func freeVars(e Expr, bound map[string]bool, seen map[string]bool, out *[]string
 			}
 		}
 		freeVars(n.Head, inner, seen, out)
+		// Order keys share the head's scope; limit/offset are outer-scope.
+		for _, k := range n.Order {
+			freeVars(k.E, inner, seen, out)
+		}
+		freeVars(n.Limit, bound, seen, out)
+		freeVars(n.Offset, bound, seen, out)
 	case *ProjExpr:
 		freeVars(n.Rec, bound, seen, out)
 	case *RecordExpr:

@@ -384,18 +384,33 @@ func evalIndex(n *IndexExpr, env *Env) (values.Value, error) {
 }
 
 func evalComprehension(c *Comprehension, env *Env) (values.Value, error) {
+	if c.HasBound() {
+		return evalBoundedComprehension(c, env)
+	}
 	acc := monoid.NewCollector(c.M)
+	err := forEachBinding(c.Qs, env, func(env *Env) error {
+		h, err := Eval(c.Head, env)
+		if err != nil {
+			return err
+		}
+		acc.Add(h)
+		return nil
+	})
+	if err != nil {
+		return values.Null, err
+	}
+	return acc.Result(), nil
+}
+
+// forEachBinding drives the qualifier list, invoking fn once per
+// surviving binding environment.
+func forEachBinding(qs []Qualifier, env *Env, fn func(env *Env) error) error {
 	var rec func(i int, env *Env) error
 	rec = func(i int, env *Env) error {
-		if i == len(c.Qs) {
-			h, err := Eval(c.Head, env)
-			if err != nil {
-				return err
-			}
-			acc.Add(h)
-			return nil
+		if i == len(qs) {
+			return fn(env)
 		}
-		q := c.Qs[i]
+		q := qs[i]
 		switch {
 		case q.IsGenerator():
 			src, err := Eval(q.Src, env)
@@ -434,10 +449,109 @@ func evalComprehension(c *Comprehension, env *Env) (values.Value, error) {
 			return nil
 		}
 	}
-	if err := rec(0, env); err != nil {
+	return rec(0, env)
+}
+
+// EvalExtent evaluates a limit/offset expression to a non-negative int.
+// A nil expression returns the provided default; executors share this so
+// every engine rejects the same malformed bounds.
+func EvalExtent(e Expr, env *Env, what string, def int) (int, error) {
+	if e == nil {
+		return def, nil
+	}
+	v, err := Eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind() != values.KindInt {
+		return 0, evalErrf("%s must be an integer, got %s", what, v.Kind())
+	}
+	n := v.Int()
+	if n < 0 {
+		return 0, evalErrf("%s must be non-negative, got %d", what, n)
+	}
+	return int(n), nil
+}
+
+// evalBoundedComprehension handles order by / limit / offset. Ordered
+// comprehensions fold a keyed top-k (bounded to offset+limit entries
+// when a limit is present) and yield a list; bare limit/offset slice the
+// declared collection after accumulation. Set semantics deduplicate
+// before offset/limit apply.
+func evalBoundedComprehension(c *Comprehension, env *Env) (values.Value, error) {
+	limit, err := EvalExtent(c.Limit, env, "limit", -1)
+	if err != nil {
 		return values.Null, err
 	}
-	return acc.Result(), nil
+	offset, err := EvalExtent(c.Offset, env, "offset", 0)
+	if err != nil {
+		return values.Null, err
+	}
+	dedup := c.M.Name() == "set"
+	if len(c.Order) == 0 {
+		// Bare limit/offset: accumulate under the declared monoid (its
+		// Result canonicalizes bags/sets), then slice.
+		acc := monoid.NewCollector(c.M)
+		err := forEachBinding(c.Qs, env, func(env *Env) error {
+			h, err := Eval(c.Head, env)
+			if err != nil {
+				return err
+			}
+			acc.Add(h)
+			return nil
+		})
+		if err != nil {
+			return values.Null, err
+		}
+		elems := acc.Result().Elems()
+		if offset > 0 {
+			if offset >= len(elems) {
+				elems = nil
+			} else {
+				elems = elems[offset:]
+			}
+		}
+		if limit >= 0 && limit < len(elems) {
+			elems = elems[:limit]
+		}
+		switch c.M.Name() {
+		case "list":
+			return values.NewList(elems...), nil
+		case "set":
+			return values.NewSet(elems...), nil
+		default:
+			return values.NewBag(elems...), nil
+		}
+	}
+	desc := make([]bool, len(c.Order))
+	for i, k := range c.Order {
+		desc[i] = k.Desc
+	}
+	keep := -1
+	if limit >= 0 && !dedup {
+		keep = offset + limit
+	}
+	acc := monoid.NewTopKAcc(desc, keep)
+	err = forEachBinding(c.Qs, env, func(env *Env) error {
+		keys := make([]values.Value, len(c.Order))
+		for i, k := range c.Order {
+			kv, err := Eval(k.E, env)
+			if err != nil {
+				return err
+			}
+			keys[i] = kv
+		}
+		h, err := Eval(c.Head, env)
+		if err != nil {
+			return err
+		}
+		acc.Add(keys, h)
+		return nil
+	})
+	if err != nil {
+		return values.Null, err
+	}
+	return values.NewList(acc.Finalize(offset, limit, dedup)...), nil
 }
 
 func evalCall(n *CallExpr, env *Env) (values.Value, error) {

@@ -105,8 +105,16 @@ func Subst(e Expr, name string, repl Expr) Expr {
 		return &IndexExpr{Arr: Subst(n.Arr, name, repl), Idxs: idxs}
 	case *Comprehension:
 		// Work on copies: substitution must not mutate shared subtrees.
+		// Order keys live in the head's scope and follow it through every
+		// renaming; limit/offset are outer-scope and substitute directly.
 		qs := append([]Qualifier{}, n.Qs...)
 		head := n.Head
+		order := append([]OrderKey{}, n.Order...)
+		substKeys := func(name string, repl Expr) {
+			for i := range order {
+				order[i].E = Subst(order[i].E, name, repl)
+			}
+		}
 		shadowed := false
 		for i := range qs {
 			if shadowed {
@@ -129,13 +137,19 @@ func Subst(e Expr, name string, repl Expr) Expr {
 					qs[j].Src = Subst(qs[j].Src, old, &VarExpr{Name: fresh})
 				}
 				head = Subst(head, old, &VarExpr{Name: fresh})
+				substKeys(old, &VarExpr{Name: fresh})
 				qs[i].Var = fresh
 			}
 		}
 		if !shadowed {
 			head = Subst(head, name, repl)
+			substKeys(name, repl)
 		}
-		return &Comprehension{M: n.M, Head: head, Qs: qs}
+		return &Comprehension{
+			M: n.M, Head: head, Qs: qs, Order: order,
+			Limit:  Subst(n.Limit, name, repl),
+			Offset: Subst(n.Offset, name, repl),
+		}
 	}
 	panic(fmt.Sprintf("mcl: Subst on %T", e))
 }
@@ -329,6 +343,37 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 	}
 	head, ch := rewrite(c.Head)
 	changed = changed || ch
+	order := append([]OrderKey{}, c.Order...)
+	for i := range order {
+		ke, ch := rewrite(order[i].E)
+		order[i].E = ke
+		changed = changed || ch
+	}
+	var limit, offset Expr
+	if c.Limit != nil {
+		limit, ch = rewrite(c.Limit)
+		changed = changed || ch
+	}
+	if c.Offset != nil {
+		offset, ch = rewrite(c.Offset)
+		changed = changed || ch
+	}
+	// with rebuilds the comprehension around new qualifiers/head, keeping
+	// the ordering clause: every rule below that fires preserves the
+	// multiset of produced bindings, so order/limit/offset still apply
+	// identically to the rewritten form.
+	with := func(head Expr, qs []Qualifier) *Comprehension {
+		return &Comprehension{M: c.M, Head: head, Qs: qs, Order: order, Limit: limit, Offset: offset}
+	}
+	// empty is what a zero-iteration comprehension evaluates to. Ordered
+	// comprehensions yield lists, so their empty result is the empty list,
+	// not Z⊕ of the declared monoid.
+	empty := func() Expr {
+		if len(order) > 0 {
+			return &ZeroExpr{M: monoid.List}
+		}
+		return zeroResult(c.M)
+	}
 
 	for i, q := range qs {
 		switch {
@@ -339,28 +384,41 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 			if _, isLam := q.Src.(*LambdaExpr); isLam {
 				continue
 			}
-			rest := &Comprehension{M: c.M, Head: head, Qs: append([]Qualifier{}, qs[i+1:]...)}
+			rest := with(head, append([]Qualifier{}, qs[i+1:]...))
 			restSub := Subst(rest, q.Var, q.Src).(*Comprehension)
 			out := &Comprehension{
-				M:    c.M,
-				Head: restSub.Head,
-				Qs:   append(append([]Qualifier{}, qs[:i]...), restSub.Qs...),
+				M:     c.M,
+				Head:  restSub.Head,
+				Qs:    append(append([]Qualifier{}, qs[:i]...), restSub.Qs...),
+				Order: restSub.Order,
+				// Limit/Offset are outer-scope: the comprehension's own
+				// binds are not in their scope, so the inlined definition
+				// must not substitute into them (order keys are
+				// inner-scope and correctly follow restSub).
+				Limit:  limit,
+				Offset: offset,
 			}
 			return out, true
 		case q.IsGenerator():
 			switch src := q.Src.(type) {
 			case *ZeroExpr:
-				// (zero) the comprehension iterates zero times.
-				return zeroResult(c.M), true
+				// (zero) the comprehension iterates zero times; ordering
+				// and bounding an empty collection is still empty.
+				return empty(), true
 			case *SingletonExpr:
 				// (unit) generator over singleton becomes a bind.
 				nq := append([]Qualifier{}, qs...)
 				nq[i] = Qualifier{Var: q.Var, Bind: true, Src: src.E}
-				return &Comprehension{M: c.M, Head: head, Qs: nq}, true
+				return with(head, nq), true
 			case *MergeExpr:
 				// (merge) split — see side condition in the header; the
 				// split also merges two already-finalized results, so the
-				// outer Finalize must be the identity.
+				// outer Finalize must be the identity. An ordering clause
+				// blocks the split: a per-half limit would drop the wrong
+				// rows, and ⊕ of two sorted halves is not sorted.
+				if len(order) > 0 || limit != nil || offset != nil {
+					break
+				}
 				if !finalizeIsIdentity(c.M) {
 					break
 				}
@@ -371,8 +429,10 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 				right := &Comprehension{M: c.M, Head: head, Qs: replaceQual(qs, i, src.R)}
 				return &MergeExpr{M: c.M, L: left, R: right}, true
 			case *Comprehension:
-				// (unnest) flatten a nested comprehension generator.
-				if !unnestLegal(src.M, c.M) {
+				// (unnest) flatten a nested comprehension generator — only
+				// when the inner comprehension carries no ordering clause
+				// (flattening would lose its sort and bound).
+				if src.HasBound() || !unnestLegal(src.M, c.M) {
 					break
 				}
 				inner := alphaRename(src, qs, head)
@@ -381,7 +441,7 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 				nq = append(nq, inner.Qs...)
 				nq = append(nq, Qualifier{Var: q.Var, Bind: true, Src: inner.Head})
 				nq = append(nq, qs[i+1:]...)
-				return &Comprehension{M: c.M, Head: head, Qs: nq}, true
+				return with(head, nq), true
 			}
 		default: // filter
 			if cc, ok := q.Src.(*ConstExpr); ok && cc.Val.Kind() == values.KindBool {
@@ -390,10 +450,10 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 					// remaining qualifiers evaluates its head exactly once
 					// (and still applies Finalize), so it stays as-is.
 					nq := append(append([]Qualifier{}, qs[:i]...), qs[i+1:]...)
-					return &Comprehension{M: c.M, Head: head, Qs: nq}, true
+					return with(head, nq), true
 				}
 				// (false) the comprehension iterates zero times.
-				return zeroResult(c.M), true
+				return empty(), true
 			}
 			// (split) conjunctive filters become separate qualifiers.
 			if b, ok := q.Src.(*BinExpr); ok && b.Op == OpAnd {
@@ -401,13 +461,15 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 				nq = append(nq, qs[:i]...)
 				nq = append(nq, Qualifier{Src: b.L}, Qualifier{Src: b.R})
 				nq = append(nq, qs[i+1:]...)
-				return &Comprehension{M: c.M, Head: head, Qs: nq}, true
+				return with(head, nq), true
 			}
 		}
 	}
 	// A qualifier-free comprehension with a constant head evaluates
-	// statically: Finalize(Zero ⊕ Unit(c)).
-	if len(qs) == 0 {
+	// statically: Finalize(Zero ⊕ Unit(c)). An ordering clause blocks the
+	// fold (limit 0 of a singleton is empty, and the params of limit/offset
+	// may not be bound yet).
+	if len(qs) == 0 && len(order) == 0 && limit == nil && offset == nil {
 		if cc, ok := head.(*ConstExpr); ok {
 			v := c.M.Finalize(c.M.Merge(c.M.Zero(), c.M.Unit(cc.Val)))
 			if v.IsNull() {
@@ -416,7 +478,7 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 			return &ConstExpr{Val: v}, true
 		}
 	}
-	return &Comprehension{M: c.M, Head: head, Qs: qs}, changed
+	return with(head, qs), changed
 }
 
 // generatorBefore reports whether any generator qualifier appears in qs.

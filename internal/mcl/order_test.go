@@ -1,0 +1,235 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+
+	"vida/internal/sdg"
+	"vida/internal/values"
+)
+
+func evalOrderedSrc(t *testing.T, src string, bindings map[string]values.Value) values.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(Normalize(e), NewEnv(bindings))
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func people() map[string]values.Value {
+	mk := func(name string, age int64) values.Value {
+		return values.NewRecord(
+			values.Field{Name: "name", Val: values.NewString(name)},
+			values.Field{Name: "age", Val: values.NewInt(age)},
+		)
+	}
+	return map[string]values.Value{
+		"People": values.NewBag(
+			mk("ann", 41), mk("bob", 27), mk("cid", 35), mk("dee", 27), mk("eve", 52),
+		),
+	}
+}
+
+func TestParseOrderedComprehensionRoundTrip(t *testing.T) {
+	srcs := []string{
+		"for { p <- People } yield bag p.name order by p.age desc, p.name limit 3 offset 1",
+		"for { p <- People } yield list p order by p.age",
+		"for { p <- People } yield bag p limit 10",
+		"for { p <- People } yield set p.name limit $1 offset $2",
+		"for { p <- People } yield bag p offset 2",
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rendered := e.String()
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("reparse of %q (rendered %q): %v", src, rendered, err)
+		}
+		if rendered != src {
+			t.Fatalf("round-trip changed %q to %q", src, rendered)
+		}
+	}
+}
+
+func TestParseOrderRequiresCollectionMonoid(t *testing.T) {
+	for _, src := range []string{
+		"for { p <- People } yield sum p.age order by p.age",
+		"for { p <- People } yield count p limit 3",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestOrderNamesStayUsableAsIdentifiers(t *testing.T) {
+	// "order", "limit", "desc" are contextual keywords only.
+	bindings := map[string]values.Value{
+		"Rows": values.NewBag(
+			values.NewRecord(values.Field{Name: "limit", Val: values.NewInt(5)}),
+			values.NewRecord(values.Field{Name: "limit", Val: values.NewInt(3)}),
+		),
+	}
+	v := evalOrderedSrc(t, "for { r <- Rows } yield sum r.limit", bindings)
+	if v.Int() != 8 {
+		t.Fatalf("sum r.limit = %d, want 8", v.Int())
+	}
+}
+
+func TestEvalOrderedComprehension(t *testing.T) {
+	v := evalOrderedSrc(t, "for { p <- People } yield bag p.name order by p.age desc limit 2", people())
+	if v.Kind() != values.KindList {
+		t.Fatalf("ordered result kind = %s, want list", v.Kind())
+	}
+	got := make([]string, 0, v.Len())
+	for _, e := range v.Elems() {
+		got = append(got, e.Str())
+	}
+	if strings.Join(got, ",") != "eve,ann" {
+		t.Fatalf("top-2 by age desc = %v", got)
+	}
+}
+
+func TestEvalOrderedTieBreakDeterministic(t *testing.T) {
+	// bob and dee both have age 27; the element tiebreak orders them.
+	v := evalOrderedSrc(t, "for { p <- People } yield bag p.name order by p.age limit 2", people())
+	got := make([]string, 0, v.Len())
+	for _, e := range v.Elems() {
+		got = append(got, e.Str())
+	}
+	if strings.Join(got, ",") != "bob,dee" {
+		t.Fatalf("bottom-2 by age = %v", got)
+	}
+}
+
+func TestEvalOrderedOffset(t *testing.T) {
+	v := evalOrderedSrc(t, "for { p <- People } yield bag p.name order by p.age limit 2 offset 1", people())
+	got := make([]string, 0, v.Len())
+	for _, e := range v.Elems() {
+		got = append(got, e.Str())
+	}
+	if strings.Join(got, ",") != "dee,cid" {
+		t.Fatalf("offset 1 limit 2 by age = %v", got)
+	}
+}
+
+func TestEvalOrderedSetDedupsBeforeLimit(t *testing.T) {
+	v := evalOrderedSrc(t, "for { p <- People } yield set p.age order by p.age limit 3", people())
+	got := make([]int64, 0, v.Len())
+	for _, e := range v.Elems() {
+		got = append(got, e.Int())
+	}
+	if len(got) != 3 || got[0] != 27 || got[1] != 35 || got[2] != 41 {
+		t.Fatalf("distinct ages limit 3 = %v", got)
+	}
+}
+
+func TestEvalBareLimitListPrefix(t *testing.T) {
+	bindings := map[string]values.Value{
+		"Xs": values.NewList(values.NewInt(9), values.NewInt(3), values.NewInt(7), values.NewInt(1)),
+	}
+	v := evalOrderedSrc(t, "for { x <- Xs } yield list x limit 2", bindings)
+	if v.Kind() != values.KindList || v.Len() != 2 || v.Elems()[0].Int() != 9 || v.Elems()[1].Int() != 3 {
+		t.Fatalf("list limit 2 = %s", v)
+	}
+}
+
+func TestEvalLimitParam(t *testing.T) {
+	e := MustParse("for { p <- People } yield bag p.name order by p.age limit $n")
+	bound := BindParams(Normalize(e), map[string]values.Value{"n": values.NewInt(1)})
+	v, err := Eval(bound, NewEnv(people()))
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if v.Len() != 1 || v.Elems()[0].Str() != "bob" {
+		t.Fatalf("limit $n=1 = %s", v)
+	}
+	if got := Params(e); len(got) != 1 || got[0] != "n" {
+		t.Fatalf("Params = %v", got)
+	}
+}
+
+func TestEvalNegativeLimitRejected(t *testing.T) {
+	e := MustParse("for { p <- People } yield bag p limit $n")
+	bound := BindParams(e, map[string]values.Value{"n": values.NewInt(-1)})
+	if _, err := Eval(bound, NewEnv(people())); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+func TestNormalizePreservesOrderThroughBindInline(t *testing.T) {
+	// The v := p.age bind is inlined; the order key referencing v must
+	// follow the substitution.
+	src := "for { p <- People, v := p.age } yield bag p.name order by v desc limit 1"
+	v := evalOrderedSrc(t, src, people())
+	if v.Len() != 1 || v.Elems()[0].Str() != "eve" {
+		t.Fatalf("order through bind inline = %s", v)
+	}
+}
+
+func TestNormalizeNoUnnestOfBoundedInner(t *testing.T) {
+	// The inner ordered/limited comprehension must not be flattened into
+	// the outer one.
+	src := "for { x <- for { p <- People } yield bag p.name order by p.age limit 2 } yield count x"
+	v := evalOrderedSrc(t, src, people())
+	if v.Int() != 2 {
+		t.Fatalf("count over limited inner = %d, want 2", v.Int())
+	}
+}
+
+func TestTypeCheckOrderedComprehension(t *testing.T) {
+	personT := sdg.Record(
+		sdg.Attr{Name: "name", Type: sdg.String},
+		sdg.Attr{Name: "age", Type: sdg.Int},
+	)
+	env := NewTypeEnv(map[string]*sdg.Type{"People": sdg.Bag(personT)})
+
+	e := MustParse("for { p <- People } yield bag p.name order by p.age limit 2")
+	typ, err := Check(e, env)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if typ.Kind != sdg.TList || typ.Elem.Kind != sdg.TString {
+		t.Fatalf("ordered type = %s, want list(string)", typ)
+	}
+
+	if _, err := Check(MustParse(`for { p <- People } yield bag p limit "x"`), env); err == nil {
+		t.Fatal("string limit accepted")
+	}
+	if _, err := Check(MustParse("for { p <- People } yield bag p limit $1"), env); err != nil {
+		t.Fatalf("param limit rejected: %v", err)
+	}
+}
+
+func TestNormalizeBindInlineDoesNotCaptureLimit(t *testing.T) {
+	// Limit/offset are outer-scope: the inner bind n := 7 must not be
+	// substituted into `limit n`, which refers to the enclosing n := 2.
+	bindings := map[string]values.Value{
+		"S": values.NewBag(
+			values.NewInt(1), values.NewInt(2), values.NewInt(3),
+			values.NewInt(4), values.NewInt(5),
+		),
+	}
+	src := "for { n := 2, y <- for { m := 7, x <- S, x != m } yield bag x limit n } yield bag y"
+	raw, err := Eval(MustParse(src), NewEnv(bindings))
+	if err != nil {
+		t.Fatalf("raw eval: %v", err)
+	}
+	norm := evalOrderedSrc(t, src, bindings)
+	if raw.Len() != 2 || norm.Len() != 2 {
+		t.Fatalf("limit n (outer n=2): raw %d rows, normalized %d rows, want 2", raw.Len(), norm.Len())
+	}
+	// The reviewer's shape: the inner bind shares the limit's name.
+	src = "for { n := 2, y <- for { n := 7, x <- S } yield bag x limit n } yield bag y"
+	norm = evalOrderedSrc(t, src, bindings)
+	if norm.Len() != 2 {
+		t.Fatalf("shadowing bind captured the limit: %d rows, want 2", norm.Len())
+	}
+}

@@ -69,7 +69,16 @@ func BindParams(e Expr, params map[string]values.Value) Expr {
 		for i, q := range n.Qs {
 			qs[i] = Qualifier{Var: q.Var, Bind: q.Bind, Src: BindParams(q.Src, params)}
 		}
-		return &Comprehension{M: n.M, Head: BindParams(n.Head, params), Qs: qs}
+		order := make([]OrderKey, len(n.Order))
+		for i, k := range n.Order {
+			order[i] = OrderKey{E: BindParams(k.E, params), Desc: k.Desc}
+		}
+		return &Comprehension{
+			M: n.M, Head: BindParams(n.Head, params), Qs: qs,
+			Order:  order,
+			Limit:  BindParams(n.Limit, params),
+			Offset: BindParams(n.Offset, params),
+		}
 	}
 	return e
 }

@@ -713,7 +713,76 @@ func (p *parser) parseComprehension() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Comprehension{M: m, Head: head, Qs: qs}, nil
+	comp := &Comprehension{M: m, Head: head, Qs: qs}
+	// Optional ordering clauses. "order", "by", "limit", "offset", "asc"
+	// and "desc" are contextual: they only act as keywords in this
+	// position, so columns and variables may still use those names.
+	if p.isKeyword("order") {
+		next, err := p.peekAhead()
+		if err != nil {
+			return nil, err
+		}
+		if next.Kind == TokIdent && next.Text == "by" {
+			if err := p.advance(); err != nil { // order
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // by
+				return nil, err
+			}
+			for {
+				ke, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				key := OrderKey{E: ke}
+				if p.isKeyword("desc") {
+					key.Desc = true
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				} else if p.isKeyword("asc") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+				comp.Order = append(comp.Order, key)
+				if p.tok.Kind == TokComma {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+		}
+	}
+	if p.isKeyword("limit") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		le, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		comp.Limit = le
+	}
+	if p.isKeyword("offset") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		oe, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		comp.Offset = oe
+	}
+	if comp.HasBound() && !monoid.IsCollection(m) {
+		return nil, errf(id.Pos, "order by/limit/offset require a collection monoid, not %s", m.Name())
+	}
+	if comp.HasBound() && m.Name() == "array" {
+		return nil, errf(id.Pos, "order by/limit/offset are not supported for array comprehensions")
+	}
+	return comp, nil
 }
 
 func (p *parser) parseQualifier() (Qualifier, error) {

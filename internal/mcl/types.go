@@ -388,7 +388,37 @@ func checkComprehension(c *Comprehension, env *TypeEnv) (*sdg.Type, error) {
 	if err != nil {
 		return nil, err
 	}
-	return monoidResultType(c.M, ht)
+	if c.HasBound() && !monoid.IsCollection(c.M) {
+		return nil, typeErrf("order by/limit/offset require a collection monoid, not %s", c.M.Name())
+	}
+	// Order keys type-check in the qualifiers' scope (any comparable
+	// type); limit/offset are outer-scope integers (or parameter holes).
+	for _, k := range c.Order {
+		if _, err := Check(k.E, cur); err != nil {
+			return nil, err
+		}
+	}
+	for _, bound := range []Expr{c.Limit, c.Offset} {
+		if bound == nil {
+			continue
+		}
+		bt, err := Check(bound, env)
+		if err != nil {
+			return nil, err
+		}
+		if bt.Kind != sdg.TInt && bt.Kind != sdg.TUnknown {
+			return nil, typeErrf("limit/offset must be int, got %s", bt)
+		}
+	}
+	rt, err := monoidResultType(c.M, ht)
+	if err != nil {
+		return nil, err
+	}
+	if c.IsOrdered() {
+		// An ordered comprehension yields its elements as a list.
+		return sdg.List(ht), nil
+	}
+	return rt, nil
 }
 
 // monoidResultType gives the type of yield ⊕ head given the head type.

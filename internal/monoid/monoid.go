@@ -12,7 +12,6 @@ package monoid
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -215,6 +214,8 @@ func (medianMonoid) Finalize(a values.Value) values.Value {
 }
 
 // topKMonoid keeps the k largest values (by values.Compare) seen so far.
+// It is the degenerate form of the keyed TopKAcc accumulator (topk.go):
+// one key, the element itself, descending.
 type topKMonoid struct{ k int }
 
 func (m topKMonoid) Name() string                     { return "top" + strconv.Itoa(m.k) }
@@ -223,12 +224,14 @@ func (m topKMonoid) Idempotent() bool                 { return false }
 func (m topKMonoid) Zero() values.Value               { return values.NewList() }
 func (m topKMonoid) Unit(v values.Value) values.Value { return values.NewList(v) }
 func (m topKMonoid) Merge(a, b values.Value) values.Value {
-	all := append(append([]values.Value{}, a.Elems()...), b.Elems()...)
-	sort.Slice(all, func(i, j int) bool { return values.Compare(all[i], all[j]) > 0 })
-	if len(all) > m.k {
-		all = all[:m.k]
+	acc := NewTopKAcc([]bool{true}, m.k)
+	for _, v := range a.Elems() {
+		acc.Add([]values.Value{v}, v)
 	}
-	return values.NewList(all...)
+	for _, v := range b.Elems() {
+		acc.Add([]values.Value{v}, v)
+	}
+	return values.NewList(acc.Finalize(0, m.k, false)...)
 }
 func (m topKMonoid) Finalize(a values.Value) values.Value { return a }
 

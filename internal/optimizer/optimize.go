@@ -37,7 +37,7 @@ func Optimize(p *algebra.Reduce, cm CostModel) *algebra.Reduce {
 	if units, ok := flatten(p); ok {
 		sel := map[*algebra.Scan]float64{}
 		rebuilt := rebuild(units, cm, sel, nil)
-		out = &algebra.Reduce{Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred}
+		out = &algebra.Reduce{Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred, Order: p.Order}
 	} else {
 		out = algebra.Clone(p).(*algebra.Reduce)
 	}

@@ -39,6 +39,17 @@
 //     GET /metrics (Prometheus text), GET /explain and GET /healthz.
 //     Results preserve record field order; /query, /sql and /stream all
 //     accept a "params" field binding $1..$n (array) or $name (object).
-//     Shutdown drains: the HTTP server stops accepting, then
-//     Engine.Close waits for in-flight queries.
+//     /stream flushes at every cursor chunk boundary (with a 1024-row
+//     backstop), so first-row latency over HTTP matches the cursor's
+//     even for a slow, sparse producer. Shutdown drains: the HTTP
+//     server stops accepting, then Engine.Close waits for in-flight
+//     queries.
+//
+// ORDER BY / LIMIT / OFFSET queries serve through every endpoint:
+// ranked results arrive as ordered arrays (/query, /sql) or ordered
+// NDJSON lines (/stream — the engine's streaming top-k buffers only its
+// O(offset+limit) heap before the first ordered row is written; a bare
+// LIMIT cancels the scan's remaining morsels as soon as enough rows
+// have been produced, so the admission slot frees early too). LIMIT $1
+// keeps the prepared-statement cache warm across different bounds.
 package serve

@@ -1,0 +1,210 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vida/internal/sdg"
+	"vida/internal/serve"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// trickleSource emits a first small batch immediately, then stalls for
+// pause before emitting the rest — the shape of a cold scan with sparse
+// matches. It implements the batch contract so the pipeline sees the
+// early rows as their own batch.
+type trickleSource struct {
+	name  string
+	first int
+	rest  int
+	pause time.Duration
+}
+
+func (s *trickleSource) Name() string { return s.name }
+
+func (s *trickleSource) row(i int) values.Value {
+	return values.NewRecord(values.Field{Name: "x", Val: values.NewInt(int64(i))})
+}
+
+func (s *trickleSource) Iterate(fields []string, yield func(values.Value) error) error {
+	for i := 0; i < s.first; i++ {
+		if err := yield(s.row(i)); err != nil {
+			return err
+		}
+	}
+	time.Sleep(s.pause)
+	for i := 0; i < s.rest; i++ {
+		if err := yield(s.row(s.first + i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IterateBatches implements jit.BatchSource: one early batch, a long
+// stall, then the rest.
+func (s *trickleSource) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	emit := func(lo, n int) error {
+		b := vec.New(len(fields))
+		for i := 0; i < n; i++ {
+			r := s.row(lo + i)
+			for c, f := range fields {
+				fv, _ := r.Get(f)
+				b.Cols[c].AppendValue(fv)
+			}
+			b.N++
+		}
+		return yield(b)
+	}
+	if err := emit(0, s.first); err != nil {
+		return err
+	}
+	time.Sleep(s.pause)
+	return emit(s.first, s.rest)
+}
+
+// TestStreamFlushesOnBatchBoundaries is the regression test for the
+// flush-per-1024-rows bug: a trickling producer's first rows must reach
+// the HTTP client while the scan is still running, not after 1024 rows
+// or end-of-stream.
+func TestStreamFlushesOnBatchBoundaries(t *testing.T) {
+	const pause = 3 * time.Second
+	eng := newTestEngine(t, nil)
+	desc := sdg.DefaultDescription("Trickle", sdg.FormatTable, "",
+		sdg.Bag(sdg.Record(sdg.Attr{Name: "x", Type: sdg.Int})))
+	src := &trickleSource{name: "Trickle", first: 3, rest: 5, pause: pause}
+	if err := eng.Internal().RegisterSource(desc, src); err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.NewService(eng, nil, serve.Config{})
+	ts := httptest.NewServer(serve.NewServer(svc).Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{"query": "for { s <- Trickle } yield bag (x := s.x)"})
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first row: %v", err)
+	}
+	firstRow := time.Since(start)
+	if firstRow >= pause {
+		t.Fatalf("first row took %v — buffered rows waited out the producer stall (%v)", firstRow, pause)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(line)), &rec); err != nil {
+		t.Fatalf("bad first line %q: %v", line, err)
+	}
+	if _, ok := rec["x"]; !ok {
+		t.Fatalf("first line is not a row: %q", line)
+	}
+	// Drain the rest: the stream still completes with the done trailer.
+	var last string
+	for {
+		l, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if strings.TrimSpace(l) != "" {
+			last = strings.TrimSpace(l)
+		}
+	}
+	var trailer map[string]any
+	if err := json.Unmarshal([]byte(last), &trailer); err != nil {
+		t.Fatalf("bad trailer %q: %v", last, err)
+	}
+	if done, _ := trailer["done"].(bool); !done {
+		t.Fatalf("missing done trailer: %q", last)
+	}
+	if n, _ := trailer["rows"].(float64); int(n) != 8 {
+		t.Fatalf("trailer rows = %v, want 8", trailer["rows"])
+	}
+}
+
+// TestOrderByLimitOverHTTP covers the ranked-query acceptance path for
+// the HTTP surfaces: POST /sql returns ordered JSON, POST /stream emits
+// the same rows in the same order as NDJSON.
+func TestOrderByLimitOverHTTP(t *testing.T) {
+	eng := newTestEngine(t, nil)
+	svc := serve.NewService(eng, nil, serve.Config{})
+	ts := httptest.NewServer(serve.NewServer(svc).Handler())
+	defer ts.Close()
+
+	const sql = `SELECT id, age FROM Patients ORDER BY age DESC, id LIMIT 5`
+	body, _ := json.Marshal(map[string]any{"query": sql})
+	resp, err := http.Post(ts.URL+"/sql", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/sql status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Result []map[string]any `json:"result"`
+		Rows   int              `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 5 || len(out.Result) != 5 {
+		t.Fatalf("/sql rows = %d (%d results)", out.Rows, len(out.Result))
+	}
+	prevAge := int(1 << 30)
+	prevID := -1
+	var sqlIDs []int
+	for _, r := range out.Result {
+		age := int(r["age"].(float64))
+		id := int(r["id"].(float64))
+		if age > prevAge || (age == prevAge && id <= prevID) {
+			t.Fatalf("/sql rows out of order: %v", out.Result)
+		}
+		prevAge, prevID = age, id
+		sqlIDs = append(sqlIDs, id)
+	}
+
+	streamBody, _ := json.Marshal(map[string]any{"query": sql, "sql": true})
+	sresp, err := http.Post(ts.URL+"/stream", "application/json", bytes.NewReader(streamBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var streamIDs []int
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if done, ok := rec["done"].(bool); ok && done {
+			break
+		}
+		if errMsg, ok := rec["error"]; ok {
+			t.Fatalf("stream error: %v", errMsg)
+		}
+		streamIDs = append(streamIDs, int(rec["id"].(float64)))
+	}
+	if len(streamIDs) != len(sqlIDs) {
+		t.Fatalf("/stream rows = %d, /sql rows = %d", len(streamIDs), len(sqlIDs))
+	}
+	for i := range streamIDs {
+		if streamIDs[i] != sqlIDs[i] {
+			t.Fatalf("/stream order %v differs from /sql order %v", streamIDs, sqlIDs)
+		}
+	}
+}

@@ -211,8 +211,10 @@ func (s *Server) handleQuery(sql bool) http.HandlerFunc {
 	}
 }
 
-// streamFlushRows bounds how many rows are written between flushes on
-// the NDJSON stream — the latency/throughput knob of POST /stream.
+// streamFlushRows is the upper bound on rows written between flushes on
+// the NDJSON stream. It is a backstop only: the stream also flushes at
+// every cursor chunk boundary, so a slow trickling producer (cold scan,
+// sparse matches) never sits on buffered rows while the engine works.
 const streamFlushRows = 1024
 
 // handleStream serves POST /stream: the query's rows as NDJSON, one
@@ -259,12 +261,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return true
 	}
+	pending := 0
 	for rows.Next() {
 		buf = rows.Value().AppendJSON(buf)
 		buf = append(buf, '\n')
 		n++
-		if n%streamFlushRows == 0 && !flush() {
-			return
+		pending++
+		// Flush whenever the producer chunk is drained (the next Next
+		// would block on the engine) and as a backstop every
+		// streamFlushRows rows — first-row latency matches the cursor's.
+		if (rows.ChunkBoundary() || pending >= streamFlushRows) && pending > 0 {
+			if !flush() {
+				return
+			}
+			pending = 0
 		}
 	}
 	if err := rows.Err(); err != nil {

@@ -1,0 +1,143 @@
+package sqlfront
+
+import (
+	"strings"
+	"testing"
+
+	"vida/internal/mcl"
+	"vida/internal/values"
+)
+
+func names(t *testing.T, v values.Value) string {
+	t.Helper()
+	parts := make([]string, 0, v.Len())
+	for _, e := range v.Elems() {
+		if e.Kind() == values.KindRecord {
+			n, _ := e.Get("name")
+			parts = append(parts, n.Str())
+		} else {
+			parts = append(parts, e.String())
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestOrderByLimit(t *testing.T) {
+	v := run(t, `SELECT e.name FROM Employees e ORDER BY e.salary DESC LIMIT 2`)
+	if v.Kind() != values.KindList {
+		t.Fatalf("ordered result kind = %s", v.Kind())
+	}
+	if got := names(t, v); got != `"eve","ada"` {
+		t.Fatalf("top-2 by salary = %s", got)
+	}
+}
+
+func TestOrderByAliasAndOrdinal(t *testing.T) {
+	// Output alias resolution.
+	v := run(t, `SELECT e.name AS n, e.salary AS s FROM Employees e ORDER BY s LIMIT 1`)
+	got, _ := v.Elems()[0].Get("n")
+	if got.Str() != "bob" {
+		t.Fatalf("order by alias: %s", v)
+	}
+	// Ordinal resolution.
+	v = run(t, `SELECT e.name, e.salary FROM Employees e ORDER BY 2 DESC LIMIT 1`)
+	got, _ = v.Elems()[0].Get("name")
+	if got.Str() != "eve" {
+		t.Fatalf("order by ordinal: %s", v)
+	}
+}
+
+func TestOrderByMultiKey(t *testing.T) {
+	v := run(t, `SELECT e.name FROM Employees e ORDER BY e.deptNo ASC, e.salary DESC`)
+	if got := names(t, v); got != `"ada","bob","eve","dan"` {
+		t.Fatalf("multi-key order = %s", got)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	v := run(t, `SELECT e.name FROM Employees e ORDER BY e.salary LIMIT 2 OFFSET 1`)
+	if got := names(t, v); got != `"dan","ada"` {
+		t.Fatalf("limit 2 offset 1 = %s", got)
+	}
+}
+
+func TestBareLimitBoundsRows(t *testing.T) {
+	v := run(t, `SELECT e.name FROM Employees e LIMIT 3`)
+	if v.Len() != 3 {
+		t.Fatalf("bare limit kept %d rows", v.Len())
+	}
+}
+
+func TestOrderByExpressionNotInSelect(t *testing.T) {
+	v := run(t, `SELECT e.name FROM Employees e ORDER BY e.salary * -1 LIMIT 1`)
+	if got := names(t, v); got != `"eve"` {
+		t.Fatalf("order by expression = %s", got)
+	}
+}
+
+func TestOrderByParamLimit(t *testing.T) {
+	comp, err := Translate(`SELECT e.name FROM Employees e ORDER BY e.salary DESC LIMIT $1 OFFSET $2`)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	bound := mcl.BindParams(comp, map[string]values.Value{
+		"1": values.NewInt(1), "2": values.NewInt(1),
+	})
+	v, err := mcl.Eval(bound, env())
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if got := names(t, v); got != `"ada"` {
+		t.Fatalf("limit $1 offset $2 = %s", got)
+	}
+}
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	v := run(t, `SELECT e.deptNo, SUM(e.salary) AS total FROM Employees e GROUP BY e.deptNo ORDER BY total DESC LIMIT 2`)
+	if v.Len() != 2 {
+		t.Fatalf("group-by order kept %d rows", v.Len())
+	}
+	first, _ := v.Elems()[0].Get("deptNo")
+	second, _ := v.Elems()[1].Get("deptNo")
+	if first.Int() != 10 || second.Int() != 20 {
+		t.Fatalf("group totals order = %s", v)
+	}
+}
+
+func TestGroupByOrderByAggregateNotInSelect(t *testing.T) {
+	v := run(t, `SELECT e.deptNo FROM Employees e GROUP BY e.deptNo ORDER BY COUNT(*) DESC, e.deptNo LIMIT 1`)
+	if v.Elems()[0].Int() != 10 {
+		t.Fatalf("order by count(*) = %s", v)
+	}
+}
+
+func TestDistinctOrderByLimit(t *testing.T) {
+	v := run(t, `SELECT DISTINCT e.deptNo FROM Employees e ORDER BY e.deptNo DESC LIMIT 2`)
+	if v.Len() != 2 || v.Elems()[0].Int() != 30 || v.Elems()[1].Int() != 20 {
+		t.Fatalf("distinct order = %s", v)
+	}
+}
+
+func TestOrderedTranslationIsParseableText(t *testing.T) {
+	sqls := []string{
+		`SELECT e.name FROM Employees e ORDER BY e.salary DESC, e.name LIMIT 3 OFFSET 1`,
+		`SELECT e.name FROM Employees e LIMIT $1`,
+		`SELECT e.deptNo, COUNT(*) AS c FROM Employees e GROUP BY e.deptNo ORDER BY c DESC LIMIT 2`,
+	}
+	for _, sql := range sqls {
+		comp, err := Translate(sql)
+		if err != nil {
+			t.Fatalf("Translate(%q): %v", sql, err)
+		}
+		if _, err := mcl.Parse(comp.String()); err != nil {
+			t.Fatalf("rendered comprehension for %q is not parseable: %v\n%s", sql, err, comp)
+		}
+	}
+}
+
+func TestOffsetWithoutLimit(t *testing.T) {
+	v := run(t, `SELECT e.name FROM Employees e ORDER BY e.salary OFFSET 3`)
+	if got := names(t, v); got != `"eve"` {
+		t.Fatalf("offset without limit = %s", got)
+	}
+}

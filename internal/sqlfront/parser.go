@@ -76,6 +76,13 @@ func (*sqlAgg) sqlNode()   {}
 func (*sqlCall) sqlNode()  {}
 func (*sqlParam) sqlNode() {}
 
+// orderItem is one ORDER BY component.
+type orderItem struct {
+	expr sqlExpr
+	desc bool
+	pos  int
+}
+
 // selectStmt is a parsed SELECT.
 type selectStmt struct {
 	distinct bool
@@ -84,6 +91,9 @@ type selectStmt struct {
 	where    sqlExpr
 	groupBy  []*sqlCol
 	having   sqlExpr
+	orderBy  []orderItem
+	limit    sqlExpr // nil = none
+	offset   sqlExpr // nil = none
 }
 
 type parser struct {
@@ -137,7 +147,8 @@ func (p *parser) expectSym(s string) error {
 
 var reservedKw = map[string]bool{
 	"select": true, "from": true, "where": true, "group": true, "by": true,
-	"having": true, "order": true, "limit": true, "join": true, "inner": true,
+	"having": true, "order": true, "limit": true, "offset": true,
+	"join": true, "inner": true,
 	"on": true, "and": true, "or": true, "not": true, "as": true,
 	"distinct": true, "null": true, "true": true, "false": true, "like": true,
 }
@@ -264,10 +275,62 @@ func (p *parser) parseSelectStmt() (*selectStmt, error) {
 		}
 		stmt.having = h
 	}
-	if p.isKw("order") || p.isKw("limit") {
-		return nil, errf(p.cur().pos, "ORDER BY / LIMIT are not supported (results are bags; sort client-side)")
+	if p.eatKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			pos := p.cur().pos
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := orderItem{expr: e, pos: pos}
+			if p.eatKw("desc") {
+				item.desc = true
+			} else {
+				p.eatKw("asc")
+			}
+			stmt.orderBy = append(stmt.orderBy, item)
+			if !p.eatSym(",") {
+				break
+			}
+		}
+	}
+	if p.eatKw("limit") {
+		e, err := p.parseLimitExpr("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		stmt.limit = e
+	}
+	if p.eatKw("offset") {
+		e, err := p.parseLimitExpr("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		stmt.offset = e
 	}
 	return stmt, nil
+}
+
+// parseLimitExpr parses a LIMIT/OFFSET operand: a non-negative integer
+// literal or a bind parameter.
+func (p *parser) parseLimitExpr(what string) (sqlExpr, error) {
+	pos := p.cur().pos
+	e, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	switch n := e.(type) {
+	case *sqlParam:
+		return e, nil
+	case *sqlLit:
+		if n.val.Kind() == values.KindInt && n.val.Int() >= 0 {
+			return e, nil
+		}
+	}
+	return nil, errf(pos, "%s expects a non-negative integer or a bind parameter", what)
 }
 
 func (p *parser) parseTableRef() (tableRef, error) {

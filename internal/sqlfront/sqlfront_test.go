@@ -207,8 +207,15 @@ func TestErrors(t *testing.T) {
 		`SELECT FROM T`,
 		`SELECT x FROM`,
 		`SELECT a.x FROM T t WHERE`,
-		`SELECT x FROM T ORDER BY x`,
-		`SELECT x FROM T LIMIT 5`,
+		`SELECT x FROM T ORDER BY`,               // missing key
+		`SELECT x FROM T LIMIT`,                  // missing count
+		`SELECT x FROM T LIMIT -1`,               // negative limit
+		`SELECT x FROM T LIMIT 2.5`,              // fractional limit
+		`SELECT x FROM T LIMIT x`,                // column limit
+		`SELECT x FROM T ORDER BY 9`,             // ordinal out of range
+		`SELECT COUNT(*) FROM T ORDER BY 1`,      // aggregate result has no rows to order
+		`SELECT COUNT(*) FROM T LIMIT 3`,         // aggregate result has no rows to bound
+		`SELECT x FROM T ORDER BY COUNT(*)`,      // aggregate key without GROUP BY
 		`SELECT x, COUNT(*) FROM T`,              // non-aggregate without GROUP BY
 		`SELECT x FROM T GROUP BY y`,             // x not grouped
 		`SELECT * FROM A a, B b`,                 // ambiguous star

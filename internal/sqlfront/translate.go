@@ -86,9 +86,92 @@ func (tr *translator) translate() (mcl.Expr, error) {
 		return nil, fmt.Errorf("sql: HAVING requires GROUP BY")
 	}
 	if hasAgg {
+		if tr.hasBound() {
+			return nil, fmt.Errorf("sql: ORDER BY / LIMIT need a row result, not a single aggregate")
+		}
 		return tr.translateAggregate()
 	}
 	return tr.translateProjection()
+}
+
+// hasBound reports whether the statement carries ORDER BY, LIMIT or
+// OFFSET.
+func (tr *translator) hasBound() bool {
+	return len(tr.stmt.orderBy) > 0 || tr.stmt.limit != nil || tr.stmt.offset != nil
+}
+
+// limitToMCL converts a LIMIT/OFFSET operand (literal or parameter).
+func limitToMCL(e sqlExpr) mcl.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *sqlParam:
+		return &mcl.ParamExpr{Name: n.name}
+	case *sqlLit:
+		return &mcl.ConstExpr{Val: n.val}
+	}
+	return nil
+}
+
+// orderOrdinal resolves ORDER BY <k> (a positive integer literal) to the
+// index of the k-th select item, per the SQL convention. ok is false
+// when the expression is not an ordinal.
+func (tr *translator) orderOrdinal(e sqlExpr) (int, bool, error) {
+	lit, isLit := e.(*sqlLit)
+	if !isLit || lit.val.Kind() != values.KindInt {
+		return 0, false, nil
+	}
+	k := lit.val.Int()
+	if k < 1 || int(k) > len(tr.stmt.items) {
+		return 0, false, fmt.Errorf("sql: ORDER BY position %d is out of range", k)
+	}
+	if tr.stmt.items[k-1].star {
+		return 0, false, fmt.Errorf("sql: ORDER BY position %d refers to *", k)
+	}
+	return int(k) - 1, true, nil
+}
+
+// aliasItem resolves a bare unqualified column against the explicit
+// select-item aliases (output names take precedence over input columns,
+// as in SQL). Unaliased items need no entry: their output name IS the
+// input column, so plain column resolution finds the same expression.
+func (tr *translator) aliasItem(e sqlExpr) (selectItem, bool) {
+	col, isCol := e.(*sqlCol)
+	if !isCol || col.table != "" {
+		return selectItem{}, false
+	}
+	for _, item := range tr.stmt.items {
+		if !item.star && item.alias != "" && strings.EqualFold(item.alias, col.col) {
+			return item, true
+		}
+	}
+	return selectItem{}, false
+}
+
+// translateOrderKeys converts the ORDER BY list for a non-grouped query:
+// ordinals and select aliases resolve to their item expressions, the rest
+// translate against the FROM aliases directly.
+func (tr *translator) translateOrderKeys(aliases map[string]string) ([]mcl.OrderKey, error) {
+	var keys []mcl.OrderKey
+	for _, o := range tr.stmt.orderBy {
+		expr := o.expr
+		if idx, ok, err := tr.orderOrdinal(expr); err != nil {
+			return nil, err
+		} else if ok {
+			expr = tr.stmt.items[idx].expr
+		} else if item, ok := tr.aliasItem(expr); ok {
+			expr = item.expr
+		}
+		if containsAgg(expr) {
+			return nil, errf(o.pos, "aggregate in ORDER BY requires GROUP BY")
+		}
+		ke, err := tr.toMCL(expr, aliases, false)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, mcl.OrderKey{E: ke, Desc: o.desc})
+	}
+	return keys, nil
 }
 
 // translateProjection handles plain SELECT (no aggregates).
@@ -105,7 +188,14 @@ func (tr *translator) translateProjection() (mcl.Expr, error) {
 	if tr.stmt.distinct {
 		m = monoid.Set
 	}
-	return &mcl.Comprehension{M: m, Head: head, Qs: qs}, nil
+	comp := &mcl.Comprehension{M: m, Head: head, Qs: qs}
+	comp.Order, err = tr.translateOrderKeys(aliases)
+	if err != nil {
+		return nil, err
+	}
+	comp.Limit = limitToMCL(tr.stmt.limit)
+	comp.Offset = limitToMCL(tr.stmt.offset)
+	return comp, nil
 }
 
 // buildHead constructs the yield record (or single expression for SELECT *
@@ -262,6 +352,7 @@ func (tr *translator) translateGroupBy() (mcl.Expr, error) {
 	// Head record: grouping columns come from the key; aggregates become
 	// correlated comprehensions.
 	var fields []mcl.FieldExpr
+	itemExprs := make([]mcl.Expr, len(tr.stmt.items))
 	for i, item := range tr.stmt.items {
 		if item.star {
 			return nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY")
@@ -283,6 +374,7 @@ func (tr *translator) translateGroupBy() (mcl.Expr, error) {
 				name = e.col
 			}
 			fields = append(fields, mcl.FieldExpr{Name: name, Val: keyValue(gi)})
+			itemExprs[i] = keyValue(gi)
 		case *sqlAgg:
 			inner, err := innerFor(e)
 			if err != nil {
@@ -292,6 +384,7 @@ func (tr *translator) translateGroupBy() (mcl.Expr, error) {
 				name = fmt.Sprintf("col%d", i+1)
 			}
 			fields = append(fields, mcl.FieldExpr{Name: name, Val: inner})
+			itemExprs[i] = inner
 		default:
 			return nil, fmt.Errorf("sql: GROUP BY select items must be grouping columns or aggregates")
 		}
@@ -313,7 +406,46 @@ func (tr *translator) translateGroupBy() (mcl.Expr, error) {
 	if tr.stmt.distinct {
 		m = monoid.Set
 	}
-	return &mcl.Comprehension{M: m, Head: head, Qs: qs}, nil
+	comp := &mcl.Comprehension{M: m, Head: head, Qs: qs}
+	// ORDER BY over grouped results: ordinals and output aliases reuse
+	// the select items' expressions; anything else goes through the
+	// HAVING rewriter (aggregates become correlated comprehensions,
+	// grouping columns become key references).
+	for _, o := range tr.stmt.orderBy {
+		var ke mcl.Expr
+		if idx, ok, err := tr.orderOrdinal(o.expr); err != nil {
+			return nil, err
+		} else if ok {
+			ke = itemExprs[idx]
+		}
+		if ke == nil {
+			if col, isCol := o.expr.(*sqlCol); isCol && col.table == "" {
+				for i, item := range tr.stmt.items {
+					name := item.alias
+					if name == "" {
+						if c, ok := item.expr.(*sqlCol); ok {
+							name = c.col
+						}
+					}
+					if name != "" && strings.EqualFold(name, col.col) {
+						ke = itemExprs[i]
+						break
+					}
+				}
+			}
+		}
+		if ke == nil {
+			hv, err := tr.havingToMCL(o.expr, innerFor, keyValue)
+			if err != nil {
+				return nil, err
+			}
+			ke = hv
+		}
+		comp.Order = append(comp.Order, mcl.OrderKey{E: ke, Desc: o.desc})
+	}
+	comp.Limit = limitToMCL(tr.stmt.limit)
+	comp.Offset = limitToMCL(tr.stmt.offset)
+	return comp, nil
 }
 
 // havingToMCL rewrites a HAVING predicate: aggregates become correlated

@@ -266,6 +266,65 @@ func (b *Batch) Retain() Batch {
 	return out
 }
 
+// Compact returns a batch holding only b's live (selected) rows, in
+// selection order, with typed columns kept typed. Unlike Retain it
+// re-indexes: physical row k of the result is the k-th live row of b,
+// and the result has no selection vector. Build sides of joins use it so
+// a heavily filtered transient batch retains len(Sel) rows instead of N.
+func (b *Batch) Compact() Batch {
+	n := b.Len()
+	out := Batch{Cols: make([]Col, len(b.Cols)), N: n, Stable: true}
+	for ci := range b.Cols {
+		src := &b.Cols[ci]
+		dst := &out.Cols[ci]
+		dst.Tag = src.Tag
+		switch src.Tag {
+		case Int64:
+			dst.Ints = make([]int64, n)
+			for k := 0; k < n; k++ {
+				dst.Ints[k] = src.Ints[b.Index(k)]
+			}
+		case Float64:
+			dst.Floats = make([]float64, n)
+			for k := 0; k < n; k++ {
+				dst.Floats[k] = src.Floats[b.Index(k)]
+			}
+		case Str:
+			dst.Strs = make([]string, n)
+			for k := 0; k < n; k++ {
+				dst.Strs[k] = src.Strs[b.Index(k)]
+			}
+		default:
+			dst.Boxed = make([]values.Value, n)
+			for k := 0; k < n; k++ {
+				dst.Boxed[k] = src.Boxed[b.Index(k)]
+			}
+		}
+		if src.Nulls != nil {
+			dst.Nulls = make([]bool, n)
+			for k := 0; k < n; k++ {
+				dst.Nulls[k] = src.Nulls[b.Index(k)]
+			}
+		}
+	}
+	return out
+}
+
+// MemoryBytes approximates the resident size of the batch's column
+// storage (payload slices; boxed values count their header only).
+func (b *Batch) MemoryBytes() int64 {
+	var total int64
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		total += int64(cap(c.Ints))*8 + int64(cap(c.Floats))*8 + int64(cap(c.Boxed))*16
+		for _, s := range c.Strs[:cap(c.Strs)] {
+			total += int64(len(s)) + 16
+		}
+		total += int64(cap(c.Nulls))
+	}
+	return total
+}
+
 // AppendRow appends one boxed row across all columns (columns must be
 // Boxed; used by generic packers and row-exploding operators).
 func (b *Batch) AppendRow(row []values.Value) {

@@ -3,6 +3,7 @@ package vida
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
@@ -211,6 +212,15 @@ func (r *Rows) Columns() []string {
 // Next).
 func (r *Rows) Value() Value { return r.cur }
 
+// ChunkBoundary reports whether the current row was the last of its
+// underlying producer chunk — i.e. the next Next will block on the
+// engine for a fresh batch. Streaming writers (the HTTP NDJSON endpoint)
+// flush on chunk boundaries so buffered rows never wait on a slow
+// producer.
+func (r *Rows) ChunkBoundary() bool {
+	return !r.peeked && r.pos >= len(r.chunk)
+}
+
 // Scan copies the current row into dest: one destination per column for
 // record rows (in column order), a single destination otherwise.
 // Supported destinations: *int, *int8..*int64, *uint..*uint64, *float32,
@@ -298,7 +308,15 @@ func convertAssign(dst any, v Value) error {
 		if !raw.IsNumeric() {
 			return fmt.Errorf("cannot assign %s to *float32", v.Kind())
 		}
-		*d = float32(raw.Float())
+		f := raw.Float()
+		// Out-of-range float64s silently become ±Inf under a bare
+		// float32 conversion; fail instead, matching the overflow
+		// discipline of the integer destinations. Infinities and NaN
+		// round-trip exactly and stay assignable.
+		if !math.IsInf(f, 0) && (f > math.MaxFloat32 || f < -math.MaxFloat32) {
+			return fmt.Errorf("value %v overflows float32", f)
+		}
+		*d = float32(f)
 		return nil
 	}
 	// Integer destinations share bounds checking.

@@ -11,8 +11,13 @@ import (
 	"time"
 )
 
-// writeBigCSV writes an n-row People CSV and registers it as "People".
+// setupBig writes an n-row People CSV and registers it as "People".
 func setupBig(t testing.TB, n int) *Engine {
+	return setupBigOpts(t, n)
+}
+
+// setupBigOpts is setupBig with engine options (scheduler, executor).
+func setupBigOpts(t testing.TB, n int, opts ...Option) *Engine {
 	t.Helper()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "people.csv")
@@ -24,7 +29,7 @@ func setupBig(t testing.TB, n int) *Engine {
 	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	e := New()
+	e := New(opts...)
 	err := e.RegisterCSV("People", path,
 		"Record(Att(id, int), Att(name, string), Att(age, int))", nil)
 	if err != nil {

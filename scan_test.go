@@ -1,0 +1,121 @@
+package vida
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vida/internal/values"
+)
+
+// valueOf wraps a raw engine value for convertAssign tests.
+func valueOf(v values.Value) Value { return Value{raw: v} }
+
+// TestScanConversionMatrix is the table-driven boundary suite for every
+// numeric Scan destination: exact boundaries convert, one-past
+// boundaries error, fractional floats are rejected by integer
+// destinations, and the float32 range check refuses silent ±Inf
+// narrowing.
+func TestScanConversionMatrix(t *testing.T) {
+	intv := func(i int64) values.Value { return values.NewInt(i) }
+	floatv := func(f float64) values.Value { return values.NewFloat(f) }
+
+	t.Run("integer boundaries", func(t *testing.T) {
+		cases := []struct {
+			name    string
+			val     values.Value
+			dst     func() any
+			wantErr bool
+		}{
+			{"int8 min", intv(math.MinInt8), func() any { return new(int8) }, false},
+			{"int8 max", intv(math.MaxInt8), func() any { return new(int8) }, false},
+			{"int8 min-1", intv(math.MinInt8 - 1), func() any { return new(int8) }, true},
+			{"int8 max+1", intv(math.MaxInt8 + 1), func() any { return new(int8) }, true},
+			{"int16 min", intv(math.MinInt16), func() any { return new(int16) }, false},
+			{"int16 max", intv(math.MaxInt16), func() any { return new(int16) }, false},
+			{"int16 min-1", intv(math.MinInt16 - 1), func() any { return new(int16) }, true},
+			{"int16 max+1", intv(math.MaxInt16 + 1), func() any { return new(int16) }, true},
+			{"int32 min", intv(math.MinInt32), func() any { return new(int32) }, false},
+			{"int32 max", intv(math.MaxInt32), func() any { return new(int32) }, false},
+			{"int32 min-1", intv(math.MinInt32 - 1), func() any { return new(int32) }, true},
+			{"int32 max+1", intv(math.MaxInt32 + 1), func() any { return new(int32) }, true},
+			{"int64 min", intv(math.MinInt64), func() any { return new(int64) }, false},
+			{"int64 max", intv(math.MaxInt64), func() any { return new(int64) }, false},
+			{"uint8 zero", intv(0), func() any { return new(uint8) }, false},
+			{"uint8 max", intv(math.MaxUint8), func() any { return new(uint8) }, false},
+			{"uint8 max+1", intv(math.MaxUint8 + 1), func() any { return new(uint8) }, true},
+			{"uint8 negative", intv(-1), func() any { return new(uint8) }, true},
+			{"uint16 max", intv(math.MaxUint16), func() any { return new(uint16) }, false},
+			{"uint16 max+1", intv(math.MaxUint16 + 1), func() any { return new(uint16) }, true},
+			{"uint32 max", intv(math.MaxUint32), func() any { return new(uint32) }, false},
+			{"uint32 max+1", intv(math.MaxUint32 + 1), func() any { return new(uint32) }, true},
+			{"uint32 negative", intv(-1), func() any { return new(uint32) }, true},
+			{"uint64 max int64", intv(math.MaxInt64), func() any { return new(uint64) }, false},
+			{"uint64 negative", intv(-1), func() any { return new(uint64) }, true},
+			{"uint negative", intv(-1), func() any { return new(uint) }, true},
+			{"int from integral float", floatv(42), func() any { return new(int) }, false},
+			{"int from fractional float", floatv(42.5), func() any { return new(int) }, true},
+			{"int8 from fractional float", floatv(1.25), func() any { return new(int8) }, true},
+			{"int from string", values.NewString("7"), func() any { return new(int) }, true},
+		}
+		for _, tc := range cases {
+			dst := tc.dst()
+			err := convertAssign(dst, valueOf(tc.val))
+			if tc.wantErr && err == nil {
+				t.Errorf("%s: conversion succeeded, want error", tc.name)
+			}
+			if !tc.wantErr && err != nil {
+				t.Errorf("%s: %v", tc.name, err)
+			}
+		}
+	})
+
+	t.Run("float32 range check", func(t *testing.T) {
+		var f32 float32
+		// In-range values convert.
+		if err := convertAssign(&f32, valueOf(floatv(3.5))); err != nil || f32 != 3.5 {
+			t.Fatalf("in-range float32: %v (got %v)", err, f32)
+		}
+		if err := convertAssign(&f32, valueOf(floatv(math.MaxFloat32))); err != nil {
+			t.Fatalf("MaxFloat32: %v", err)
+		}
+		if err := convertAssign(&f32, valueOf(floatv(-math.MaxFloat32))); err != nil {
+			t.Fatalf("-MaxFloat32: %v", err)
+		}
+		// Out-of-range float64s used to narrow silently to ±Inf.
+		for _, v := range []float64{math.MaxFloat64, -math.MaxFloat64, math.MaxFloat32 * 2, -math.MaxFloat32 * 2} {
+			err := convertAssign(&f32, valueOf(floatv(v)))
+			if err == nil {
+				t.Fatalf("float64 %v narrowed into float32 without error (got %v)", v, f32)
+			}
+			if !strings.Contains(err.Error(), "overflows float32") {
+				t.Fatalf("float64 %v: unexpected error %v", v, err)
+			}
+		}
+		// Infinities round-trip exactly and stay assignable.
+		if err := convertAssign(&f32, valueOf(floatv(math.Inf(1)))); err != nil || !math.IsInf(float64(f32), 1) {
+			t.Fatalf("+Inf: %v (got %v)", err, f32)
+		}
+		if err := convertAssign(&f32, valueOf(floatv(math.Inf(-1)))); err != nil || !math.IsInf(float64(f32), -1) {
+			t.Fatalf("-Inf: %v (got %v)", err, f32)
+		}
+		// NaN survives too.
+		if err := convertAssign(&f32, valueOf(floatv(math.NaN()))); err != nil || !math.IsNaN(float64(f32)) {
+			t.Fatalf("NaN: %v (got %v)", err, f32)
+		}
+		// Ints widen into float32 subject to the same range check.
+		if err := convertAssign(&f32, valueOf(intv(1<<20))); err != nil || f32 != 1<<20 {
+			t.Fatalf("int into float32: %v (got %v)", err, f32)
+		}
+	})
+
+	t.Run("float64 accepts numerics only", func(t *testing.T) {
+		var f64 float64
+		if err := convertAssign(&f64, valueOf(intv(9))); err != nil || f64 != 9 {
+			t.Fatalf("int into float64: %v", err)
+		}
+		if err := convertAssign(&f64, valueOf(values.NewString("x"))); err == nil {
+			t.Fatal("string into float64 accepted")
+		}
+	})
+}

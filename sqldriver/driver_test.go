@@ -173,3 +173,58 @@ func TestBadDSN(t *testing.T) {
 		}
 	}
 }
+
+// TestOrderByLimitThroughDriver covers the ranked-query path through
+// database/sql: ordered rows arrive in order, LIMIT binds as a
+// parameter, and prepared statements serve different bounds.
+func TestOrderByLimitThroughDriver(t *testing.T) {
+	db := openDB(t, writePeopleCSV(t, 5000)) // lang defaults to sql
+	rows, err := db.QueryContext(context.Background(),
+		"SELECT id, age FROM People ORDER BY age DESC, id LIMIT $1 OFFSET $2", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var ids []int64
+	for rows.Next() {
+		var id, age int64
+		if err := rows.Scan(&id, &age); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// age 79 at ids 59,119,179,...; offset 1 skips id 59.
+	if fmt.Sprint(ids) != fmt.Sprint([]int64{119, 179, 239}) {
+		t.Fatalf("ordered ids = %v", ids)
+	}
+
+	stmt, err := db.Prepare("SELECT id FROM People ORDER BY id LIMIT $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, n := range []int{1, 4} {
+		rs, err := stmt.Query(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for rs.Next() {
+			var id int64
+			if err := rs.Scan(&id); err != nil {
+				t.Fatal(err)
+			}
+			if id != int64(got+1) {
+				t.Fatalf("prepared limit %d: row %d = %d", n, got, id)
+			}
+			got++
+		}
+		rs.Close()
+		if got != n {
+			t.Fatalf("prepared limit %d returned %d rows", n, got)
+		}
+	}
+}

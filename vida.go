@@ -264,12 +264,18 @@ func (p *Prepared) RunCtx(ctx context.Context, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.inner.Streamable() && p.inner.MonoidName() != "list" {
+	if p.inner.Streamable() && (p.inner.OrderedResult() || p.inner.MonoidName() != "list") {
 		rows, err := p.inner.RowsCtx(ctx, params)
 		if err != nil {
 			return nil, err
 		}
-		v, err := collectValue(rows, p.inner.MonoidName())
+		monoidName := p.inner.MonoidName()
+		if p.inner.OrderedResult() {
+			// ORDER BY results are ordered lists; bag/set canonicalization
+			// would destroy the sort.
+			monoidName = "list"
+		}
+		v, err := collectValue(rows, monoidName)
 		if err != nil {
 			return nil, err
 		}
