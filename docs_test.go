@@ -1,0 +1,76 @@
+package vida_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs enforces the documentation floor the architecture doc
+// relies on: every package in the module — the public API, sqldriver,
+// every internal/* package and the commands — carries a package
+// comment. CI's docs job runs this alongside go vet; it fails the build
+// the moment a new package lands undocumented.
+func TestPackageDocs(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgDirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if len(pkgDirs) == 0 || pkgDirs[len(pkgDirs)-1] != dir {
+			pkgDirs = append(pkgDirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range pkgDirs {
+		if !packageHasDoc(t, dir) {
+			rel, _ := filepath.Rel(root, dir)
+			t.Errorf("package %s has no package comment (add one, e.g. in doc.go)", rel)
+		}
+	}
+}
+
+// packageHasDoc reports whether any non-test file in dir carries a
+// package comment.
+func packageHasDoc(t *testing.T, dir string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package vida_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vida"
+)
+
+// exampleCSV writes the small people.csv the examples query.
+func exampleCSV() (path string, cleanup func()) {
+	dir, err := os.MkdirTemp("", "vida-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path = filepath.Join(dir, "people.csv")
+	data := "id,name,age\n1,ada,36\n2,bob,41\n3,eve,29\n4,dan,54\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	return path, func() { os.RemoveAll(dir) }
+}
+
+const exampleSchema = "Record(Att(id, int), Att(name, string), Att(age, int))"
+
+// ExampleEngine_QueryRows streams a result row by row through the
+// cursor API: the first row arrives while the scan is still running,
+// and memory stays bounded however large the file is.
+func ExampleEngine_QueryRows() {
+	path, cleanup := exampleCSV()
+	defer cleanup()
+
+	eng := vida.New()
+	if err := eng.RegisterCSV("People", path, exampleSchema, nil); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := eng.QuerySQLRows(`SELECT name, age FROM People WHERE age > 30 ORDER BY age`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var name string
+		var age int64
+		if err := rows.Scan(&name, &age); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %d\n", name, age)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// ada 36
+	// bob 41
+	// dan 54
+}
+
+// ExamplePrepared_Run prepares a parameterized comprehension once and
+// runs it with different bindings: the frontend (parse, type-check,
+// optimize) runs a single time, and each Run substitutes its values
+// into a copy of the cached plan.
+func ExamplePrepared_Run() {
+	path, cleanup := exampleCSV()
+	defer cleanup()
+
+	eng := vida.New()
+	if err := eng.RegisterCSV("People", path, exampleSchema, nil); err != nil {
+		log.Fatal(err)
+	}
+	p, err := eng.Prepare(`for { x <- People, x.age > $min } yield count x`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	over30, err := p.Run(vida.Named("min", 30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	over50, err := p.Run(vida.Named("min", 50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(over30, over50)
+
+	// Positional parameters work the same way through QuerySQL.
+	res, err := eng.QuerySQL(`SELECT COUNT(*) FROM People WHERE age > $1`, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	// Output:
+	// 3 1
+	// 2
+}

@@ -1,13 +1,3 @@
-// Package cache implements ViDa's data caches: previously-accessed raw
-// data kept in memory under query-appropriate layouts (paper §2.1 "ViDa
-// also maintains caches of previously accessed data", §5 "Re-using and
-// re-shaping results"). The same dataset may be cached simultaneously in
-// several layouts — typed columns for analytical scans, parsed objects for
-// hierarchical access, binary JSON for RESTful result serving, and bare
-// byte spans that defer object assembly to projection time (Figure 4).
-//
-// Entries are evicted LRU-wise under a byte budget and invalidated
-// wholesale when the underlying file changes.
 package cache
 
 import (
@@ -17,6 +7,7 @@ import (
 	"sync"
 
 	"vida/internal/values"
+	"vida/internal/vec"
 )
 
 // Layout enumerates the cache representations of Figure 4 plus the
@@ -56,10 +47,14 @@ type Entry struct {
 	Layout  Layout
 	N       int // row/object count
 
-	Cols  map[string][]values.Value // LayoutColumns
-	Rows  []values.Value            // LayoutRows
-	Docs  [][]byte                  // LayoutBSON
-	Spans []Span                    // LayoutSpans
+	// Cols holds the columnar layout: one vector per attribute, kept in
+	// the typed representation the harvesting scan produced (boxed only
+	// for mixed-type or generic columns). Published columns are
+	// immutable — scans serve slice windows of them zero-copy.
+	Cols  map[string]vec.Col // LayoutColumns
+	Rows  []values.Value     // LayoutRows
+	Docs  [][]byte           // LayoutBSON
+	Spans []Span             // LayoutSpans
 
 	size int64
 	tick uint64
@@ -143,17 +138,34 @@ func EstimateValueBytes(v values.Value) int64 {
 	}
 }
 
-// PutColumns installs (or extends) the columnar entry of a dataset. All
-// column slices must share length n. Existing columns are kept, so the
-// entry accumulates attributes across queries — exactly how ViDa's caches
-// grow with the workload. Extension is copy-on-write: scans hold Entry
-// pointers outside the manager lock, so a published entry is never
-// mutated — a grown replacement entry (sharing the column slices) takes
-// its place instead.
-func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Value) error {
+// EstimateColBytes approximates the in-memory footprint of a cached
+// column: the physical payload for typed vectors, a per-value deep
+// estimate for boxed ones. This is what eviction accounts against, so a
+// typed entry charges the budget its true (much smaller) size.
+func EstimateColBytes(c *vec.Col) int64 {
+	if c.Tag == vec.Boxed {
+		var sz int64
+		for _, v := range c.Boxed {
+			sz += EstimateValueBytes(v)
+		}
+		return sz + int64(len(c.Nulls))
+	}
+	return c.SizeBytes()
+}
+
+// PutColumnVectors installs (or extends) the columnar entry of a
+// dataset with typed column vectors. All columns must hold n rows.
+// Existing columns are kept, so the entry accumulates attributes across
+// queries — exactly how ViDa's caches grow with the workload. Extension
+// is copy-on-write: scans hold Entry pointers outside the manager lock,
+// so a published entry is never mutated — a grown replacement entry
+// (sharing the column storage) takes its place instead. Ownership of
+// the column storage transfers to the cache; callers must not retain
+// mutable references.
+func (m *Manager) PutColumnVectors(dataset string, n int, cols map[string]vec.Col) error {
 	for name, col := range cols {
-		if len(col) != n {
-			return fmt.Errorf("cache: column %q has %d values, want %d", name, len(col), n)
+		if col.Len() != n {
+			return fmt.Errorf("cache: column %q has %d values, want %d", name, col.Len(), n)
 		}
 	}
 	m.mu.Lock()
@@ -165,7 +177,7 @@ func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Val
 		m.removeLocked(k)
 		old = nil
 	}
-	e := &Entry{Dataset: dataset, Layout: LayoutColumns, N: n, Cols: make(map[string][]values.Value, len(cols))}
+	e := &Entry{Dataset: dataset, Layout: LayoutColumns, N: n, Cols: make(map[string]vec.Col, len(cols))}
 	if old != nil {
 		e.size, e.tick, e.hits = old.size, old.tick, old.hits
 		for name, col := range old.Cols {
@@ -178,10 +190,7 @@ func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Val
 		if _, exists := e.Cols[name]; exists {
 			continue
 		}
-		var sz int64
-		for _, v := range col {
-			sz += EstimateValueBytes(v)
-		}
+		sz := EstimateColBytes(&col)
 		e.Cols[name] = col
 		e.size += sz
 		m.used += sz
@@ -190,6 +199,18 @@ func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Val
 	m.touchLocked(e)
 	m.evictLocked()
 	return nil
+}
+
+// PutColumns is the boxed-compatibility form of PutColumnVectors: each
+// column is installed under the boxed fallback layout. Row-at-a-time
+// harvest paths (record and slot scans) use it; the vectorized harvest
+// installs typed vectors directly.
+func (m *Manager) PutColumns(dataset string, n int, cols map[string][]values.Value) error {
+	vcols := make(map[string]vec.Col, len(cols))
+	for name, col := range cols {
+		vcols[name] = vec.Col{Tag: vec.Boxed, Boxed: col}
+	}
+	return m.PutColumnVectors(dataset, n, vcols)
 }
 
 // PutRows installs the row-layout entry for a dataset.
@@ -338,7 +359,8 @@ func (m *Manager) Describe() string {
 		if e.Layout == LayoutColumns {
 			cols := make([]string, 0, len(e.Cols))
 			for c := range e.Cols {
-				cols = append(cols, c)
+				col := e.Cols[c]
+				cols = append(cols, c+":"+col.Tag.String())
 			}
 			sort.Strings(cols)
 			fmt.Fprintf(&sb, " cols=%v", cols)

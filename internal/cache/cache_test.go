@@ -243,7 +243,7 @@ func TestDescribe(t *testing.T) {
 	_ = m.PutColumns("p", 1, map[string][]values.Value{"id": intCol(1, func(i int) int64 { return 0 })})
 	m.PutSpans("q", []Span{{0, 5}})
 	s := m.Describe()
-	for _, want := range []string{"p [columns]", "q [spans]", "cols=[id]"} {
+	for _, want := range []string{"p [columns]", "q [spans]", "cols=[id:boxed]"} {
 		if !contains(s, want) {
 			t.Fatalf("Describe missing %q:\n%s", want, s)
 		}

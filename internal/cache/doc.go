@@ -1,0 +1,45 @@
+// Package cache implements ViDa's data caches: previously-accessed raw
+// data kept in memory under query-appropriate layouts (paper §2.1 "ViDa
+// also maintains caches of previously accessed data", §5 "Re-using and
+// re-shaping results"). The same dataset may be cached simultaneously in
+// several layouts — typed columns for analytical scans, parsed objects
+// for hierarchical access, binary JSON for RESTful result serving, and
+// bare byte spans that defer object assembly to projection time
+// (Figure 4).
+//
+// # Entry layouts
+//
+// Each (dataset, layout) pair owns at most one Entry:
+//
+//   - LayoutColumns — one vec.Col per attribute. Columns stay in the
+//     typed representation the harvesting scan produced (int64/float64/
+//     string payload slices with optional validity masks); attributes
+//     whose rows mix types, or that arrive from row-at-a-time access
+//     paths, fall back to boxed []values.Value payloads. Warm scans are
+//     served as slice windows of these vectors — zero copies, marked
+//     vec.Batch.Stable so consumers may retain them header-only.
+//   - LayoutRows — record values in row order (the "C++ object"
+//     analogue, Fig 4c), for whole-record access without a schema.
+//   - LayoutBSON — binary JSON documents (Fig 4b): field projection
+//     decodes only the requested attributes.
+//   - LayoutSpans — (start, end) byte positions into the raw file
+//     (Fig 4d), deferring all parsing to access time.
+//
+// Columnar entries grow with the workload: a later scan touching new
+// attributes extends the entry copy-on-write (published entries are
+// never mutated — readers hold Entry pointers outside the manager
+// lock), sharing the already-cached column storage.
+//
+// # Eviction policy
+//
+// The Manager owns every entry under one byte budget. Entry sizes are
+// estimated per column from the physical layout — 8 bytes per int64/
+// float64 row, string header plus payload per string row, a deep
+// estimated walk for boxed values, one byte per validity-mask row — so
+// typed entries charge the budget roughly 7-14x less than their boxed
+// equivalents and the same budget holds proportionally more data.
+// Eviction is strict LRU over entries (not columns): every Get/Touch
+// bumps the entry's logical tick and the lowest tick is dropped until
+// the budget holds. File changes invalidate all of a dataset's entries
+// wholesale.
+package cache

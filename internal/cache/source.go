@@ -8,9 +8,10 @@ import (
 	"vida/internal/vec"
 )
 
-// ColumnsSource adapts a columnar cache entry to algebra.Source: scans
-// assemble records from the column vectors, touching only the projected
-// fields — the cheapest access path in the engine.
+// ColumnsSource adapts a columnar cache entry to algebra.Source: batch
+// scans serve slice windows of the typed column vectors zero-copy (the
+// cheapest access path in the engine), and the row-oriented contracts
+// box rows on demand for the fallback executors.
 type ColumnsSource struct {
 	Entry   *Entry
 	Dataset string
@@ -21,26 +22,14 @@ func (s *ColumnsSource) Name() string { return s.Dataset }
 
 // Iterate implements algebra.Source.
 func (s *ColumnsSource) Iterate(fields []string, yield func(values.Value) error) error {
-	e := s.Entry
-	if len(fields) == 0 {
-		// Serve every cached column in deterministic order.
-		for f := range e.Cols {
-			fields = append(fields, f)
-		}
-		sortStrings(fields)
+	cols, fields, err := s.resolveCols(fields)
+	if err != nil {
+		return err
 	}
-	cols := make([][]values.Value, len(fields))
-	for i, f := range fields {
-		col, ok := e.Cols[f]
-		if !ok {
-			return fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
-		}
-		cols[i] = col
-	}
-	for row := 0; row < e.N; row++ {
+	for row := 0; row < s.Entry.N; row++ {
 		rec := make([]values.Field, len(fields))
 		for i, f := range fields {
-			rec[i] = values.Field{Name: f, Val: cols[i][row]}
+			rec[i] = values.Field{Name: f, Val: cols[i].Value(row)}
 		}
 		if err := yield(values.NewRecord(rec...)); err != nil {
 			return err
@@ -49,28 +38,17 @@ func (s *ColumnsSource) Iterate(fields []string, yield func(values.Value) error)
 	return nil
 }
 
-// IterateSlots is the specialized access path for the JIT executor: slot
-// rows are filled straight from the column vectors.
+// IterateSlots is the specialized row access path for the JIT executor:
+// slot rows are boxed straight from the column vectors.
 func (s *ColumnsSource) IterateSlots(fields []string, yield func([]values.Value) error) error {
-	e := s.Entry
-	if len(fields) == 0 {
-		for f := range e.Cols {
-			fields = append(fields, f)
-		}
-		sortStrings(fields)
-	}
-	cols := make([][]values.Value, len(fields))
-	for i, f := range fields {
-		col, ok := e.Cols[f]
-		if !ok {
-			return fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
-		}
-		cols[i] = col
+	cols, fields, err := s.resolveCols(fields)
+	if err != nil {
+		return err
 	}
 	buf := make([]values.Value, len(fields))
-	for row := 0; row < e.N; row++ {
+	for row := 0; row < s.Entry.N; row++ {
 		for i := range cols {
-			buf[i] = cols[i][row]
+			buf[i] = cols[i].Value(row)
 		}
 		if err := yield(buf); err != nil {
 			return err
@@ -80,8 +58,8 @@ func (s *ColumnsSource) IterateSlots(fields []string, yield func([]values.Value)
 }
 
 // resolveCols maps requested fields (all cached fields when empty, in
-// sorted order) to the entry's column slices.
-func (s *ColumnsSource) resolveCols(fields []string) ([][]values.Value, error) {
+// sorted order) to the entry's column vectors.
+func (s *ColumnsSource) resolveCols(fields []string) ([]vec.Col, []string, error) {
 	e := s.Entry
 	if len(fields) == 0 {
 		for f := range e.Cols {
@@ -89,41 +67,40 @@ func (s *ColumnsSource) resolveCols(fields []string) ([][]values.Value, error) {
 		}
 		sortStrings(fields)
 	}
-	cols := make([][]values.Value, len(fields))
+	cols := make([]vec.Col, len(fields))
 	for i, f := range fields {
 		col, ok := e.Cols[f]
 		if !ok {
-			return nil, fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
+			return nil, nil, fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
 		}
 		cols[i] = col
 	}
-	return cols, nil
+	return cols, fields, nil
 }
 
 // IterateBatches implements the JIT's BatchSource contract: batches are
-// column-slice windows into the cached vectors — zero copies. Consumers
-// must treat column storage as immutable (they do: filters refine the
-// selection vector instead of compacting).
+// slice windows into the cached typed vectors — zero copies, no boxing.
+// Consumers must treat column storage as immutable (they do: filters
+// refine the selection vector instead of compacting).
 func (s *ColumnsSource) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
-	cols, err := s.resolveCols(fields)
+	cols, _, err := s.resolveCols(fields)
 	if err != nil {
 		return err
 	}
-	scan := s.rangeScan(cols)
-	return scan(0, s.Entry.N, batchSize, yield)
+	return s.rangeScan(cols)(0, s.Entry.N, batchSize, yield)
 }
 
 // OpenRange implements the JIT's RangeBatchSource contract. Columnar
 // entries can always serve arbitrary row ranges.
 func (s *ColumnsSource) OpenRange(fields []string) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
-	cols, err := s.resolveCols(fields)
+	cols, _, err := s.resolveCols(fields)
 	if err != nil {
 		return nil, 0, false
 	}
 	return s.rangeScan(cols), s.Entry.N, true
 }
 
-func (s *ColumnsSource) rangeScan(cols [][]values.Value) func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+func (s *ColumnsSource) rangeScan(cols []vec.Col) func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
 	return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
 		if batchSize <= 0 {
 			batchSize = vec.DefaultBatchSize
@@ -134,8 +111,8 @@ func (s *ColumnsSource) rangeScan(cols [][]values.Value) func(lo, hi, batchSize 
 			if end > hi {
 				end = hi
 			}
-			for i, col := range cols {
-				b.Cols[i] = vec.Col{Tag: vec.Boxed, Boxed: col[o:end]}
+			for i := range cols {
+				b.Cols[i] = cols[i].Slice(o, end)
 			}
 			b.N = end - o
 			b.Sel = nil

@@ -73,6 +73,10 @@ type Options struct {
 	// sched.Default()). A query server injects one pool so concurrent
 	// queries share workers instead of oversubscribing cores.
 	Pool *sched.Pool
+	// NoExprKernels disables the JIT's vectorized arithmetic/projection
+	// kernels (row-wise fallback) — an A/B switch for benchmarks and
+	// fallback-equivalence tests, not for production use.
+	NoExprKernels bool
 }
 
 // Stats is a snapshot of engine activity.
@@ -666,34 +670,34 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 					hint = pm.NumRows()
 				}
 			}
-			cols := make(map[string][]values.Value, len(fields))
-			if hint > 0 {
-				for _, f := range fields {
-					cols[f] = make([]values.Value, 0, hint)
-				}
+			// Typed harvest: the plugin's column vectors are retained in
+			// their typed representation, so the cache entry serves the
+			// next scan unboxed. Mixed-type columns demote to boxed
+			// inside the builder.
+			builders := make([]*vec.ColBuilder, len(fields))
+			for i := range builders {
+				builders[i] = vec.NewColBuilder(hint)
 			}
 			n := 0
 			err := bs.IterateBatches(fields, batchSize, func(b *vec.Batch) error {
 				// Harvest before the JIT refines the selection: the cache
 				// stores every scanned row, filters apply per query.
-				cnt := b.Len()
-				for c, f := range fields {
-					col := &b.Cols[c]
-					if col.Tag == vec.Boxed && col.Nulls == nil && b.Sel == nil {
-						cols[f] = append(cols[f], col.Boxed[:b.N]...)
-						continue
-					}
-					for k := 0; k < cnt; k++ {
-						cols[f] = append(cols[f], col.Value(b.Index(k)))
-					}
+				for c := range fields {
+					builders[c].Append(&b.Cols[c], b)
 				}
-				n += cnt
+				n += b.Len()
 				return yield(b)
 			})
 			if err != nil {
 				return err
 			}
-			return guard.put(func() error { return s.e.caches.PutColumns(name, n, cols) })
+			return guard.put(func() error {
+				cols := make(map[string]vec.Col, len(fields))
+				for i, f := range fields {
+					cols[f] = builders[i].Finish()
+				}
+				return s.e.caches.PutColumnVectors(name, n, cols)
+			})
 		}
 	}
 	return batchesFromSlots(s.IterateSlots, fields, batchSize, yield)
@@ -1057,7 +1061,7 @@ func (p *Prepared) runPlanCtx(ctx context.Context, plan *algebra.Reduce) (values
 	case ModeReference:
 		v, err = algebra.Reference{}.Run(plan, cat)
 	default:
-		v, err = jit.Executor{Opts: jit.Options{Pool: e.opts.Pool}}.RunCtx(ctx, plan, cat)
+		v, err = jit.Executor{Opts: jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels}}.RunCtx(ctx, plan, cat)
 	}
 	if err != nil {
 		// Surface cancellation as the ctx error, not a wrapped scan error.

@@ -8,8 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"vida/internal/cache"
 	"vida/internal/sdg"
 	"vida/internal/values"
+	"vida/internal/vec"
 )
 
 func writeFiles(t *testing.T) (csvPath, jsonPath string) {
@@ -407,5 +409,101 @@ func TestRefreshMidScanDropsStaleHarvest(t *testing.T) {
 	}
 	if got := res.Int(); got != 200 {
 		t.Fatalf("sum after mid-scan refresh = %d, want 200 (stale harvest leaked into the cache)", got)
+	}
+}
+
+// TestHarvestInstallsTypedColumns checks the cold batch scan promotes
+// its typed column vectors into the cache unboxed — int/float/string
+// attributes keep their payload representation, bool attributes (no
+// typed tag) fall back to boxed — and that the warm scan over the typed
+// entry returns identical results.
+func TestHarvestInstallsTypedColumns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	csv := "id,score,city,ok\n"
+	for i := 0; i < 30; i++ {
+		csv += fmt.Sprintf("%d,%g,c%d,%v\n", i, float64(i)/2, i%3, i%2 == 0)
+	}
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{})
+	schema := sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "score", Type: sdg.Float},
+		sdg.Attr{Name: "city", Type: sdg.String},
+		sdg.Attr{Name: "ok", Type: sdg.Bool},
+	))
+	if err := e.Register(sdg.DefaultDescription("T", sdg.FormatCSV, path, schema)); err != nil {
+		t.Fatal(err)
+	}
+	q := `for { x <- T, x.ok = true } yield bag (i := x.id, s := x.score, c := x.city, o := x.ok)`
+	cold, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := e.Caches().Peek("T", cache.LayoutColumns)
+	if !ok {
+		t.Fatal("no columnar entry after cold scan")
+	}
+	wantTags := map[string]vec.Tag{"id": vec.Int64, "score": vec.Float64, "city": vec.Str, "ok": vec.Boxed}
+	for name, want := range wantTags {
+		col, ok := entry.Cols[name]
+		if !ok {
+			t.Fatalf("column %q not harvested", name)
+		}
+		if col.Tag != want {
+			t.Fatalf("column %q tag = %v, want %v", name, col.Tag, want)
+		}
+	}
+	rawBefore := e.StatsSnapshot().RawScans
+	warm, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.StatsSnapshot().RawScans != rawBefore {
+		// The warm run must come from the cache, not the file.
+		t.Fatal("warm query touched raw data")
+	}
+	if !values.Equal(cold, warm) {
+		t.Fatalf("cold %v != warm %v", cold, warm)
+	}
+}
+
+// TestHarvestNullMaskRoundTrip checks null CSV cells survive the typed
+// harvest (validity mask) and that warm results match cold ones.
+func TestHarvestNullMaskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "n.csv")
+	if err := os.WriteFile(path, []byte("id,v\n1,10\n2,\n3,30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{})
+	schema := sdg.Bag(sdg.Record(
+		sdg.Attr{Name: "id", Type: sdg.Int},
+		sdg.Attr{Name: "v", Type: sdg.Int},
+	))
+	if err := e.Register(sdg.DefaultDescription("N", sdg.FormatCSV, path, schema)); err != nil {
+		t.Fatal(err)
+	}
+	q := `for { x <- N, x.v > 5 } yield sum x.v` // null compares false
+	cold, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := e.Caches().Peek("N", cache.LayoutColumns)
+	if !ok {
+		t.Fatal("no columnar entry")
+	}
+	vcol := entry.Cols["v"]
+	if vcol.Tag != vec.Int64 || vcol.Nulls == nil || !vcol.Nulls[1] {
+		t.Fatalf("v column = %+v, want typed with mask", vcol)
+	}
+	warm, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !values.Equal(cold, warm) || cold.Int() != 40 {
+		t.Fatalf("cold %v warm %v", cold, warm)
 	}
 }

@@ -94,7 +94,7 @@ func (e *Engine) streamRows(ctx context.Context, plan *algebra.Reduce) (*Rows, e
 	cat := ctxCatalog{inner: catalog{e: e}, ctx: sctx}
 	go func() {
 		defer e.endQuery()
-		err := jit.Executor{Opts: jit.Options{Pool: e.opts.Pool}}.RunStream(sctx, plan, cat, emit)
+		err := jit.Executor{Opts: jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels}}.RunStream(sctx, plan, cat, emit)
 		if err != nil {
 			if ctxErr := sctx.Err(); ctxErr != nil {
 				err = ctxErr

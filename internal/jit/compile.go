@@ -99,6 +99,12 @@ type Options struct {
 	// observe cancellation through the catalog's context-checking
 	// sources, not through this field.
 	Ctx context.Context
+	// NoExprKernels disables the vectorized arithmetic/projection
+	// kernels (filters keep their PR-1 comparison shapes; computed
+	// heads, keys and bind columns fall back to row-wise evaluation).
+	// It exists for A/B benchmarking against the pre-kernel engine and
+	// for fallback-equivalence tests; production code leaves it false.
+	NoExprKernels bool
 }
 
 // DefaultParallelThreshold is the default minimum row count for
@@ -289,7 +295,7 @@ func (c *compiler) materializeFreeSources(p algebra.Plan) (*mcl.Env, error) {
 // boxed fallback otherwise. Each factory call returns a filter with its
 // own scratch, safe for one (serial) run or one morsel worker.
 func (c *compiler) compileFilter(e mcl.Expr, f *frame) (func() batchFilter, error) {
-	if vf := compileVecFilter(e, f); vf != nil {
+	if vf := compileVecFilter(e, f, !c.opts.NoExprKernels); vf != nil {
 		return vf, nil
 	}
 	pred, err := c.compileExpr(e, f)
@@ -555,15 +561,41 @@ func (c *compiler) compileBind(n *algebra.Bind) (*compiledPlan, error) {
 	}
 	f := in.frame.clone()
 	f.add(n.Var, "")
-	e, err := c.compileExpr(n.E, in.frame)
-	if err != nil {
-		return nil, err
+	var mkKernel func() vecExpr
+	if !c.opts.NoExprKernels {
+		mkKernel = compileVecExpr(n.E, in.frame)
+	}
+	var e compiledExpr
+	if mkKernel == nil {
+		e, err = c.compileExpr(n.E, in.frame)
+		if err != nil {
+			return nil, err
+		}
 	}
 	inWidth := in.frame.width()
 	mkExtend := func() func(b *vec.Batch, emit batchSink) error {
+		var out vec.Batch
+		if mkKernel != nil {
+			// Projection kernel: the extension column is computed typed
+			// per batch (int64/float64 payloads when the inputs are), so
+			// downstream filters and aggregates over the bound variable
+			// stay on the unboxed fast paths. The kernel owns the column
+			// storage, so the extended batch is never zero-copy-stable.
+			k := mkKernel()
+			return func(b *vec.Batch, emit batchSink) error {
+				col, err := k(b)
+				if err != nil {
+					return err
+				}
+				out.Cols = append(out.Cols[:0], b.Cols...)
+				out.Cols = append(out.Cols, *col)
+				out.N = b.N
+				out.Sel = b.Sel
+				return emit(&out)
+			}
+		}
 		row := make([]values.Value, inWidth)
 		var ext []values.Value
-		var out vec.Batch
 		return func(b *vec.Batch, emit batchSink) error {
 			if cap(ext) < b.N {
 				ext = make([]values.Value, b.N)
@@ -829,6 +861,8 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 			return values.NewList(parts...), true, nil
 		}
 		rrow := make([]values.Value, rw)
+		var hs []uint64 // per-batch key-hash scratch (vectorized pass)
+		var hsValid []bool
 		if err := r.run(func(b *vec.Batch) error {
 			cnt := b.Len()
 			if cnt == 0 {
@@ -840,33 +874,41 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 			eBatch = slices.Grow(eBatch, cnt)
 			eRow = slices.Grow(eRow, cnt)
 			hashes = slices.Grow(hashes, cnt)
+			if rSlot >= 0 {
+				// Vectorized build: the key column hashes in one
+				// tag-dispatched pass — typed payloads never box.
+				hs, hsValid = hashLiveCol(&b.Cols[rSlot], b, hs[:0], hsValid[:0])
+				for k := 0; k < cnt; k++ {
+					if !hsValid[k] {
+						continue
+					}
+					// A compacted batch re-indexes: its physical row k is
+					// the k-th live row of b.
+					si := b.Index(k)
+					if compacted {
+						si = k
+					}
+					eBatch = append(eBatch, bi)
+					eRow = append(eRow, int32(si))
+					hashes = append(hashes, hs[k])
+				}
+				return nil
+			}
 			for k := 0; k < cnt; k++ {
 				i := b.Index(k)
-				// A compacted batch re-indexes: its physical row k is the
-				// k-th live row of b.
 				si := i
 				if compacted {
 					si = k
 				}
-				var kv values.Value
-				if rSlot >= 0 {
-					kv = b.Cols[rSlot].Value(i)
-					if kv.IsNull() {
-						continue
-					}
-				} else {
-					fillRow(b, i, rrow)
-					var ok bool
-					var err error
-					kv, ok, err = keyOf(rrow, rKeys)
-					if err != nil {
-						return err
-					}
-					if !ok {
-						continue
-					}
-					keys = append(keys, kv)
+				fillRow(b, i, rrow)
+				kv, ok, err := keyOf(rrow, rKeys)
+				if err != nil {
+					return err
 				}
+				if !ok {
+					continue
+				}
+				keys = append(keys, kv)
 				eBatch = append(eBatch, bi)
 				eRow = append(eRow, int32(si))
 				hashes = append(hashes, kv.Hash())
@@ -891,24 +933,41 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 			next[e] = head[slot]
 			head[slot] = int32(e + 1)
 		}
-		entryKey := func(idx int) values.Value {
+		// entryMatches verifies key equality on a hash match. With slot
+		// keys on both sides the comparison runs typed (colValEqual, no
+		// boxing); a boxed side boxes only on hash matches, never per
+		// probed row.
+		entryMatches := func(idx int, b *vec.Batch, i int, kv values.Value) bool {
 			if rSlot >= 0 {
-				return retained[eBatch[idx]].Cols[rSlot].Value(int(eRow[idx]))
+				rb := &retained[eBatch[idx]]
+				ri := int(eRow[idx])
+				if lSlot >= 0 {
+					return colValEqual(&b.Cols[lSlot], i, &rb.Cols[rSlot], ri)
+				}
+				return values.Equal(kv, rb.Cols[rSlot].Value(ri))
 			}
-			return keys[idx]
+			if lSlot >= 0 {
+				return values.Equal(b.Cols[lSlot].Value(i), keys[idx])
+			}
+			return values.Equal(kv, keys[idx])
 		}
 		p := vec.NewPacker(lw+rw, bs, nil, sink)
 		buf := make([]values.Value, lw+rw)
 		if err := l.run(func(b *vec.Batch) error {
 			cnt := b.Len()
+			if lSlot >= 0 {
+				// Vectorized probe: hash the key column once per batch.
+				hs, hsValid = hashLiveCol(&b.Cols[lSlot], b, hs[:0], hsValid[:0])
+			}
 			for k := 0; k < cnt; k++ {
 				i := b.Index(k)
 				var kv values.Value
+				var h uint64
 				if lSlot >= 0 {
-					kv = b.Cols[lSlot].Value(i)
-					if kv.IsNull() {
+					if !hsValid[k] {
 						continue
 					}
+					h = hs[k]
 				} else {
 					fillRow(b, i, buf[:lw])
 					var ok bool
@@ -920,12 +979,12 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 					if !ok {
 						continue
 					}
+					h = kv.Hash()
 				}
 				filled := lSlot < 0
-				h := kv.Hash()
 				for e := head[h&mask]; e != 0; e = next[e-1] {
 					idx := int(e - 1)
-					if hashes[idx] != h || !values.Equal(kv, entryKey(idx)) {
+					if hashes[idx] != h || !entryMatches(idx, b, i, kv) {
 						continue
 					}
 					if !filled {

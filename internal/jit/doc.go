@@ -27,11 +27,39 @@
 // Scan plugins plug into the batch pipeline through three contracts, in
 // preference order: BatchSource (column vectors, typed fast path),
 // SlotSource (slot rows, packed into boxed batches), and plain
-// algebra.Source (records, exploded into slots). Vectorized kernels exist
-// for comparison predicates over slots (slot⊕const, slot⊕slot, and
-// conjunctions) and for the count/sum/avg/min/max monoids over slot
-// heads; every other shape falls back to the row-wise compiled closures,
-// batch by batch.
+// algebra.Source (records, exploded into slots). Warm scans of
+// previously-touched fields come from the typed columnar cache, which
+// serves slice windows of its published vectors zero-copy.
+//
+// # Vectorized kernels
+//
+// Three kernel families keep hot paths off values.Value entirely; each
+// dispatches on the columns' runtime representation once per batch, so
+// the same staged pipeline serves typed CSV vectors, zero-copy cache
+// slices and boxed fallback batches:
+//
+//   - Comparison filters refine the selection vector: slot⊕const,
+//     slot⊕slot and conjunctions, with typed int/float/string loops.
+//   - Expression kernels (vecexpr.go) stage arithmetic/projection
+//     trees — + - * / % and negation over slots, numeric constants
+//     folded into the kernel — into per-batch column loops. They feed
+//     comparison filters over computed values, reduce heads, ORDER BY
+//     key extraction, stream heads and Bind extension columns (which
+//     then stay typed for everything downstream). Inputs that arrive
+//     boxed at run time take a row-wise mcl.ApplyBinOp loop inside the
+//     kernel, so semantics (null propagation, int/float promotion,
+//     division-by-zero errors, string concatenation) are byte-identical
+//     with the row engine. Options.NoExprKernels disables this family
+//     for A/B benchmarks and fallback-equivalence tests.
+//   - Join-key kernels (hash.go) hash the key column of each build and
+//     probe batch in one tag-dispatched pass using the scalar hash
+//     helpers of internal/values (typed rows hash identically to their
+//     boxed forms), and verify hash matches with typed equality —
+//     slot-keyed hash joins never box a key row.
+//
+// Unboxed reduce kernels cover the count/sum/avg/min/max monoids over
+// slot or kernel heads; every other shape falls back to the row-wise
+// compiled closures, batch by batch.
 //
 // # Morsel-parallel scans
 //

@@ -1,0 +1,78 @@
+package jit
+
+import (
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// This file holds the vectorized join-key kernels: hashing a key column
+// for every live row of a batch in one tag-dispatched pass (no
+// values.Value boxing on typed columns), and the typed key-equality
+// check used on hash matches. The scalar hash helpers in
+// internal/values guarantee a typed int64/float64/string row hashes
+// identically to its boxed form, so typed and boxed batches of the same
+// data land in the same hash-table buckets.
+
+// hashLiveCol appends one hash per live row of col, in live order;
+// valid[k] is false for null rows (null keys never join). The tag
+// dispatch runs once per batch, the inner loops touch only the payload
+// slices.
+func hashLiveCol(col *vec.Col, b *vec.Batch, hs []uint64, valid []bool) ([]uint64, []bool) {
+	n := b.Len()
+	switch col.Tag {
+	case vec.Int64:
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			if col.Nulls != nil && col.Nulls[i] {
+				hs, valid = append(hs, 0), append(valid, false)
+				continue
+			}
+			hs, valid = append(hs, values.HashInt(col.Ints[i])), append(valid, true)
+		}
+	case vec.Float64:
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			if col.Nulls != nil && col.Nulls[i] {
+				hs, valid = append(hs, 0), append(valid, false)
+				continue
+			}
+			hs, valid = append(hs, values.HashFloat(col.Floats[i])), append(valid, true)
+		}
+	case vec.Str:
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			if col.Nulls != nil && col.Nulls[i] {
+				hs, valid = append(hs, 0), append(valid, false)
+				continue
+			}
+			hs, valid = append(hs, values.HashString(col.Strs[i])), append(valid, true)
+		}
+	default:
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			v := col.Value(i)
+			if v.IsNull() {
+				hs, valid = append(hs, 0), append(valid, false)
+				continue
+			}
+			hs, valid = append(hs, v.Hash()), append(valid, true)
+		}
+	}
+	return hs, valid
+}
+
+// colValEqual compares row i of a against row j of b exactly as
+// values.Equal compares their boxed forms — numeric cross-kind equality
+// through the float image, NaN equal to NaN — without boxing for the
+// typed tag pairings. Callers have already excluded null rows.
+func colValEqual(a *vec.Col, i int, b *vec.Col, j int) bool {
+	switch {
+	case a.Tag == vec.Int64 && b.Tag == vec.Int64:
+		return a.Ints[i] == b.Ints[j]
+	case a.Tag == vec.Str && b.Tag == vec.Str:
+		return a.Strs[i] == b.Strs[j]
+	case numericTag(a.Tag) && numericTag(b.Tag):
+		return values.CompareFloats(numAt(a, i), numAt(b, j)) == 0
+	}
+	return values.Equal(a.Value(i), b.Value(j))
+}

@@ -33,7 +33,9 @@ var errLimitReached = errors.New("jit: row limit reached")
 type orderedConsumer struct {
 	acc         *monoid.TopKAcc
 	filter      batchFilter // may be nil
-	keyIdxs     []int       // per key: >= 0 slot fast path, -1 via expr
+	keyIdxs     []int       // per key: >= 0 slot fast path, -1 via kernel/expr
+	keyKernels  []vecExpr   // per key: non-nil vectorized kernel
+	keyCols     []*vec.Col  // per-batch kernel outputs (scratch)
 	keyEs       []compiledExpr
 	headIdx     int // >= 0: head is this slot
 	head        compiledExpr
@@ -52,6 +54,21 @@ func (oc *orderedConsumer) consume(b *vec.Batch) error {
 		}
 	}
 	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	// Kernel keys evaluate once per batch; rows then box only the key
+	// values they feed into the competitiveness check.
+	for j, kk := range oc.keyKernels {
+		if kk == nil {
+			continue
+		}
+		kc, err := kk(b)
+		if err != nil {
+			return err
+		}
+		oc.keyCols[j] = kc
+	}
 	for k := 0; k < n; k++ {
 		i := b.Index(k)
 		if oc.needRowKeys {
@@ -64,6 +81,10 @@ func (oc *orderedConsumer) consume(b *vec.Batch) error {
 		for j, idx := range oc.keyIdxs {
 			if idx >= 0 {
 				keys[j] = b.Cols[idx].Value(i)
+				continue
+			}
+			if oc.keyCols[j] != nil {
+				keys[j] = oc.keyCols[j].Value(i)
 				continue
 			}
 			kv, err := oc.keyEs[j](oc.row)
@@ -114,12 +135,19 @@ func (c *compiler) compileOrderedConsumer(p *algebra.Reduce, input *compiledPlan
 	keys := p.Order.Keys
 	desc := make([]bool, len(keys))
 	keyIdxs := make([]int, len(keys))
+	mkKeyKernels := make([]func() vecExpr, len(keys))
 	keyEs := make([]compiledExpr, len(keys))
 	needRowKeys := false
 	for i, k := range keys {
 		desc[i] = k.Desc
 		keyIdxs[i] = slotOf(k.E, input.frame)
 		if keyIdxs[i] < 0 {
+			if !c.opts.NoExprKernels {
+				mkKeyKernels[i] = compileVecExpr(k.E, input.frame)
+			}
+			if mkKeyKernels[i] != nil {
+				continue
+			}
 			keyEs[i], err = c.compileExpr(k.E, input.frame)
 			if err != nil {
 				return nil, nil, err
@@ -142,6 +170,13 @@ func (c *compiler) compileOrderedConsumer(p *algebra.Reduce, input *compiledPlan
 		oc := &orderedConsumer{
 			keyIdxs: keyIdxs, keyEs: keyEs, headIdx: headIdx, head: head,
 			needRowKeys: needRowKeys, needRowHead: needRowHead,
+			keyKernels: make([]vecExpr, len(keys)),
+			keyCols:    make([]*vec.Col, len(keys)),
+		}
+		for i, mk := range mkKeyKernels {
+			if mk != nil {
+				oc.keyKernels[i] = mk()
+			}
 		}
 		if needRowKeys || needRowHead {
 			oc.row = make([]values.Value, width)
@@ -226,6 +261,7 @@ type rowQuota struct {
 	skip   atomic.Int64 // rows still to drop (offset)
 	left   atomic.Int64 // rows still to emit; negative once exhausted
 	bound  bool         // false: unlimited (offset-only quota)
+	failed atomic.Bool  // a sink error surfaced: never report completion
 	cancel context.CancelFunc
 }
 
@@ -293,6 +329,10 @@ func (q *rowQuota) wrap(next StreamSink) StreamSink {
 		drop, emit, done := q.admit(len(chunk))
 		if emit > 0 {
 			if err := next(chunk[drop : drop+emit]); err != nil {
+				// The budget was reserved before delivery: mark the
+				// quota failed so an already-exhausted budget cannot
+				// masquerade as successful completion downstream.
+				q.failed.Store(true)
 				return err
 			}
 		}
@@ -316,7 +356,7 @@ func swallowLimit(err error, q *rowQuota, outer context.Context) error {
 	if errors.Is(err, errLimitReached) {
 		return nil
 	}
-	if q != nil && q.exhausted() && outer.Err() == nil {
+	if q != nil && q.exhausted() && !q.failed.Load() && outer.Err() == nil {
 		// A sibling worker observed the quota's cancel before the sentinel
 		// could surface; the stream is complete.
 		return nil

@@ -112,21 +112,19 @@ func (s StaticExecutor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Valu
 // runOrdered folds the channel pipeline's rows through the keyed top-k
 // accumulator (ORDER BY/LIMIT/OFFSET under the static executor).
 func (s StaticExecutor) runOrdered(p *algebra.Reduce, sc *staticCtx, rows <-chan *mcl.Env) (values.Value, error) {
-	limit, offset, err := algebra.ResolveExtents(p.Order)
+	// Same retention rules as the JIT root (resolveOrder): keep =
+	// offset+limit only with a limit present, set dedup disables the
+	// heap bound.
+	limit, offset, keep, dedup, err := resolveOrder(p)
 	if err != nil {
 		sc.once.Do(func() { close(sc.stopped) })
 		for range rows {
 		}
 		return values.Null, err
 	}
-	dedup := p.M.Name() == "set"
 	desc := make([]bool, len(p.Order.Keys))
 	for i, k := range p.Order.Keys {
 		desc[i] = k.Desc
-	}
-	keep := -1
-	if limit >= 0 && !dedup {
-		keep = offset + limit
 	}
 	acc := monoid.NewTopKAcc(desc, keep)
 	for env := range rows {

@@ -220,13 +220,14 @@ func runParallelStream(ctx context.Context, scan func(lo, hi int, sink batchSink
 // streamConsumer turns pipeline batches into chunks of evaluated head
 // values. One consumer serves one serial run or one morsel.
 type streamConsumer struct {
-	filter  batchFilter // may be nil
-	headIdx int         // >= 0: head is this slot (no per-row evaluation)
-	head    compiledExpr
-	row     []values.Value
-	chunk   []values.Value
-	size    int
-	emit    StreamSink
+	filter     batchFilter // may be nil
+	headIdx    int         // >= 0: head is this slot (no per-row evaluation)
+	headKernel vecExpr     // non-nil: head computed per batch by a kernel
+	head       compiledExpr
+	row        []values.Value
+	chunk      []values.Value
+	size       int
+	emit       StreamSink
 }
 
 func (sc *streamConsumer) consume(b *vec.Batch) error {
@@ -236,12 +237,23 @@ func (sc *streamConsumer) consume(b *vec.Batch) error {
 		}
 	}
 	n := b.Len()
+	var headCol *vec.Col
+	if sc.headKernel != nil && n > 0 {
+		var err error
+		headCol, err = sc.headKernel(b)
+		if err != nil {
+			return err
+		}
+	}
 	for k := 0; k < n; k++ {
 		i := b.Index(k)
 		var v values.Value
-		if sc.headIdx >= 0 {
+		switch {
+		case sc.headIdx >= 0:
 			v = b.Cols[sc.headIdx].Value(i)
-		} else {
+		case headCol != nil:
+			v = headCol.Value(i)
+		default:
 			fillRow(b, i, sc.row)
 			var err error
 			v, err = sc.head(sc.row)
@@ -286,11 +298,17 @@ func (c *compiler) compileStreamConsumer(p *algebra.Reduce, input *compiledPlan)
 		}
 	}
 	headIdx := slotOf(p.Head, input.frame)
+	var mkHeadKernel func() vecExpr
 	var head compiledExpr
 	if headIdx < 0 {
-		head, err = c.compileExpr(p.Head, input.frame)
-		if err != nil {
-			return nil, err
+		if !c.opts.NoExprKernels {
+			mkHeadKernel = compileVecExpr(p.Head, input.frame)
+		}
+		if mkHeadKernel == nil {
+			head, err = c.compileExpr(p.Head, input.frame)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	width := input.frame.width()
@@ -298,7 +316,9 @@ func (c *compiler) compileStreamConsumer(p *algebra.Reduce, input *compiledPlan)
 	return func(emit StreamSink) *streamConsumer {
 		sc := &streamConsumer{headIdx: headIdx, head: head, size: size, emit: emit}
 		sc.chunk = make([]values.Value, 0, size)
-		if headIdx < 0 {
+		if mkHeadKernel != nil {
+			sc.headKernel = mkHeadKernel()
+		} else if headIdx < 0 {
 			sc.row = make([]values.Value, width)
 		}
 		if mkFilter != nil {

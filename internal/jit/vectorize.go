@@ -91,18 +91,19 @@ func isCmpOp(op mcl.BinOp) bool {
 }
 
 // compileVecFilter stages a predicate as a vectorized selection kernel
-// when its shape allows (slot-vs-const and slot-vs-slot comparisons,
+// when its shape allows (comparisons whose sides are slots, constants
+// or — when kernels is true — arithmetic kernels over them, plus
 // conjunctions thereof); nil means the caller must use the row-wise
 // fallback. Comparison semantics match mcl.ApplyBinOp exactly: null
 // operands compare false, int/float compare numerically.
-func compileVecFilter(e mcl.Expr, f *frame) func() batchFilter {
+func compileVecFilter(e mcl.Expr, f *frame, kernels bool) func() batchFilter {
 	n, ok := e.(*mcl.BinExpr)
 	if !ok {
 		return nil
 	}
 	if n.Op == mcl.OpAnd {
-		l := compileVecFilter(n.L, f)
-		r := compileVecFilter(n.R, f)
+		l := compileVecFilter(n.L, f, kernels)
+		r := compileVecFilter(n.R, f, kernels)
 		if l == nil || r == nil {
 			return nil
 		}
@@ -136,7 +137,43 @@ func compileVecFilter(e mcl.Expr, f *frame) func() batchFilter {
 			return colConstFilter(ri, flipOp(n.Op), cv)
 		}
 	}
+	if !kernels {
+		return nil
+	}
+	// Computed sides: arithmetic kernels feed the same comparison loops.
+	lk := compileVecExpr(n.L, f)
+	rk := compileVecExpr(n.R, f)
+	if lk != nil && rk != nil {
+		return kernelPairFilter(lk, rk, n.Op)
+	}
+	if lk != nil {
+		if cv, ok := constOf(n.R); ok {
+			return kernelConstFilter(lk, n.Op, cv)
+		}
+	}
+	if rk != nil {
+		if cv, ok := constOf(n.L); ok {
+			return kernelConstFilter(rk, flipOp(n.Op), cv)
+		}
+	}
 	return nil
+}
+
+// selConstCmp refines sel with col ⟨op⟩ const, dispatching on the
+// column's runtime representation.
+func selConstCmp(col *vec.Col, b *vec.Batch, cv values.Value, lt, eq, gt bool, sel []int) []int {
+	switch {
+	case col.Tag == vec.Int64 && cv.Kind() == values.KindInt:
+		return filterIntConst(col, b, cv.Int(), lt, eq, gt, sel)
+	case col.Tag == vec.Int64 && cv.Kind() == values.KindFloat:
+		return filterIntFloatConst(col, b, cv.Float(), lt, eq, gt, sel)
+	case col.Tag == vec.Float64 && cv.IsNumeric():
+		return filterFloatConst(col, b, cv.Float(), lt, eq, gt, sel)
+	case col.Tag == vec.Str && cv.Kind() == values.KindString:
+		return filterStrConst(col, b, cv.Str(), lt, eq, gt, sel)
+	default:
+		return filterBoxedConst(col, b, cv, lt, eq, gt, sel)
+	}
 }
 
 // colConstFilter builds the slot-vs-constant kernel factory.
@@ -147,27 +184,127 @@ func colConstFilter(idx int, op mcl.BinOp, cv values.Value) func() batchFilter {
 		sel := make([]int, 0, 64)
 		return func(b *vec.Batch) error {
 			sel = sel[:0]
-			col := &b.Cols[idx]
 			if cv.IsNull() {
 				b.Sel = sel // comparisons with null are uniformly false
 				return nil
 			}
-			switch {
-			case col.Tag == vec.Int64 && cv.Kind() == values.KindInt:
-				sel = filterIntConst(col, b, cv.Int(), lt, eq, gt, sel)
-			case col.Tag == vec.Int64 && cv.Kind() == values.KindFloat:
-				sel = filterIntFloatConst(col, b, cv.Float(), lt, eq, gt, sel)
-			case col.Tag == vec.Float64 && cv.IsNumeric():
-				sel = filterFloatConst(col, b, cv.Float(), lt, eq, gt, sel)
-			case col.Tag == vec.Str && cv.Kind() == values.KindString:
-				sel = filterStrConst(col, b, cv.Str(), lt, eq, gt, sel)
-			default:
-				sel = filterBoxedConst(col, b, cv, lt, eq, gt, sel)
-			}
+			sel = selConstCmp(&b.Cols[idx], b, cv, lt, eq, gt, sel)
 			b.Sel = sel
 			return nil
 		}
 	}
+}
+
+// kernelConstFilter builds the computed-column-vs-constant filter
+// factory: the kernel evaluates over the current live rows, then the
+// comparison loops refine the selection.
+func kernelConstFilter(mk func() vecExpr, op mcl.BinOp, cv values.Value) func() batchFilter {
+	lt, eq, gt := cmpMask(op)
+	return func() batchFilter {
+		k := mk()
+		sel := make([]int, 0, 64)
+		return func(b *vec.Batch) error {
+			// The kernel runs even against a null constant (uniformly
+			// false comparison): unlike a slot read it can error — e.g.
+			// a division by zero — and the row engine surfaces that.
+			col, err := k(b)
+			if err != nil {
+				return err
+			}
+			sel = sel[:0]
+			if cv.IsNull() {
+				b.Sel = sel
+				return nil
+			}
+			sel = selConstCmp(col, b, cv, lt, eq, gt, sel)
+			b.Sel = sel
+			return nil
+		}
+	}
+}
+
+// kernelPairFilter builds the computed-vs-computed filter factory with
+// typed comparison loops (slot references compile to identity kernels,
+// so slot-vs-kernel shapes land here too).
+func kernelPairFilter(mkL, mkR func() vecExpr, op mcl.BinOp) func() batchFilter {
+	lt, eq, gt := cmpMask(op)
+	return func() batchFilter {
+		lk, rk := mkL(), mkR()
+		sel := make([]int, 0, 64)
+		return func(b *vec.Batch) error {
+			lc, err := lk(b)
+			if err != nil {
+				return err
+			}
+			rc, err := rk(b)
+			if err != nil {
+				return err
+			}
+			sel = sel[:0]
+			sel = selPairCmp(lc, rc, b, lt, eq, gt, sel)
+			b.Sel = sel
+			return nil
+		}
+	}
+}
+
+// selPairCmp refines sel with lc ⟨op⟩ rc per live row, with typed fast
+// paths for the numeric and string pairings.
+func selPairCmp(lc, rc *vec.Col, b *vec.Batch, lt, eq, gt bool, sel []int) []int {
+	n := b.Len()
+	nullAt := func(c *vec.Col, i int) bool { return c.Nulls != nil && c.Nulls[i] }
+	switch {
+	case lc.Tag == vec.Int64 && rc.Tag == vec.Int64:
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			if nullAt(lc, i) || nullAt(rc, i) {
+				continue
+			}
+			a, c := lc.Ints[i], rc.Ints[i]
+			if (a < c && lt) || (a == c && eq) || (a > c && gt) {
+				sel = append(sel, i)
+			}
+		}
+	case numericTag(lc.Tag) && numericTag(rc.Tag):
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			if nullAt(lc, i) || nullAt(rc, i) {
+				continue
+			}
+			cmp := values.CompareFloats(numAt(lc, i), numAt(rc, i))
+			if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+				sel = append(sel, i)
+			}
+		}
+	case lc.Tag == vec.Str && rc.Tag == vec.Str:
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			if nullAt(lc, i) || nullAt(rc, i) {
+				continue
+			}
+			cmp := strings.Compare(lc.Strs[i], rc.Strs[i])
+			if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+				sel = append(sel, i)
+			}
+		}
+	default:
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			lv := lc.Value(i)
+			if lv.IsNull() {
+				continue
+			}
+			rv := rc.Value(i)
+			if rv.IsNull() {
+				continue
+			}
+			cmp := values.Compare(lv, rv)
+			if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+				sel = append(sel, i)
+			}
+		}
+	}
+	return sel
 }
 
 func filterIntConst(col *vec.Col, b *vec.Batch, c int64, lt, eq, gt bool, out []int) []int {
@@ -287,8 +424,8 @@ func filterBoxedConst(col *vec.Col, b *vec.Batch, cv values.Value, lt, eq, gt bo
 	return out
 }
 
-// colColFilter builds the slot-vs-slot kernel factory (generic boxed
-// compare: still one tight loop per batch, no closure chain per row).
+// colColFilter builds the slot-vs-slot filter factory: one typed (or
+// boxed-fallback) comparison loop per batch, no closure chain per row.
 func colColFilter(li, ri int, op mcl.BinOp) func() batchFilter {
 	lt, eq, gt := cmpMask(op)
 	return func() batchFilter {
@@ -296,23 +433,7 @@ func colColFilter(li, ri int, op mcl.BinOp) func() batchFilter {
 		sel := make([]int, 0, 64)
 		return func(b *vec.Batch) error {
 			sel = sel[:0]
-			lcol, rcol := &b.Cols[li], &b.Cols[ri]
-			n := b.Len()
-			for k := 0; k < n; k++ {
-				i := b.Index(k)
-				lv := lcol.Value(i)
-				if lv.IsNull() {
-					continue
-				}
-				rv := rcol.Value(i)
-				if rv.IsNull() {
-					continue
-				}
-				cmp := values.Compare(lv, rv)
-				if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
-					sel = append(sel, i)
-				}
-			}
+			sel = selPairCmp(&b.Cols[li], &b.Cols[ri], b, lt, eq, gt, sel)
 			b.Sel = sel
 			return nil
 		}
@@ -341,12 +462,13 @@ const (
 // consumer serves one serial run or one morsel worker; reset swaps the
 // collector between morsels so partial aggregates merge in morsel order.
 type reduceConsumer struct {
-	acc     *monoid.Collector
-	filter  batchFilter // may be nil
-	headIdx int         // >= 0: head is this slot (no per-row evaluation)
-	head    compiledExpr
-	row     []values.Value
-	kind    aggKind
+	acc        *monoid.Collector
+	filter     batchFilter // may be nil
+	headIdx    int         // >= 0: head is this slot (no per-row evaluation)
+	headKernel vecExpr     // non-nil: head is a vectorized expression kernel
+	head       compiledExpr
+	row        []values.Value
+	kind       aggKind
 
 	// Unboxed partial aggregates, folded into acc by finish. Typed
 	// kernels only run on columns without a validity mask; batches with
@@ -382,7 +504,7 @@ func (rc *reduceConsumer) consume(b *vec.Batch) error {
 	if n == 0 {
 		return nil
 	}
-	if rc.headIdx < 0 {
+	if rc.headIdx < 0 && rc.headKernel == nil {
 		for k := 0; k < n; k++ {
 			fillRow(b, b.Index(k), rc.row)
 			v, err := rc.head(rc.row)
@@ -395,11 +517,26 @@ func (rc *reduceConsumer) consume(b *vec.Batch) error {
 	}
 	if rc.kind == aggCount {
 		// Unit is 1 regardless of the head value; a slot head cannot
-		// error, so counting is pure arithmetic.
+		// error and a kernel head is evaluated only to surface its
+		// errors, so counting stays pure arithmetic.
+		if rc.headKernel != nil {
+			if _, err := rc.headKernel(b); err != nil {
+				return err
+			}
+		}
 		rc.count += int64(n)
 		return nil
 	}
-	col := &b.Cols[rc.headIdx]
+	var col *vec.Col
+	if rc.headIdx >= 0 {
+		col = &b.Cols[rc.headIdx]
+	} else {
+		var err error
+		col, err = rc.headKernel(b)
+		if err != nil {
+			return err
+		}
+	}
 	if col.Nulls == nil {
 		switch rc.kind {
 		case aggSum:
@@ -613,7 +750,8 @@ func (rc *reduceConsumer) finish() {
 
 // compileReduceConsumer stages the root reduce: predicate filter, head
 // evaluation and monoid accumulation, with unboxed kernels when the head
-// is a slot reference and the monoid is one of count/sum/avg/min/max.
+// is a slot reference or a vectorized expression kernel and the monoid
+// is one of count/sum/avg/min/max.
 func (c *compiler) compileReduceConsumer(p *algebra.Reduce, input *compiledPlan) (func() *reduceConsumer, error) {
 	var mkFilter func() batchFilter
 	var err error
@@ -624,15 +762,21 @@ func (c *compiler) compileReduceConsumer(p *algebra.Reduce, input *compiledPlan)
 		}
 	}
 	headIdx := slotOf(p.Head, input.frame)
+	var mkHeadKernel func() vecExpr
 	var head compiledExpr
 	if headIdx < 0 {
-		head, err = c.compileExpr(p.Head, input.frame)
-		if err != nil {
-			return nil, err
+		if !c.opts.NoExprKernels {
+			mkHeadKernel = compileVecExpr(p.Head, input.frame)
+		}
+		if mkHeadKernel == nil {
+			head, err = c.compileExpr(p.Head, input.frame)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	kind := aggGeneric
-	if headIdx >= 0 {
+	if headIdx >= 0 || mkHeadKernel != nil {
 		switch p.M.Name() {
 		case "count":
 			kind = aggCount
@@ -649,7 +793,9 @@ func (c *compiler) compileReduceConsumer(p *algebra.Reduce, input *compiledPlan)
 	width := input.frame.width()
 	return func() *reduceConsumer {
 		rc := &reduceConsumer{headIdx: headIdx, head: head, kind: kind}
-		if headIdx < 0 {
+		if mkHeadKernel != nil {
+			rc.headKernel = mkHeadKernel()
+		} else if headIdx < 0 {
 			rc.row = make([]values.Value, width)
 		}
 		if mkFilter != nil {

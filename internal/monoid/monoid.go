@@ -1,13 +1,3 @@
-// Package monoid implements the primitive and collection monoids of the
-// Fegaras–Maier monoid comprehension calculus that ViDa adopts as its
-// internal query language (paper §3.2). A monoid supplies an associative
-// merge ⊕ with identity Z⊕ and, for collections, a unit function U⊕; the
-// comprehension for{...} yield ⊕ e folds the evaluated heads with ⊕.
-//
-// Some "monoids" the paper exposes to users (avg, median, top-k) are not
-// literal monoids over their output type; they follow the standard trick of
-// accumulating in an auxiliary monoid (sum/count pair, sorted list, bounded
-// list) and applying a Finalize step when the comprehension completes.
 package monoid
 
 import (

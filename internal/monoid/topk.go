@@ -203,18 +203,6 @@ func (t *TopKAcc) MergeFrom(o *TopKAcc) {
 	}
 }
 
-// Absorb folds a slice of partial entries (the serialized accumulation
-// domain) into the accumulator.
-func (t *TopKAcc) Absorb(entries []KeyedEntry) {
-	for i := range entries {
-		t.add(entries[i])
-	}
-}
-
-// Entries exposes the retained entries in unspecified order (partial
-// state hand-off between workers).
-func (t *TopKAcc) Entries() []KeyedEntry { return t.entries }
-
 // Finalize sorts the retained entries ascending under the ordering,
 // optionally deduplicates equal elements (set semantics: the first entry
 // in key order survives), then applies offset and limit (limit < 0 =

@@ -387,19 +387,34 @@ func (v Value) Hash() uint64 {
 		}
 		return mix64(0x94d049bb133111eb)
 	case KindInt:
-		return mix64(math.Float64bits(float64(v.i)))
+		return HashInt(v.i)
 	case KindFloat:
-		return mix64(math.Float64bits(v.f))
+		return HashFloat(v.f)
 	case KindString:
-		const offset64, prime64 = 14695981039346656037, 1099511628211
-		h := uint64(offset64)
-		for i := 0; i < len(v.s); i++ {
-			h = (h ^ uint64(v.s[i])) * prime64
-		}
-		return h
+		return HashString(v.s)
 	}
 	h := uint64(14695981039346656037)
 	v.hashInto(&h)
+	return h
+}
+
+// HashInt hashes an int64 exactly as NewInt(i).Hash() would — ints hash
+// through their float64 image so 1 and 1.0 collide, matching Compare.
+// Vectorized join-key kernels use these scalar helpers to hash typed
+// column payloads without boxing.
+func HashInt(i int64) uint64 { return mix64(math.Float64bits(float64(i))) }
+
+// HashFloat hashes a float64 exactly as NewFloat(f).Hash() would.
+func HashFloat(f float64) uint64 { return mix64(math.Float64bits(f)) }
+
+// HashString hashes a string exactly as NewString(s).Hash() would
+// (FNV-1a over the bytes).
+func HashString(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime64
+	}
 	return h
 }
 

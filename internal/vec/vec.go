@@ -1,16 +1,3 @@
-// Package vec defines the column-vector batch format shared by the JIT
-// execution pipeline and the access paths that feed it (internal/jit,
-// internal/rawcsv, internal/cache). A Batch carries a fixed-capacity run
-// of rows decomposed into per-slot column vectors; typed columns hold
-// int64/float64/string payloads directly, so scan→select→project chains
-// move primitive slices instead of boxed values.Value structs, boxing
-// only at monoid-reduce boundaries.
-//
-// Batches are transient: producers reuse the batch (and its column
-// storage) between emissions, so a consumer that retains data must copy
-// it. Consumers may refine the selection vector Sel but must never
-// mutate column storage — that is what lets cache entries serve their
-// column slices zero-copy.
 package vec
 
 import "vida/internal/values"
@@ -90,6 +77,48 @@ func (c *Col) Value(i int) values.Value {
 	default:
 		return c.Boxed[i]
 	}
+}
+
+// Slice returns the [lo, hi) window of the column, sharing its storage.
+// The window is only as immutable as the parent: cache entries hand out
+// windows of published (immutable) columns, which is what makes warm
+// scans zero-copy.
+func (c *Col) Slice(lo, hi int) Col {
+	out := Col{Tag: c.Tag}
+	switch c.Tag {
+	case Int64:
+		out.Ints = c.Ints[lo:hi]
+	case Float64:
+		out.Floats = c.Floats[lo:hi]
+	case Str:
+		out.Strs = c.Strs[lo:hi]
+	default:
+		out.Boxed = c.Boxed[lo:hi]
+	}
+	if c.Nulls != nil {
+		out.Nulls = c.Nulls[lo:hi]
+	}
+	return out
+}
+
+// SizeBytes approximates the resident payload size of the column. Boxed
+// values count their struct header plus string payload; nested values
+// are estimated by the cache's deep walk, not here.
+func (c *Col) SizeBytes() int64 {
+	var total int64
+	switch c.Tag {
+	case Int64:
+		total = int64(len(c.Ints)) * 8
+	case Float64:
+		total = int64(len(c.Floats)) * 8
+	case Str:
+		for _, s := range c.Strs {
+			total += int64(len(s)) + 16
+		}
+	default:
+		total = int64(len(c.Boxed)) * 16
+	}
+	return total + int64(len(c.Nulls))
 }
 
 // Reset truncates the column in place (keeping capacity) and sets its tag.

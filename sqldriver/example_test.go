@@ -1,0 +1,62 @@
+package sqldriver_test
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	_ "vida/sqldriver"
+)
+
+// Example_dsn opens a virtual database over a raw CSV file through
+// Go's standard database/sql: the DSN lists the files (one entry per
+// source, `#` separating path from schema), and every pooled
+// connection shares one engine — so the positional map and the typed
+// columnar cache built by the first query serve all later ones.
+func Example_dsn() {
+	dir, err := os.MkdirTemp("", "vida-driver-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "people.csv")
+	data := "id,name,age\n1,ada,36\n2,bob,41\n3,eve,29\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	dsn := "csv:People=" + path + "#Record(Att(id, int), Att(name, string), Att(age, int))"
+	db, err := sql.Open("vida", dsn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rows, err := db.Query(`SELECT name FROM People WHERE age > $1 ORDER BY age DESC`, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var name string
+		if err := rows.Scan(&name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(name)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM People`).Scan(&n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output:
+	// bob
+	// ada
+	// 3
+}
