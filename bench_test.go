@@ -7,13 +7,16 @@ package vida_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
+	"time"
 
 	"vida"
 	"vida/internal/cache"
@@ -564,4 +567,78 @@ func BenchmarkOrderByTopKWarmCSV(b *testing.B) {
 			b.Fatalf("rows = %d", res.Len())
 		}
 	}
+}
+
+// BenchmarkMixedWorkload measures warm-query tail latency while a cold
+// scan grinds in the background — the resource-governance contract: one
+// expensive raw scan must not starve the cheap warm traffic sharing the
+// admission gate and scheduler. The cold source is registered under many
+// names over the same large file so each background scan is genuinely
+// cold (fresh positional map, fresh cache state). Reports the warm p99
+// next to the standard per-op numbers.
+func BenchmarkMixedWorkload(b *testing.B) {
+	dir := b.TempDir()
+	sc := benchScale()
+	warmPath := filepath.Join(dir, "p.csv")
+	must(b, workload.GeneratePatients(warmPath, sc, 42))
+	coldSc := sc
+	coldSc.GeneticsRows = 20_000
+	coldPath := filepath.Join(dir, "g.csv")
+	must(b, workload.GenerateGenetics(coldPath, coldSc, 43))
+
+	pool := sched.NewPool(0)
+	defer pool.Close()
+	eng := vida.New(vida.WithScheduler(pool))
+	must(b, eng.RegisterCSV("Patients", warmPath, workload.PatientsSchema(sc), nil))
+	const coldNames = 64
+	for i := 0; i < coldNames; i++ {
+		must(b, eng.RegisterCSV(fmt.Sprintf("Cold%d", i), coldPath, workload.GeneticsSchema(coldSc), nil))
+	}
+	svc := serve.NewService(eng, pool, serve.Config{
+		MaxInFlight:        4,
+		MaxQueue:           32,
+		ResultCacheEntries: -1, // every warm request must execute
+	})
+	defer svc.Close()
+
+	warm := "for { p <- Patients, p.age > 40 } yield avg p.bmi"
+	if _, err := svc.Query(context.Background(), warm, nil, 0); err != nil {
+		b.Fatal(err)
+	}
+
+	// One background client issuing cold scans back to back.
+	stop := make(chan struct{})
+	coldDone := make(chan struct{})
+	go func() {
+		defer close(coldDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := fmt.Sprintf("for { g <- Cold%d } yield count g", i%coldNames)
+			if _, err := svc.Query(context.Background(), q, nil, 0); err != nil {
+				b.Errorf("cold scan: %v", err)
+				return
+			}
+		}
+	}()
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := svc.Query(context.Background(), warm, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	close(stop)
+	<-coldDone
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(p99.Microseconds())/1000, "warm-p99-ms")
 }

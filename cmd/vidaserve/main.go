@@ -61,10 +61,13 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "morsel scheduler workers (0 = GOMAXPROCS)")
 		maxInFlight = flag.Int("max-inflight", 0, "admission limit on concurrent queries (0 = 4x GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "admission queue depth (0 = 4x max-inflight, negative = fail fast)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout (negative disables)")
 		resultCache = flag.Int("result-cache", 256, "query-result LRU entries (negative disables)")
 		resultBytes = flag.Int64("result-cache-bytes", 64<<20, "query-result LRU memory budget in bytes (negative disables)")
 		cacheBudget = flag.Int64("cache-budget", 0, "data cache budget in bytes (0 = unlimited)")
+		memBudget   = flag.Int64("mem-budget", 0, "global query-memory budget in bytes (0 = unbudgeted)")
+		queryMem    = flag.Int64("query-mem-budget", 0, "per-query memory budget in bytes (0 = unbudgeted)")
 		demo        = flag.Bool("demo", false, "generate and serve the paper's demo datasets (Patients, Genetics, BrainRegions)")
 		demoRows    = flag.Int("demo-rows", 5000, "demo dataset row count")
 		csvSrcs     sourceFlag
@@ -79,6 +82,8 @@ func main() {
 	eng := vida.New(
 		vida.WithScheduler(pool),
 		vida.WithCacheBudget(*cacheBudget),
+		vida.WithMemoryBudget(*memBudget),
+		vida.WithQueryMemoryBudget(*queryMem),
 	)
 
 	if *demo {
@@ -136,6 +141,7 @@ func main() {
 
 	svc := serve.NewService(eng, pool, serve.Config{
 		MaxInFlight:        *maxInFlight,
+		MaxQueue:           *maxQueue,
 		DefaultTimeout:     *timeout,
 		ResultCacheEntries: *resultCache,
 		ResultCacheBytes:   *resultBytes,

@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -19,6 +21,7 @@ import (
 	"vida/internal/algebra"
 	"vida/internal/cache"
 	"vida/internal/clean"
+	"vida/internal/faultinject"
 	"vida/internal/jit"
 	"vida/internal/mcl"
 	"vida/internal/optimizer"
@@ -77,6 +80,15 @@ type Options struct {
 	// kernels (row-wise fallback) — an A/B switch for benchmarks and
 	// fallback-equivalence tests, not for production use.
 	NoExprKernels bool
+	// MemoryBudgetBytes bounds the engine's tracked execution memory
+	// (collection results, join build sides, dedup tables, in-flight
+	// cache harvests) across all queries (<=0: unlimited). Under
+	// pressure the engine sheds cache harvesting first; at the ceiling
+	// queries abort with ErrMemoryBudget instead of OOM-ing the process.
+	MemoryBudgetBytes int64
+	// QueryMemoryBudgetBytes bounds each single query's tracked bytes
+	// (<=0: unlimited).
+	QueryMemoryBudgetBytes int64
 }
 
 // Stats is a snapshot of engine activity.
@@ -88,6 +100,8 @@ type Stats struct {
 	CacheScans        int64
 	Cache             cache.Stats
 	AuxiliaryBytes    int64 // positional maps + semi-indexes
+	Memory            MemoryStats
+	PanicsRecovered   int64 // execution panics contained as query errors
 }
 
 // refresher is implemented by readers that can detect file changes.
@@ -140,6 +154,11 @@ type Engine struct {
 	rawScans     atomic.Int64
 	cacheScans   atomic.Int64
 
+	mem          memGovernor
+	memKills     atomic.Int64
+	harvestSkips atomic.Int64
+	panics       atomic.Int64
+
 	planShards     [planShardCount]planShard
 	planCacheLimit int // per shard
 
@@ -163,6 +182,7 @@ func NewEngine(opts Options) *Engine {
 		caches:         cache.New(opts.CacheBudgetBytes),
 		planCacheLimit: 512 / planShardCount,
 	}
+	e.mem.limit = opts.MemoryBudgetBytes
 	for i := range e.planShards {
 		e.planShards[i].m = map[string]*planEntry{}
 	}
@@ -432,6 +452,14 @@ func (e *Engine) StatsSnapshot() Stats {
 		CacheScans:        e.cacheScans.Load(),
 		Cache:             e.caches.Stats(),
 		AuxiliaryBytes:    aux,
+		Memory: MemoryStats{
+			TrackedBytes:  e.mem.used.Load(),
+			BudgetBytes:   e.mem.limit,
+			QueryKills:    e.memKills.Load(),
+			HarvestSkips:  e.harvestSkips.Load(),
+			UnderPressure: e.mem.underPressure(),
+		},
+		PanicsRecovered: e.panics.Load(),
 	}
 }
 
@@ -579,8 +607,15 @@ func (s *cachingSource) Iterate(fields []string, yield func(values.Value) error)
 		src := &cache.RowsSource{Entry: entry, Dataset: name}
 		return src.Iterate(fields, yield)
 	}
-	// Raw access; harvest the stream into the cache.
+	// Raw access; harvest the stream into the cache — unless the engine
+	// is under memory pressure, in which case the scan still answers but
+	// the cache does not grow (harvest shedding, the graceful step before
+	// any query hits the budget ceiling).
 	s.e.rawScans.Add(1)
+	if s.e.mem.underPressure() {
+		s.e.harvestSkips.Add(1)
+		return s.entry.src.Iterate(fields, yield)
+	}
 	guard := s.newHarvestGuard()
 	if len(fields) > 0 {
 		cols := make(map[string][]values.Value, len(fields))
@@ -623,9 +658,13 @@ func (s *cachingSource) IterateSlots(fields []string, yield func([]values.Value)
 			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
 			return src.IterateSlots(fields, yield)
 		}
-		// Raw slot scan with harvesting.
+		// Raw slot scan with harvesting (shed under memory pressure).
 		if ss, ok := s.entry.src.(jit.SlotSource); ok {
 			s.e.rawScans.Add(1)
+			if s.e.mem.underPressure() {
+				s.e.harvestSkips.Add(1)
+				return ss.IterateSlots(fields, yield)
+			}
 			guard := s.newHarvestGuard()
 			cols := make(map[string][]values.Value, len(fields))
 			n := 0
@@ -674,22 +713,53 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 			// their typed representation, so the cache entry serves the
 			// next scan unboxed. Mixed-type columns demote to boxed
 			// inside the builder.
-			builders := make([]*vec.ColBuilder, len(fields))
-			for i := range builders {
-				builders[i] = vec.NewColBuilder(hint)
+			//
+			// Harvesting is the engine's first victim under memory
+			// pressure: each harvested batch reserves its estimated bytes
+			// against the global budget, and past the high-water mark (or
+			// at the ceiling) the harvest is shed — the query still
+			// answers from raw, the cache just does not grow — before any
+			// query is killed.
+			harvest := !s.e.mem.underPressure()
+			if !harvest {
+				s.e.harvestSkips.Add(1)
 			}
+			var builders []*vec.ColBuilder
+			if harvest {
+				builders = make([]*vec.ColBuilder, len(fields))
+				for i := range builders {
+					builders[i] = vec.NewColBuilder(hint)
+				}
+			}
+			var reserved int64
+			defer func() { s.e.mem.release(reserved) }()
 			n := 0
 			err := bs.IterateBatches(fields, batchSize, func(b *vec.Batch) error {
-				// Harvest before the JIT refines the selection: the cache
-				// stores every scanned row, filters apply per query.
-				for c := range fields {
-					builders[c].Append(&b.Cols[c], b)
+				if ferr := faultinject.Hit(faultinject.RefreshDuringScan); ferr != nil {
+					return ferr
+				}
+				if harvest {
+					// Harvest before the JIT refines the selection: the cache
+					// stores every scanned row, filters apply per query.
+					delta := b.MemoryBytes() + faultinject.Value(faultinject.AllocSpike)
+					if rerr := s.e.mem.reserve(delta); rerr != nil {
+						harvest, builders = false, nil
+						s.e.harvestSkips.Add(1)
+					} else {
+						reserved += delta
+						for c := range fields {
+							builders[c].Append(&b.Cols[c], b)
+						}
+					}
 				}
 				n += b.Len()
 				return yield(b)
 			})
 			if err != nil {
 				return err
+			}
+			if !harvest {
+				return nil
 			}
 			return guard.put(func() error {
 				cols := make(map[string]vec.Col, len(fields))
@@ -1053,17 +1123,14 @@ func (p *Prepared) runPlanCtx(ctx context.Context, plan *algebra.Reduce) (values
 	if ctx.Done() != nil {
 		cat = ctxCatalog{inner: catalog{e: e}, ctx: ctx}
 	}
-	var v values.Value
-	var err error
-	switch mode {
-	case ModeStatic:
-		v, err = jit.StaticExecutor{}.Run(plan, cat)
-	case ModeReference:
-		v, err = algebra.Reference{}.Run(plan, cat)
-	default:
-		v, err = jit.Executor{Opts: jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels}}.RunCtx(ctx, plan, cat)
-	}
+	qm := e.newQueryMem()
+	defer qm.release()
+	v, err := e.execPlan(ctx, mode, plan, cat, qm)
 	if err != nil {
+		if errors.Is(err, ErrMemoryBudget) {
+			e.memKills.Add(1)
+			return values.Null, err
+		}
 		// Surface cancellation as the ctx error, not a wrapped scan error.
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return values.Null, ctxErr
@@ -1076,6 +1143,35 @@ func (p *Prepared) runPlanCtx(ctx context.Context, plan *algebra.Reduce) (values
 		e.rawQueries.Add(1)
 	}
 	return v, nil
+}
+
+// execPlan runs the chosen executor inside a recover barrier: a panic
+// anywhere in serial plan execution becomes this query's error (a
+// *sched.PanicError) instead of crashing the process. Parallel morsels
+// have their own barrier in the scheduler; this one covers the serial
+// paths and everything around them.
+func (e *Engine) execPlan(ctx context.Context, mode ExecMode, plan *algebra.Reduce, cat jit.SchemaCatalog, qm *queryMem) (v values.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*sched.PanicError); !ok {
+				// First recovery of this panic: count and log it once.
+				e.panics.Add(1)
+				perr := &sched.PanicError{Value: r, Stack: debug.Stack()}
+				log.Printf("core: recovered panic in query execution: %v\n%s", r, perr.Stack)
+				r = perr
+			}
+			v, err = values.Null, r.(*sched.PanicError)
+		}
+	}()
+	switch mode {
+	case ModeStatic:
+		return jit.StaticExecutor{}.Run(plan, cat)
+	case ModeReference:
+		return algebra.Reference{}.Run(plan, cat)
+	default:
+		opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels, MemReserve: qm.reserveFunc()}
+		return jit.Executor{Opts: opts}.RunCtx(ctx, plan, cat)
+	}
 }
 
 // Plan returns the optimized plan (EXPLAIN).

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// This file implements memory governance: per-query and engine-global
+// byte budgets over the places where query execution accumulates
+// unbounded state (boxed collection results, retained join build sides,
+// streamed-set dedup tables, cache harvests). A query that overruns its
+// budget aborts with a typed ErrMemoryBudget error instead of OOM-ing
+// the process, and the engine degrades gracefully under global pressure:
+// cold-scan cache harvesting is shed first — the query still answers,
+// the cache just does not grow — before any query is killed.
+//
+// Accounting is estimator-based (vec.Batch.MemoryBytes,
+// cache.EstimateColBytes and a shallow per-value estimate), charged at
+// batch granularity. It bounds the dominant allocators, it does not
+// meter every byte.
+
+// ErrMemoryBudget is the sentinel matched by errors.Is for queries
+// aborted by memory governance. The concrete error is a
+// *MemoryBudgetError carrying the scope and numbers.
+var ErrMemoryBudget = errors.New("core: memory budget exceeded")
+
+// MemoryBudgetError reports a query aborted by a memory budget: Scope
+// is "query" (this query overran its own limit) or "global" (the engine
+// is at its tracked-memory ceiling). The serve layer maps it to 507.
+type MemoryBudgetError struct {
+	Scope string
+	Used  int64
+	Limit int64
+}
+
+// Error implements error.
+func (e *MemoryBudgetError) Error() string {
+	return fmt.Sprintf("core: %s memory budget exceeded (%d of %d tracked bytes)", e.Scope, e.Used, e.Limit)
+}
+
+// Is matches ErrMemoryBudget.
+func (e *MemoryBudgetError) Is(target error) bool { return target == ErrMemoryBudget }
+
+// memGovernor is the engine-global budget: the sum of all live query
+// reservations plus in-flight harvest reservations.
+type memGovernor struct {
+	limit int64 // <=0: unlimited
+	used  atomic.Int64
+}
+
+// reserve charges delta global bytes, rolling back and failing when the
+// ceiling would be crossed.
+func (g *memGovernor) reserve(delta int64) error {
+	if g.limit <= 0 {
+		g.used.Add(delta)
+		return nil
+	}
+	if u := g.used.Add(delta); u > g.limit {
+		g.used.Add(-delta)
+		return &MemoryBudgetError{Scope: "global", Used: u, Limit: g.limit}
+	}
+	return nil
+}
+
+func (g *memGovernor) release(n int64) { g.used.Add(-n) }
+
+// harvestPressureNum/Den: above this fraction of the global budget the
+// engine is "under pressure" and sheds cache harvesting — the graceful
+// step before any query hits the ceiling.
+const (
+	harvestPressureNum = 3
+	harvestPressureDen = 4
+)
+
+// underPressure reports whether tracked memory is past the
+// harvest-shedding high-water mark.
+func (g *memGovernor) underPressure() bool {
+	return g.limit > 0 && g.used.Load()*harvestPressureDen >= g.limit*harvestPressureNum
+}
+
+// queryMem is one query's reservation ledger. Reserve is handed to the
+// JIT as jit.Options.MemReserve and called from the accumulation sites;
+// release returns everything to the governor when the query ends
+// (success, error or panic). A nil *queryMem reserves nothing.
+type queryMem struct {
+	gov   *memGovernor
+	limit int64 // per-query limit, <=0: unlimited
+	used  atomic.Int64
+	done  atomic.Bool
+}
+
+// newQueryMem builds the per-query ledger, or nil when no budget of
+// either scope is configured (the JIT then skips charging entirely).
+func (e *Engine) newQueryMem() *queryMem {
+	if e.mem.limit <= 0 && e.opts.QueryMemoryBudgetBytes <= 0 {
+		return nil
+	}
+	return &queryMem{gov: &e.mem, limit: e.opts.QueryMemoryBudgetBytes}
+}
+
+// Reserve charges delta bytes against the query and global budgets.
+// Safe for concurrent calls (morsel workers charge in parallel) and on a
+// nil receiver.
+func (q *queryMem) Reserve(delta int64) error {
+	if q == nil || delta <= 0 {
+		return nil
+	}
+	u := q.used.Add(delta)
+	if q.limit > 0 && u > q.limit {
+		q.used.Add(-delta)
+		return &MemoryBudgetError{Scope: "query", Used: u, Limit: q.limit}
+	}
+	if err := q.gov.reserve(delta); err != nil {
+		q.used.Add(-delta)
+		return err
+	}
+	return nil
+}
+
+// reserveFunc returns the charge callback for jit.Options, nil when
+// unbudgeted so the hot paths skip the indirection.
+func (q *queryMem) reserveFunc() func(int64) error {
+	if q == nil {
+		return nil
+	}
+	return q.Reserve
+}
+
+// release returns the query's global reservation. Idempotent: the
+// producer goroutine and a racing Close may both unwind through it.
+func (q *queryMem) release() {
+	if q == nil || !q.done.CompareAndSwap(false, true) {
+		return
+	}
+	q.gov.release(q.used.Load())
+}
+
+// MemoryStats is the governance slice of the engine stats.
+type MemoryStats struct {
+	TrackedBytes  int64 // live reservations (queries + harvests)
+	BudgetBytes   int64 // global ceiling (0 = unlimited)
+	QueryKills    int64 // queries aborted with ErrMemoryBudget
+	HarvestSkips  int64 // cache harvests shed under pressure
+	UnderPressure bool
+}

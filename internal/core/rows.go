@@ -2,9 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
+	"log"
+	"runtime/debug"
+	"sync/atomic"
 
 	"vida/internal/algebra"
 	"vida/internal/jit"
+	"vida/internal/sched"
 	"vida/internal/values"
 )
 
@@ -33,7 +38,10 @@ type Rows struct {
 	static    []values.Value
 	staticEOF bool
 
-	closed bool
+	// closed is atomic so a double Close — including one racing the
+	// producer's terminal error — stays safe; NextChunk itself remains
+	// single-consumer.
+	closed atomic.Bool
 }
 
 // RowsCtx opens a streaming cursor over the prepared query. Collection
@@ -76,6 +84,7 @@ func (e *Engine) streamRows(ctx context.Context, plan *algebra.Reduce) (*Rows, e
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	r := &Rows{cancel: cancel, ch: make(chan []values.Value, streamChanCap)}
+	qm := e.newQueryMem()
 	emit := jit.StreamSink(func(chunk []values.Value) error {
 		select {
 		case r.ch <- chunk:
@@ -87,16 +96,19 @@ func (e *Engine) streamRows(ctx context.Context, plan *algebra.Reduce) (*Rows, e
 	if plan.M.Name() == "set" && plan.Order == nil {
 		// Ordered and bounded set plans dedup inside the JIT root (before
 		// the sort/quota applies); only plain set streams dedup here.
-		emit = jit.DedupSink(emit)
+		emit = jit.DedupSink(emit, qm.reserveFunc())
 	}
 	e.queries.Add(1)
 	rawBefore := e.rawScans.Load()
 	cat := ctxCatalog{inner: catalog{e: e}, ctx: sctx}
 	go func() {
 		defer e.endQuery()
-		err := jit.Executor{Opts: jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels}}.RunStream(sctx, plan, cat, emit)
+		defer qm.release()
+		err := e.runStream(sctx, plan, cat, emit, qm)
 		if err != nil {
-			if ctxErr := sctx.Err(); ctxErr != nil {
+			if errors.Is(err, ErrMemoryBudget) {
+				e.memKills.Add(1)
+			} else if ctxErr := sctx.Err(); ctxErr != nil {
 				err = ctxErr
 			}
 		} else if e.rawScans.Load() == rawBefore {
@@ -110,6 +122,26 @@ func (e *Engine) streamRows(ctx context.Context, plan *algebra.Reduce) (*Rows, e
 		close(r.ch)
 	}()
 	return r, nil
+}
+
+// runStream executes a streaming plan inside a recover barrier at the
+// producer-goroutine boundary: a panic anywhere in the serial stream
+// pipeline becomes the cursor's terminal error instead of crashing the
+// process (parallel morsels have their own barrier in the scheduler).
+func (e *Engine) runStream(ctx context.Context, plan *algebra.Reduce, cat jit.SchemaCatalog, emit jit.StreamSink, qm *queryMem) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr, ok := r.(*sched.PanicError)
+			if !ok {
+				e.panics.Add(1)
+				perr = &sched.PanicError{Value: r, Stack: debug.Stack()}
+				log.Printf("core: recovered panic in stream producer: %v\n%s", r, perr.Stack)
+			}
+			err = perr
+		}
+	}()
+	opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels, MemReserve: qm.reserveFunc()}
+	return jit.Executor{Opts: opts}.RunStream(ctx, plan, cat, emit)
 }
 
 // materializedRows wraps an already-computed result value as a cursor:
@@ -129,7 +161,7 @@ func materializedRows(v values.Value) *Rows {
 // and (nil, err) when the query failed or was cancelled. The returned
 // slice is owned by the caller.
 func (r *Rows) NextChunk() ([]values.Value, error) {
-	if r.closed {
+	if r.closed.Load() {
 		return nil, r.err
 	}
 	if r.static != nil || r.staticEOF {
@@ -148,12 +180,11 @@ func (r *Rows) NextChunk() ([]values.Value, error) {
 }
 
 // Close aborts the stream and waits for the producer to exit, releasing
-// the engine's query slot and the scheduler's workers. Idempotent.
+// the engine's query slot and the scheduler's workers. Idempotent and
+// safe for concurrent calls (every caller drains until the producer's
+// channel close, so each returns with the terminal error settled).
 func (r *Rows) Close() error {
-	if r.closed {
-		return nil
-	}
-	r.closed = true
+	r.closed.Store(true)
 	if r.cancel != nil {
 		r.cancel()
 	}

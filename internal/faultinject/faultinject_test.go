@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Reset()
+	if err := Hit(CSVRead); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	if v := Value(AllocSpike); v != 0 {
+		t.Fatalf("disarmed Value = %d", v)
+	}
+	if n := Hits(CSVRead); n != 0 {
+		t.Fatalf("disarmed Hits = %d", n)
+	}
+}
+
+func TestSetHitClear(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(CSVRead, Always(ErrInjected))
+	if err := Hit(CSVRead); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Hit = %v, want ErrInjected", err)
+	}
+	if n := Hits(CSVRead); n != 1 {
+		t.Fatalf("Hits = %d, want 1", n)
+	}
+	// Unarmed points still pass while the package is armed.
+	if err := Hit(JSONRead); err != nil {
+		t.Fatalf("unarmed point Hit = %v", err)
+	}
+	Clear(CSVRead)
+	if err := Hit(CSVRead); err != nil {
+		t.Fatalf("cleared Hit = %v", err)
+	}
+}
+
+func TestValuePoint(t *testing.T) {
+	Reset()
+	defer Reset()
+	SetValue(AllocSpike, 1<<20)
+	if v := Value(AllocSpike); v != 1<<20 {
+		t.Fatalf("Value = %d", v)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(CSVRead, After(2, Always(ErrInjected)))
+	for i := 0; i < 2; i++ {
+		if err := Hit(CSVRead); err != nil {
+			t.Fatalf("hit %d failed early: %v", i, err)
+		}
+	}
+	if err := Hit(CSVRead); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit = %v, want ErrInjected", err)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	count := func() int {
+		f := Prob(0.5, 7, Always(ErrInjected))
+		n := 0
+		for i := 0; i < 100; i++ {
+			if f() != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed produced different schedules: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("p=0.5 fired %d/100 times", a)
+	}
+}
+
+func TestChainAndSleep(t *testing.T) {
+	Reset()
+	defer Reset()
+	start := time.Now()
+	f := Chain(Sleep(5*time.Millisecond), Always(ErrInjected))
+	if err := f(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("chain = %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("chain skipped the sleep")
+	}
+}

@@ -105,6 +105,12 @@ type Options struct {
 	// It exists for A/B benchmarking against the pre-kernel engine and
 	// for fallback-equivalence tests; production code leaves it false.
 	NoExprKernels bool
+	// MemReserve, when non-nil, charges estimated bytes against the
+	// query's memory budget at the sites that accumulate unbounded state
+	// (retained join build sides, boxed collection results, dedup
+	// tables). A non-nil error aborts the query with the caller's
+	// budget error. Must be safe for concurrent calls.
+	MemReserve func(delta int64) error
 }
 
 // DefaultParallelThreshold is the default minimum row count for
@@ -870,6 +876,13 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 			}
 			bi := int32(len(retained))
 			stored, compacted := retainForBuild(b)
+			if reserve := c.opts.MemReserve; reserve != nil {
+				// The build side is the join's dominant allocator: charge
+				// every retained batch against the query budget.
+				if err := reserve(stored.MemoryBytes()); err != nil {
+					return err
+				}
+			}
 			retained = append(retained, stored)
 			eBatch = slices.Grow(eBatch, cnt)
 			eRow = slices.Grow(eRow, cnt)

@@ -452,7 +452,7 @@ func runBoundedStream(p *algebra.Reduce, input *compiledPlan, mkCons func(Stream
 	q := newRowQuota(limit, offset, cancel)
 	sink := q.wrap(emit)
 	if name == "set" {
-		sink = DedupSink(sink)
+		sink = DedupSink(sink, opts.MemReserve)
 	}
 	if opts.Workers > 1 && commutative && input.openRange != nil {
 		if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {

@@ -137,13 +137,17 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 // so a deduped stream is O(distinct result) resident — unlike list/bag
 // streams, which are O(channel buffer). The cursor layer applies it to
 // plain set streams; bounded set plans dedup inside the quota pipeline
-// so LIMIT counts distinct elements.
-func DedupSink(next StreamSink) StreamSink {
+// so LIMIT counts distinct elements. Because the dedup table is exactly
+// that O(distinct) resident state, reserve (when non-nil, the query's
+// memory-budget charge; see Options.MemReserve) is charged for every
+// element the table remembers.
+func DedupSink(next StreamSink, reserve func(delta int64) error) StreamSink {
 	var mu sync.Mutex
 	seen := map[uint64][]values.Value{}
 	return func(chunk []values.Value) error {
 		mu.Lock()
 		fresh := make([]values.Value, 0, len(chunk))
+		var freshBytes int64
 		for _, v := range chunk {
 			h := v.Hash()
 			dup := false
@@ -156,9 +160,17 @@ func DedupSink(next StreamSink) StreamSink {
 			if !dup {
 				seen[h] = append(seen[h], v)
 				fresh = append(fresh, v)
+				if reserve != nil {
+					freshBytes += approxValueBytes(v)
+				}
 			}
 		}
 		mu.Unlock()
+		if reserve != nil && freshBytes > 0 {
+			if err := reserve(freshBytes); err != nil {
+				return err
+			}
+		}
 		if len(fresh) == 0 {
 			return nil
 		}

@@ -483,6 +483,40 @@ type reduceConsumer struct {
 	haveFMin, haveFMax bool
 	best               values.Value // boxed min/max candidate
 	haveBest           bool
+
+	// reserve, when non-nil, charges the query memory budget for boxed
+	// values retained by the collector (collection monoids accumulate
+	// every row; aggregates hold O(1) state and never charge).
+	reserve func(delta int64) error
+}
+
+// approxValueBytes is a shallow per-value footprint estimate for budget
+// accounting of boxed accumulation: interface/struct overhead plus the
+// variable payload of strings and a flat allowance for nested values.
+// Charged once per batch from a sampled value, it bounds the dominant
+// allocator without walking every row.
+func approxValueBytes(v values.Value) int64 {
+	const base = 56 // tagged value struct overhead
+	switch v.Kind() {
+	case values.KindString:
+		return base + int64(v.Len())
+	case values.KindRecord:
+		n := int64(len(v.Fields()))
+		return base + n*(base+16)
+	case values.KindList, values.KindBag, values.KindSet:
+		return base + int64(v.Len())*base
+	default:
+		return base
+	}
+}
+
+// chargeBoxed charges n boxed values against the query budget, sized by
+// a sampled representative.
+func (rc *reduceConsumer) chargeBoxed(sample values.Value, n int) error {
+	if rc.reserve == nil || n == 0 {
+		return nil
+	}
+	return rc.reserve(int64(n) * approxValueBytes(sample))
 }
 
 // reset points the consumer at a fresh collector and clears partials.
@@ -505,15 +539,19 @@ func (rc *reduceConsumer) consume(b *vec.Batch) error {
 		return nil
 	}
 	if rc.headIdx < 0 && rc.headKernel == nil {
+		var sample values.Value
 		for k := 0; k < n; k++ {
 			fillRow(b, b.Index(k), rc.row)
 			v, err := rc.head(rc.row)
 			if err != nil {
 				return err
 			}
+			if k == 0 {
+				sample = v
+			}
 			rc.acc.Add(v)
 		}
-		return nil
+		return rc.chargeBoxed(sample, n)
 	}
 	if rc.kind == aggCount {
 		// Unit is 1 regardless of the head value; a slot head cannot
@@ -671,6 +709,7 @@ func (rc *reduceConsumer) consume(b *vec.Batch) error {
 		for k := 0; k < n; k++ {
 			rc.acc.Add(col.Value(b.Index(k)))
 		}
+		return rc.chargeBoxed(col.Value(b.Index(0)), n)
 	}
 	return nil
 }
@@ -790,9 +829,18 @@ func (c *compiler) compileReduceConsumer(p *algebra.Reduce, input *compiledPlan)
 			kind = aggMax
 		}
 	}
+	// Only monoids that retain their inputs owe the memory budget for
+	// them; scalar folds (count/sum/min/...) keep O(1) state no matter
+	// how many boxed values pass through.
+	reserve := c.opts.MemReserve
+	switch p.M.Name() {
+	case "list", "bag", "set", "array", "median":
+	default:
+		reserve = nil
+	}
 	width := input.frame.width()
 	return func() *reduceConsumer {
-		rc := &reduceConsumer{headIdx: headIdx, head: head, kind: kind}
+		rc := &reduceConsumer{headIdx: headIdx, head: head, kind: kind, reserve: reserve}
 		if mkHeadKernel != nil {
 			rc.headKernel = mkHeadKernel()
 		} else if headIdx < 0 {

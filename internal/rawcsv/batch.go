@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vida/internal/faultinject"
 	"vida/internal/sdg"
 	"vida/internal/values"
 	"vida/internal/vec"
@@ -151,10 +152,27 @@ func (r *Reader) IterateBatches(fields []string, batchSize int, yield func(*vec.
 		return scan(0, n, batchSize, yield)
 	}
 	defer r.buildMu.Unlock()
+	yield = injectCSVFaults(yield)
 	if snap := st.pm.Snapshot(); len(snap.Rows) > 0 {
 		return r.iterateAnchoredBatches(st, &snap, cols, batchSize, yield)
 	}
 	return r.iterateFullBatches(st, cols, batchSize, yield)
+}
+
+// injectCSVFaults interposes the chaos points on a batch yield:
+// CSVSlowRead (delay faults — a slow disk mid-scan) and CSVRead (read
+// errors — a truncated file, an I/O fault) fire once per delivered
+// batch. Both are single disarmed atomic loads in production.
+func injectCSVFaults(yield func(*vec.Batch) error) func(*vec.Batch) error {
+	return func(b *vec.Batch) error {
+		if err := faultinject.Hit(faultinject.CSVSlowRead); err != nil {
+			return err
+		}
+		if err := faultinject.Hit(faultinject.CSVRead); err != nil {
+			return err
+		}
+		return yield(b)
+	}
 }
 
 // iterateAnchoredBatches serves a scan whose rows are indexed but whose
@@ -508,6 +526,7 @@ func (r *Reader) openRangeCols(st *fileState, cols []int) (func(lo, hi, batchSiz
 	var once sync.Once // stats count one logical scan, however many morsels
 	scan := func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
 		once.Do(func() { r.stats.PosmapScans.Add(1) })
+		yield = injectCSVFaults(yield)
 		if batchSize <= 0 {
 			batchSize = vec.DefaultBatchSize
 		}

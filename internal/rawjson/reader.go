@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vida/internal/faultinject"
 	"vida/internal/sdg"
 	"vida/internal/values"
 )
@@ -281,6 +282,15 @@ func (r *Reader) Iterate(fields []string, yield func(values.Value) error) error 
 	st := r.state.Load()
 	if err := r.buildObjectIndex(st); err != nil {
 		return err
+	}
+	// Chaos point: JSONRead fires once per delivered object (read error
+	// or delay mid-scan). A single disarmed atomic load in production.
+	inner := yield
+	yield = func(v values.Value) error {
+		if err := faultinject.Hit(faultinject.JSONRead); err != nil {
+			return err
+		}
+		return inner(v)
 	}
 	if len(fields) == 0 {
 		return r.iterateFull(st, yield)

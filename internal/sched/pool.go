@@ -12,13 +12,34 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"vida/internal/faultinject"
 )
 
 // ErrClosed is returned by Run when the pool has been shut down.
 var ErrClosed = errors.New("sched: pool closed")
+
+// PanicError is a panic recovered at a goroutine boundary (a pool
+// worker, a streaming producer), converted into the owning query's
+// error so one poisoned pipeline cannot take the process — or the
+// shared worker pool — down with it. Stack holds the panicking
+// goroutine's stack at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is logged at recovery, not
+// repeated in the message.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic recovered: %v", e.Value)
+}
 
 // Pool is a fixed set of workers executing tasks from every submitted
 // job. Jobs are dispatched round-robin one task at a time, so concurrent
@@ -35,6 +56,7 @@ type Pool struct {
 	workers int
 	jobs    atomic.Int64 // jobs completed
 	tasks   atomic.Int64 // tasks executed
+	panics  atomic.Int64 // task panics recovered
 }
 
 // job is one Run call: n independent tasks plus completion bookkeeping.
@@ -84,10 +106,11 @@ func (p *Pool) Workers() int { return p.workers }
 
 // Stats is a snapshot of pool activity.
 type Stats struct {
-	Workers    int   `json:"workers"`
-	ActiveJobs int   `json:"active_jobs"`
-	JobsRun    int64 `json:"jobs_run"`
-	TasksRun   int64 `json:"tasks_run"`
+	Workers         int   `json:"workers"`
+	ActiveJobs      int   `json:"active_jobs"`
+	JobsRun         int64 `json:"jobs_run"`
+	TasksRun        int64 `json:"tasks_run"`
+	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
 // StatsSnapshot returns pool counters.
@@ -96,10 +119,11 @@ func (p *Pool) StatsSnapshot() Stats {
 	active := len(p.ring)
 	p.mu.Unlock()
 	return Stats{
-		Workers:    p.workers,
-		ActiveJobs: active,
-		JobsRun:    p.jobs.Load(),
-		TasksRun:   p.tasks.Load(),
+		Workers:         p.workers,
+		ActiveJobs:      active,
+		JobsRun:         p.jobs.Load(),
+		TasksRun:        p.tasks.Load(),
+		PanicsRecovered: p.panics.Load(),
 	}
 }
 
@@ -161,10 +185,29 @@ func (p *Pool) worker() {
 		if !ok {
 			return
 		}
-		err := j.run(task)
+		err := p.runTask(j, task)
 		p.tasks.Add(1)
 		p.finish(j, err)
 	}
+}
+
+// runTask executes one morsel inside a recover barrier: a panicking
+// task fails its own job with a PanicError instead of crashing the
+// worker (which would kill every in-flight query and, once all workers
+// died, the whole service). The stack is logged once at recovery.
+func (p *Pool) runTask(j *job, task int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			perr := &PanicError{Value: r, Stack: debug.Stack()}
+			log.Printf("sched: recovered panic in task %d: %v\n%s", task, r, perr.Stack)
+			err = perr
+		}
+	}()
+	if err := faultinject.Hit(faultinject.PoolStall); err != nil {
+		return err
+	}
+	return j.run(task)
 }
 
 // take hands out the next task, rotating between active jobs. Jobs whose

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements queued, deadline-aware admission. The previous
+// gate was a fail-fast semaphore: the moment MaxInFlight queries were
+// executing, every further request bounced with 429 — even when a slot
+// would free up well within the request's deadline. Now requests that
+// miss the fast path join a bounded FIFO queue and wait for a slot until
+// their deadline; the service sheds with 429 (plus a Retry-After derived
+// from the observed drain rate) only when the queue is full or the
+// deadline cannot be met. Result-cache hits never enter the queue.
+//
+// Invariants:
+//   - free > 0 implies no waiters: a releasing query hands its slot
+//     directly to the queue head (closing the waiter's channel) instead
+//     of incrementing free, so FIFO order holds and a slot is never
+//     parked while someone waits.
+//   - Every Acquire that returns nil is balanced by exactly one Release,
+//     even when the grant races the waiter's cancellation: a cancelled
+//     waiter that was already granted passes the slot on before failing.
+
+// BusyError is the typed shed error: the request was turned away by
+// admission (queue full, or its deadline cannot be met while queued).
+// It matches errors.Is(err, ErrBusy), so existing callers keep working;
+// the HTTP layer adds a Retry-After header from the estimate.
+type BusyError struct {
+	// RetryAfter estimates when a retry is likely to be admitted,
+	// derived from queue depth × the EWMA of slot inter-release times.
+	RetryAfter time.Duration
+	// Reason distinguishes "queue full" from "deadline before slot".
+	Reason string
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: too many in-flight queries (%s; retry after %s)", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is matches the legacy ErrBusy sentinel.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// numWaitBuckets is len(waitBuckets); kept as a constant so the
+// histogram counters can live in a fixed-size array.
+const numWaitBuckets = 7
+
+// waitBuckets are the admission-wait histogram upper bounds (the last
+// implicit bucket is +Inf). Exposed on /metrics in seconds.
+var waitBuckets = [numWaitBuckets]time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+	10 * time.Second,
+}
+
+// admitQueue is the bounded-FIFO admission gate.
+type admitQueue struct {
+	mu       sync.Mutex
+	capacity int        // execution slots (MaxInFlight)
+	free     int        // idle slots; free > 0 ⟹ waiters empty
+	maxQueue int        // waiter bound; 0 = fail-fast (no queueing)
+	waiters  *list.List // of *admitWaiter, FIFO
+
+	// Drain-rate estimate: EWMA of the interval between slot releases,
+	// guarded by mu. Retry-After ≈ (position in line) × this.
+	lastRelease time.Time
+	drainEWMA   time.Duration
+
+	// Wait histogram (lock-free observation).
+	waitCounts [numWaitBuckets + 1]atomic.Int64
+	waitSumNS  atomic.Int64
+	waitObs    atomic.Int64
+}
+
+// admitWaiter is one queued request; grant closes ch (the slot transfers
+// with the close).
+type admitWaiter struct {
+	ch chan struct{}
+}
+
+func newAdmitQueue(capacity, maxQueue int) *admitQueue {
+	return &admitQueue{
+		capacity: capacity,
+		free:     capacity,
+		maxQueue: maxQueue,
+		waiters:  list.New(),
+	}
+}
+
+// Acquire takes an execution slot, waiting in FIFO order until ctx's
+// deadline when none is free. It returns nil (slot held; caller must
+// Release exactly once), a *BusyError (shed: queue full or deadline
+// unmeetable), or ctx.Err() (client cancelled while queued).
+func (q *admitQueue) Acquire(ctx context.Context) error {
+	q.mu.Lock()
+	if q.free > 0 {
+		q.free--
+		q.mu.Unlock()
+		q.observeWait(0)
+		return nil
+	}
+	if q.waiters.Len() >= q.maxQueue {
+		err := &BusyError{RetryAfter: q.retryAfterLocked(), Reason: "admission queue full"}
+		q.mu.Unlock()
+		return err
+	}
+	// Deadline-aware shedding: if the request cannot plausibly reach the
+	// front of the line before its deadline, turn it away now instead of
+	// letting it occupy queue space it can never use.
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 || (q.drainEWMA > 0 && time.Duration(q.waiters.Len()+1)*q.drainEWMA > remaining) {
+			err := &BusyError{RetryAfter: q.retryAfterLocked(), Reason: "deadline before slot"}
+			q.mu.Unlock()
+			return err
+		}
+	}
+	w := &admitWaiter{ch: make(chan struct{})}
+	el := q.waiters.PushBack(w)
+	q.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-w.ch:
+		q.observeWait(time.Since(start))
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-w.ch:
+			// Grant raced the cancellation: we hold a slot we will not
+			// use. Pass it straight on so no slot is lost (and no waiter
+			// behind us is starved).
+			q.releaseLocked()
+		default:
+			q.waiters.Remove(el)
+		}
+		retry := q.retryAfterLocked()
+		q.mu.Unlock()
+		q.observeWait(time.Since(start))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The deadline expired while queued: the request was never
+			// admitted, so it is a shed (429 + Retry-After), not a 504.
+			return &BusyError{RetryAfter: retry, Reason: "deadline before slot"}
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot, handing it directly to the queue head when one
+// is waiting. Each successful Acquire must be balanced by exactly one
+// Release.
+func (q *admitQueue) Release() {
+	q.mu.Lock()
+	now := time.Now()
+	if !q.lastRelease.IsZero() {
+		interval := now.Sub(q.lastRelease)
+		if q.drainEWMA == 0 {
+			q.drainEWMA = interval
+		} else {
+			q.drainEWMA = (q.drainEWMA*4 + interval) / 5
+		}
+	}
+	q.lastRelease = now
+	q.releaseLocked()
+	q.mu.Unlock()
+}
+
+func (q *admitQueue) releaseLocked() {
+	if el := q.waiters.Front(); el != nil {
+		q.waiters.Remove(el)
+		close(el.Value.(*admitWaiter).ch)
+		return
+	}
+	q.free++
+}
+
+// Depth returns the number of queued (not yet admitted) requests.
+func (q *admitQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len()
+}
+
+// InUse returns the number of held execution slots.
+func (q *admitQueue) InUse() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.capacity - q.free
+}
+
+// retryAfterLocked estimates when a retry would be admitted: one full
+// queue drain at the observed rate, clamped to a sane range. With no
+// drain history yet the estimate defaults to one second.
+func (q *admitQueue) retryAfterLocked() time.Duration {
+	avg := q.drainEWMA
+	if avg <= 0 {
+		return time.Second
+	}
+	eta := time.Duration(q.waiters.Len()+1) * avg
+	if eta < 100*time.Millisecond {
+		eta = 100 * time.Millisecond
+	}
+	if eta > 30*time.Second {
+		eta = 30 * time.Second
+	}
+	return eta
+}
+
+// observeWait records one admission wait in the histogram.
+func (q *admitQueue) observeWait(d time.Duration) {
+	i := 0
+	for ; i < len(waitBuckets); i++ {
+		if d <= waitBuckets[i] {
+			break
+		}
+	}
+	q.waitCounts[i].Add(1)
+	q.waitSumNS.Add(int64(d))
+	q.waitObs.Add(1)
+}
+
+// WaitStats returns the cumulative histogram (bucket i counts waits ≤
+// waitBuckets[i]; the final entry is the +Inf total), the summed wait
+// time and the observation count.
+func (q *admitQueue) WaitStats() (cumulative []int64, sum time.Duration, count int64) {
+	cumulative = make([]int64, len(waitBuckets)+1)
+	var running int64
+	for i := range q.waitCounts {
+		running += q.waitCounts[i].Load()
+		cumulative[i] = running
+	}
+	return cumulative, time.Duration(q.waitSumNS.Load()), q.waitObs.Load()
+}

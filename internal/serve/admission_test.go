@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmitFastPath: free slots admit immediately, and every Release
+// returns the slot.
+func TestAdmitFastPath(t *testing.T) {
+	q := newAdmitQueue(2, 4)
+	ctx := context.Background()
+	if err := q.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+	q.Release()
+	q.Release()
+	if got := q.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+// TestAdmitFIFOOrder: queued waiters are granted strictly in arrival
+// order as slots free up.
+func TestAdmitFIFOOrder(t *testing.T) {
+	q := newAdmitQueue(1, 8)
+	ctx := context.Background()
+	if err := q.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	grants := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Enqueue one waiter at a time so arrival order is deterministic.
+		before := q.Depth()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := q.Acquire(ctx); err != nil {
+				t.Errorf("waiter %d: %v", id, err)
+				return
+			}
+			grants <- id
+			q.Release()
+		}(i)
+		waitFor(t, func() bool { return q.Depth() == before+1 })
+	}
+
+	q.Release() // hand the held slot to waiter 0; the rest cascade
+	wg.Wait()
+	close(grants)
+	want := 0
+	for id := range grants {
+		if id != want {
+			t.Fatalf("grant order: got waiter %d, want %d", id, want)
+		}
+		want++
+	}
+	if q.InUse() != 0 || q.Depth() != 0 {
+		t.Fatalf("after drain: InUse=%d Depth=%d, want 0/0", q.InUse(), q.Depth())
+	}
+}
+
+// TestAdmitQueueFullSheds: a full queue sheds with a BusyError that
+// matches ErrBusy.
+func TestAdmitQueueFullSheds(t *testing.T) {
+	q := newAdmitQueue(1, 2)
+	ctx := context.Background()
+	if err := q.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go q.Acquire(cctx) //nolint:errcheck — cancelled at test end
+	}
+	waitFor(t, func() bool { return q.Depth() == 2 })
+
+	err := q.Acquire(ctx)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.Reason != "admission queue full" {
+		t.Fatalf("err = %#v, want BusyError{Reason: queue full}", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", busy.RetryAfter)
+	}
+}
+
+// TestAdmitFailFast: maxQueue 0 restores the old semaphore behaviour.
+func TestAdmitFailFast(t *testing.T) {
+	q := newAdmitQueue(1, 0)
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire(context.Background()); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want immediate ErrBusy", err)
+	}
+}
+
+// TestAdmitDeadlineShedsUpfront: a request whose deadline is already
+// past — or provably unreachable at the observed drain rate — is shed
+// without ever occupying queue space.
+func TestAdmitDeadlineShedsUpfront(t *testing.T) {
+	q := newAdmitQueue(1, 8)
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := q.Acquire(expired); !errors.Is(err, ErrBusy) {
+		t.Fatalf("expired deadline: err = %v, want ErrBusy shed", err)
+	}
+
+	// With drain history saying a slot frees every ~1s, a 10ms deadline
+	// cannot be met.
+	q.mu.Lock()
+	q.drainEWMA = time.Second
+	q.mu.Unlock()
+	short, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	err := q.Acquire(short)
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.Reason != "deadline before slot" {
+		t.Fatalf("err = %v, want deadline-before-slot shed", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("shed request left a waiter queued (depth %d)", q.Depth())
+	}
+}
+
+// TestAdmitDeadlineWhileQueued: a deadline that expires in the queue is
+// a shed (BusyError → 429), not a bare context error.
+func TestAdmitDeadlineWhileQueued(t *testing.T) {
+	q := newAdmitQueue(1, 8)
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := q.Acquire(ctx)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("timed-out waiter still queued (depth %d)", q.Depth())
+	}
+}
+
+// TestAdmitCancelWhileQueued: a client that goes away while queued gets
+// its context error (→ 499) and leaves no waiter behind.
+func TestAdmitCancelWhileQueued(t *testing.T) {
+	q := newAdmitQueue(1, 8)
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.Acquire(ctx) }()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("cancelled waiter still queued (depth %d)", q.Depth())
+	}
+	// The held slot is still accounted for — cancellation must not have
+	// minted a phantom free slot.
+	if q.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", q.InUse())
+	}
+}
+
+// TestAdmitSlotConservationUnderChurn hammers the queue with a mix of
+// successful acquires, cancellations and deadline expiries racing slot
+// grants, then checks the books: no slot leaked, no slot minted, no
+// waiter stranded.
+func TestAdmitSlotConservationUnderChurn(t *testing.T) {
+	q := newAdmitQueue(4, 16)
+	var wg sync.WaitGroup
+	var held atomic.Int64
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			ctx := context.Background()
+			cancel := context.CancelFunc(func() {})
+			switch i % 3 {
+			case 1:
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(3))*time.Millisecond)
+			case 2:
+				ctx, cancel = context.WithCancel(ctx)
+				delay := time.Duration(rng.Intn(2)) * time.Millisecond
+				go func() {
+					time.Sleep(delay)
+					cancel()
+				}()
+			}
+			defer cancel()
+			if err := q.Acquire(ctx); err != nil {
+				return // shed or cancelled: fine, must not hold a slot
+			}
+			if n := held.Add(1); n > 4 {
+				t.Errorf("held %d slots concurrently, capacity 4", n)
+			}
+			time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
+			held.Add(-1)
+			q.Release()
+		}(i)
+	}
+	wg.Wait()
+	if q.InUse() != 0 {
+		t.Fatalf("slots leaked: InUse = %d after all callers finished", q.InUse())
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("waiters stranded: Depth = %d", q.Depth())
+	}
+	// Every slot is usable again, and exactly capacity slots exist: the
+	// 4 acquires below succeed instantly, a 5th would have to queue.
+	for i := 0; i < 4; i++ {
+		if err := q.Acquire(context.Background()); err != nil {
+			t.Fatalf("slot %d unusable after churn: %v", i, err)
+		}
+	}
+	if got := q.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4 (no phantom slots minted)", got)
+	}
+}
+
+// TestAdmitWaitHistogram: waits land in the histogram and the cumulative
+// view is monotone with the +Inf bucket equal to the count.
+func TestAdmitWaitHistogram(t *testing.T) {
+	q := newAdmitQueue(1, 8)
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- q.Acquire(context.Background()) }()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	time.Sleep(5 * time.Millisecond)
+	q.Release()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	q.Release()
+	cum, sum, count := q.WaitStats()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (fast path + queued)", count)
+	}
+	if cum[len(cum)-1] != count {
+		t.Fatalf("+Inf bucket %d != count %d", cum[len(cum)-1], count)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative histogram not monotone: %v", cum)
+		}
+	}
+	if sum < 5*time.Millisecond {
+		t.Fatalf("wait sum = %v, want >= 5ms", sum)
+	}
+}
+
+// TestRecoverWrapContainsPanic: a panicking handler becomes a 500 and a
+// counted, logged event — not a torn connection.
+func TestRecoverWrapContainsPanic(t *testing.T) {
+	s := &Server{svc: &Service{}}
+	h := s.recoverWrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if got := s.svc.panics.Load(); got != 1 {
+		t.Fatalf("panics = %d, want 1", got)
+	}
+
+	// A handler that already streamed bytes cannot get a 500; the panic
+	// is still contained and counted.
+	h2 := s.recoverWrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("partial"))
+		panic("late boom")
+	}))
+	rec2 := httptest.NewRecorder()
+	h2.ServeHTTP(rec2, httptest.NewRequest("GET", "/x", nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("mid-stream panic rewrote status to %d", rec2.Code)
+	}
+	if got := s.svc.panics.Load(); got != 2 {
+		t.Fatalf("panics = %d, want 2", got)
+	}
+
+	// http.ErrAbortHandler is the sanctioned abort and passes through.
+	h3 := s.recoverWrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if r := recover(); r != http.ErrAbortHandler {
+				t.Fatalf("recovered %v, want http.ErrAbortHandler re-panicked", r)
+			}
+		}()
+		h3.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	}()
+	if got := s.svc.panics.Load(); got != 2 {
+		t.Fatalf("ErrAbortHandler was counted as a contained panic (%d)", got)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline budget burns.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

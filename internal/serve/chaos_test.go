@@ -1,0 +1,273 @@
+package serve_test
+
+// The chaos suite: randomized fault schedules over every registered
+// faultinject point while a mixed request load (queries, SQL, streams,
+// short deadlines, client disconnects) hammers the service. The point is
+// not that queries succeed — most are supposed to fail — but that the
+// containment invariants hold afterwards:
+//
+//   - no crash: every request gets an HTTP response (or a client-side
+//     cancellation the client itself caused);
+//   - no goroutine leak: engine, pool and server wind down to the
+//     pre-test goroutine count;
+//   - no admission-slot leak: in-flight and queue depth return to zero
+//     and the full capacity is usable again;
+//   - no cache poisoning: results after faults are cleared match the
+//     fault-free baseline.
+//
+// Run under -race in CI (the chaos job), where the schedules double as a
+// concurrency stress.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"vida"
+	"vida/internal/faultinject"
+	"vida/internal/sched"
+	"vida/internal/serve"
+)
+
+// chaosQueries are the baseline workload: one CSV aggregation, one CSV
+// bag with a predicate, one JSON scan, one SQL join-free aggregate.
+var chaosQueries = []struct {
+	endpoint string
+	query    string
+}{
+	{"/query", "for { p <- Patients, p.age > 40 } yield count p"},
+	{"/query", "for { p <- Patients, p.age > 70 } yield bag p.id"},
+	{"/query", "for { r <- BrainRegions } yield count r"},
+	{"/sql", "SELECT COUNT(*) FROM Genetics"},
+}
+
+// armChaosSchedule arms a randomized, seed-reproducible fault schedule
+// across every registered point.
+func armChaosSchedule(rng *rand.Rand) {
+	injected := faultinject.Always(faultinject.ErrInjected)
+	panicky := faultinject.Fault(func() error { panic("chaos: injected panic") })
+	for _, point := range faultinject.Points() {
+		if point == faultinject.AllocSpike {
+			// Value point: spike every harvest reservation by up to 1 MiB.
+			faultinject.SetValue(point, int64(rng.Intn(1<<20)))
+			continue
+		}
+		switch rng.Intn(6) {
+		case 0:
+			// Leave this point clean this round.
+		case 1:
+			faultinject.Set(point, faultinject.Prob(0.3, rng.Int63(), injected))
+		case 2:
+			faultinject.Set(point, faultinject.After(int64(rng.Intn(20)), injected))
+		case 3:
+			faultinject.Set(point, faultinject.Sleep(time.Duration(rng.Intn(3))*time.Millisecond))
+		case 4:
+			faultinject.Set(point, faultinject.Chain(
+				faultinject.Sleep(time.Duration(rng.Intn(2))*time.Millisecond),
+				faultinject.Prob(0.2, rng.Int63(), injected),
+			))
+		case 5:
+			faultinject.Set(point, faultinject.Prob(0.05, rng.Int63(), panicky))
+		}
+	}
+}
+
+// chaosPost issues one request, tolerating transport errors only when
+// the client itself cancelled.
+func chaosPost(ctx context.Context, client *http.Client, url, endpoint string, body map[string]any) (int, []byte, error) {
+	raw, _ := json.Marshal(body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+endpoint, bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, data, nil
+}
+
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	defer faultinject.Reset()
+	beforeGoroutines := runtime.NumGoroutine()
+
+	pool := sched.NewPool(4)
+	eng := newTestEngine(t, pool,
+		vida.WithMemoryBudget(64<<20),
+		vida.WithQueryMemoryBudget(32<<20),
+	)
+	svc := serve.NewService(eng, pool, serve.Config{
+		MaxInFlight:    4,
+		MaxQueue:       8,
+		DefaultTimeout: 10 * time.Second,
+	})
+	ts := httptest.NewServer(serve.NewServer(svc).Handler())
+	client := ts.Client()
+
+	// Fault-free baseline, recorded before any fault is armed.
+	baseline := make([]string, len(chaosQueries))
+	for i, q := range chaosQueries {
+		status, body, err := chaosPost(context.Background(), client, ts.URL, q.endpoint, map[string]any{"query": q.query})
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("baseline %q: status %d err %v body %s", q.query, status, err, body)
+		}
+		baseline[i] = string(body)
+	}
+
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			armChaosSchedule(rng)
+
+			var wg sync.WaitGroup
+			for i := 0; i < 60; i++ {
+				q := chaosQueries[rng.Intn(len(chaosQueries))]
+				mode := rng.Intn(4)
+				timeoutMS := []int64{0, 0, 50, 500}[rng.Intn(4)]
+				cancelAfter := time.Duration(rng.Intn(20)) * time.Millisecond
+				wg.Add(1)
+				go func(q struct{ endpoint, query string }, mode int, timeoutMS int64, cancelAfter time.Duration) {
+					defer wg.Done()
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if mode == 2 {
+						ctx, cancel = context.WithTimeout(ctx, cancelAfter)
+					}
+					defer cancel()
+					body := map[string]any{"query": q.query, "timeout_ms": timeoutMS}
+					endpoint := q.endpoint
+					if mode == 3 {
+						endpoint = "/stream"
+						body["sql"] = q.endpoint == "/sql"
+					}
+					status, _, err := chaosPost(ctx, client, ts.URL, endpoint, body)
+					if err != nil {
+						if ctx.Err() != nil {
+							return // our own cancellation; not a server fault
+						}
+						t.Errorf("%s %q: transport error with live client: %v", endpoint, q.query, err)
+						return
+					}
+					switch status {
+					case http.StatusOK, http.StatusTooManyRequests, statusClientClosedRequest,
+						http.StatusInternalServerError, http.StatusGatewayTimeout,
+						http.StatusInsufficientStorage, http.StatusServiceUnavailable:
+					default:
+						t.Errorf("%s %q: unexpected status %d", endpoint, q.query, status)
+					}
+				}(struct{ endpoint, query string }{q.endpoint, q.query}, mode, timeoutMS, cancelAfter)
+			}
+			wg.Wait()
+			faultinject.Reset()
+
+			// Admission slots are all released once the dust settles.
+			waitForCond(t, 5*time.Second, func() bool {
+				st := svc.StatsSnapshot()
+				return st.InFlight == 0 && st.QueueDepth == 0
+			})
+
+			// The cache was never poisoned: with faults cleared, every
+			// baseline query answers exactly what it answered before chaos.
+			for i, q := range chaosQueries {
+				status, body, err := chaosPost(context.Background(), client, ts.URL, q.endpoint, map[string]any{"query": q.query})
+				if err != nil || status != http.StatusOK {
+					t.Fatalf("post-chaos %q: status %d err %v body %s", q.query, status, err, body)
+				}
+				if got := stripElapsed(t, body); got != stripElapsed(t, []byte(baseline[i])) {
+					t.Fatalf("post-chaos %q: result drifted\n  before: %s\n  after:  %s", q.query, baseline[i], body)
+				}
+			}
+
+			// The full capacity is usable: MaxInFlight concurrent queries
+			// all admit and succeed.
+			var cwg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					status, body, err := chaosPost(context.Background(), client, ts.URL, "/query", map[string]any{
+						"query": "for { p <- Patients } yield count p",
+					})
+					if err != nil || status != http.StatusOK {
+						t.Errorf("capacity probe: status %d err %v body %s", status, err, body)
+					}
+				}()
+			}
+			cwg.Wait()
+		})
+	}
+
+	// Wind everything down in dependency order, then the goroutine count
+	// must return to the pre-test baseline (no leaked producers, waiters
+	// or workers).
+	ts.Close()
+	client.CloseIdleConnections()
+	if err := svc.Close(); err != nil {
+		t.Fatalf("service close: %v", err)
+	}
+	pool.Close()
+	assertNoGoroutineLeak(t, beforeGoroutines)
+}
+
+// stripElapsed removes the timing field from a /query response so
+// before/after comparisons see only the data.
+func stripElapsed(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	delete(m, "elapsed_ms")
+	delete(m, "cached") // post-chaos repeats may legitimately hit the result cache
+	out, _ := json.Marshal(m)
+	return string(out)
+}
+
+const statusClientClosedRequest = 499
+
+// waitForCond polls cond with a deadline.
+func waitForCond(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertNoGoroutineLeak retries (goroutine teardown is asynchronous)
+// before dumping all stacks and failing.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 { // slack for runtime/testing housekeeping
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d at start, %d now\n%s", baseline, n, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

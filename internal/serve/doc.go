@@ -14,9 +14,13 @@
 //     queuing behind it.
 //
 //   - Admission and sessions (Service). A bounded in-flight limit
-//     (Config.MaxInFlight) sheds load at the door: beyond the limit,
-//     Query returns ErrBusy immediately (HTTP 429 at the front-end)
-//     rather than stacking goroutines. Admitted queries run under a
+//     (Config.MaxInFlight) plus a bounded FIFO admission queue
+//     (Config.MaxQueue) govern the door: when every execution slot is
+//     busy, a request waits in line until its deadline and is shed with
+//     a BusyError (HTTP 429 + Retry-After, estimated from the observed
+//     drain rate) only when the queue is full or its deadline cannot be
+//     met while queued. MaxQueue < 0 restores the old fail-fast
+//     behaviour. Admitted queries run under a
 //     per-query timeout and the caller's cancellation context, threaded
 //     through Engine.QueryCtx → the JIT executor → the batch sources, so
 //     a cancelled query stops mid-scan and frees its pool workers. Two
@@ -52,4 +56,46 @@
 // LIMIT cancels the scan's remaining morsels as soon as enough rows
 // have been produced, so the admission slot frees early too). LIMIT $1
 // keeps the prepared-statement cache warm across different bounds.
+//
+// # Request lifecycle and failure taxonomy
+//
+// Every query request moves through admit → queue → execute → respond:
+//
+//   - admit: a result-cache hit responds immediately and never touches
+//     the admission queue — repeats stay cheap exactly when the engine
+//     is saturated. The request's timeout starts here (timeout_ms = 0,
+//     or anything beyond the configured bound, means "use the server
+//     default"), so time spent queued counts against the deadline.
+//   - queue: with no free execution slot the request waits in FIFO
+//     order. It is shed — never silently dropped — when the queue is
+//     full or its deadline cannot be met at the observed drain rate.
+//   - execute: the query runs under its context; cancellation reaches
+//     mid-scan, and memory reservations are charged against the
+//     per-query and global budgets as accumulation grows.
+//   - respond: success is 200; failures map onto a fixed taxonomy.
+//
+// Failure taxonomy (HTTP status ← error shape):
+//
+//	429  shed at admission (ErrBusy / *BusyError, Retry-After attached)
+//	499  client went away (context.Canceled)
+//	504  deadline exceeded during execution (context.DeadlineExceeded)
+//	507  memory budget exceeded (core.ErrMemoryBudget)
+//	503  engine closed / shutting down (core.ErrClosed)
+//	400  bad query, params or request body (BadQueryError, ParamError)
+//	500  execution failure, including panics contained at the pool,
+//	     stream-producer and HTTP-handler barriers
+//
+// A deadline that expires while still queued is a shed (429), not a 504:
+// the query never started, so retrying later is the right client move.
+//
+// # Memory governance
+//
+// vida.WithMemoryBudget bounds the bytes all queries may hold at once;
+// vida.WithQueryMemoryBudget bounds each query. Degradation is staged:
+// under global pressure (≥3/4 used) the engine first stops harvesting
+// columnar caches from cold scans (queries still answer, they just stop
+// investing in future speed); only a query that itself exceeds a budget
+// is aborted, with the typed core.ErrMemoryBudget → 507. Budget
+// accounting is approximate and batch-granular — it exists to convert
+// "the process OOMs" into "one query gets a clean error".
 package serve

@@ -1,0 +1,203 @@
+package serve_test
+
+// Tests for the resource-governance layer: queued admission over HTTP,
+// Retry-After on sheds, timeout_ms = 0 semantics, and memory-budget
+// failures surfacing as 507.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vida"
+	"vida/internal/core"
+	"vida/internal/sdg"
+	"vida/internal/serve"
+)
+
+// holdSlot opens a stream over the Slow source against ts and returns
+// after the first row arrived (the admission slot is now held); the
+// returned func closes the stream, releasing the slot.
+func holdSlot(t *testing.T, ts *httptest.Server) func() {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"query": "for { s <- Slow } yield bag s.x"})
+	resp, err := http.Post(ts.URL+"/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if _, err := bufio.NewReader(resp.Body).ReadBytes('\n'); err != nil {
+		resp.Body.Close()
+		t.Fatalf("no first row from held stream: %v", err)
+	}
+	return func() { resp.Body.Close() }
+}
+
+// TestShedCarriesRetryAfter: a 429 response names when to come back.
+func TestShedCarriesRetryAfter(t *testing.T) {
+	srv := newSlowStreamServer(t, serve.Config{MaxInFlight: 1, MaxQueue: -1, DefaultTimeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	release := holdSlot(t, ts)
+	defer release()
+
+	body, _ := json.Marshal(map[string]any{"query": "for { g <- Genetics } yield count g"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", ra)
+	}
+}
+
+// TestQueuedAdmissionOutlivesSaturation: with queueing on (the default),
+// a request arriving while every slot is busy waits instead of bouncing,
+// and completes once the slot frees.
+func TestQueuedAdmissionOutlivesSaturation(t *testing.T) {
+	srv := newSlowStreamServer(t, serve.Config{MaxInFlight: 1, DefaultTimeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	release := holdSlot(t, ts)
+
+	done := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]any{"query": "for { g <- Genetics } yield count g"})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+
+	// The query must be parked in the queue, not rejected: give it a
+	// moment to reach the queue, then free the slot.
+	select {
+	case status := <-done:
+		t.Fatalf("query returned %d while the slot was held; expected it to queue", status)
+	case <-time.After(200 * time.Millisecond):
+	}
+	release()
+	select {
+	case status := <-done:
+		if status != http.StatusOK {
+			t.Fatalf("queued query finished with %d, want 200", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued query never completed after the slot freed")
+	}
+}
+
+// TestTimeoutZeroMeansDefault: timeout_ms = 0 (or omitted) applies the
+// server default on every endpoint, rather than meaning "no timeout".
+func TestTimeoutZeroMeansDefault(t *testing.T) {
+	srv := newSlowStreamServer(t, serve.Config{DefaultTimeout: 100 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		endpoint string
+		query    string
+	}{
+		{"/query", "for { s <- Slow } yield count s"},
+		{"/sql", "SELECT COUNT(*) FROM Slow"},
+	} {
+		start := time.Now()
+		status, body := postRaw(t, ts.URL, tc.endpoint, map[string]any{
+			"query": tc.query, "timeout_ms": 0,
+		})
+		if status != http.StatusGatewayTimeout {
+			t.Fatalf("%s with timeout_ms=0: status %d (%s), want 504 from the default timeout", tc.endpoint, status, body)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("%s with timeout_ms=0 ran %v — default timeout not applied", tc.endpoint, elapsed)
+		}
+	}
+
+	// /stream: the default deadline kills the slow stream mid-flight
+	// (trailer carries 504) or before the first row.
+	status, body := postRaw(t, ts.URL, "/stream", map[string]any{
+		"query": "for { s <- Slow } yield bag s.x", "timeout_ms": 0,
+	})
+	if status == http.StatusOK {
+		lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+		var trailer map[string]any
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+			t.Fatalf("bad trailer: %v", err)
+		}
+		if s, _ := trailer["status"].(float64); int(s) != http.StatusGatewayTimeout {
+			t.Fatalf("stream trailer status = %v, want 504", trailer["status"])
+		}
+	} else if status != http.StatusGatewayTimeout {
+		t.Fatalf("stream status = %d, want 200+trailer or 504", status)
+	}
+
+	// Go API: timeout 0 on Service.Query means the same default.
+	eng := newTestEngine(t, nil)
+	svc := serve.NewService(eng, nil, serve.Config{DefaultTimeout: 100 * time.Millisecond})
+	defer svc.Close()
+	desc := sdg.DefaultDescription("Slow", sdg.FormatTable, "", sdg.Bag(sdg.Unknown))
+	if err := eng.Internal().RegisterSource(desc, &slowSource{name: "Slow"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.Query(context.Background(), "for { s <- Slow } yield count s", nil, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Query(timeout=0) err = %v, want DeadlineExceeded from the default", err)
+	}
+}
+
+// TestMemoryBudgetMapsTo507: a query killed by its memory budget is a
+// typed failure — HTTP 507 — and the engine keeps serving afterwards.
+func TestMemoryBudgetMapsTo507(t *testing.T) {
+	// A per-query budget far below what the join build side needs.
+	eng := newTestEngine(t, nil, vida.WithQueryMemoryBudget(2<<10))
+	svc := serve.NewService(eng, nil, serve.Config{})
+	ts := httptest.NewServer(serve.NewServer(svc).Handler())
+	defer ts.Close()
+
+	status, body := postRaw(t, ts.URL, "/query", map[string]any{
+		"query": "for { p <- Patients, g <- Genetics, p.id = g.id } yield count p",
+	})
+	if status != http.StatusInsufficientStorage {
+		t.Fatalf("join under 2KiB budget: status %d (%s), want 507", status, body)
+	}
+	if !strings.Contains(string(body), "memory budget") {
+		t.Fatalf("507 body does not name the budget: %s", body)
+	}
+
+	// The kill was query-scoped: a query that stays inside the budget
+	// still answers.
+	status, body = postRaw(t, ts.URL, "/query", map[string]any{
+		"query": "for { p <- Patients } yield count p",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("engine unusable after memory kill: status %d (%s)", status, body)
+	}
+
+	// And the typed error is visible at the Go API.
+	_, err := svc.Query(context.Background(), "for { p <- Patients, g <- Genetics, p.id = g.id } yield count p", nil, 0)
+	if !errors.Is(err, core.ErrMemoryBudget) {
+		t.Fatalf("err = %v, want core.ErrMemoryBudget", err)
+	}
+}

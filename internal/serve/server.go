@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"time"
 
 	"vida"
@@ -44,12 +47,57 @@ func NewServer(svc *Service) *Server {
 	return s
 }
 
-// Handler exposes the route table (tests mount it on httptest.Server).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the route table wrapped in the panic-containment
+// middleware (tests mount it on httptest.Server).
+func (s *Server) Handler() http.Handler { return s.recoverWrap(s.mux) }
+
+// recoverWrap is the handler-boundary panic barrier: a panicking handler
+// becomes a 500 response (when no bytes have been written yet) plus a
+// logged stack and a counter bump, instead of net/http tearing down the
+// connection with an opaque empty reply. http.ErrAbortHandler is the
+// sanctioned abort mechanism and is re-panicked untouched.
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ww := &writeCapture{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.svc.panics.Add(1)
+				log.Printf("serve: recovered panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if !ww.wrote {
+					writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+				}
+			}
+		}()
+		next.ServeHTTP(ww, r)
+	})
+}
+
+// writeCapture tracks whether the handler already wrote anything, so the
+// panic barrier knows if a 500 can still be sent.
+type writeCapture struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (c *writeCapture) WriteHeader(code int) { c.wrote = true; c.ResponseWriter.WriteHeader(code) }
+func (c *writeCapture) Write(b []byte) (int, error) {
+	c.wrote = true
+	return c.ResponseWriter.Write(b)
+}
+
+// Flush keeps the stream path working through the wrapper.
+func (c *writeCapture) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 // ListenAndServe serves on addr until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
-	s.srv = &http.Server{Addr: addr, Handler: s.mux}
+	s.srv = &http.Server{Addr: addr, Handler: s.Handler()}
 	err := s.srv.ListenAndServe()
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
@@ -311,7 +359,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("vida_cache_bytes_used", "Bytes resident in the data caches.", eng.Cache.BytesUsed)
 	gauge("vida_auxiliary_bytes", "Bytes in positional maps and semi-indexes.", eng.AuxiliaryBytes)
 	counter("vida_serve_admitted_total", "Requests admitted past the in-flight gate.", svc.Admitted)
-	counter("vida_serve_rejected_total", "Requests rejected with 429 at the in-flight gate.", svc.Rejected)
+	counter("vida_serve_rejected_total", "Requests shed with 429 at the admission gate.", svc.Rejected)
+	gauge("vida_serve_queue_depth", "Requests waiting in the admission queue right now.", svc.QueueDepth)
 	counter("vida_serve_completed_total", "Requests completed successfully.", svc.Completed)
 	counter("vida_serve_failed_total", "Requests that failed.", svc.Failed)
 	counter("vida_serve_cancelled_total", "Requests cancelled or timed out.", svc.Cancelled)
@@ -322,13 +371,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("vida_result_cache_bytes", "Approximate bytes resident in the result cache.", svc.ResultCacheBytes)
 	counter("vida_prepared_cache_hits_total", "Prepared-statement cache hits.", svc.PreparedHits)
 	counter("vida_prepared_cache_misses_total", "Prepared-statement cache misses.", svc.PreparedMisses)
+
+	// Admission-wait histogram in standard exposition shape.
+	cum, waitSum, waitCount := s.svc.admit.WaitStats()
+	b = append(b, "# HELP vida_serve_queue_wait_seconds Time requests spent waiting for an admission slot.\n"...)
+	b = append(b, "# TYPE vida_serve_queue_wait_seconds histogram\n"...)
+	for i, ub := range waitBuckets {
+		b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_bucket{le=\"%g\"} %d\n", ub.Seconds(), cum[i])
+	}
+	b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
+	b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_sum %g\n", waitSum.Seconds())
+	b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_count %d\n", waitCount)
+
+	gauge("vida_memory_tracked_bytes", "Bytes currently reserved against the global memory budget.", eng.Memory.TrackedBytes)
+	gauge("vida_memory_budget_bytes", "Global memory budget (0 = unbudgeted).", eng.Memory.BudgetBytes)
+	counter("vida_memory_query_kills_total", "Queries aborted for exceeding a memory budget.", eng.Memory.QueryKills)
+	counter("vida_memory_harvest_skips_total", "Cache harvests shed under memory pressure.", eng.Memory.HarvestSkips)
+	panics := eng.PanicsRecovered + svc.HandlerPanics
 	if p := s.svc.Pool(); p != nil {
 		ps := p.StatsSnapshot()
+		panics += ps.PanicsRecovered
 		gauge("vida_sched_workers", "Morsel scheduler workers.", int64(ps.Workers))
 		gauge("vida_sched_active_jobs", "Jobs with undispatched morsels.", int64(ps.ActiveJobs))
 		counter("vida_sched_jobs_total", "Scheduler jobs completed.", ps.JobsRun)
 		counter("vida_morsels_executed_total", "Morsels executed by the shared scheduler.", ps.TasksRun)
 	}
+	counter("vida_panics_recovered_total", "Panics contained at goroutine barriers (pool, producer, handler).", panics)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(b)
 }
@@ -398,6 +466,11 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBusy):
 		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrMemoryBudget):
+		// 507 Insufficient Storage: the query was valid but exceeded its
+		// memory budget (or the global one); retrying as-is will not help
+		// unless load drops, which distinguishes it from a plain 500.
+		return http.StatusInsufficientStorage
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -419,6 +492,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	var busy *BusyError
+	if errors.As(err, &busy) {
+		// Whole seconds, rounded up, at least 1 — the header has no
+		// sub-second granularity.
+		secs := int64((busy.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

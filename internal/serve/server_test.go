@@ -23,7 +23,7 @@ import (
 )
 
 // newTestEngine builds an engine over generated CSV+JSON workload files.
-func newTestEngine(t testing.TB, pool *sched.Pool) *vida.Engine {
+func newTestEngine(t testing.TB, pool *sched.Pool, extra ...vida.Option) *vida.Engine {
 	t.Helper()
 	dir := t.TempDir()
 	sc := workload.Scale{
@@ -41,6 +41,7 @@ func newTestEngine(t testing.TB, pool *sched.Pool) *vida.Engine {
 	if pool != nil {
 		opts = append(opts, vida.WithScheduler(pool))
 	}
+	opts = append(opts, extra...)
 	eng := vida.New(opts...)
 	if err := eng.RegisterCSV("Patients", paths.Patients, workload.PatientsSchema(sc), nil); err != nil {
 		t.Fatal(err)

@@ -16,8 +16,9 @@ import (
 	"vida/internal/sched"
 )
 
-// ErrBusy is returned when the in-flight query limit is reached; the
-// HTTP layer maps it to 429 Too Many Requests.
+// ErrBusy is the sentinel matched (via errors.Is) by admission-shed
+// failures; the HTTP layer maps it to 429 Too Many Requests. Concrete
+// shed errors are *BusyError values carrying a Retry-After estimate.
 var ErrBusy = errors.New("serve: too many in-flight queries")
 
 // BadQueryError marks failures of the query frontend (syntax, type,
@@ -33,8 +34,13 @@ func (e *BadQueryError) Unwrap() error { return e.Err }
 // Config tunes the admission/session layer.
 type Config struct {
 	// MaxInFlight bounds concurrently executing queries (default
-	// 4×GOMAXPROCS; queries beyond it are rejected with ErrBusy).
+	// 4×GOMAXPROCS). Requests beyond it wait in the admission queue.
 	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 4×MaxInFlight; <0 disables queueing, restoring fail-fast 429s).
+	// A full queue — or a deadline that cannot be met while queued —
+	// sheds the request with a BusyError.
+	MaxQueue int
 	// DefaultTimeout bounds each query's execution; requests may shorten
 	// it but never extend it (default 30s; <0 disables the bound and
 	// lets requests pick any timeout).
@@ -56,6 +62,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
 	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 4 * c.MaxInFlight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -75,11 +87,15 @@ func (c Config) withDefaults() Config {
 // to the engine's own counters.
 type Stats struct {
 	Admitted         int64 `json:"admitted"`
-	Rejected         int64 `json:"rejected"`
+	Rejected         int64 `json:"rejected"` // shed at admission (429)
 	Completed        int64 `json:"completed"`
 	Failed           int64 `json:"failed"`
 	Cancelled        int64 `json:"cancelled"`
 	InFlight         int64 `json:"in_flight"`
+	QueueDepth       int64 `json:"queue_depth"`       // waiting for a slot now
+	QueueWaits       int64 `json:"queue_waits"`       // admissions observed by the wait histogram
+	QueueWaitTotalMS int64 `json:"queue_wait_total_ms"`
+	HandlerPanics    int64 `json:"handler_panics"` // HTTP handler panics recovered
 	Streams          int64 `json:"streams"`
 	ResultHits       int64 `json:"result_cache_hits"`
 	ResultMisses     int64 `json:"result_cache_misses"`
@@ -93,11 +109,11 @@ type Stats struct {
 // in-flight queries, per-query timeouts and cancellation, and
 // epoch-keyed prepared-statement and result caches.
 type Service struct {
-	eng  *vida.Engine
-	core *core.Engine
-	pool *sched.Pool
-	cfg  Config
-	sem  chan struct{}
+	eng   *vida.Engine
+	core  *core.Engine
+	pool  *sched.Pool
+	cfg   Config
+	admit *admitQueue
 
 	prepared *lruCache
 	results  *lruCache
@@ -113,6 +129,7 @@ type Service struct {
 	resultMisses atomic.Int64
 	prepHits     atomic.Int64
 	prepMisses   atomic.Int64
+	panics       atomic.Int64 // HTTP handler panics recovered
 }
 
 // NewService wraps an engine with admission control and session caches.
@@ -125,7 +142,7 @@ func NewService(eng *vida.Engine, pool *sched.Pool, cfg Config) *Service {
 		core:     eng.Internal(),
 		pool:     pool,
 		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
+		admit:    newAdmitQueue(cfg.MaxInFlight, cfg.MaxQueue),
 		prepared: newLRU(cfg.PreparedCacheEntries, 0),
 		results:  newLRU(cfg.ResultCacheEntries, cfg.ResultCacheBytes),
 	}
@@ -143,6 +160,7 @@ func (s *Service) Close() error { return s.eng.Close() }
 
 // StatsSnapshot returns service counters.
 func (s *Service) StatsSnapshot() Stats {
+	_, waitSum, waitCount := s.admit.WaitStats()
 	return Stats{
 		Admitted:         s.admitted.Load(),
 		Rejected:         s.rejected.Load(),
@@ -150,6 +168,10 @@ func (s *Service) StatsSnapshot() Stats {
 		Failed:           s.failed.Load(),
 		Cancelled:        s.cancelled.Load(),
 		InFlight:         s.inFlight.Load(),
+		QueueDepth:       int64(s.admit.Depth()),
+		QueueWaits:       waitCount,
+		QueueWaitTotalMS: waitSum.Milliseconds(),
+		HandlerPanics:    s.panics.Load(),
 		Streams:          s.streams.Load(),
 		ResultHits:       s.resultHits.Load(),
 		ResultMisses:     s.resultMisses.Load(),
@@ -167,18 +189,21 @@ type Outcome struct {
 	Elapsed time.Duration
 }
 
-// Query admits, plans and executes one comprehension query. Beyond the
-// in-flight limit it fails fast with ErrBusy. The query runs under ctx
-// plus the configured timeout; cancellation propagates into scans.
-// timeout <= 0 (or anything beyond the service default) uses the
-// service default. Positional args bind $1..$n, vida.NamedArg values
-// bind $name; the result cache keys on (query, bindings).
+// Query admits, plans and executes one comprehension query. When every
+// execution slot is busy the request waits in the FIFO admission queue
+// until its deadline; it is shed with a BusyError (429 + Retry-After)
+// only when the queue is full or the deadline cannot be met. The query
+// runs under ctx plus the configured timeout — queue wait counts
+// against the deadline; cancellation propagates into scans. timeout <=
+// 0 (or anything beyond the service default) uses the service default.
+// Positional args bind $1..$n, vida.NamedArg values bind $name; the
+// result cache keys on (query, bindings).
 func (s *Service) Query(ctx context.Context, src string, args []any, timeout time.Duration) (*Outcome, error) {
 	start := time.Now()
 
-	// Result cache first: a hit executes nothing, so it is served even
-	// when every admission slot is held by slow queries — repeats stay
-	// cheap exactly when the engine is saturated.
+	// Result cache first: a hit executes nothing, so it bypasses the
+	// admission queue entirely — repeats stay cheap exactly when the
+	// engine is saturated.
 	epoch := s.core.Epoch()
 	key := cacheKey(src, args)
 	if v, ok := s.results.get(key, epoch); ok {
@@ -188,20 +213,19 @@ func (s *Service) Query(ctx context.Context, src string, args []any, timeout tim
 	}
 	s.resultMisses.Add(1)
 
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.rejected.Add(1)
-		return nil, ErrBusy
+	// The timeout starts before admission: a request that waits in the
+	// queue spends its own deadline doing so, and one whose deadline
+	// cannot be met is shed instead of queued.
+	ctx, cancel := s.boundCtx(ctx, timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
 	}
-	s.admitted.Add(1)
 	s.inFlight.Add(1)
 	defer func() {
 		s.inFlight.Add(-1)
-		<-s.sem
+		s.admit.Release()
 	}()
-	ctx, cancel := s.boundCtx(ctx, timeout)
-	defer cancel()
 
 	p, err := s.preparedFor(ctx, src, epoch)
 	if err != nil {
@@ -225,6 +249,21 @@ func (s *Service) Query(ctx context.Context, src string, args []any, timeout tim
 	}
 	s.completed.Add(1)
 	return &Outcome{Result: res, Elapsed: time.Since(start)}, nil
+}
+
+// acquire runs admission and classifies its failures: sheds count as
+// rejected, a client that went away while queued as cancelled.
+func (s *Service) acquire(ctx context.Context) error {
+	if err := s.admit.Acquire(ctx); err != nil {
+		if errors.Is(err, ErrBusy) {
+			s.rejected.Add(1)
+		} else {
+			s.cancelled.Add(1)
+		}
+		return err
+	}
+	s.admitted.Add(1)
+	return nil
 }
 
 // QuerySQL translates SQL to a comprehension and serves it through the
@@ -267,22 +306,19 @@ func (s *Service) QueryRows(ctx context.Context, src string, sql bool, args []an
 		}
 		src = comp
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.rejected.Add(1)
-		return nil, nil, ErrBusy
+	ctx, cancel := s.boundCtx(ctx, timeout)
+	if err := s.acquire(ctx); err != nil {
+		cancel()
+		return nil, nil, err
 	}
-	s.admitted.Add(1)
 	s.inFlight.Add(1)
 	s.streams.Add(1)
-	ctx, cancel := s.boundCtx(ctx, timeout)
 	var once sync.Once
 	finish := func(outcome func() error) {
 		once.Do(func() {
 			cancel()
 			s.inFlight.Add(-1)
-			<-s.sem
+			s.admit.Release()
 			switch err := outcome(); {
 			case err == nil:
 				s.completed.Add(1)

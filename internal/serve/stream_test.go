@@ -293,6 +293,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE vida_queries_total counter",
 		"# TYPE vida_serve_in_flight gauge",
 		"vida_result_cache_misses_total",
+		"# TYPE vida_serve_queue_depth gauge",
+		"# TYPE vida_serve_queue_wait_seconds histogram",
+		`vida_serve_queue_wait_seconds_bucket{le="+Inf"}`,
+		"vida_serve_queue_wait_seconds_count",
+		"vida_memory_query_kills_total",
+		"vida_memory_harvest_skips_total",
+		"vida_panics_recovered_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)
@@ -311,7 +318,10 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestStreamRejectedWhenSaturated(t *testing.T) {
-	srv := newSlowStreamServer(t, serve.Config{MaxInFlight: 1, DefaultTimeout: time.Minute})
+	// MaxQueue < 0 restores fail-fast admission: with the only slot held
+	// by the stream, the query below is shed immediately instead of
+	// queueing for it.
+	srv := newSlowStreamServer(t, serve.Config{MaxInFlight: 1, MaxQueue: -1, DefaultTimeout: time.Minute})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

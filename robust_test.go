@@ -1,0 +1,177 @@
+package vida_test
+
+// Fault-isolation regression tests at the public API: panic containment
+// at the execution and stream-producer barriers, double-Close safety on
+// Rows, and memory governance degrading gracefully (harvests shed before
+// queries die).
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"vida"
+	"vida/internal/core"
+	"vida/internal/faultinject"
+	"vida/internal/workload"
+)
+
+func robustEngine(t testing.TB, opts ...vida.Option) *vida.Engine {
+	t.Helper()
+	dir := t.TempDir()
+	sc := workload.Scale{
+		PatientsRows:   900,
+		PatientsCols:   12,
+		GeneticsRows:   700,
+		GeneticsCols:   10,
+		RegionsObjects: 150,
+	}
+	paths, err := workload.GenerateAll(dir, sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := vida.New(opts...)
+	if err := eng.RegisterCSV("Patients", paths.Patients, workload.PatientsSchema(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterCSV("Genetics", paths.Genetics, workload.GeneticsSchema(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterJSON("BrainRegions", paths.Regions, ""); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestPanicContainment: a panic inside a scan becomes a query-scoped
+// error; the engine answers the next query as if nothing happened.
+func TestPanicContainment(t *testing.T) {
+	defer faultinject.Reset()
+	eng := robustEngine(t)
+
+	faultinject.Set(faultinject.CSVRead, func() error { panic("injected scan panic") })
+	_, err := eng.Query("for { p <- Patients } yield count p")
+	if err == nil {
+		t.Fatal("query with panicking scan returned nil error")
+	}
+	if !strings.Contains(err.Error(), "panic recovered") {
+		t.Fatalf("err = %v, want a recovered-panic error", err)
+	}
+
+	faultinject.Reset()
+	res, err := eng.Query("for { p <- Patients } yield count p")
+	if err != nil {
+		t.Fatalf("engine dead after contained panic: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("empty result after contained panic")
+	}
+}
+
+// TestStreamProducerPanicContainment: the same containment on the
+// cursor path — the producer goroutine's panic surfaces as Rows.Err,
+// never as a crash.
+func TestStreamProducerPanicContainment(t *testing.T) {
+	defer faultinject.Reset()
+	eng := robustEngine(t)
+
+	faultinject.Set(faultinject.CSVRead, func() error { panic("injected producer panic") })
+	rows, err := eng.QueryRows("for { p <- Patients } yield bag p.id")
+	if err != nil {
+		// Planning may fail before the producer starts; that is fine as
+		// long as it is the recovered panic, not a crash.
+		if !strings.Contains(err.Error(), "panic recovered") {
+			t.Fatalf("open err = %v, want recovered panic", err)
+		}
+		return
+	}
+	for rows.Next() {
+	}
+	err = rows.Err()
+	rows.Close()
+	if err == nil || !strings.Contains(err.Error(), "panic recovered") {
+		t.Fatalf("rows.Err() = %v, want recovered panic", err)
+	}
+}
+
+// TestRowsDoubleCloseRace: Close is idempotent and safe to race with
+// another Close and with a reader (run under -race in CI).
+func TestRowsDoubleCloseRace(t *testing.T) {
+	eng := robustEngine(t)
+	for i := 0; i < 10; i++ {
+		rows, err := eng.QueryRows("for { p <- Patients } yield bag p.id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("no rows: %v", rows.Err())
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < 3; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rows.Close()
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rows.Next() {
+			}
+		}()
+		wg.Wait()
+		if err := rows.Close(); err != nil {
+			t.Fatalf("Close after Close: %v", err)
+		}
+	}
+}
+
+// TestGlobalBudgetShedsHarvestNotQueries: with a global budget too small
+// for the columnar caches, cold scans still answer — the engine sheds
+// the harvest (counted in stats) instead of killing the query.
+func TestGlobalBudgetShedsHarvestNotQueries(t *testing.T) {
+	eng := robustEngine(t, vida.WithMemoryBudget(16<<10))
+
+	res, err := eng.Query("for { p <- Patients } yield count p")
+	if err != nil {
+		t.Fatalf("cold scan under tiny global budget: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("empty result")
+	}
+	mem := eng.Stats().Memory
+	if mem.HarvestSkips == 0 {
+		t.Fatalf("harvest not shed under a 16KiB global budget: %+v", mem)
+	}
+	if mem.QueryKills != 0 {
+		t.Fatalf("query killed instead of harvest shed: %+v", mem)
+	}
+
+	// Rerunning still answers (raw every time, never cached) and matches.
+	res2, err := eng.Query("for { p <- Patients } yield count p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value().String() != res2.Value().String() {
+		t.Fatalf("unharvested rescan drifted: %v vs %v", res.Value(), res2.Value())
+	}
+}
+
+// TestQueryBudgetKillIsTyped: the per-query budget aborts with the
+// ErrMemoryBudget sentinel and counts the kill.
+func TestQueryBudgetKillIsTyped(t *testing.T) {
+	eng := robustEngine(t, vida.WithQueryMemoryBudget(2<<10))
+	_, err := eng.Query("for { p <- Patients, g <- Genetics, p.id = g.id } yield count p")
+	if !errors.Is(err, core.ErrMemoryBudget) {
+		t.Fatalf("err = %v, want ErrMemoryBudget", err)
+	}
+	var mbe *core.MemoryBudgetError
+	if !errors.As(err, &mbe) || mbe.Scope != "query" {
+		t.Fatalf("err = %#v, want query-scoped MemoryBudgetError", err)
+	}
+	if kills := eng.Stats().Memory.QueryKills; kills == 0 {
+		t.Fatalf("QueryKills = %d, want > 0", kills)
+	}
+}

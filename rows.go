@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"vida/internal/core"
@@ -124,7 +125,11 @@ type Rows struct {
 	cur    Value
 	peeked bool
 	err    error
-	closed bool
+
+	// closed is atomic: iteration is single-goroutine, but Close may be
+	// called twice concurrently (a deferred Close racing a cleanup path)
+	// and must stay safe.
+	closed atomic.Bool
 }
 
 // newRows wraps a core cursor, deriving column names from the prepared
@@ -156,7 +161,7 @@ func columnsFromType(t *sdg.Type) []string {
 
 // fetch advances to the next row, loading chunks as needed.
 func (r *Rows) fetch() bool {
-	if r.closed || r.err != nil {
+	if r.closed.Load() || r.err != nil {
 		return false
 	}
 	for r.pos >= len(r.chunk) {
@@ -227,7 +232,7 @@ func (r *Rows) ChunkBoundary() bool {
 // *float64, *string, *bool, *[]byte, *any and *Value; numeric
 // conversions widen or round-trip exactly or fail.
 func (r *Rows) Scan(dest ...any) error {
-	if r.closed {
+	if r.closed.Load() {
 		return fmt.Errorf("vida: Scan on closed Rows")
 	}
 	row := r.cur
@@ -256,13 +261,11 @@ func (r *Rows) Scan(dest ...any) error {
 // cancelled by its own Close reports no error.
 func (r *Rows) Err() error { return r.err }
 
-// Close aborts the stream and releases its resources. Idempotent; safe
-// to call mid-iteration or after exhaustion.
+// Close aborts the stream and releases its resources. Idempotent and
+// safe under concurrent double-close (including one racing a producer
+// error); safe to call mid-iteration or after exhaustion.
 func (r *Rows) Close() error {
-	if r.closed {
-		return nil
-	}
-	r.closed = true
+	r.closed.Store(true)
 	return r.inner.Close()
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"vida"
 	"vida/internal/core"
+	"vida/internal/serve"
 )
 
 func init() {
@@ -144,10 +145,12 @@ var (
 )
 
 // mapErr folds engine errors into driver conventions: a closed engine
-// means every connection of this pool is dead, which database/sql is
-// told via ErrBadConn.
+// means every connection of this pool is dead, and an admission shed
+// (any serve.ErrBusy-shaped failure) is transient overload — both map
+// to ErrBadConn so database/sql retries on another connection instead
+// of surfacing a generic, terminal-looking error.
 func mapErr(err error) error {
-	if errors.Is(err, core.ErrClosed) {
+	if errors.Is(err, core.ErrClosed) || errors.Is(err, serve.ErrBusy) {
 		return driver.ErrBadConn
 	}
 	return err

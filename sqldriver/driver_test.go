@@ -10,6 +10,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"vida/internal/core"
+	"vida/internal/serve"
 )
 
 // writePeopleCSV writes an n-row People file and returns its DSN entry.
@@ -226,5 +230,25 @@ func TestOrderByLimitThroughDriver(t *testing.T) {
 		if got != n {
 			t.Fatalf("prepared limit %d returned %d rows", n, got)
 		}
+	}
+}
+
+// TestMapErrRetryable: admission sheds and closed engines are reported
+// as ErrBadConn so database/sql retries on another connection; ordinary
+// query failures pass through untouched.
+func TestMapErrRetryable(t *testing.T) {
+	busy := &serve.BusyError{RetryAfter: time.Second, Reason: "admission queue full"}
+	if got := mapErr(busy); !errors.Is(got, driver.ErrBadConn) {
+		t.Fatalf("mapErr(BusyError) = %v, want driver.ErrBadConn", got)
+	}
+	if got := mapErr(fmt.Errorf("wrapped: %w", serve.ErrBusy)); !errors.Is(got, driver.ErrBadConn) {
+		t.Fatalf("mapErr(wrapped ErrBusy) = %v, want driver.ErrBadConn", got)
+	}
+	if got := mapErr(core.ErrClosed); !errors.Is(got, driver.ErrBadConn) {
+		t.Fatalf("mapErr(ErrClosed) = %v, want driver.ErrBadConn", got)
+	}
+	plain := errors.New("syntax error")
+	if got := mapErr(plain); got != plain {
+		t.Fatalf("mapErr(plain) = %v, want the error unchanged", got)
 	}
 }

@@ -67,6 +67,21 @@ func WithAdaptiveOptimizer() Option {
 	return func(o *core.Options) { o.Adaptive = true }
 }
 
+// WithMemoryBudget bounds the engine's tracked execution memory
+// (collection results, join build sides, dedup tables, in-flight cache
+// harvests) across all queries to n bytes. Under pressure the engine
+// sheds cache harvesting first; at the ceiling queries abort with a
+// typed memory-budget error instead of OOM-ing the process.
+func WithMemoryBudget(n int64) Option {
+	return func(o *core.Options) { o.MemoryBudgetBytes = n }
+}
+
+// WithQueryMemoryBudget bounds each single query's tracked execution
+// memory to n bytes.
+func WithQueryMemoryBudget(n int64) Option {
+	return func(o *core.Options) { o.QueryMemoryBudgetBytes = n }
+}
+
 // WithScheduler runs the engine's parallel scans on the given morsel
 // worker pool. Engines sharing one pool (a query server's engines, or
 // several engines in one process) bound their total scan parallelism to
