@@ -24,6 +24,7 @@ import (
 	"vida/internal/experiments"
 	"vida/internal/sched"
 	"vida/internal/serve"
+	"vida/internal/trace"
 	"vida/internal/values"
 	"vida/internal/workload"
 )
@@ -236,6 +237,64 @@ func BenchmarkQueryWarmCSV(b *testing.B) {
 		if _, err := eng.Query(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryWarmCSVTraced is the warm query with a span recorder
+// armed on the context — compare against BenchmarkQueryWarmCSV to see
+// the cost a served (always-traced) query pays over the library path.
+func BenchmarkQueryWarmCSVTraced(b *testing.B) {
+	dir := b.TempDir()
+	sc := benchScale()
+	path := filepath.Join(dir, "p.csv")
+	if err := workload.GeneratePatients(path, sc, 42); err != nil {
+		b.Fatal(err)
+	}
+	eng := vida.New()
+	must(b, eng.RegisterCSV("Patients", path, workload.PatientsSchema(sc), nil))
+	q := `for { p <- Patients, p.age > 40 } yield avg p.bmi`
+	if _, err := eng.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trace.New(trace.NewID(), "bench")
+		ctx := trace.WithTracer(context.Background(), tr)
+		if _, err := eng.QueryCtx(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+	}
+}
+
+// TestTracingDisarmedNoExtraAllocs guards the tentpole's overhead
+// contract: with no tracer on the context, the instrumented warm-query
+// path allocates no more than it did before tracing existed (39
+// allocs/op at the time this guard was written; the bound leaves a
+// little slack so unrelated churn doesn't trip it).
+func TestTracingDisarmedNoExtraAllocs(t *testing.T) {
+	dir := t.TempDir()
+	sc := benchScale()
+	path := filepath.Join(dir, "p.csv")
+	if err := workload.GeneratePatients(path, sc, 42); err != nil {
+		t.Fatal(err)
+	}
+	eng := vida.New()
+	if err := eng.RegisterCSV("Patients", path, workload.PatientsSchema(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	q := `for { p <- Patients, p.age > 40 } yield avg p.bmi`
+	if _, err := eng.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 44 // pre-tracing baseline 39, plus slack
+	if allocs > budget {
+		t.Fatalf("disarmed warm query allocates %.0f/op, budget %d: tracing is no longer free when off", allocs, budget)
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 // running to completion. It is installed only for cancellable contexts;
 // background-context queries keep the undecorated fast path.
 type ctxCatalog struct {
-	inner catalog
+	inner jit.SchemaCatalog
 	ctx   context.Context
 }
 

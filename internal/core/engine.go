@@ -11,12 +11,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vida/internal/algebra"
 	"vida/internal/cache"
@@ -31,6 +32,7 @@ import (
 	"vida/internal/rawxls"
 	"vida/internal/sched"
 	"vida/internal/sdg"
+	"vida/internal/trace"
 	"vida/internal/values"
 	"vida/internal/vec"
 )
@@ -102,6 +104,11 @@ type Stats struct {
 	AuxiliaryBytes    int64 // positional maps + semi-indexes
 	Memory            MemoryStats
 	PanicsRecovered   int64 // execution panics contained as query errors
+	// Kernel staging tallies from the JIT compiler: how many pipeline
+	// stages (filters, binds, reduce heads) were staged as vectorized
+	// kernels vs. row-wise boxed fallbacks, across all queries.
+	KernelStagesVectorized int64
+	KernelStagesBoxed      int64
 }
 
 // refresher is implemented by readers that can detect file changes.
@@ -159,6 +166,13 @@ type Engine struct {
 	harvestSkips atomic.Int64
 	panics       atomic.Int64
 
+	kernelVec   atomic.Int64
+	kernelBoxed atomic.Int64
+	// kernelStatsFn is the pre-bound jit.Options.KernelStats hook: bound
+	// once here so the per-query Options assignment stays allocation-free
+	// (a method value created per query would allocate on the warm path).
+	kernelStatsFn func(vectorized, boxed int64)
+
 	planShards     [planShardCount]planShard
 	planCacheLimit int // per shard
 
@@ -185,6 +199,10 @@ func NewEngine(opts Options) *Engine {
 	e.mem.limit = opts.MemoryBudgetBytes
 	for i := range e.planShards {
 		e.planShards[i].m = map[string]*planEntry{}
+	}
+	e.kernelStatsFn = func(vectorized, boxed int64) {
+		e.kernelVec.Add(vectorized)
+		e.kernelBoxed.Add(boxed)
 	}
 	return e
 }
@@ -459,7 +477,9 @@ func (e *Engine) StatsSnapshot() Stats {
 			HarvestSkips:  e.harvestSkips.Load(),
 			UnderPressure: e.mem.underPressure(),
 		},
-		PanicsRecovered: e.panics.Load(),
+		PanicsRecovered:        e.panics.Load(),
+		KernelStagesVectorized: e.kernelVec.Load(),
+		KernelStagesBoxed:      e.kernelBoxed.Load(),
 	}
 }
 
@@ -475,16 +495,7 @@ type catalog struct {
 
 // Source implements algebra.Catalog.
 func (c catalog) Source(name string) (algebra.Source, bool) {
-	c.e.mu.RLock()
-	s, ok := c.e.sources[name]
-	c.e.mu.RUnlock()
-	if !ok {
-		return nil, false
-	}
-	if c.e.opts.DisableCaching || s.isView {
-		return &countingSource{e: c.e, inner: s.src, raw: true}, true
-	}
-	return &cachingSource{e: c.e, entry: s}, true
+	return c.e.sourceFor(name, nil)
 }
 
 // Description implements jit.SchemaCatalog.
@@ -492,11 +503,79 @@ func (c catalog) Description(name string) (*sdg.Description, bool) {
 	return c.e.Description(name)
 }
 
+// tracedCatalog is the armed variant of catalog: the sources it hands
+// out record scan spans under sp. It is a separate (heap-allocated)
+// type, not a field on catalog, so the disarmed catalog value stays
+// pointer-shaped and its interface conversion allocation-free on the
+// warm query path.
+type tracedCatalog struct {
+	e  *Engine
+	sp *trace.Span
+}
+
+// Source implements algebra.Catalog.
+func (c *tracedCatalog) Source(name string) (algebra.Source, bool) {
+	return c.e.sourceFor(name, c.sp)
+}
+
+// Description implements jit.SchemaCatalog.
+func (c *tracedCatalog) Description(name string) (*sdg.Description, bool) {
+	return c.e.Description(name)
+}
+
+// sourceFor resolves a catalog source, wiring the cache interposition
+// layer and the (possibly nil) trace span scans record under.
+func (e *Engine) sourceFor(name string, sp *trace.Span) (algebra.Source, bool) {
+	e.mu.RLock()
+	s, ok := e.sources[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if e.opts.DisableCaching || s.isView {
+		return &countingSource{e: e, inner: s.src, raw: true, sp: sp}, true
+	}
+	return &cachingSource{e: e, entry: s, sp: sp}, true
+}
+
+// traceYield wraps a batch yield to account rows/bytes/batches into sp.
+// A nil sp returns yield unchanged, so the disarmed path allocates no
+// closure.
+func traceYield(sp *trace.Span, yield func(*vec.Batch) error) func(*vec.Batch) error {
+	if sp == nil {
+		return yield
+	}
+	return func(b *vec.Batch) error {
+		sp.AddBatches(1)
+		sp.AddRows(int64(b.Len()))
+		sp.AddBytes(b.MemoryBytes())
+		return yield(b)
+	}
+}
+
 // countingSource tags scans for the statistics (cache vs raw).
 type countingSource struct {
 	e     *Engine
 	inner algebra.Source
 	raw   bool
+	sp    *trace.Span // parent for scan spans; nil when disarmed
+}
+
+// scanSpan opens a scan span for this source (nil when disarmed). The
+// explicit nil check matters: SetAttr's arguments would box to `any` at
+// the call site even for a nil receiver, allocating on the disarmed path.
+func (s *countingSource) scanSpan() *trace.Span {
+	if s.sp == nil {
+		return nil
+	}
+	sp := s.sp.Child("scan")
+	sp.SetAttr("source", s.inner.Name())
+	if s.raw {
+		sp.SetAttr("mode", "raw")
+	} else {
+		sp.SetAttr("mode", "cache")
+	}
+	return sp
 }
 
 func (s *countingSource) Name() string { return s.inner.Name() }
@@ -530,7 +609,9 @@ func (s *countingSource) IterateSlots(fields []string, yield func([]values.Value
 func (s *countingSource) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
 	if bs, ok := s.inner.(jit.BatchSource); ok {
 		s.count()
-		return bs.IterateBatches(fields, batchSize, yield)
+		sp := s.scanSpan()
+		defer sp.End()
+		return bs.IterateBatches(fields, batchSize, traceYield(sp, yield))
 	}
 	return batchesFromSlots(s.IterateSlots, fields, batchSize, yield)
 }
@@ -558,6 +639,47 @@ func (s *countingSource) OpenRange(fields []string) (func(lo, hi, batchSize int,
 type cachingSource struct {
 	e     *Engine
 	entry *sourceEntry
+	sp    *trace.Span // parent for scan spans; nil when disarmed
+}
+
+// scanSpan opens a scan span for this source (nil when disarmed). The
+// explicit nil check matters: SetAttr's arguments would box to `any` at
+// the call site even for a nil receiver, allocating on the disarmed path.
+func (s *cachingSource) scanSpan(mode string) *trace.Span {
+	if s.sp == nil {
+		return nil
+	}
+	sp := s.sp.Child("scan")
+	sp.SetAttr("source", s.entry.desc.Name)
+	sp.SetAttr("mode", mode)
+	return sp
+}
+
+// buildStats reads the raw reader's cumulative auxiliary-build counters
+// (positional map / semi-index). The tracer diffs them around a raw scan
+// to attribute a build to the query that paid for it.
+func (s *cachingSource) buildStats() (builds, nanos int64, event string) {
+	switch {
+	case s.entry.csv != nil:
+		b, n := s.entry.csv.BuildStats()
+		return b, n, "posmap_build"
+	case s.entry.json != nil:
+		b, n := s.entry.json.BuildStats()
+		return b, n, "semiindex_build"
+	}
+	return 0, 0, ""
+}
+
+// recordBuild emits a completed build child span on sp when the scan
+// between the buildStats snapshot (b0, n0) and now ran one.
+func (s *cachingSource) recordBuild(sp *trace.Span, b0, n0 int64) {
+	if sp == nil {
+		return
+	}
+	b1, n1, event := s.buildStats()
+	if event != "" && b1 > b0 {
+		sp.Event(event, time.Duration(n1-n0), trace.Attr{Key: "builds", Val: b1 - b0})
+	}
 }
 
 // harvestGuard snapshots the engine epoch before a raw scan whose rows
@@ -694,11 +816,22 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 	if len(fields) > 0 {
 		if entry, ok := s.e.caches.GetColumns(name, fields); ok {
 			s.e.cacheScans.Add(1)
+			sp := s.scanSpan("cache")
+			defer sp.End()
 			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
-			return src.IterateBatches(fields, batchSize, yield)
+			return src.IterateBatches(fields, batchSize, traceYield(sp, yield))
 		}
 		if bs, ok := s.entry.src.(jit.BatchSource); ok {
 			s.e.rawScans.Add(1)
+			sp := s.scanSpan("raw")
+			if sp != nil {
+				b0, n0, _ := s.buildStats()
+				defer func() {
+					s.recordBuild(sp, b0, n0)
+					sp.End()
+				}()
+				yield = traceYield(sp, yield)
+			}
 			guard := s.newHarvestGuard()
 			// Pre-size harvest columns when the reader already knows its
 			// row count — repeated scans then build cache columns with a
@@ -724,6 +857,7 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 			if !harvest {
 				s.e.harvestSkips.Add(1)
 			}
+			sp.SetAttr("harvest", harvest)
 			var builders []*vec.ColBuilder
 			if harvest {
 				builders = make([]*vec.ColBuilder, len(fields))
@@ -789,13 +923,20 @@ func (s *cachingSource) OpenRange(fields []string) (func(lo, hi, batchSize int, 
 		if !ok {
 			return nil, 0, false
 		}
+		// The range scan span has no single end point (morsels finish with
+		// the job); it is opened on the first morsel and closed by
+		// Tracer.Finish. once.Do's memory barrier publishes sp to every
+		// morsel worker.
+		var sp *trace.Span
 		var once sync.Once
 		return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
 			once.Do(func() {
 				s.e.caches.Touch(name, cache.LayoutColumns)
 				s.e.cacheScans.Add(1)
+				sp = s.scanSpan("cache")
+				sp.SetAttr("range", true)
 			})
-			return scan(lo, hi, batchSize, yield)
+			return scan(lo, hi, batchSize, traceYield(sp, yield))
 		}, n, true
 	}
 	rs, ok := s.entry.src.(jit.RangeBatchSource)
@@ -806,10 +947,15 @@ func (s *cachingSource) OpenRange(fields []string) (func(lo, hi, batchSize int, 
 	if !ok {
 		return nil, 0, false
 	}
+	var sp *trace.Span
 	var once sync.Once
 	return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
-		once.Do(func() { s.e.rawScans.Add(1) })
-		return scan(lo, hi, batchSize, yield)
+		once.Do(func() {
+			s.e.rawScans.Add(1)
+			sp = s.scanSpan("raw")
+			sp.SetAttr("range", true)
+		})
+		return scan(lo, hi, batchSize, traceYield(sp, yield))
 	}, n, true
 }
 
@@ -1018,17 +1164,23 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 
 // PrepareCtx is Prepare with a cancellation context.
 func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) {
+	fsp := trace.FromContext(ctx).Root().Child("frontend")
+	defer fsp.End()
 	sh := e.planShard(src)
 	sh.mu.RLock()
 	cached := sh.m[src]
 	sh.mu.RUnlock()
 	if cached != nil {
+		fsp.SetAttr("plan_cache", "hit")
 		return &Prepared{engine: e, plan: cached.plan, Type: cached.typ, params: cached.params}, nil
 	}
+	fsp.SetAttr("plan_cache", "miss")
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	psp := fsp.Child("parse")
 	expr, err := mcl.Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -1036,10 +1188,14 @@ func (e *Engine) PrepareCtx(ctx context.Context, src string) (*Prepared, error) 
 	// so the contract the user sees is stable even when a rewrite folds a
 	// placeholder away.
 	params := mcl.Params(expr)
+	tsp := fsp.Child("typecheck")
 	typ, err := e.typeCheck(expr)
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
+	osp := fsp.Child("optimize")
+	defer osp.End()
 	norm := mcl.Normalize(expr)
 	sources := map[string]bool{}
 	e.mu.RLock()
@@ -1119,13 +1275,18 @@ func (p *Prepared) runPlanCtx(ctx context.Context, plan *algebra.Reduce) (values
 	e.mu.RLock()
 	mode := e.opts.Mode
 	e.mu.RUnlock()
+	execSp := trace.FromContext(ctx).Root().Child("execute")
+	defer execSp.End()
 	var cat jit.SchemaCatalog = catalog{e: e}
+	if execSp != nil {
+		cat = &tracedCatalog{e: e, sp: execSp}
+	}
 	if ctx.Done() != nil {
-		cat = ctxCatalog{inner: catalog{e: e}, ctx: ctx}
+		cat = ctxCatalog{inner: cat, ctx: ctx}
 	}
 	qm := e.newQueryMem()
 	defer qm.release()
-	v, err := e.execPlan(ctx, mode, plan, cat, qm)
+	v, err := e.execPlan(ctx, mode, plan, cat, qm, execSp)
 	if err != nil {
 		if errors.Is(err, ErrMemoryBudget) {
 			e.memKills.Add(1)
@@ -1150,14 +1311,15 @@ func (p *Prepared) runPlanCtx(ctx context.Context, plan *algebra.Reduce) (values
 // *sched.PanicError) instead of crashing the process. Parallel morsels
 // have their own barrier in the scheduler; this one covers the serial
 // paths and everything around them.
-func (e *Engine) execPlan(ctx context.Context, mode ExecMode, plan *algebra.Reduce, cat jit.SchemaCatalog, qm *queryMem) (v values.Value, err error) {
+func (e *Engine) execPlan(ctx context.Context, mode ExecMode, plan *algebra.Reduce, cat jit.SchemaCatalog, qm *queryMem, sp *trace.Span) (v values.Value, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(*sched.PanicError); !ok {
 				// First recovery of this panic: count and log it once.
 				e.panics.Add(1)
 				perr := &sched.PanicError{Value: r, Stack: debug.Stack()}
-				log.Printf("core: recovered panic in query execution: %v\n%s", r, perr.Stack)
+				slog.Error("recovered panic in query execution",
+					"component", "core", "panic", fmt.Sprint(r), "stack", string(perr.Stack))
 				r = perr
 			}
 			v, err = values.Null, r.(*sched.PanicError)
@@ -1169,7 +1331,8 @@ func (e *Engine) execPlan(ctx context.Context, mode ExecMode, plan *algebra.Redu
 	case ModeReference:
 		return algebra.Reference{}.Run(plan, cat)
 	default:
-		opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels, MemReserve: qm.reserveFunc()}
+		opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels,
+			MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn}
 		return jit.Executor{Opts: opts}.RunCtx(ctx, plan, cat)
 	}
 }

@@ -3,13 +3,15 @@ package core
 import (
 	"context"
 	"errors"
-	"log"
+	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync/atomic"
 
 	"vida/internal/algebra"
 	"vida/internal/jit"
 	"vida/internal/sched"
+	"vida/internal/trace"
 	"vida/internal/values"
 )
 
@@ -100,11 +102,17 @@ func (e *Engine) streamRows(ctx context.Context, plan *algebra.Reduce) (*Rows, e
 	}
 	e.queries.Add(1)
 	rawBefore := e.rawScans.Load()
-	cat := ctxCatalog{inner: catalog{e: e}, ctx: sctx}
+	execSp := trace.FromContext(ctx).Root().Child("execute")
+	var inner jit.SchemaCatalog = catalog{e: e}
+	if execSp != nil {
+		inner = &tracedCatalog{e: e, sp: execSp}
+	}
+	cat := ctxCatalog{inner: inner, ctx: sctx}
 	go func() {
 		defer e.endQuery()
 		defer qm.release()
-		err := e.runStream(sctx, plan, cat, emit, qm)
+		defer execSp.End()
+		err := e.runStream(sctx, plan, cat, emit, qm, execSp)
 		if err != nil {
 			if errors.Is(err, ErrMemoryBudget) {
 				e.memKills.Add(1)
@@ -128,19 +136,21 @@ func (e *Engine) streamRows(ctx context.Context, plan *algebra.Reduce) (*Rows, e
 // producer-goroutine boundary: a panic anywhere in the serial stream
 // pipeline becomes the cursor's terminal error instead of crashing the
 // process (parallel morsels have their own barrier in the scheduler).
-func (e *Engine) runStream(ctx context.Context, plan *algebra.Reduce, cat jit.SchemaCatalog, emit jit.StreamSink, qm *queryMem) (err error) {
+func (e *Engine) runStream(ctx context.Context, plan *algebra.Reduce, cat jit.SchemaCatalog, emit jit.StreamSink, qm *queryMem, sp *trace.Span) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			perr, ok := r.(*sched.PanicError)
 			if !ok {
 				e.panics.Add(1)
 				perr = &sched.PanicError{Value: r, Stack: debug.Stack()}
-				log.Printf("core: recovered panic in stream producer: %v\n%s", r, perr.Stack)
+				slog.Error("recovered panic in stream producer",
+					"component", "core", "panic", fmt.Sprint(r), "stack", string(perr.Stack))
 			}
 			err = perr
 		}
 	}()
-	opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels, MemReserve: qm.reserveFunc()}
+	opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels,
+		MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn}
 	return jit.Executor{Opts: opts}.RunStream(ctx, plan, cat, emit)
 }
 

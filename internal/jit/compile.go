@@ -11,6 +11,7 @@ import (
 	"vida/internal/monoid"
 	"vida/internal/sched"
 	"vida/internal/sdg"
+	"vida/internal/trace"
 	"vida/internal/values"
 	"vida/internal/vec"
 )
@@ -111,6 +112,16 @@ type Options struct {
 	// tables). A non-nil error aborts the query with the caller's
 	// budget error. Must be safe for concurrent calls.
 	MemReserve func(delta int64) error
+	// Trace, when non-nil, is the parent span for the operator spans the
+	// generated pipeline records (fold, join build/probe, parallel
+	// merge) and carries the kernel-staging attributes. Nil (disarmed)
+	// costs a pointer test per operator.
+	Trace *trace.Span
+	// KernelStats, when non-nil, receives the compile-time tally of
+	// pipeline stages staged as vectorized kernels vs. row-wise boxed
+	// fallbacks — the engine feeds its always-on fallback counters with
+	// it regardless of tracing.
+	KernelStats func(vectorized, boxed int64)
 }
 
 // DefaultParallelThreshold is the default minimum row count for
@@ -142,6 +153,27 @@ type compiler struct {
 	schemas SchemaCatalog // may be nil
 	baseEnv *mcl.Env
 	opts    Options
+	// vecStages/boxedStages tally each staging decision (filter, bind,
+	// reduce head): vectorized kernel vs. row-wise boxed fallback.
+	vecStages   int64
+	boxedStages int64
+}
+
+// reportKernels publishes the staging tally to the options hooks once
+// compilation succeeded.
+func (c *compiler) reportKernels(prog func() (values.Value, error), err error) (func() (values.Value, error), error) {
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.KernelStats != nil {
+		c.opts.KernelStats(c.vecStages, c.boxedStages)
+	}
+	if sp := c.opts.Trace; sp != nil {
+		sp.SetAttr("kernels_vectorized", c.vecStages)
+		sp.SetAttr("kernels_boxed", c.boxedStages)
+		sp.SetAttr("boxed_fallback", c.boxedStages > 0)
+	}
+	return prog, nil
 }
 
 // Executor is the just-in-time engine. The zero value is ready to use
@@ -206,22 +238,35 @@ func CompileWith(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func() (
 	// through the streaming quota (early producer cancellation) and
 	// collects the surviving rows.
 	if p.Order.Ordered() {
-		return c.compileOrdered(p, input)
+		return c.reportKernels(c.compileOrdered(p, input))
 	}
 	if p.Order != nil {
-		return c.compileBareBound(p, input)
+		return c.reportKernels(c.compileBareBound(p, input))
 	}
 	mkCons, err := c.compileReduceConsumer(p, input)
 	if err != nil {
 		return nil, err
 	}
 	m := p.M
-	return func() (values.Value, error) {
+	return c.reportKernels(func() (values.Value, error) {
 		if opts.Workers > 1 && input.openRange != nil {
 			if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
-				return runParallelReduce(opts.Ctx, scan, n, mkCons, m, opts)
+				sp := opts.Trace.Child("fold")
+				sp.SetAttr("kind", "reduce")
+				sp.SetAttr("parallel", true)
+				popts := opts
+				popts.Trace = sp
+				v, err := runParallelReduce(popts.Ctx, scan, n, mkCons, m, popts)
+				sp.End()
+				return v, err
 			}
 		}
+		// The fold span wraps the whole serial pipeline run (the scan
+		// feeds the consumer in one closure chain), so its wall time is
+		// inclusive of scan time — phase rollups subtract scan spans.
+		sp := opts.Trace.Child("fold")
+		sp.SetAttr("kind", "reduce")
+		defer sp.End()
 		acc := monoid.NewCollector(m)
 		rc := mkCons()
 		rc.reset(acc)
@@ -230,7 +275,7 @@ func CompileWith(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func() (
 		}
 		rc.finish()
 		return acc.Result(), nil
-	}, nil
+	}, nil)
 }
 
 // materializeFreeSources loads catalog sources referenced from inside
@@ -302,8 +347,10 @@ func (c *compiler) materializeFreeSources(p algebra.Plan) (*mcl.Env, error) {
 // own scratch, safe for one (serial) run or one morsel worker.
 func (c *compiler) compileFilter(e mcl.Expr, f *frame) (func() batchFilter, error) {
 	if vf := compileVecFilter(e, f, !c.opts.NoExprKernels); vf != nil {
+		c.vecStages++
 		return vf, nil
 	}
+	c.boxedStages++
 	pred, err := c.compileExpr(e, f)
 	if err != nil {
 		return nil, err
@@ -573,10 +620,13 @@ func (c *compiler) compileBind(n *algebra.Bind) (*compiledPlan, error) {
 	}
 	var e compiledExpr
 	if mkKernel == nil {
+		c.boxedStages++
 		e, err = c.compileExpr(n.E, in.frame)
 		if err != nil {
 			return nil, err
 		}
+	} else {
+		c.vecStages++
 	}
 	inWidth := in.frame.width()
 	mkExtend := func() func(b *vec.Batch, emit batchSink) error {
@@ -835,7 +885,9 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 	}
 	lw, rw := l.frame.width(), r.frame.width()
 	bs := c.opts.BatchSize
+	tr := c.opts.Trace
 	return &compiledPlan{frame: f, run: func(sink batchSink) error {
+		bsp := tr.Child("join_build")
 		// Build state: the right side is retained columnar — stable
 		// (cache-backed) batches zero-copy, transient ones via one bulk
 		// typed copy per batch. Entries reference (batch, row); the hash
@@ -946,6 +998,9 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 			next[e] = head[slot]
 			head[slot] = int32(e + 1)
 		}
+		bsp.AddRows(int64(nEntries))
+		bsp.End()
+		psp := tr.Child("join_probe")
 		// entryMatches verifies key equality on a hash match. With slot
 		// keys on both sides the comparison runs typed (colValEqual, no
 		// boxing); a boxed side boxes only on hash matches, never per
@@ -1018,6 +1073,7 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 							continue
 						}
 					}
+					psp.AddRows(1)
 					if err := p.Add(buf); err != nil {
 						return err
 					}
@@ -1027,6 +1083,8 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 		}); err != nil {
 			return err
 		}
-		return p.Flush()
+		err := p.Flush()
+		psp.End()
+		return err
 	}}, nil
 }

@@ -388,6 +388,9 @@ func (c *compiler) compileOrdered(p *algebra.Reduce, input *compiledPlan) (func(
 	}
 	opts := c.opts
 	return func() (values.Value, error) {
+		sp := opts.Trace.Child("fold")
+		sp.SetAttr("kind", "topk")
+		defer sp.End()
 		limit, offset, keep, dedup, err := resolveOrder(p)
 		if err != nil {
 			return values.Null, err
@@ -416,6 +419,9 @@ func (c *compiler) compileBareBound(p *algebra.Reduce, input *compiledPlan) (fun
 	name := p.M.Name()
 	commutative := p.M.Commutative()
 	return func() (values.Value, error) {
+		sp := opts.Trace.Child("fold")
+		sp.SetAttr("kind", "limit")
+		defer sp.End()
 		var mu sync.Mutex
 		var elems []values.Value
 		collect := func(chunk []values.Value) error {

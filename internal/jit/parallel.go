@@ -30,6 +30,10 @@ func runParallelReduce(ctx context.Context, scan func(lo, hi int, sink batchSink
 		morselRows = opts.BatchSize
 	}
 	numMorsels := (n + morselRows - 1) / morselRows
+	if sp := opts.Trace; sp != nil { // guard: avoid arg boxing when disarmed
+		sp.SetAttr("morsels", numMorsels)
+		sp.SetAttr("workers", workers)
+	}
 
 	partials := make([]*monoid.Collector, numMorsels)
 	// Consumers carry per-run scratch (filter selection buffers, typed
@@ -61,11 +65,13 @@ func runParallelReduce(ctx context.Context, scan func(lo, hi int, sink batchSink
 	if err != nil {
 		return values.Null, err
 	}
+	msp := opts.Trace.Child("merge")
 	root := monoid.NewCollector(m)
 	for _, part := range partials {
 		if part != nil {
 			root.MergeFrom(part)
 		}
 	}
+	msp.End()
 	return root.Result(), nil
 }

@@ -88,7 +88,10 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 		if err != nil {
 			return nil, err
 		}
-		return func(emit StreamSink) error {
+		return c.reportKernelsStream(func(emit StreamSink) error {
+			sp := opts.Trace.Child("fold")
+			sp.SetAttr("kind", "topk")
+			defer sp.End()
 			limit, offset, keep, dedup, err := resolveOrder(p)
 			if err != nil {
 				return err
@@ -98,7 +101,7 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 				return err
 			}
 			return emitChunks(acc.Finalize(offset, limit, dedup), opts.BatchSize, emit)
-		}, nil
+		}, nil)
 	}
 	mkCons, err := c.compileStreamConsumer(p, input)
 	if err != nil {
@@ -111,14 +114,23 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 	// before the quota, so LIMIT bounds distinct elements.
 	if p.Order != nil {
 		name := p.M.Name()
-		return func(emit StreamSink) error {
+		return c.reportKernelsStream(func(emit StreamSink) error {
+			sp := opts.Trace.Child("fold")
+			sp.SetAttr("kind", "limit")
+			defer sp.End()
 			return runBoundedStream(p, input, mkCons, commutative, name, emit, opts)
-		}, nil
+		}, nil)
 	}
-	return func(emit StreamSink) error {
+	return c.reportKernelsStream(func(emit StreamSink) error {
+		sp := opts.Trace.Child("fold")
+		sp.SetAttr("kind", "stream")
+		defer sp.End()
 		if opts.Workers > 1 && commutative && input.openRange != nil {
 			if scan, n, ok := input.openRange(); ok && n >= opts.ParallelThreshold {
-				return runParallelStream(opts.Ctx, scan, n, mkCons, emit, opts)
+				popts := opts
+				popts.Trace = sp
+				sp.SetAttr("parallel", true)
+				return runParallelStream(popts.Ctx, scan, n, mkCons, emit, popts)
 			}
 		}
 		sc := mkCons(emit)
@@ -126,7 +138,23 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 			return err
 		}
 		return sc.flush()
-	}, nil
+	}, nil)
+}
+
+// reportKernelsStream mirrors reportKernels for pull-sink programs.
+func (c *compiler) reportKernelsStream(prog func(StreamSink) error, err error) (func(StreamSink) error, error) {
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.KernelStats != nil {
+		c.opts.KernelStats(c.vecStages, c.boxedStages)
+	}
+	if sp := c.opts.Trace; sp != nil {
+		sp.SetAttr("kernels_vectorized", c.vecStages)
+		sp.SetAttr("kernels_boxed", c.boxedStages)
+		sp.SetAttr("boxed_fallback", c.boxedStages > 0)
+	}
+	return prog, nil
 }
 
 // DedupSink decorates a sink with set-monoid deduplication: each

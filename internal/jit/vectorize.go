@@ -808,11 +808,16 @@ func (c *compiler) compileReduceConsumer(p *algebra.Reduce, input *compiledPlan)
 			mkHeadKernel = compileVecExpr(p.Head, input.frame)
 		}
 		if mkHeadKernel == nil {
+			c.boxedStages++
 			head, err = c.compileExpr(p.Head, input.frame)
 			if err != nil {
 				return nil, err
 			}
+		} else {
+			c.vecStages++
 		}
+	} else {
+		c.vecStages++
 	}
 	kind := aggGeneric
 	if headIdx >= 0 || mkHeadKernel != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"time"
 
 	"vida/internal/faultinject"
 	"vida/internal/sdg"
@@ -153,6 +154,13 @@ func (r *Reader) IterateBatches(fields []string, batchSize int, yield func(*vec.
 	}
 	defer r.buildMu.Unlock()
 	yield = injectCSVFaults(yield)
+	// This scan pays the tokenizing build (it installs the positional map
+	// as a side effect); record its cost so tracing can attribute it.
+	start := time.Now()
+	defer func() {
+		r.stats.Builds.Add(1)
+		r.stats.BuildNanos.Add(int64(time.Since(start)))
+	}()
 	if snap := st.pm.Snapshot(); len(snap.Rows) > 0 {
 		return r.iterateAnchoredBatches(st, &snap, cols, batchSize, yield)
 	}

@@ -34,6 +34,8 @@ type Stats struct {
 	FieldsJumped    atomic.Int64 // individual fields located via posmap
 	RowsSkipped     atomic.Int64 // malformed rows skipped
 	BytesRead       atomic.Int64
+	Builds          atomic.Int64 // tokenizing first-touch builds of the positional map
+	BuildNanos      atomic.Int64 // wall time spent in those builds
 }
 
 // fileState is one immutable generation of the file: its bytes, their
@@ -130,7 +132,16 @@ func (r *Reader) StatsSnapshot() map[string]int64 {
 		"fields_jumped":    r.stats.FieldsJumped.Load(),
 		"rows_skipped":     r.stats.RowsSkipped.Load(),
 		"bytes_read":       r.stats.BytesRead.Load(),
+		"builds":           r.stats.Builds.Load(),
+		"build_nanos":      r.stats.BuildNanos.Load(),
 	}
+}
+
+// BuildStats returns the cumulative count and wall time of tokenizing
+// first-touch builds. The engine's tracer diffs it around a scan to
+// attribute positional-map construction to the query that paid for it.
+func (r *Reader) BuildStats() (builds, nanos int64) {
+	return r.stats.Builds.Load(), r.stats.BuildNanos.Load()
 }
 
 // SizeBytes returns the raw file size.

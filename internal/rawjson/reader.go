@@ -20,6 +20,8 @@ type Stats struct {
 	IndexedReads   atomic.Int64 // field values read via the semi-index
 	ObjectsSkipped atomic.Int64 // malformed objects skipped (onerror=skip)
 	BytesRead      atomic.Int64
+	Builds         atomic.Int64 // skip-scan builds of the object index
+	BuildNanos     atomic.Int64 // wall time spent in those builds
 }
 
 // span is a [start,end) byte range within the file.
@@ -173,7 +175,15 @@ func (r *Reader) StatsSnapshot() map[string]int64 {
 		"indexed_reads":   r.stats.IndexedReads.Load(),
 		"objects_skipped": r.stats.ObjectsSkipped.Load(),
 		"bytes_read":      r.stats.BytesRead.Load(),
+		"builds":          r.stats.Builds.Load(),
+		"build_nanos":     r.stats.BuildNanos.Load(),
 	}
+}
+
+// BuildStats returns the cumulative count and wall time of object-index
+// builds, diffed by the engine's tracer around a scan.
+func (r *Reader) BuildStats() (builds, nanos int64) {
+	return r.stats.Builds.Load(), r.stats.BuildNanos.Load()
 }
 
 // SetInvalidateHook registers a callback fired when Refresh drops state.
@@ -213,6 +223,12 @@ func (r *Reader) buildObjectIndex(st *jsonState) error {
 	if st.ix.HasObjects() {
 		return nil
 	}
+	// This caller pays the skip scan; record its cost for tracing.
+	start := time.Now()
+	defer func() {
+		r.stats.Builds.Add(1)
+		r.stats.BuildNanos.Add(int64(time.Since(start)))
+	}()
 	data := st.data
 	var objs []span
 	pos := skipWS(data, 0)

@@ -13,7 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -200,7 +200,8 @@ func (p *Pool) runTask(j *job, task int) (err error) {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
 			perr := &PanicError{Value: r, Stack: debug.Stack()}
-			log.Printf("sched: recovered panic in task %d: %v\n%s", task, r, perr.Stack)
+			slog.Error("recovered panic in task",
+				"component", "sched", "task", task, "panic", fmt.Sprint(r), "stack", string(perr.Stack))
 			err = perr
 		}
 	}()

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -78,9 +77,7 @@ type admitQueue struct {
 	drainEWMA   time.Duration
 
 	// Wait histogram (lock-free observation).
-	waitCounts [numWaitBuckets + 1]atomic.Int64
-	waitSumNS  atomic.Int64
-	waitObs    atomic.Int64
+	waits durHist
 }
 
 // admitWaiter is one queued request; grant closes ch (the slot transfers
@@ -220,26 +217,12 @@ func (q *admitQueue) retryAfterLocked() time.Duration {
 
 // observeWait records one admission wait in the histogram.
 func (q *admitQueue) observeWait(d time.Duration) {
-	i := 0
-	for ; i < len(waitBuckets); i++ {
-		if d <= waitBuckets[i] {
-			break
-		}
-	}
-	q.waitCounts[i].Add(1)
-	q.waitSumNS.Add(int64(d))
-	q.waitObs.Add(1)
+	q.waits.observe(d)
 }
 
 // WaitStats returns the cumulative histogram (bucket i counts waits ≤
 // waitBuckets[i]; the final entry is the +Inf total), the summed wait
 // time and the observation count.
 func (q *admitQueue) WaitStats() (cumulative []int64, sum time.Duration, count int64) {
-	cumulative = make([]int64, len(waitBuckets)+1)
-	var running int64
-	for i := range q.waitCounts {
-		running += q.waitCounts[i].Load()
-		cumulative[i] = running
-	}
-	return cumulative, time.Duration(q.waitSumNS.Load()), q.waitObs.Load()
+	return q.waits.stats()
 }

@@ -233,7 +233,8 @@ func stripElapsed(t *testing.T, body []byte) string {
 		t.Fatalf("bad response %s: %v", body, err)
 	}
 	delete(m, "elapsed_ms")
-	delete(m, "cached") // post-chaos repeats may legitimately hit the result cache
+	delete(m, "cached")   // post-chaos repeats may legitimately hit the result cache
+	delete(m, "query_id") // fresh per request by design
 	out, _ := json.Marshal(m)
 	return string(out)
 }

@@ -39,8 +39,11 @@
 //   - HTTP front-end (Server). POST /query (comprehension queries),
 //     POST /sql (SQL translated to comprehensions), POST /stream
 //     (NDJSON rows flushed batch-at-a-time off the engine cursor, with
-//     a done-or-error trailer record in band), GET /catalog, GET /stats,
-//     GET /metrics (Prometheus text), GET /explain and GET /healthz.
+//     a done-or-error trailer record in band), POST /explain (plan
+//     only; "analyze": true executes and attaches the span tree),
+//     GET /catalog, GET /stats, GET /metrics (Prometheus text),
+//     GET /explain (q/sql/analyze query params), GET /debug/queries
+//     (the profile ring) and GET /healthz.
 //     Results preserve record field order; /query, /sql and /stream all
 //     accept a "params" field binding $1..$n (array) or $name (object).
 //     /stream flushes at every cursor chunk boundary (with a 1024-row
@@ -87,6 +90,34 @@
 //
 // A deadline that expires while still queued is a shed (429), not a 504:
 // the query never started, so retrying later is the right client move.
+//
+// # Observability
+//
+// Every executed query runs with an internal/trace span recorder armed
+// on its context; the settled tree covers queue wait, the frontend
+// (parse/typecheck/optimize, prepared-cache hit/miss), per-source scans
+// (raw vs cache, rows/bytes/batches, positional-map and semi-index
+// build events, harvest outcome) and the fold (joins, parallel merges).
+// The tree surfaces three ways, correlated by the query ID every
+// response carries in the X-Vida-Query-Id header:
+//
+//   - POST /explain with "analyze": true executes the query — bypassing
+//     the result cache in both directions, so it always measures real
+//     work — and returns {query_id, plan, rows, elapsed_ms, spans}.
+//   - GET /debug/queries serves the fixed-size ring of completed query
+//     profiles (Config.ProfileEntries); queries slower than
+//     Config.SlowQueryThreshold are also logged via log/slog with
+//     per-phase timings.
+//   - GET /metrics rolls each tree into per-phase latency histograms
+//     (vida_query_phase_seconds{phase="queue"|"compile"|"scan"|"fold"};
+//     the fold phase is the non-scan residue of the pull pipeline) next
+//     to per-endpoint request histograms (vida_http_request_seconds).
+//     The scalar exposition is descriptor-driven (metrics.go): every
+//     /stats field maps onto exactly one metric and a parity test
+//     asserts the bijection.
+//
+// Result-cache hits still get a fresh query ID and a profile-ring entry
+// (cached: true), but no spans — nothing executed.
 //
 // # Memory governance
 //

@@ -1,0 +1,32 @@
+package serve
+
+// Test hooks: the /stats↔/metrics parity test lives in the external
+// serve_test package and needs the descriptor table from metrics.go.
+
+// MetricMapping pairs one exposition name with the flattened /stats
+// path it reports (empty for derived aggregates).
+type MetricMapping struct {
+	Name  string
+	Stat  string
+	Sched bool
+}
+
+// MetricMappings exports the descriptor table for the parity test.
+func MetricMappings() []MetricMapping {
+	out := make([]MetricMapping, 0, len(metricDefs))
+	for _, d := range metricDefs {
+		out = append(out, MetricMapping{Name: d.name, Stat: d.stat, Sched: d.sched})
+	}
+	return out
+}
+
+// HistogramStatMetricsForTest exports the map of /stats fields that are
+// derived views of a histogram series.
+func HistogramStatMetricsForTest() map[string]string {
+	return histogramStatMetrics
+}
+
+// HistogramFamiliesForTest exports the histogram family names.
+func HistogramFamiliesForTest() []string {
+	return histogramFamilies
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vida/internal/trace"
+)
+
+// This file is the service's query-observability core: a lock-free
+// latency histogram reused for admission waits, per-endpoint request
+// durations and per-phase execution times; a fixed-size ring of
+// completed query profiles behind GET /debug/queries; and the rollup
+// that turns a settled span tree into phase durations.
+
+// durHist is a cumulative latency histogram over the waitBuckets bounds
+// (the final implicit bucket is +Inf). Observation is lock-free, so it
+// sits on the request path without contention.
+type durHist struct {
+	counts [numWaitBuckets + 1]atomic.Int64
+	sumNS  atomic.Int64
+	obs    atomic.Int64
+}
+
+// observe records one duration.
+func (h *durHist) observe(d time.Duration) {
+	i := 0
+	for ; i < len(waitBuckets); i++ {
+		if d <= waitBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.obs.Add(1)
+}
+
+// stats returns the cumulative bucket counts (entry i counts
+// observations ≤ waitBuckets[i]; the final entry is the +Inf total),
+// the summed duration and the observation count.
+func (h *durHist) stats() (cumulative []int64, sum time.Duration, count int64) {
+	cumulative = make([]int64, len(waitBuckets)+1)
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return cumulative, time.Duration(h.sumNS.Load()), h.obs.Load()
+}
+
+// The query phases rolled up from span trees into /metrics histograms:
+// admission queue wait, frontend compile, scan (raw or cache), and the
+// fold residue (fold wall time minus the scans it pulls from).
+const (
+	phaseQueue = iota
+	phaseCompile
+	phaseScan
+	phaseFold
+	numPhases
+)
+
+// phaseNames index the phase histograms and label their exposition.
+var phaseNames = [numPhases]string{"queue", "compile", "scan", "fold"}
+
+// phaseTimes rolls one settled span tree up into phase durations. Scan
+// spans are inclusive children of the pull pipeline, so the fold phase
+// reports the non-scan residue; nested fold spans (a top-k wrapping an
+// inner fold) count once, at the outermost level.
+func phaseTimes(root *trace.SpanNode) [numPhases]time.Duration {
+	var out [numPhases]time.Duration
+	var walk func(n *trace.SpanNode, inFold bool)
+	walk = func(n *trace.SpanNode, inFold bool) {
+		switch n.Name {
+		case "queue":
+			out[phaseQueue] += n.Duration()
+		case "frontend":
+			out[phaseCompile] += n.Duration()
+		case "scan":
+			out[phaseScan] += n.Duration()
+		case "fold":
+			if !inFold {
+				out[phaseFold] += n.Duration()
+				inFold = true
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, inFold)
+		}
+	}
+	if root != nil {
+		walk(root, false)
+	}
+	if out[phaseFold] > out[phaseScan] {
+		out[phaseFold] -= out[phaseScan]
+	} else if out[phaseScan] > 0 {
+		// Parallel scans can sum past the fold's wall time; clamp rather
+		// than report a negative residue.
+		out[phaseFold] = 0
+	}
+	return out
+}
+
+// QueryProfile is one completed query as retained by the profile ring
+// and served at GET /debug/queries. ID matches the X-Vida-Query-Id
+// response header, so a slow response can be correlated with its
+// profile after the fact.
+type QueryProfile struct {
+	ID        string          `json:"id"`
+	Endpoint  string          `json:"endpoint"`
+	Query     string          `json:"query"`
+	Status    string          `json:"status"` // ok | failed | cancelled | shed
+	Error     string          `json:"error,omitempty"`
+	Cached    bool            `json:"cached"`
+	Start     time.Time       `json:"start"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Rows      int64           `json:"rows"`
+	Spans     *trace.SpanNode `json:"spans,omitempty"`
+}
+
+// profileQueryLimit caps the query text retained per profile; span
+// trees are small but query strings arrive client-sized.
+const profileQueryLimit = 512
+
+// clipQuery bounds a query string for retention and logging.
+func clipQuery(q string) string {
+	if len(q) > profileQueryLimit {
+		return q[:profileQueryLimit] + "..."
+	}
+	return q
+}
+
+// durMS renders a duration as fractional milliseconds, matching the
+// elapsed_ms convention of the query endpoints.
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// profileRing retains the last N completed query profiles. A capacity
+// of zero disables retention but keeps counting.
+type profileRing struct {
+	mu    sync.Mutex
+	buf   []*QueryProfile
+	next  int // overwrite cursor once the ring has wrapped
+	total int64
+}
+
+func newProfileRing(n int) *profileRing {
+	if n <= 0 {
+		return &profileRing{}
+	}
+	return &profileRing{buf: make([]*QueryProfile, 0, n)}
+}
+
+// record retains one profile, evicting the oldest when full.
+func (r *profileRing) record(p *QueryProfile) {
+	if p == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if cap(r.buf) == 0 {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, p)
+		return
+	}
+	r.buf[r.next] = p
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// snapshot returns the retained profiles newest-first plus the total
+// ever recorded (so clients can tell how much history scrolled away).
+func (r *profileRing) snapshot() ([]*QueryProfile, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	out := make([]*QueryProfile, 0, n)
+	for i := 0; i < n; i++ {
+		// r.next is the oldest entry once wrapped and 0 during the fill
+		// phase — either way (next+i) mod n walks oldest→newest.
+		out = append(out, r.buf[(r.next+i)%n])
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, r.total
+}

@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -36,15 +36,30 @@ type Server struct {
 // NewServer builds the front-end with all routes registered.
 func NewServer(svc *Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /query", s.handleQuery(false))
-	s.mux.HandleFunc("POST /sql", s.handleQuery(true))
-	s.mux.HandleFunc("POST /stream", s.handleStream)
+	s.mux.HandleFunc("POST /query", s.timed(epQuery, s.handleQuery(false)))
+	s.mux.HandleFunc("POST /sql", s.timed(epSQL, s.handleQuery(true)))
+	s.mux.HandleFunc("POST /stream", s.timed(epStream, s.handleStream))
 	s.mux.HandleFunc("GET /catalog", s.handleCatalog)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /explain", s.timed(epExplain, s.handleExplainGET))
+	s.mux.HandleFunc("POST /explain", s.timed(epExplain, s.handleExplainPOST))
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
+}
+
+// timed wraps a handler with the per-endpoint request-duration
+// histogram and a debug-level structured request log.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		d := time.Since(start)
+		s.svc.observeRequest(endpoint, d)
+		slog.Debug("request served",
+			"endpoint", endpoint, "method", r.Method, "duration_ms", durMS(d))
+	}
 }
 
 // Handler exposes the route table wrapped in the panic-containment
@@ -65,7 +80,9 @@ func (s *Server) recoverWrap(next http.Handler) http.Handler {
 					panic(rec)
 				}
 				s.svc.panics.Add(1)
-				log.Printf("serve: recovered panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				slog.Error("recovered panic in HTTP handler",
+					"component", "serve", "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 				if !ww.wrote {
 					writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
 				}
@@ -135,7 +152,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 type queryRequest struct {
 	Query     string          `json:"query"`
 	Params    json.RawMessage `json:"params"`
-	SQL       bool            `json:"sql"` // POST /stream only
+	SQL       bool            `json:"sql"`     // POST /stream and POST /explain
+	Analyze   bool            `json:"analyze"` // POST /explain only
 	TimeoutMS int64           `json:"timeout_ms"`
 }
 
@@ -253,8 +271,12 @@ func (s *Server) handleQuery(sql bool) http.HandlerFunc {
 		buf = fmt.Appendf(buf, "%t", out.Cached)
 		buf = append(buf, `,"elapsed_ms":`...)
 		buf = fmt.Appendf(buf, "%.3f", float64(out.Elapsed.Microseconds())/1000)
+		buf = append(buf, `,"query_id":`...)
+		qid, _ := json.Marshal(out.QueryID)
+		buf = append(buf, qid...)
 		buf = append(buf, '}', '\n')
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Vida-Query-Id", out.QueryID)
 		w.Write(buf)
 	}
 }
@@ -283,7 +305,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
-	rows, release, err := s.svc.QueryRows(r.Context(), req.Query, req.SQL, args, timeout)
+	rows, queryID, release, err := s.svc.QueryRows(r.Context(), req.Query, req.SQL, args, timeout)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -293,6 +315,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.Header().Set("X-Vida-Query-Id", queryID)
 	flusher, _ := w.(http.Flusher)
 	var buf []byte
 	n := 0
@@ -340,63 +363,42 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves GET /metrics in Prometheus text exposition
-// format, assembled from the existing engine/service/scheduler counters.
+// format, driven by the metricDefs descriptor table (metrics.go) plus
+// the admission-wait, per-endpoint and per-phase histograms.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	svc := s.svc.StatsSnapshot()
-	eng := s.svc.Engine().Stats()
+	v := &statsView{svc: s.svc.StatsSnapshot(), eng: s.svc.Engine().Stats()}
+	if p := s.svc.Pool(); p != nil {
+		v.pool, v.hasPool = p.StatsSnapshot(), true
+	}
 
 	var b []byte
-	counter := func(name, help string, v int64) {
-		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	for _, d := range metricDefs {
+		if d.sched && !v.hasPool {
+			continue
+		}
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			d.name, d.help, d.name, d.kind, d.name, d.value(v))
 	}
-	gauge := func(name, help string, v int64) {
-		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("vida_queries_total", "Queries executed by the engine.", eng.Queries)
-	counter("vida_queries_cache_served_total", "Queries whose scans were all served by the data caches.", eng.QueriesFromCache)
-	counter("vida_raw_scans_total", "Scans that touched raw files.", eng.RawScans)
-	counter("vida_cache_scans_total", "Scans served from the data caches.", eng.CacheScans)
-	gauge("vida_cache_bytes_used", "Bytes resident in the data caches.", eng.Cache.BytesUsed)
-	gauge("vida_auxiliary_bytes", "Bytes in positional maps and semi-indexes.", eng.AuxiliaryBytes)
-	counter("vida_serve_admitted_total", "Requests admitted past the in-flight gate.", svc.Admitted)
-	counter("vida_serve_rejected_total", "Requests shed with 429 at the admission gate.", svc.Rejected)
-	gauge("vida_serve_queue_depth", "Requests waiting in the admission queue right now.", svc.QueueDepth)
-	counter("vida_serve_completed_total", "Requests completed successfully.", svc.Completed)
-	counter("vida_serve_failed_total", "Requests that failed.", svc.Failed)
-	counter("vida_serve_cancelled_total", "Requests cancelled or timed out.", svc.Cancelled)
-	counter("vida_serve_streams_total", "Streaming cursors opened via /stream.", svc.Streams)
-	gauge("vida_serve_in_flight", "Queries executing or streaming right now.", svc.InFlight)
-	counter("vida_result_cache_hits_total", "Result cache hits.", svc.ResultHits)
-	counter("vida_result_cache_misses_total", "Result cache misses.", svc.ResultMisses)
-	gauge("vida_result_cache_bytes", "Approximate bytes resident in the result cache.", svc.ResultCacheBytes)
-	counter("vida_prepared_cache_hits_total", "Prepared-statement cache hits.", svc.PreparedHits)
-	counter("vida_prepared_cache_misses_total", "Prepared-statement cache misses.", svc.PreparedMisses)
 
 	// Admission-wait histogram in standard exposition shape.
 	cum, waitSum, waitCount := s.svc.admit.WaitStats()
-	b = append(b, "# HELP vida_serve_queue_wait_seconds Time requests spent waiting for an admission slot.\n"...)
-	b = append(b, "# TYPE vida_serve_queue_wait_seconds histogram\n"...)
-	for i, ub := range waitBuckets {
-		b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_bucket{le=\"%g\"} %d\n", ub.Seconds(), cum[i])
-	}
-	b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
-	b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_sum %g\n", waitSum.Seconds())
-	b = fmt.Appendf(b, "vida_serve_queue_wait_seconds_count %d\n", waitCount)
+	b = appendHistHeader(b, "vida_serve_queue_wait_seconds", "Time requests spent waiting for an admission slot.")
+	b = appendHistSeries(b, "vida_serve_queue_wait_seconds", "", cum, waitSum, waitCount)
 
-	gauge("vida_memory_tracked_bytes", "Bytes currently reserved against the global memory budget.", eng.Memory.TrackedBytes)
-	gauge("vida_memory_budget_bytes", "Global memory budget (0 = unbudgeted).", eng.Memory.BudgetBytes)
-	counter("vida_memory_query_kills_total", "Queries aborted for exceeding a memory budget.", eng.Memory.QueryKills)
-	counter("vida_memory_harvest_skips_total", "Cache harvests shed under memory pressure.", eng.Memory.HarvestSkips)
-	panics := eng.PanicsRecovered + svc.HandlerPanics
-	if p := s.svc.Pool(); p != nil {
-		ps := p.StatsSnapshot()
-		panics += ps.PanicsRecovered
-		gauge("vida_sched_workers", "Morsel scheduler workers.", int64(ps.Workers))
-		gauge("vida_sched_active_jobs", "Jobs with undispatched morsels.", int64(ps.ActiveJobs))
-		counter("vida_sched_jobs_total", "Scheduler jobs completed.", ps.JobsRun)
-		counter("vida_morsels_executed_total", "Morsels executed by the shared scheduler.", ps.TasksRun)
+	// Per-endpoint HTTP request durations.
+	b = appendHistHeader(b, "vida_http_request_seconds", "HTTP request wall time by endpoint.")
+	for _, ep := range endpointOrder {
+		cum, sum, count := s.svc.reqHists[ep].stats()
+		b = appendHistSeries(b, "vida_http_request_seconds", fmt.Sprintf("endpoint=%q", ep), cum, sum, count)
 	}
-	counter("vida_panics_recovered_total", "Panics contained at goroutine barriers (pool, producer, handler).", panics)
+
+	// Per-phase query execution times, rolled up from span trees.
+	b = appendHistHeader(b, "vida_query_phase_seconds", "Per-phase query execution time rolled up from span trees.")
+	for ph := range numPhases {
+		cum, sum, count := s.svc.phases[ph].stats()
+		b = appendHistSeries(b, "vida_query_phase_seconds", fmt.Sprintf("phase=%q", phaseNames[ph]), cum, sum, count)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(b)
 }
@@ -430,26 +432,65 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+// handleExplainGET serves GET /explain?q=...&sql=true&analyze=true:
+// plan-only by default, plan + executed span tree with analyze=true.
+func (s *Server) handleExplainGET(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, errors.New(`missing "q" parameter`))
 		return
 	}
-	if r.URL.Query().Get("sql") == "true" {
-		comp, err := s.svc.Engine().TranslateSQL(q)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		q = comp
-	}
-	plan, err := s.svc.Engine().Explain(q)
+	sql := r.URL.Query().Get("sql") == "true"
+	analyze := r.URL.Query().Get("analyze") == "true"
+	s.explain(w, r, q, sql, analyze, nil, 0)
+}
+
+// handleExplainPOST serves POST /explain with the query-request body
+// ({"query":..., "sql":..., "analyze":..., "params":..., "timeout_ms":...}),
+// so analyzed queries can bind parameters like /query does.
+func (s *Server) handleExplainPOST(w http.ResponseWriter, r *http.Request) {
+	req, args, err := decodeQueryRequest(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]any{"plan": plan})
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	s.explain(w, r, req.Query, req.SQL, req.Analyze, args, timeout)
+}
+
+func (s *Server) explain(w http.ResponseWriter, r *http.Request, q string, sql, analyze bool, args []any, timeout time.Duration) {
+	if !analyze {
+		if sql {
+			comp, err := s.svc.Engine().TranslateSQL(q)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			q = comp
+		}
+		plan, err := s.svc.Engine().Explain(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{"plan": plan})
+		return
+	}
+	a, err := s.svc.ExplainAnalyze(r.Context(), q, sql, args, timeout)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("X-Vida-Query-Id", a.QueryID)
+	writeJSON(w, a)
+}
+
+// handleDebugQueries serves GET /debug/queries: the ring of recently
+// completed query profiles (span trees included), newest first, keyed
+// by the same IDs the X-Vida-Query-Id response header carries.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	profiles, total := s.svc.Profiles()
+	writeJSON(w, map[string]any{"queries": profiles, "recorded": total})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

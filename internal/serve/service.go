@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"vida"
 	"vida/internal/core"
 	"vida/internal/sched"
+	"vida/internal/trace"
 )
 
 // ErrBusy is the sentinel matched (via errors.Is) by admission-shed
@@ -56,6 +58,13 @@ type Config struct {
 	// PreparedCacheEntries bounds the prepared-statement LRU (default
 	// 256; <0 disables).
 	PreparedCacheEntries int
+	// ProfileEntries bounds the ring of completed query profiles served
+	// at GET /debug/queries (default 128; <0 disables retention).
+	ProfileEntries int
+	// SlowQueryThreshold is the elapsed time above which a completed
+	// query is logged through log/slog with its ID, endpoint and phase
+	// breakdown (default 500ms; <0 disables slow-query logging).
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +88,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PreparedCacheEntries == 0 {
 		c.PreparedCacheEntries = 256
+	}
+	switch {
+	case c.ProfileEntries == 0:
+		c.ProfileEntries = 128
+	case c.ProfileEntries < 0:
+		c.ProfileEntries = 0
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 500 * time.Millisecond
 	}
 	return c
 }
@@ -118,6 +136,13 @@ type Service struct {
 	prepared *lruCache
 	results  *lruCache
 
+	// Observability: the /debug/queries profile ring, per-endpoint
+	// request-duration histograms (fixed keys, read-only after init)
+	// and per-phase execution-time histograms.
+	profiles *profileRing
+	reqHists map[string]*durHist
+	phases   [numPhases]durHist
+
 	admitted     atomic.Int64
 	rejected     atomic.Int64
 	completed    atomic.Int64
@@ -145,7 +170,34 @@ func NewService(eng *vida.Engine, pool *sched.Pool, cfg Config) *Service {
 		admit:    newAdmitQueue(cfg.MaxInFlight, cfg.MaxQueue),
 		prepared: newLRU(cfg.PreparedCacheEntries, 0),
 		results:  newLRU(cfg.ResultCacheEntries, cfg.ResultCacheBytes),
+		profiles: newProfileRing(cfg.ProfileEntries),
+		reqHists: map[string]*durHist{
+			epQuery: {}, epSQL: {}, epStream: {}, epExplain: {},
+		},
 	}
+}
+
+// The endpoint labels used by profiles, request histograms and the
+// X-Vida-Query-Id correlation.
+const (
+	epQuery   = "query"
+	epSQL     = "sql"
+	epStream  = "stream"
+	epExplain = "explain"
+)
+
+// observeRequest records one HTTP request's wall time in the
+// per-endpoint histogram (unknown endpoints are dropped).
+func (s *Service) observeRequest(endpoint string, d time.Duration) {
+	if h, ok := s.reqHists[endpoint]; ok {
+		h.observe(d)
+	}
+}
+
+// Profiles returns the retained completed-query profiles newest-first
+// plus the total ever recorded.
+func (s *Service) Profiles() ([]*QueryProfile, int64) {
+	return s.profiles.snapshot()
 }
 
 // Engine returns the wrapped engine.
@@ -187,6 +239,12 @@ type Outcome struct {
 	Result  *vida.Result
 	Cached  bool // served from the result cache, no execution
 	Elapsed time.Duration
+	// QueryID correlates the response (X-Vida-Query-Id header) with the
+	// /debug/queries profile ring and the slow-query log.
+	QueryID string
+	// Spans is the settled span tree of an executed query (nil for
+	// result-cache hits, which execute nothing).
+	Spans *trace.SpanNode
 }
 
 // Query admits, plans and executes one comprehension query. When every
@@ -199,26 +257,50 @@ type Outcome struct {
 // Positional args bind $1..$n, vida.NamedArg values bind $name; the
 // result cache keys on (query, bindings).
 func (s *Service) Query(ctx context.Context, src string, args []any, timeout time.Duration) (*Outcome, error) {
+	return s.run(ctx, epQuery, src, args, timeout, true)
+}
+
+// run is the shared buffered-query path: result cache (when cacheable),
+// admission, execution — all under a per-query tracer whose settled span
+// tree feeds the profile ring, the phase histograms and the slow-query
+// log.
+func (s *Service) run(ctx context.Context, endpoint, src string, args []any, timeout time.Duration, cacheable bool) (*Outcome, error) {
 	start := time.Now()
 
 	// Result cache first: a hit executes nothing, so it bypasses the
 	// admission queue entirely — repeats stay cheap exactly when the
-	// engine is saturated.
+	// engine is saturated. ExplainAnalyze must observe a real execution,
+	// so it neither reads nor populates the cache.
 	epoch := s.core.Epoch()
 	key := cacheKey(src, args)
-	if v, ok := s.results.get(key, epoch); ok {
-		s.resultHits.Add(1)
-		s.completed.Add(1)
-		return &Outcome{Result: v.(*vida.Result), Cached: true, Elapsed: time.Since(start)}, nil
+	if cacheable {
+		if v, ok := s.results.get(key, epoch); ok {
+			s.resultHits.Add(1)
+			s.completed.Add(1)
+			out := &Outcome{Result: v.(*vida.Result), Cached: true, Elapsed: time.Since(start), QueryID: trace.NewID()}
+			s.profiles.record(&QueryProfile{
+				ID: out.QueryID, Endpoint: endpoint, Query: clipQuery(src), Status: "ok",
+				Cached: true, Start: start, ElapsedMS: durMS(out.Elapsed), Rows: int64(out.Result.Len()),
+			})
+			return out, nil
+		}
+		s.resultMisses.Add(1)
 	}
-	s.resultMisses.Add(1)
+
+	// Arm the tracer before admission so queue wait is the first span.
+	tr := trace.New(trace.NewID(), endpoint)
+	ctx = trace.WithTracer(ctx, tr)
 
 	// The timeout starts before admission: a request that waits in the
 	// queue spends its own deadline doing so, and one whose deadline
 	// cannot be met is shed instead of queued.
 	ctx, cancel := s.boundCtx(ctx, timeout)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	qsp := tr.Root().Child("queue")
+	err := s.acquire(ctx)
+	qsp.End()
+	if err != nil {
+		s.finish(tr, endpoint, src, start, 0, err)
 		return nil, err
 	}
 	s.inFlight.Add(1)
@@ -227,9 +309,10 @@ func (s *Service) Query(ctx context.Context, src string, args []any, timeout tim
 		s.admit.Release()
 	}()
 
-	p, err := s.preparedFor(ctx, src, epoch)
+	p, err := s.preparedFor(ctx, src, epoch, tr.Root())
 	if err != nil {
 		s.failed.Add(1)
+		s.finish(tr, endpoint, src, start, 0, err)
 		return nil, err
 	}
 	res, err := p.RunCtx(ctx, args...)
@@ -239,16 +322,97 @@ func (s *Service) Query(ctx context.Context, src string, args []any, timeout tim
 		} else {
 			s.failed.Add(1)
 		}
+		s.finish(tr, endpoint, src, start, 0, err)
 		return nil, err
 	}
 	// Re-read the epoch: a refresh that raced this execution may have
 	// changed the data mid-run, and caching the result under the old
 	// epoch could serve a mixed-generation answer forever.
-	if s.core.Epoch() == epoch {
+	if cacheable && s.core.Epoch() == epoch {
 		s.results.put(key, epoch, res, approxResultBytes(res))
 	}
 	s.completed.Add(1)
-	return &Outcome{Result: res, Elapsed: time.Since(start)}, nil
+	out := &Outcome{Result: res, Elapsed: time.Since(start), QueryID: tr.ID()}
+	out.Spans = s.finish(tr, endpoint, src, start, int64(res.Len()), nil)
+	return out, nil
+}
+
+// finish settles one traced query: it closes the span tree, rolls the
+// phases into the /metrics histograms, records the /debug/queries
+// profile and emits the structured slow-query log.
+func (s *Service) finish(tr *trace.Tracer, endpoint, src string, start time.Time, rows int64, qerr error) *trace.SpanNode {
+	tr.Finish()
+	snap := tr.Snapshot()
+	elapsed := time.Since(start)
+	ph := phaseTimes(snap)
+	for i, d := range ph {
+		// Observe even zero durations: the count then reads as "queries
+		// that went through this phase", matching vida_queries_total.
+		s.phases[i].observe(d)
+	}
+	status := "ok"
+	var errMsg string
+	switch {
+	case qerr == nil:
+	case errors.Is(qerr, ErrBusy):
+		status, errMsg = "shed", qerr.Error()
+	case errors.Is(qerr, context.Canceled), errors.Is(qerr, context.DeadlineExceeded):
+		status, errMsg = "cancelled", qerr.Error()
+	default:
+		status, errMsg = "failed", qerr.Error()
+	}
+	s.profiles.record(&QueryProfile{
+		ID: tr.ID(), Endpoint: endpoint, Query: clipQuery(src), Status: status, Error: errMsg,
+		Start: start, ElapsedMS: durMS(elapsed), Rows: rows, Spans: snap,
+	})
+	if t := s.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
+		slog.Warn("slow query",
+			"query_id", tr.ID(), "endpoint", endpoint, "status", status,
+			"duration_ms", durMS(elapsed), "rows", rows,
+			"queue_ms", durMS(ph[phaseQueue]), "compile_ms", durMS(ph[phaseCompile]),
+			"scan_ms", durMS(ph[phaseScan]), "fold_ms", durMS(ph[phaseFold]),
+			"query", clipQuery(src))
+	}
+	return snap
+}
+
+// Analysis is the outcome of ExplainAnalyze: the optimized plan next to
+// the executed query's settled span tree (EXPLAIN ANALYZE over HTTP).
+type Analysis struct {
+	QueryID   string          `json:"query_id"`
+	Plan      string          `json:"plan"`
+	Rows      int64           `json:"rows"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Spans     *trace.SpanNode `json:"spans"`
+}
+
+// ExplainAnalyze plans and executes one query under an armed tracer and
+// returns the plan annotated with the execution's span tree. It goes
+// through admission like any query but bypasses the result cache in
+// both directions — the point is to observe a real execution.
+func (s *Service) ExplainAnalyze(ctx context.Context, src string, sql bool, args []any, timeout time.Duration) (*Analysis, error) {
+	if sql {
+		comp, err := s.eng.TranslateSQL(src)
+		if err != nil {
+			return nil, &BadQueryError{Err: err}
+		}
+		src = comp
+	}
+	plan, err := s.eng.Explain(src)
+	if err != nil {
+		return nil, &BadQueryError{Err: err}
+	}
+	out, err := s.run(ctx, epExplain, src, args, timeout, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		QueryID:   out.QueryID,
+		Plan:      plan,
+		Rows:      int64(out.Result.Len()),
+		ElapsedMS: durMS(out.Elapsed),
+		Spans:     out.Spans,
+	}, nil
 }
 
 // acquire runs admission and classifies its failures: sheds count as
@@ -274,7 +438,7 @@ func (s *Service) QuerySQL(ctx context.Context, src string, args []any, timeout 
 	if err != nil {
 		return nil, &BadQueryError{Err: err}
 	}
-	return s.Query(ctx, comp, args, timeout)
+	return s.run(ctx, epSQL, comp, args, timeout, true)
 }
 
 // boundCtx applies the admission timeout policy: requests may shorten
@@ -297,20 +461,29 @@ func (s *Service) boundCtx(ctx context.Context, timeout time.Duration) (context.
 // stream's whole lifetime — a streaming client occupies engine capacity
 // exactly like an executing query — and is released by the returned
 // release func, which must be called exactly once (after Close on the
-// rows). Streamed results bypass the result cache.
-func (s *Service) QueryRows(ctx context.Context, src string, sql bool, args []any, timeout time.Duration) (*vida.Rows, func(), error) {
+// rows). Streamed results bypass the result cache. The returned query
+// ID correlates the response header with the stream's profile, which is
+// recorded when release settles the outcome.
+func (s *Service) QueryRows(ctx context.Context, src string, sql bool, args []any, timeout time.Duration) (*vida.Rows, string, func(), error) {
 	if sql {
 		comp, err := s.eng.TranslateSQL(src)
 		if err != nil {
-			return nil, nil, &BadQueryError{Err: err}
+			return nil, "", nil, &BadQueryError{Err: err}
 		}
 		src = comp
 	}
+	start := time.Now()
+	tr := trace.New(trace.NewID(), epStream)
+	ctx = trace.WithTracer(ctx, tr)
 	ctx, cancel := s.boundCtx(ctx, timeout)
+	qsp := tr.Root().Child("queue")
 	if err := s.acquire(ctx); err != nil {
+		qsp.End()
 		cancel()
-		return nil, nil, err
+		s.finish(tr, epStream, src, start, 0, err)
+		return nil, "", nil, err
 	}
+	qsp.End()
 	s.inFlight.Add(1)
 	s.streams.Add(1)
 	var once sync.Once
@@ -319,7 +492,8 @@ func (s *Service) QueryRows(ctx context.Context, src string, sql bool, args []an
 			cancel()
 			s.inFlight.Add(-1)
 			s.admit.Release()
-			switch err := outcome(); {
+			err := outcome()
+			switch {
 			case err == nil:
 				s.completed.Add(1)
 			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -327,22 +501,25 @@ func (s *Service) QueryRows(ctx context.Context, src string, sql bool, args []an
 			default:
 				s.failed.Add(1)
 			}
+			// The producer goroutine has exited by the time release runs
+			// (callers Close the rows first), so the span tree is settled.
+			s.finish(tr, epStream, src, start, 0, err)
 		})
 	}
-	p, err := s.preparedFor(ctx, src, s.core.Epoch())
+	p, err := s.preparedFor(ctx, src, s.core.Epoch(), tr.Root())
 	if err != nil {
 		finish(func() error { return err })
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	rows, err := p.RunRowsCtx(ctx, args...)
 	if err != nil {
 		finish(func() error { return err })
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	// The release closure classifies the stream by its terminal error:
 	// callers Close the rows first, so Err is settled — a stream that
 	// died mid-flight counts as cancelled/failed, not completed.
-	return rows, func() { finish(rows.Err) }, nil
+	return rows, tr.ID(), func() { finish(rows.Err) }, nil
 }
 
 // cacheKey builds the result-cache key for a query and its bindings.
@@ -369,13 +546,21 @@ func cacheKey(src string, args []any) string {
 }
 
 // preparedFor returns the cached prepared statement for (src, epoch) or
-// runs the frontend and installs it.
-func (s *Service) preparedFor(ctx context.Context, src string, epoch int64) (*vida.Prepared, error) {
+// runs the frontend and installs it. The root span is annotated with the
+// prepared-cache outcome — a hit skips the frontend entirely, so the
+// span tree would otherwise show no compile phase without explanation.
+func (s *Service) preparedFor(ctx context.Context, src string, epoch int64, sp *trace.Span) (*vida.Prepared, error) {
 	if v, ok := s.prepared.get(src, epoch); ok {
 		s.prepHits.Add(1)
+		if sp != nil {
+			sp.SetAttr("prepared_cache", "hit")
+		}
 		return v.(*vida.Prepared), nil
 	}
 	s.prepMisses.Add(1)
+	if sp != nil {
+		sp.SetAttr("prepared_cache", "miss")
+	}
 	p, err := s.eng.PrepareCtx(ctx, src)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {

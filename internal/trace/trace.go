@@ -1,0 +1,312 @@
+// Package trace is the engine's query-level execution tracer: a
+// lightweight span recorder threaded through the life of a query —
+// frontend, admission wait, scans, folds, joins — and surfaced as the
+// span tree behind /explain?analyze=true, the /debug/queries profile
+// ring and the per-phase latency histograms on /metrics.
+//
+// The design center is the disarmed cost. ViDa moves database cost into
+// the query itself (posmap builds, first-touch scans, cache harvests),
+// so the tracer must observe exactly those phases without taxing the
+// warm fast path: a query that runs without a tracer carries a nil
+// *Span through every instrumentation site, and every Span method is
+// nil-safe — a disarmed site is a pointer test, no allocation, no
+// atomic. Arming is per-query: attach a Tracer to the request context
+// with WithTracer and every layer below picks it up via FromContext.
+//
+// Concurrency: spans are written by morsel workers in parallel, so the
+// hot counters (rows, bytes, batches) are atomics and child creation
+// takes the parent's mutex. End is idempotent (first caller wins), and
+// Tracer.Finish closes any span still open — a parallel scan span whose
+// morsels finish with the job does not need its own End bookkeeping.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records one query's span tree, identified by a query ID that
+// the serving layer returns to clients (X-Vida-Query-Id) so profiles
+// can be correlated with responses.
+type Tracer struct {
+	id   string
+	root *Span
+}
+
+// New starts a tracer whose root span (named name) begins now.
+func New(id, name string) *Tracer {
+	return &Tracer{id: id, root: newSpan(name)}
+}
+
+// ID returns the query ID. Nil-safe.
+func (t *Tracer) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span. Nil-safe: a nil tracer yields a nil span,
+// which absorbs every operation.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root and closes every span still open (parallel scan
+// spans, spans abandoned by an error path) so the snapshot is fully
+// settled. Nil-safe.
+func (t *Tracer) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.endTree()
+}
+
+// Snapshot renders the settled span tree. Call after Finish. Nil-safe
+// (returns nil).
+func (t *Tracer) Snapshot() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	return t.root.snapshot(t.root.start)
+}
+
+type ctxKey struct{}
+
+// WithTracer arms ctx with t: every FromContext below this point sees
+// the tracer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the tracer armed on ctx, or nil (disarmed).
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(ctxKey{}).(*Tracer)
+	return t
+}
+
+// Span is one timed region of query execution. The zero of everything
+// is a nil *Span, on which every method is a no-op — instrumentation
+// sites never branch on "is tracing on", they just call through.
+type Span struct {
+	name  string
+	start time.Time
+	endNS atomic.Int64 // duration in nanos once ended; 0 = still open
+
+	// Hot counters, accumulated lock-free by (possibly parallel)
+	// producers.
+	rows    atomic.Int64
+	bytes   atomic.Int64
+	batches atomic.Int64
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val any
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a sub-span under s. Nil-safe: a nil parent yields a nil
+// child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Event records a completed child span with an externally measured
+// duration (e.g. a positional-map build observed through the reader's
+// counters rather than timed in line). Nil-safe.
+func (s *Span) Event(name string, d time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	c := &Span{name: name, start: time.Now().Add(-d)}
+	if d <= 0 {
+		d = 1 // a zero endNS means "open"; clamp to a visible tick
+	}
+	c.endNS.Store(int64(d))
+	c.attrs = attrs
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End closes the span. Idempotent: the first End wins, so a span shared
+// with a deferred cleanup cannot be double-counted. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if d <= 0 {
+		d = 1
+	}
+	s.endNS.CompareAndSwap(0, int64(d))
+}
+
+// endTree ends s and every descendant still open.
+func (s *Span) endTree() {
+	s.End()
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.endTree()
+	}
+}
+
+// SetAttr annotates the span. Later sets of the same key win at
+// snapshot time. Nil-safe.
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// AddRows accumulates processed rows. Nil-safe, lock-free.
+func (s *Span) AddRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.rows.Add(n)
+}
+
+// AddBytes accumulates processed bytes. Nil-safe, lock-free.
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.bytes.Add(n)
+}
+
+// AddBatches accumulates processed batches. Nil-safe, lock-free.
+func (s *Span) AddBatches(n int64) {
+	if s == nil {
+		return
+	}
+	s.batches.Add(n)
+}
+
+// Rows returns the accumulated row count. Nil-safe.
+func (s *Span) Rows() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rows.Load()
+}
+
+// Duration returns the span's settled duration (0 while open). Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.endNS.Load())
+}
+
+// SpanNode is the JSON rendering of one settled span.
+type SpanNode struct {
+	Name string `json:"name"`
+	// StartOffMS is the span's start relative to the root, DurationMS its
+	// wall time; both in milliseconds for direct reading.
+	StartOffMS float64        `json:"start_off_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Rows       int64          `json:"rows,omitempty"`
+	Bytes      int64          `json:"bytes,omitempty"`
+	Batches    int64          `json:"batches,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanNode    `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot(origin time.Time) *SpanNode {
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	n := &SpanNode{
+		Name:       s.name,
+		StartOffMS: float64(s.start.Sub(origin).Microseconds()) / 1000,
+		DurationMS: float64(time.Duration(s.endNS.Load()).Microseconds()) / 1000,
+		Rows:       s.rows.Load(),
+		Bytes:      s.bytes.Load(),
+		Batches:    s.batches.Load(),
+	}
+	if len(attrs) > 0 {
+		n.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			n.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range kids {
+		n.Children = append(n.Children, c.snapshot(origin))
+	}
+	return n
+}
+
+// Walk visits n and every descendant depth-first. Nil-safe.
+func (n *SpanNode) Walk(fn func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns the first span (depth-first) with the given name, or
+// nil. Nil-safe.
+func (n *SpanNode) Find(name string) *SpanNode {
+	var found *SpanNode
+	n.Walk(func(s *SpanNode) {
+		if found == nil && s.Name == name {
+			found = s
+		}
+	})
+	return found
+}
+
+// Duration returns the node's wall time as a time.Duration.
+func (n *SpanNode) Duration() time.Duration {
+	if n == nil {
+		return 0
+	}
+	return time.Duration(n.DurationMS * float64(time.Millisecond))
+}
+
+// idCounter + idPrefix make NewID unique within and across processes:
+// the prefix mixes the process start time and pid, the counter orders
+// queries within the process.
+var (
+	idCounter atomic.Uint64
+	idPrefix  = fmt.Sprintf("%x-%x", time.Now().UnixNano()&0xffffff, os.Getpid()&0xffff)
+)
+
+// NewID returns a fresh query ID ("1a2b3c-d4e5-7" style: process
+// prefix, then a per-process sequence number).
+func NewID() string {
+	return fmt.Sprintf("%s-%d", idPrefix, idCounter.Add(1))
+}

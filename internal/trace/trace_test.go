@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.ID() != "" || tr.Root() != nil || tr.Snapshot() != nil {
+		t.Fatal("nil tracer must absorb calls")
+	}
+	tr.Finish()
+
+	var s *Span
+	s.End()
+	s.SetAttr("k", 1)
+	s.AddRows(5)
+	s.AddBytes(5)
+	s.AddBatches(1)
+	s.Event("e", time.Millisecond)
+	if s.Child("c") != nil {
+		t.Fatal("nil span must yield nil children")
+	}
+	if s.Rows() != 0 || s.Duration() != 0 {
+		t.Fatal("nil span must report zeros")
+	}
+
+	var n *SpanNode
+	n.Walk(func(*SpanNode) { t.Fatal("nil node must not be visited") })
+	if n.Find("x") != nil || n.Duration() != 0 {
+		t.Fatal("nil node must report zeros")
+	}
+}
+
+func TestNilSpanZeroAllocs(t *testing.T) {
+	var s *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		s.AddRows(1)
+		s.AddBytes(8)
+		s.AddBatches(1)
+		s.Child("scan").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed span ops allocated %v times per run", allocs)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New(NewID(), "request")
+	root := tr.Root()
+	scan := root.Child("scan")
+	scan.AddRows(100)
+	scan.AddBytes(4096)
+	scan.AddBatches(2)
+	scan.SetAttr("source", "Patients")
+	scan.SetAttr("mode", "raw")
+	scan.SetAttr("mode", "cache") // later set wins
+	scan.Event("posmap_build", 3*time.Millisecond, Attr{Key: "builds", Val: int64(1)})
+	scan.End()
+	fold := root.Child("fold")
+	// deliberately left open: Finish must close it
+	_ = fold
+	time.Sleep(time.Millisecond)
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap == nil || snap.Name != "request" {
+		t.Fatalf("bad root: %+v", snap)
+	}
+	if snap.DurationMS <= 0 {
+		t.Fatalf("root duration not settled: %v", snap.DurationMS)
+	}
+	sc := snap.Find("scan")
+	if sc == nil {
+		t.Fatal("scan span missing")
+	}
+	if sc.Rows != 100 || sc.Bytes != 4096 || sc.Batches != 2 {
+		t.Fatalf("scan counters wrong: %+v", sc)
+	}
+	if sc.Attrs["mode"] != "cache" || sc.Attrs["source"] != "Patients" {
+		t.Fatalf("scan attrs wrong: %+v", sc.Attrs)
+	}
+	pb := snap.Find("posmap_build")
+	if pb == nil || pb.DurationMS < 2.5 {
+		t.Fatalf("posmap_build event wrong: %+v", pb)
+	}
+	fo := snap.Find("fold")
+	if fo == nil || fo.DurationMS <= 0 {
+		t.Fatalf("open child not closed by Finish: %+v", fo)
+	}
+	if snap.Find("nonexistent") != nil {
+		t.Fatal("Find invented a span")
+	}
+
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-serializable: %v", err)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	s := newSpan("x")
+	time.Sleep(time.Millisecond)
+	s.End()
+	d := s.Duration()
+	if d <= 0 {
+		t.Fatal("duration not set")
+	}
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End overwrote duration")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background ctx must be disarmed")
+	}
+	tr := New("q-1", "request")
+	ctx := WithTracer(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("tracer lost in context")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == b || a == "" {
+		t.Fatalf("ids not unique: %q %q", a, b)
+	}
+}
