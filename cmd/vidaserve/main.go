@@ -79,6 +79,8 @@ func main() {
 		resultCache = flag.Int("result-cache", 256, "query-result LRU entries (negative disables)")
 		resultBytes = flag.Int64("result-cache-bytes", 64<<20, "query-result LRU memory budget in bytes (negative disables)")
 		cacheBudget = flag.Int64("cache-budget", 0, "data cache budget in bytes (0 = unlimited)")
+		cacheHot    = flag.Int64("cache-hot-bytes", 0, "hot (decoded vector) cache tier budget in bytes; past it entries are held encoded in memory (0 = never encode)")
+		cacheDir    = flag.String("cache-dir", "", "persist encoded cache blocks and positional maps here; a restarted server rehydrates its cache from this directory (empty disables)")
 		memBudget   = flag.Int64("mem-budget", 0, "global query-memory budget in bytes (0 = unbudgeted)")
 		queryMem    = flag.Int64("query-mem-budget", 0, "per-query memory budget in bytes (0 = unbudgeted)")
 		slowQuery   = flag.Duration("slow-query", 500*time.Millisecond, "log queries slower than this (negative disables)")
@@ -106,6 +108,8 @@ func main() {
 	eng := vida.New(
 		vida.WithScheduler(pool),
 		vida.WithCacheBudget(*cacheBudget),
+		vida.WithCacheHotBytes(*cacheHot),
+		vida.WithCacheDir(*cacheDir),
 		vida.WithMemoryBudget(*memBudget),
 		vida.WithQueryMemoryBudget(*queryMem),
 	)

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"vida/internal/colenc"
 	"vida/internal/values"
 	"vida/internal/vec"
 )
@@ -56,6 +58,12 @@ type Entry struct {
 	Docs  [][]byte           // LayoutBSON
 	Spans []Span             // LayoutSpans
 
+	// Enc is the second-tier representation: when non-nil the entry holds
+	// encoded blocks instead of flat vectors (Cols is then nil) and size
+	// accounts the encoded bytes, so one budget holds far more rows. Scans
+	// decode windows on demand through ColumnsSource.
+	Enc *colenc.Table
+
 	size int64
 	tick uint64
 	hits int64
@@ -67,10 +75,16 @@ func (e *Entry) SizeBytes() int64 { return e.size }
 // Hits returns how many lookups this entry served.
 func (e *Entry) Hits() int64 { return e.hits }
 
+// Encoded reports whether the entry lives in the encoded tier.
+func (e *Entry) Encoded() bool { return e.Enc != nil }
+
 // HasColumns reports whether the entry covers all the given fields.
 func (e *Entry) HasColumns(fields []string) bool {
 	if e.Layout != LayoutColumns {
 		return false
+	}
+	if e.Enc != nil {
+		return e.Enc.HasColumns(fields)
 	}
 	for _, f := range fields {
 		if _, ok := e.Cols[f]; !ok {
@@ -90,24 +104,74 @@ type Stats struct {
 	BytesUsed  int64
 	BytesLimit int64
 	Entries    int
+	// Tier accounting: flat-vector bytes vs encoded-block bytes, and the
+	// traffic between the tiers and the spill directory.
+	HotBytes         int64
+	EncodedBytes     int64
+	Encodes          int64
+	DecodedBlocks    int64
+	SpillWrites      int64
+	RehydratedBlocks int64
+	SpillCorrupt     int64
+}
+
+// Config parameterizes a Manager beyond the byte budget.
+type Config struct {
+	// BudgetBytes bounds all resident entries, both tiers (<=0: unlimited).
+	BudgetBytes int64
+	// HotBytes bounds the flat-vector tier: once exceeded, the coldest
+	// columnar entries transition to encoded blocks in memory (<=0:
+	// tiering disabled, everything stays hot).
+	HotBytes int64
+	// SpillDir, when set, persists encoded columnar entries as generation
+	// keyed spill files so a restarted engine rehydrates instead of
+	// re-scanning raw files.
+	SpillDir string
 }
 
 // Manager owns all cache entries under one byte budget.
 type Manager struct {
 	mu      sync.Mutex
+	cfg     Config
 	budget  int64
-	used    int64
+	used    int64 // hotUsed + encodedUsed: every resident entry's size
 	tick    uint64
 	entries map[string]*Entry
 	hits    int64
 	misses  int64
 	evicted int64
 	puts    int64
+
+	hotUsed     int64
+	encodedUsed int64
+	encodes     int64
+	spillWrites int64
+	rehydrated  int64
+	corrupt     int64
+	// spillKeys maps a dataset to its current raw-file generation (the
+	// spill key); registered by the engine when a spill dir is active.
+	spillKeys map[string]func() string
+	// decodedBlocks is written by concurrent scans outside mu.
+	decodedBlocks atomic.Int64
 }
 
 // New creates a Manager with the given byte budget (<=0 means unlimited).
 func New(budgetBytes int64) *Manager {
-	return &Manager{budget: budgetBytes, entries: map[string]*Entry{}}
+	return NewWithConfig(Config{BudgetBytes: budgetBytes})
+}
+
+// NewWithConfig creates a Manager with tiering and spill configured.
+func NewWithConfig(cfg Config) *Manager {
+	return &Manager{cfg: cfg, budget: cfg.BudgetBytes, entries: map[string]*Entry{}, spillKeys: map[string]func() string{}}
+}
+
+// SetSpillKey registers the generation provider of a dataset: spill
+// files are keyed by its value so a raw-file change strands (and the
+// cache then deletes) the stale spill.
+func (m *Manager) SetSpillKey(dataset string, gen func() string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spillKeys[dataset] = gen
 }
 
 func key(dataset string, layout Layout) string {
@@ -179,10 +243,24 @@ func (m *Manager) PutColumnVectors(dataset string, n int, cols map[string]vec.Co
 	}
 	e := &Entry{Dataset: dataset, Layout: LayoutColumns, N: n, Cols: make(map[string]vec.Col, len(cols))}
 	if old != nil {
-		e.size, e.tick, e.hits = old.size, old.tick, old.hits
-		for name, col := range old.Cols {
+		e.tick, e.hits = old.tick, old.hits
+		oldCols := old.Cols
+		if old.Enc != nil {
+			// The entry sits in the encoded tier: materialize it so the
+			// fresh columns merge into one hot entry (which may transition
+			// right back below if the hot tier is over budget).
+			dec, err := old.Enc.DecodeAll()
+			if err != nil {
+				// Unreachable for blocks we encoded; drop the old entry
+				// rather than serve questionable data.
+				dec = nil
+			}
+			oldCols = dec
+		}
+		for name, col := range oldCols {
 			e.Cols[name] = col
 		}
+		m.removeLocked(k)
 	} else {
 		m.puts++
 	}
@@ -190,15 +268,62 @@ func (m *Manager) PutColumnVectors(dataset string, n int, cols map[string]vec.Co
 		if _, exists := e.Cols[name]; exists {
 			continue
 		}
-		sz := EstimateColBytes(&col)
 		e.Cols[name] = col
-		e.size += sz
-		m.used += sz
+	}
+	// Recomputing from the live columns (rather than trusting the old
+	// entry's incremental sum) keeps tracked bytes drift-free across
+	// merge, decode and replace churn.
+	for name := range e.Cols {
+		col := e.Cols[name]
+		e.size += EstimateColBytes(&col)
 	}
 	m.entries[k] = e
+	m.used += e.size
+	m.hotUsed += e.size
 	m.touchLocked(e)
+	m.maybeEncodeLocked()
+	m.spillLocked(e)
 	m.evictLocked()
 	return nil
+}
+
+// maybeEncodeLocked transitions the coldest columnar entries from flat
+// vectors to encoded blocks while the hot tier is over its budget. The
+// swap is copy-on-write: in-flight scans keep reading the flat entry
+// they resolved; new lookups see the encoded one.
+func (m *Manager) maybeEncodeLocked() {
+	if m.cfg.HotBytes <= 0 {
+		return
+	}
+	for m.hotUsed > m.cfg.HotBytes {
+		var coldestKey string
+		var coldest *Entry
+		for k, e := range m.entries {
+			if e.Layout != LayoutColumns || e.Enc != nil || e.Cols == nil {
+				continue
+			}
+			if coldest == nil || e.tick < coldest.tick {
+				coldest, coldestKey = e, k
+			}
+		}
+		if coldest == nil {
+			return
+		}
+		tab, err := colenc.EncodeColumns(coldest.Cols, coldest.N)
+		if err != nil {
+			// Should not happen; leave the tier as is rather than loop.
+			return
+		}
+		enc := &Entry{
+			Dataset: coldest.Dataset, Layout: LayoutColumns, N: coldest.N,
+			Enc: tab, size: tab.SizeBytes(), tick: coldest.tick, hits: coldest.hits,
+		}
+		m.entries[coldestKey] = enc
+		m.used += enc.size - coldest.size
+		m.hotUsed -= coldest.size
+		m.encodedUsed += enc.size
+		m.encodes++
+	}
 }
 
 // PutColumns is the boxed-compatibility form of PutColumnVectors: each
@@ -243,6 +368,7 @@ func (m *Manager) put(e *Entry) {
 	m.removeLocked(k)
 	m.entries[k] = e
 	m.used += e.size
+	m.hotUsed += e.size
 	m.puts++
 	m.touchLocked(e)
 	m.evictLocked()
@@ -308,7 +434,8 @@ func (m *Manager) PeekColumns(dataset string, fields []string) bool {
 	return ok && e.HasColumns(fields)
 }
 
-// Invalidate drops every entry of a dataset (file changed).
+// Invalidate drops every entry of a dataset (file changed), along with
+// any spill files: their generation no longer exists.
 func (m *Manager) Invalidate(dataset string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -317,6 +444,7 @@ func (m *Manager) Invalidate(dataset string) {
 			m.removeLocked(k)
 		}
 	}
+	m.removeSpillFilesLocked(dataset)
 }
 
 // Clear drops everything.
@@ -333,13 +461,20 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Hits:       m.hits,
-		Misses:     m.misses,
-		Evictions:  m.evicted,
-		Insertions: m.puts,
-		BytesUsed:  m.used,
-		BytesLimit: m.budget,
-		Entries:    len(m.entries),
+		Hits:             m.hits,
+		Misses:           m.misses,
+		Evictions:        m.evicted,
+		Insertions:       m.puts,
+		BytesUsed:        m.used,
+		BytesLimit:       m.budget,
+		Entries:          len(m.entries),
+		HotBytes:         m.hotUsed,
+		EncodedBytes:     m.encodedUsed,
+		Encodes:          m.encodes,
+		DecodedBlocks:    m.decodedBlocks.Load(),
+		SpillWrites:      m.spillWrites,
+		RehydratedBlocks: m.rehydrated,
+		SpillCorrupt:     m.corrupt,
 	}
 }
 
@@ -356,7 +491,10 @@ func (m *Manager) Describe() string {
 	for _, k := range keys {
 		e := m.entries[k]
 		fmt.Fprintf(&sb, "%s [%s] n=%d size=%dB hits=%d", e.Dataset, e.Layout, e.N, e.size, e.hits)
-		if e.Layout == LayoutColumns {
+		if e.Encoded() {
+			fmt.Fprintf(&sb, " tier=encoded blocks=%d", e.Enc.NumBlocks())
+		}
+		if e.Layout == LayoutColumns && e.Cols != nil {
 			cols := make([]string, 0, len(e.Cols))
 			for c := range e.Cols {
 				col := e.Cols[c]
@@ -378,6 +516,11 @@ func (m *Manager) touchLocked(e *Entry) {
 func (m *Manager) removeLocked(k string) {
 	if e, ok := m.entries[k]; ok {
 		m.used -= e.size
+		if e.Encoded() {
+			m.encodedUsed -= e.size
+		} else {
+			m.hotUsed -= e.size
+		}
 		delete(m.entries, k)
 	}
 }

@@ -42,4 +42,31 @@
 // bumps the entry's logical tick and the lowest tick is dropped until
 // the budget holds. File changes invalidate all of a dataset's entries
 // wholesale.
+//
+// # Encoded tier
+//
+// Columnar entries live in two tiers. The hot tier holds decoded
+// vec.Col vectors served as zero-copy windows. When Config.HotBytes is
+// set and hot usage exceeds it, least-recently-used columnar entries
+// are re-encoded in place as colenc block tables (dictionary-coded
+// strings, delta/zig-zag varint ints, checksummed 4096-row blocks) —
+// typically 5x+ smaller than the flat vectors they replace, so the same
+// budget holds proportionally more data at the price of per-batch
+// decode on access. ColumnsSource decodes one block at a time into
+// reused buffers (batches are not Stable); low-cardinality string
+// columns decode to dictionary-coded windows the JIT filter kernels
+// compare as integer codes. Tier membership is part of the accounting:
+// Stats splits BytesUsed into HotBytes and EncodedBytes, and the
+// encode/decode traffic is counted.
+//
+// # Disk spill and rehydration
+//
+// With Config.SpillDir set, every columnar put also writes the encoded
+// table to a spill file named by the dataset and a caller-provided
+// generation key (a content hash — see SetSpillKey), so a process
+// restart can Rehydrate the entry from disk instead of re-scanning the
+// raw source. Files from stale generations are deleted; truncated or
+// checksum-failing files are quarantined (renamed *.bad) and counted,
+// never served. Invalidate removes a dataset's spill files along with
+// its entries.
 package cache

@@ -4,17 +4,32 @@ import (
 	"fmt"
 
 	"vida/internal/bsonlite"
+	"vida/internal/colenc"
 	"vida/internal/values"
 	"vida/internal/vec"
 )
 
+// MemReserver is the slice of the engine's memory governor the decode
+// path needs: encoded scans reserve their decode scratch against the
+// budget for the duration of the scan.
+type MemReserver interface {
+	Reserve(n int64) error
+	Release(n int64)
+}
+
 // ColumnsSource adapts a columnar cache entry to algebra.Source: batch
 // scans serve slice windows of the typed column vectors zero-copy (the
 // cheapest access path in the engine), and the row-oriented contracts
-// box rows on demand for the fallback executors.
+// box rows on demand for the fallback executors. Encoded-tier entries
+// decode per block on demand instead: dictionary string columns come
+// back as vec.StrDict windows, which the JIT filters on codes.
 type ColumnsSource struct {
 	Entry   *Entry
 	Dataset string
+	// Mgr, when set, tallies decoded blocks into the manager's counters.
+	Mgr *Manager
+	// Mem, when set, charges decode scratch to the memory governor.
+	Mem MemReserver
 }
 
 // Name implements algebra.Source.
@@ -22,6 +37,21 @@ func (s *ColumnsSource) Name() string { return s.Dataset }
 
 // Iterate implements algebra.Source.
 func (s *ColumnsSource) Iterate(fields []string, yield func(values.Value) error) error {
+	if s.Entry.Enc != nil {
+		fields = s.fieldList(fields)
+		return s.IterateBatches(fields, vec.DefaultBatchSize, func(b *vec.Batch) error {
+			for row := 0; row < b.N; row++ {
+				rec := make([]values.Field, len(fields))
+				for i, f := range fields {
+					rec[i] = values.Field{Name: f, Val: b.Cols[i].Value(row)}
+				}
+				if err := yield(values.NewRecord(rec...)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
 	cols, fields, err := s.resolveCols(fields)
 	if err != nil {
 		return err
@@ -41,6 +71,20 @@ func (s *ColumnsSource) Iterate(fields []string, yield func(values.Value) error)
 // IterateSlots is the specialized row access path for the JIT executor:
 // slot rows are boxed straight from the column vectors.
 func (s *ColumnsSource) IterateSlots(fields []string, yield func([]values.Value) error) error {
+	if s.Entry.Enc != nil {
+		buf := make([]values.Value, len(fields))
+		return s.IterateBatches(fields, vec.DefaultBatchSize, func(b *vec.Batch) error {
+			for row := 0; row < b.N; row++ {
+				for i := range b.Cols {
+					buf[i] = b.Cols[i].Value(row)
+				}
+				if err := yield(buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
 	cols, fields, err := s.resolveCols(fields)
 	if err != nil {
 		return err
@@ -57,16 +101,30 @@ func (s *ColumnsSource) IterateSlots(fields []string, yield func([]values.Value)
 	return nil
 }
 
+// fieldList defaults empty field requests to every resident column, in
+// sorted order.
+func (s *ColumnsSource) fieldList(fields []string) []string {
+	if len(fields) > 0 {
+		return fields
+	}
+	if s.Entry.Enc != nil {
+		for f := range s.Entry.Enc.Cols {
+			fields = append(fields, f)
+		}
+	} else {
+		for f := range s.Entry.Cols {
+			fields = append(fields, f)
+		}
+	}
+	sortStrings(fields)
+	return fields
+}
+
 // resolveCols maps requested fields (all cached fields when empty, in
 // sorted order) to the entry's column vectors.
 func (s *ColumnsSource) resolveCols(fields []string) ([]vec.Col, []string, error) {
 	e := s.Entry
-	if len(fields) == 0 {
-		for f := range e.Cols {
-			fields = append(fields, f)
-		}
-		sortStrings(fields)
-	}
+	fields = s.fieldList(fields)
 	cols := make([]vec.Col, len(fields))
 	for i, f := range fields {
 		col, ok := e.Cols[f]
@@ -78,11 +136,33 @@ func (s *ColumnsSource) resolveCols(fields []string) ([]vec.Col, []string, error
 	return cols, fields, nil
 }
 
+// resolveEnc maps requested fields to the entry's encoded columns.
+func (s *ColumnsSource) resolveEnc(fields []string) ([]*colenc.Col, error) {
+	fields = s.fieldList(fields)
+	cols := make([]*colenc.Col, len(fields))
+	for i, f := range fields {
+		col, ok := s.Entry.Enc.Cols[f]
+		if !ok {
+			return nil, fmt.Errorf("cache: column %q not resident for %s", f, s.Dataset)
+		}
+		cols[i] = col
+	}
+	return cols, nil
+}
+
 // IterateBatches implements the JIT's BatchSource contract: batches are
 // slice windows into the cached typed vectors — zero copies, no boxing.
 // Consumers must treat column storage as immutable (they do: filters
-// refine the selection vector instead of compacting).
+// refine the selection vector instead of compacting). Encoded entries
+// serve decoded block windows instead.
 func (s *ColumnsSource) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	if s.Entry.Enc != nil {
+		cols, err := s.resolveEnc(fields)
+		if err != nil {
+			return err
+		}
+		return s.encodedScan(cols)(0, s.Entry.N, batchSize, yield)
+	}
 	cols, _, err := s.resolveCols(fields)
 	if err != nil {
 		return err
@@ -91,13 +171,88 @@ func (s *ColumnsSource) IterateBatches(fields []string, batchSize int, yield fun
 }
 
 // OpenRange implements the JIT's RangeBatchSource contract. Columnar
-// entries can always serve arbitrary row ranges.
+// entries can always serve arbitrary row ranges; morsels over encoded
+// entries decode only the blocks their range touches.
 func (s *ColumnsSource) OpenRange(fields []string) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	if s.Entry.Enc != nil {
+		cols, err := s.resolveEnc(fields)
+		if err != nil {
+			return nil, 0, false
+		}
+		return s.encodedScan(cols), s.Entry.N, true
+	}
 	cols, _, err := s.resolveCols(fields)
 	if err != nil {
 		return nil, 0, false
 	}
 	return s.rangeScan(cols), s.Entry.N, true
+}
+
+// encodedScan returns a range scanner over encoded columns. Each call
+// of the returned function owns its decode buffers (morsel workers scan
+// disjoint ranges concurrently), decodes each touched block once, and
+// yields sliced windows. Batches are not Stable: the buffers are reused
+// when the scan moves to the next block, so consumers that retain rows
+// copy them — exactly the contract raw-file scans already impose.
+func (s *ColumnsSource) encodedScan(cols []*colenc.Col) func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+	return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+		if batchSize <= 0 {
+			batchSize = vec.DefaultBatchSize
+		}
+		dec := make([]vec.Col, len(cols))
+		b := &vec.Batch{Cols: make([]vec.Col, len(cols))}
+		cur := -1
+		var reserved int64
+		if s.Mem != nil {
+			defer func() { s.Mem.Release(reserved) }()
+		}
+		for o := lo; o < hi; {
+			bi := o / colenc.BlockRows
+			blkStart := bi * colenc.BlockRows
+			blkEnd := blkStart + colenc.BlockRows
+			if blkEnd > s.Entry.N {
+				blkEnd = s.Entry.N
+			}
+			if bi != cur {
+				for i, c := range cols {
+					if err := c.DecodeBlock(bi, &dec[i]); err != nil {
+						return err
+					}
+				}
+				cur = bi
+				s.Mgr.noteDecodedBlocks(int64(len(cols)))
+				if s.Mem != nil {
+					var sz int64
+					for i := range dec {
+						sz += dec[i].SizeBytes()
+					}
+					if sz > reserved {
+						if err := s.Mem.Reserve(sz - reserved); err != nil {
+							return err
+						}
+						reserved = sz
+					}
+				}
+			}
+			end := o + batchSize
+			if end > blkEnd {
+				end = blkEnd
+			}
+			if end > hi {
+				end = hi
+			}
+			for i := range dec {
+				b.Cols[i] = dec[i].Slice(o-blkStart, end-blkStart)
+			}
+			b.N = end - o
+			b.Sel = nil
+			if err := yield(b); err != nil {
+				return err
+			}
+			o = end
+		}
+		return nil
+	}
 }
 
 func (s *ColumnsSource) rangeScan(cols []vec.Col) func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {

@@ -1,0 +1,456 @@
+package colenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"vida/internal/bsonlite"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// BlockRows is the fixed row count per encoded block (the last block of
+// a column may be shorter). 4096 keeps a decoded block within a couple
+// of pipeline batches while amortizing per-block overhead.
+const BlockRows = 4096
+
+// MaxDictSize caps the dictionary cardinality: columns with more
+// distinct strings encode as raw length-prefixed strings instead.
+const MaxDictSize = 4096
+
+// Encoding identifies a column's block payload scheme.
+type Encoding uint8
+
+// The column encodings (see the package comment for layouts).
+const (
+	EncDelta Encoding = iota
+	EncFloat
+	EncDict
+	EncStr
+	EncBoxed
+)
+
+// String returns the encoding name.
+func (e Encoding) String() string {
+	switch e {
+	case EncDelta:
+		return "delta"
+	case EncFloat:
+		return "float"
+	case EncDict:
+		return "dict"
+	case EncStr:
+		return "str"
+	case EncBoxed:
+		return "boxed"
+	default:
+		return fmt.Sprintf("enc(%d)", uint8(e))
+	}
+}
+
+// castagnoli is the CRC-32C table shared by block and header checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Block is one checksummed run of encoded rows.
+type Block struct {
+	Rows int
+	Data []byte
+	CRC  uint32
+}
+
+// Col is one encoded column: the decoded tag, the payload scheme, and
+// the block sequence. Dict is populated for EncDict only.
+type Col struct {
+	Tag    vec.Tag
+	Enc    Encoding
+	N      int
+	Dict   []string
+	Blocks []Block
+}
+
+// Table is a dataset's encoded columnar entry.
+type Table struct {
+	N    int
+	Cols map[string]*Col
+}
+
+// SizeBytes returns the resident footprint of the encoded column.
+func (c *Col) SizeBytes() int64 {
+	var total int64
+	for i := range c.Blocks {
+		total += int64(len(c.Blocks[i].Data)) + 16
+	}
+	for _, s := range c.Dict {
+		total += int64(len(s)) + 16
+	}
+	return total
+}
+
+// NumBlocks returns the block count.
+func (c *Col) NumBlocks() int { return len(c.Blocks) }
+
+// SizeBytes returns the resident footprint of all encoded columns.
+func (t *Table) SizeBytes() int64 {
+	var total int64
+	for _, c := range t.Cols {
+		total += c.SizeBytes()
+	}
+	return total
+}
+
+// NumBlocks returns the total block count across columns.
+func (t *Table) NumBlocks() int {
+	n := 0
+	for _, c := range t.Cols {
+		n += len(c.Blocks)
+	}
+	return n
+}
+
+// HasColumns reports whether every requested field is encoded.
+func (t *Table) HasColumns(fields []string) bool {
+	for _, f := range fields {
+		if _, ok := t.Cols[f]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// EncodeColumns encodes a full columnar entry of n rows.
+func EncodeColumns(cols map[string]vec.Col, n int) (*Table, error) {
+	t := &Table{N: n, Cols: make(map[string]*Col, len(cols))}
+	for name, col := range cols {
+		ec, err := EncodeCol(&col)
+		if err != nil {
+			return nil, fmt.Errorf("colenc: column %q: %w", name, err)
+		}
+		t.Cols[name] = ec
+	}
+	return t, nil
+}
+
+// EncodeCol encodes one column vector into checksummed blocks.
+func EncodeCol(c *vec.Col) (*Col, error) {
+	n := c.Len()
+	out := &Col{Tag: c.Tag, N: n}
+	switch c.Tag {
+	case vec.Int64:
+		out.Enc = EncDelta
+	case vec.Float64:
+		out.Enc = EncFloat
+	case vec.Str, vec.StrDict:
+		out.Tag = vec.Str
+		dict, codes := buildDict(c, n)
+		if dict != nil {
+			out.Enc, out.Dict = EncDict, dict
+			return encodeBlocks(out, c, n, func(buf []byte, lo, hi int) ([]byte, error) {
+				for i := lo; i < hi; i++ {
+					buf = binary.AppendUvarint(buf, uint64(codes[i]))
+				}
+				return buf, nil
+			})
+		}
+		out.Enc = EncStr
+	case vec.Boxed:
+		out.Enc = EncBoxed
+	default:
+		return nil, fmt.Errorf("unencodable tag %s", c.Tag)
+	}
+	return encodeBlocks(out, c, n, func(buf []byte, lo, hi int) ([]byte, error) {
+		switch out.Enc {
+		case EncDelta:
+			prev := int64(0)
+			for i := lo; i < hi; i++ {
+				v := int64(0)
+				if c.Nulls == nil || !c.Nulls[i] {
+					v = c.Ints[i]
+				}
+				if i == lo {
+					buf = binary.AppendUvarint(buf, zigzag(v))
+				} else {
+					buf = binary.AppendUvarint(buf, zigzag(v-prev))
+				}
+				prev = v
+			}
+		case EncFloat:
+			for i := lo; i < hi; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Floats[i]))
+			}
+		case EncStr:
+			for i := lo; i < hi; i++ {
+				s := c.StrAt(i)
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+		case EncBoxed:
+			for i := lo; i < hi; i++ {
+				doc, err := bsonlite.Marshal(c.Boxed[i])
+				if err != nil {
+					return nil, err
+				}
+				buf = binary.AppendUvarint(buf, uint64(len(doc)))
+				buf = append(buf, doc...)
+			}
+		}
+		return buf, nil
+	})
+}
+
+// buildDict returns the sorted dictionary and per-row codes of a string
+// column, or nil when its cardinality disqualifies dictionary encoding.
+func buildDict(c *vec.Col, n int) ([]string, []uint32) {
+	if c.Tag == vec.StrDict {
+		// Already dictionary-shaped: reuse the sorted dictionary as-is.
+		if len(c.Dict) <= MaxDictSize && len(c.Dict)*2 <= n {
+			return c.Dict, c.Codes
+		}
+		return nil, nil
+	}
+	uniq := make(map[string]struct{}, 64)
+	for _, s := range c.Strs {
+		uniq[s] = struct{}{}
+		if len(uniq) > MaxDictSize {
+			return nil, nil
+		}
+	}
+	if len(uniq)*2 > n {
+		return nil, nil
+	}
+	dict := make([]string, 0, len(uniq))
+	for s := range uniq {
+		dict = append(dict, s)
+	}
+	sort.Strings(dict)
+	idx := make(map[string]uint32, len(dict))
+	for i, s := range dict {
+		idx[s] = uint32(i)
+	}
+	codes := make([]uint32, n)
+	for i, s := range c.Strs {
+		codes[i] = idx[s]
+	}
+	return dict, codes
+}
+
+// encodeBlocks splits [0,n) into BlockRows runs, prepending the flags
+// byte + null bitmap and checksumming each block.
+func encodeBlocks(out *Col, c *vec.Col, n int, payload func(buf []byte, lo, hi int) ([]byte, error)) (*Col, error) {
+	for lo := 0; lo < n || (n == 0 && lo == 0); lo += BlockRows {
+		hi := lo + BlockRows
+		if hi > n {
+			hi = n
+		}
+		rows := hi - lo
+		buf := make([]byte, 0, rows+1)
+		if c.Nulls != nil {
+			buf = append(buf, 1)
+			bitmap := make([]byte, (rows+7)/8)
+			for i := lo; i < hi; i++ {
+				if c.Nulls[i] {
+					bitmap[(i-lo)/8] |= 1 << uint((i-lo)%8)
+				}
+			}
+			buf = append(buf, bitmap...)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf, err := payload(buf, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out.Blocks = append(out.Blocks, Block{Rows: rows, Data: buf, CRC: crc32.Checksum(buf, castagnoli)})
+		if n == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// VerifyBlock recomputes the checksum of block bi.
+func (c *Col) VerifyBlock(bi int) error {
+	b := &c.Blocks[bi]
+	if got := crc32.Checksum(b.Data, castagnoli); got != b.CRC {
+		return fmt.Errorf("colenc: block %d checksum mismatch (got %08x want %08x)", bi, got, b.CRC)
+	}
+	return nil
+}
+
+// DecodeBlock decodes block bi into dst, replacing its contents. Dict
+// columns decode to vec.StrDict sharing the column's dictionary; all
+// other encodings decode to their original tag. The destination keeps
+// its payload capacity across calls, so a scan reusing one dst per
+// column allocates only on the first (and largest) block.
+func (c *Col) DecodeBlock(bi int, dst *vec.Col) error {
+	if bi < 0 || bi >= len(c.Blocks) {
+		return fmt.Errorf("colenc: block %d out of range [0,%d)", bi, len(c.Blocks))
+	}
+	b := &c.Blocks[bi]
+	data := b.Data
+	if len(data) < 1 {
+		return fmt.Errorf("colenc: block %d: empty data", bi)
+	}
+	tag := c.Tag
+	if c.Enc == EncDict {
+		tag = vec.StrDict
+	}
+	dst.Reset(tag)
+	dst.Dict = nil
+	flags, data := data[0], data[1:]
+	var nulls []byte
+	if flags&1 != 0 {
+		nb := (b.Rows + 7) / 8
+		if len(data) < nb {
+			return fmt.Errorf("colenc: block %d: truncated null bitmap", bi)
+		}
+		nulls, data = data[:nb], data[nb:]
+		mask := make([]bool, b.Rows)
+		for i := 0; i < b.Rows; i++ {
+			mask[i] = nulls[i/8]&(1<<uint(i%8)) != 0
+		}
+		dst.Nulls = mask
+	}
+	pos := 0
+	uv := func() (uint64, error) {
+		v, w := binary.Uvarint(data[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("colenc: block %d: truncated varint at offset %d", bi, pos)
+		}
+		pos += w
+		return v, nil
+	}
+	switch c.Enc {
+	case EncDelta:
+		prev := int64(0)
+		for i := 0; i < b.Rows; i++ {
+			u, err := uv()
+			if err != nil {
+				return err
+			}
+			v := unzigzag(u)
+			if i > 0 {
+				v += prev
+			}
+			prev = v
+			dst.Ints = append(dst.Ints, v)
+		}
+	case EncFloat:
+		if len(data) < b.Rows*8 {
+			return fmt.Errorf("colenc: block %d: truncated float payload", bi)
+		}
+		for i := 0; i < b.Rows; i++ {
+			dst.Floats = append(dst.Floats, math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:])))
+		}
+	case EncDict:
+		for i := 0; i < b.Rows; i++ {
+			u, err := uv()
+			if err != nil {
+				return err
+			}
+			if u >= uint64(len(c.Dict)) {
+				return fmt.Errorf("colenc: block %d: code %d outside dictionary of %d", bi, u, len(c.Dict))
+			}
+			dst.Codes = append(dst.Codes, uint32(u))
+		}
+		dst.Dict = c.Dict
+	case EncStr:
+		for i := 0; i < b.Rows; i++ {
+			u, err := uv()
+			if err != nil {
+				return err
+			}
+			if uint64(len(data)-pos) < u {
+				return fmt.Errorf("colenc: block %d: truncated string payload", bi)
+			}
+			dst.Strs = append(dst.Strs, string(data[pos:pos+int(u)]))
+			pos += int(u)
+		}
+	case EncBoxed:
+		for i := 0; i < b.Rows; i++ {
+			u, err := uv()
+			if err != nil {
+				return err
+			}
+			if uint64(len(data)-pos) < u {
+				return fmt.Errorf("colenc: block %d: truncated document payload", bi)
+			}
+			var v values.Value
+			if dst.Nulls != nil && dst.Nulls[i] {
+				v = values.Null
+			} else {
+				var derr error
+				v, derr = bsonlite.Unmarshal(data[pos : pos+int(u)])
+				if derr != nil {
+					return fmt.Errorf("colenc: block %d row %d: %w", bi, i, derr)
+				}
+			}
+			pos += int(u)
+			dst.Boxed = append(dst.Boxed, v)
+		}
+	default:
+		return fmt.Errorf("colenc: unknown encoding %d", c.Enc)
+	}
+	return nil
+}
+
+// Decode materializes the whole column back into a flat vector (used
+// when an encoded entry must merge with fresh hot columns).
+func (c *Col) Decode() (vec.Col, error) {
+	var out vec.Col
+	out.Tag = c.Tag
+	if c.Enc == EncDict {
+		out.Tag = vec.StrDict
+	}
+	var blk vec.Col
+	first := true
+	for bi := range c.Blocks {
+		if err := c.DecodeBlock(bi, &blk); err != nil {
+			return vec.Col{}, err
+		}
+		if first {
+			out = blk
+			blk = vec.Col{}
+			first = false
+			continue
+		}
+		n := out.Len()
+		if blk.Nulls != nil {
+			out.Nulls = append(growNulls(out.Nulls, n), blk.Nulls...)
+		} else if out.Nulls != nil {
+			out.Nulls = append(out.Nulls, make([]bool, blk.Len())...)
+		}
+		out.Ints = append(out.Ints, blk.Ints...)
+		out.Floats = append(out.Floats, blk.Floats...)
+		out.Strs = append(out.Strs, blk.Strs...)
+		out.Codes = append(out.Codes, blk.Codes...)
+		out.Boxed = append(out.Boxed, blk.Boxed...)
+		blk = vec.Col{}
+	}
+	return out, nil
+}
+
+// DecodeAll materializes every column (tier-2 → hot promotion on merge).
+func (t *Table) DecodeAll() (map[string]vec.Col, error) {
+	cols := make(map[string]vec.Col, len(t.Cols))
+	for name, c := range t.Cols {
+		col, err := c.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("colenc: column %q: %w", name, err)
+		}
+		cols[name] = col
+	}
+	return cols, nil
+}
+
+func growNulls(m []bool, n int) []bool {
+	for len(m) < n {
+		m = append(m, false)
+	}
+	return m
+}

@@ -1,0 +1,65 @@
+// Package colenc implements the encoded columnar representation behind
+// the cache's second tier: self-describing, checksummed blocks that hold
+// 5-10x more rows per byte than flat vectors, live either encoded in
+// memory (eviction then accounts the encoded size) or spilled to a cache
+// directory from which a restarted engine rehydrates without touching
+// the raw file.
+//
+// # Column encodings
+//
+// Each column encodes independently under one of five schemes, chosen
+// from the vector's tag and value distribution at encode time:
+//
+//	EncDelta  int64: per block, zig-zag varint of the first value
+//	          followed by zig-zag varint deltas. Sequential IDs and
+//	          near-sorted measures collapse to ~1 byte/row.
+//	EncFloat  float64: raw 8-byte little-endian passthrough.
+//	EncDict   strings, low cardinality: the block payload is one varint
+//	          dictionary code per row; the dictionary itself (sorted
+//	          ascending, so code order IS string order) is stored once
+//	          per column. Decoding yields vec.StrDict windows, and
+//	          filters compare codes against one binary-searched pivot
+//	          before any string materializes.
+//	EncStr    strings, high cardinality: varint length + bytes per row.
+//	EncBoxed  mixed/generic columns: varint length + bsonlite document
+//	          per row (raw passthrough — no compression is attempted).
+//
+// A column picks EncDict when its cardinality is at most MaxDictSize
+// and at most half its row count; otherwise strings stay EncStr.
+//
+// # Block format
+//
+// Rows split into fixed runs of BlockRows, so a scan can decode exactly
+// the blocks a morsel range touches. Every block carries its payload
+// with a leading flags byte:
+//
+//	block := flags(u8) [nullBitmap] payload
+//	flags bit0: a null bitmap of ceil(rows/8) bytes follows; bit i of
+//	            byte i/8 marks row i null. Null rows still occupy a
+//	            zero-valued payload slot, keeping delta chains and row
+//	            offsets uniform.
+//
+// Each block stores a CRC-32C (Castagnoli) checksum of its bytes.
+// Checksums are verified when a spill file is read back (a mismatch
+// quarantines the whole file); the in-memory decode path trusts blocks
+// it encoded itself and skips the check.
+//
+// # Spill file format
+//
+// One file holds one dataset's encoded columnar entry (little-endian):
+//
+//	file   := magic "VCSP" | version u16 | headerLen u32 | header
+//	        | headerCRC u32 | blockData*
+//	header := str dataset | str generation | uvarint rows | uvarint ncols
+//	        | column*
+//	column := str name | tag u8 | enc u8 | uvarint dictLen | str*
+//	        | uvarint nblocks | (uvarint rows, uvarint dataLen, crc u32)*
+//	str    := uvarint length | bytes
+//
+// Block payloads follow the header in column order, then block order.
+// The generation string keys the file to one raw-file generation
+// (content hash), so a source Refresh makes the file stale and the
+// cache layer deletes rather than rehydrates it. Truncated or
+// checksum-failing files never crash a reader: every parse returns an
+// error the caller turns into a .bad quarantine.
+package colenc

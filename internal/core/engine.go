@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -70,6 +71,14 @@ type Options struct {
 	Mode ExecMode
 	// CacheBudgetBytes bounds the data caches (<=0: unlimited).
 	CacheBudgetBytes int64
+	// CacheHotBytes bounds the cache's hot (decoded vector) tier; past
+	// it, least-recently-used columnar entries are held encoded in
+	// memory and decoded per block on demand (<=0: never encode).
+	CacheHotBytes int64
+	// CacheDir, when set, persists encoded cache blocks and positional
+	// maps there so a restarted engine serves its first query from
+	// rehydrated cache state instead of re-scanning the raw files.
+	CacheDir string
 	// Adaptive enables the sampling re-optimization round (paper §5).
 	Adaptive bool
 	// DisableCaching turns the cache layer off (for experiments).
@@ -191,12 +200,21 @@ type Engine struct {
 // NewEngine creates an engine.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{
-		opts:           opts,
-		sources:        map[string]*sourceEntry{},
-		caches:         cache.New(opts.CacheBudgetBytes),
+		opts:    opts,
+		sources: map[string]*sourceEntry{},
+		caches: cache.NewWithConfig(cache.Config{
+			BudgetBytes: opts.CacheBudgetBytes,
+			HotBytes:    opts.CacheHotBytes,
+			SpillDir:    opts.CacheDir,
+		}),
 		planCacheLimit: 512 / planShardCount,
 	}
 	e.mem.limit = opts.MemoryBudgetBytes
+	if opts.CacheDir != "" {
+		if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+			slog.Warn("core: cache dir unusable", "dir", opts.CacheDir, "err", err)
+		}
+	}
 	for i := range e.planShards {
 		e.planShards[i].m = map[string]*planEntry{}
 	}
@@ -270,7 +288,42 @@ func (e *Engine) Register(desc *sdg.Description) error {
 	e.sources[name] = entry
 	e.mu.Unlock()
 	e.epoch.Add(1)
+	// Warm restart: rehydrate spilled cache blocks and the persisted
+	// positional map, both keyed so stale state is never trusted (spill
+	// files by content generation, the posmap sidecar by mtime+size).
+	if entry.csv != nil {
+		e.caches.SetSpillKey(name, entry.csv.Generation)
+		if e.opts.CacheDir != "" {
+			e.caches.Rehydrate(name, entry.csv.Generation())
+			if _, err := entry.csv.LoadAux(e.auxPath(name)); err != nil {
+				slog.Warn("core: posmap sidecar unusable, rebuilding on demand", "dataset", name, "err", err)
+			}
+		}
+	}
 	return nil
+}
+
+// auxPath is where a dataset's positional-map sidecar lives inside the
+// cache directory (hashed name, like the spill files).
+func (e *Engine) auxPath(name string) string {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%s/p-%016x.posmap", e.opts.CacheDir, h)
+}
+
+// saveAux persists a CSV source's positional map into the cache
+// directory after a harvesting scan built it. Failures only cost the
+// next restart's first touch.
+func (e *Engine) saveAux(entry *sourceEntry) {
+	if e.opts.CacheDir == "" || entry.csv == nil {
+		return
+	}
+	if err := entry.csv.SaveAux(e.auxPath(entry.desc.Name)); err != nil {
+		slog.Warn("core: saving posmap sidecar failed", "dataset", entry.desc.Name, "err", err)
+	}
 }
 
 // RegisterSource adds an arbitrary source (in-memory data, a baseline
@@ -712,6 +765,14 @@ func (g harvestGuard) put(install func() error) error {
 	return nil
 }
 
+// cacheScanMode labels a cache-hit scan span by the entry's tier.
+func cacheScanMode(e *cache.Entry) string {
+	if e.Encoded() {
+		return "cache-encoded"
+	}
+	return "cache"
+}
+
 // Name implements algebra.Source.
 func (s *cachingSource) Name() string { return s.entry.desc.Name }
 
@@ -721,7 +782,7 @@ func (s *cachingSource) Iterate(fields []string, yield func(values.Value) error)
 	if len(fields) > 0 {
 		if entry, ok := s.e.caches.GetColumns(name, fields); ok {
 			s.e.cacheScans.Add(1)
-			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+			src := &cache.ColumnsSource{Entry: entry, Dataset: name, Mgr: s.e.caches, Mem: &s.e.mem}
 			return src.Iterate(fields, yield)
 		}
 	} else if entry, ok := s.e.caches.Get(name, cache.LayoutRows); ok {
@@ -777,7 +838,7 @@ func (s *cachingSource) IterateSlots(fields []string, yield func([]values.Value)
 	if len(fields) > 0 {
 		if entry, ok := s.e.caches.GetColumns(name, fields); ok {
 			s.e.cacheScans.Add(1)
-			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+			src := &cache.ColumnsSource{Entry: entry, Dataset: name, Mgr: s.e.caches, Mem: &s.e.mem}
 			return src.IterateSlots(fields, yield)
 		}
 		// Raw slot scan with harvesting (shed under memory pressure).
@@ -816,9 +877,9 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 	if len(fields) > 0 {
 		if entry, ok := s.e.caches.GetColumns(name, fields); ok {
 			s.e.cacheScans.Add(1)
-			sp := s.scanSpan("cache")
+			sp := s.scanSpan(cacheScanMode(entry))
 			defer sp.End()
-			src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+			src := &cache.ColumnsSource{Entry: entry, Dataset: name, Mgr: s.e.caches, Mem: &s.e.mem}
 			return src.IterateBatches(fields, batchSize, traceYield(sp, yield))
 		}
 		if bs, ok := s.entry.src.(jit.BatchSource); ok {
@@ -895,13 +956,20 @@ func (s *cachingSource) IterateBatches(fields []string, batchSize int, yield fun
 			if !harvest {
 				return nil
 			}
-			return guard.put(func() error {
+			if err := guard.put(func() error {
 				cols := make(map[string]vec.Col, len(fields))
 				for i, f := range fields {
 					cols[f] = builders[i].Finish()
 				}
 				return s.e.caches.PutColumnVectors(name, n, cols)
-			})
+			}); err != nil {
+				return err
+			}
+			// The harvesting scan just built (or extended) the positional
+			// map as a side effect; persist it so a restart skips the
+			// first-touch rebuild.
+			s.e.saveAux(s.entry)
+			return nil
 		}
 	}
 	return batchesFromSlots(s.IterateSlots, fields, batchSize, yield)
@@ -918,7 +986,7 @@ func (s *cachingSource) OpenRange(fields []string) (func(lo, hi, batchSize int, 
 	}
 	name := s.entry.desc.Name
 	if entry, ok := s.e.caches.Peek(name, cache.LayoutColumns); ok && entry.HasColumns(fields) {
-		src := &cache.ColumnsSource{Entry: entry, Dataset: name}
+		src := &cache.ColumnsSource{Entry: entry, Dataset: name, Mgr: s.e.caches, Mem: &s.e.mem}
 		scan, n, ok := src.OpenRange(fields)
 		if !ok {
 			return nil, 0, false
@@ -933,7 +1001,7 @@ func (s *cachingSource) OpenRange(fields []string) (func(lo, hi, batchSize int, 
 			once.Do(func() {
 				s.e.caches.Touch(name, cache.LayoutColumns)
 				s.e.cacheScans.Add(1)
-				sp = s.scanSpan("cache")
+				sp = s.scanSpan(cacheScanMode(entry))
 				sp.SetAttr("range", true)
 			})
 			return scan(lo, hi, batchSize, traceYield(sp, yield))

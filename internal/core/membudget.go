@@ -65,6 +65,14 @@ func (g *memGovernor) reserve(delta int64) error {
 
 func (g *memGovernor) release(n int64) { g.used.Add(-n) }
 
+// Reserve and Release export the governor as a cache.MemReserver:
+// encoded-tier scans charge their block-decode scratch against the
+// global budget for the duration of the scan.
+func (g *memGovernor) Reserve(n int64) error { return g.reserve(n) }
+
+// Release implements cache.MemReserver.
+func (g *memGovernor) Release(n int64) { g.release(n) }
+
 // harvestPressureNum/Den: above this fraction of the global budget the
 // engine is "under pressure" and sheds cache harvesting — the graceful
 // step before any query hits the ceiling.

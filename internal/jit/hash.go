@@ -47,6 +47,19 @@ func hashLiveCol(col *vec.Col, b *vec.Batch, hs []uint64, valid []bool) ([]uint6
 			}
 			hs, valid = append(hs, values.HashString(col.Strs[i])), append(valid, true)
 		}
+	case vec.StrDict:
+		// Dictionary keys hash their dictionary string so dict-encoded and
+		// plain batches of the same data share hash-table buckets. The
+		// per-code hash could be memoized, but dictionaries are small and
+		// HashString is cheap relative to the probe that follows.
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			if col.Nulls != nil && col.Nulls[i] {
+				hs, valid = append(hs, 0), append(valid, false)
+				continue
+			}
+			hs, valid = append(hs, values.HashString(col.Dict[col.Codes[i]])), append(valid, true)
+		}
 	default:
 		for k := 0; k < n; k++ {
 			i := b.Index(k)
@@ -69,8 +82,8 @@ func colValEqual(a *vec.Col, i int, b *vec.Col, j int) bool {
 	switch {
 	case a.Tag == vec.Int64 && b.Tag == vec.Int64:
 		return a.Ints[i] == b.Ints[j]
-	case a.Tag == vec.Str && b.Tag == vec.Str:
-		return a.Strs[i] == b.Strs[j]
+	case strTag(a.Tag) && strTag(b.Tag):
+		return a.StrAt(i) == b.StrAt(j)
 	case numericTag(a.Tag) && numericTag(b.Tag):
 		return values.CompareFloats(numAt(a, i), numAt(b, j)) == 0
 	}

@@ -171,6 +171,8 @@ func selConstCmp(col *vec.Col, b *vec.Batch, cv values.Value, lt, eq, gt bool, s
 		return filterFloatConst(col, b, cv.Float(), lt, eq, gt, sel)
 	case col.Tag == vec.Str && cv.Kind() == values.KindString:
 		return filterStrConst(col, b, cv.Str(), lt, eq, gt, sel)
+	case col.Tag == vec.StrDict && cv.Kind() == values.KindString:
+		return filterDictConst(col, b, cv.Str(), lt, eq, gt, sel)
 	default:
 		return filterBoxedConst(col, b, cv, lt, eq, gt, sel)
 	}
@@ -276,13 +278,13 @@ func selPairCmp(lc, rc *vec.Col, b *vec.Batch, lt, eq, gt bool, sel []int) []int
 				sel = append(sel, i)
 			}
 		}
-	case lc.Tag == vec.Str && rc.Tag == vec.Str:
+	case strTag(lc.Tag) && strTag(rc.Tag):
 		for k := 0; k < n; k++ {
 			i := b.Index(k)
 			if nullAt(lc, i) || nullAt(rc, i) {
 				continue
 			}
-			cmp := strings.Compare(lc.Strs[i], rc.Strs[i])
+			cmp := strings.Compare(lc.StrAt(i), rc.StrAt(i))
 			if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
 				sel = append(sel, i)
 			}
@@ -402,6 +404,57 @@ func filterStrConst(col *vec.Col, b *vec.Batch, c string, lt, eq, gt bool, out [
 		}
 		cmp := strings.Compare(col.Strs[i], c)
 		if (cmp < 0 && lt) || (cmp == 0 && eq) || (cmp > 0 && gt) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// strTag reports whether the tag carries string payloads.
+func strTag(t vec.Tag) bool { return t == vec.Str || t == vec.StrDict }
+
+// filterDictConst is the dictionary-code fast path: one binary search of
+// the constant in the sorted dictionary, then a pure integer comparison
+// per row — no string is touched, let alone materialized. When the
+// constant is absent, pos is its insertion point, so code < pos still
+// means "row string sorts below the constant" and equality is impossible.
+func filterDictConst(col *vec.Col, b *vec.Batch, c string, lt, eq, gt bool, out []int) []int {
+	lo, hi := 0, len(col.Dict)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if col.Dict[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := uint32(lo)
+	present := lo < len(col.Dict) && col.Dict[lo] == c
+	keep := func(code uint32) bool {
+		if code < pos {
+			return lt
+		}
+		if present && code == pos {
+			return eq
+		}
+		return gt
+	}
+	if b.Sel == nil {
+		for i, code := range col.Codes[:b.N] {
+			if col.Nulls != nil && col.Nulls[i] {
+				continue
+			}
+			if keep(code) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range b.Sel {
+		if col.Nulls != nil && col.Nulls[i] {
+			continue
+		}
+		if keep(col.Codes[i]) {
 			out = append(out, i)
 		}
 	}

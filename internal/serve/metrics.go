@@ -75,6 +75,22 @@ var metricDefs = []metricDef{
 	{"vida_cache_entries", "gauge", "Entries resident in the data caches.", "engine.Cache.Entries",
 		false, func(v *statsView) int64 { return int64(v.eng.Cache.Entries) }},
 
+	// Engine: encoded cache tier (dictionary/delta blocks + disk spill).
+	{"vida_cache_hot_bytes", "gauge", "Bytes resident in the hot (decoded vector) cache tier.", "engine.Cache.HotBytes",
+		false, func(v *statsView) int64 { return v.eng.Cache.HotBytes }},
+	{"vida_cache_encoded_bytes", "gauge", "Bytes resident in the encoded cache tier.", "engine.Cache.EncodedBytes",
+		false, func(v *statsView) int64 { return v.eng.Cache.EncodedBytes }},
+	{"vida_cache_encodes_total", "counter", "Cache entries transitioned from hot vectors to encoded blocks.", "engine.Cache.Encodes",
+		false, func(v *statsView) int64 { return v.eng.Cache.Encodes }},
+	{"vida_cache_decoded_blocks_total", "counter", "Encoded cache blocks decoded on demand by scans.", "engine.Cache.DecodedBlocks",
+		false, func(v *statsView) int64 { return v.eng.Cache.DecodedBlocks }},
+	{"vida_cache_spill_writes_total", "counter", "Encoded cache entries spilled to the cache directory.", "engine.Cache.SpillWrites",
+		false, func(v *statsView) int64 { return v.eng.Cache.SpillWrites }},
+	{"vida_cache_rehydrated_blocks_total", "counter", "Encoded blocks rehydrated from spill files at startup.", "engine.Cache.RehydratedBlocks",
+		false, func(v *statsView) int64 { return v.eng.Cache.RehydratedBlocks }},
+	{"vida_cache_spill_corrupt_total", "counter", "Spill files quarantined as corrupt during rehydration.", "engine.Cache.SpillCorrupt",
+		false, func(v *statsView) int64 { return v.eng.Cache.SpillCorrupt }},
+
 	// Engine: memory governance.
 	{"vida_memory_tracked_bytes", "gauge", "Bytes currently reserved against the global memory budget.", "engine.Memory.TrackedBytes",
 		false, func(v *statsView) int64 { return v.eng.Memory.TrackedBytes }},

@@ -32,10 +32,17 @@ func (cb *ColBuilder) Append(src *Col, b *Batch) {
 	if n == 0 {
 		return
 	}
+	// Dictionary windows harvest as plain strings: the builder's output is
+	// published as an independent cache column, which must not alias the
+	// source entry's dictionary.
+	srcTag := src.Tag
+	if srcTag == StrDict {
+		srcTag = Str
+	}
 	if !cb.decided {
 		cb.decided = true
-		cb.col.Tag = src.Tag
-		switch src.Tag {
+		cb.col.Tag = srcTag
+		switch srcTag {
 		case Int64:
 			cb.col.Ints = make([]int64, 0, cb.hint)
 		case Float64:
@@ -46,7 +53,7 @@ func (cb *ColBuilder) Append(src *Col, b *Batch) {
 			cb.col.Boxed = make([]values.Value, 0, cb.hint)
 		}
 	}
-	if src.Tag != cb.col.Tag {
+	if srcTag != cb.col.Tag {
 		cb.boxify()
 	}
 	if cb.col.Tag == Boxed {
@@ -71,7 +78,13 @@ func (cb *ColBuilder) Append(src *Col, b *Batch) {
 		case Float64:
 			cb.col.Floats = append(cb.col.Floats, src.Floats[:b.N]...)
 		case Str:
-			cb.col.Strs = append(cb.col.Strs, src.Strs[:b.N]...)
+			if src.Tag == StrDict {
+				for i := 0; i < b.N; i++ {
+					cb.col.Strs = append(cb.col.Strs, src.Dict[src.Codes[i]])
+				}
+			} else {
+				cb.col.Strs = append(cb.col.Strs, src.Strs[:b.N]...)
+			}
 		}
 		return
 	}
@@ -86,7 +99,7 @@ func (cb *ColBuilder) Append(src *Col, b *Batch) {
 		case Float64:
 			cb.col.AppendFloat(src.Floats[i])
 		case Str:
-			cb.col.AppendStr(src.Strs[i])
+			cb.col.AppendStr(src.StrAt(i))
 		}
 	}
 }

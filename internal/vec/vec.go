@@ -16,6 +16,11 @@ const (
 	Int64
 	Float64
 	Str
+	// StrDict is a dictionary-compressed string column: Codes holds one
+	// index per row into the shared, lexicographically sorted Dict. The
+	// sort order is load-bearing — comparing codes compares strings, which
+	// is what lets filters run on codes before any string materializes.
+	StrDict
 )
 
 // String returns the tag name.
@@ -29,6 +34,8 @@ func (t Tag) String() string {
 		return "float64"
 	case Str:
 		return "string"
+	case StrDict:
+		return "strdict"
 	default:
 		return "tag(?)"
 	}
@@ -43,7 +50,11 @@ type Col struct {
 	Ints   []int64
 	Floats []float64
 	Strs   []string
-	Nulls  []bool
+	// Codes/Dict carry the StrDict representation. Dict is immutable and
+	// shared freely across windows and retained copies.
+	Codes []uint32
+	Dict  []string
+	Nulls []bool
 }
 
 // Len returns the number of rows stored in the column.
@@ -55,9 +66,20 @@ func (c *Col) Len() int {
 		return len(c.Floats)
 	case Str:
 		return len(c.Strs)
+	case StrDict:
+		return len(c.Codes)
 	default:
 		return len(c.Boxed)
 	}
+}
+
+// StrAt returns the string payload of row i of a Str or StrDict column
+// (callers have already excluded null rows and checked the tag).
+func (c *Col) StrAt(i int) string {
+	if c.Tag == StrDict {
+		return c.Dict[c.Codes[i]]
+	}
+	return c.Strs[i]
 }
 
 // Value boxes row i of the column into a values.Value. This is the
@@ -74,6 +96,8 @@ func (c *Col) Value(i int) values.Value {
 		return values.NewFloat(c.Floats[i])
 	case Str:
 		return values.NewString(c.Strs[i])
+	case StrDict:
+		return values.NewString(c.Dict[c.Codes[i]])
 	default:
 		return c.Boxed[i]
 	}
@@ -92,6 +116,9 @@ func (c *Col) Slice(lo, hi int) Col {
 		out.Floats = c.Floats[lo:hi]
 	case Str:
 		out.Strs = c.Strs[lo:hi]
+	case StrDict:
+		out.Codes = c.Codes[lo:hi]
+		out.Dict = c.Dict
 	default:
 		out.Boxed = c.Boxed[lo:hi]
 	}
@@ -115,6 +142,11 @@ func (c *Col) SizeBytes() int64 {
 		for _, s := range c.Strs {
 			total += int64(len(s)) + 16
 		}
+	case StrDict:
+		total = int64(len(c.Codes)) * 4
+		for _, s := range c.Dict {
+			total += int64(len(s)) + 16
+		}
 	default:
 		total = int64(len(c.Boxed)) * 16
 	}
@@ -128,6 +160,8 @@ func (c *Col) Reset(tag Tag) {
 	c.Ints = c.Ints[:0]
 	c.Floats = c.Floats[:0]
 	c.Strs = c.Strs[:0]
+	c.Codes = c.Codes[:0]
+	c.Dict = nil
 	c.Nulls = nil
 }
 
@@ -182,6 +216,9 @@ func (c *Col) AppendNull() {
 	case Str:
 		c.Nulls = append(c.grownNulls(len(c.Strs)), true)
 		c.Strs = append(c.Strs, "")
+	case StrDict:
+		c.Nulls = append(c.grownNulls(len(c.Codes)), true)
+		c.Codes = append(c.Codes, 0)
 	default:
 		c.Boxed = append(c.Boxed, values.Null)
 	}
@@ -232,6 +269,8 @@ func NewTyped(tags []Tag, rows int) *Batch {
 			c.Floats = make([]float64, 0, rows)
 		case Str:
 			c.Strs = make([]string, 0, rows)
+		case StrDict:
+			c.Codes = make([]uint32, 0, rows)
 		default:
 			c.Boxed = make([]values.Value, 0, rows)
 		}
@@ -285,6 +324,8 @@ func (b *Batch) Retain() Batch {
 			c.Floats = append([]float64(nil), c.Floats...)
 		case Str:
 			c.Strs = append([]string(nil), c.Strs...)
+		case StrDict:
+			c.Codes = append([]uint32(nil), c.Codes...)
 		default:
 			c.Boxed = append([]values.Value(nil), c.Boxed...)
 		}
@@ -323,6 +364,12 @@ func (b *Batch) Compact() Batch {
 			for k := 0; k < n; k++ {
 				dst.Strs[k] = src.Strs[b.Index(k)]
 			}
+		case StrDict:
+			dst.Codes = make([]uint32, n)
+			for k := 0; k < n; k++ {
+				dst.Codes[k] = src.Codes[b.Index(k)]
+			}
+			dst.Dict = src.Dict
 		default:
 			dst.Boxed = make([]values.Value, n)
 			for k := 0; k < n; k++ {
@@ -345,8 +392,11 @@ func (b *Batch) MemoryBytes() int64 {
 	var total int64
 	for i := range b.Cols {
 		c := &b.Cols[i]
-		total += int64(cap(c.Ints))*8 + int64(cap(c.Floats))*8 + int64(cap(c.Boxed))*16
+		total += int64(cap(c.Ints))*8 + int64(cap(c.Floats))*8 + int64(cap(c.Boxed))*16 + int64(cap(c.Codes))*4
 		for _, s := range c.Strs[:cap(c.Strs)] {
+			total += int64(len(s)) + 16
+		}
+		for _, s := range c.Dict {
 			total += int64(len(s)) + 16
 		}
 		total += int64(cap(c.Nulls))

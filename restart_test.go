@@ -1,0 +1,155 @@
+package vida_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vida"
+	"vida/internal/faultinject"
+)
+
+// writeCondPeopleCSV writes a deterministic CSV with a sequential int
+// column, a high-cardinality string, a low-cardinality (dictionary
+// friendly) string, and an int attribute.
+func writeCondPeopleCSV(t *testing.T, dir string, n int) string {
+	t.Helper()
+	conds := []string{"healthy", "mild", "severe", "chronic", "acute"}
+	var buf bytes.Buffer
+	buf.WriteString("id,name,cond,age\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&buf, "%d,p%d,%s,%d\n", i, i, conds[i%len(conds)], 20+i%60)
+	}
+	path := filepath.Join(dir, "people.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const condPeopleSchema = "Record(Att(id, int), Att(name, string), Att(cond, string), Att(age, int))"
+
+// TestRestartWarmFromCacheDir is the restart satellite: an engine with a
+// cache directory answers its first post-restart query entirely from
+// rehydrated spill blocks — the raw file is provably never scanned
+// (every raw CSV batch read is armed to fail) yet results are identical.
+func TestRestartWarmFromCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCondPeopleCSV(t, dir, 4000)
+	cacheDir := filepath.Join(dir, "cache")
+	queries := []string{
+		`for { p <- People, p.age > 40 } yield avg p.id`,
+		`for { p <- People, p.cond = "severe" } yield count p`,
+	}
+
+	eng1 := vida.New(vida.WithCacheDir(cacheDir))
+	if err := eng1.RegisterCSV("People", path, condPeopleSchema, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*vida.Result, len(queries))
+	for i, q := range queries {
+		r, err := eng1.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if spills, _ := filepath.Glob(filepath.Join(cacheDir, "*.vspill")); len(spills) == 0 {
+		t.Fatal("no spill files written")
+	}
+
+	// "Restart": a fresh engine over the same cache dir, with every raw
+	// CSV batch read armed to fail — any fallback to the raw file breaks
+	// the query loudly instead of hiding behind a correct answer.
+	faultinject.Set(faultinject.CSVRead, faultinject.Always(faultinject.ErrInjected))
+	defer faultinject.Reset()
+	eng2 := vida.New(vida.WithCacheDir(cacheDir))
+	if err := eng2.RegisterCSV("People", path, condPeopleSchema, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng2.Stats(); st.Cache.RehydratedBlocks == 0 {
+		t.Fatalf("nothing rehydrated: %+v", st.Cache)
+	}
+	for i, q := range queries {
+		r, err := eng2.Query(q)
+		if err != nil {
+			t.Fatalf("post-restart query %d read the raw file (or failed): %v", i, err)
+		}
+		if !r.Value().Equal(want[i].Value()) {
+			t.Fatalf("query %d diverged after restart: %s vs %s", i, r, want[i])
+		}
+	}
+	st := eng2.Stats()
+	if st.RawScans != 0 {
+		t.Fatalf("post-restart queries touched raw %d times", st.RawScans)
+	}
+	if st.Cache.DecodedBlocks == 0 {
+		t.Fatal("post-restart queries decoded no blocks")
+	}
+}
+
+// TestEncodedCacheAgreesWithHot extends the executor-equality suite to
+// encoded sources: the same queries over a hot-vector cache, a
+// forced-encoded cache, an uncached engine, and the reference executor
+// must agree byte for byte — including dictionary-code filter fast
+// paths on every relational operator (<, =, >, absent constants).
+func TestEncodedCacheAgreesWithHot(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCondPeopleCSV(t, dir, 2500)
+	queries := []string{
+		`for { p <- People, p.cond = "severe" } yield count p`,
+		`for { p <- People, p.cond < "mild" } yield count p`,
+		`for { p <- People, p.cond > "healthy", p.age > 30 } yield avg p.id`,
+		`for { p <- People, p.cond = "zzz-not-present" } yield count p`,
+		`for { p <- People, p.cond != "acute" } yield sum p.age`,
+		`for { p <- People, p.name = "p100" } yield sum p.id`,
+		`for { p <- People, p.id <= 20 } yield bag (c := p.cond) order by p.cond, p.id limit 10`,
+		`for { p <- People, q <- People, p.id = q.id, q.cond = "mild" } yield count p`,
+	}
+	type config struct {
+		name string
+		opts []vida.Option
+	}
+	configs := []config{
+		{"hot", nil},
+		{"encoded", []vida.Option{vida.WithCacheHotBytes(1)}},
+		{"uncached", []vida.Option{vida.WithoutCaching()}},
+		{"reference", []vida.Option{vida.WithReferenceExecutor()}},
+	}
+	results := make(map[string][]*vida.Result)
+	for _, cfg := range configs {
+		eng := vida.New(cfg.opts...)
+		if err := eng.RegisterCSV("People", path, condPeopleSchema, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Two passes: the first harvests (and, for "encoded", tiers) the
+		// cache, the second runs against the tier under test.
+		for pass := 0; pass < 2; pass++ {
+			results[cfg.name] = results[cfg.name][:0]
+			for _, q := range queries {
+				r, err := eng.Query(q)
+				if err != nil {
+					t.Fatalf("%s: %s: %v", cfg.name, q, err)
+				}
+				results[cfg.name] = append(results[cfg.name], r)
+			}
+		}
+		if cfg.name == "encoded" {
+			if st := eng.Stats(); st.Cache.EncodedBytes == 0 || st.Cache.DecodedBlocks == 0 {
+				t.Fatalf("encoded config never exercised the encoded tier: %+v", st.Cache)
+			}
+		}
+	}
+	for _, cfg := range configs[1:] {
+		for i := range queries {
+			if !results[cfg.name][i].Value().Equal(results["hot"][i].Value()) {
+				t.Fatalf("%s diverged on %q: %s vs %s", cfg.name, queries[i], results[cfg.name][i], results["hot"][i])
+			}
+		}
+	}
+}

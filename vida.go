@@ -56,6 +56,21 @@ func WithCacheBudget(n int64) Option {
 	return func(o *core.Options) { o.CacheBudgetBytes = n }
 }
 
+// WithCacheHotBytes bounds the cache's hot (decoded vector) tier to n
+// bytes: past it, least-recently-used columnar entries are held as
+// dictionary/delta-encoded blocks in memory and decoded per block on
+// demand, fitting several times more rows under the same byte budget.
+func WithCacheHotBytes(n int64) Option {
+	return func(o *core.Options) { o.CacheHotBytes = n }
+}
+
+// WithCacheDir persists encoded cache blocks and positional maps under
+// dir, so a restarted engine serves its first query from rehydrated
+// cache state instead of re-scanning the raw files.
+func WithCacheDir(dir string) Option {
+	return func(o *core.Options) { o.CacheDir = dir }
+}
+
 // WithoutCaching disables the data caches (experiments).
 func WithoutCaching() Option {
 	return func(o *core.Options) { o.DisableCaching = true }
