@@ -31,6 +31,14 @@ func (Reference) Run(p *Reduce, cat Catalog) (values.Value, error) {
 	if err != nil {
 		return values.Null, err
 	}
+	if p.Grouped() {
+		// One pass over the input partitions rows into groups; downstream
+		// (Pred = HAVING, Head, Order) then runs once per group env.
+		rows, err = groupEnvs(p, rows, base)
+		if err != nil {
+			return values.Null, err
+		}
+	}
 	if p.Order.Ordered() {
 		return orderedReduce(p, rows)
 	}
@@ -56,6 +64,66 @@ func (Reference) Run(p *Reduce, cat Catalog) (values.Value, error) {
 		return SliceCollection(res, p.Order)
 	}
 	return res, nil
+}
+
+// groupEnvs folds the input rows into per-group environments: rows are
+// partitioned by the key tuple (nulls equal, first-occurrence order),
+// each aggregate folds its input per group under grouped null semantics
+// (monoid.AggAdd), and every group becomes one environment over the base
+// env with the key and aggregate names bound — the reference semantics
+// of the grouped reduce every optimized engine must reproduce.
+func groupEnvs(p *Reduce, rows []*mcl.Env, base *mcl.Env) ([]*mcl.Env, error) {
+	type group struct {
+		keys []values.Value
+		accs []*monoid.Collector
+	}
+	var groups []*group
+	index := map[uint64][]int{}
+	for _, env := range rows {
+		keys := make([]values.Value, len(p.GroupBy))
+		for i, k := range p.GroupBy {
+			kv, err := mcl.Eval(k.E, env)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = kv
+		}
+		h := mcl.GroupHash(keys)
+		var g *group
+		for _, gi := range index[h] {
+			if mcl.GroupKeysEqual(groups[gi].keys, keys) {
+				g = groups[gi]
+				break
+			}
+		}
+		if g == nil {
+			g = &group{keys: keys, accs: make([]*monoid.Collector, len(p.Aggs))}
+			for i, a := range p.Aggs {
+				g.accs[i] = monoid.NewCollector(a.M)
+			}
+			index[h] = append(index[h], len(groups))
+			groups = append(groups, g)
+		}
+		for i, a := range p.Aggs {
+			av, err := mcl.Eval(a.E, env)
+			if err != nil {
+				return nil, err
+			}
+			monoid.AggAdd(g.accs[i], av)
+		}
+	}
+	out := make([]*mcl.Env, 0, len(groups))
+	for _, g := range groups {
+		genv := base
+		for i, k := range p.GroupBy {
+			genv = genv.Bind(k.Name, g.keys[i])
+		}
+		for i := range p.Aggs {
+			genv = genv.Bind(p.Aggs[i].Name, g.accs[i].Result())
+		}
+		out = append(out, genv)
+	}
+	return out, nil
 }
 
 // orderedReduce folds the rows through the keyed top-k accumulator —

@@ -25,6 +25,12 @@ func exprFields(p Plan) []mcl.Expr {
 		return []mcl.Expr{n.E}
 	case *Reduce:
 		out := []mcl.Expr{n.Head, n.Pred}
+		for _, k := range n.GroupBy {
+			out = append(out, k.E)
+		}
+		for _, a := range n.Aggs {
+			out = append(out, a.E)
+		}
 		if n.Order != nil {
 			for _, k := range n.Order.Keys {
 				out = append(out, k.E)
@@ -114,6 +120,12 @@ func bindPlan(p Plan, params map[string]values.Value) Plan {
 			M:     n.M,
 			Head:  mcl.BindParams(n.Head, params),
 			Pred:  mcl.BindParams(n.Pred, params),
+		}
+		for _, k := range n.GroupBy {
+			out.GroupBy = append(out.GroupBy, mcl.GroupKey{Name: k.Name, E: mcl.BindParams(k.E, params)})
+		}
+		for _, a := range n.Aggs {
+			out.Aggs = append(out.Aggs, mcl.AggSpec{Name: a.Name, M: a.M, E: mcl.BindParams(a.E, params)})
 		}
 		if n.Order != nil {
 			spec := &OrderSpec{

@@ -127,7 +127,20 @@ type Reduce struct {
 	Head  mcl.Expr
 	Pred  mcl.Expr   // may be nil
 	Order *OrderSpec // may be nil
+
+	// GroupBy, when non-empty, makes this a grouped reduce: input bindings
+	// are partitioned by the key tuple (nulls group together, groups appear
+	// in first-occurrence order), and each Aggs entry folds its expression
+	// per group under its own monoid — one pass over the input. Head, Pred
+	// (the HAVING predicate) and Order.Keys are then evaluated once per
+	// group in the group scope, where the key and aggregate names are bound
+	// and the input binding variables are hidden.
+	GroupBy []mcl.GroupKey
+	Aggs    []mcl.AggSpec
 }
+
+// Grouped reports whether this reduce partitions its input by key.
+func (p *Reduce) Grouped() bool { return len(p.GroupBy) > 0 }
 
 func (*Scan) planNode()     {}
 func (*Generate) planNode() {}
@@ -204,6 +217,26 @@ func (p *Reduce) String() string {
 		fmt.Fprintf(&sb, "Reduce[%s](%s if %s)", p.M.Name(), p.Head, p.Pred)
 	} else {
 		fmt.Fprintf(&sb, "Reduce[%s](%s)", p.M.Name(), p.Head)
+	}
+	if p.Grouped() {
+		sb.WriteString(" group=[")
+		for i, k := range p.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s := %s", k.Name, k.E)
+		}
+		sb.WriteByte(']')
+		if len(p.Aggs) > 0 {
+			sb.WriteString(" aggs=[")
+			for i, a := range p.Aggs {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%s := %s %s", a.Name, a.M.Name(), a.E)
+			}
+			sb.WriteByte(']')
+		}
 	}
 	if o := p.Order; o != nil {
 		for i, k := range o.Keys {
@@ -312,6 +345,18 @@ func UsedSourceFields(p Plan, scanVar string) (fields []string, usedWhole bool) 
 		case *Bind:
 			visitExpr(n.E)
 		case *Reduce:
+			if n.Grouped() {
+				// Group keys and aggregate inputs read the source bindings;
+				// Head/Pred/Order run in the group scope where the binding
+				// variables are hidden, so they cannot touch source fields.
+				for _, k := range n.GroupBy {
+					visitExpr(k.E)
+				}
+				for _, a := range n.Aggs {
+					visitExpr(a.E)
+				}
+				break
+			}
 			visitExpr(n.Head)
 			if n.Pred != nil {
 				visitExpr(n.Pred)
@@ -355,7 +400,11 @@ func Clone(p Plan) Plan {
 	case *Bind:
 		return &Bind{Input: Clone(n.Input), Var: n.Var, E: n.E}
 	case *Reduce:
-		cp := &Reduce{Input: Clone(n.Input), M: n.M, Head: n.Head, Pred: n.Pred}
+		cp := &Reduce{
+			Input: Clone(n.Input), M: n.M, Head: n.Head, Pred: n.Pred,
+			GroupBy: append([]mcl.GroupKey{}, n.GroupBy...),
+			Aggs:    append([]mcl.AggSpec{}, n.Aggs...),
+		}
 		if n.Order != nil {
 			o := *n.Order
 			o.Keys = append([]SortKey{}, n.Order.Keys...)

@@ -66,6 +66,13 @@ func Translate(e mcl.Expr, sources map[string]bool) (*Reduce, error) {
 		}
 	}
 	out := &Reduce{Input: plan, M: comp.M, Head: comp.Head}
+	if comp.Grouped() {
+		// The grouping clause transfers verbatim; HAVING becomes the
+		// reduce's predicate, evaluated per group in the group scope.
+		out.GroupBy = append([]mcl.GroupKey{}, comp.GroupBy...)
+		out.Aggs = append([]mcl.AggSpec{}, comp.Aggs...)
+		out.Pred = comp.Having
+	}
 	if comp.HasBound() {
 		spec := &OrderSpec{Limit: comp.Limit, Offset: comp.Offset}
 		for _, k := range comp.Order {

@@ -118,6 +118,13 @@ type Stats struct {
 	// kernels vs. row-wise boxed fallbacks, across all queries.
 	KernelStagesVectorized int64
 	KernelStagesBoxed      int64
+	// Grouped-aggregation tallies from the JIT's hash fold: completed
+	// grouped folds, total distinct groups built, the largest single
+	// group table observed (bytes), and morsel partials merged.
+	GroupFolds         int64
+	GroupsBuilt        int64
+	GroupTableMaxBytes int64
+	GroupPartialMerges int64
 }
 
 // refresher is implemented by readers that can detect file changes.
@@ -182,6 +189,14 @@ type Engine struct {
 	// (a method value created per query would allocate on the warm path).
 	kernelStatsFn func(vectorized, boxed int64)
 
+	groupFolds         atomic.Int64
+	groupsBuilt        atomic.Int64
+	groupTableBytes    atomic.Int64 // high-water mark of one fold's table
+	groupPartialMerges atomic.Int64
+	// groupStatsFn is the pre-bound jit.Options.GroupStats hook (same
+	// allocation rationale as kernelStatsFn).
+	groupStatsFn func(groups, tableBytes, partialMerges int64)
+
 	planShards     [planShardCount]planShard
 	planCacheLimit int // per shard
 
@@ -221,6 +236,17 @@ func NewEngine(opts Options) *Engine {
 	e.kernelStatsFn = func(vectorized, boxed int64) {
 		e.kernelVec.Add(vectorized)
 		e.kernelBoxed.Add(boxed)
+	}
+	e.groupStatsFn = func(groups, tableBytes, partialMerges int64) {
+		e.groupFolds.Add(1)
+		e.groupsBuilt.Add(groups)
+		e.groupPartialMerges.Add(partialMerges)
+		for {
+			cur := e.groupTableBytes.Load()
+			if tableBytes <= cur || e.groupTableBytes.CompareAndSwap(cur, tableBytes) {
+				break
+			}
+		}
 	}
 	return e
 }
@@ -533,6 +559,10 @@ func (e *Engine) StatsSnapshot() Stats {
 		PanicsRecovered:        e.panics.Load(),
 		KernelStagesVectorized: e.kernelVec.Load(),
 		KernelStagesBoxed:      e.kernelBoxed.Load(),
+		GroupFolds:             e.groupFolds.Load(),
+		GroupsBuilt:            e.groupsBuilt.Load(),
+		GroupTableMaxBytes:     e.groupTableBytes.Load(),
+		GroupPartialMerges:     e.groupPartialMerges.Load(),
 	}
 }
 
@@ -1400,7 +1430,8 @@ func (e *Engine) execPlan(ctx context.Context, mode ExecMode, plan *algebra.Redu
 		return algebra.Reference{}.Run(plan, cat)
 	default:
 		opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels,
-			MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn}
+			MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn,
+			GroupStats: e.groupStatsFn}
 		return jit.Executor{Opts: opts}.RunCtx(ctx, plan, cat)
 	}
 }

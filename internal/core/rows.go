@@ -150,7 +150,8 @@ func (e *Engine) runStream(ctx context.Context, plan *algebra.Reduce, cat jit.Sc
 		}
 	}()
 	opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels,
-		MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn}
+		MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn,
+		GroupStats: e.groupStatsFn}
 	return jit.Executor{Opts: opts}.RunStream(ctx, plan, cat, emit)
 }
 

@@ -122,6 +122,12 @@ type Options struct {
 	// fallbacks — the engine feeds its always-on fallback counters with
 	// it regardless of tracing.
 	KernelStats func(vectorized, boxed int64)
+	// GroupStats, when non-nil, receives the grouped-fold outcome after
+	// each hash aggregation completes: distinct groups built, resident
+	// group-table bytes, and how many morsel partials merged (0 for a
+	// serial fold). The engine feeds its always-on aggregation counters
+	// with it regardless of tracing.
+	GroupStats func(groups, tableBytes, partialMerges int64)
 }
 
 // DefaultParallelThreshold is the default minimum row count for
@@ -233,6 +239,17 @@ func CompileWith(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func() (
 	if err != nil {
 		return nil, err
 	}
+	// Grouped reduces interpose the hash-aggregation stage: the input
+	// subtree folds into the group table once (single scan), and the
+	// root consumers below run over group rows with the grouping clause
+	// stripped — Pred is HAVING, Order/Limit rank groups.
+	if p.Grouped() {
+		input, err = c.compileGroupAgg(p, input)
+		if err != nil {
+			return nil, err
+		}
+		p = shadowGrouped(p)
+	}
 	// Ordered and bounded roots replace the monoid collector: sort keys
 	// turn the fold into a keyed top-k, a bare LIMIT/OFFSET routes
 	// through the streaming quota (early producer cancellation) and
@@ -319,6 +336,12 @@ func (c *compiler) materializeFreeSources(p algebra.Plan) (*mcl.Env, error) {
 		case *algebra.Reduce:
 			collect(n.Head)
 			collect(n.Pred)
+			for _, k := range n.GroupBy {
+				collect(k.E)
+			}
+			for _, a := range n.Aggs {
+				collect(a.E)
+			}
 			if n.Order != nil {
 				for _, k := range n.Order.Keys {
 					collect(k.E)

@@ -61,6 +61,24 @@
 // slot or kernel heads; every other shape falls back to the row-wise
 // compiled closures, batch by batch.
 //
+// # Grouped aggregation
+//
+// A Reduce carrying GroupBy keys stages a vectorized hash-aggregation
+// consumer (groupagg.go) instead of a scalar fold: an open-addressing
+// table maps key tuples to dense group indices, and each aggregate
+// folds into a typed per-group accumulator array (count/sum/avg/
+// min/max), with one boxed Collector per group as the generic
+// fallback. Key hashing and aggregate-head evaluation run per batch
+// through the same kernel families as ungrouped reduces; the per-row
+// key equality check on a hash match compares column payloads against
+// unpacked primitive mirrors of the stored keys, so the probe loop
+// never touches a boxed values.Value. Partitionable scans fold
+// morsel-parallel with per-worker tables merged at the root in morsel
+// order, which keeps unordered group output in deterministic
+// first-occurrence order. HAVING applies post-fold over the group
+// scope, and the table's growth is charged against the query memory
+// budget.
+//
 // # Morsel-parallel scans
 //
 // When the access path can serve arbitrary row ranges (RangeBatchSource —

@@ -71,6 +71,13 @@ func (s StaticExecutor) Run(p *algebra.Reduce, cat algebra.Catalog) (values.Valu
 	sc := &staticCtx{cat: cat, base: base, buf: buf, stopped: make(chan struct{})}
 
 	rows := sc.launch(p.Input)
+	if p.Grouped() {
+		// Grouped reduce: a grouping operator drains the pipeline into
+		// per-group accumulators and re-emits one row per group (keys and
+		// aggregates as bindings), so the fold below — including Pred,
+		// which carries HAVING — runs unchanged over group rows.
+		rows = sc.groupRows(p, rows)
+	}
 	if p.Order.Ordered() {
 		return s.runOrdered(p, sc, rows)
 	}
@@ -166,6 +173,86 @@ func (s StaticExecutor) runOrdered(p *algebra.Reduce, sc *staticCtx, rows <-chan
 		return values.Null, err
 	}
 	return values.NewList(acc.Finalize(offset, limit, dedup)...), nil
+}
+
+// groupRows is the static executor's grouping operator: it blocks on
+// the input channel building the group table (same hash/equality/null
+// semantics as the interpreter's grouped fold), then emits one
+// environment per group in first-occurrence order, binding each key and
+// aggregate result by name on the base environment.
+func (sc *staticCtx) groupRows(p *algebra.Reduce, in <-chan *mcl.Env) <-chan *mcl.Env {
+	out := make(chan *mcl.Env, sc.buf)
+	go func() {
+		defer close(out)
+		type group struct {
+			keys []values.Value
+			accs []*monoid.Collector
+		}
+		index := map[uint64][]int{}
+		var groups []*group
+		for env := range in {
+			keys := make([]values.Value, len(p.GroupBy))
+			failed := false
+			for i, k := range p.GroupBy {
+				kv, err := mcl.Eval(k.E, env)
+				if err != nil {
+					sc.fail(err)
+					failed = true
+					break
+				}
+				keys[i] = kv
+			}
+			if failed {
+				break
+			}
+			h := mcl.GroupHash(keys)
+			var g *group
+			for _, gi := range index[h] {
+				if mcl.GroupKeysEqual(groups[gi].keys, keys) {
+					g = groups[gi]
+					break
+				}
+			}
+			if g == nil {
+				g = &group{keys: keys, accs: make([]*monoid.Collector, len(p.Aggs))}
+				for i, a := range p.Aggs {
+					g.accs[i] = monoid.NewCollector(a.M)
+				}
+				index[h] = append(index[h], len(groups))
+				groups = append(groups, g)
+			}
+			for i, a := range p.Aggs {
+				av, err := mcl.Eval(a.E, env)
+				if err != nil {
+					sc.fail(err)
+					failed = true
+					break
+				}
+				monoid.AggAdd(g.accs[i], av)
+			}
+			if failed {
+				break
+			}
+		}
+		for range in {
+		}
+		if sc.failed() != nil {
+			return
+		}
+		for _, g := range groups {
+			genv := sc.base
+			for i, k := range p.GroupBy {
+				genv = genv.Bind(k.Name, g.keys[i])
+			}
+			for i, a := range p.Aggs {
+				genv = genv.Bind(a.Name, g.accs[i].Result())
+			}
+			if !sc.send(out, genv) {
+				return
+			}
+		}
+	}()
+	return out
 }
 
 // launch starts the operator goroutine for a plan node and returns its

@@ -78,6 +78,16 @@ func CompileStream(p *algebra.Reduce, cat algebra.Catalog, opts Options) (func(e
 	if err != nil {
 		return nil, err
 	}
+	// Grouped reduces fold the input into the group table first (single
+	// scan), then stream group rows through the unchanged root consumers
+	// with the grouping clause stripped (Pred is HAVING).
+	if p.Grouped() {
+		input, err = c.compileGroupAgg(p, input)
+		if err != nil {
+			return nil, err
+		}
+		p = shadowGrouped(p)
+	}
 	// Ordered plans are blocking at the root: the keyed top-k fold runs
 	// to completion (morsel-parallel, O(offset+limit) retained per
 	// worker when a limit is present), then the sorted, deduplicated,

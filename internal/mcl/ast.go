@@ -156,6 +156,25 @@ type OrderKey struct {
 	Desc bool
 }
 
+// GroupKey is one grouping key of a grouped comprehension: a named
+// expression over the qualifier bindings. Rows with equal key tuples
+// (values.Equal; nulls group together) form one group, and the name is
+// bound to the key value in the group scope.
+type GroupKey struct {
+	Name string
+	E    Expr
+}
+
+// AggSpec is one per-group aggregate of a grouped comprehension: the
+// expression E is evaluated per qualifier binding and folded under M
+// within each group; the name is bound to the finalized aggregate in
+// the group scope.
+type AggSpec struct {
+	Name string
+	M    monoid.Monoid
+	E    Expr
+}
+
 // Comprehension is ⊕{ e | q1, ..., qn }; concrete syntax
 // for { q1, ..., qn } yield ⊕ e.
 //
@@ -175,17 +194,36 @@ type OrderKey struct {
 // kind of ⊕ and bound its size; for the commutative bag which n elements
 // survive is unspecified (executors stop producers early), while a list
 // takes its first n elements in order.
+// Grouped comprehensions carry a grouping clause between the
+// qualifiers and the yield:
+//
+//	for { q1, ..., qn }
+//	group by { k1 := e1, ... } agg { a1 := ⊕1 f1, ... } having h
+//	yield ⊕ head [order by ... limit ... offset ...]
+//
+// Qualifier bindings are partitioned by the key tuple (e1, ...); per
+// group each aggregate folds its fi values under ⊕i. Head, Having and
+// Order keys are evaluated once per GROUP in the group scope — the
+// outer scope extended with the key and aggregate names — where the
+// qualifier variables are no longer visible. ⊕ must be a collection
+// monoid. Groups surface in first-occurrence order of their keys.
 type Comprehension struct {
-	M      monoid.Monoid
-	Head   Expr
-	Qs     []Qualifier
-	Order  []OrderKey // empty = unordered
-	Limit  Expr       // nil = unbounded
-	Offset Expr       // nil = 0
+	M       monoid.Monoid
+	Head    Expr
+	Qs      []Qualifier
+	GroupBy []GroupKey // non-empty = grouped comprehension
+	Aggs    []AggSpec  // grouped only: per-group aggregates
+	Having  Expr       // grouped only: group-scope filter; nil = none
+	Order   []OrderKey // empty = unordered
+	Limit   Expr       // nil = unbounded
+	Offset  Expr       // nil = 0
 }
 
 // IsOrdered reports whether the comprehension carries order keys.
 func (e *Comprehension) IsOrdered() bool { return len(e.Order) > 0 }
+
+// Grouped reports whether the comprehension carries a group-by clause.
+func (e *Comprehension) Grouped() bool { return len(e.GroupBy) > 0 }
 
 // HasBound reports whether the comprehension carries any of order, limit
 // or offset.
@@ -279,7 +317,25 @@ func (e *Comprehension) String() string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "for { %s } yield %s %s", strings.Join(parts, ", "), e.M.Name(), e.Head)
+	fmt.Fprintf(&sb, "for { %s }", strings.Join(parts, ", "))
+	if e.Grouped() {
+		keys := make([]string, len(e.GroupBy))
+		for i, k := range e.GroupBy {
+			keys[i] = fmt.Sprintf("%s := %s", k.Name, k.E)
+		}
+		fmt.Fprintf(&sb, " group by { %s }", strings.Join(keys, ", "))
+		if len(e.Aggs) > 0 {
+			aggs := make([]string, len(e.Aggs))
+			for i, a := range e.Aggs {
+				aggs[i] = fmt.Sprintf("%s := %s %s", a.Name, a.M.Name(), a.E)
+			}
+			fmt.Fprintf(&sb, " agg { %s }", strings.Join(aggs, ", "))
+		}
+		if e.Having != nil {
+			fmt.Fprintf(&sb, " having %s", e.Having)
+		}
+	}
+	fmt.Fprintf(&sb, " yield %s %s", e.M.Name(), e.Head)
 	for i, k := range e.Order {
 		if i == 0 {
 			sb.WriteString(" order by ")
@@ -347,6 +403,13 @@ func Walk(e Expr, fn func(Expr) bool) {
 		for _, q := range n.Qs {
 			Walk(q.Src, fn)
 		}
+		for _, k := range n.GroupBy {
+			Walk(k.E, fn)
+		}
+		for _, a := range n.Aggs {
+			Walk(a.E, fn)
+		}
+		Walk(n.Having, fn)
 		Walk(n.Head, fn)
 		for _, k := range n.Order {
 			Walk(k.E, fn)
@@ -383,6 +446,32 @@ func freeVars(e Expr, bound map[string]bool, seen map[string]bool, out *[]string
 			if q.Var != "" {
 				inner[q.Var] = true
 			}
+		}
+		if n.Grouped() {
+			// Keys and aggregates see the qualifier scope; Head, Having
+			// and Order keys see the group scope (outer scope plus key
+			// and aggregate names, qualifier variables hidden).
+			for _, k := range n.GroupBy {
+				freeVars(k.E, inner, seen, out)
+			}
+			for _, a := range n.Aggs {
+				freeVars(a.E, inner, seen, out)
+			}
+			group := copyBound(bound)
+			for _, k := range n.GroupBy {
+				group[k.Name] = true
+			}
+			for _, a := range n.Aggs {
+				group[a.Name] = true
+			}
+			freeVars(n.Having, group, seen, out)
+			freeVars(n.Head, group, seen, out)
+			for _, k := range n.Order {
+				freeVars(k.E, group, seen, out)
+			}
+			freeVars(n.Limit, bound, seen, out)
+			freeVars(n.Offset, bound, seen, out)
+			return
 		}
 		freeVars(n.Head, inner, seen, out)
 		// Order keys share the head's scope; limit/offset are outer-scope.

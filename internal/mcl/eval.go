@@ -384,6 +384,9 @@ func evalIndex(n *IndexExpr, env *Env) (values.Value, error) {
 }
 
 func evalComprehension(c *Comprehension, env *Env) (values.Value, error) {
+	if c.Grouped() {
+		return evalGroupedComprehension(c, env)
+	}
 	if c.HasBound() {
 		return evalBoundedComprehension(c, env)
 	}
@@ -450,6 +453,199 @@ func forEachBinding(qs []Qualifier, env *Env, fn func(env *Env) error) error {
 		}
 	}
 	return rec(0, env)
+}
+
+// GroupHash combines the hashes of a group-key tuple. Null keys hash to
+// a fixed constant so rows with null keys land in one group (grouping
+// treats nulls as equal, unlike comparisons).
+func GroupHash(keys []values.Value) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, k := range keys {
+		kh := uint64(0x9e3779b97f4a7c15) // null-key marker
+		if !k.IsNull() {
+			kh = k.Hash()
+		}
+		h ^= kh
+		h *= 1099511628211 // FNV prime
+	}
+	return h
+}
+
+// GroupKeysEqual compares two group-key tuples under grouping equality:
+// nulls equal each other, everything else compares by values.Equal.
+func GroupKeysEqual(a, b []values.Value) bool {
+	for i := range a {
+		if a[i].IsNull() || b[i].IsNull() {
+			if a[i].IsNull() != b[i].IsNull() {
+				return false
+			}
+			continue
+		}
+		if !values.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalGroupedComprehension is the reference semantics of the grouping
+// form, in one scan: qualifier bindings are partitioned by their key
+// tuple (first-occurrence order), each group folds its aggregate inputs,
+// and Having/Head/Order run once per group in the group scope.
+func evalGroupedComprehension(c *Comprehension, env *Env) (values.Value, error) {
+	type group struct {
+		keys []values.Value
+		accs []*monoid.Collector
+	}
+	var groups []*group
+	index := map[uint64][]int{}
+	err := forEachBinding(c.Qs, env, func(benv *Env) error {
+		keys := make([]values.Value, len(c.GroupBy))
+		for i, k := range c.GroupBy {
+			kv, err := Eval(k.E, benv)
+			if err != nil {
+				return err
+			}
+			keys[i] = kv
+		}
+		h := GroupHash(keys)
+		var g *group
+		for _, gi := range index[h] {
+			if GroupKeysEqual(groups[gi].keys, keys) {
+				g = groups[gi]
+				break
+			}
+		}
+		if g == nil {
+			g = &group{keys: keys, accs: make([]*monoid.Collector, len(c.Aggs))}
+			for i, a := range c.Aggs {
+				g.accs[i] = monoid.NewCollector(a.M)
+			}
+			index[h] = append(index[h], len(groups))
+			groups = append(groups, g)
+		}
+		for i, a := range c.Aggs {
+			av, err := Eval(a.E, benv)
+			if err != nil {
+				return err
+			}
+			monoid.AggAdd(g.accs[i], av)
+		}
+		return nil
+	})
+	if err != nil {
+		return values.Null, err
+	}
+	// Per group: bind key and aggregate names over the OUTER scope, filter
+	// with Having, then run the ordinary comprehension root (fold, or
+	// top-k / limit slicing) over the group rows.
+	eachGroup := func(fn func(genv *Env) error) error {
+		for _, g := range groups {
+			genv := env
+			for i, k := range c.GroupBy {
+				genv = genv.Bind(k.Name, g.keys[i])
+			}
+			for i := range c.Aggs {
+				genv = genv.Bind(c.Aggs[i].Name, g.accs[i].Result())
+			}
+			if c.Having != nil {
+				hv, err := Eval(c.Having, genv)
+				if err != nil {
+					return err
+				}
+				if !truthy(hv) {
+					continue
+				}
+			}
+			if err := fn(genv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if !c.HasBound() {
+		acc := monoid.NewCollector(c.M)
+		if err := eachGroup(func(genv *Env) error {
+			h, err := Eval(c.Head, genv)
+			if err != nil {
+				return err
+			}
+			acc.Add(h)
+			return nil
+		}); err != nil {
+			return values.Null, err
+		}
+		return acc.Result(), nil
+	}
+	limit, err := EvalExtent(c.Limit, env, "limit", -1)
+	if err != nil {
+		return values.Null, err
+	}
+	offset, err := EvalExtent(c.Offset, env, "offset", 0)
+	if err != nil {
+		return values.Null, err
+	}
+	dedup := c.M.Name() == "set"
+	if len(c.Order) == 0 {
+		acc := monoid.NewCollector(c.M)
+		if err := eachGroup(func(genv *Env) error {
+			h, err := Eval(c.Head, genv)
+			if err != nil {
+				return err
+			}
+			acc.Add(h)
+			return nil
+		}); err != nil {
+			return values.Null, err
+		}
+		elems := acc.Result().Elems()
+		if offset > 0 {
+			if offset >= len(elems) {
+				elems = nil
+			} else {
+				elems = elems[offset:]
+			}
+		}
+		if limit >= 0 && limit < len(elems) {
+			elems = elems[:limit]
+		}
+		switch c.M.Name() {
+		case "list":
+			return values.NewList(elems...), nil
+		case "set":
+			return values.NewSet(elems...), nil
+		default:
+			return values.NewBag(elems...), nil
+		}
+	}
+	desc := make([]bool, len(c.Order))
+	for i, k := range c.Order {
+		desc[i] = k.Desc
+	}
+	keep := -1
+	if limit >= 0 && !dedup {
+		keep = offset + limit
+	}
+	acc := monoid.NewTopKAcc(desc, keep)
+	if err := eachGroup(func(genv *Env) error {
+		keys := make([]values.Value, len(c.Order))
+		for i, k := range c.Order {
+			kv, err := Eval(k.E, genv)
+			if err != nil {
+				return err
+			}
+			keys[i] = kv
+		}
+		h, err := Eval(c.Head, genv)
+		if err != nil {
+			return err
+		}
+		acc.Add(keys, h)
+		return nil
+	}); err != nil {
+		return values.Null, err
+	}
+	return values.NewList(acc.Finalize(offset, limit, dedup)...), nil
 }
 
 // EvalExtent evaluates a limit/offset expression to a non-negative int.

@@ -104,6 +104,9 @@ func Subst(e Expr, name string, repl Expr) Expr {
 		}
 		return &IndexExpr{Arr: Subst(n.Arr, name, repl), Idxs: idxs}
 	case *Comprehension:
+		if n.Grouped() {
+			return substGrouped(n, name, repl)
+		}
 		// Work on copies: substitution must not mutate shared subtrees.
 		// Order keys live in the head's scope and follow it through every
 		// renaming; limit/offset are outer-scope and substitute directly.
@@ -152,6 +155,89 @@ func Subst(e Expr, name string, repl Expr) Expr {
 		}
 	}
 	panic(fmt.Sprintf("mcl: Subst on %T", e))
+}
+
+// substGrouped substitutes into a grouped comprehension. Group keys and
+// aggregate inputs are in qualifier scope, so they follow qualifier
+// binders and their renames; Head/Having/Order are in group scope, where
+// the key and aggregate names are the binders and qualifier variables
+// are hidden. Limit/offset stay outer-scope.
+func substGrouped(n *Comprehension, name string, repl Expr) Expr {
+	qs := append([]Qualifier{}, n.Qs...)
+	groupBy := append([]GroupKey{}, n.GroupBy...)
+	aggs := append([]AggSpec{}, n.Aggs...)
+	substInner := func(name string, repl Expr) {
+		for i := range groupBy {
+			groupBy[i].E = Subst(groupBy[i].E, name, repl)
+		}
+		for i := range aggs {
+			aggs[i].E = Subst(aggs[i].E, name, repl)
+		}
+	}
+	shadowed := false
+	for i := range qs {
+		if shadowed {
+			continue
+		}
+		qs[i].Src = Subst(qs[i].Src, name, repl)
+		if qs[i].Var == "" {
+			continue
+		}
+		if qs[i].Var == name {
+			shadowed = true
+			continue
+		}
+		if occursFree(repl, qs[i].Var) {
+			old := qs[i].Var
+			fresh := freshVar(old)
+			for j := i + 1; j < len(qs); j++ {
+				qs[j].Src = Subst(qs[j].Src, old, &VarExpr{Name: fresh})
+			}
+			substInner(old, &VarExpr{Name: fresh})
+			qs[i].Var = fresh
+		}
+	}
+	if !shadowed {
+		substInner(name, repl)
+	}
+	head, having := n.Head, n.Having
+	order := append([]OrderKey{}, n.Order...)
+	substGroupScope := func(name string, repl Expr) {
+		head = Subst(head, name, repl)
+		having = Subst(having, name, repl)
+		for i := range order {
+			order[i].E = Subst(order[i].E, name, repl)
+		}
+	}
+	groupShadowed := false
+	for i := range groupBy {
+		if groupBy[i].Name == name {
+			groupShadowed = true
+		} else if occursFree(repl, groupBy[i].Name) {
+			fresh := freshVar(groupBy[i].Name)
+			substGroupScope(groupBy[i].Name, &VarExpr{Name: fresh})
+			groupBy[i].Name = fresh
+		}
+	}
+	for i := range aggs {
+		if aggs[i].Name == name {
+			groupShadowed = true
+		} else if occursFree(repl, aggs[i].Name) {
+			fresh := freshVar(aggs[i].Name)
+			substGroupScope(aggs[i].Name, &VarExpr{Name: fresh})
+			aggs[i].Name = fresh
+		}
+	}
+	if !groupShadowed {
+		substGroupScope(name, repl)
+	}
+	return &Comprehension{
+		M: n.M, Head: head, Qs: qs,
+		GroupBy: groupBy, Aggs: aggs, Having: having,
+		Order:  order,
+		Limit:  Subst(n.Limit, name, repl),
+		Offset: Subst(n.Offset, name, repl),
+	}
 }
 
 func occursFree(e Expr, name string) bool {
@@ -331,6 +417,9 @@ func constFold(n *BinExpr) (Expr, bool) {
 }
 
 func rewriteComprehension(c *Comprehension) (Expr, bool) {
+	if c.Grouped() {
+		return rewriteGroupedChildren(c)
+	}
 	changed := false
 
 	// Rewrite child expressions first.
@@ -431,8 +520,9 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 			case *Comprehension:
 				// (unnest) flatten a nested comprehension generator — only
 				// when the inner comprehension carries no ordering clause
-				// (flattening would lose its sort and bound).
-				if src.HasBound() || !unnestLegal(src.M, c.M) {
+				// (flattening would lose its sort and bound) and no grouping
+				// (splicing its qualifiers would re-aggregate per outer row).
+				if src.HasBound() || src.Grouped() || !unnestLegal(src.M, c.M) {
 					break
 				}
 				inner := alphaRename(src, qs, head)
@@ -479,6 +569,62 @@ func rewriteComprehension(c *Comprehension) (Expr, bool) {
 		}
 	}
 	return with(head, qs), changed
+}
+
+// rewriteGroupedChildren rewrites only the child expressions of a grouped
+// comprehension. The structural rules (bind inlining, merge split, unnest)
+// redistribute the qualifier stream and would change which rows fold into
+// which group, so a grouped comprehension is a rewrite boundary: its
+// children normalize, the grouping form stays intact.
+func rewriteGroupedChildren(c *Comprehension) (Expr, bool) {
+	changed := false
+	qs := make([]Qualifier, 0, len(c.Qs))
+	for _, q := range c.Qs {
+		src, ch := rewrite(q.Src)
+		q.Src = src
+		changed = changed || ch
+		qs = append(qs, q)
+	}
+	groupBy := append([]GroupKey{}, c.GroupBy...)
+	for i := range groupBy {
+		e, ch := rewrite(groupBy[i].E)
+		groupBy[i].E = e
+		changed = changed || ch
+	}
+	aggs := append([]AggSpec{}, c.Aggs...)
+	for i := range aggs {
+		e, ch := rewrite(aggs[i].E)
+		aggs[i].E = e
+		changed = changed || ch
+	}
+	var having Expr
+	if c.Having != nil {
+		h, ch := rewrite(c.Having)
+		having = h
+		changed = changed || ch
+	}
+	head, ch := rewrite(c.Head)
+	changed = changed || ch
+	order := append([]OrderKey{}, c.Order...)
+	for i := range order {
+		ke, ch := rewrite(order[i].E)
+		order[i].E = ke
+		changed = changed || ch
+	}
+	var limit, offset Expr
+	if c.Limit != nil {
+		limit, ch = rewrite(c.Limit)
+		changed = changed || ch
+	}
+	if c.Offset != nil {
+		offset, ch = rewrite(c.Offset)
+		changed = changed || ch
+	}
+	return &Comprehension{
+		M: c.M, Head: head, Qs: qs,
+		GroupBy: groupBy, Aggs: aggs, Having: having,
+		Order: order, Limit: limit, Offset: offset,
+	}, changed
 }
 
 // generatorBefore reports whether any generator qualifier appears in qs.

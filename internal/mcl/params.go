@@ -73,8 +73,18 @@ func BindParams(e Expr, params map[string]values.Value) Expr {
 		for i, k := range n.Order {
 			order[i] = OrderKey{E: BindParams(k.E, params), Desc: k.Desc}
 		}
+		groupBy := make([]GroupKey, len(n.GroupBy))
+		for i, k := range n.GroupBy {
+			groupBy[i] = GroupKey{Name: k.Name, E: BindParams(k.E, params)}
+		}
+		aggs := make([]AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aggs[i] = AggSpec{Name: a.Name, M: a.M, E: BindParams(a.E, params)}
+		}
 		return &Comprehension{
 			M: n.M, Head: BindParams(n.Head, params), Qs: qs,
+			GroupBy: groupBy, Aggs: aggs,
+			Having: BindParams(n.Having, params),
 			Order:  order,
 			Limit:  BindParams(n.Limit, params),
 			Offset: BindParams(n.Offset, params),

@@ -695,6 +695,101 @@ func (p *parser) parseComprehension() (Expr, error) {
 	if _, err := p.expect(TokRBrace, "}"); err != nil {
 		return nil, err
 	}
+	// Optional grouping clause. "group", "by", "agg" and "having" are
+	// contextual keywords, like the ordering clauses below.
+	var groupBy []GroupKey
+	var aggs []AggSpec
+	var having Expr
+	if p.isKeyword("group") {
+		next, err := p.peekAhead()
+		if err != nil {
+			return nil, err
+		}
+		if next.Kind == TokIdent && next.Text == "by" {
+			if err := p.advance(); err != nil { // group
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // by
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace, "{"); err != nil {
+				return nil, err
+			}
+			for {
+				id, err := p.expect(TokIdent, "group key name")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokAssign, ":="); err != nil {
+					return nil, err
+				}
+				ke, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				groupBy = append(groupBy, GroupKey{Name: id.Text, E: ke})
+				if p.tok.Kind == TokComma {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRBrace, "}"); err != nil {
+				return nil, err
+			}
+			if p.isKeyword("agg") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokLBrace, "{"); err != nil {
+					return nil, err
+				}
+				for {
+					id, err := p.expect(TokIdent, "aggregate name")
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(TokAssign, ":="); err != nil {
+						return nil, err
+					}
+					mid, err := p.expect(TokIdent, "aggregate monoid name")
+					if err != nil {
+						return nil, err
+					}
+					am, err := monoid.ByName(mid.Text)
+					if err != nil {
+						return nil, errf(mid.Pos, "%v", err)
+					}
+					ae, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					aggs = append(aggs, AggSpec{Name: id.Text, M: am, E: ae})
+					if p.tok.Kind == TokComma {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					break
+				}
+				if _, err := p.expect(TokRBrace, "}"); err != nil {
+					return nil, err
+				}
+			}
+			if p.isKeyword("having") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				having, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	if !p.isKeyword("yield") {
 		return nil, errf(p.tok.Pos, "expected 'yield', found %s", p.tok)
 	}
@@ -713,7 +808,23 @@ func (p *parser) parseComprehension() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	comp := &Comprehension{M: m, Head: head, Qs: qs}
+	comp := &Comprehension{M: m, Head: head, Qs: qs, GroupBy: groupBy, Aggs: aggs, Having: having}
+	if comp.Grouped() && !monoid.IsCollection(m) {
+		return nil, errf(id.Pos, "group by requires a collection monoid, not %s", m.Name())
+	}
+	seenNames := map[string]bool{}
+	for _, k := range comp.GroupBy {
+		if seenNames[k.Name] {
+			return nil, errf(p.tok.Pos, "duplicate group-scope name %q", k.Name)
+		}
+		seenNames[k.Name] = true
+	}
+	for _, a := range comp.Aggs {
+		if seenNames[a.Name] {
+			return nil, errf(p.tok.Pos, "duplicate group-scope name %q", a.Name)
+		}
+		seenNames[a.Name] = true
+	}
 	// Optional ordering clauses. "order", "by", "limit", "offset", "asc"
 	// and "desc" are contextual: they only act as keywords in this
 	// position, so columns and variables may still use those names.

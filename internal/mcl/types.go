@@ -384,6 +384,44 @@ func checkComprehension(c *Comprehension, env *TypeEnv) (*sdg.Type, error) {
 			}
 		}
 	}
+	if c.Grouped() {
+		// Keys and aggregate inputs see the qualifier scope; Head, Having
+		// and Order keys see the group scope: the OUTER environment plus
+		// the key and aggregate names (qualifier variables are gone after
+		// the fold).
+		group := env
+		for _, k := range c.GroupBy {
+			kt, err := Check(k.E, cur)
+			if err != nil {
+				return nil, err
+			}
+			group = group.Bind(k.Name, kt)
+		}
+		for _, a := range c.Aggs {
+			at, err := Check(a.E, cur)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := monoidResultType(a.M, at)
+			if err != nil {
+				return nil, err
+			}
+			group = group.Bind(a.Name, rt)
+		}
+		if !monoid.IsCollection(c.M) {
+			return nil, typeErrf("group by requires a collection monoid, not %s", c.M.Name())
+		}
+		if c.Having != nil {
+			pt, err := Check(c.Having, group)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Kind != sdg.TBool && pt.Kind != sdg.TUnknown {
+				return nil, typeErrf("having must be bool, got %s", pt)
+			}
+		}
+		cur = group
+	}
 	ht, err := Check(c.Head, cur)
 	if err != nil {
 		return nil, err

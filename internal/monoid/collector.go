@@ -60,6 +60,29 @@ func (c *Collector) MergeFrom(o *Collector) {
 	c.acc = c.m.Merge(c.acc, o.acc)
 }
 
+// AggSkipsNull reports whether m ignores null inputs when used as a
+// grouped aggregate. Scalar folds (sum/prod/avg/median/min/max/and/or)
+// follow SQL aggregate semantics and skip nulls; count counts every
+// binding, and collection monoids keep nulls as elements.
+func AggSkipsNull(m Monoid) bool {
+	switch m.Name() {
+	case "count", "list", "bag", "set", "array":
+		return false
+	}
+	return true
+}
+
+// AggAdd feeds one aggregate input to c under grouped-aggregate null
+// semantics: null inputs are dropped for null-skipping monoids (so an
+// all-null group yields the monoid's finalized zero — 0 for sum, null
+// for avg/min/max) and kept for count and collection monoids.
+func AggAdd(c *Collector, v values.Value) {
+	if v.IsNull() && AggSkipsNull(c.m) {
+		return
+	}
+	c.Add(v)
+}
+
 // Result finalizes the accumulation.
 func (c *Collector) Result() values.Value {
 	if !c.collect {

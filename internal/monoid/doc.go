@@ -34,6 +34,14 @@
 // Absorb/MergeFrom accept pre-folded partials, which is how parallel
 // workers hand their unboxed partial aggregates to the root.
 //
+// Grouped reduces (GROUP BY) fold the same monoids once per group:
+// the JIT's hash-aggregation operator keeps typed per-group
+// accumulator arrays for the scalar monoids and falls back to one
+// Collector per group otherwise. The monoid laws carry over
+// unchanged — associativity makes merging per-worker group tables in
+// morsel order exactly equal to the serial per-group fold, and the
+// avg/median-style Finalize runs once per group at emission.
+//
 // # TopKAcc merge determinism
 //
 // TopKAcc generalizes the top-k monoid into the keyed, offset-aware

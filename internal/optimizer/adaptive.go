@@ -107,7 +107,10 @@ func AdaptiveOptimize(p *algebra.Reduce, cat algebra.Catalog, cm CostModel) (*al
 		}
 	}
 	rebuilt := rebuild(units2, cm, pre, nil)
-	out := &algebra.Reduce{Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred, Order: p.Order}
+	out := &algebra.Reduce{
+		Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred, Order: p.Order,
+		GroupBy: p.GroupBy, Aggs: p.Aggs,
+	}
 	pruneProjections(out, cm)
 	return out, nil
 }

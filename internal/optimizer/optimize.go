@@ -37,7 +37,10 @@ func Optimize(p *algebra.Reduce, cm CostModel) *algebra.Reduce {
 	if units, ok := flatten(p); ok {
 		sel := map[*algebra.Scan]float64{}
 		rebuilt := rebuild(units, cm, sel, nil)
-		out = &algebra.Reduce{Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred, Order: p.Order}
+		out = &algebra.Reduce{
+			Input: rebuilt, M: p.M, Head: p.Head, Pred: p.Pred, Order: p.Order,
+			GroupBy: p.GroupBy, Aggs: p.Aggs,
+		}
 	} else {
 		out = algebra.Clone(p).(*algebra.Reduce)
 	}

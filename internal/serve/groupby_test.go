@@ -1,0 +1,238 @@
+package serve_test
+
+// Tests for grouped aggregation at the HTTP surface: the buffered /sql
+// and streaming /stream endpoints must agree on GROUP BY + HAVING
+// results, EXPLAIN ANALYZE must expose the grouped fold's span, the
+// group counters must reach /metrics, and a group table that outgrows
+// the query memory budget must die with a typed 507 without wedging the
+// server.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vida"
+	"vida/internal/serve"
+	"vida/internal/trace"
+)
+
+const groupSQL = `SELECT p.city, COUNT(*) AS n, AVG(p.age) AS a
+    FROM Patients p GROUP BY p.city HAVING COUNT(*) > 10 ORDER BY p.city`
+
+// streamRowsSQL posts a SQL query to /stream and returns its NDJSON row
+// objects (excluding the done record).
+func streamRowsSQL(t *testing.T, url, sql string) []any {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"query": sql, "sql": true})
+	resp, err := http.Post(url+"/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/stream status %d: %s", resp.StatusCode, raw)
+	}
+	var rows []any
+	sc := bufio.NewScanner(resp.Body)
+	done := false
+	for sc.Scan() {
+		var msg map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if errMsg, ok := msg["error"]; ok {
+			t.Fatalf("stream error record: %v", errMsg)
+		}
+		if _, ok := msg["done"]; ok {
+			done = true
+			break
+		}
+		var row any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if !done {
+		t.Fatal("stream did not end with a done record")
+	}
+	return rows
+}
+
+// TestGroupBySQLAndStreamAgree: the same GROUP BY + HAVING query through
+// the buffered /sql endpoint and the NDJSON /stream endpoint produces
+// identical groups in identical order.
+func TestGroupBySQLAndStreamAgree(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+
+	status, body := postRaw(t, ts.URL, "/sql", map[string]any{"query": groupSQL})
+	if status != http.StatusOK {
+		t.Fatalf("/sql status %d: %s", status, body)
+	}
+	var buffered struct {
+		Result []any `json:"result"`
+	}
+	if err := json.Unmarshal(body, &buffered); err != nil {
+		t.Fatal(err)
+	}
+	if len(buffered.Result) == 0 {
+		t.Fatal("grouped /sql query returned no groups")
+	}
+	total := 0.0
+	for _, row := range buffered.Result {
+		n := row.(map[string]any)["n"].(float64)
+		if n <= 10 {
+			t.Fatalf("HAVING leak: group with n=%v survived", n)
+		}
+		total += n
+	}
+	if total > 900 {
+		t.Fatalf("group counts sum to %v, more rows than the source has", total)
+	}
+
+	streamed := streamRowsSQL(t, ts.URL, groupSQL)
+	if len(streamed) != len(buffered.Result) {
+		t.Fatalf("stream rows = %d, buffered = %d", len(streamed), len(buffered.Result))
+	}
+	for i := range streamed {
+		if canonical(t, streamed[i]) != canonical(t, buffered.Result[i]) {
+			t.Fatalf("row %d: stream %s != buffered %s",
+				i, canonical(t, streamed[i]), canonical(t, buffered.Result[i]))
+		}
+	}
+}
+
+// TestExplainAnalyzeGroupedFold: EXPLAIN ANALYZE over a grouped SQL
+// query exposes the hash-aggregation fold as a span with its group
+// statistics, and the engine's group counters surface on /metrics.
+func TestExplainAnalyzeGroupedFold(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+
+	body, _ := json.Marshal(map[string]any{"query": groupSQL, "sql": true, "analyze": true})
+	resp, err := http.Post(ts.URL+"/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Spans *trace.SpanNode `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad analyze response %s: %v", raw, err)
+	}
+	if out.Spans == nil {
+		t.Fatal("analyze returned no span tree")
+	}
+	var fold *trace.SpanNode
+	var walk func(n *trace.SpanNode)
+	walk = func(n *trace.SpanNode) {
+		if n == nil {
+			return
+		}
+		if n.Name == "fold" && n.Attrs["kind"] == "groupagg" {
+			fold = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(out.Spans)
+	if fold == nil {
+		t.Fatalf("span tree has no groupagg fold:\n%s", raw)
+	}
+	if fold.Attrs["groups"] == nil || fold.Attrs["table_bytes"] == nil {
+		t.Fatalf("groupagg fold span missing stats: %v", fold.Attrs)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	for _, name := range []string{
+		"vida_group_folds_total", "vida_groups_built_total",
+		"vida_group_table_max_bytes", "vida_group_partial_merges_total",
+	} {
+		if !strings.Contains(string(metrics), name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+	if !groupMetricPositive(t, metrics, "vida_group_folds_total") {
+		t.Fatal("vida_group_folds_total did not count the grouped query")
+	}
+	if !groupMetricPositive(t, metrics, "vida_groups_built_total") {
+		t.Fatal("vida_groups_built_total did not count the built groups")
+	}
+}
+
+// groupMetricPositive reports whether the named /metrics series carries
+// a value greater than zero.
+func groupMetricPositive(t *testing.T, metrics []byte, name string) bool {
+	t.Helper()
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		val := strings.TrimSpace(strings.TrimPrefix(line, name))
+		return val != "0" && val != "0.0"
+	}
+	t.Fatalf("metric %s has no sample line", name)
+	return false
+}
+
+// TestGroupByMemoryBudget507: a high-cardinality GROUP BY whose group
+// table outgrows the per-query memory budget dies with HTTP 507 — and
+// the failure is fully contained: the admission slot is released, the
+// engine keeps answering, and the failed query is not served from a
+// poisoned cache on retry.
+func TestGroupByMemoryBudget507(t *testing.T) {
+	eng := newTestEngine(t, nil, vida.WithQueryMemoryBudget(2<<10))
+	// MaxInFlight 1 with queueing disabled: a leaked admission slot
+	// would turn every follow-up request into a 429.
+	svc := serve.NewService(eng, nil, serve.Config{MaxInFlight: 1, MaxQueue: -1})
+	ts := httptest.NewServer(serve.NewServer(svc).Handler())
+	defer ts.Close()
+
+	// 900 distinct group keys: the group table alone far exceeds 2 KiB.
+	const bigGroup = `SELECT p.id, COUNT(*) AS n, AVG(p.age) AS a FROM Patients p GROUP BY p.id`
+
+	status, body := postRaw(t, ts.URL, "/sql", map[string]any{"query": bigGroup})
+	if status != http.StatusInsufficientStorage {
+		t.Fatalf("high-cardinality GROUP BY under 2KiB budget: status %d (%s), want 507", status, body)
+	}
+	if !strings.Contains(string(body), "memory budget") {
+		t.Fatalf("507 body does not name the budget: %s", body)
+	}
+
+	// The slot was released and the engine keeps serving queries that
+	// stay inside the budget.
+	status, body = postRaw(t, ts.URL, "/sql", map[string]any{"query": "SELECT COUNT(*) FROM Patients"})
+	if status != http.StatusOK {
+		t.Fatalf("engine unusable after group-table memory kill: status %d (%s)", status, body)
+	}
+
+	// Retrying the killed query is not served a bogus cached result: it
+	// dies on the budget again.
+	status, body = postRaw(t, ts.URL, "/sql", map[string]any{"query": bigGroup})
+	if status != http.StatusInsufficientStorage {
+		t.Fatalf("retried GROUP BY: status %d (%s), want 507 again", status, body)
+	}
+
+	// The kill is counted.
+	stats := eng.Stats()
+	if stats.Memory.QueryKills < 2 {
+		t.Fatalf("QueryKills = %d, want >= 2", stats.Memory.QueryKills)
+	}
+}

@@ -109,6 +109,16 @@ var metricDefs = []metricDef{
 	{"vida_kernel_stages_boxed_total", "counter", "Pipeline stages that fell back to row-wise boxed execution.", "engine.KernelStagesBoxed",
 		false, func(v *statsView) int64 { return v.eng.KernelStagesBoxed }},
 
+	// Engine: grouped hash aggregation (single-pass GROUP BY folds).
+	{"vida_group_folds_total", "counter", "Grouped hash-aggregation folds completed.", "engine.GroupFolds",
+		false, func(v *statsView) int64 { return v.eng.GroupFolds }},
+	{"vida_groups_built_total", "counter", "Distinct groups built across all grouped folds.", "engine.GroupsBuilt",
+		false, func(v *statsView) int64 { return v.eng.GroupsBuilt }},
+	{"vida_group_table_max_bytes", "gauge", "Largest single group table observed (bytes).", "engine.GroupTableMaxBytes",
+		false, func(v *statsView) int64 { return v.eng.GroupTableMaxBytes }},
+	{"vida_group_partial_merges_total", "counter", "Morsel-parallel group partials merged into root tables.", "engine.GroupPartialMerges",
+		false, func(v *statsView) int64 { return v.eng.GroupPartialMerges }},
+
 	// Service: admission and request outcomes.
 	{"vida_serve_admitted_total", "counter", "Requests admitted past the in-flight gate.", "service.admitted",
 		false, func(v *statsView) int64 { return v.svc.Admitted }},

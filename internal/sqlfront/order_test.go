@@ -141,3 +141,47 @@ func TestOffsetWithoutLimit(t *testing.T) {
 		t.Fatalf("offset without limit = %s", got)
 	}
 }
+
+func TestGroupByOrderByOrdinal(t *testing.T) {
+	v := run(t, `SELECT e.deptNo, SUM(e.salary) AS total FROM Employees e GROUP BY e.deptNo ORDER BY 2 ASC LIMIT 1`)
+	if v.Len() != 1 {
+		t.Fatalf("grouped ordinal order kept %d rows", v.Len())
+	}
+	d, _ := v.Elems()[0].Get("deptNo")
+	if d.Int() != 30 {
+		t.Fatalf("order by ordinal over group = %s", v)
+	}
+}
+
+func TestGroupByOrderByKeyAlias(t *testing.T) {
+	v := run(t, `SELECT e.deptNo AS d, COUNT(*) AS c FROM Employees e GROUP BY e.deptNo ORDER BY d DESC`)
+	got := make([]int64, 0, v.Len())
+	for _, e := range v.Elems() {
+		d, _ := e.Get("d")
+		got = append(got, d.Int())
+	}
+	if len(got) != 3 || got[0] != 30 || got[1] != 20 || got[2] != 10 {
+		t.Fatalf("order by key alias over group = %v", got)
+	}
+}
+
+func TestGroupByParamLimit(t *testing.T) {
+	comp, err := Translate(`SELECT e.deptNo, SUM(e.salary) AS total FROM Employees e GROUP BY e.deptNo ORDER BY total DESC LIMIT $1 OFFSET $2`)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	bound := mcl.BindParams(comp, map[string]values.Value{
+		"1": values.NewInt(1), "2": values.NewInt(1),
+	})
+	v, err := mcl.Eval(bound, env())
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if v.Len() != 1 {
+		t.Fatalf("grouped limit $1 offset $2 kept %d rows", v.Len())
+	}
+	d, _ := v.Elems()[0].Get("deptNo")
+	if d.Int() != 20 {
+		t.Fatalf("grouped limit $1 offset $2 = %s", v)
+	}
+}

@@ -18,9 +18,9 @@ import (
 //	WHERE p              → filter p
 //	SELECT x AS n, ...   → yield bag (n := x, ...)    (set under DISTINCT)
 //	SELECT AGG(x)        → yield sum/avg/min/max x    (count → sum 1)
-//	GROUP BY g           → outer comprehension over the distinct keys with
-//	                       correlated inner aggregates
-//	HAVING h             → filter over the aggregated record
+//	GROUP BY g           → grouped comprehension (group by { k := g }
+//	                       agg { a := m x }): one scan, one hash fold
+//	HAVING h             → having clause over the group scope
 func Translate(src string) (mcl.Expr, error) {
 	stmt, err := parseSelect(src)
 	if err != nil {
@@ -295,62 +295,47 @@ func (tr *translator) aggMonoidAndHead(agg *sqlAgg, aliases map[string]string) (
 	return nil, nil, fmt.Errorf("sql: unsupported aggregate")
 }
 
-// translateGroupBy builds the two-level comprehension:
+// translateGroupBy lowers GROUP BY to the grouped comprehension form —
+// one scan, one hash-aggregation fold:
 //
-//	for { k <- (for {gens} yield set key) }
-//	yield bag (g := k..., aggs := for {gens', key' = k} yield ...)
+//	for { gens, where } group by { k$i := key_i } agg { a$j := m_j e_j }
+//	having h yield bag head [order by ...] [limit/offset]
+//
+// Grouping keys and aggregate inputs are evaluated in qualifier scope;
+// the head, HAVING and ORDER BY keys run per group over the key/agg
+// bindings. The k$/a$ names cannot collide with SQL identifiers.
 func (tr *translator) translateGroupBy() (mcl.Expr, error) {
-	// Key query over the distinct grouping values.
-	outerQs, outerAliases, err := tr.generators("")
+	qs, aliases, err := tr.generators("")
 	if err != nil {
 		return nil, err
 	}
-	var keyExpr mcl.Expr
-	keyFields := make([]mcl.FieldExpr, len(tr.stmt.groupBy))
+	groupBy := make([]mcl.GroupKey, len(tr.stmt.groupBy))
 	for i, col := range tr.stmt.groupBy {
-		e, err := tr.toMCL(col, outerAliases, false)
+		e, err := tr.toMCL(col, aliases, false)
 		if err != nil {
 			return nil, err
 		}
-		keyFields[i] = mcl.FieldExpr{Name: col.col, Val: e}
+		groupBy[i] = mcl.GroupKey{Name: fmt.Sprintf("k$%d", i), E: e}
 	}
-	if len(keyFields) == 1 {
-		keyExpr = keyFields[0].Val
-	} else {
-		keyExpr = &mcl.RecordExpr{Fields: keyFields}
-	}
-	keyComp := &mcl.Comprehension{M: monoid.Set, Head: keyExpr, Qs: outerQs}
-
-	keyVar := "k$g"
 	keyValue := func(i int) mcl.Expr {
-		if len(tr.stmt.groupBy) == 1 {
-			return &mcl.VarExpr{Name: keyVar}
-		}
-		return &mcl.ProjExpr{Rec: &mcl.VarExpr{Name: keyVar}, Attr: tr.stmt.groupBy[i].col}
+		return &mcl.VarExpr{Name: groupBy[i].Name}
 	}
-
-	// Inner aggregate template: fresh generators correlated on the key.
-	innerFor := func(agg *sqlAgg) (mcl.Expr, error) {
-		qs, aliases, err := tr.generators("$i")
+	// aggVar registers one aggregate slot and returns its group-scope
+	// variable. Each occurrence gets its own slot; all slots fold in the
+	// same single pass.
+	var aggs []mcl.AggSpec
+	aggVar := func(agg *sqlAgg) (mcl.Expr, error) {
+		m, e, err := tr.aggMonoidAndHead(agg, aliases)
 		if err != nil {
 			return nil, err
 		}
-		for i, col := range tr.stmt.groupBy {
-			ge, err := tr.toMCL(col, aliases, false)
-			if err != nil {
-				return nil, err
-			}
-			qs = append(qs, mcl.Qualifier{Src: &mcl.BinExpr{Op: mcl.OpEq, L: ge, R: keyValue(i)}})
-		}
-		m, head, err := tr.aggMonoidAndHead(agg, aliases)
-		if err != nil {
-			return nil, err
-		}
-		return &mcl.Comprehension{M: m, Head: head, Qs: qs}, nil
+		name := fmt.Sprintf("a$%d", len(aggs))
+		aggs = append(aggs, mcl.AggSpec{Name: name, M: m, E: e})
+		return &mcl.VarExpr{Name: name}, nil
 	}
 
-	// Head record: grouping columns come from the key; aggregates become
-	// correlated comprehensions.
+	// Head record: grouping columns become key references, aggregates
+	// become aggregate references.
 	var fields []mcl.FieldExpr
 	itemExprs := make([]mcl.Expr, len(tr.stmt.items))
 	for i, item := range tr.stmt.items {
@@ -376,15 +361,15 @@ func (tr *translator) translateGroupBy() (mcl.Expr, error) {
 			fields = append(fields, mcl.FieldExpr{Name: name, Val: keyValue(gi)})
 			itemExprs[i] = keyValue(gi)
 		case *sqlAgg:
-			inner, err := innerFor(e)
+			av, err := aggVar(e)
 			if err != nil {
 				return nil, err
 			}
 			if name == "" {
 				name = fmt.Sprintf("col%d", i+1)
 			}
-			fields = append(fields, mcl.FieldExpr{Name: name, Val: inner})
-			itemExprs[i] = inner
+			fields = append(fields, mcl.FieldExpr{Name: name, Val: av})
+			itemExprs[i] = av
 		default:
 			return nil, fmt.Errorf("sql: GROUP BY select items must be grouping columns or aggregates")
 		}
@@ -394,22 +379,21 @@ func (tr *translator) translateGroupBy() (mcl.Expr, error) {
 		head = fields[0].Val
 	}
 
-	qs := []mcl.Qualifier{{Var: keyVar, Src: keyComp}}
+	var having mcl.Expr
 	if tr.stmt.having != nil {
-		hv, err := tr.havingToMCL(tr.stmt.having, innerFor, keyValue)
+		having, err = tr.groupScopeExpr(tr.stmt.having, aggVar, keyValue)
 		if err != nil {
 			return nil, err
 		}
-		qs = append(qs, mcl.Qualifier{Src: hv})
 	}
 	m := monoid.Bag
 	if tr.stmt.distinct {
 		m = monoid.Set
 	}
-	comp := &mcl.Comprehension{M: m, Head: head, Qs: qs}
-	// ORDER BY over grouped results: ordinals and output aliases reuse
-	// the select items' expressions; anything else goes through the
-	// HAVING rewriter (aggregates become correlated comprehensions,
+	comp := &mcl.Comprehension{M: m, Head: head, Qs: qs, GroupBy: groupBy, Aggs: aggs, Having: having}
+	// ORDER BY over grouped results: ordinals and output aliases resolve
+	// to the select items' group-scope expressions; anything else maps
+	// into group scope directly (aggregates become aggregate slots,
 	// grouping columns become key references).
 	for _, o := range tr.stmt.orderBy {
 		var ke mcl.Expr
@@ -435,32 +419,37 @@ func (tr *translator) translateGroupBy() (mcl.Expr, error) {
 			}
 		}
 		if ke == nil {
-			hv, err := tr.havingToMCL(o.expr, innerFor, keyValue)
+			ke, err = tr.groupScopeExpr(o.expr, aggVar, keyValue)
 			if err != nil {
 				return nil, err
 			}
-			ke = hv
 		}
 		comp.Order = append(comp.Order, mcl.OrderKey{E: ke, Desc: o.desc})
 	}
+	// HAVING and ORDER BY may have registered aggregate slots of their
+	// own (e.g. ORDER BY COUNT(*) with no COUNT in the select list); pick
+	// up the final slice.
+	comp.Aggs = aggs
 	comp.Limit = limitToMCL(tr.stmt.limit)
 	comp.Offset = limitToMCL(tr.stmt.offset)
 	return comp, nil
 }
 
-// havingToMCL rewrites a HAVING predicate: aggregates become correlated
-// comprehensions, grouping columns become key references.
-func (tr *translator) havingToMCL(e sqlExpr, innerFor func(*sqlAgg) (mcl.Expr, error), keyValue func(int) mcl.Expr) (mcl.Expr, error) {
+// groupScopeExpr rewrites a HAVING or grouped-ORDER BY expression into
+// group scope: aggregates become aggregate slots (folded in the same
+// single pass as the select list), grouping columns become key
+// references.
+func (tr *translator) groupScopeExpr(e sqlExpr, aggVar func(*sqlAgg) (mcl.Expr, error), keyValue func(int) mcl.Expr) (mcl.Expr, error) {
 	switch n := e.(type) {
 	case *sqlAgg:
-		return innerFor(n)
+		return aggVar(n)
 	case *sqlCol:
 		for j, g := range tr.stmt.groupBy {
 			if strings.EqualFold(g.col, n.col) {
 				return keyValue(j), nil
 			}
 		}
-		return nil, fmt.Errorf("sql: HAVING column %q is not in GROUP BY", n.col)
+		return nil, fmt.Errorf("sql: column %q is not in GROUP BY", n.col)
 	case *sqlLit:
 		if n.val.IsNull() {
 			return &mcl.NullExpr{}, nil
@@ -469,27 +458,27 @@ func (tr *translator) havingToMCL(e sqlExpr, innerFor func(*sqlAgg) (mcl.Expr, e
 	case *sqlParam:
 		return &mcl.ParamExpr{Name: n.name}, nil
 	case *sqlBin:
-		l, err := tr.havingToMCL(n.l, innerFor, keyValue)
+		l, err := tr.groupScopeExpr(n.l, aggVar, keyValue)
 		if err != nil {
 			return nil, err
 		}
-		r, err := tr.havingToMCL(n.r, innerFor, keyValue)
+		r, err := tr.groupScopeExpr(n.r, aggVar, keyValue)
 		if err != nil {
 			return nil, err
 		}
 		op, ok := mclOps[n.op]
 		if !ok {
-			return nil, fmt.Errorf("sql: operator %q not supported in HAVING", n.op)
+			return nil, fmt.Errorf("sql: operator %q not supported here", n.op)
 		}
 		return &mcl.BinExpr{Op: op, L: l, R: r}, nil
 	case *sqlNot:
-		inner, err := tr.havingToMCL(n.e, innerFor, keyValue)
+		inner, err := tr.groupScopeExpr(n.e, aggVar, keyValue)
 		if err != nil {
 			return nil, err
 		}
 		return &mcl.NotExpr{E: inner}, nil
 	}
-	return nil, fmt.Errorf("sql: unsupported HAVING expression")
+	return nil, fmt.Errorf("sql: unsupported grouped expression")
 }
 
 // toMCL converts a SQL expression to the calculus. Bare columns resolve

@@ -117,8 +117,9 @@ func toValue(a any) (values.Value, error) {
 // be called; abandoning an open cursor pins a query slot (and, for a
 // streaming cursor, its scheduler workers) until its context ends.
 type Rows struct {
-	inner *core.Rows
-	cols  []string
+	inner    *core.Rows
+	cols     []string
+	colTypes []*sdg.Type
 
 	chunk  []values.Value
 	pos    int
@@ -136,7 +137,7 @@ type Rows struct {
 // result type when it is known. Unknown-schema results resolve their
 // columns lazily from the first row.
 func newRows(inner *core.Rows, typ *sdg.Type) *Rows {
-	return &Rows{inner: inner, cols: columnsFromType(typ)}
+	return &Rows{inner: inner, cols: columnsFromType(typ), colTypes: columnTypesFromType(typ)}
 }
 
 // columnsFromType extracts result column names from a prepared query's
@@ -157,6 +158,55 @@ func columnsFromType(t *sdg.Type) []string {
 		return t.AttrNames()
 	}
 	return []string{"value"}
+}
+
+// columnTypesFromType extracts the per-column result types, mirroring
+// columnsFromType's unwrapping. Unknown-schema results return nil: their
+// columns resolve lazily from data and carry no declared types.
+func columnTypesFromType(t *sdg.Type) []*sdg.Type {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case sdg.TList, sdg.TBag, sdg.TSet, sdg.TArray:
+		t = t.Elem
+	}
+	if t == nil || t.Kind == sdg.TUnknown {
+		return nil
+	}
+	if t.Kind == sdg.TRecord {
+		types := make([]*sdg.Type, len(t.Attrs))
+		for i, a := range t.Attrs {
+			types[i] = a.Type
+		}
+		return types
+	}
+	return []*sdg.Type{t}
+}
+
+// ColumnTypeName reports the declared type of column i as a
+// database-style name: BOOL, INT, FLOAT, STRING, or JSON for nested
+// record/collection columns (which render as JSON text at scalar
+// boundaries such as database/sql). The empty string means the column's
+// type is not statically known — open-schema results infer their columns
+// from the first row and carry no declared types.
+func (r *Rows) ColumnTypeName(i int) string {
+	if i < 0 || i >= len(r.colTypes) || r.colTypes[i] == nil {
+		return ""
+	}
+	switch r.colTypes[i].Kind {
+	case sdg.TBool:
+		return "BOOL"
+	case sdg.TInt:
+		return "INT"
+	case sdg.TFloat:
+		return "FLOAT"
+	case sdg.TString:
+		return "STRING"
+	case sdg.TRecord, sdg.TList, sdg.TBag, sdg.TSet, sdg.TArray:
+		return "JSON"
+	}
+	return ""
 }
 
 // fetch advances to the next row, loading chunks as needed.

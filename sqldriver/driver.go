@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"reflect"
 	"strconv"
 	"sync"
 	"time"
@@ -332,7 +333,11 @@ type rows struct {
 	cols  []string
 }
 
-var _ driver.Rows = (*rows)(nil)
+var (
+	_ driver.Rows                           = (*rows)(nil)
+	_ driver.RowsColumnTypeScanType         = (*rows)(nil)
+	_ driver.RowsColumnTypeDatabaseTypeName = (*rows)(nil)
+)
 
 // Columns implements driver.Rows.
 func (r *rows) Columns() []string {
@@ -344,6 +349,31 @@ func (r *rows) Columns() []string {
 
 // Close implements driver.Rows.
 func (r *rows) Close() error { return r.inner.Close() }
+
+// ColumnTypeDatabaseTypeName implements the optional driver.Rows
+// extension: BOOL, INT, FLOAT, STRING, or JSON (nested records and
+// collections render as JSON text, see driverValue). Open-schema results
+// with no declared type return "".
+func (r *rows) ColumnTypeDatabaseTypeName(index int) string {
+	return r.inner.ColumnTypeName(index)
+}
+
+// ColumnTypeScanType implements the optional driver.Rows extension,
+// reporting the Go type driverValue produces for non-null values of the
+// column. Columns with no declared type scan as any.
+func (r *rows) ColumnTypeScanType(index int) reflect.Type {
+	switch r.inner.ColumnTypeName(index) {
+	case "BOOL":
+		return reflect.TypeOf(false)
+	case "INT":
+		return reflect.TypeOf(int64(0))
+	case "FLOAT":
+		return reflect.TypeOf(float64(0))
+	case "STRING", "JSON":
+		return reflect.TypeOf("")
+	}
+	return reflect.TypeOf((*any)(nil)).Elem()
+}
 
 // Next implements driver.Rows. Record rows map one field per column
 // (matched by name, so heterogeneous open-schema rows read as null for

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -250,5 +251,103 @@ func TestMapErrRetryable(t *testing.T) {
 	plain := errors.New("syntax error")
 	if got := mapErr(plain); got != plain {
 		t.Fatalf("mapErr(plain) = %v, want the error unchanged", got)
+	}
+}
+
+// TestColumnTypes checks the optional driver.Rows column-type metadata
+// surfaced through database/sql's ColumnTypes: database type names and
+// scan types for plain projections and for grouped aggregates.
+func TestColumnTypes(t *testing.T) {
+	db := openDB(t, writePeopleCSV(t, 50))
+
+	check := func(t *testing.T, query string, wantNames, wantDB []string, wantScan []reflect.Type) {
+		t.Helper()
+		rows, err := db.Query(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		cts, err := rows.ColumnTypes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cts) != len(wantNames) {
+			t.Fatalf("got %d columns, want %d", len(cts), len(wantNames))
+		}
+		for i, ct := range cts {
+			if ct.Name() != wantNames[i] {
+				t.Errorf("column %d name = %q, want %q", i, ct.Name(), wantNames[i])
+			}
+			if ct.DatabaseTypeName() != wantDB[i] {
+				t.Errorf("column %q type name = %q, want %q", ct.Name(), ct.DatabaseTypeName(), wantDB[i])
+			}
+			if ct.ScanType() != wantScan[i] {
+				t.Errorf("column %q scan type = %v, want %v", ct.Name(), ct.ScanType(), wantScan[i])
+			}
+		}
+	}
+
+	t.Run("projection", func(t *testing.T) {
+		check(t, "SELECT id, name, age FROM People",
+			[]string{"id", "name", "age"},
+			[]string{"INT", "STRING", "INT"},
+			[]reflect.Type{reflect.TypeOf(int64(0)), reflect.TypeOf(""), reflect.TypeOf(int64(0))})
+	})
+
+	t.Run("grouped aggregates", func(t *testing.T) {
+		check(t, "SELECT age, COUNT(*) AS n, AVG(id) AS a FROM People GROUP BY age",
+			[]string{"age", "n", "a"},
+			[]string{"INT", "INT", "FLOAT"},
+			[]reflect.Type{reflect.TypeOf(int64(0)), reflect.TypeOf(int64(0)), reflect.TypeOf(float64(0))})
+	})
+}
+
+// TestGroupByThroughDriver runs a grouped aggregate with HAVING through
+// database/sql and checks the groups against values computed directly
+// from the generated data.
+func TestGroupByThroughDriver(t *testing.T) {
+	db := openDB(t, writePeopleCSV(t, 100))
+	rows, err := db.Query(`SELECT age, COUNT(*) AS n FROM People
+	    GROUP BY age HAVING COUNT(*) > 1 ORDER BY age`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	// age = 20 + i%60 for i in 1..100: residues 1..40 occur twice.
+	want := map[int64]int64{}
+	for i := 1; i <= 100; i++ {
+		want[int64(20+i%60)]++
+	}
+	var prev int64 = -1
+	got := 0
+	for rows.Next() {
+		var age, n int64
+		if err := rows.Scan(&age, &n); err != nil {
+			t.Fatal(err)
+		}
+		if age <= prev {
+			t.Fatalf("groups not ordered: %d after %d", age, prev)
+		}
+		prev = age
+		if n <= 1 {
+			t.Fatalf("HAVING leak: age %d has count %d", age, n)
+		}
+		if want[age] != n {
+			t.Fatalf("age %d count = %d, want %d", age, n, want[age])
+		}
+		got++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantGroups := 0
+	for _, n := range want {
+		if n > 1 {
+			wantGroups++
+		}
+	}
+	if got != wantGroups {
+		t.Fatalf("driver returned %d groups, want %d", got, wantGroups)
 	}
 }
