@@ -833,3 +833,88 @@ func BenchmarkFig5Grouped(b *testing.B) {
 		}
 	}
 }
+
+// writeJoinDimCSV writes the n-row build side Dim(id,w) with ids 1..n,
+// so joining it against writeBigPeopleCSV (ids 1..300k) on id yields
+// exactly n matches.
+func writeJoinDimCSV(b *testing.B, n int) string {
+	b.Helper()
+	dir := b.TempDir()
+	path := filepath.Join(dir, "dim.csv")
+	var buf bytes.Buffer
+	buf.WriteString("id,w\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&buf, "%d,%d\n", i, i%100)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+const joinDimSchema = "Record(Att(id, int), Att(w, int))"
+
+// joinBenchEngine registers the 300k-row probe and 60k-row build CSVs
+// on an engine whose morsel fan-out is workers wide.
+func joinBenchEngine(b *testing.B, people, dim string, pool *sched.Pool, workers int) *vida.Engine {
+	b.Helper()
+	eng := vida.New(vida.WithScheduler(pool), vida.WithWorkers(workers))
+	must(b, eng.RegisterCSV("People", people, bigPeopleSchema, nil))
+	must(b, eng.RegisterCSV("Dim", dim, joinDimSchema, nil))
+	return eng
+}
+
+const joinBenchQuery = "for { p <- People, d <- Dim, p.id = d.id } yield count p"
+
+// BenchmarkJoinParallelWarm measures the morsel-parallel partitioned
+// hash join against the serial build+probe on warm columnar caches:
+// 300k probe rows against a 60k-row build side. Acceptance (ROADMAP):
+// parallel at 4 workers ≥2x serial on a 4-core host.
+func BenchmarkJoinParallelWarm(b *testing.B) {
+	people := writeBigPeopleCSV(b, 300_000)
+	dim := writeJoinDimCSV(b, 60_000)
+	run := func(b *testing.B, workers int) {
+		pool := sched.NewPool(workers)
+		defer pool.Close()
+		eng := joinBenchEngine(b, people, dim, pool, workers)
+		res, err := eng.Query(joinBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Value().Int() != 60_000 {
+			b.Fatalf("warmup count = %d, want 60000", res.Value().Int())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(joinBenchQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel4", func(b *testing.B) { run(b, 4) })
+}
+
+// BenchmarkJoinParallelColdCSV is the same join on a genuinely cold
+// first touch — fresh engine per iteration, so the raw CSV scans, the
+// partitioned build, and the probe all count.
+func BenchmarkJoinParallelColdCSV(b *testing.B) {
+	people := writeBigPeopleCSV(b, 300_000)
+	dim := writeJoinDimCSV(b, 60_000)
+	run := func(b *testing.B, workers int) {
+		pool := sched.NewPool(workers)
+		defer pool.Close()
+		for i := 0; i < b.N; i++ {
+			eng := joinBenchEngine(b, people, dim, pool, workers)
+			res, err := eng.Query(joinBenchQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Value().Int() != 60_000 {
+				b.Fatalf("count = %d, want 60000", res.Value().Int())
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel4", func(b *testing.B) { run(b, 4) })
+}

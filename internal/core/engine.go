@@ -87,6 +87,16 @@ type Options struct {
 	// sched.Default()). A query server injects one pool so concurrent
 	// queries share workers instead of oversubscribing cores.
 	Pool *sched.Pool
+	// Workers bounds each query's morsel fan-out (0 = GOMAXPROCS; 1
+	// forces serial execution). The pool's own size bounds actual
+	// concurrency — Workers controls how finely a query's scans split,
+	// which is how benchmarks pin serial and parallel plans to the same
+	// pool.
+	Workers int
+	// JoinPartitions overrides the radix partition count of the
+	// parallel hash-join build (0 = jit default; rounded up to a power
+	// of two).
+	JoinPartitions int
 	// NoExprKernels disables the JIT's vectorized arithmetic/projection
 	// kernels (row-wise fallback) — an A/B switch for benchmarks and
 	// fallback-equivalence tests, not for production use.
@@ -125,6 +135,13 @@ type Stats struct {
 	GroupsBuilt        int64
 	GroupTableMaxBytes int64
 	GroupPartialMerges int64
+	// Hash-join tallies from the JIT's partitioned join: sealed build
+	// tables, build-side entries indexed, probe matches emitted, and
+	// the largest single sealed join table observed (bytes).
+	JoinFolds         int64
+	JoinBuildRows     int64
+	JoinProbeRows     int64
+	JoinTableMaxBytes int64
 }
 
 // refresher is implemented by readers that can detect file changes.
@@ -197,6 +214,15 @@ type Engine struct {
 	// allocation rationale as kernelStatsFn).
 	groupStatsFn func(groups, tableBytes, partialMerges int64)
 
+	joinFolds      atomic.Int64
+	joinBuildRows  atomic.Int64
+	joinProbeRows  atomic.Int64
+	joinTableBytes atomic.Int64 // high-water mark of one sealed join table
+	// joinStatsFn is the pre-bound jit.Options.JoinStats hook (same
+	// allocation rationale as kernelStatsFn). Deltas arrive concurrently
+	// from probe morsels.
+	joinStatsFn func(folds, buildRows, probeRows, tableBytes int64)
+
 	planShards     [planShardCount]planShard
 	planCacheLimit int // per shard
 
@@ -244,6 +270,17 @@ func NewEngine(opts Options) *Engine {
 		for {
 			cur := e.groupTableBytes.Load()
 			if tableBytes <= cur || e.groupTableBytes.CompareAndSwap(cur, tableBytes) {
+				break
+			}
+		}
+	}
+	e.joinStatsFn = func(folds, buildRows, probeRows, tableBytes int64) {
+		e.joinFolds.Add(folds)
+		e.joinBuildRows.Add(buildRows)
+		e.joinProbeRows.Add(probeRows)
+		for tableBytes > 0 {
+			cur := e.joinTableBytes.Load()
+			if tableBytes <= cur || e.joinTableBytes.CompareAndSwap(cur, tableBytes) {
 				break
 			}
 		}
@@ -563,6 +600,10 @@ func (e *Engine) StatsSnapshot() Stats {
 		GroupsBuilt:            e.groupsBuilt.Load(),
 		GroupTableMaxBytes:     e.groupTableBytes.Load(),
 		GroupPartialMerges:     e.groupPartialMerges.Load(),
+		JoinFolds:              e.joinFolds.Load(),
+		JoinBuildRows:          e.joinBuildRows.Load(),
+		JoinProbeRows:          e.joinProbeRows.Load(),
+		JoinTableMaxBytes:      e.joinTableBytes.Load(),
 	}
 }
 
@@ -1429,9 +1470,10 @@ func (e *Engine) execPlan(ctx context.Context, mode ExecMode, plan *algebra.Redu
 	case ModeReference:
 		return algebra.Reference{}.Run(plan, cat)
 	default:
-		opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels,
+		opts := jit.Options{Pool: e.opts.Pool, Workers: e.opts.Workers,
+			NoExprKernels: e.opts.NoExprKernels, JoinPartitions: e.opts.JoinPartitions,
 			MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn,
-			GroupStats: e.groupStatsFn}
+			GroupStats: e.groupStatsFn, JoinStats: e.joinStatsFn}
 		return jit.Executor{Opts: opts}.RunCtx(ctx, plan, cat)
 	}
 }

@@ -149,9 +149,10 @@ func (e *Engine) runStream(ctx context.Context, plan *algebra.Reduce, cat jit.Sc
 			err = perr
 		}
 	}()
-	opts := jit.Options{Pool: e.opts.Pool, NoExprKernels: e.opts.NoExprKernels,
+	opts := jit.Options{Pool: e.opts.Pool, Workers: e.opts.Workers,
+		NoExprKernels: e.opts.NoExprKernels, JoinPartitions: e.opts.JoinPartitions,
 		MemReserve: qm.reserveFunc(), Trace: sp, KernelStats: e.kernelStatsFn,
-		GroupStats: e.groupStatsFn}
+		GroupStats: e.groupStatsFn, JoinStats: e.joinStatsFn}
 	return jit.Executor{Opts: opts}.RunStream(ctx, plan, cat, emit)
 }
 

@@ -43,6 +43,11 @@ const (
 	// PoolStall fires before each morsel executes on a scheduler
 	// worker; delay faults here model a stalled worker.
 	PoolStall = "sched.pool_stall"
+	// JoinBuildStall fires once per build-side batch a hash join
+	// retains (serial and morsel-parallel builds alike); delay faults
+	// here hold the join's build barrier open, error faults model a
+	// build-side scan failing mid-join.
+	JoinBuildStall = "jit.join_build_stall"
 	// AllocSpike is a value point (SetValue/Value): the harvest path
 	// adds its value to every memory reservation, simulating an
 	// allocation spike that drives the engine into budget pressure.
@@ -52,7 +57,7 @@ const (
 // Points returns every registered point name (the chaos suite's
 // iteration domain).
 func Points() []string {
-	return []string{CSVRead, CSVSlowRead, JSONRead, RefreshDuringScan, PoolStall, AllocSpike}
+	return []string{CSVRead, CSVSlowRead, JSONRead, RefreshDuringScan, PoolStall, JoinBuildStall, AllocSpike}
 }
 
 // ErrInjected is the conventional error returned by failure faults; the

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"slices"
 
 	"vida/internal/algebra"
 	"vida/internal/mcl"
@@ -128,6 +127,22 @@ type Options struct {
 	// serial fold). The engine feeds its always-on aggregation counters
 	// with it regardless of tracing.
 	GroupStats func(groups, tableBytes, partialMerges int64)
+	// JoinPartitions is the radix partition count of the hash-join build
+	// (default DefaultJoinPartitions; rounded up to a power of two,
+	// capped at maxJoinPartitions). One partition degenerates to a
+	// single shared chain table.
+	JoinPartitions int
+	// JoinBuildThreshold is the minimum build-side row count before a
+	// join build scans morsel-parallel (default ParallelThreshold):
+	// small build sides are not worth the fan-out.
+	JoinBuildThreshold int
+	// JoinStats, when non-nil, receives delta-style join-fold tallies:
+	// one call per sealed build (folds=1 with buildRows entries and
+	// tableBytes resident) and one per completed probe pipeline
+	// (probeRows matches emitted, possibly concurrent across probe
+	// morsels). The engine feeds its always-on join counters with it
+	// regardless of tracing. Must be safe for concurrent calls.
+	JoinStats func(folds, buildRows, probeRows, tableBytes int64)
 }
 
 // DefaultParallelThreshold is the default minimum row count for
@@ -149,6 +164,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Ctx == nil {
 		o.Ctx = context.Background()
+	}
+	if o.JoinPartitions <= 0 {
+		o.JoinPartitions = DefaultJoinPartitions
+	}
+	if o.JoinPartitions > maxJoinPartitions {
+		o.JoinPartitions = maxJoinPartitions
+	}
+	// Round up to a power of two: the radix split is hash >> shift.
+	p := 1
+	for p < o.JoinPartitions {
+		p *= 2
+	}
+	o.JoinPartitions = p
+	if o.JoinBuildThreshold <= 0 {
+		o.JoinBuildThreshold = o.ParallelThreshold
 	}
 	return o
 }
@@ -866,9 +896,13 @@ func retainForBuild(b *vec.Batch) (stored vec.Batch, compacted bool) {
 	return b.Retain(), false
 }
 
-// compileJoin stages a hash join: the right side is the build side (its
-// materialization is the operator's "output plugin" state), the left side
-// probes. Null keys never match.
+// compileJoin stages a partitioned hash join: the right side is the
+// build side (its materialization is the operator's "output plugin"
+// state), the left side probes. Null keys never match. The staged
+// machinery lives in join.go — a radix-partitioned build (morsel-
+// parallel over partitionable build sides) sealed into an immutable
+// shared index, probed serially by run and morsel-parallel through
+// openRange when the probe side is partitionable.
 func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 	l, err := c.compilePlan(n.L)
 	if err != nil {
@@ -906,208 +940,21 @@ func (c *compiler) compileJoin(n *algebra.Join) (*compiledPlan, error) {
 		lSlot = slotOf(n.On[0].LExpr, l.frame)
 		rSlot = slotOf(n.On[0].RExpr, r.frame)
 	}
-	lw, rw := l.frame.width(), r.frame.width()
-	bs := c.opts.BatchSize
-	tr := c.opts.Trace
-	return &compiledPlan{frame: f, run: func(sink batchSink) error {
-		bsp := tr.Child("join_build")
-		// Build state: the right side is retained columnar — stable
-		// (cache-backed) batches zero-copy, transient ones via one bulk
-		// typed copy per batch. Entries reference (batch, row); the hash
-		// index is built afterwards as an array chain table sized to the
-		// entry count — no per-row slices, per-key buckets or map inserts.
-		var retained []vec.Batch
-		var eBatch, eRow []int32
-		var hashes []uint64
-		var keys []values.Value // boxed keys, expression-key case only
-		keyOf := func(row []values.Value, exprs []compiledExpr) (values.Value, bool, error) {
-			if len(exprs) == 1 {
-				v, err := exprs[0](row)
-				if err != nil || v.IsNull() {
-					return values.Null, false, err
-				}
-				return v, true, nil
-			}
-			parts := make([]values.Value, len(exprs))
-			for i, e := range exprs {
-				v, err := e(row)
-				if err != nil {
-					return values.Null, false, err
-				}
-				if v.IsNull() {
-					return values.Null, false, nil
-				}
-				parts[i] = v
-			}
-			return values.NewList(parts...), true, nil
-		}
-		rrow := make([]values.Value, rw)
-		var hs []uint64 // per-batch key-hash scratch (vectorized pass)
-		var hsValid []bool
-		if err := r.run(func(b *vec.Batch) error {
-			cnt := b.Len()
-			if cnt == 0 {
-				return nil
-			}
-			bi := int32(len(retained))
-			stored, compacted := retainForBuild(b)
-			if reserve := c.opts.MemReserve; reserve != nil {
-				// The build side is the join's dominant allocator: charge
-				// every retained batch against the query budget.
-				if err := reserve(stored.MemoryBytes()); err != nil {
-					return err
-				}
-			}
-			retained = append(retained, stored)
-			eBatch = slices.Grow(eBatch, cnt)
-			eRow = slices.Grow(eRow, cnt)
-			hashes = slices.Grow(hashes, cnt)
-			if rSlot >= 0 {
-				// Vectorized build: the key column hashes in one
-				// tag-dispatched pass — typed payloads never box.
-				hs, hsValid = hashLiveCol(&b.Cols[rSlot], b, hs[:0], hsValid[:0])
-				for k := 0; k < cnt; k++ {
-					if !hsValid[k] {
-						continue
-					}
-					// A compacted batch re-indexes: its physical row k is
-					// the k-th live row of b.
-					si := b.Index(k)
-					if compacted {
-						si = k
-					}
-					eBatch = append(eBatch, bi)
-					eRow = append(eRow, int32(si))
-					hashes = append(hashes, hs[k])
-				}
-				return nil
-			}
-			for k := 0; k < cnt; k++ {
-				i := b.Index(k)
-				si := i
-				if compacted {
-					si = k
-				}
-				fillRow(b, i, rrow)
-				kv, ok, err := keyOf(rrow, rKeys)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-				keys = append(keys, kv)
-				eBatch = append(eBatch, bi)
-				eRow = append(eRow, int32(si))
-				hashes = append(hashes, kv.Hash())
-			}
-			return nil
-		}); err != nil {
-			return err
-		}
-		// Index the build side: power-of-two bucket heads plus per-entry
-		// chains, inserted in reverse so each chain lists entries in build
-		// order (probe results match the row-at-a-time engines exactly).
-		nEntries := len(hashes)
-		tableSize := 1
-		for tableSize < nEntries*2 {
-			tableSize *= 2
-		}
-		mask := uint64(tableSize - 1)
-		head := make([]int32, tableSize) // 1-based entry, 0 = empty
-		next := make([]int32, nEntries)
-		for e := nEntries - 1; e >= 0; e-- {
-			slot := hashes[e] & mask
-			next[e] = head[slot]
-			head[slot] = int32(e + 1)
-		}
-		bsp.AddRows(int64(nEntries))
-		bsp.End()
-		psp := tr.Child("join_probe")
-		// entryMatches verifies key equality on a hash match. With slot
-		// keys on both sides the comparison runs typed (colValEqual, no
-		// boxing); a boxed side boxes only on hash matches, never per
-		// probed row.
-		entryMatches := func(idx int, b *vec.Batch, i int, kv values.Value) bool {
-			if rSlot >= 0 {
-				rb := &retained[eBatch[idx]]
-				ri := int(eRow[idx])
-				if lSlot >= 0 {
-					return colValEqual(&b.Cols[lSlot], i, &rb.Cols[rSlot], ri)
-				}
-				return values.Equal(kv, rb.Cols[rSlot].Value(ri))
-			}
-			if lSlot >= 0 {
-				return values.Equal(b.Cols[lSlot].Value(i), keys[idx])
-			}
-			return values.Equal(kv, keys[idx])
-		}
-		p := vec.NewPacker(lw+rw, bs, nil, sink)
-		buf := make([]values.Value, lw+rw)
-		if err := l.run(func(b *vec.Batch) error {
-			cnt := b.Len()
-			if lSlot >= 0 {
-				// Vectorized probe: hash the key column once per batch.
-				hs, hsValid = hashLiveCol(&b.Cols[lSlot], b, hs[:0], hsValid[:0])
-			}
-			for k := 0; k < cnt; k++ {
-				i := b.Index(k)
-				var kv values.Value
-				var h uint64
-				if lSlot >= 0 {
-					if !hsValid[k] {
-						continue
-					}
-					h = hs[k]
-				} else {
-					fillRow(b, i, buf[:lw])
-					var ok bool
-					var err error
-					kv, ok, err = keyOf(buf[:lw], lKeys)
-					if err != nil {
-						return err
-					}
-					if !ok {
-						continue
-					}
-					h = kv.Hash()
-				}
-				filled := lSlot < 0
-				for e := head[h&mask]; e != 0; e = next[e-1] {
-					idx := int(e - 1)
-					if hashes[idx] != h || !entryMatches(idx, b, i, kv) {
-						continue
-					}
-					if !filled {
-						fillRow(b, i, buf[:lw])
-						filled = true
-					}
-					rb := &retained[eBatch[idx]]
-					ri := int(eRow[idx])
-					for s := 0; s < rw; s++ {
-						buf[lw+s] = rb.Cols[s].Value(ri)
-					}
-					if residual != nil {
-						pv, err := residual(buf)
-						if err != nil {
-							return err
-						}
-						if !(pv.Kind() == values.KindBool && pv.Bool()) {
-							continue
-						}
-					}
-					psp.AddRows(1)
-					if err := p.Add(buf); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
-		}); err != nil {
-			return err
-		}
-		err := p.Flush()
-		psp.End()
-		return err
-	}}, nil
+	parts := c.opts.JoinPartitions
+	shift := uint(64)
+	for p := parts; p > 1; p /= 2 {
+		shift--
+	}
+	js := &joinState{
+		l: l, r: r,
+		lSlot: lSlot, rSlot: rSlot,
+		lKeys: lKeys, rKeys: rKeys,
+		residual: residual,
+		lw:       l.frame.width(),
+		rw:       r.frame.width(),
+		opts:     c.opts,
+		parts:    parts,
+		shift:    shift,
+	}
+	return js.plan(f), nil
 }

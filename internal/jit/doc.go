@@ -92,6 +92,25 @@
 // equal to the serial fold, including for the non-commutative list
 // monoid. Sources below Options.ParallelThreshold rows stay serial.
 //
+// # Partitioned parallel hash join
+//
+// Equi-joins (join.go) extend the same morsel machinery to both join
+// sides. The build side scans morsel-parallel: each morsel hashes its
+// key column with the join-key kernels, radix-partitions rows by the
+// top hash bits into Options.JoinPartitions private chunks (null keys
+// dropped — NULL = NULL never matches), and retains the batch,
+// compacting it first when a selective filter left few survivors. A
+// seal step concatenates the per-morsel partials in morsel order into
+// one immutable index — per partition a power-of-two bucket-head array
+// over entry chains that enumerate entries in build-scan order — after
+// which probe morsels share the index without synchronization and
+// produce output byte-identical to the serial join for any worker or
+// partition count (pinned by the differential fuzzer in
+// join_diff_test.go). Retained batches and index arrays charge the
+// query memory budget; builds under Options.JoinBuildThreshold rows
+// stay serial over an identical index layout. The join traces as a
+// fold span (kind=join) with join_build/join_seal/join_probe children.
+//
 // # Pull-sink streaming mode
 //
 // Collection-rooted plans (list/bag/set reduces) have a second execution

@@ -1,0 +1,388 @@
+package jit
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"vida/internal/algebra"
+	"vida/internal/mcl"
+	"vida/internal/sched"
+	"vida/internal/values"
+	"vida/internal/vec"
+)
+
+// This file is the differential join-correctness harness: a seeded
+// generator producing random join scenarios — schemas, key types, key
+// distributions (uniform, skewed, all-null, all-duplicate, empty build
+// or probe side), filters that force build-side compaction, residuals,
+// multi-column keys — asserting that the morsel-parallel partitioned
+// join, the serial jit join, the static executor and the reference
+// executor all agree, across worker counts and partition counts. List
+// results make the comparison order-sensitive, so agreement here means
+// byte-identical output, not just equal multisets.
+
+// diffTable is an in-memory table serving all three scan contracts: record
+// iteration for the reference/static executors, batch iteration for the
+// serial jit pipeline, and concurrent range scans for the morsel-parallel
+// paths — the same shapes CSV scans and cache windows produce. Columns
+// are typed (with validity masks) or boxed, per table, so both the
+// tag-dispatched and the generic hash paths get fuzzed.
+type diffTable struct {
+	name   string
+	fields []string
+	cols   []vec.Col // full-length column storage, immutable once built
+	n      int
+	boxed  bool // serve boxed columns instead of typed windows
+}
+
+func (s *diffTable) Name() string { return s.name }
+
+// Iterate implements algebra.Source for the row-at-a-time executors.
+func (s *diffTable) Iterate(fields []string, yield func(values.Value) error) error {
+	for i := 0; i < s.n; i++ {
+		fs := make([]values.Field, len(s.fields))
+		for c := range s.fields {
+			fs[c] = values.Field{Name: s.fields[c], Val: s.cols[c].Value(i)}
+		}
+		if err := yield(values.NewRecord(fs...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// colWindow serves rows [lo,hi) of column c as a batch column.
+func (s *diffTable) colWindow(c, lo, hi int) vec.Col {
+	col := s.cols[c]
+	if s.boxed {
+		out := vec.Col{Tag: vec.Boxed, Boxed: make([]values.Value, 0, hi-lo)}
+		for i := lo; i < hi; i++ {
+			out.Boxed = append(out.Boxed, col.Value(i))
+		}
+		return out
+	}
+	w := vec.Col{Tag: col.Tag}
+	switch col.Tag {
+	case vec.Int64:
+		w.Ints = col.Ints[lo:hi]
+	case vec.Float64:
+		w.Floats = col.Floats[lo:hi]
+	case vec.Str:
+		w.Strs = col.Strs[lo:hi]
+	default:
+		w.Tag = vec.Boxed
+		w.Boxed = col.Boxed[lo:hi]
+	}
+	if col.Nulls != nil {
+		w.Nulls = col.Nulls[lo:hi]
+	}
+	return w
+}
+
+func (s *diffTable) fieldIdx(fields []string) []int {
+	idx := make([]int, len(fields))
+	for i, f := range fields {
+		idx[i] = -1
+		for c, have := range s.fields {
+			if have == f {
+				idx[i] = c
+			}
+		}
+		if idx[i] < 0 {
+			panic("diffTable: unknown field " + f)
+		}
+	}
+	return idx
+}
+
+// IterateBatches implements BatchSource.
+func (s *diffTable) IterateBatches(fields []string, batchSize int, yield func(*vec.Batch) error) error {
+	scan, n, _ := s.OpenRange(fields)
+	return scan(0, n, batchSize, yield)
+}
+
+// OpenRange implements RangeBatchSource. The scan serves window slices
+// of the immutable column storage and is safe for concurrent calls over
+// disjoint (or even overlapping) ranges.
+func (s *diffTable) OpenRange(fields []string) (func(lo, hi, batchSize int, yield func(*vec.Batch) error) error, int, bool) {
+	idx := s.fieldIdx(fields)
+	return func(lo, hi, batchSize int, yield func(*vec.Batch) error) error {
+		var b vec.Batch
+		for at := lo; at < hi; at += batchSize {
+			end := at + batchSize
+			if end > hi {
+				end = hi
+			}
+			b.Cols = b.Cols[:0]
+			for _, c := range idx {
+				b.Cols = append(b.Cols, s.colWindow(c, at, end))
+			}
+			b.N = end - at
+			b.Sel = nil
+			if err := yield(&b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, s.n, true
+}
+
+// joinScenario is one generated differential case.
+type joinScenario struct {
+	desc   string
+	cat    algebra.MapCatalog
+	plan   *algebra.Reduce
+	nL, nR int
+}
+
+// genKeyCol fills n keys of the chosen type/distribution. dist:
+// 0=uniform small domain (many matches), 1=uniform large domain (few
+// matches), 2=skewed (~70% one hot key), 3=all-duplicate, plus an
+// independent null fraction (1.0 = all-null).
+func genKeyCol(rng *rand.Rand, n int, keyKind, dist int, nullFrac float64) vec.Col {
+	domain := 1 + rng.Intn(16)
+	if dist == 1 {
+		domain = 1000 + rng.Intn(1000)
+	}
+	keyAt := func() int64 {
+		switch dist {
+		case 2:
+			if rng.Float64() < 0.7 {
+				return 7
+			}
+			return int64(rng.Intn(domain))
+		case 3:
+			return 42
+		default:
+			return int64(rng.Intn(domain))
+		}
+	}
+	col := vec.Col{}
+	var nulls []bool
+	hasNull := false
+	switch keyKind {
+	case 0:
+		col.Tag = vec.Int64
+		for i := 0; i < n; i++ {
+			col.Ints = append(col.Ints, keyAt())
+		}
+	case 1:
+		col.Tag = vec.Float64
+		for i := 0; i < n; i++ {
+			col.Floats = append(col.Floats, float64(keyAt())*0.5)
+		}
+	default:
+		col.Tag = vec.Str
+		for i := 0; i < n; i++ {
+			col.Strs = append(col.Strs, "k"+strconv.FormatInt(keyAt(), 10))
+		}
+	}
+	for i := 0; i < n; i++ {
+		isNull := rng.Float64() < nullFrac
+		nulls = append(nulls, isNull)
+		hasNull = hasNull || isNull
+	}
+	if hasNull {
+		col.Nulls = nulls
+	}
+	return col
+}
+
+func genIntCol(rng *rand.Rand, n, domain int) vec.Col {
+	col := vec.Col{Tag: vec.Int64}
+	for i := 0; i < n; i++ {
+		col.Ints = append(col.Ints, int64(rng.Intn(domain)))
+	}
+	return col
+}
+
+// genJoinScenario draws one random join case.
+func genJoinScenario(rng *rand.Rand) joinScenario {
+	sizes := []int{0, 1, 7, 120, 700, 1500}
+	nL := sizes[rng.Intn(len(sizes))]
+	nR := sizes[rng.Intn(len(sizes))]
+	keyKind := rng.Intn(3)
+	distL := rng.Intn(4)
+	distR := rng.Intn(4)
+	nullFrac := []float64{0, 0, 0.15, 1.0}[rng.Intn(4)]
+	multiKey := rng.Intn(4) == 0
+	residual := rng.Intn(3) == 0
+	buildFilter := rng.Intn(3) == 0
+	boxedL := rng.Intn(4) == 0
+	boxedR := rng.Intn(4) == 0
+	monoidName := []string{"bag", "list", "sum", "count"}[rng.Intn(4)]
+
+	lFields := []string{"k", "a"}
+	rFields := []string{"k", "b"}
+	lCols := []vec.Col{genKeyCol(rng, nL, keyKind, distL, nullFrac), genIntCol(rng, nL, 100)}
+	rCols := []vec.Col{genKeyCol(rng, nR, keyKind, distR, nullFrac), genIntCol(rng, nR, 100)}
+	if multiKey {
+		lFields = append(lFields, "k2")
+		rFields = append(rFields, "k2")
+		lCols = append(lCols, genIntCol(rng, nL, 4))
+		rCols = append(rCols, genIntCol(rng, nR, 4))
+	}
+	left := &diffTable{name: "L", fields: lFields, cols: lCols, n: nL, boxed: boxedL}
+	right := &diffTable{name: "R", fields: rFields, cols: rCols, n: nR, boxed: boxedR}
+
+	on := []algebra.EquiPair{{LExpr: mcl.MustParse("x.k"), RExpr: mcl.MustParse("y.k")}}
+	if multiKey {
+		on = append(on, algebra.EquiPair{LExpr: mcl.MustParse("x.k2"), RExpr: mcl.MustParse("y.k2")})
+	}
+	join := &algebra.Join{
+		L:  &algebra.Scan{Source: "L", Var: "x", Fields: lFields},
+		R:  &algebra.Scan{Source: "R", Var: "y", Fields: rFields},
+		On: on,
+	}
+	if buildFilter {
+		// A selective build-side filter drives retainForBuild through its
+		// compaction path (survivors re-indexed before partitioning).
+		join.R.(*algebra.Scan).Filter = mcl.MustParse("y.b < 20")
+	}
+	if residual {
+		join.Residual = mcl.MustParse("x.a < y.b")
+	}
+	var head mcl.Expr
+	switch monoidName {
+	case "sum":
+		head = mcl.MustParse("x.a + y.b")
+	case "count":
+		head = mcl.MustParse("x.a")
+	default:
+		head = mcl.MustParse("(k := x.k, a := x.a, b := y.b)")
+	}
+	return joinScenario{
+		desc: fmt.Sprintf("nL=%d nR=%d key=%d distL=%d distR=%d nulls=%.2f multi=%v residual=%v filter=%v boxedL=%v boxedR=%v m=%s",
+			nL, nR, keyKind, distL, distR, nullFrac, multiKey, residual, buildFilter, boxedL, boxedR, monoidName),
+		cat:  algebra.MapCatalog{"L": left, "R": right},
+		plan: &algebra.Reduce{M: mustMonoid(monoidName), Head: head, Input: join},
+		nL:   nL, nR: nR,
+	}
+}
+
+// fuzzSeed returns the deterministic seed (override: VIDA_JOIN_FUZZ_SEED).
+func fuzzSeed(t *testing.T) int64 {
+	if s := os.Getenv("VIDA_JOIN_FUZZ_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad VIDA_JOIN_FUZZ_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 0xD1FF
+}
+
+func TestJoinDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(fuzzSeed(t)))
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	cases := 30
+	if testing.Short() {
+		cases = 8
+	}
+	workerCounts := []int{2, 4, 8}
+	partitionCounts := []int{1, 4, 16}
+	for ci := 0; ci < cases; ci++ {
+		sc := genJoinScenario(rng)
+		want, err := algebra.Reference{}.Run(sc.plan, sc.cat)
+		if err != nil {
+			t.Fatalf("case %d (%s): reference: %v", ci, sc.desc, err)
+		}
+		if got, err := (StaticExecutor{}).Run(sc.plan, sc.cat); err != nil {
+			t.Fatalf("case %d (%s): static: %v", ci, sc.desc, err)
+		} else if !values.Equal(got, want) {
+			t.Fatalf("case %d (%s): static diverged:\n got %v\nwant %v", ci, sc.desc, got, want)
+		}
+		serial := Executor{Opts: Options{Workers: 1, BatchSize: 64}}
+		if got, err := serial.Run(sc.plan, sc.cat); err != nil {
+			t.Fatalf("case %d (%s): jit serial: %v", ci, sc.desc, err)
+		} else if !values.Equal(got, want) {
+			t.Fatalf("case %d (%s): jit serial diverged:\n got %v\nwant %v", ci, sc.desc, got, want)
+		}
+		for _, w := range workerCounts {
+			for _, parts := range partitionCounts {
+				par := Executor{Opts: Options{
+					Workers:            w,
+					BatchSize:          64,
+					ParallelThreshold:  1,
+					JoinBuildThreshold: 1,
+					JoinPartitions:     parts,
+					Pool:               pool,
+				}}
+				got, err := par.Run(sc.plan, sc.cat)
+				if err != nil {
+					t.Fatalf("case %d (%s) w=%d parts=%d: %v", ci, sc.desc, w, parts, err)
+				}
+				if !values.Equal(got, want) {
+					t.Fatalf("case %d (%s) w=%d parts=%d diverged:\n got %v\nwant %v",
+						ci, sc.desc, w, parts, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinNullKeysNeverMatch pins "null never matches null" across every
+// executor and every jit configuration, including the compacted-build
+// path: a build side whose filter keeps few survivors exercises
+// retainForBuild's Compact re-indexing, and the all-null key columns on
+// both sides must still produce zero matches — the validity mask, not
+// the (zeroed) payload, decides.
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	n := 600
+	nullKeys := func(n int) vec.Col {
+		col := vec.Col{Tag: vec.Int64, Ints: make([]int64, n), Nulls: make([]bool, n)}
+		for i := range col.Nulls {
+			col.Nulls[i] = true // payload stays 0 — equal across all rows
+		}
+		return col
+	}
+	seq := func(n int) vec.Col {
+		col := vec.Col{Tag: vec.Int64}
+		for i := 0; i < n; i++ {
+			col.Ints = append(col.Ints, int64(i))
+		}
+		return col
+	}
+	left := &diffTable{name: "L", fields: []string{"k", "a"}, cols: []vec.Col{nullKeys(n), seq(n)}, n: n}
+	right := &diffTable{name: "R", fields: []string{"k", "b"}, cols: []vec.Col{nullKeys(n), seq(n)}, n: n}
+	cat := algebra.MapCatalog{"L": left, "R": right}
+	plan := &algebra.Reduce{
+		M:    mustMonoid("count"),
+		Head: mcl.MustParse("x.a"),
+		Input: &algebra.Join{
+			L: &algebra.Scan{Source: "L", Var: "x", Fields: []string{"k", "a"}},
+			// The sparse filter (survival < 1/4) forces Compact on every
+			// retained build batch.
+			R:  &algebra.Scan{Source: "R", Var: "y", Fields: []string{"k", "b"}, Filter: mcl.MustParse("y.b % 7 = 0")},
+			On: []algebra.EquiPair{{LExpr: mcl.MustParse("x.k"), RExpr: mcl.MustParse("y.k")}},
+		},
+	}
+	check := func(name string, got values.Value, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Int() != 0 {
+			t.Fatalf("%s: null keys matched: count = %v", name, got)
+		}
+	}
+	got, err := algebra.Reference{}.Run(plan, cat)
+	check("reference", got, err)
+	got, err = (StaticExecutor{}).Run(plan, cat)
+	check("static", got, err)
+	got, err = (Executor{Opts: Options{Workers: 1}}).Run(plan, cat)
+	check("jit serial", got, err)
+	for _, parts := range []int{1, 8} {
+		got, err = (Executor{Opts: Options{
+			Workers: 4, BatchSize: 64, ParallelThreshold: 1, JoinBuildThreshold: 1,
+			JoinPartitions: parts, Pool: pool,
+		}}).Run(plan, cat)
+		check(fmt.Sprintf("jit parallel parts=%d", parts), got, err)
+	}
+}

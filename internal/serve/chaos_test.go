@@ -39,7 +39,9 @@ import (
 )
 
 // chaosQueries are the baseline workload: one CSV aggregation, one CSV
-// bag with a predicate, one JSON scan, one SQL join-free aggregate.
+// bag with a predicate, one JSON scan, one SQL join-free aggregate, and
+// a hash join (so the jit.join_build_stall point is exercised by the
+// armed schedules).
 var chaosQueries = []struct {
 	endpoint string
 	query    string
@@ -48,6 +50,7 @@ var chaosQueries = []struct {
 	{"/query", "for { p <- Patients, p.age > 70 } yield bag p.id"},
 	{"/query", "for { r <- BrainRegions } yield count r"},
 	{"/sql", "SELECT COUNT(*) FROM Genetics"},
+	{"/query", "for { p <- Patients, g <- Genetics, p.id = g.id } yield count p"},
 }
 
 // armChaosSchedule arms a randomized, seed-reproducible fault schedule

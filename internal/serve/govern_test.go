@@ -201,3 +201,52 @@ func TestMemoryBudgetMapsTo507(t *testing.T) {
 		t.Fatalf("err = %v, want core.ErrMemoryBudget", err)
 	}
 }
+
+// TestJoinBudget507ReleasesSlot: a join killed by its memory budget at
+// MaxInFlight=1 with queueing disabled must release its execution slot
+// — a leaked slot would turn every follow-up into an instant 429 — and
+// a smaller join that fits the budget then succeeds, with no state
+// poisoned by the aborted build.
+func TestJoinBudget507ReleasesSlot(t *testing.T) {
+	eng := newTestEngine(t, nil, vida.WithQueryMemoryBudget(2<<10))
+	svc := serve.NewService(eng, nil, serve.Config{MaxInFlight: 1, MaxQueue: -1})
+	ts := httptest.NewServer(serve.NewServer(svc).Handler())
+	defer ts.Close()
+
+	bigJoin := "for { p <- Patients, g <- Genetics, p.id = g.id } yield count p"
+	status, body := postRaw(t, ts.URL, "/query", map[string]any{"query": bigJoin})
+	if status != http.StatusInsufficientStorage {
+		t.Fatalf("join under 2KiB budget: status %d (%s), want 507", status, body)
+	}
+
+	// The kill released the only execution slot.
+	if st := svc.StatsSnapshot(); st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after 507, want 0 (leaked slot)", st.InFlight)
+	}
+
+	// A join whose build side compacts down to a handful of rows stays
+	// inside the same budget; with MaxInFlight=1 and fail-fast sheds,
+	// its 200 doubles as proof the slot came back.
+	smallJoin := "for { p <- Patients, g <- Genetics, p.id = g.id, p.id < 5, g.id < 5 } yield count p"
+	status, body = postRaw(t, ts.URL, "/query", map[string]any{"query": smallJoin})
+	if status != http.StatusOK {
+		t.Fatalf("small join after 507: status %d (%s), want 200", status, body)
+	}
+
+	// No poisoned cache: a plain scan of the build side still answers
+	// with the full table, and the oversized join fails the same way
+	// again (deterministically, not with some corrupted-state error).
+	status, body = postRaw(t, ts.URL, "/query", map[string]any{
+		"query": "for { g <- Genetics } yield count g",
+	})
+	if status != http.StatusOK || !strings.Contains(string(body), "700") {
+		t.Fatalf("build-side scan after 507: status %d (%s)", status, body)
+	}
+	status, body = postRaw(t, ts.URL, "/query", map[string]any{"query": bigJoin})
+	if status != http.StatusInsufficientStorage {
+		t.Fatalf("repeat oversized join: status %d (%s), want 507 again", status, body)
+	}
+	if st := svc.StatsSnapshot(); st.InFlight != 0 {
+		t.Fatalf("InFlight = %d at end, want 0", st.InFlight)
+	}
+}

@@ -119,6 +119,16 @@ var metricDefs = []metricDef{
 	{"vida_group_partial_merges_total", "counter", "Morsel-parallel group partials merged into root tables.", "engine.GroupPartialMerges",
 		false, func(v *statsView) int64 { return v.eng.GroupPartialMerges }},
 
+	// Engine: partitioned hash joins (morsel-parallel build and probe).
+	{"vida_join_folds_total", "counter", "Hash-join build tables sealed.", "engine.JoinFolds",
+		false, func(v *statsView) int64 { return v.eng.JoinFolds }},
+	{"vida_join_build_rows_total", "counter", "Build-side entries indexed across all hash joins.", "engine.JoinBuildRows",
+		false, func(v *statsView) int64 { return v.eng.JoinBuildRows }},
+	{"vida_join_probe_rows_total", "counter", "Rows emitted by hash-join probes.", "engine.JoinProbeRows",
+		false, func(v *statsView) int64 { return v.eng.JoinProbeRows }},
+	{"vida_join_table_max_bytes", "gauge", "Largest single sealed join table observed (bytes).", "engine.JoinTableMaxBytes",
+		false, func(v *statsView) int64 { return v.eng.JoinTableMaxBytes }},
+
 	// Service: admission and request outcomes.
 	{"vida_serve_admitted_total", "counter", "Requests admitted past the in-flight gate.", "service.admitted",
 		false, func(v *statsView) int64 { return v.svc.Admitted }},

@@ -175,3 +175,42 @@ func TestQueryBudgetKillIsTyped(t *testing.T) {
 		t.Fatalf("QueryKills = %d, want > 0", kills)
 	}
 }
+
+// TestJoinBuildStallFaultPoint: the jit.join_build_stall point fires on
+// every retained build batch, so an injected error aborts the join as a
+// query-scoped failure and an injected panic is contained by the same
+// barriers as any other executor fault; either way the engine answers
+// the identical join once the point is disarmed.
+func TestJoinBuildStallFaultPoint(t *testing.T) {
+	defer faultinject.Reset()
+	eng := robustEngine(t)
+	const join = "for { p <- Patients, g <- Genetics, p.id = g.id } yield count p"
+
+	faultinject.Set(faultinject.JoinBuildStall, func() error {
+		return errors.New("injected join build stall")
+	})
+	_, err := eng.Query(join)
+	if err == nil || !strings.Contains(err.Error(), "injected join build stall") {
+		t.Fatalf("err = %v, want the injected build-stall error", err)
+	}
+	if faultinject.Hits(faultinject.JoinBuildStall) == 0 {
+		t.Fatal("join build ran without hitting the stall point")
+	}
+
+	faultinject.Set(faultinject.JoinBuildStall, func() error { panic("injected join build panic") })
+	_, err = eng.Query(join)
+	if err == nil || !strings.Contains(err.Error(), "panic recovered") {
+		t.Fatalf("err = %v, want a recovered-panic error", err)
+	}
+
+	// Disarmed, the same join completes and the aborted builds left no
+	// poisoned state behind.
+	faultinject.Reset()
+	res, err := eng.Query(join)
+	if err != nil {
+		t.Fatalf("join dead after contained build faults: %v", err)
+	}
+	if res.Value().Int() == 0 {
+		t.Fatal("join returned zero matches after contained build faults")
+	}
+}

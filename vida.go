@@ -106,6 +106,23 @@ func WithScheduler(p *sched.Pool) Option {
 	return func(o *core.Options) { o.Pool = p }
 }
 
+// WithWorkers bounds each query's morsel fan-out to n (1 forces serial
+// execution; 0 restores the GOMAXPROCS default). The scheduler pool's
+// own size still bounds actual concurrency — this option controls how
+// finely one query's scans split, which is how benchmarks compare
+// serial and parallel plans on the same pool.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}
+
+// WithJoinPartitions overrides the radix partition count of the
+// parallel hash-join build (0 keeps the engine default; values round up
+// to a power of two). Results are identical across partition counts —
+// this is a performance knob, not a semantic one.
+func WithJoinPartitions(n int) Option {
+	return func(o *core.Options) { o.JoinPartitions = n }
+}
+
 // New creates an engine.
 func New(opts ...Option) *Engine {
 	var o core.Options
